@@ -1,0 +1,59 @@
+// Shared helpers for the benchmark suite: cached corpus fixtures (building
+// a 30k-schema index takes seconds; benches reuse one per size) and
+// standard workloads.
+
+#ifndef SCHEMR_BENCH_BENCH_COMMON_H_
+#define SCHEMR_BENCH_BENCH_COMMON_H_
+
+#include <map>
+#include <memory>
+
+#include "eval/harness.h"
+
+namespace schemr {
+namespace bench {
+
+/// Returns a cached fixture with `num_schemas` generated schemas indexed
+/// in memory. Seed is fixed so all benches see the same corpora.
+inline const CorpusFixture& SharedFixture(size_t num_schemas) {
+  static std::map<size_t, std::unique_ptr<CorpusFixture>>* cache =
+      new std::map<size_t, std::unique_ptr<CorpusFixture>>();
+  auto it = cache->find(num_schemas);
+  if (it == cache->end()) {
+    CorpusOptions options;
+    options.num_schemas = num_schemas;
+    options.seed = 20090629;  // SIGMOD 2009 demo week
+    auto fixture = CorpusFixture::Build(options);
+    if (!fixture.ok()) {
+      std::fprintf(stderr, "fixture build failed: %s\n",
+                   fixture.status().ToString().c_str());
+      std::abort();
+    }
+    it = cache->emplace(num_schemas,
+                        std::make_unique<CorpusFixture>(
+                            std::move(fixture).value()))
+             .first;
+  }
+  return *it->second;
+}
+
+/// Standard keyword workload (no fragments), cached per configuration.
+inline const std::vector<WorkloadQuery>& SharedWorkload(double abbrev_prob) {
+  static std::map<int, std::vector<WorkloadQuery>>* cache =
+      new std::map<int, std::vector<WorkloadQuery>>();
+  int key = static_cast<int>(abbrev_prob * 100);
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    QueryWorkloadOptions options;
+    options.num_queries = 44;  // 2 per concept
+    options.seed = 7;
+    options.keyword_noise.abbreviation_prob = abbrev_prob;
+    it = cache->emplace(key, GenerateQueryWorkload(options)).first;
+  }
+  return it->second;
+}
+
+}  // namespace bench
+}  // namespace schemr
+
+#endif  // SCHEMR_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,199 @@
+// Experiment E11 (DESIGN.md): the storage engine and repository that play
+// Yggdrasil's role (paper Fig. 5).
+//
+// Measures the access patterns the architecture exercises: point put/get
+// (schema upload and visualization lookup), full scan (the offline
+// indexer), compaction, and recovery (reopen after many updates).
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "corpus/schema_generator.h"
+#include "repo/schema_repository.h"
+#include "schema/schema_codec.h"
+#include "store/kv_store.h"
+#include "util/rng.h"
+
+namespace schemr {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path BenchDir(const char* name) {
+  fs::path dir = fs::temp_directory_path() / (std::string("schemr_bench_") +
+                                              name);
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::string ValueOfSize(size_t n) { return std::string(n, 'v'); }
+
+void BM_StorePut(benchmark::State& state) {
+  fs::path dir = BenchDir("put");
+  auto store = *KvStore::Open(dir.string());
+  std::string value = ValueOfSize(static_cast<size_t>(state.range(0)));
+  uint64_t i = 0;
+  for (auto _ : state) {
+    if (!store->Put("key" + std::to_string(i++), value).ok()) {
+      state.SkipWithError("put failed");
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+  store.reset();
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_StorePut)->Arg(128)->Arg(1024)->Arg(8192)->Unit(
+    benchmark::kMicrosecond);
+
+void BM_StoreGet(benchmark::State& state) {
+  fs::path dir = BenchDir("get");
+  auto store = *KvStore::Open(dir.string());
+  const size_t num_keys = 10000;
+  std::string value = ValueOfSize(1024);
+  for (size_t i = 0; i < num_keys; ++i) {
+    (void)store->Put("key" + std::to_string(i), value);
+  }
+  Rng rng(1);
+  for (auto _ : state) {
+    auto result = store->Get("key" + std::to_string(rng.NextBelow(num_keys)));
+    if (!result.ok()) state.SkipWithError("get failed");
+    benchmark::DoNotOptimize(result->size());
+  }
+  store.reset();
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_StoreGet)->Unit(benchmark::kMicrosecond);
+
+void BM_StoreScan(benchmark::State& state) {
+  fs::path dir = BenchDir("scan");
+  auto store = *KvStore::Open(dir.string());
+  for (size_t i = 0; i < 5000; ++i) {
+    (void)store->Put("key" + std::to_string(i), ValueOfSize(512));
+  }
+  for (auto _ : state) {
+    size_t total = 0;
+    auto st = store->ForEach([&total](std::string_view, std::string_view v) {
+      total += v.size();
+      return Status::OK();
+    });
+    if (!st.ok()) state.SkipWithError("scan failed");
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * 5000);
+  store.reset();
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_StoreScan)->Unit(benchmark::kMillisecond);
+
+void BM_StoreCompaction(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    fs::path dir = BenchDir("compact");
+    auto store = *KvStore::Open(dir.string());
+    // 50% dead weight: every key overwritten once.
+    for (int round = 0; round < 2; ++round) {
+      for (size_t i = 0; i < 2000; ++i) {
+        (void)store->Put("key" + std::to_string(i), ValueOfSize(512));
+      }
+    }
+    state.ResumeTiming();
+    if (!store->Compact().ok()) state.SkipWithError("compact failed");
+    state.PauseTiming();
+    store.reset();
+    fs::remove_all(dir);
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_StoreCompaction)->Unit(benchmark::kMillisecond);
+
+void BM_StoreRecovery(benchmark::State& state) {
+  fs::path dir = BenchDir("recovery");
+  {
+    auto store = *KvStore::Open(dir.string());
+    for (size_t i = 0; i < static_cast<size_t>(state.range(0)); ++i) {
+      (void)store->Put("key" + std::to_string(i), ValueOfSize(512));
+    }
+  }
+  for (auto _ : state) {
+    auto store = KvStore::Open(dir.string());
+    if (!store.ok()) state.SkipWithError("open failed");
+    benchmark::DoNotOptimize((*store)->Size());
+  }
+  state.counters["keys"] = static_cast<double>(state.range(0));
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_StoreRecovery)->Arg(1000)->Arg(10000)->Unit(
+    benchmark::kMillisecond);
+
+// Repository-level: schema encode+put and get+decode round trips.
+void BM_RepositoryInsert(benchmark::State& state) {
+  CorpusOptions options;
+  options.num_schemas = 200;
+  std::vector<GeneratedSchema> corpus = GenerateCorpus(options);
+  fs::path dir = BenchDir("repo_insert");
+  auto repo = *SchemaRepository::Open(dir.string());
+  size_t i = 0;
+  for (auto _ : state) {
+    if (!repo->Insert(corpus[i++ % corpus.size()].schema).ok()) {
+      state.SkipWithError("insert failed");
+    }
+  }
+  repo.reset();
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_RepositoryInsert)->Unit(benchmark::kMicrosecond);
+
+void BM_RepositoryGet(benchmark::State& state) {
+  CorpusOptions options;
+  options.num_schemas = 1000;
+  std::vector<GeneratedSchema> corpus = GenerateCorpus(options);
+  fs::path dir = BenchDir("repo_get");
+  auto repo = *SchemaRepository::Open(dir.string());
+  std::vector<SchemaId> ids;
+  for (const GeneratedSchema& g : corpus) {
+    ids.push_back(*repo->Insert(g.schema));
+  }
+  Rng rng(2);
+  for (auto _ : state) {
+    auto schema = repo->Get(ids[rng.NextBelow(ids.size())]);
+    if (!schema.ok()) state.SkipWithError("get failed");
+    benchmark::DoNotOptimize(schema->size());
+  }
+  repo.reset();
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_RepositoryGet)->Unit(benchmark::kMicrosecond);
+
+void BM_SchemaCodecEncode(benchmark::State& state) {
+  CorpusOptions options;
+  options.num_schemas = 100;
+  std::vector<GeneratedSchema> corpus = GenerateCorpus(options);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EncodeSchema(corpus[i++ % corpus.size()].schema));
+  }
+}
+BENCHMARK(BM_SchemaCodecEncode)->Unit(benchmark::kMicrosecond);
+
+void BM_SchemaCodecDecode(benchmark::State& state) {
+  CorpusOptions options;
+  options.num_schemas = 100;
+  std::vector<std::string> encoded;
+  for (const GeneratedSchema& g : GenerateCorpus(options)) {
+    encoded.push_back(EncodeSchema(g.schema));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    auto schema = DecodeSchema(encoded[i++ % encoded.size()]);
+    if (!schema.ok()) state.SkipWithError("decode failed");
+    benchmark::DoNotOptimize(schema->size());
+  }
+}
+BENCHMARK(BM_SchemaCodecDecode)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace schemr
+
+BENCHMARK_MAIN();

@@ -1,0 +1,166 @@
+// Experiment E12 (DESIGN.md): visualization scalability -- "to ensure
+// Schemr scales to very large schemas, we cap the displayed graph depth to
+// 3".
+//
+// Measures view construction + layout + serialization time against schema
+// size, with and without the depth cap, for both layouts and all three
+// output formats. Expected shape: with the cap, cost is bounded by the
+// visible node count regardless of total schema size; without it, cost
+// grows with the schema.
+
+#include <benchmark/benchmark.h>
+
+#include "schema/schema.h"
+#include "util/rng.h"
+#include "viz/dot_writer.h"
+#include "viz/graph_view.h"
+#include "viz/graphml_writer.h"
+#include "viz/layout.h"
+#include "viz/summarizer.h"
+#include "viz/svg_writer.h"
+
+namespace schemr {
+namespace {
+
+/// A deep/wide synthetic schema: a tree of nested entities with
+/// attributes, `total` elements overall.
+Schema MakeLargeSchema(size_t total) {
+  Schema schema("large");
+  Rng rng(99);
+  std::vector<ElementId> entities;
+  entities.push_back(schema.AddEntity("root"));
+  while (schema.size() < total) {
+    ElementId parent = entities[rng.NextBelow(entities.size())];
+    if (rng.NextBool(0.3)) {
+      entities.push_back(
+          schema.AddEntity("entity" + std::to_string(schema.size()), parent));
+    } else {
+      schema.AddAttribute("attr" + std::to_string(schema.size()), parent);
+    }
+  }
+  return schema;
+}
+
+void BM_BuildViewCapped(benchmark::State& state) {
+  Schema schema = MakeLargeSchema(static_cast<size_t>(state.range(0)));
+  GraphViewOptions options;
+  options.max_depth = 3;  // the paper's cap
+  for (auto _ : state) {
+    SchemaGraphView view = BuildGraphView(schema, {}, options);
+    benchmark::DoNotOptimize(view.nodes.size());
+  }
+  SchemaGraphView view = BuildGraphView(schema, {}, options);
+  state.counters["visible_nodes"] = static_cast<double>(view.nodes.size());
+  state.counters["schema_size"] = static_cast<double>(schema.size());
+}
+BENCHMARK(BM_BuildViewCapped)->Arg(100)->Arg(1000)->Arg(10000)->Unit(
+    benchmark::kMicrosecond);
+
+void BM_BuildViewUncapped(benchmark::State& state) {
+  Schema schema = MakeLargeSchema(static_cast<size_t>(state.range(0)));
+  GraphViewOptions options;
+  options.max_depth = 1000000;
+  for (auto _ : state) {
+    SchemaGraphView view = BuildGraphView(schema, {}, options);
+    benchmark::DoNotOptimize(view.nodes.size());
+  }
+  state.counters["schema_size"] = static_cast<double>(schema.size());
+}
+BENCHMARK(BM_BuildViewUncapped)->Arg(100)->Arg(1000)->Arg(10000)->Unit(
+    benchmark::kMicrosecond);
+
+void BM_TreeLayout(benchmark::State& state) {
+  Schema schema = MakeLargeSchema(static_cast<size_t>(state.range(0)));
+  GraphViewOptions options;
+  options.max_depth = 1000000;
+  SchemaGraphView base = BuildGraphView(schema, {}, options);
+  for (auto _ : state) {
+    SchemaGraphView view = base;
+    ApplyTreeLayout(&view);
+    benchmark::DoNotOptimize(view.nodes[0].x);
+  }
+}
+BENCHMARK(BM_TreeLayout)->Arg(100)->Arg(1000)->Arg(10000)->Unit(
+    benchmark::kMicrosecond);
+
+void BM_RadialLayout(benchmark::State& state) {
+  Schema schema = MakeLargeSchema(static_cast<size_t>(state.range(0)));
+  GraphViewOptions options;
+  options.max_depth = 1000000;
+  SchemaGraphView base = BuildGraphView(schema, {}, options);
+  for (auto _ : state) {
+    SchemaGraphView view = base;
+    ApplyRadialLayout(&view);
+    benchmark::DoNotOptimize(view.nodes[0].x);
+  }
+}
+BENCHMARK(BM_RadialLayout)->Arg(100)->Arg(1000)->Arg(10000)->Unit(
+    benchmark::kMicrosecond);
+
+void BM_WriteGraphMl(benchmark::State& state) {
+  Schema schema = MakeLargeSchema(static_cast<size_t>(state.range(0)));
+  SchemaGraphView view = BuildGraphView(schema);
+  ApplyTreeLayout(&view);
+  for (auto _ : state) {
+    std::string out = WriteGraphMl(view);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_WriteGraphMl)->Arg(100)->Arg(1000)->Unit(
+    benchmark::kMicrosecond);
+
+void BM_WriteSvg(benchmark::State& state) {
+  Schema schema = MakeLargeSchema(static_cast<size_t>(state.range(0)));
+  SchemaGraphView view = BuildGraphView(schema);
+  ApplyTreeLayout(&view);
+  for (auto _ : state) {
+    std::string out = WriteSvg(view);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_WriteSvg)->Arg(100)->Arg(1000)->Unit(benchmark::kMicrosecond);
+
+void BM_WriteDot(benchmark::State& state) {
+  Schema schema = MakeLargeSchema(static_cast<size_t>(state.range(0)));
+  SchemaGraphView view = BuildGraphView(schema);
+  for (auto _ : state) {
+    std::string out = WriteDot(view);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_WriteDot)->Arg(100)->Arg(1000)->Unit(benchmark::kMicrosecond);
+
+// Summarization (the paper's cited plan for very large schemas): cost of
+// importance computation + top-k summary view versus schema size.
+void BM_BuildSummaryView(benchmark::State& state) {
+  Schema schema = MakeLargeSchema(static_cast<size_t>(state.range(0)));
+  SummaryOptions options;
+  options.max_entities = 8;
+  for (auto _ : state) {
+    SchemaGraphView view = BuildSummaryView(schema, {}, options);
+    benchmark::DoNotOptimize(view.nodes.size());
+  }
+  state.counters["schema_size"] = static_cast<double>(schema.size());
+}
+BENCHMARK(BM_BuildSummaryView)->Arg(100)->Arg(1000)->Arg(10000)->Unit(
+    benchmark::kMicrosecond);
+
+// The full visualization request path on a capped view: what one GUI
+// click costs (view + layout + GraphML).
+void BM_FullVisualizationRequest(benchmark::State& state) {
+  Schema schema = MakeLargeSchema(10000);
+  GraphViewOptions options;
+  options.max_depth = 3;
+  for (auto _ : state) {
+    SchemaGraphView view = BuildGraphView(schema, {}, options);
+    ApplyTreeLayout(&view);
+    std::string out = WriteGraphMl(view);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_FullVisualizationRequest)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace schemr
+
+BENCHMARK_MAIN();

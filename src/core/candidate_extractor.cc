@@ -1,0 +1,20 @@
+#include "core/candidate_extractor.h"
+
+namespace schemr {
+
+std::vector<Candidate> CandidateExtractor::Extract(
+    const QueryGraph& query, const CandidateExtractorOptions& options) const {
+  std::vector<std::string> terms = query.FlattenTerms(index_->analyzer());
+  SearchOptions search_options = options.index_options;
+  search_options.top_n = options.pool_size;
+  Searcher searcher(index_);
+  std::vector<ScoredDoc> docs = searcher.SearchTerms(terms, search_options);
+  std::vector<Candidate> out;
+  out.reserve(docs.size());
+  for (const ScoredDoc& doc : docs) {
+    out.push_back(Candidate{doc.external_id, doc.score, doc.matched_terms});
+  }
+  return out;
+}
+
+}  // namespace schemr

@@ -1,0 +1,47 @@
+// Phase 1 of the search algorithm: candidate extraction (paper Fig. 3).
+//
+// Flattens the query graph into keywords and retrieves the top candidate
+// schemas from the document index -- "a fast and scalable filter" that
+// bounds how many schemas the expensive match phase must examine.
+
+#ifndef SCHEMR_CORE_CANDIDATE_EXTRACTOR_H_
+#define SCHEMR_CORE_CANDIDATE_EXTRACTOR_H_
+
+#include <vector>
+
+#include "core/query_graph.h"
+#include "index/searcher.h"
+
+namespace schemr {
+
+/// One extracted candidate with its coarse-grain score.
+struct Candidate {
+  SchemaId schema_id = kNoSchema;
+  double coarse_score = 0.0;
+  uint32_t matched_terms = 0;
+};
+
+struct CandidateExtractorOptions {
+  /// Candidate pool size passed to the match phase ("top n candidate
+  /// results").
+  size_t pool_size = 50;
+  /// TF/IDF scoring knobs (coordination factor, boosts, proximity).
+  SearchOptions index_options;
+};
+
+/// Stateless extractor over one index.
+class CandidateExtractor {
+ public:
+  explicit CandidateExtractor(const InvertedIndex* index) : index_(index) {}
+
+  std::vector<Candidate> Extract(
+      const QueryGraph& query,
+      const CandidateExtractorOptions& options = {}) const;
+
+ private:
+  const InvertedIndex* index_;
+};
+
+}  // namespace schemr
+
+#endif  // SCHEMR_CORE_CANDIDATE_EXTRACTOR_H_

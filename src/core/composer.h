@@ -1,0 +1,71 @@
+// Search-driven schema design suggestions.
+//
+// The paper's Applications section sketches "a new model development
+// process, in which search results are iteratively used to augment a
+// schema": the designer uploads a partial design, Schemr finds similar
+// schemas, and the elements of those schemas that the draft does NOT yet
+// cover become suggestions. This module computes those suggestions from a
+// search result's similarity data.
+
+#ifndef SCHEMR_CORE_COMPOSER_H_
+#define SCHEMR_CORE_COMPOSER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/search_engine.h"
+#include "match/similarity_matrix.h"
+#include "schema/schema.h"
+
+namespace schemr {
+
+/// One proposed addition to the draft schema.
+struct ExtensionSuggestion {
+  /// The element of the result schema being proposed.
+  ElementId source_element = kNoElement;
+  std::string name;
+  DataType type = DataType::kNone;
+  /// Path in the source schema, for provenance display.
+  std::string source_path;
+  /// Higher = more central to the part of the schema the draft already
+  /// overlaps (anchored entity > neighborhood > elsewhere).
+  double confidence = 0.0;
+};
+
+struct ComposerOptions {
+  /// Result-schema elements whose best query similarity is below this are
+  /// "uncovered" and eligible as suggestions.
+  double covered_threshold = 0.5;
+  /// Confidence multipliers by entity distance from the result's best
+  /// anchor (same entity / FK neighborhood / unrelated).
+  double anchor_weight = 1.0;
+  double neighborhood_weight = 0.6;
+  double unrelated_weight = 0.2;
+  size_t max_suggestions = 10;
+};
+
+/// Computes extension suggestions for a draft (the query schema) given
+/// one result schema, the combined similarity matrix between them (rows =
+/// draft elements, cols = result elements) and the result's best anchor
+/// entity. Only attributes are suggested; suggestions are sorted by
+/// descending confidence.
+std::vector<ExtensionSuggestion> SuggestExtensions(
+    const Schema& result_schema, const SimilarityMatrix& similarity,
+    ElementId best_anchor, const ComposerOptions& options = {});
+
+/// Convenience over a SearchResult: re-runs the ensemble for the matrix.
+/// `draft` must be the query schema used in the search (QueryGraph::
+/// AsSchema()).
+std::vector<ExtensionSuggestion> SuggestExtensionsForResult(
+    const Schema& draft, const Schema& result_schema,
+    const class MatcherEnsemble& ensemble, ElementId best_anchor,
+    const ComposerOptions& options = {});
+
+/// Applies a suggestion to a draft schema: adds the attribute to `entity`
+/// (which must be an entity of the draft). Returns the new element id.
+Result<ElementId> ApplySuggestion(Schema* draft, ElementId entity,
+                                  const ExtensionSuggestion& suggestion);
+
+}  // namespace schemr
+
+#endif  // SCHEMR_CORE_COMPOSER_H_

@@ -1,0 +1,93 @@
+#include "core/query_graph.h"
+
+#include "text/tokenizer.h"
+
+namespace schemr {
+
+void QueryGraph::AddKeyword(const std::string& keyword) {
+  // "patient height" is two one-element trees.
+  for (const std::string& word : TokenizeToStrings(keyword)) {
+    keywords_.push_back(word);
+    merged_valid_ = false;
+  }
+}
+
+void QueryGraph::AddFragment(Schema fragment) {
+  fragments_.push_back(std::move(fragment));
+  merged_valid_ = false;
+}
+
+size_t QueryGraph::NumElements() const {
+  size_t n = keywords_.size();
+  for (const Schema& fragment : fragments_) n += fragment.size();
+  return n;
+}
+
+const Schema& QueryGraph::AsSchema() const {
+  if (merged_valid_) return merged_;
+  merged_ = Schema("query");
+  for (const Schema& fragment : fragments_) {
+    ElementId base = static_cast<ElementId>(merged_.size());
+    for (ElementId id = 0; id < fragment.size(); ++id) {
+      Element element = fragment.element(id);
+      if (element.parent != kNoElement) element.parent += base;
+      merged_.AddElement(std::move(element));
+    }
+    for (const ForeignKey& fk : fragment.foreign_keys()) {
+      merged_.AddForeignKey(
+          fk.attribute + base, fk.target_entity + base,
+          fk.target_attribute == kNoElement ? kNoElement
+                                            : fk.target_attribute + base);
+    }
+  }
+  first_keyword_element_ = merged_.size();
+  for (const std::string& keyword : keywords_) {
+    // A keyword is a one-element tree; we model it as a parentless
+    // attribute so matchers compare it against both entities and
+    // attributes by name.
+    merged_.AddAttribute(keyword, kNoElement, DataType::kNone);
+  }
+  merged_valid_ = true;
+  return merged_;
+}
+
+bool QueryGraph::IsKeywordElement(ElementId id) const {
+  AsSchema();
+  return id >= first_keyword_element_;
+}
+
+std::vector<std::string> QueryGraph::FlattenTerms(
+    const Analyzer& analyzer) const {
+  std::vector<std::string> terms;
+  for (const std::string& keyword : keywords_) {
+    for (auto& t : analyzer.AnalyzeToStrings(keyword)) {
+      terms.push_back(std::move(t));
+    }
+  }
+  for (const Schema& fragment : fragments_) {
+    for (const Element& element : fragment.elements()) {
+      for (auto& t : analyzer.AnalyzeToStrings(element.name)) {
+        terms.push_back(std::move(t));
+      }
+    }
+  }
+  return terms;
+}
+
+std::string QueryGraph::ToString() const {
+  std::string out = "query{keywords:[";
+  for (size_t i = 0; i < keywords_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += keywords_[i];
+  }
+  out += "], fragments:[";
+  for (size_t i = 0; i < fragments_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fragments_[i].name();
+    out += "(" + std::to_string(fragments_[i].size()) + " elements)";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace schemr

@@ -1,0 +1,72 @@
+// The query graph (paper Fig. 1).
+//
+// "The input query-graph Q is a forest of trees consisting of schema
+// fragments and keywords ... each keyword is represented as a graph of one
+// item. The query-graph abstraction can capture multiple query formats,
+// including relational and XML." (paper Sec. 2)
+//
+// A QueryGraph holds keyword terms plus zero or more schema fragments
+// (parsed from DDL or XSD). For the match phase it renders itself as a
+// single merged Schema (fragment forests concatenated; each keyword a
+// one-element tree); for candidate extraction it flattens into a keyword
+// list.
+
+#ifndef SCHEMR_CORE_QUERY_GRAPH_H_
+#define SCHEMR_CORE_QUERY_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "schema/schema.h"
+#include "text/analyzer.h"
+#include "util/status.h"
+
+namespace schemr {
+
+class QueryGraph {
+ public:
+  QueryGraph() = default;
+
+  /// Adds one keyword (a one-element tree). Multi-word input is split into
+  /// several keywords.
+  void AddKeyword(const std::string& keyword);
+
+  /// Adds an already-parsed schema fragment.
+  void AddFragment(Schema fragment);
+
+  const std::vector<std::string>& keywords() const { return keywords_; }
+  const std::vector<Schema>& fragments() const { return fragments_; }
+  bool empty() const { return keywords_.empty() && fragments_.empty(); }
+
+  /// Total number of query-graph elements (fragment elements + keywords).
+  size_t NumElements() const;
+
+  /// Merged representation for the match phase: all fragment elements
+  /// (parents re-based), then one parentless attribute per keyword.
+  /// Rebuilt lazily after mutations.
+  const Schema& AsSchema() const;
+
+  /// True if merged element `id` (row of a similarity matrix) came from a
+  /// keyword rather than a fragment.
+  bool IsKeywordElement(ElementId id) const;
+
+  /// Phase-1 flattening: analyzer-normalized terms from every keyword and
+  /// every fragment element name (duplicates preserved -- term weighting
+  /// in the searcher uses multiplicity).
+  std::vector<std::string> FlattenTerms(const Analyzer& analyzer) const;
+
+  /// Human-readable summary, e.g. for logging a search request.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> keywords_;
+  std::vector<Schema> fragments_;
+
+  mutable bool merged_valid_ = false;
+  mutable Schema merged_;
+  mutable size_t first_keyword_element_ = 0;
+};
+
+}  // namespace schemr
+
+#endif  // SCHEMR_CORE_QUERY_GRAPH_H_

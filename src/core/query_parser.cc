@@ -1,0 +1,43 @@
+#include "core/query_parser.h"
+
+#include "parse/ddl_parser.h"
+#include "parse/xsd_importer.h"
+#include "util/string_util.h"
+
+namespace schemr {
+
+FragmentFormat DetectFragmentFormat(std::string_view fragment) {
+  std::string_view trimmed = Trim(fragment);
+  if (trimmed.empty()) return FragmentFormat::kAuto;
+  return trimmed.front() == '<' ? FragmentFormat::kXsd : FragmentFormat::kDdl;
+}
+
+Result<QueryGraph> ParseQuery(std::string_view keywords,
+                              std::string_view fragment,
+                              FragmentFormat format) {
+  QueryGraph query;
+  for (const std::string& kw : Split(keywords, " ,\t\r\n;")) {
+    query.AddKeyword(kw);
+  }
+  std::string_view fragment_text = Trim(fragment);
+  if (!fragment_text.empty()) {
+    if (format == FragmentFormat::kAuto) {
+      format = DetectFragmentFormat(fragment_text);
+    }
+    if (format == FragmentFormat::kXsd) {
+      SCHEMR_ASSIGN_OR_RETURN(Schema schema,
+                              ParseXsd(fragment_text, "fragment"));
+      query.AddFragment(std::move(schema));
+    } else {
+      SCHEMR_ASSIGN_OR_RETURN(Schema schema,
+                              ParseDdl(fragment_text, "fragment"));
+      query.AddFragment(std::move(schema));
+    }
+  }
+  if (query.empty()) {
+    return Status::InvalidArgument("query has no keywords and no fragment");
+  }
+  return query;
+}
+
+}  // namespace schemr

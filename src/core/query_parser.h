@@ -1,0 +1,34 @@
+// Query parser: builds a QueryGraph from user input.
+//
+// "Prior to executing a search, the query parser creates a query-graph
+// from the keyword terms and schema fragments given by user input."
+// (paper Sec. 2). Fragments arrive as DDL or XSD text; the format is
+// auto-detected (XSD documents start with '<').
+
+#ifndef SCHEMR_CORE_QUERY_PARSER_H_
+#define SCHEMR_CORE_QUERY_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "core/query_graph.h"
+#include "util/status.h"
+
+namespace schemr {
+
+/// Detected fragment syntax.
+enum class FragmentFormat { kAuto, kDdl, kXsd };
+
+/// Guesses the format of a fragment text: leading '<' (after whitespace)
+/// means XSD, otherwise DDL.
+FragmentFormat DetectFragmentFormat(std::string_view fragment);
+
+/// Builds a query graph from whitespace/comma-separated keywords plus an
+/// optional schema fragment. Either part may be empty, but not both.
+Result<QueryGraph> ParseQuery(std::string_view keywords,
+                              std::string_view fragment = "",
+                              FragmentFormat format = FragmentFormat::kAuto);
+
+}  // namespace schemr
+
+#endif  // SCHEMR_CORE_QUERY_PARSER_H_

@@ -1,0 +1,133 @@
+#include "core/search_engine.h"
+
+#include <algorithm>
+
+#include "core/query_parser.h"
+
+namespace schemr {
+
+Result<std::vector<SearchResult>> SearchEngine::Search(
+    const QueryGraph& query, const SearchEngineOptions& options) const {
+  if (query.empty()) {
+    return Status::InvalidArgument("empty query graph");
+  }
+
+  // Phase 1: candidate extraction.
+  CandidateExtractor extractor(index_);
+  std::vector<Candidate> candidates =
+      extractor.Extract(query, options.extraction);
+  if (candidates.empty()) return std::vector<SearchResult>{};
+
+  double max_coarse = 0.0;
+  for (const Candidate& c : candidates) {
+    max_coarse = std::max(max_coarse, c.coarse_score);
+  }
+  if (max_coarse <= 0.0) max_coarse = 1.0;
+
+  const Schema& query_schema = query.AsSchema();
+  std::vector<SearchResult> results;
+  results.reserve(candidates.size());
+
+  for (const Candidate& candidate : candidates) {
+    SCHEMR_ASSIGN_OR_RETURN(Schema schema, repository_->Get(candidate.schema_id));
+
+    SearchResult result;
+    result.schema_id = candidate.schema_id;
+    result.name = schema.name();
+    result.description = schema.description();
+    result.coarse_score = candidate.coarse_score;
+    result.num_entities = schema.NumEntities();
+    result.num_attributes = schema.NumAttributes();
+
+    double coarse_norm = candidate.coarse_score / max_coarse;
+
+    if (!options.enable_matching) {
+      // Ablation: phase 1 only.
+      result.score = coarse_norm;
+      results.push_back(std::move(result));
+      continue;
+    }
+
+    // Phase 2: schema matching.
+    SimilarityMatrix combined = ensemble_.MatchCombined(query_schema, schema);
+
+    if (!options.enable_tightness) {
+      // Ablation: rank by the unpenalized mean of matched element scores.
+      double sum = 0.0;
+      size_t matched = 0;
+      for (ElementId e = 0; e < schema.size(); ++e) {
+        double s = combined.ColumnMax(e);
+        if (s >= options.tightness.match_threshold) {
+          sum += s;
+          ++matched;
+          result.matched_elements.push_back(MatchedElement{e, s, s});
+        }
+      }
+      double mean = matched == 0 ? 0.0 : sum / static_cast<double>(matched);
+      if (options.tightness.scale_by_query_coverage) {
+        mean *= QueryCoverage(combined, options.tightness.match_threshold);
+      }
+      result.num_matches = matched;
+      result.tightness = mean;
+      result.score = options.coarse_blend * coarse_norm +
+                     (1.0 - options.coarse_blend) * mean;
+      results.push_back(std::move(result));
+      continue;
+    }
+
+    // Phase 3: tightness-of-fit.
+    EntityGraph graph(schema);
+    TightnessResult tof =
+        ComputeTightnessOfFit(schema, graph, combined, options.tightness);
+    result.tightness = tof.score;
+    result.best_anchor = tof.best_anchor;
+    result.num_matches = tof.matched.size();
+    result.matched_elements = std::move(tof.matched);
+    result.score = options.coarse_blend * coarse_norm +
+                   (1.0 - options.coarse_blend) * tof.score;
+    results.push_back(std::move(result));
+  }
+
+  // Collaboration boost: fold ratings and usage statistics in before the
+  // final sort.
+  if (options.annotation_boost > 0.0) {
+    for (SearchResult& result : results) {
+      auto rating = repository_->GetRatingSummary(result.schema_id);
+      auto usage = repository_->GetUsageCount(result.schema_id);
+      double rating_norm = rating.ok() ? rating->average / 5.0 : 0.0;
+      double usage_norm =
+          usage.ok() ? static_cast<double>(*usage) /
+                           (static_cast<double>(*usage) + 10.0)
+                     : 0.0;
+      result.score *= 1.0 + options.annotation_boost *
+                                (0.7 * rating_norm + 0.3 * usage_norm);
+    }
+  }
+
+  auto better = [](const SearchResult& a, const SearchResult& b) {
+    if (a.score != b.score) return a.score > b.score;
+    if (a.coarse_score != b.coarse_score) {
+      return a.coarse_score > b.coarse_score;
+    }
+    return a.schema_id < b.schema_id;
+  };
+  std::sort(results.begin(), results.end(), better);
+  if (options.offset > 0) {
+    if (options.offset >= results.size()) {
+      results.clear();
+    } else {
+      results.erase(results.begin(),
+                    results.begin() + static_cast<long>(options.offset));
+    }
+  }
+  if (results.size() > options.top_k) results.resize(options.top_k);
+  return results;
+}
+
+Result<std::vector<SearchResult>> SearchEngine::SearchKeywords(
+    const std::string& keywords, const SearchEngineOptions& options) const {
+  SCHEMR_ASSIGN_OR_RETURN(QueryGraph query, ParseQuery(keywords));
+  return Search(query, options);
+}
+
+}  // namespace schemr

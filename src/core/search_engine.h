@@ -1,0 +1,103 @@
+// The Schemr search engine: the three-phase algorithm of Fig. 3.
+//
+//   1. Candidate Extraction -- flatten the query graph, TF/IDF over the
+//      document index, keep the top-n pool.
+//   2. Schema Matching -- run the matcher ensemble on each candidate,
+//      producing total-similarity matrices.
+//   3. Tightness-of-fit -- collapse each matrix to a structurally-aware
+//      score; rank by it (blended with the normalized coarse score as a
+//      stabilizing prior).
+//
+// Phases 2 and 3 can be disabled individually for the quality-ablation
+// experiments (E9 in DESIGN.md).
+
+#ifndef SCHEMR_CORE_SEARCH_ENGINE_H_
+#define SCHEMR_CORE_SEARCH_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/candidate_extractor.h"
+#include "core/query_graph.h"
+#include "core/tightness_of_fit.h"
+#include "index/inverted_index.h"
+#include "match/ensemble.h"
+#include "repo/schema_repository.h"
+
+namespace schemr {
+
+/// One row of the results table (paper Fig. 2: "name, score, matches,
+/// entities, attributes, and description"), plus the per-element scores
+/// the visualizer encodes as node colors.
+struct SearchResult {
+  SchemaId schema_id = kNoSchema;
+  std::string name;
+  std::string description;
+  double score = 0.0;          ///< final ranking score
+  double coarse_score = 0.0;   ///< phase-1 TF/IDF score
+  double tightness = 0.0;      ///< phase-3 tightness-of-fit
+  size_t num_matches = 0;      ///< matched elements
+  size_t num_entities = 0;
+  size_t num_attributes = 0;
+  ElementId best_anchor = kNoElement;
+  /// (element, S(e)) for every matched element, for drill-in coloring.
+  std::vector<MatchedElement> matched_elements;
+};
+
+struct SearchEngineOptions {
+  /// Phase-1 pool size and TF/IDF knobs.
+  CandidateExtractorOptions extraction;
+  /// Phase-3 penalties.
+  TightnessOptions tightness;
+  /// Results returned ("ranked list of n results").
+  size_t top_k = 10;
+  /// Pagination: skip this many ranked results first ("ask for the next
+  /// n schemas" in the GUI). Rank positions offset..offset+top_k-1 are
+  /// returned.
+  size_t offset = 0;
+  /// Blend of normalized coarse score into the final score; the remainder
+  /// is the tightness-of-fit. 0 ranks purely structurally.
+  double coarse_blend = 0.25;
+  /// Ablation switches: with matching off, results are ranked by the
+  /// coarse score alone; with tightness off, by the unpenalized mean of
+  /// per-element match scores.
+  bool enable_matching = true;
+  bool enable_tightness = true;
+  /// Collaboration signal (paper Applications): when > 0, each result's
+  /// score is multiplied by 1 + boost·(0.7·rating/5 + 0.3·usage_sat)
+  /// where usage_sat = hits/(hits+10). Community-endorsed schemas rise.
+  double annotation_boost = 0.0;
+};
+
+/// Facade tying the repository, the index and the match engine together.
+/// Immutable references; safe for concurrent Search calls.
+class SearchEngine {
+ public:
+  SearchEngine(const SchemaRepository* repository,
+               const InvertedIndex* index,
+               MatcherEnsemble ensemble = MatcherEnsemble::Default())
+      : repository_(repository),
+        index_(index),
+        ensemble_(std::move(ensemble)) {}
+
+  /// Runs the full pipeline for a query graph.
+  Result<std::vector<SearchResult>> Search(
+      const QueryGraph& query, const SearchEngineOptions& options = {}) const;
+
+  /// Convenience: keyword-only search.
+  Result<std::vector<SearchResult>> SearchKeywords(
+      const std::string& keywords,
+      const SearchEngineOptions& options = {}) const;
+
+  const MatcherEnsemble& ensemble() const { return ensemble_; }
+  MatcherEnsemble& mutable_ensemble() { return ensemble_; }
+
+ private:
+  const SchemaRepository* repository_;
+  const InvertedIndex* index_;
+  MatcherEnsemble ensemble_;
+};
+
+}  // namespace schemr
+
+#endif  // SCHEMR_CORE_SEARCH_ENGINE_H_

@@ -1,0 +1,93 @@
+#include "corpus/name_variants.h"
+
+#include "corpus/vocabulary.h"
+#include "util/string_util.h"
+
+namespace schemr {
+
+std::vector<std::string> CanonicalWords(const std::string& snake_name) {
+  return Split(snake_name, "_");
+}
+
+std::string RenderName(const std::vector<std::string>& words,
+                       NameStyle style) {
+  auto capitalize = [](const std::string& w) {
+    std::string out = w;
+    if (!out.empty() && out[0] >= 'a' && out[0] <= 'z') {
+      out[0] = static_cast<char>(out[0] - 'a' + 'A');
+    }
+    return out;
+  };
+  std::string out;
+  for (size_t i = 0; i < words.size(); ++i) {
+    switch (style) {
+      case NameStyle::kSnake:
+        if (i > 0) out += '_';
+        out += words[i];
+        break;
+      case NameStyle::kCamel:
+        out += (i == 0) ? words[i] : capitalize(words[i]);
+        break;
+      case NameStyle::kPascal:
+        out += capitalize(words[i]);
+        break;
+      case NameStyle::kKebab:
+        if (i > 0) out += '-';
+        out += words[i];
+        break;
+      case NameStyle::kDotted:
+        if (i > 0) out += '.';
+        out += words[i];
+        break;
+      case NameStyle::kUpperSnake:
+        if (i > 0) out += '_';
+        out += ToUpperAscii(words[i]);
+        break;
+      case NameStyle::kSquashed:
+        out += words[i];
+        break;
+      case NameStyle::kSpaced:
+        if (i > 0) out += ' ';
+        out += words[i];
+        break;
+    }
+  }
+  return out;
+}
+
+NameStyle RandomStyle(Rng* rng) {
+  return static_cast<NameStyle>(rng->NextBelow(kNumNameStyles));
+}
+
+std::string MakeNameVariant(const std::string& canonical_snake, Rng* rng,
+                            const VariantOptions& options) {
+  std::vector<std::string> words = CanonicalWords(canonical_snake);
+  std::vector<std::string> out_words;
+  for (const std::string& word : words) {
+    // Connective words sometimes vanish ("date_of_birth" → "date_birth").
+    if ((word == "of" || word == "the" || word == "a") && words.size() > 2 &&
+        rng->NextBool(options.connective_drop_prob)) {
+      continue;
+    }
+    std::string chosen = word;
+    if (rng->NextBool(options.synonym_prob)) {
+      std::vector<std::string> synonyms = SynonymsOf(word);
+      if (!synonyms.empty()) {
+        chosen = synonyms[rng->NextBelow(synonyms.size())];
+      }
+    }
+    if (rng->NextBool(options.abbreviation_prob)) {
+      std::vector<std::string> abbrevs = AbbreviationsOf(chosen);
+      if (!abbrevs.empty()) {
+        chosen = abbrevs[rng->NextBelow(abbrevs.size())];
+      }
+    } else if (chosen.size() > 5 && rng->NextBool(options.truncation_prob)) {
+      chosen = chosen.substr(0, 3 + rng->NextBelow(2));
+    }
+    out_words.push_back(std::move(chosen));
+  }
+  if (out_words.empty()) out_words = words;  // all words were connectives
+  return RenderName(out_words, options.style);
+}
+
+}  // namespace schemr

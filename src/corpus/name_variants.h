@@ -1,0 +1,63 @@
+// Name variant generation: the noise model of the synthetic corpus.
+//
+// Real-world schemas express the same concept many ways -- "dateOfBirth",
+// "date_of_birth", "DOB", "birth_date" -- and the paper's name matcher is
+// motivated precisely by "abbreviated terms, alternate grammatical forms,
+// and delimiter characters". This module renders canonical snake_case
+// names into styled, abbreviated, synonym-substituted variants under a
+// deterministic RNG.
+
+#ifndef SCHEMR_CORPUS_NAME_VARIANTS_H_
+#define SCHEMR_CORPUS_NAME_VARIANTS_H_
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace schemr {
+
+/// Rendering style of a multi-word identifier.
+enum class NameStyle {
+  kSnake,       ///< date_of_birth
+  kCamel,       ///< dateOfBirth
+  kPascal,      ///< DateOfBirth
+  kKebab,       ///< date-of-birth
+  kDotted,      ///< date.of.birth
+  kUpperSnake,  ///< DATE_OF_BIRTH
+  kSquashed,    ///< dateofbirth
+  kSpaced,      ///< date of birth (web-table headers)
+};
+
+inline constexpr size_t kNumNameStyles = 8;
+
+/// Renders lowercase words in a style.
+std::string RenderName(const std::vector<std::string>& words, NameStyle style);
+
+/// Splits a canonical snake_case name into its lowercase words.
+std::vector<std::string> CanonicalWords(const std::string& snake_name);
+
+struct VariantOptions {
+  /// Per-word probability of replacing it by a known abbreviation.
+  double abbreviation_prob = 0.2;
+  /// Per-word probability of replacing it by a synonym.
+  double synonym_prob = 0.1;
+  /// Per-word probability of truncating to a 3-4 character prefix (models
+  /// ad-hoc abbreviations absent from the table).
+  double truncation_prob = 0.05;
+  /// Probability of dropping a connective word ("of", "the") from long
+  /// names ("date_of_birth" → "date_birth").
+  double connective_drop_prob = 0.5;
+  NameStyle style = NameStyle::kSnake;
+};
+
+/// Produces one noisy variant of a canonical snake_case name.
+std::string MakeNameVariant(const std::string& canonical_snake, Rng* rng,
+                            const VariantOptions& options);
+
+/// Uniformly samples a name style.
+NameStyle RandomStyle(Rng* rng);
+
+}  // namespace schemr
+
+#endif  // SCHEMR_CORPUS_NAME_VARIANTS_H_

@@ -1,0 +1,100 @@
+#include "corpus/query_workload.h"
+
+#include <algorithm>
+
+#include "parse/ddl_writer.h"
+#include "util/string_util.h"
+
+namespace schemr {
+
+namespace {
+
+/// Meaningful query words of a concept: attribute and entity words that
+/// are not identifiers or connectives.
+std::vector<std::string> ConceptQueryWords(const DomainConcept& dc) {
+  std::vector<std::string> words;
+  auto add = [&words](const std::string& snake) {
+    for (const std::string& word : CanonicalWords(snake)) {
+      if (word == "id" || word == "of" || word == "the" || word.size() < 3) {
+        continue;
+      }
+      if (std::find(words.begin(), words.end(), word) == words.end()) {
+        words.push_back(word);
+      }
+    }
+  };
+  for (const ConceptEntity& entity : dc.entities) {
+    add(entity.name);
+    for (const ConceptAttribute& attr : entity.attributes) {
+      if (attr.core) add(attr.name);
+    }
+  }
+  return words;
+}
+
+}  // namespace
+
+WorkloadQuery MakeQueryForConcept(const DomainConcept& dc, Rng* rng,
+                                  const QueryWorkloadOptions& options) {
+  WorkloadQuery query;
+  query.concept_id = dc.id;
+
+  std::vector<std::string> words = ConceptQueryWords(dc);
+  rng->Shuffle(&words);
+  size_t n = std::min(options.keywords_per_query, words.size());
+  std::vector<std::string> chosen(words.begin(),
+                                  words.begin() + static_cast<long>(n));
+  // Apply per-keyword noise (single words; force snake so no delimiter
+  // surprises inside one keyword).
+  VariantOptions noise = options.keyword_noise;
+  noise.style = NameStyle::kSnake;
+  for (std::string& word : chosen) {
+    word = MakeNameVariant(word, rng, noise);
+  }
+  query.keywords = Join(chosen, " ");
+
+  if (rng->NextBool(options.fragment_prob) && !dc.entities.empty()) {
+    // Fragment: one entity with a subset of its core attributes -- the
+    // "partially designed schema" of the paper's example scenario.
+    const ConceptEntity& entity =
+        dc.entities[rng->NextBelow(dc.entities.size())];
+    Schema fragment("fragment");
+    ElementId eid = fragment.AddEntity(entity.name);
+    for (const ConceptAttribute& attr : entity.attributes) {
+      if (!attr.core) continue;
+      if (rng->NextBool(0.3)) continue;  // partial design
+      fragment.AddAttribute(attr.name, eid, attr.type);
+    }
+    if (fragment.Children(eid).empty() && !entity.attributes.empty()) {
+      fragment.AddAttribute(entity.attributes[0].name, eid,
+                            entity.attributes[0].type);
+    }
+    query.ddl_fragment = WriteDdl(fragment);
+  }
+  return query;
+}
+
+std::vector<WorkloadQuery> GenerateQueryWorkload(
+    const QueryWorkloadOptions& options) {
+  const auto& concepts = BuiltinConcepts();
+  Rng rng(options.seed);
+  std::vector<WorkloadQuery> queries;
+  queries.reserve(options.num_queries);
+  for (size_t i = 0; i < options.num_queries; ++i) {
+    const DomainConcept& dc = concepts[i % concepts.size()];
+    queries.push_back(MakeQueryForConcept(dc, &rng, options));
+  }
+  return queries;
+}
+
+std::unordered_map<std::string, std::unordered_set<SchemaId>>
+BuildRelevanceMap(const std::vector<GeneratedSchema>& corpus,
+                  const std::vector<SchemaId>& ids) {
+  std::unordered_map<std::string, std::unordered_set<SchemaId>> map;
+  for (size_t i = 0; i < corpus.size() && i < ids.size(); ++i) {
+    map[corpus[i].concept_id].insert(ids[i]);
+  }
+  return map;
+}
+
+}  // namespace schemr

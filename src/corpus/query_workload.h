@@ -1,0 +1,60 @@
+// Ground-truth query workloads for the quality experiments.
+//
+// The demo paper reports no quantitative evaluation; to measure the
+// pipeline we generate queries whose intent is known: a query derived from
+// concept C is relevant exactly to the corpus schemas generated from C.
+// Keyword noise (abbreviations, synonyms, delimiters) is configurable so
+// experiment E3 can contrast clean and noisy query sets.
+
+#ifndef SCHEMR_CORPUS_QUERY_WORKLOAD_H_
+#define SCHEMR_CORPUS_QUERY_WORKLOAD_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "corpus/schema_generator.h"
+
+namespace schemr {
+
+/// One benchmark query with provenance.
+struct WorkloadQuery {
+  std::string concept_id;
+  /// Space-separated keyword terms.
+  std::string keywords;
+  /// Optional DDL schema fragment ("search by example"); empty if unused.
+  std::string ddl_fragment;
+};
+
+struct QueryWorkloadOptions {
+  size_t num_queries = 50;
+  uint64_t seed = 99;
+  /// Keyword terms drawn per query (from the concept's core attribute and
+  /// entity words).
+  size_t keywords_per_query = 4;
+  /// Probability a query also carries a DDL fragment of one concept
+  /// entity.
+  double fragment_prob = 0.0;
+  /// Noise applied to each keyword (style is ignored; keywords are single
+  /// words).
+  VariantOptions keyword_noise;
+};
+
+/// Generates queries over the built-in concepts.
+std::vector<WorkloadQuery> GenerateQueryWorkload(
+    const QueryWorkloadOptions& options);
+
+/// Generates one query for a specific concept.
+WorkloadQuery MakeQueryForConcept(const DomainConcept& dc, Rng* rng,
+                                  const QueryWorkloadOptions& options);
+
+/// concept id → ids of corpus schemas generated from it. `ids` must be
+/// parallel to `corpus` (the repository id assigned to each schema).
+std::unordered_map<std::string, std::unordered_set<SchemaId>>
+BuildRelevanceMap(const std::vector<GeneratedSchema>& corpus,
+                  const std::vector<SchemaId>& ids);
+
+}  // namespace schemr
+
+#endif  // SCHEMR_CORPUS_QUERY_WORKLOAD_H_

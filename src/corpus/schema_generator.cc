@@ -1,0 +1,128 @@
+#include "corpus/schema_generator.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace schemr {
+
+namespace {
+
+/// Schema-name suffixes seen in the wild.
+const char* kSchemaNameSuffixes[] = {"",      "db",     "data",  "records",
+                                     "table", "list",   "info",  "registry",
+                                     "log",   "archive"};
+
+std::string MakeSchemaName(const DomainConcept& dc, Rng* rng,
+                           NameStyle style) {
+  // Base the schema name on a (possibly noisy) entity or the concept's
+  // last id segment ("clinic_visits").
+  std::string base;
+  if (rng->NextBool(0.5) && !dc.entities.empty()) {
+    base = dc.entities[rng->NextBelow(dc.entities.size())].name;
+  } else {
+    size_t dot = dc.id.find('.');
+    base = dot == std::string::npos ? dc.id : dc.id.substr(dot + 1);
+  }
+  std::vector<std::string> words = CanonicalWords(base);
+  const char* suffix =
+      kSchemaNameSuffixes[rng->NextBelow(std::size(kSchemaNameSuffixes))];
+  if (*suffix != '\0') words.emplace_back(suffix);
+  return RenderName(words, style);
+}
+
+}  // namespace
+
+GeneratedSchema GenerateSchemaFromConcept(const DomainConcept& dc,
+                                          Rng* rng,
+                                          const CorpusOptions& options) {
+  // One style per schema: real schemas are internally consistent.
+  VariantOptions noise = options.name_noise;
+  noise.style = RandomStyle(rng);
+  // Attribute/entity names within a schema usually share the attribute
+  // style; entity names keep the same style too.
+
+  // Choose the entity subset.
+  std::vector<size_t> kept_entities;
+  for (size_t i = 0; i < dc.entities.size(); ++i) kept_entities.push_back(i);
+  if (kept_entities.size() > 1 && rng->NextBool(options.entity_dropout)) {
+    size_t victim = rng->NextBelow(kept_entities.size());
+    kept_entities.erase(kept_entities.begin() + static_cast<long>(victim));
+  }
+
+  Schema schema(MakeSchemaName(dc, rng, noise.style));
+  if (rng->NextBool(0.6)) {
+    schema.set_description(dc.description);
+  }
+  schema.set_source("synthetic://" + dc.id);
+
+  const auto& generic_pool = GenericAttributePool();
+  std::unordered_map<std::string, ElementId> entity_ids;
+  // First pass: entities and attributes.
+  struct PendingFk {
+    ElementId attribute;
+    std::string target_entity;  // canonical concept entity name
+  };
+  std::vector<PendingFk> pending;
+
+  for (size_t idx : kept_entities) {
+    const ConceptEntity& concept_entity = dc.entities[idx];
+    ElementId entity =
+        schema.AddEntity(MakeNameVariant(concept_entity.name, rng, noise));
+    entity_ids[concept_entity.name] = entity;
+
+    for (const ConceptAttribute& attr : concept_entity.attributes) {
+      if (!attr.core && rng->NextBool(options.attribute_dropout)) continue;
+      ElementId id = schema.AddAttribute(MakeNameVariant(attr.name, rng, noise),
+                                         entity, attr.type);
+      // FK attributes: canonical "<target>_id" names reference targets.
+      for (const std::string& target : concept_entity.references) {
+        if (StartsWith(attr.name, target) && EndsWith(attr.name, "_id")) {
+          pending.push_back(PendingFk{id, target});
+        }
+      }
+    }
+    // Generic noise attributes.
+    double expected = options.generic_attributes_per_entity;
+    while (expected > 0.0) {
+      if (rng->NextDouble() < std::min(1.0, expected)) {
+        const ConceptAttribute& extra =
+            generic_pool[rng->NextBelow(generic_pool.size())];
+        schema.AddAttribute(MakeNameVariant(extra.name, rng, noise), entity,
+                            extra.type);
+      }
+      expected -= 1.0;
+    }
+  }
+
+  // Second pass: resolve FKs among kept entities.
+  for (const PendingFk& fk : pending) {
+    auto it = entity_ids.find(fk.target_entity);
+    if (it != entity_ids.end()) {
+      schema.AddForeignKey(fk.attribute, it->second);
+    }
+  }
+
+  return GeneratedSchema{std::move(schema), dc.id};
+}
+
+std::vector<GeneratedSchema> GenerateCorpus(const CorpusOptions& options) {
+  const auto& concepts = BuiltinConcepts();
+  Rng rng(options.seed);
+  ZipfSampler sampler(concepts.size(), options.concept_skew);
+  // A fixed random permutation decouples Zipf rank from declaration order.
+  std::vector<size_t> order(concepts.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(&order);
+
+  std::vector<GeneratedSchema> corpus;
+  corpus.reserve(options.num_schemas);
+  for (size_t i = 0; i < options.num_schemas; ++i) {
+    const DomainConcept& dc = concepts[order[sampler.Sample(&rng)]];
+    corpus.push_back(GenerateSchemaFromConcept(dc, &rng, options));
+  }
+  return corpus;
+}
+
+}  // namespace schemr

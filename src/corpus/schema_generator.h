@@ -1,0 +1,54 @@
+// Synthetic schema corpus generator (DESIGN.md substitution #1).
+//
+// Derives noisy schema variants from the built-in domain concepts:
+// concept popularity is Zipf-skewed (web vocabularies are heavy-tailed),
+// non-core attributes drop out, generic attributes creep in, entity
+// subsets appear, and every name passes through the variantizer. The
+// concept id is recorded per schema, providing relevance ground truth.
+
+#ifndef SCHEMR_CORPUS_SCHEMA_GENERATOR_H_
+#define SCHEMR_CORPUS_SCHEMA_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "corpus/name_variants.h"
+#include "corpus/vocabulary.h"
+#include "schema/schema.h"
+#include "util/rng.h"
+
+namespace schemr {
+
+/// One generated schema with its provenance.
+struct GeneratedSchema {
+  Schema schema;
+  std::string concept_id;
+};
+
+struct CorpusOptions {
+  size_t num_schemas = 1000;
+  uint64_t seed = 42;
+  /// Zipf exponent of concept popularity (0 = uniform).
+  double concept_skew = 0.6;
+  /// Probability a non-core attribute is dropped.
+  double attribute_dropout = 0.25;
+  /// Expected number of generic noise attributes added per entity.
+  double generic_attributes_per_entity = 0.8;
+  /// Probability a multi-entity concept loses one of its entities (never
+  /// below one remaining entity; FKs into dropped entities disappear).
+  double entity_dropout = 0.2;
+  /// Name noise applied to every element.
+  VariantOptions name_noise;
+};
+
+/// Generates one schema variant of `concept`.
+GeneratedSchema GenerateSchemaFromConcept(const DomainConcept& dc,
+                                          Rng* rng,
+                                          const CorpusOptions& options);
+
+/// Generates a whole corpus over the built-in concept library.
+std::vector<GeneratedSchema> GenerateCorpus(const CorpusOptions& options);
+
+}  // namespace schemr
+
+#endif  // SCHEMR_CORPUS_SCHEMA_GENERATOR_H_

@@ -1,0 +1,42 @@
+// Simulated search histories for meta-learner training (DESIGN.md
+// substitution #5).
+//
+// The paper proposes logging real user searches to label (search term,
+// schema element) pairs. We synthesize the same signal from the concept
+// library: a positive pair is two independent noisy variants of the same
+// canonical attribute (embedded in tiny schemas so context/structure
+// matchers see realistic surroundings); a negative pair crosses two
+// different attributes. Feature vectors are the per-matcher scores of the
+// given ensemble, with optional label noise to model misclicks.
+
+#ifndef SCHEMR_CORPUS_SEARCH_HISTORY_H_
+#define SCHEMR_CORPUS_SEARCH_HISTORY_H_
+
+#include <vector>
+
+#include "corpus/name_variants.h"
+#include "match/ensemble.h"
+#include "match/meta_learner.h"
+#include "util/rng.h"
+
+namespace schemr {
+
+struct SearchHistoryOptions {
+  size_t num_records = 400;
+  uint64_t seed = 4242;
+  /// Fraction of positive (relevant) pairs.
+  double positive_fraction = 0.5;
+  /// Probability a label is flipped (user misclicks / noisy judgments).
+  double label_noise = 0.02;
+  /// Name noise applied independently to both sides of each pair.
+  VariantOptions name_noise;
+};
+
+/// Generates labeled training records whose features come from running
+/// `ensemble`'s matchers on pairs of single-attribute schemas.
+std::vector<TrainingRecord> SimulateSearchHistory(
+    const MatcherEnsemble& ensemble, const SearchHistoryOptions& options);
+
+}  // namespace schemr
+
+#endif  // SCHEMR_CORPUS_SEARCH_HISTORY_H_

@@ -1,0 +1,662 @@
+#include "corpus/vocabulary.h"
+
+#include <unordered_map>
+
+namespace schemr {
+
+namespace {
+
+using CA = ConceptAttribute;
+constexpr DataType kStr = DataType::kString;
+constexpr DataType kTxt = DataType::kText;
+constexpr DataType kI32 = DataType::kInt32;
+constexpr DataType kI64 = DataType::kInt64;
+constexpr DataType kDbl = DataType::kDouble;
+constexpr DataType kDec = DataType::kDecimal;
+constexpr DataType kBool = DataType::kBool;
+constexpr DataType kDate = DataType::kDate;
+constexpr DataType kDT = DataType::kDateTime;
+
+std::vector<DomainConcept> MakeConcepts() {
+  std::vector<DomainConcept> concepts;
+
+  // ----- health ----------------------------------------------------------
+  concepts.push_back(DomainConcept{
+      "health.clinic_visits",
+      "health",
+      "patients, doctors and treatment cases at a clinic",
+      {
+          {"patient",
+           {{"patient_id", kI64, true},
+            {"first_name", kStr, true},
+            {"last_name", kStr, true},
+            {"gender", kStr, true},
+            {"date_of_birth", kDate, true},
+            {"height", kDbl, true},
+            {"weight", kDbl, false},
+            {"blood_type", kStr, false},
+            {"phone_number", kStr, false},
+            {"village", kStr, false}},
+           {}},
+          {"doctor",
+           {{"doctor_id", kI64, true},
+            {"full_name", kStr, true},
+            {"gender", kStr, false},
+            {"specialty", kStr, true},
+            {"license_number", kStr, false}},
+           {}},
+          {"case",
+           {{"case_id", kI64, true},
+            {"patient_id", kI64, true},
+            {"doctor_id", kI64, true},
+            {"diagnosis", kStr, true},
+            {"treatment", kStr, true},
+            {"visit_date", kDate, true},
+            {"follow_up", kBool, false},
+            {"notes", kTxt, false}},
+           {"patient", "doctor"}},
+      }});
+
+  concepts.push_back(DomainConcept{
+      "health.hiv_program",
+      "health",
+      "HIV/AIDS treatment program enrollment and regimens",
+      {
+          {"client",
+           {{"client_id", kI64, true},
+            {"enrollment_date", kDate, true},
+            {"gender", kStr, true},
+            {"birth_year", kI32, true},
+            {"district", kStr, true},
+            {"marital_status", kStr, false}},
+           {}},
+          {"regimen",
+           {{"regimen_id", kI64, true},
+            {"regimen_name", kStr, true},
+            {"line", kI32, true},
+            {"daily_dose", kStr, false}},
+           {}},
+          {"dispensation",
+           {{"dispensation_id", kI64, true},
+            {"client_id", kI64, true},
+            {"regimen_id", kI64, true},
+            {"dispense_date", kDate, true},
+            {"pill_count", kI32, true},
+            {"adherence_percent", kDbl, false}},
+           {"client", "regimen"}},
+          {"lab_result",
+           {{"result_id", kI64, true},
+            {"client_id", kI64, true},
+            {"test_name", kStr, true},
+            {"cd4_count", kI32, true},
+            {"viral_load", kI64, true},
+            {"sample_date", kDate, true}},
+           {"client"}},
+      }});
+
+  concepts.push_back(DomainConcept{
+      "health.immunization",
+      "health",
+      "child immunization registry",
+      {
+          {"child",
+           {{"child_id", kI64, true},
+            {"full_name", kStr, true},
+            {"gender", kStr, true},
+            {"birth_date", kDate, true},
+            {"mother_name", kStr, false},
+            {"household", kStr, false}},
+           {}},
+          {"vaccine",
+           {{"vaccine_id", kI64, true},
+            {"vaccine_name", kStr, true},
+            {"doses_required", kI32, true},
+            {"manufacturer", kStr, false}},
+           {}},
+          {"immunization",
+           {{"record_id", kI64, true},
+            {"child_id", kI64, true},
+            {"vaccine_id", kI64, true},
+            {"dose_number", kI32, true},
+            {"given_date", kDate, true},
+            {"batch_number", kStr, false},
+            {"health_worker", kStr, false}},
+           {"child", "vaccine"}},
+      }});
+
+  concepts.push_back(DomainConcept{
+      "health.hospital_admissions",
+      "health",
+      "hospital ward admissions and discharges",
+      {
+          {"ward",
+           {{"ward_id", kI32, true},
+            {"ward_name", kStr, true},
+            {"capacity", kI32, true},
+            {"floor", kI32, false}},
+           {}},
+          {"admission",
+           {{"admission_id", kI64, true},
+            {"patient_name", kStr, true},
+            {"ward_id", kI32, true},
+            {"admission_date", kDT, true},
+            {"discharge_date", kDT, true},
+            {"primary_diagnosis", kStr, true},
+            {"outcome", kStr, false}},
+           {"ward"}},
+      }});
+
+  // ----- conservation ----------------------------------------------------
+  concepts.push_back(DomainConcept{
+      "conservation.species_observation",
+      "conservation",
+      "field observations of species at monitoring sites",
+      {
+          {"site",
+           {{"site_id", kI64, true},
+            {"site_name", kStr, true},
+            {"latitude", kDbl, true},
+            {"longitude", kDbl, true},
+            {"habitat_type", kStr, true},
+            {"elevation", kDbl, false},
+            {"protected", kBool, false}},
+           {}},
+          {"species",
+           {{"species_id", kI64, true},
+            {"scientific_name", kStr, true},
+            {"common_name", kStr, true},
+            {"taxon_family", kStr, false},
+            {"conservation_status", kStr, true}},
+           {}},
+          {"observation",
+           {{"observation_id", kI64, true},
+            {"site_id", kI64, true},
+            {"species_id", kI64, true},
+            {"observed_at", kDT, true},
+            {"count", kI32, true},
+            {"observer_name", kStr, false},
+            {"method", kStr, false},
+            {"weather", kStr, false}},
+           {"site", "species"}},
+      }});
+
+  concepts.push_back(DomainConcept{
+      "conservation.water_quality",
+      "conservation",
+      "water quality sampling of rivers and lakes",
+      {
+          {"station",
+           {{"station_id", kI64, true},
+            {"station_name", kStr, true},
+            {"water_body", kStr, true},
+            {"latitude", kDbl, true},
+            {"longitude", kDbl, true}},
+           {}},
+          {"sample",
+           {{"sample_id", kI64, true},
+            {"station_id", kI64, true},
+            {"sample_date", kDate, true},
+            {"temperature", kDbl, true},
+            {"ph", kDbl, true},
+            {"dissolved_oxygen", kDbl, true},
+            {"turbidity", kDbl, false},
+            {"nitrate", kDbl, false},
+            {"phosphate", kDbl, false}},
+           {"station"}},
+      }});
+
+  concepts.push_back(DomainConcept{
+      "conservation.forest_plots",
+      "conservation",
+      "forest inventory plots and tree measurements",
+      {
+          {"plot",
+           {{"plot_id", kI64, true},
+            {"plot_code", kStr, true},
+            {"area_hectares", kDbl, true},
+            {"forest_type", kStr, true},
+            {"established", kDate, false}},
+           {}},
+          {"tree",
+           {{"tree_id", kI64, true},
+            {"plot_id", kI64, true},
+            {"species_name", kStr, true},
+            {"diameter_cm", kDbl, true},
+            {"height_m", kDbl, true},
+            {"health_status", kStr, false},
+            {"tag_number", kStr, false}},
+           {"plot"}},
+      }});
+
+  concepts.push_back(DomainConcept{
+      "conservation.ranger_patrols",
+      "conservation",
+      "ranger patrol logs and incident reports",
+      {
+          {"ranger",
+           {{"ranger_id", kI64, true},
+            {"ranger_name", kStr, true},
+            {"station", kStr, true}},
+           {}},
+          {"patrol",
+           {{"patrol_id", kI64, true},
+            {"ranger_id", kI64, true},
+            {"patrol_date", kDate, true},
+            {"distance_km", kDbl, true},
+            {"sector", kStr, true}},
+           {"ranger"}},
+          {"incident",
+           {{"incident_id", kI64, true},
+            {"patrol_id", kI64, true},
+            {"incident_type", kStr, true},
+            {"severity", kI32, true},
+            {"description", kTxt, false},
+            {"latitude", kDbl, false},
+            {"longitude", kDbl, false}},
+           {"patrol"}},
+      }});
+
+  // ----- retail -----------------------------------------------------------
+  concepts.push_back(DomainConcept{
+      "retail.orders",
+      "retail",
+      "customers, products and orders of a web shop",
+      {
+          {"customer",
+           {{"customer_id", kI64, true},
+            {"first_name", kStr, true},
+            {"last_name", kStr, true},
+            {"email", kStr, true},
+            {"phone", kStr, false},
+            {"shipping_address", kStr, true},
+            {"city", kStr, false},
+            {"postal_code", kStr, false}},
+           {}},
+          {"product",
+           {{"product_id", kI64, true},
+            {"product_name", kStr, true},
+            {"category", kStr, true},
+            {"unit_price", kDec, true},
+            {"stock_quantity", kI32, true},
+            {"sku", kStr, false}},
+           {}},
+          {"order",
+           {{"order_id", kI64, true},
+            {"customer_id", kI64, true},
+            {"order_date", kDT, true},
+            {"status", kStr, true},
+            {"total_amount", kDec, true}},
+           {"customer"}},
+          {"order_item",
+           {{"item_id", kI64, true},
+            {"order_id", kI64, true},
+            {"product_id", kI64, true},
+            {"quantity", kI32, true},
+            {"unit_price", kDec, true},
+            {"discount", kDec, false}},
+           {"order", "product"}},
+      }});
+
+  concepts.push_back(DomainConcept{
+      "retail.inventory",
+      "retail",
+      "warehouse inventory and stock movements",
+      {
+          {"warehouse",
+           {{"warehouse_id", kI32, true},
+            {"warehouse_name", kStr, true},
+            {"location", kStr, true},
+            {"capacity", kI32, false}},
+           {}},
+          {"stock_item",
+           {{"stock_id", kI64, true},
+            {"warehouse_id", kI32, true},
+            {"item_name", kStr, true},
+            {"quantity_on_hand", kI32, true},
+            {"reorder_level", kI32, true},
+            {"last_counted", kDate, false}},
+           {"warehouse"}},
+          {"movement",
+           {{"movement_id", kI64, true},
+            {"stock_id", kI64, true},
+            {"movement_type", kStr, true},
+            {"quantity", kI32, true},
+            {"moved_at", kDT, true},
+            {"reference", kStr, false}},
+           {"stock_item"}},
+      }});
+
+  concepts.push_back(DomainConcept{
+      "retail.suppliers",
+      "retail",
+      "suppliers and purchase orders",
+      {
+          {"supplier",
+           {{"supplier_id", kI64, true},
+            {"supplier_name", kStr, true},
+            {"contact_name", kStr, false},
+            {"email", kStr, true},
+            {"country", kStr, true},
+            {"rating", kI32, false}},
+           {}},
+          {"purchase_order",
+           {{"po_id", kI64, true},
+            {"supplier_id", kI64, true},
+            {"issued_date", kDate, true},
+            {"expected_delivery", kDate, true},
+            {"total_cost", kDec, true},
+            {"currency", kStr, false},
+            {"approved", kBool, false}},
+           {"supplier"}},
+      }});
+
+  // ----- education --------------------------------------------------------
+  concepts.push_back(DomainConcept{
+      "education.enrollment",
+      "education",
+      "students, courses and enrollment records",
+      {
+          {"student",
+           {{"student_id", kI64, true},
+            {"first_name", kStr, true},
+            {"last_name", kStr, true},
+            {"gender", kStr, false},
+            {"birth_date", kDate, true},
+            {"grade_level", kI32, true},
+            {"guardian_name", kStr, false}},
+           {}},
+          {"course",
+           {{"course_id", kI64, true},
+            {"course_name", kStr, true},
+            {"subject", kStr, true},
+            {"credits", kI32, true},
+            {"teacher_name", kStr, false}},
+           {}},
+          {"enrollment",
+           {{"enrollment_id", kI64, true},
+            {"student_id", kI64, true},
+            {"course_id", kI64, true},
+            {"term", kStr, true},
+            {"final_grade", kStr, true},
+            {"attendance_percent", kDbl, false}},
+           {"student", "course"}},
+      }});
+
+  concepts.push_back(DomainConcept{
+      "education.exams",
+      "education",
+      "exam sessions and per-student scores",
+      {
+          {"exam",
+           {{"exam_id", kI64, true},
+            {"exam_name", kStr, true},
+            {"subject", kStr, true},
+            {"exam_date", kDate, true},
+            {"max_score", kI32, true}},
+           {}},
+          {"score",
+           {{"score_id", kI64, true},
+            {"exam_id", kI64, true},
+            {"student_name", kStr, true},
+            {"points", kDbl, true},
+            {"percentile", kDbl, false},
+            {"passed", kBool, true}},
+           {"exam"}},
+      }});
+
+  concepts.push_back(DomainConcept{
+      "education.library",
+      "education",
+      "school library catalog and loans",
+      {
+          {"book",
+           {{"book_id", kI64, true},
+            {"title", kStr, true},
+            {"author", kStr, true},
+            {"isbn", kStr, true},
+            {"publisher", kStr, false},
+            {"publication_year", kI32, false},
+            {"copies", kI32, true}},
+           {}},
+          {"loan",
+           {{"loan_id", kI64, true},
+            {"book_id", kI64, true},
+            {"borrower_name", kStr, true},
+            {"loan_date", kDate, true},
+            {"due_date", kDate, true},
+            {"returned", kBool, true}},
+           {"book"}},
+      }});
+
+  // ----- finance ----------------------------------------------------------
+  concepts.push_back(DomainConcept{
+      "finance.accounts",
+      "finance",
+      "bank accounts and transactions",
+      {
+          {"account",
+           {{"account_id", kI64, true},
+            {"account_number", kStr, true},
+            {"holder_name", kStr, true},
+            {"account_type", kStr, true},
+            {"balance", kDec, true},
+            {"currency", kStr, true},
+            {"opened_date", kDate, false}},
+           {}},
+          {"transaction",
+           {{"transaction_id", kI64, true},
+            {"account_id", kI64, true},
+            {"amount", kDec, true},
+            {"transaction_type", kStr, true},
+            {"posted_at", kDT, true},
+            {"counterparty", kStr, false},
+            {"memo", kStr, false}},
+           {"account"}},
+      }});
+
+  concepts.push_back(DomainConcept{
+      "finance.payroll",
+      "finance",
+      "employee payroll and salary payments",
+      {
+          {"employee",
+           {{"employee_id", kI64, true},
+            {"full_name", kStr, true},
+            {"department", kStr, true},
+            {"position", kStr, true},
+            {"hire_date", kDate, true},
+            {"base_salary", kDec, true}},
+           {}},
+          {"payment",
+           {{"payment_id", kI64, true},
+            {"employee_id", kI64, true},
+            {"pay_period", kStr, true},
+            {"gross_amount", kDec, true},
+            {"tax_withheld", kDec, true},
+            {"net_amount", kDec, true},
+            {"paid_date", kDate, true}},
+           {"employee"}},
+      }});
+
+  concepts.push_back(DomainConcept{
+      "finance.budget",
+      "finance",
+      "organizational budget lines and expenditures",
+      {
+          {"budget_line",
+           {{"line_id", kI64, true},
+            {"line_name", kStr, true},
+            {"fiscal_year", kI32, true},
+            {"allocated_amount", kDec, true},
+            {"department", kStr, true}},
+           {}},
+          {"expenditure",
+           {{"expenditure_id", kI64, true},
+            {"line_id", kI64, true},
+            {"amount", kDec, true},
+            {"spent_date", kDate, true},
+            {"vendor", kStr, false},
+            {"description", kTxt, false}},
+           {"budget_line"}},
+      }});
+
+  // ----- web (generic web-table fare) --------------------------------------
+  concepts.push_back(DomainConcept{
+      "web.movies",
+      "web",
+      "movie listings with cast and ratings",
+      {
+          {"movie",
+           {{"movie_id", kI64, true},
+            {"title", kStr, true},
+            {"release_year", kI32, true},
+            {"genre", kStr, true},
+            {"director", kStr, true},
+            {"runtime_minutes", kI32, false},
+            {"rating", kDbl, true}},
+           {}},
+          {"cast_member",
+           {{"cast_id", kI64, true},
+            {"movie_id", kI64, true},
+            {"actor_name", kStr, true},
+            {"role", kStr, true}},
+           {"movie"}},
+      }});
+
+  concepts.push_back(DomainConcept{
+      "web.events",
+      "web",
+      "public event calendar with venues",
+      {
+          {"venue",
+           {{"venue_id", kI64, true},
+            {"venue_name", kStr, true},
+            {"city", kStr, true},
+            {"address", kStr, true},
+            {"capacity", kI32, false}},
+           {}},
+          {"event",
+           {{"event_id", kI64, true},
+            {"venue_id", kI64, true},
+            {"event_name", kStr, true},
+            {"category", kStr, true},
+            {"start_time", kDT, true},
+            {"end_time", kDT, false},
+            {"ticket_price", kDec, false}},
+           {"venue"}},
+      }});
+
+  concepts.push_back(DomainConcept{
+      "web.recipes",
+      "web",
+      "recipes and their ingredients",
+      {
+          {"recipe",
+           {{"recipe_id", kI64, true},
+            {"recipe_name", kStr, true},
+            {"cuisine", kStr, true},
+            {"prep_minutes", kI32, true},
+            {"servings", kI32, true},
+            {"difficulty", kStr, false}},
+           {}},
+          {"ingredient",
+           {{"ingredient_id", kI64, true},
+            {"recipe_id", kI64, true},
+            {"ingredient_name", kStr, true},
+            {"quantity", kDbl, true},
+            {"unit", kStr, true}},
+           {"recipe"}},
+      }});
+
+  concepts.push_back(DomainConcept{
+      "web.real_estate",
+      "web",
+      "property listings with agents",
+      {
+          {"agent",
+           {{"agent_id", kI64, true},
+            {"agent_name", kStr, true},
+            {"agency", kStr, true},
+            {"phone", kStr, true}},
+           {}},
+          {"listing",
+           {{"listing_id", kI64, true},
+            {"agent_id", kI64, true},
+            {"address", kStr, true},
+            {"city", kStr, true},
+            {"price", kDec, true},
+            {"bedrooms", kI32, true},
+            {"bathrooms", kI32, true},
+            {"square_meters", kDbl, true},
+            {"listed_date", kDate, false}},
+           {"agent"}},
+      }});
+
+  concepts.push_back(DomainConcept{
+      "web.sports_league",
+      "web",
+      "sports league standings and match results",
+      {
+          {"team",
+           {{"team_id", kI64, true},
+            {"team_name", kStr, true},
+            {"city", kStr, true},
+            {"coach", kStr, false},
+            {"founded_year", kI32, false}},
+           {}},
+          {"match",
+           {{"match_id", kI64, true},
+            {"home_team_id", kI64, true},
+            {"away_team_id", kI64, true},
+            {"match_date", kDate, true},
+            {"home_score", kI32, true},
+            {"away_score", kI32, true},
+            {"attendance", kI32, false}},
+           {"team"}},
+      }});
+
+  return concepts;
+}
+
+std::vector<ConceptAttribute> MakeGenericPool() {
+  return {
+      {"id", kI64, false},          {"name", kStr, false},
+      {"code", kStr, false},        {"status", kStr, false},
+      {"type", kStr, false},        {"notes", kTxt, false},
+      {"description", kTxt, false}, {"created_at", kDT, false},
+      {"updated_at", kDT, false},   {"created_by", kStr, false},
+      {"active", kBool, false},     {"version", kI32, false},
+      {"comment", kTxt, false},     {"source", kStr, false},
+      {"url", kStr, false},         {"rank", kI32, false},
+      {"count", kI32, false},       {"value", kDbl, false},
+  };
+}
+
+}  // namespace
+
+const std::vector<DomainConcept>& BuiltinConcepts() {
+  static const std::vector<DomainConcept> concepts = MakeConcepts();
+  return concepts;
+}
+
+std::vector<const DomainConcept*> ConceptsInDomain(const std::string& domain) {
+  std::vector<const DomainConcept*> out;
+  for (const DomainConcept& dc : BuiltinConcepts()) {
+    if (dc.domain == domain) out.push_back(&dc);
+  }
+  return out;
+}
+
+const DomainConcept* FindConcept(const std::string& id) {
+  for (const DomainConcept& dc : BuiltinConcepts()) {
+    if (dc.id == id) return &dc;
+  }
+  return nullptr;
+}
+
+const std::vector<ConceptAttribute>& GenericAttributePool() {
+  static const std::vector<ConceptAttribute> pool = MakeGenericPool();
+  return pool;
+}
+
+}  // namespace schemr

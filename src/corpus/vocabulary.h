@@ -1,0 +1,68 @@
+// Domain vocabularies behind the synthetic schema corpus.
+//
+// The paper's corpus is 30,000 public schemas distilled from 10M web
+// tables (WebTables, VLDB'08) -- proprietary data we substitute per
+// DESIGN.md §3.1. A *concept* is a coherent mini-domain model (e.g. a
+// clinic's patient/case/doctor schema); the generator derives many noisy
+// schema variants from each concept, so concept identity doubles as
+// relevance ground truth for the quality benchmarks.
+//
+// Domains were chosen to mirror the paper's motivating settings (rural
+// health systems, conservation monitoring) plus typical web-table fare
+// (retail, education, finance, generic web content).
+
+#ifndef SCHEMR_CORPUS_VOCABULARY_H_
+#define SCHEMR_CORPUS_VOCABULARY_H_
+
+#include <string>
+#include <vector>
+
+#include "schema/element.h"
+#include "text/lexicon.h"
+
+namespace schemr {
+
+/// Attribute blueprint within a concept entity.
+struct ConceptAttribute {
+  std::string name;
+  DataType type = DataType::kString;
+  /// Core attributes survive attribute dropout; they define the concept.
+  bool core = false;
+};
+
+/// Entity blueprint: name, attributes, FK targets (entity names within the
+/// same concept).
+struct ConceptEntity {
+  std::string name;
+  std::vector<ConceptAttribute> attributes;
+  std::vector<std::string> references;
+};
+
+/// A generatable mini-domain model.
+struct DomainConcept {
+  std::string id;      ///< stable identifier, e.g. "health.clinic_visits"
+  std::string domain;  ///< "health", "conservation", ...
+  std::string description;
+  std::vector<ConceptEntity> entities;
+};
+
+/// The built-in concept library (constructed once, ~30 concepts over 6
+/// domains).
+const std::vector<DomainConcept>& BuiltinConcepts();
+
+/// Concepts of one domain.
+std::vector<const DomainConcept*> ConceptsInDomain(const std::string& domain);
+
+/// Finds a concept by id; nullptr if unknown.
+const DomainConcept* FindConcept(const std::string& id);
+
+/// Generic attribute names (id, status, notes, ...) mixed into generated
+/// schemas as noise.
+const std::vector<ConceptAttribute>& GenericAttributePool();
+
+// Abbreviation/synonym tables live in text/lexicon.h (shared with the
+// name matcher); included here for existing callers.
+
+}  // namespace schemr
+
+#endif  // SCHEMR_CORPUS_VOCABULARY_H_

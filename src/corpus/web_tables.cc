@@ -1,0 +1,169 @@
+#include "corpus/web_tables.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "corpus/name_variants.h"
+#include "corpus/vocabulary.h"
+#include "util/string_util.h"
+
+namespace schemr {
+
+namespace {
+
+/// A distinct "shape": caption plus column list, derived from a concept
+/// entity with name noise applied once (re-used verbatim by every page
+/// that shows this table).
+struct TableShape {
+  RawWebTable table;
+};
+
+std::vector<TableShape> MakeShapes(const WebTableGenOptions& options,
+                                   Rng* rng) {
+  const auto& concepts = BuiltinConcepts();
+  std::vector<TableShape> shapes;
+  shapes.reserve(options.distinct_shapes);
+  for (size_t i = 0; i < options.distinct_shapes; ++i) {
+    const DomainConcept& dc = concepts[rng->NextBelow(concepts.size())];
+    const ConceptEntity& entity =
+        dc.entities[rng->NextBelow(dc.entities.size())];
+    VariantOptions noise;
+    // Web-table headers favour spaced and squashed styles.
+    noise.style = rng->NextBool(0.5) ? NameStyle::kSpaced : RandomStyle(rng);
+    TableShape shape;
+    shape.table.caption = MakeNameVariant(entity.name, rng, noise);
+    for (const ConceptAttribute& attr : entity.attributes) {
+      if (!attr.core && rng->NextBool(0.3)) continue;
+      shape.table.columns.push_back(MakeNameVariant(attr.name, rng, noise));
+    }
+    shapes.push_back(std::move(shape));
+  }
+  return shapes;
+}
+
+RawWebTable MakeJunkTable(Rng* rng) {
+  static const char* kJunkHeaders[] = {
+      "col#1", "col#2",  "%",     "$ amount", "n/a",    "value*",
+      "1",     "2",      "3",     "id?",      "-",      "page>>",
+      "a+b",   "x(y)",   "total:", "<img>",   "€ price", "«name»",
+  };
+  RawWebTable table;
+  table.caption = "table";
+  size_t cols = 2 + rng->NextBelow(5);
+  for (size_t i = 0; i < cols; ++i) {
+    table.columns.emplace_back(
+        kJunkHeaders[rng->NextBelow(std::size(kJunkHeaders))]);
+  }
+  return table;
+}
+
+RawWebTable MakeTrivialTable(Rng* rng) {
+  static const char* kTinyHeaders[] = {"name", "value", "rank", "score",
+                                       "year", "count", "total", "item"};
+  RawWebTable table;
+  table.caption = "list";
+  size_t cols = 1 + rng->NextBelow(3);  // 1..3 columns: always trivial
+  for (size_t i = 0; i < cols; ++i) {
+    table.columns.emplace_back(
+        kTinyHeaders[rng->NextBelow(std::size(kTinyHeaders))]);
+  }
+  return table;
+}
+
+}  // namespace
+
+std::vector<RawWebTable> GenerateRawWebTables(
+    const WebTableGenOptions& options) {
+  Rng rng(options.seed);
+  std::vector<TableShape> shapes = MakeShapes(options, &rng);
+  ZipfSampler popularity(shapes.size(), options.popularity_skew);
+
+  std::vector<RawWebTable> tables;
+  tables.reserve(options.num_tables);
+  for (size_t i = 0; i < options.num_tables; ++i) {
+    double roll = rng.NextDouble();
+    if (roll < options.junk_fraction) {
+      tables.push_back(MakeJunkTable(&rng));
+    } else if (roll < options.junk_fraction + options.trivial_fraction) {
+      tables.push_back(MakeTrivialTable(&rng));
+    } else {
+      tables.push_back(shapes[popularity.Sample(&rng)].table);
+    }
+  }
+  rng.Shuffle(&tables);
+  return tables;
+}
+
+bool IsNonAlphabeticTable(const RawWebTable& table) {
+  for (const std::string& column : table.columns) {
+    if (!IsMostlyAlphabetic(column)) return true;
+  }
+  return false;
+}
+
+bool IsTrivialTable(const RawWebTable& table) {
+  return table.columns.size() <= 3;
+}
+
+std::string TableFingerprint(const RawWebTable& table) {
+  std::vector<std::string> normalized;
+  normalized.reserve(table.columns.size());
+  for (const std::string& column : table.columns) {
+    normalized.push_back(ToLowerAscii(column));
+  }
+  std::sort(normalized.begin(), normalized.end());
+  return ToLowerAscii(table.caption) + "|" + Join(normalized, "|");
+}
+
+std::vector<Schema> FilterWebTables(const std::vector<RawWebTable>& tables,
+                                    WebTableFilterStats* stats) {
+  WebTableFilterStats local;
+  local.input = tables.size();
+
+  // First pass: count fingerprints of structurally acceptable tables.
+  std::unordered_map<std::string, size_t> fingerprint_counts;
+  for (const RawWebTable& table : tables) {
+    if (IsNonAlphabeticTable(table) || IsTrivialTable(table)) continue;
+    ++fingerprint_counts[TableFingerprint(table)];
+  }
+
+  // Second pass: apply the three rules in the paper's order and collapse
+  // duplicates (keeping the first occurrence).
+  std::vector<Schema> schemas;
+  std::unordered_map<std::string, bool> emitted;
+  for (const RawWebTable& table : tables) {
+    if (IsNonAlphabeticTable(table)) {
+      ++local.dropped_non_alphabetic;
+      continue;
+    }
+    if (IsTrivialTable(table)) {
+      ++local.dropped_trivial;
+      continue;
+    }
+    std::string fingerprint = TableFingerprint(table);
+    size_t count = fingerprint_counts[fingerprint];
+    if (count <= 1) {
+      ++local.dropped_singleton;
+      continue;
+    }
+    if (emitted[fingerprint]) {
+      ++local.duplicates_collapsed;
+      continue;
+    }
+    emitted[fingerprint] = true;
+
+    Schema schema(table.caption);
+    schema.set_source("webtable://synthetic");
+    ElementId entity = schema.AddEntity(table.caption);
+    for (const std::string& column : table.columns) {
+      schema.AddAttribute(column, entity, DataType::kString);
+    }
+    schemas.push_back(std::move(schema));
+    ++local.kept;
+  }
+  if (stats != nullptr) *stats = local;
+  return schemas;
+}
+
+}  // namespace schemr

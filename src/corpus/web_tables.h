@@ -1,0 +1,74 @@
+// Web-table corpus preparation (paper Sec. Applications).
+//
+// "These schemas came from a collection of 10 million HTML tables, and
+// were filtered by removing schemas containing non-alphabetical
+// characters, schemas that only appeared once on the web, and trivial
+// schemas with three or less elements."
+//
+// GenerateRawWebTables produces a synthetic raw crawl with the failure
+// modes that filter exists for: junk headers with symbols/digits, tiny
+// tables, and a popularity distribution where most distinct schemas occur
+// once; FilterWebTables applies exactly the paper's three rules and
+// reports per-rule drop counts.
+
+#ifndef SCHEMR_CORPUS_WEB_TABLES_H_
+#define SCHEMR_CORPUS_WEB_TABLES_H_
+
+#include <string>
+#include <vector>
+
+#include "schema/schema.h"
+#include "util/rng.h"
+
+namespace schemr {
+
+/// One raw table scraped from a page: a caption and column headers.
+struct RawWebTable {
+  std::string caption;
+  std::vector<std::string> columns;
+};
+
+struct WebTableGenOptions {
+  size_t num_tables = 10000;
+  uint64_t seed = 7;
+  /// Fraction of junk tables (symbol/numeric headers).
+  double junk_fraction = 0.25;
+  /// Fraction of trivial tables (≤3 columns).
+  double trivial_fraction = 0.2;
+  /// Zipf exponent of table-schema popularity: high skew means a few
+  /// schemas repeat across many pages while the long tail appears once.
+  double popularity_skew = 1.3;
+  /// Number of distinct underlying table shapes drawn from the concepts.
+  /// Large relative to num_tables so the popularity tail really is
+  /// singletons (the paper's second filter rule exists for a reason).
+  size_t distinct_shapes = 2000;
+};
+
+/// Generates a raw crawl.
+std::vector<RawWebTable> GenerateRawWebTables(const WebTableGenOptions& options);
+
+/// Per-rule accounting of one filter run.
+struct WebTableFilterStats {
+  size_t input = 0;
+  size_t dropped_non_alphabetic = 0;
+  size_t dropped_singleton = 0;
+  size_t dropped_trivial = 0;
+  size_t duplicates_collapsed = 0;
+  size_t kept = 0;
+};
+
+/// Applies the paper's filter and converts the survivors into
+/// single-entity schemas (one table = one entity whose attributes are the
+/// columns). Identical column sets collapse into one schema.
+std::vector<Schema> FilterWebTables(const std::vector<RawWebTable>& tables,
+                                    WebTableFilterStats* stats);
+
+/// Rule predicates, exposed for unit tests.
+bool IsNonAlphabeticTable(const RawWebTable& table);
+bool IsTrivialTable(const RawWebTable& table);
+/// Canonical fingerprint used for duplicate/singleton detection.
+std::string TableFingerprint(const RawWebTable& table);
+
+}  // namespace schemr
+
+#endif  // SCHEMR_CORPUS_WEB_TABLES_H_

@@ -1,0 +1,79 @@
+#include "eval/ir_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace schemr {
+
+double PrecisionAtK(const std::vector<uint64_t>& ranking,
+                    const RelevantSet& relevant, size_t k) {
+  if (ranking.empty() || k == 0) return 0.0;
+  k = std::min(k, ranking.size());
+  size_t hits = 0;
+  for (size_t i = 0; i < k; ++i) {
+    if (relevant.count(ranking[i])) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double RecallAtK(const std::vector<uint64_t>& ranking,
+                 const RelevantSet& relevant, size_t k) {
+  if (relevant.empty()) return 0.0;
+  k = std::min(k, ranking.size());
+  size_t hits = 0;
+  for (size_t i = 0; i < k; ++i) {
+    if (relevant.count(ranking[i])) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(relevant.size());
+}
+
+double ReciprocalRank(const std::vector<uint64_t>& ranking,
+                      const RelevantSet& relevant) {
+  for (size_t i = 0; i < ranking.size(); ++i) {
+    if (relevant.count(ranking[i])) {
+      return 1.0 / static_cast<double>(i + 1);
+    }
+  }
+  return 0.0;
+}
+
+double AveragePrecision(const std::vector<uint64_t>& ranking,
+                        const RelevantSet& relevant) {
+  if (relevant.empty()) return 0.0;
+  size_t hits = 0;
+  double sum = 0.0;
+  for (size_t i = 0; i < ranking.size(); ++i) {
+    if (relevant.count(ranking[i])) {
+      ++hits;
+      sum += static_cast<double>(hits) / static_cast<double>(i + 1);
+    }
+  }
+  return sum / static_cast<double>(relevant.size());
+}
+
+double NdcgAtK(const std::vector<uint64_t>& ranking,
+               const RelevantSet& relevant, size_t k) {
+  if (relevant.empty() || k == 0) return 0.0;
+  k = std::min(k, ranking.size());
+  double dcg = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    if (relevant.count(ranking[i])) {
+      dcg += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+    }
+  }
+  size_t ideal_hits = std::min(relevant.size(), k);
+  double idcg = 0.0;
+  for (size_t i = 0; i < ideal_hits; ++i) {
+    idcg += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+  }
+  return idcg == 0.0 ? 0.0 : dcg / idcg;
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+}  // namespace schemr

@@ -1,0 +1,48 @@
+// Standard IR quality metrics over ranked result lists.
+//
+// The demo paper makes only qualitative claims; these metrics quantify
+// them in the benches: precision/recall at k, mean reciprocal rank,
+// average precision, and nDCG with binary relevance.
+
+#ifndef SCHEMR_EVAL_IR_METRICS_H_
+#define SCHEMR_EVAL_IR_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace schemr {
+
+/// Binary relevance set keyed by document/schema id.
+using RelevantSet = std::unordered_set<uint64_t>;
+
+/// Fraction of the first k ranked ids that are relevant. k is clamped to
+/// the ranking length; returns 0 for empty rankings.
+double PrecisionAtK(const std::vector<uint64_t>& ranking,
+                    const RelevantSet& relevant, size_t k);
+
+/// Fraction of relevant ids found in the first k. Returns 0 when the
+/// relevant set is empty.
+double RecallAtK(const std::vector<uint64_t>& ranking,
+                 const RelevantSet& relevant, size_t k);
+
+/// 1/rank of the first relevant result (0 if none appear).
+double ReciprocalRank(const std::vector<uint64_t>& ranking,
+                      const RelevantSet& relevant);
+
+/// Average precision: mean of precision@i over relevant positions i,
+/// normalized by |relevant| (standard AP).
+double AveragePrecision(const std::vector<uint64_t>& ranking,
+                        const RelevantSet& relevant);
+
+/// Normalized discounted cumulative gain at k with binary gains.
+double NdcgAtK(const std::vector<uint64_t>& ranking,
+               const RelevantSet& relevant, size_t k);
+
+/// Aggregates per-query metric values (mean); empty input yields 0.
+double Mean(const std::vector<double>& values);
+
+}  // namespace schemr
+
+#endif  // SCHEMR_EVAL_IR_METRICS_H_

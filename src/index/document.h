@@ -1,0 +1,46 @@
+// The document model of the schema index.
+//
+// "Each schema in the index is represented as a document, for which we
+// store a title, a summary, an ID, and a flattened representation of each
+// element in the schema." (paper Sec. 2, Candidate Extraction)
+
+#ifndef SCHEMR_INDEX_DOCUMENT_H_
+#define SCHEMR_INDEX_DOCUMENT_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace schemr {
+
+/// Indexed fields of a schema document.
+enum class Field : uint8_t {
+  kTitle = 0,    ///< schema name
+  kSummary = 1,  ///< schema description + element documentation
+  kBody = 2,     ///< flattened element names (one text per element)
+};
+
+inline constexpr size_t kNumFields = 3;
+
+/// Default per-field score boosts: a hit on the schema name is worth more
+/// than a hit on one of many element names.
+inline constexpr std::array<double, kNumFields> kDefaultFieldBoosts = {
+    2.0,  // title
+    1.0,  // summary
+    1.5,  // body
+};
+
+/// A schema flattened for indexing. `body` holds one string per element
+/// (names joined with their path context), preserving element order so
+/// positions approximate structural proximity.
+struct Document {
+  uint64_t external_id = 0;  ///< SchemaId in the repository
+  std::string title;
+  std::string summary;
+  std::vector<std::string> body;
+};
+
+}  // namespace schemr
+
+#endif  // SCHEMR_INDEX_DOCUMENT_H_

@@ -1,0 +1,112 @@
+// In-memory inverted index with on-disk persistence.
+//
+// "Our inverted index stores a term dictionary of frequency data,
+// proximity data, and normalization factors, providing a fast and scalable
+// filter for relevant candidate schemas." (paper Sec. 2)
+//
+// The term dictionary maps (field, term) to a posting list; each posting
+// carries the in-document term frequency and token positions (proximity
+// data). Per-document, per-field token counts provide the length
+// normalization factors. Documents are addressed internally by dense
+// ordinals; external ids (SchemaIds) are kept alongside. Deletion marks a
+// tombstone bit that searches skip; Vacuum() (called by the offline
+// indexer between scheduled rebuilds) rewrites the index without them.
+
+#ifndef SCHEMR_INDEX_INVERTED_INDEX_H_
+#define SCHEMR_INDEX_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "index/document.h"
+#include "text/analyzer.h"
+#include "util/status.h"
+
+namespace schemr {
+
+/// One document's occurrence of a term in one field.
+struct Posting {
+  uint32_t doc = 0;  ///< internal ordinal
+  uint32_t tf = 0;   ///< term frequency in the field
+  std::vector<uint32_t> positions;
+};
+
+/// Per-document stored metadata.
+struct DocInfo {
+  uint64_t external_id = 0;
+  std::string title;
+  std::array<uint32_t, kNumFields> field_lengths = {0, 0, 0};
+  bool deleted = false;
+};
+
+/// The index. Not thread-safe for concurrent mutation; concurrent reads
+/// are safe once building is done.
+class InvertedIndex {
+ public:
+  explicit InvertedIndex(AnalyzerOptions analyzer_options = {})
+      : analyzer_(analyzer_options) {}
+
+  /// Analyzes and adds one document. Duplicate external ids are rejected
+  /// with AlreadyExists (remove first to replace).
+  Status AddDocument(const Document& doc);
+
+  /// Tombstones the document with this external id. NotFound if absent.
+  Status RemoveDocument(uint64_t external_id);
+
+  /// True if present and not deleted.
+  bool ContainsDocument(uint64_t external_id) const;
+
+  /// Live document count.
+  size_t NumDocs() const { return live_docs_; }
+  /// Total documents including tombstones (internal ordinal space).
+  size_t TotalDocSlots() const { return docs_.size(); }
+  /// Distinct (field, term) entries.
+  size_t NumTerms() const { return postings_.size(); }
+
+  /// Posting list for a term in a field, or nullptr if unseen. The term
+  /// must already be analyzer-normalized (see analyzer()).
+  const std::vector<Posting>* GetPostings(Field field,
+                                          std::string_view term) const;
+
+  /// Document frequency: number of documents (including tombstoned; callers
+  /// compare against NumDocs) containing the term in the field.
+  size_t DocFreq(Field field, std::string_view term) const;
+
+  const DocInfo& doc_info(uint32_t ordinal) const { return docs_[ordinal]; }
+
+  const Analyzer& analyzer() const { return analyzer_; }
+
+  /// Rewrites the index dropping tombstoned documents (reassigns
+  /// ordinals).
+  void Vacuum();
+
+  /// Serializes the whole index to `path` ("segment file"): varint
+  /// delta-encoded postings with a CRC32 footer.
+  Status Save(const std::string& path) const;
+
+  /// Loads an index previously written by Save. The analyzer options are
+  /// restored from the file so query analysis matches index analysis.
+  static Result<InvertedIndex> Load(const std::string& path);
+
+ private:
+  friend class IndexCodec;
+
+  void IndexText(uint32_t ordinal, Field field, std::string_view text,
+                 uint32_t* position_cursor);
+
+  static std::string TermKey(Field field, std::string_view term);
+
+  Analyzer analyzer_;
+  std::unordered_map<std::string, std::vector<Posting>> postings_;
+  std::vector<DocInfo> docs_;
+  std::unordered_map<uint64_t, uint32_t> external_to_ordinal_;
+  size_t live_docs_ = 0;
+};
+
+}  // namespace schemr
+
+#endif  // SCHEMR_INDEX_INVERTED_INDEX_H_

@@ -1,0 +1,116 @@
+#include "index/searcher.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace schemr {
+
+namespace {
+
+/// Per-document accumulator while scanning posting lists.
+struct Accumulator {
+  double score = 0.0;
+  uint32_t matched_terms = 0;
+  uint32_t last_term_index = UINT32_MAX;  // to count distinct terms once
+  std::vector<uint32_t> body_positions;   // for optional proximity boost
+};
+
+}  // namespace
+
+std::vector<ScoredDoc> Searcher::Search(std::string_view query_text,
+                                        const SearchOptions& options) const {
+  return SearchTerms(index_->analyzer().AnalyzeToStrings(query_text), options);
+}
+
+std::vector<ScoredDoc> Searcher::SearchTerms(
+    const std::vector<std::string>& terms,
+    const SearchOptions& options) const {
+  std::vector<ScoredDoc> results;
+  if (terms.empty() || index_->NumDocs() == 0) return results;
+
+  const double num_docs = static_cast<double>(index_->NumDocs());
+  std::unordered_map<uint32_t, Accumulator> accumulators;
+
+  // Deduplicate query terms but keep multiplicity as a per-term weight, so
+  // "patient patient height" weighs `patient` twice (as summing
+  // independently per term would).
+  std::unordered_map<std::string, uint32_t> term_counts;
+  std::vector<std::string> unique_terms;
+  for (const std::string& term : terms) {
+    if (++term_counts[term] == 1) unique_terms.push_back(term);
+  }
+
+  for (uint32_t term_index = 0; term_index < unique_terms.size();
+       ++term_index) {
+    const std::string& term = unique_terms[term_index];
+    const double term_weight = term_counts[term];
+    for (size_t f = 0; f < kNumFields; ++f) {
+      Field field = static_cast<Field>(f);
+      const std::vector<Posting>* postings = index_->GetPostings(field, term);
+      if (postings == nullptr) continue;
+      const double df = static_cast<double>(postings->size());
+      const double idf = 1.0 + std::log(num_docs / (df + 1.0));
+      for (const Posting& posting : *postings) {
+        const DocInfo& doc = index_->doc_info(posting.doc);
+        if (doc.deleted) continue;
+        const uint32_t field_len = doc.field_lengths[f];
+        if (field_len == 0) continue;
+        const double norm = 1.0 / std::sqrt(static_cast<double>(field_len));
+        const double tf = std::sqrt(static_cast<double>(posting.tf));
+        Accumulator& acc = accumulators[posting.doc];
+        acc.score +=
+            term_weight * tf * idf * idf * options.field_boosts[f] * norm;
+        if (acc.last_term_index != term_index) {
+          acc.last_term_index = term_index;
+          ++acc.matched_terms;
+        }
+        if (options.proximity_boost > 0.0 && field == Field::kBody) {
+          acc.body_positions.insert(acc.body_positions.end(),
+                                    posting.positions.begin(),
+                                    posting.positions.end());
+        }
+      }
+    }
+  }
+
+  const double num_query_terms = static_cast<double>(unique_terms.size());
+  results.reserve(accumulators.size());
+  for (auto& [ordinal, acc] : accumulators) {
+    double score = acc.score;
+    if (options.use_coordination_factor) {
+      score *= static_cast<double>(acc.matched_terms) / num_query_terms;
+    }
+    if (options.proximity_boost > 0.0 && acc.matched_terms > 1 &&
+        acc.body_positions.size() > 1) {
+      // Reward tight position spans of matched terms in the body: a span
+      // equal to the number of matches is perfect adjacency.
+      std::sort(acc.body_positions.begin(), acc.body_positions.end());
+      double span = static_cast<double>(acc.body_positions.back() -
+                                        acc.body_positions.front() + 1);
+      double tightness =
+          static_cast<double>(acc.body_positions.size()) / span;
+      score *= 1.0 + options.proximity_boost * std::min(1.0, tightness);
+    }
+    const DocInfo& doc = index_->doc_info(ordinal);
+    results.push_back(
+        ScoredDoc{doc.external_id, score, acc.matched_terms, doc.title});
+  }
+
+  // Top-n by score, ties broken by external id for determinism.
+  auto better = [](const ScoredDoc& a, const ScoredDoc& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.external_id < b.external_id;
+  };
+  if (results.size() > options.top_n) {
+    std::partial_sort(results.begin(), results.begin() + options.top_n,
+                      results.end(), better);
+    results.resize(options.top_n);
+  } else {
+    std::sort(results.begin(), results.end(), better);
+  }
+  return results;
+}
+
+}  // namespace schemr

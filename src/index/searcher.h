@@ -1,0 +1,65 @@
+// TF/IDF search over the inverted index -- Schemr's candidate-extraction
+// phase.
+//
+// "We use a variant of standard TF/IDF to obtain an initial coarse-grain
+// matching. To preserve recall, the candidate extraction algorithm need
+// not match all search terms; rather, match scores are computed
+// independently for each search term and summed ... A coordination factor,
+// defined as the number of terms matched divided by the number of terms in
+// the query, is multiplied into the coarse-grain score." (paper Sec. 2)
+//
+// Scoring follows the classic Lucene formulation:
+//   score(q, d) = coord(q, d) · Σ_t  tf(t, d_f)^½ · idf(t, f)² ·
+//                 boost(f) · norm(d_f)
+// with idf(t, f) = 1 + ln(N / (df(t, f) + 1)) and
+// norm(d_f) = 1 / sqrt(length of field f in d).
+
+#ifndef SCHEMR_INDEX_SEARCHER_H_
+#define SCHEMR_INDEX_SEARCHER_H_
+
+#include <string>
+#include <vector>
+
+#include "index/inverted_index.h"
+
+namespace schemr {
+
+/// One coarse-grain hit.
+struct ScoredDoc {
+  uint64_t external_id = 0;
+  double score = 0.0;
+  /// How many distinct query terms this document matched (any field).
+  uint32_t matched_terms = 0;
+  std::string title;
+};
+
+struct SearchOptions {
+  size_t top_n = 10;
+  bool use_coordination_factor = true;
+  std::array<double, kNumFields> field_boosts = kDefaultFieldBoosts;
+  /// Extra multiplicative reward for documents where matched query terms
+  /// appear close together (proximity data). 0 disables.
+  double proximity_boost = 0.0;
+};
+
+/// Stateless search entry points over one index.
+class Searcher {
+ public:
+  explicit Searcher(const InvertedIndex* index) : index_(index) {}
+
+  /// Analyzes free text with the index's analyzer, then searches.
+  std::vector<ScoredDoc> Search(std::string_view query_text,
+                                const SearchOptions& options = {}) const;
+
+  /// Searches with pre-analyzed terms (the candidate extractor flattens
+  /// query graphs itself).
+  std::vector<ScoredDoc> SearchTerms(const std::vector<std::string>& terms,
+                                     const SearchOptions& options = {}) const;
+
+ private:
+  const InvertedIndex* index_;
+};
+
+}  // namespace schemr
+
+#endif  // SCHEMR_INDEX_SEARCHER_H_

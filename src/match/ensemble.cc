@@ -1,0 +1,88 @@
+#include "match/ensemble.h"
+
+#include "match/codebook.h"
+#include "match/context_matcher.h"
+#include "match/name_matcher.h"
+#include "match/structure_matcher.h"
+#include "match/type_matcher.h"
+
+namespace schemr {
+
+void MatcherEnsemble::AddMatcher(std::unique_ptr<Matcher> matcher,
+                                 double weight) {
+  matchers_.push_back(std::move(matcher));
+  weights_.push_back(weight);
+}
+
+MatcherEnsemble MatcherEnsemble::Default() {
+  MatcherEnsemble ensemble;
+  ensemble.AddMatcher(std::make_unique<NameMatcher>(), 1.0);
+  ensemble.AddMatcher(std::make_unique<ContextMatcher>(), 1.0);
+  ensemble.AddMatcher(std::make_unique<TypeMatcher>(), 0.25);
+  ensemble.AddMatcher(std::make_unique<StructureMatcher>(), 0.25);
+  return ensemble;
+}
+
+MatcherEnsemble MatcherEnsemble::PaperMinimal() {
+  MatcherEnsemble ensemble;
+  ensemble.AddMatcher(std::make_unique<NameMatcher>(), 1.0);
+  ensemble.AddMatcher(std::make_unique<ContextMatcher>(), 1.0);
+  return ensemble;
+}
+
+MatcherEnsemble MatcherEnsemble::WithCodebook() {
+  MatcherEnsemble ensemble = Default();
+  ensemble.AddMatcher(std::make_unique<CodebookMatcher>(), 0.5);
+  return ensemble;
+}
+
+void MatcherEnsemble::SetWeights(std::vector<double> weights) {
+  if (weights.size() == matchers_.size()) {
+    weights_ = std::move(weights);
+  }
+}
+
+void MatcherEnsemble::SetLogisticModel(LogisticModel model) {
+  if (model.weights.size() == matchers_.size()) {
+    logistic_ = std::move(model);
+  }
+}
+
+EnsembleResult MatcherEnsemble::Match(const Schema& query,
+                                      const Schema& candidate) const {
+  EnsembleResult result;
+  result.matcher_names.reserve(matchers_.size());
+  result.per_matcher.reserve(matchers_.size());
+  for (const auto& matcher : matchers_) {
+    result.matcher_names.push_back(matcher->Name());
+    result.per_matcher.push_back(matcher->Match(query, candidate));
+  }
+
+  if (logistic_.has_value()) {
+    // Cell-wise logistic combination of the per-matcher features.
+    SimilarityMatrix combined(query.size(), candidate.size());
+    std::vector<double> features(matchers_.size());
+    for (size_t r = 0; r < query.size(); ++r) {
+      for (size_t c = 0; c < candidate.size(); ++c) {
+        for (size_t m = 0; m < matchers_.size(); ++m) {
+          features[m] = result.per_matcher[m].at(r, c);
+        }
+        combined.set(r, c, logistic_->Predict(features));
+      }
+    }
+    result.combined = std::move(combined);
+  } else {
+    std::vector<const SimilarityMatrix*> pointers;
+    pointers.reserve(result.per_matcher.size());
+    for (const auto& m : result.per_matcher) pointers.push_back(&m);
+    result.combined = SimilarityMatrix::WeightedCombine(pointers, weights_);
+  }
+  return result;
+}
+
+SimilarityMatrix MatcherEnsemble::MatchCombined(
+    const Schema& query, const Schema& candidate) const {
+  return Match(query, candidate).combined;
+}
+
+}  // namespace schemr

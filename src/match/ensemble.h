@@ -1,0 +1,82 @@
+// The match engine: an ensemble of matchers with a weighting scheme.
+//
+// "We combine the scores from each matcher with a weighting scheme, which
+// is initially uniform. As Schemr is utilized in practice, we can record
+// search histories to create a training set ... we may then determine an
+// appropriate weighting scheme. For instance, Madhavan et al use a
+// meta-learner to compute a logistic regression over a training set of
+// schemas." (paper Sec. 2)
+//
+// MatcherEnsemble runs every matcher, exposes the per-matcher matrices
+// (feature vectors for the meta-learner) and the combined total-similarity
+// matrix. Combination is a normalized weighted average by default; when a
+// trained LogisticModel is installed, each cell is instead the logistic
+// of the weighted feature vector (Madhavan et al's meta-learner applied
+// cell-wise).
+
+#ifndef SCHEMR_MATCH_ENSEMBLE_H_
+#define SCHEMR_MATCH_ENSEMBLE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "match/matcher.h"
+#include "match/meta_learner.h"
+
+namespace schemr {
+
+/// Per-matcher output for one candidate (kept for diagnostics and
+/// meta-learner feature extraction).
+struct EnsembleResult {
+  std::vector<std::string> matcher_names;
+  std::vector<SimilarityMatrix> per_matcher;
+  SimilarityMatrix combined;
+};
+
+class MatcherEnsemble {
+ public:
+  MatcherEnsemble() = default;
+
+  /// Adds a matcher with the given weight (used by the weighted-average
+  /// combiner; ignored when a logistic model is installed).
+  void AddMatcher(std::unique_ptr<Matcher> matcher, double weight = 1.0);
+
+  /// The paper's default ensemble: name + context matchers, uniform
+  /// weights, plus low-weight type and structure tie-breakers.
+  static MatcherEnsemble Default();
+
+  /// Name + context only, exactly the two matchers the paper describes.
+  static MatcherEnsemble PaperMinimal();
+
+  /// Default ensemble plus the codebook matcher (semantic types/units; the
+  /// Applications-section extension).
+  static MatcherEnsemble WithCodebook();
+
+  size_t NumMatchers() const { return matchers_.size(); }
+  const std::vector<double>& weights() const { return weights_; }
+  void SetWeights(std::vector<double> weights);
+
+  /// Installs a trained logistic combiner (feature order = matcher order,
+  /// so the model must have NumMatchers features).
+  void SetLogisticModel(LogisticModel model);
+  void ClearLogisticModel() { logistic_.reset(); }
+  bool HasLogisticModel() const { return logistic_.has_value(); }
+
+  /// Runs all matchers and combines.
+  EnsembleResult Match(const Schema& query, const Schema& candidate) const;
+
+  /// Runs all matchers and returns only the combined matrix.
+  SimilarityMatrix MatchCombined(const Schema& query,
+                                 const Schema& candidate) const;
+
+ private:
+  std::vector<std::unique_ptr<Matcher>> matchers_;
+  std::vector<double> weights_;
+  std::optional<LogisticModel> logistic_;
+};
+
+}  // namespace schemr
+
+#endif  // SCHEMR_MATCH_ENSEMBLE_H_

@@ -1,0 +1,98 @@
+#include "match/mapping.h"
+
+#include <algorithm>
+
+namespace schemr {
+
+std::vector<ElementCorrespondence> ExtractMapping(
+    const SimilarityMatrix& similarity, const MappingOptions& options) {
+  std::vector<ElementCorrespondence> mapping;
+  const size_t rows = similarity.rows();
+  const size_t cols = similarity.cols();
+  if (rows == 0 || cols == 0) return mapping;
+
+  if (options.require_mutual_best) {
+    // Best column per row and best row per column (ties broken by lowest
+    // index, deterministically).
+    std::vector<size_t> best_col(rows, SIZE_MAX);
+    std::vector<size_t> best_row(cols, SIZE_MAX);
+    for (size_t r = 0; r < rows; ++r) {
+      double best = -1.0;
+      for (size_t c = 0; c < cols; ++c) {
+        if (similarity.at(r, c) > best) {
+          best = similarity.at(r, c);
+          best_col[r] = c;
+        }
+      }
+    }
+    for (size_t c = 0; c < cols; ++c) {
+      double best = -1.0;
+      for (size_t r = 0; r < rows; ++r) {
+        if (similarity.at(r, c) > best) {
+          best = similarity.at(r, c);
+          best_row[c] = r;
+        }
+      }
+    }
+    for (size_t r = 0; r < rows; ++r) {
+      size_t c = best_col[r];
+      if (c == SIZE_MAX || best_row[c] != r) continue;
+      double score = similarity.at(r, c);
+      if (score < options.min_score) continue;
+      mapping.push_back(ElementCorrespondence{
+          static_cast<ElementId>(r), static_cast<ElementId>(c), score});
+    }
+  } else {
+    // Greedy best-first over all cells.
+    struct Cell {
+      size_t row, col;
+      double score;
+    };
+    std::vector<Cell> cells;
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t c = 0; c < cols; ++c) {
+        if (similarity.at(r, c) >= options.min_score) {
+          cells.push_back(Cell{r, c, similarity.at(r, c)});
+        }
+      }
+    }
+    std::sort(cells.begin(), cells.end(), [](const Cell& a, const Cell& b) {
+      if (a.score != b.score) return a.score > b.score;
+      if (a.row != b.row) return a.row < b.row;
+      return a.col < b.col;
+    });
+    std::vector<bool> row_used(rows, false), col_used(cols, false);
+    for (const Cell& cell : cells) {
+      if (row_used[cell.row] || col_used[cell.col]) continue;
+      row_used[cell.row] = true;
+      col_used[cell.col] = true;
+      mapping.push_back(ElementCorrespondence{
+          static_cast<ElementId>(cell.row),
+          static_cast<ElementId>(cell.col), cell.score});
+    }
+  }
+
+  std::sort(mapping.begin(), mapping.end(),
+            [](const ElementCorrespondence& a,
+               const ElementCorrespondence& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.query_element < b.query_element;
+            });
+  return mapping;
+}
+
+std::string FormatMapping(const std::vector<ElementCorrespondence>& mapping,
+                          const Schema& query, const Schema& candidate) {
+  std::string out;
+  char buf[32];
+  for (const ElementCorrespondence& m : mapping) {
+    std::snprintf(buf, sizeof(buf), " (%.3f)\n", m.score);
+    out += query.Path(m.query_element);
+    out += " -> ";
+    out += candidate.Path(m.candidate_element);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace schemr

@@ -1,0 +1,52 @@
+// Element-mapping extraction from similarity matrices.
+//
+// Schemr's ranking deliberately diverges from classic schema matching
+// ("rather than generating mappings between elements, we use the
+// similarity matrix ... to create an overall score"), but the paper's
+// Applications section plans to "capture implicit semantic mappings
+// between schema elements" during search-driven design. This module
+// recovers that artifact: a one-to-one element correspondence extracted
+// from a combined similarity matrix.
+
+#ifndef SCHEMR_MATCH_MAPPING_H_
+#define SCHEMR_MATCH_MAPPING_H_
+
+#include <string>
+#include <vector>
+
+#include "match/similarity_matrix.h"
+#include "schema/schema.h"
+
+namespace schemr {
+
+/// One query-element → candidate-element correspondence.
+struct ElementCorrespondence {
+  ElementId query_element = kNoElement;
+  ElementId candidate_element = kNoElement;
+  double score = 0.0;
+};
+
+struct MappingOptions {
+  /// Pairs below this similarity are never mapped.
+  double min_score = 0.5;
+  /// Require the pair to be mutually best (stable-marriage style). When
+  /// false, a greedy best-first extraction is used instead.
+  bool require_mutual_best = true;
+};
+
+/// Extracts a one-to-one mapping from `similarity` (rows = query
+/// elements, cols = candidate elements). With mutual-best matching, a
+/// pair (q, e) is kept iff e is q's best column and q is e's best row --
+/// conservative but precise. Greedy extraction sorts all cells and takes
+/// the best non-conflicting pairs -- higher recall. Results are sorted by
+/// descending score.
+std::vector<ElementCorrespondence> ExtractMapping(
+    const SimilarityMatrix& similarity, const MappingOptions& options = {});
+
+/// Renders a mapping with element names for display/logging.
+std::string FormatMapping(const std::vector<ElementCorrespondence>& mapping,
+                          const Schema& query, const Schema& candidate);
+
+}  // namespace schemr
+
+#endif  // SCHEMR_MATCH_MAPPING_H_

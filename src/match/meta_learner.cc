@@ -1,0 +1,103 @@
+#include "match/meta_learner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace schemr {
+
+namespace {
+double Sigmoid(double z) {
+  if (z >= 0) {
+    double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  double e = std::exp(z);
+  return e / (1.0 + e);
+}
+}  // namespace
+
+double LogisticModel::Predict(const std::vector<double>& features) const {
+  double z = bias;
+  size_t n = std::min(features.size(), weights.size());
+  for (size_t i = 0; i < n; ++i) z += weights[i] * features[i];
+  return Sigmoid(z);
+}
+
+std::vector<double> LogisticModel::NormalizedWeights() const {
+  std::vector<double> out(weights.size());
+  double total = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    out[i] = std::max(0.0, weights[i]);
+    total += out[i];
+  }
+  if (total <= 0.0) {
+    // Degenerate model: fall back to uniform.
+    std::fill(out.begin(), out.end(),
+              out.empty() ? 0.0 : 1.0 / static_cast<double>(out.size()));
+    return out;
+  }
+  for (double& w : out) w /= total;
+  return out;
+}
+
+Result<LogisticModel> TrainLogisticModel(
+    const std::vector<TrainingRecord>& records,
+    const MetaLearnerOptions& options) {
+  if (records.empty()) {
+    return Status::InvalidArgument("empty training set");
+  }
+  const size_t dim = records[0].features.size();
+  if (dim == 0) return Status::InvalidArgument("zero-dimensional features");
+  bool has_pos = false, has_neg = false;
+  for (const TrainingRecord& r : records) {
+    if (r.features.size() != dim) {
+      return Status::InvalidArgument("inconsistent feature dimensionality");
+    }
+    (r.relevant ? has_pos : has_neg) = true;
+  }
+  if (!has_pos || !has_neg) {
+    return Status::InvalidArgument(
+        "training set needs both positive and negative examples");
+  }
+
+  LogisticModel model;
+  model.weights.assign(dim, 0.0);
+  model.bias = 0.0;
+
+  Rng rng(options.shuffle_seed);
+  std::vector<size_t> order(records.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    // Decaying step size keeps late epochs from oscillating.
+    double lr = options.learning_rate /
+                (1.0 + 0.01 * static_cast<double>(epoch));
+    for (size_t idx : order) {
+      const TrainingRecord& r = records[idx];
+      double p = model.Predict(r.features);
+      double err = p - (r.relevant ? 1.0 : 0.0);
+      for (size_t i = 0; i < dim; ++i) {
+        model.weights[i] -=
+            lr * (err * r.features[i] + options.l2 * model.weights[i]);
+      }
+      model.bias -= lr * err;
+    }
+  }
+  return model;
+}
+
+double EvaluateAccuracy(const LogisticModel& model,
+                        const std::vector<TrainingRecord>& records) {
+  if (records.empty()) return 0.0;
+  size_t correct = 0;
+  for (const TrainingRecord& r : records) {
+    bool predicted = model.Predict(r.features) >= 0.5;
+    if (predicted == r.relevant) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(records.size());
+}
+
+}  // namespace schemr

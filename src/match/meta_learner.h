@@ -1,0 +1,60 @@
+// Logistic-regression meta-learner over matcher scores.
+//
+// The paper (following Madhavan et al., "Corpus-based schema matching",
+// ICDE 2005) proposes learning the matcher weighting scheme from recorded
+// search histories: each history entry labels a (query element, schema
+// element) pair as relevant or not, and the per-matcher similarity scores
+// of that pair form the feature vector. We train
+//   P(match | x) = sigmoid(w·x + b)
+// by mini-batch gradient descent on logistic loss with L2 regularization.
+
+#ifndef SCHEMR_MATCH_META_LEARNER_H_
+#define SCHEMR_MATCH_META_LEARNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace schemr {
+
+/// One labeled pair from a search history: per-matcher scores + relevance.
+struct TrainingRecord {
+  std::vector<double> features;
+  bool relevant = false;
+};
+
+/// Trained logistic model.
+struct LogisticModel {
+  std::vector<double> weights;
+  double bias = 0.0;
+
+  /// P(match | features), in (0, 1).
+  double Predict(const std::vector<double>& features) const;
+
+  /// Non-negative, sum-normalized view of the weights, usable directly as
+  /// ensemble weights when a simple weighted average is preferred over the
+  /// logistic combiner.
+  std::vector<double> NormalizedWeights() const;
+};
+
+struct MetaLearnerOptions {
+  size_t epochs = 200;
+  double learning_rate = 0.5;
+  double l2 = 1e-4;
+  uint64_t shuffle_seed = 42;
+};
+
+/// Fits a logistic model. Requires at least one record of each label and
+/// consistent feature dimensionality.
+Result<LogisticModel> TrainLogisticModel(
+    const std::vector<TrainingRecord>& records,
+    const MetaLearnerOptions& options = {});
+
+/// Classification accuracy of `model` on `records` at threshold 0.5.
+double EvaluateAccuracy(const LogisticModel& model,
+                        const std::vector<TrainingRecord>& records);
+
+}  // namespace schemr
+
+#endif  // SCHEMR_MATCH_META_LEARNER_H_

@@ -1,0 +1,69 @@
+#include "match/similarity_matrix.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace schemr {
+
+double SimilarityMatrix::ColumnMax(size_t col) const {
+  double best = 0.0;
+  for (size_t row = 0; row < rows_; ++row) {
+    best = std::max(best, at(row, col));
+  }
+  return best;
+}
+
+double SimilarityMatrix::RowMax(size_t row) const {
+  double best = 0.0;
+  for (size_t col = 0; col < cols_; ++col) {
+    best = std::max(best, at(row, col));
+  }
+  return best;
+}
+
+double SimilarityMatrix::Mean() const {
+  if (values_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values_) sum += v;
+  return sum / static_cast<double>(values_.size());
+}
+
+SimilarityMatrix SimilarityMatrix::WeightedCombine(
+    const std::vector<const SimilarityMatrix*>& matrices,
+    const std::vector<double>& weights) {
+  assert(matrices.size() == weights.size());
+  if (matrices.empty()) return SimilarityMatrix();
+  const size_t rows = matrices[0]->rows();
+  const size_t cols = matrices[0]->cols();
+  SimilarityMatrix combined(rows, cols);
+  double total_weight = 0.0;
+  for (double w : weights) total_weight += std::max(0.0, w);
+  if (total_weight <= 0.0) return combined;
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      double sum = 0.0;
+      for (size_t m = 0; m < matrices.size(); ++m) {
+        assert(matrices[m]->rows() == rows && matrices[m]->cols() == cols);
+        sum += std::max(0.0, weights[m]) * matrices[m]->at(r, c);
+      }
+      combined.set(r, c, sum / total_weight);
+    }
+  }
+  return combined;
+}
+
+std::string SimilarityMatrix::ToString() const {
+  std::string out;
+  char buf[32];
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) {
+      std::snprintf(buf, sizeof(buf), "%s%.3f", c == 0 ? "" : " ", at(r, c));
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace schemr

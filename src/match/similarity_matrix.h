@@ -1,0 +1,71 @@
+// Similarity matrices exchanged between matchers and the scorer.
+//
+// "Each matcher produces a similarity matrix between query graph elements
+// and schema elements. Each (query element, schema element) pair has a
+// corresponding value which describes the match quality -- a value between
+// 0 and 1. For every candidate schema, the similarity matrices of the
+// different matchers are combined into a single matrix containing total
+// similarity scores." (paper Sec. 2)
+
+#ifndef SCHEMR_MATCH_SIMILARITY_MATRIX_H_
+#define SCHEMR_MATCH_SIMILARITY_MATRIX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace schemr {
+
+/// Dense rows×cols matrix of match qualities in [0, 1]. Rows index query
+/// elements, columns index candidate-schema elements.
+class SimilarityMatrix {
+ public:
+  SimilarityMatrix() = default;
+  SimilarityMatrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), values_(rows * cols, 0.0) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return values_.empty(); }
+
+  double at(size_t row, size_t col) const {
+    return values_[row * cols_ + col];
+  }
+
+  /// Stores a value, clamped into [0, 1].
+  void set(size_t row, size_t col, double value) {
+    if (value < 0.0) value = 0.0;
+    if (value > 1.0) value = 1.0;
+    values_[row * cols_ + col] = value;
+  }
+
+  /// Best match quality of candidate element `col` over all query
+  /// elements -- "the maximum value of each schema element's entry in the
+  /// matrix" used by tightness-of-fit.
+  double ColumnMax(size_t col) const;
+
+  /// Best match quality of query element `row` over all candidate
+  /// elements.
+  double RowMax(size_t row) const;
+
+  /// Mean of all entries (diagnostics).
+  double Mean() const;
+
+  /// Weighted per-cell combination of equally shaped matrices. Weights are
+  /// normalized by their sum; non-positive total weight yields zeros.
+  static SimilarityMatrix WeightedCombine(
+      const std::vector<const SimilarityMatrix*>& matrices,
+      const std::vector<double>& weights);
+
+  /// Debug rendering with row/column labels truncated to fit.
+  std::string ToString() const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> values_;
+};
+
+}  // namespace schemr
+
+#endif  // SCHEMR_MATCH_SIMILARITY_MATRIX_H_

@@ -1,0 +1,455 @@
+#include "parse/ddl_parser.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "parse/sql_lexer.h"
+#include "util/string_util.h"
+
+namespace schemr {
+
+DataType SqlTypeToDataType(std::string_view sql_type) {
+  std::string t = ToLowerAscii(sql_type);
+  static const std::unordered_map<std::string, DataType> kMap = {
+      {"int", DataType::kInt32},       {"integer", DataType::kInt32},
+      {"smallint", DataType::kInt32},  {"tinyint", DataType::kInt32},
+      {"mediumint", DataType::kInt32}, {"serial", DataType::kInt64},
+      {"bigserial", DataType::kInt64}, {"bigint", DataType::kInt64},
+      {"varchar", DataType::kString},  {"char", DataType::kString},
+      {"character", DataType::kString}, {"nvarchar", DataType::kString},
+      {"nchar", DataType::kString},    {"text", DataType::kText},
+      {"clob", DataType::kText},       {"longtext", DataType::kText},
+      {"mediumtext", DataType::kText}, {"float", DataType::kFloat},
+      {"real", DataType::kFloat},      {"double", DataType::kDouble},
+      {"decimal", DataType::kDecimal}, {"numeric", DataType::kDecimal},
+      {"number", DataType::kDecimal},  {"money", DataType::kDecimal},
+      {"bool", DataType::kBool},       {"boolean", DataType::kBool},
+      {"bit", DataType::kBool},        {"date", DataType::kDate},
+      {"time", DataType::kTime},       {"timestamp", DataType::kDateTime},
+      {"datetime", DataType::kDateTime}, {"blob", DataType::kBinary},
+      {"binary", DataType::kBinary},   {"varbinary", DataType::kBinary},
+      {"bytea", DataType::kBinary},    {"uuid", DataType::kString},
+      {"json", DataType::kText},       {"xml", DataType::kText},
+  };
+  auto it = kMap.find(t);
+  return it == kMap.end() ? DataType::kString : it->second;
+}
+
+namespace {
+
+/// Unresolved foreign key captured during parsing, resolved once all
+/// tables are known.
+struct PendingFk {
+  ElementId attribute;
+  std::string table;
+  std::string column;  // may be empty
+  int line;
+};
+
+class DdlParser {
+ public:
+  DdlParser(std::vector<SqlToken> tokens, std::string schema_name)
+      : tokens_(std::move(tokens)), schema_(std::move(schema_name)) {}
+
+  Result<Schema> Parse() {
+    while (!AtEnd()) {
+      // Skip stray semicolons between statements.
+      if (AcceptPunct(";")) continue;
+      SCHEMR_RETURN_IF_ERROR(ParseCreateTable());
+    }
+    SCHEMR_RETURN_IF_ERROR(ResolveForeignKeys());
+    SCHEMR_RETURN_IF_ERROR(schema_.Validate());
+    schema_.set_source("ddl://inline");
+    return std::move(schema_);
+  }
+
+ private:
+  const SqlToken& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool AtEnd() const { return Peek().type == SqlTokenType::kEnd; }
+  const SqlToken& Advance() { return tokens_[pos_++]; }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(msg + " at line " + std::to_string(Peek().line));
+  }
+
+  /// True and consumes if the next token is the given (unquoted) keyword.
+  bool AcceptKeyword(std::string_view kw) {
+    const SqlToken& t = Peek();
+    if (t.type == SqlTokenType::kIdentifier && !t.quoted &&
+        EqualsIgnoreCase(t.text, kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool PeekKeyword(std::string_view kw, size_t ahead = 0) const {
+    const SqlToken& t = Peek(ahead);
+    return t.type == SqlTokenType::kIdentifier && !t.quoted &&
+           EqualsIgnoreCase(t.text, kw);
+  }
+
+  Status ExpectKeyword(std::string_view kw) {
+    if (!AcceptKeyword(kw)) {
+      return Error("expected '" + std::string(kw) + "'");
+    }
+    return Status::OK();
+  }
+
+  bool AcceptPunct(std::string_view p) {
+    const SqlToken& t = Peek();
+    if (t.type == SqlTokenType::kPunct && t.text == p) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectPunct(std::string_view p) {
+    if (!AcceptPunct(p)) return Error("expected '" + std::string(p) + "'");
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdentifier(const char* what) {
+    const SqlToken& t = Peek();
+    if (t.type != SqlTokenType::kIdentifier) {
+      return Error(std::string("expected ") + what);
+    }
+    ++pos_;
+    return t.text;
+  }
+
+  /// Parses a possibly schema-qualified name (a.b.c), returning the last
+  /// component (Schemr schemas are flat namespaces).
+  Result<std::string> ParseQualifiedName(const char* what) {
+    SCHEMR_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier(what));
+    while (AcceptPunct(".")) {
+      SCHEMR_ASSIGN_OR_RETURN(name, ExpectIdentifier(what));
+    }
+    return name;
+  }
+
+  /// Skips a balanced parenthesized expression; opening '(' already
+  /// consumed.
+  Status SkipBalancedParens() {
+    int depth = 1;
+    while (depth > 0) {
+      if (AtEnd()) return Error("unbalanced parentheses");
+      const SqlToken& t = Advance();
+      if (t.type == SqlTokenType::kPunct) {
+        if (t.text == "(") ++depth;
+        if (t.text == ")") --depth;
+      }
+    }
+    return Status::OK();
+  }
+
+  Status ParseCreateTable() {
+    SCHEMR_RETURN_IF_ERROR(ExpectKeyword("CREATE"));
+    // Accept and ignore TEMPORARY/TEMP.
+    (void)(AcceptKeyword("TEMPORARY") || AcceptKeyword("TEMP"));
+    SCHEMR_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    if (AcceptKeyword("IF")) {
+      SCHEMR_RETURN_IF_ERROR(ExpectKeyword("NOT"));
+      SCHEMR_RETURN_IF_ERROR(ExpectKeyword("EXISTS"));
+    }
+    SCHEMR_ASSIGN_OR_RETURN(std::string table_name,
+                            ParseQualifiedName("table name"));
+    ElementId entity = schema_.AddEntity(table_name);
+    table_ids_[ToLowerAscii(table_name)] = entity;
+
+    SCHEMR_RETURN_IF_ERROR(ExpectPunct("("));
+    for (;;) {
+      SCHEMR_RETURN_IF_ERROR(ParseTableItem(entity));
+      if (AcceptPunct(",")) continue;
+      SCHEMR_RETURN_IF_ERROR(ExpectPunct(")"));
+      break;
+    }
+    // Table options (ENGINE=InnoDB, COMMENT '...', etc.): skip until ';'
+    // or the next CREATE.
+    while (!AtEnd() && !PeekKeyword("CREATE") &&
+           !(Peek().type == SqlTokenType::kPunct && Peek().text == ";")) {
+      if (PeekKeyword("COMMENT")) {
+        ++pos_;
+        AcceptPunct("=");
+        if (Peek().type == SqlTokenType::kString) {
+          schema_.mutable_element(entity)->documentation = Peek().text;
+          ++pos_;
+          continue;
+        }
+      }
+      ++pos_;
+    }
+    AcceptPunct(";");
+    return Status::OK();
+  }
+
+  bool PeekTableConstraint() const {
+    return PeekKeyword("PRIMARY") || PeekKeyword("FOREIGN") ||
+           PeekKeyword("UNIQUE") || PeekKeyword("CONSTRAINT") ||
+           PeekKeyword("CHECK") || PeekKeyword("KEY") ||
+           PeekKeyword("INDEX") || PeekKeyword("FULLTEXT");
+  }
+
+  Status ParseTableItem(ElementId entity) {
+    if (PeekTableConstraint()) return ParseTableConstraint(entity);
+    return ParseColumnDef(entity);
+  }
+
+  Status ParseColumnDef(ElementId entity) {
+    SCHEMR_ASSIGN_OR_RETURN(std::string col_name,
+                            ExpectIdentifier("column name"));
+    SCHEMR_ASSIGN_OR_RETURN(std::string type_name,
+                            ExpectIdentifier("column type"));
+    // Compound type names: DOUBLE PRECISION, CHARACTER VARYING, etc.
+    if (EqualsIgnoreCase(type_name, "double") && AcceptKeyword("PRECISION")) {
+      // type stays "double"
+    } else if (EqualsIgnoreCase(type_name, "character") &&
+               AcceptKeyword("VARYING")) {
+      type_name = "varchar";
+    }
+    DataType type = SqlTypeToDataType(type_name);
+    // Type arguments: VARCHAR(255), DECIMAL(10,2).
+    if (AcceptPunct("(")) {
+      SCHEMR_RETURN_IF_ERROR(SkipBalancedParens());
+    }
+    // MySQL UNSIGNED/ZEROFILL.
+    (void)AcceptKeyword("UNSIGNED");
+    (void)AcceptKeyword("ZEROFILL");
+
+    ElementId attr = schema_.AddAttribute(col_name, entity, type);
+
+    // Column constraints in any order.
+    for (;;) {
+      if (AcceptKeyword("NOT")) {
+        SCHEMR_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+        schema_.mutable_element(attr)->nullable = false;
+      } else if (AcceptKeyword("NULL")) {
+        schema_.mutable_element(attr)->nullable = true;
+      } else if (AcceptKeyword("PRIMARY")) {
+        SCHEMR_RETURN_IF_ERROR(ExpectKeyword("KEY"));
+        Element* e = schema_.mutable_element(attr);
+        e->primary_key = true;
+        e->nullable = false;
+      } else if (AcceptKeyword("UNIQUE")) {
+        // no model impact
+      } else if (AcceptKeyword("AUTO_INCREMENT") ||
+                 AcceptKeyword("AUTOINCREMENT")) {
+        // no model impact
+      } else if (AcceptKeyword("DEFAULT")) {
+        SCHEMR_RETURN_IF_ERROR(SkipDefaultValue());
+      } else if (AcceptKeyword("COMMENT")) {
+        AcceptPunct("=");
+        if (Peek().type != SqlTokenType::kString) {
+          return Error("expected string after COMMENT");
+        }
+        schema_.mutable_element(attr)->documentation = Advance().text;
+      } else if (AcceptKeyword("REFERENCES")) {
+        SCHEMR_RETURN_IF_ERROR(ParseReferencesClause(attr));
+      } else if (AcceptKeyword("CHECK")) {
+        SCHEMR_RETURN_IF_ERROR(ExpectPunct("("));
+        SCHEMR_RETURN_IF_ERROR(SkipBalancedParens());
+      } else if (AcceptKeyword("CONSTRAINT")) {
+        SCHEMR_RETURN_IF_ERROR(ExpectIdentifier("constraint name").status());
+      } else if (AcceptKeyword("COLLATE")) {
+        SCHEMR_RETURN_IF_ERROR(ExpectIdentifier("collation").status());
+      } else {
+        break;
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Skips a DEFAULT value: literal, NULL, ident, or ident(...) call.
+  Status SkipDefaultValue() {
+    // Optional sign.
+    if (Peek().type == SqlTokenType::kPunct &&
+        (Peek().text == "-" || Peek().text == "+")) {
+      ++pos_;
+    }
+    const SqlToken& t = Peek();
+    if (t.type == SqlTokenType::kString || t.type == SqlTokenType::kNumber) {
+      ++pos_;
+      return Status::OK();
+    }
+    if (t.type == SqlTokenType::kIdentifier) {
+      ++pos_;
+      if (AcceptPunct("(")) SCHEMR_RETURN_IF_ERROR(SkipBalancedParens());
+      return Status::OK();
+    }
+    if (AcceptPunct("(")) return SkipBalancedParens();
+    return Error("expected default value");
+  }
+
+  Status ParseReferencesClause(ElementId attr) {
+    SCHEMR_ASSIGN_OR_RETURN(std::string table,
+                            ParseQualifiedName("referenced table"));
+    std::string column;
+    if (AcceptPunct("(")) {
+      SCHEMR_ASSIGN_OR_RETURN(column, ExpectIdentifier("referenced column"));
+      SCHEMR_RETURN_IF_ERROR(ExpectPunct(")"));
+    }
+    pending_fks_.push_back(
+        PendingFk{attr, std::move(table), std::move(column), Peek().line});
+    // ON DELETE/UPDATE actions.
+    while (AcceptKeyword("ON")) {
+      if (!AcceptKeyword("DELETE") && !AcceptKeyword("UPDATE")) {
+        return Error("expected DELETE or UPDATE after ON");
+      }
+      if (AcceptKeyword("CASCADE") || AcceptKeyword("RESTRICT")) continue;
+      if (AcceptKeyword("SET")) {
+        if (!AcceptKeyword("NULL") && !AcceptKeyword("DEFAULT")) {
+          return Error("expected NULL or DEFAULT after SET");
+        }
+        continue;
+      }
+      if (AcceptKeyword("NO")) {
+        SCHEMR_RETURN_IF_ERROR(ExpectKeyword("ACTION"));
+        continue;
+      }
+      return Error("unknown referential action");
+    }
+    return Status::OK();
+  }
+
+  Status ParseTableConstraint(ElementId entity) {
+    if (AcceptKeyword("CONSTRAINT")) {
+      SCHEMR_RETURN_IF_ERROR(ExpectIdentifier("constraint name").status());
+    }
+    if (AcceptKeyword("PRIMARY")) {
+      SCHEMR_RETURN_IF_ERROR(ExpectKeyword("KEY"));
+      SCHEMR_RETURN_IF_ERROR(ExpectPunct("("));
+      for (;;) {
+        SCHEMR_ASSIGN_OR_RETURN(std::string col,
+                                ExpectIdentifier("primary key column"));
+        if (auto id = FindColumn(entity, col)) {
+          Element* e = schema_.mutable_element(*id);
+          e->primary_key = true;
+          e->nullable = false;
+        }
+        // Optional ASC/DESC and key length "(10)".
+        (void)(AcceptKeyword("ASC") || AcceptKeyword("DESC"));
+        if (AcceptPunct("(")) SCHEMR_RETURN_IF_ERROR(SkipBalancedParens());
+        if (AcceptPunct(",")) continue;
+        SCHEMR_RETURN_IF_ERROR(ExpectPunct(")"));
+        break;
+      }
+      return Status::OK();
+    }
+    if (AcceptKeyword("FOREIGN")) {
+      SCHEMR_RETURN_IF_ERROR(ExpectKeyword("KEY"));
+      // Optional index name before the column list.
+      if (Peek().type == SqlTokenType::kIdentifier) ++pos_;
+      SCHEMR_RETURN_IF_ERROR(ExpectPunct("("));
+      std::vector<std::string> columns;
+      for (;;) {
+        SCHEMR_ASSIGN_OR_RETURN(std::string col,
+                                ExpectIdentifier("foreign key column"));
+        columns.push_back(std::move(col));
+        if (AcceptPunct(",")) continue;
+        SCHEMR_RETURN_IF_ERROR(ExpectPunct(")"));
+        break;
+      }
+      SCHEMR_RETURN_IF_ERROR(ExpectKeyword("REFERENCES"));
+      SCHEMR_ASSIGN_OR_RETURN(std::string table,
+                              ParseQualifiedName("referenced table"));
+      std::vector<std::string> ref_columns;
+      if (AcceptPunct("(")) {
+        for (;;) {
+          SCHEMR_ASSIGN_OR_RETURN(std::string col,
+                                  ExpectIdentifier("referenced column"));
+          ref_columns.push_back(std::move(col));
+          if (AcceptPunct(",")) continue;
+          SCHEMR_RETURN_IF_ERROR(ExpectPunct(")"));
+          break;
+        }
+      }
+      for (size_t i = 0; i < columns.size(); ++i) {
+        auto attr = FindColumn(entity, columns[i]);
+        if (!attr) {
+          return Error("foreign key names unknown column '" + columns[i] +
+                       "'");
+        }
+        pending_fks_.push_back(PendingFk{
+            *attr, table, i < ref_columns.size() ? ref_columns[i] : "",
+            Peek().line});
+      }
+      while (AcceptKeyword("ON")) {
+        if (!AcceptKeyword("DELETE") && !AcceptKeyword("UPDATE")) {
+          return Error("expected DELETE or UPDATE after ON");
+        }
+        if (AcceptKeyword("CASCADE") || AcceptKeyword("RESTRICT")) continue;
+        if (AcceptKeyword("SET")) {
+          if (!AcceptKeyword("NULL") && !AcceptKeyword("DEFAULT")) {
+            return Error("expected NULL or DEFAULT after SET");
+          }
+          continue;
+        }
+        if (AcceptKeyword("NO")) {
+          SCHEMR_RETURN_IF_ERROR(ExpectKeyword("ACTION"));
+          continue;
+        }
+        return Error("unknown referential action");
+      }
+      return Status::OK();
+    }
+    if (AcceptKeyword("UNIQUE") || AcceptKeyword("CHECK") ||
+        AcceptKeyword("KEY") || AcceptKeyword("INDEX") ||
+        AcceptKeyword("FULLTEXT")) {
+      // UNIQUE [KEY] [name] (cols) / CHECK (expr) / KEY name (cols) / ...
+      (void)AcceptKeyword("KEY");
+      if (Peek().type == SqlTokenType::kIdentifier) ++pos_;
+      SCHEMR_RETURN_IF_ERROR(ExpectPunct("("));
+      return SkipBalancedParens();
+    }
+    return Error("unrecognized table constraint");
+  }
+
+  std::optional<ElementId> FindColumn(ElementId entity,
+                                      std::string_view name) const {
+    for (ElementId child : schema_.Children(entity)) {
+      if (schema_.element(child).kind == ElementKind::kAttribute &&
+          EqualsIgnoreCase(schema_.element(child).name, name)) {
+        return child;
+      }
+    }
+    return std::nullopt;
+  }
+
+  Status ResolveForeignKeys() {
+    for (const PendingFk& fk : pending_fks_) {
+      auto it = table_ids_.find(ToLowerAscii(fk.table));
+      if (it == table_ids_.end()) {
+        // Dangling references are common in fragments (the referenced table
+        // lives outside the uploaded snippet); keep the attribute but drop
+        // the edge rather than failing the whole parse.
+        continue;
+      }
+      ElementId target_attr = kNoElement;
+      if (!fk.column.empty()) {
+        if (auto id = FindColumn(it->second, fk.column)) target_attr = *id;
+      }
+      schema_.AddForeignKey(fk.attribute, it->second, target_attr);
+    }
+    return Status::OK();
+  }
+
+  std::vector<SqlToken> tokens_;
+  size_t pos_ = 0;
+  Schema schema_;
+  std::unordered_map<std::string, ElementId> table_ids_;
+  std::vector<PendingFk> pending_fks_;
+};
+
+}  // namespace
+
+Result<Schema> ParseDdl(std::string_view ddl, std::string schema_name) {
+  SCHEMR_ASSIGN_OR_RETURN(std::vector<SqlToken> tokens, LexSql(ddl));
+  DdlParser parser(std::move(tokens), std::move(schema_name));
+  return parser.Parse();
+}
+
+}  // namespace schemr

@@ -1,0 +1,49 @@
+// Parser for SQL DDL (CREATE TABLE ...) into Schemr schemas.
+//
+// This is the importer behind "a partially designed schema can be specified
+// by uploading a DDL" (paper Sec. 1). The accepted grammar covers the
+// common core of SQL-92 DDL plus widespread dialect extras:
+//
+//   script        := { statement } EOF
+//   statement     := create_table ';'?
+//   create_table  := CREATE TABLE [IF NOT EXISTS] name '(' item {',' item} ')'
+//                    [table_option...]
+//   item          := column_def | table_constraint
+//   column_def    := name type [type_args] { column_constraint }
+//   column_constraint := NOT NULL | NULL | PRIMARY KEY | UNIQUE
+//                      | DEFAULT literal | AUTO_INCREMENT | COMMENT 'text'
+//                      | REFERENCES name ['(' name ')'] [fk_action...]
+//   table_constraint  := [CONSTRAINT name] (
+//                        PRIMARY KEY '(' names ')' | UNIQUE '(' names ')'
+//                      | FOREIGN KEY '(' name ')' REFERENCES name
+//                        ['(' name ')'] [fk_action...]
+//                      | CHECK '(' balanced ')' | KEY/INDEX name? '(' ... ')')
+//
+// All CREATE TABLE statements in one script become entities of a single
+// Schema; foreign keys may reference tables defined later in the script.
+// Unknown SQL types map to kString rather than failing, because web-scraped
+// DDL is messy and recall matters more than type fidelity for search.
+
+#ifndef SCHEMR_PARSE_DDL_PARSER_H_
+#define SCHEMR_PARSE_DDL_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "schema/schema.h"
+#include "util/status.h"
+
+namespace schemr {
+
+/// Maps an SQL type name (case-insensitive) to a Schemr DataType.
+/// Unrecognized names map to kString.
+DataType SqlTypeToDataType(std::string_view sql_type);
+
+/// Parses a DDL script into a Schema named `schema_name`. Returns
+/// ParseError with a line number on malformed input; the parsed schema is
+/// validated before being returned.
+Result<Schema> ParseDdl(std::string_view ddl, std::string schema_name);
+
+}  // namespace schemr
+
+#endif  // SCHEMR_PARSE_DDL_PARSER_H_

@@ -1,0 +1,106 @@
+#include "parse/ddl_writer.h"
+
+#include <unordered_map>
+
+namespace schemr {
+
+const char* DataTypeToSqlType(DataType type) {
+  switch (type) {
+    case DataType::kNone:
+      return "VARCHAR";
+    case DataType::kString:
+      return "VARCHAR";
+    case DataType::kText:
+      return "TEXT";
+    case DataType::kInt32:
+      return "INTEGER";
+    case DataType::kInt64:
+      return "BIGINT";
+    case DataType::kFloat:
+      return "REAL";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kDecimal:
+      return "DECIMAL";
+    case DataType::kBool:
+      return "BOOLEAN";
+    case DataType::kDate:
+      return "DATE";
+    case DataType::kTime:
+      return "TIME";
+    case DataType::kDateTime:
+      return "TIMESTAMP";
+    case DataType::kBinary:
+      return "BLOB";
+  }
+  return "VARCHAR";
+}
+
+namespace {
+
+/// Quotes identifiers that are not bare SQL names (spaces, dashes, dots,
+/// leading digits, embedded quotes).
+std::string QuoteIfNeeded(const std::string& name) {
+  bool bare = !name.empty() && ((name[0] >= 'a' && name[0] <= 'z') ||
+                                (name[0] >= 'A' && name[0] <= 'Z') ||
+                                name[0] == '_');
+  for (char c : name) {
+    if (!((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+          (c >= '0' && c <= '9') || c == '_' || c == '$')) {
+      bare = false;
+      break;
+    }
+  }
+  if (bare) return name;
+  std::string quoted = "\"";
+  for (char c : name) {
+    if (c == '"') quoted += '"';  // SQL doubles embedded quotes
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
+std::string WriteDdl(const Schema& schema) {
+  // Foreign keys by source attribute, for inline REFERENCES clauses.
+  std::unordered_map<ElementId, const ForeignKey*> fk_by_attr;
+  for (const ForeignKey& fk : schema.foreign_keys()) {
+    fk_by_attr[fk.attribute] = &fk;
+  }
+
+  std::string out;
+  for (ElementId entity : schema.Entities()) {
+    out += "CREATE TABLE " + QuoteIfNeeded(schema.element(entity).name) +
+           " (\n";
+    bool first = true;
+    for (ElementId child : schema.Children(entity)) {
+      const Element& e = schema.element(child);
+      if (e.kind != ElementKind::kAttribute) continue;
+      if (!first) out += ",\n";
+      first = false;
+      out += "  " + QuoteIfNeeded(e.name) + " " + DataTypeToSqlType(e.type);
+      if (e.primary_key) {
+        out += " PRIMARY KEY";
+      } else if (!e.nullable) {
+        out += " NOT NULL";
+      }
+      auto fk = fk_by_attr.find(child);
+      if (fk != fk_by_attr.end()) {
+        out += " REFERENCES " +
+               QuoteIfNeeded(schema.element(fk->second->target_entity).name);
+        if (fk->second->target_attribute != kNoElement) {
+          out += " (" +
+                 QuoteIfNeeded(
+                     schema.element(fk->second->target_attribute).name) +
+                 ")";
+        }
+      }
+    }
+    out += "\n);\n\n";
+  }
+  return out;
+}
+
+}  // namespace schemr

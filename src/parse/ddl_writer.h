@@ -1,0 +1,25 @@
+// DDL rendering: the inverse of the DDL parser.
+//
+// Used for round-trip testing, for exporting repository schemas, and by
+// the corpus tooling to produce realistic DDL query fragments.
+
+#ifndef SCHEMR_PARSE_DDL_WRITER_H_
+#define SCHEMR_PARSE_DDL_WRITER_H_
+
+#include <string>
+
+#include "schema/schema.h"
+
+namespace schemr {
+
+/// Maps a DataType back to a canonical SQL type name.
+const char* DataTypeToSqlType(DataType type);
+
+/// Renders a relational schema as CREATE TABLE statements. Nested
+/// entities are flattened into their own tables (hierarchy does not
+/// round-trip; relational DDL has no nesting).
+std::string WriteDdl(const Schema& schema);
+
+}  // namespace schemr
+
+#endif  // SCHEMR_PARSE_DDL_WRITER_H_

@@ -1,0 +1,153 @@
+#include "parse/sql_lexer.h"
+
+namespace schemr {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+bool IsIdentChar(char c) {
+  return IsIdentStart(c) || (c >= '0' && c <= '9') || c == '$';
+}
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+}  // namespace
+
+Result<std::vector<SqlToken>> LexSql(std::string_view input) {
+  std::vector<SqlToken> tokens;
+  int line = 1;
+  size_t i = 0;
+  const size_t n = input.size();
+
+  auto error = [&](const std::string& msg) {
+    return Status::ParseError(msg + " at line " + std::to_string(line));
+  };
+
+  while (i < n) {
+    char c = input[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v') {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && input[i + 1] == '*') {
+      size_t start_line = line;
+      i += 2;
+      bool closed = false;
+      while (i + 1 < n) {
+        if (input[i] == '\n') ++line;
+        if (input[i] == '*' && input[i + 1] == '/') {
+          i += 2;
+          closed = true;
+          break;
+        }
+        ++i;
+      }
+      if (!closed) {
+        line = static_cast<int>(start_line);
+        return error("unterminated block comment");
+      }
+      continue;
+    }
+    // String literal.
+    if (c == '\'') {
+      SqlToken tok;
+      tok.type = SqlTokenType::kString;
+      tok.line = line;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\'') {
+          if (i + 1 < n && input[i + 1] == '\'') {  // escaped quote
+            tok.text += '\'';
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        if (input[i] == '\n') ++line;
+        tok.text += input[i++];
+      }
+      if (!closed) return error("unterminated string literal");
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Quoted identifiers: "x", `x`, [x].
+    if (c == '"' || c == '`' || c == '[') {
+      char close = c == '[' ? ']' : c;
+      SqlToken tok;
+      tok.type = SqlTokenType::kIdentifier;
+      tok.quoted = true;
+      tok.line = line;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == close) {
+          ++i;
+          closed = true;
+          break;
+        }
+        if (input[i] == '\n') ++line;
+        tok.text += input[i++];
+      }
+      if (!closed) return error("unterminated quoted identifier");
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Number.
+    if (IsDigit(c) || (c == '.' && i + 1 < n && IsDigit(input[i + 1]))) {
+      SqlToken tok;
+      tok.type = SqlTokenType::kNumber;
+      tok.line = line;
+      bool seen_dot = false;
+      while (i < n && (IsDigit(input[i]) || (input[i] == '.' && !seen_dot))) {
+        if (input[i] == '.') seen_dot = true;
+        tok.text += input[i++];
+      }
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Identifier / keyword.
+    if (IsIdentStart(c)) {
+      SqlToken tok;
+      tok.type = SqlTokenType::kIdentifier;
+      tok.line = line;
+      while (i < n && IsIdentChar(input[i])) tok.text += input[i++];
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Punctuation we understand.
+    static constexpr std::string_view kPunct = "(),;.=<>+-*/";
+    if (kPunct.find(c) != std::string_view::npos) {
+      SqlToken tok;
+      tok.type = SqlTokenType::kPunct;
+      tok.text = std::string(1, c);
+      tok.line = line;
+      tokens.push_back(std::move(tok));
+      ++i;
+      continue;
+    }
+    return error(std::string("unexpected character '") + c + "'");
+  }
+
+  SqlToken end;
+  end.type = SqlTokenType::kEnd;
+  end.line = line;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace schemr

@@ -1,0 +1,45 @@
+// Lexer for the SQL DDL subset that Schemr accepts as schema input
+// (uploaded schema fragments and repository imports).
+//
+// Handles: bare and quoted identifiers ("x", `x`, [x]), string literals
+// with '' escaping, integer/decimal numbers, punctuation, line comments
+// (--) and block comments (/* */). Keywords are not distinguished at the
+// lexer level; the parser matches identifier text case-insensitively.
+
+#ifndef SCHEMR_PARSE_SQL_LEXER_H_
+#define SCHEMR_PARSE_SQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace schemr {
+
+enum class SqlTokenType {
+  kIdentifier,  ///< bare or quoted identifier (quotes stripped)
+  kString,      ///< 'literal' (quotes stripped, '' unescaped)
+  kNumber,      ///< integer or decimal literal
+  kPunct,       ///< single punctuation char: ( ) , ; . = etc.
+  kEnd,         ///< end of input
+};
+
+struct SqlToken {
+  SqlTokenType type = SqlTokenType::kEnd;
+  std::string text;
+  /// True if the identifier was quoted (quoted identifiers never match
+  /// keywords).
+  bool quoted = false;
+  /// 1-based line of the token start, for error messages.
+  int line = 1;
+};
+
+/// Tokenizes `input` completely. Returns ParseError with line info for
+/// unterminated strings/comments or illegal characters. The final token is
+/// always kEnd.
+Result<std::vector<SqlToken>> LexSql(std::string_view input);
+
+}  // namespace schemr
+
+#endif  // SCHEMR_PARSE_SQL_LEXER_H_

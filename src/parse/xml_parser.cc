@@ -1,0 +1,297 @@
+#include "parse/xml_parser.h"
+
+namespace schemr {
+
+const std::string* XmlNode::FindAttribute(std::string_view attr_name) const {
+  for (const auto& [key, value] : attributes) {
+    if (key == attr_name) return &value;
+  }
+  return nullptr;
+}
+
+std::string_view XmlNode::LocalName() const {
+  size_t colon = name.find(':');
+  return colon == std::string::npos
+             ? std::string_view(name)
+             : std::string_view(name).substr(colon + 1);
+}
+
+const XmlNode* XmlNode::FirstChild(std::string_view local_name) const {
+  for (const auto& child : children) {
+    if (child->LocalName() == local_name) return child.get();
+  }
+  return nullptr;
+}
+
+std::vector<const XmlNode*> XmlNode::ChildrenNamed(
+    std::string_view local_name) const {
+  std::vector<const XmlNode*> out;
+  for (const auto& child : children) {
+    if (child->LocalName() == local_name) out.push_back(child.get());
+  }
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  Result<XmlDocument> Parse() {
+    SkipProlog();
+    if (AtEnd() || Peek() != '<') return Error("expected root element");
+    XmlDocument doc;
+    auto root = std::make_unique<XmlNode>();
+    SCHEMR_RETURN_IF_ERROR(ParseElement(root.get()));
+    doc.root = std::move(root);
+    SkipMiscAfterRoot();
+    if (!AtEnd()) return Error("content after root element");
+    return doc;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < input_.size() ? input_[pos_ + ahead] : '\0';
+  }
+  void Advance() {
+    if (input_[pos_] == '\n') ++line_;
+    ++pos_;
+  }
+  bool Consume(std::string_view s) {
+    if (input_.substr(pos_).starts_with(s)) {
+      for (size_t i = 0; i < s.size(); ++i) Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(msg + " at line " + std::to_string(line_));
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && (Peek() == ' ' || Peek() == '\t' || Peek() == '\n' ||
+                        Peek() == '\r')) {
+      Advance();
+    }
+  }
+
+  bool SkipComment() {
+    if (!Consume("<!--")) return false;
+    while (!AtEnd() && !Consume("-->")) Advance();
+    return true;
+  }
+
+  bool SkipProcessingInstruction() {
+    if (!Consume("<?")) return false;
+    while (!AtEnd() && !Consume("?>")) Advance();
+    return true;
+  }
+
+  bool SkipDoctype() {
+    if (!Consume("<!DOCTYPE")) return false;
+    int depth = 1;
+    while (!AtEnd() && depth > 0) {
+      if (Peek() == '<') ++depth;
+      if (Peek() == '>') --depth;
+      Advance();
+    }
+    return true;
+  }
+
+  void SkipProlog() {
+    for (;;) {
+      SkipWhitespace();
+      if (SkipComment() || SkipProcessingInstruction() || SkipDoctype()) {
+        continue;
+      }
+      break;
+    }
+  }
+
+  void SkipMiscAfterRoot() {
+    for (;;) {
+      SkipWhitespace();
+      if (SkipComment() || SkipProcessingInstruction()) continue;
+      break;
+    }
+  }
+
+  static bool IsNameStart(char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  }
+  static bool IsNameChar(char c) {
+    return IsNameStart(c) || (c >= '0' && c <= '9') || c == '-' || c == '.';
+  }
+
+  Result<std::string> ParseName() {
+    if (AtEnd() || !IsNameStart(Peek())) return Error("expected name");
+    std::string name;
+    while (!AtEnd() && IsNameChar(Peek())) {
+      name += Peek();
+      Advance();
+    }
+    return name;
+  }
+
+  /// Decodes &amp; &lt; &gt; &quot; &apos; and numeric references.
+  Status AppendEntity(std::string* out) {
+    // '&' already consumed by caller? No: caller calls at '&'.
+    Advance();  // consume '&'
+    std::string entity;
+    while (!AtEnd() && Peek() != ';' && entity.size() < 12) {
+      entity += Peek();
+      Advance();
+    }
+    if (AtEnd() || Peek() != ';') return Error("unterminated entity");
+    Advance();  // consume ';'
+    if (entity == "amp") {
+      *out += '&';
+    } else if (entity == "lt") {
+      *out += '<';
+    } else if (entity == "gt") {
+      *out += '>';
+    } else if (entity == "quot") {
+      *out += '"';
+    } else if (entity == "apos") {
+      *out += '\'';
+    } else if (!entity.empty() && entity[0] == '#') {
+      int base = 10;
+      std::string digits = entity.substr(1);
+      if (!digits.empty() && (digits[0] == 'x' || digits[0] == 'X')) {
+        base = 16;
+        digits = digits.substr(1);
+      }
+      if (digits.empty()) return Error("bad numeric entity");
+      long code = 0;
+      for (char c : digits) {
+        int d;
+        if (c >= '0' && c <= '9') {
+          d = c - '0';
+        } else if (base == 16 && c >= 'a' && c <= 'f') {
+          d = c - 'a' + 10;
+        } else if (base == 16 && c >= 'A' && c <= 'F') {
+          d = c - 'A' + 10;
+        } else {
+          return Error("bad numeric entity");
+        }
+        code = code * base + d;
+        if (code > 0x10FFFF) return Error("numeric entity out of range");
+      }
+      AppendUtf8(out, static_cast<uint32_t>(code));
+    } else {
+      return Error("unknown entity '&" + entity + ";'");
+    }
+    return Status::OK();
+  }
+
+  static void AppendUtf8(std::string* out, uint32_t cp) {
+    if (cp < 0x80) {
+      *out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      *out += static_cast<char>(0xC0 | (cp >> 6));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      *out += static_cast<char>(0xE0 | (cp >> 12));
+      *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      *out += static_cast<char>(0xF0 | (cp >> 18));
+      *out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  Result<std::string> ParseAttributeValue() {
+    char quote = Peek();
+    if (quote != '"' && quote != '\'') {
+      return Error("expected quoted attribute value");
+    }
+    Advance();
+    std::string value;
+    while (!AtEnd() && Peek() != quote) {
+      if (Peek() == '&') {
+        SCHEMR_RETURN_IF_ERROR(AppendEntity(&value));
+      } else {
+        value += Peek();
+        Advance();
+      }
+    }
+    if (AtEnd()) return Error("unterminated attribute value");
+    Advance();  // closing quote
+    return value;
+  }
+
+  Status ParseElement(XmlNode* node) {
+    if (!Consume("<")) return Error("expected '<'");
+    SCHEMR_ASSIGN_OR_RETURN(node->name, ParseName());
+    // Attributes.
+    for (;;) {
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated start tag");
+      if (Peek() == '>' || (Peek() == '/' && Peek(1) == '>')) break;
+      SCHEMR_ASSIGN_OR_RETURN(std::string attr_name, ParseName());
+      SkipWhitespace();
+      if (!Consume("=")) return Error("expected '=' after attribute name");
+      SkipWhitespace();
+      SCHEMR_ASSIGN_OR_RETURN(std::string value, ParseAttributeValue());
+      node->attributes.emplace_back(std::move(attr_name), std::move(value));
+    }
+    if (Consume("/>")) return Status::OK();
+    if (!Consume(">")) return Error("expected '>'");
+
+    // Content.
+    for (;;) {
+      if (AtEnd()) return Error("unterminated element <" + node->name + ">");
+      if (Consume("<![CDATA[")) {
+        while (!AtEnd() && !input_.substr(pos_).starts_with("]]>")) {
+          node->text += Peek();
+          Advance();
+        }
+        if (!Consume("]]>")) return Error("unterminated CDATA");
+        continue;
+      }
+      if (SkipComment() || SkipProcessingInstruction()) continue;
+      if (Peek() == '<' && Peek(1) == '/') {
+        Consume("</");
+        SCHEMR_ASSIGN_OR_RETURN(std::string close_name, ParseName());
+        SkipWhitespace();
+        if (!Consume(">")) return Error("expected '>' in end tag");
+        if (close_name != node->name) {
+          return Error("mismatched end tag </" + close_name + "> for <" +
+                       node->name + ">");
+        }
+        return Status::OK();
+      }
+      if (Peek() == '<') {
+        auto child = std::make_unique<XmlNode>();
+        SCHEMR_RETURN_IF_ERROR(ParseElement(child.get()));
+        node->children.push_back(std::move(child));
+        continue;
+      }
+      if (Peek() == '&') {
+        SCHEMR_RETURN_IF_ERROR(AppendEntity(&node->text));
+        continue;
+      }
+      node->text += Peek();
+      Advance();
+    }
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace
+
+Result<XmlDocument> ParseXml(std::string_view input) {
+  Parser parser(input);
+  return parser.Parse();
+}
+
+}  // namespace schemr

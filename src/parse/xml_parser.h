@@ -1,0 +1,52 @@
+// Minimal non-validating XML parser producing a DOM tree.
+//
+// Supports the subset needed to read XSD files and GraphML: elements,
+// attributes, character data, comments, processing instructions, CDATA
+// sections and the five predefined entities. No DTDs, no namespaces
+// resolution (prefixes are kept verbatim; XsdImporter matches local names).
+
+#ifndef SCHEMR_PARSE_XML_PARSER_H_
+#define SCHEMR_PARSE_XML_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace schemr {
+
+/// One element node of the DOM. Text content is accumulated in `text`
+/// (interleaved ordering is not preserved -- sufficient for schema files).
+struct XmlNode {
+  std::string name;  ///< tag name including any namespace prefix
+  std::vector<std::pair<std::string, std::string>> attributes;
+  std::vector<std::unique_ptr<XmlNode>> children;
+  std::string text;
+
+  /// Attribute value by name, or nullptr.
+  const std::string* FindAttribute(std::string_view name) const;
+
+  /// Local name after any ':' prefix ("xs:element" → "element").
+  std::string_view LocalName() const;
+
+  /// First child whose local name matches, or nullptr.
+  const XmlNode* FirstChild(std::string_view local_name) const;
+
+  /// All children whose local name matches.
+  std::vector<const XmlNode*> ChildrenNamed(std::string_view local_name) const;
+};
+
+/// A parsed document: exactly one root element.
+struct XmlDocument {
+  std::unique_ptr<XmlNode> root;
+};
+
+/// Parses a complete XML document. Returns ParseError with line info on
+/// malformed input (mismatched tags, bad entities, truncation).
+Result<XmlDocument> ParseXml(std::string_view input);
+
+}  // namespace schemr
+
+#endif  // SCHEMR_PARSE_XML_PARSER_H_

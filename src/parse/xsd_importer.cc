@@ -1,0 +1,249 @@
+#include "parse/xsd_importer.h"
+
+#include <unordered_map>
+
+#include "parse/xml_parser.h"
+#include "util/string_util.h"
+
+namespace schemr {
+
+DataType XsdTypeToDataType(std::string_view xsd_type) {
+  static const std::unordered_map<std::string_view, DataType> kMap = {
+      {"string", DataType::kString},
+      {"normalizedString", DataType::kString},
+      {"token", DataType::kString},
+      {"anyURI", DataType::kString},
+      {"ID", DataType::kString},
+      {"IDREF", DataType::kString},
+      {"NMTOKEN", DataType::kString},
+      {"int", DataType::kInt32},
+      {"integer", DataType::kInt64},
+      {"long", DataType::kInt64},
+      {"short", DataType::kInt32},
+      {"byte", DataType::kInt32},
+      {"nonNegativeInteger", DataType::kInt64},
+      {"positiveInteger", DataType::kInt64},
+      {"unsignedInt", DataType::kInt64},
+      {"unsignedLong", DataType::kInt64},
+      {"float", DataType::kFloat},
+      {"double", DataType::kDouble},
+      {"decimal", DataType::kDecimal},
+      {"boolean", DataType::kBool},
+      {"date", DataType::kDate},
+      {"time", DataType::kTime},
+      {"dateTime", DataType::kDateTime},
+      {"gYear", DataType::kDate},
+      {"gYearMonth", DataType::kDate},
+      {"duration", DataType::kString},
+      {"base64Binary", DataType::kBinary},
+      {"hexBinary", DataType::kBinary},
+  };
+  auto it = kMap.find(xsd_type);
+  return it == kMap.end() ? DataType::kString : it->second;
+}
+
+namespace {
+
+std::string_view StripPrefix(std::string_view qname) {
+  size_t colon = qname.find(':');
+  return colon == std::string_view::npos ? qname : qname.substr(colon + 1);
+}
+
+class XsdImporter {
+ public:
+  explicit XsdImporter(std::string schema_name)
+      : schema_(std::move(schema_name)) {}
+
+  Result<Schema> Import(const XmlNode& root) {
+    if (root.LocalName() != "schema") {
+      return Status::ParseError("XSD root element must be <schema>, got <" +
+                                root.name + ">");
+    }
+    // Index named top-level complex types for reference resolution.
+    for (const XmlNode* ct : root.ChildrenNamed("complexType")) {
+      if (const std::string* name = ct->FindAttribute("name")) {
+        named_complex_types_[*name] = ct;
+      }
+    }
+    for (const XmlNode* st : root.ChildrenNamed("simpleType")) {
+      if (const std::string* name = st->FindAttribute("name")) {
+        named_simple_types_[*name] = st;
+      }
+    }
+    // Global element declarations become root entities/attributes.
+    for (const XmlNode* el : root.ChildrenNamed("element")) {
+      SCHEMR_RETURN_IF_ERROR(ImportElement(*el, kNoElement, 0));
+    }
+    if (schema_.empty()) {
+      return Status::ParseError("XSD contains no element declarations");
+    }
+    schema_.set_source("xsd://inline");
+    SCHEMR_RETURN_IF_ERROR(schema_.Validate());
+    return std::move(schema_);
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  static std::string Documentation(const XmlNode& node) {
+    if (const XmlNode* ann = node.FirstChild("annotation")) {
+      if (const XmlNode* doc = ann->FirstChild("documentation")) {
+        return std::string(Trim(doc->text));
+      }
+    }
+    return "";
+  }
+
+  /// Imports one xs:element declaration under `parent`.
+  Status ImportElement(const XmlNode& el, ElementId parent, int depth) {
+    if (depth > kMaxDepth) {
+      return Status::ParseError("XSD nesting too deep (recursive type?)");
+    }
+    // Reference to a global element: <xs:element ref="foo"/>.
+    if (const std::string* ref = el.FindAttribute("ref")) {
+      // Model as a string attribute named after the target; full expansion
+      // of global refs can recurse unboundedly on hostile input.
+      ElementId id = schema_.AddAttribute(std::string(StripPrefix(*ref)),
+                                          parent, DataType::kString);
+      schema_.mutable_element(id)->documentation = Documentation(el);
+      return Status::OK();
+    }
+    const std::string* name = el.FindAttribute("name");
+    if (name == nullptr || name->empty()) {
+      return Status::ParseError("xs:element missing name");
+    }
+
+    const XmlNode* inline_complex = el.FirstChild("complexType");
+    const std::string* type_attr = el.FindAttribute("type");
+
+    // Resolve a named complex type if the type attribute points at one.
+    const XmlNode* complex = inline_complex;
+    if (complex == nullptr && type_attr != nullptr) {
+      auto it = named_complex_types_.find(std::string(StripPrefix(*type_attr)));
+      if (it != named_complex_types_.end()) complex = it->second;
+    }
+
+    if (complex != nullptr) {
+      ElementId entity = schema_.AddEntity(*name, parent);
+      schema_.mutable_element(entity)->documentation = Documentation(el);
+      return ImportComplexType(*complex, entity, depth + 1);
+    }
+
+    // Simple-typed element → attribute.
+    DataType type = DataType::kString;
+    if (type_attr != nullptr) {
+      type = ResolveSimpleType(*type_attr);
+    } else if (const XmlNode* st = el.FirstChild("simpleType")) {
+      type = ResolveInlineSimpleType(*st);
+    }
+    ElementId attr = schema_.AddAttribute(*name, parent, type);
+    Element* e = schema_.mutable_element(attr);
+    e->documentation = Documentation(el);
+    // XSD default minOccurs is 1: particles are required unless marked.
+    const std::string* min_occurs = el.FindAttribute("minOccurs");
+    e->nullable = (min_occurs != nullptr && *min_occurs == "0");
+    return Status::OK();
+  }
+
+  Status ImportComplexType(const XmlNode& ct, ElementId entity, int depth) {
+    if (depth > kMaxDepth) {
+      return Status::ParseError("XSD nesting too deep (recursive type?)");
+    }
+    for (const auto& child : ct.children) {
+      std::string_view local = child->LocalName();
+      if (local == "sequence" || local == "all" || local == "choice") {
+        SCHEMR_RETURN_IF_ERROR(ImportParticle(*child, entity, depth + 1));
+      } else if (local == "attribute") {
+        SCHEMR_RETURN_IF_ERROR(ImportXsdAttribute(*child, entity));
+      } else if (local == "simpleContent" || local == "complexContent") {
+        // extension/restriction wrapper: descend into it.
+        for (const auto& inner : child->children) {
+          std::string_view inner_local = inner->LocalName();
+          if (inner_local == "extension" || inner_local == "restriction") {
+            SCHEMR_RETURN_IF_ERROR(
+                ImportComplexType(*inner, entity, depth + 1));
+          }
+        }
+      }
+      // annotation and others: ignored.
+    }
+    return Status::OK();
+  }
+
+  Status ImportParticle(const XmlNode& particle, ElementId entity, int depth) {
+    if (depth > kMaxDepth) {
+      return Status::ParseError("XSD nesting too deep (recursive type?)");
+    }
+    for (const auto& child : particle.children) {
+      std::string_view local = child->LocalName();
+      if (local == "element") {
+        SCHEMR_RETURN_IF_ERROR(ImportElement(*child, entity, depth + 1));
+      } else if (local == "sequence" || local == "all" || local == "choice") {
+        SCHEMR_RETURN_IF_ERROR(ImportParticle(*child, entity, depth + 1));
+      } else if (local == "any") {
+        // wildcard content: no model impact
+      }
+    }
+    return Status::OK();
+  }
+
+  Status ImportXsdAttribute(const XmlNode& attr_node, ElementId entity) {
+    const std::string* name = attr_node.FindAttribute("name");
+    if (name == nullptr || name->empty()) {
+      // ref= attributes: model by target name.
+      if (const std::string* ref = attr_node.FindAttribute("ref")) {
+        schema_.AddAttribute(std::string(StripPrefix(*ref)), entity,
+                             DataType::kString);
+        return Status::OK();
+      }
+      return Status::ParseError("xs:attribute missing name");
+    }
+    DataType type = DataType::kString;
+    if (const std::string* type_attr = attr_node.FindAttribute("type")) {
+      type = ResolveSimpleType(*type_attr);
+    }
+    ElementId id = schema_.AddAttribute(*name, entity, type);
+    Element* e = schema_.mutable_element(id);
+    e->documentation = Documentation(attr_node);
+    if (const std::string* use = attr_node.FindAttribute("use")) {
+      e->nullable = (*use != "required");
+    }
+    return Status::OK();
+  }
+
+  DataType ResolveSimpleType(std::string_view qname) {
+    std::string local(StripPrefix(qname));
+    auto it = named_simple_types_.find(local);
+    if (it != named_simple_types_.end()) {
+      return ResolveInlineSimpleType(*it->second);
+    }
+    return XsdTypeToDataType(local);
+  }
+
+  DataType ResolveInlineSimpleType(const XmlNode& st) {
+    if (const XmlNode* restriction = st.FirstChild("restriction")) {
+      if (const std::string* base = restriction->FindAttribute("base")) {
+        return XsdTypeToDataType(StripPrefix(*base));
+      }
+    }
+    if (const XmlNode* list = st.FirstChild("list")) {
+      (void)list;
+      return DataType::kText;
+    }
+    return DataType::kString;
+  }
+
+  Schema schema_;
+  std::unordered_map<std::string, const XmlNode*> named_complex_types_;
+  std::unordered_map<std::string, const XmlNode*> named_simple_types_;
+};
+
+}  // namespace
+
+Result<Schema> ParseXsd(std::string_view xsd, std::string schema_name) {
+  SCHEMR_ASSIGN_OR_RETURN(XmlDocument doc, ParseXml(xsd));
+  XsdImporter importer(std::move(schema_name));
+  return importer.Import(*doc.root);
+}
+
+}  // namespace schemr

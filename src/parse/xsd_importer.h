@@ -1,0 +1,38 @@
+// XSD (XML Schema Definition) importer.
+//
+// The paper's second schema-fragment upload format. The importer maps the
+// structural core of XSD onto the Schemr model:
+//
+//   xs:element with complex content          → entity
+//   xs:element with simple type / xs:attribute → attribute
+//   xs:complexType (named, top-level)        → resolved at reference sites
+//   xs:sequence / xs:all / xs:choice         → transparent containers
+//   xs:annotation/xs:documentation           → Element::documentation
+//   built-in simple types (xs:string, ...)   → DataType
+//
+// Nested entities keep their nesting (Schema supports entity-in-entity),
+// which EntityGraph then treats as the hierarchical analogue of a foreign
+// key. Unresolvable type references degrade to kString attributes -- web
+// XSDs are frequently incomplete fragments.
+
+#ifndef SCHEMR_PARSE_XSD_IMPORTER_H_
+#define SCHEMR_PARSE_XSD_IMPORTER_H_
+
+#include <string>
+#include <string_view>
+
+#include "schema/schema.h"
+#include "util/status.h"
+
+namespace schemr {
+
+/// Maps an XSD built-in type local name ("string", "dateTime", ...,
+/// prefix already stripped) to a DataType; unknown names → kString.
+DataType XsdTypeToDataType(std::string_view xsd_type);
+
+/// Parses an XSD document into a Schema named `schema_name`.
+Result<Schema> ParseXsd(std::string_view xsd, std::string schema_name);
+
+}  // namespace schemr
+
+#endif  // SCHEMR_PARSE_XSD_IMPORTER_H_

@@ -1,0 +1,86 @@
+#include "parse/xsd_writer.h"
+
+#include "util/xml_writer.h"
+
+namespace schemr {
+
+const char* DataTypeToXsdType(DataType type) {
+  switch (type) {
+    case DataType::kNone:
+      return "string";
+    case DataType::kString:
+      return "string";
+    case DataType::kText:
+      return "string";
+    case DataType::kInt32:
+      return "int";
+    case DataType::kInt64:
+      return "long";
+    case DataType::kFloat:
+      return "float";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kDecimal:
+      return "decimal";
+    case DataType::kBool:
+      return "boolean";
+    case DataType::kDate:
+      return "date";
+    case DataType::kTime:
+      return "time";
+    case DataType::kDateTime:
+      return "dateTime";
+    case DataType::kBinary:
+      return "base64Binary";
+  }
+  return "string";
+}
+
+namespace {
+
+void WriteDocumentation(XmlWriter* xml, const Element& element) {
+  if (element.documentation.empty()) return;
+  xml->Open("xs:annotation");
+  xml->SimpleElement("xs:documentation", element.documentation);
+  xml->Close();
+}
+
+void WriteElement(XmlWriter* xml, const Schema& schema, ElementId id) {
+  const Element& element = schema.element(id);
+  if (element.kind == ElementKind::kAttribute) {
+    xml->Open("xs:element")
+        .Attribute("name", element.name)
+        .Attribute("type", std::string("xs:") + DataTypeToXsdType(element.type));
+    // Always explicit so nullability round-trips through the importer
+    // (whose default for unmarked elements is nullable).
+    xml->Attribute("minOccurs", element.nullable ? "0" : "1");
+    WriteDocumentation(xml, element);
+    xml->Close();
+    return;
+  }
+  // Entity: element with inline complex type wrapping a sequence.
+  xml->Open("xs:element").Attribute("name", element.name);
+  WriteDocumentation(xml, element);
+  xml->Open("xs:complexType");
+  xml->Open("xs:sequence");
+  for (ElementId child : schema.Children(id)) {
+    WriteElement(xml, schema, child);
+  }
+  xml->Close();  // sequence
+  xml->Close();  // complexType
+  xml->Close();  // element
+}
+
+}  // namespace
+
+std::string WriteXsd(const Schema& schema) {
+  XmlWriter xml;
+  xml.Open("xs:schema")
+      .Attribute("xmlns:xs", "http://www.w3.org/2001/XMLSchema");
+  for (ElementId root : schema.Roots()) {
+    WriteElement(&xml, schema, root);
+  }
+  return xml.Finish();
+}
+
+}  // namespace schemr

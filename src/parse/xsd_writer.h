@@ -1,0 +1,27 @@
+// XSD rendering: the inverse of the XSD importer.
+//
+// Rounds out the schema import/export pair the paper's Applications
+// section calls for ("integrating Schemr with schema import and export
+// functionality gives users motivation to build metadata repositories").
+// Entities become xs:element/xs:complexType/xs:sequence trees (nesting
+// preserved); attributes become simple-typed xs:elements.
+
+#ifndef SCHEMR_PARSE_XSD_WRITER_H_
+#define SCHEMR_PARSE_XSD_WRITER_H_
+
+#include <string>
+
+#include "schema/schema.h"
+
+namespace schemr {
+
+/// Maps a DataType to the XSD built-in type name (without prefix).
+const char* DataTypeToXsdType(DataType type);
+
+/// Renders `schema` as an XSD document. Foreign keys do not round-trip
+/// (XSD has no FK notion); everything else does.
+std::string WriteXsd(const Schema& schema);
+
+}  // namespace schemr
+
+#endif  // SCHEMR_PARSE_XSD_WRITER_H_

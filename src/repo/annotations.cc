@@ -1,0 +1,75 @@
+#include "repo/annotations.h"
+
+#include "util/varint.h"
+
+namespace schemr {
+
+std::string EncodeComments(const std::vector<SchemaComment>& comments) {
+  std::string out;
+  PutVarint64(&out, comments.size());
+  for (const SchemaComment& c : comments) {
+    PutLengthPrefixed(&out, c.author);
+    PutLengthPrefixed(&out, c.text);
+    PutVarint64(&out, c.timestamp);
+  }
+  return out;
+}
+
+Result<std::vector<SchemaComment>> DecodeComments(std::string_view data) {
+  uint64_t count = 0;
+  SCHEMR_RETURN_IF_ERROR(GetVarint64(&data, &count));
+  if (count > data.size()) {
+    return Status::Corruption("comment count exceeds payload");
+  }
+  std::vector<SchemaComment> comments;
+  comments.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    SchemaComment c;
+    std::string_view author, text;
+    SCHEMR_RETURN_IF_ERROR(GetLengthPrefixed(&data, &author));
+    SCHEMR_RETURN_IF_ERROR(GetLengthPrefixed(&data, &text));
+    SCHEMR_RETURN_IF_ERROR(GetVarint64(&data, &c.timestamp));
+    c.author = std::string(author);
+    c.text = std::string(text);
+    comments.push_back(std::move(c));
+  }
+  if (!data.empty()) return Status::Corruption("trailing comment bytes");
+  return comments;
+}
+
+std::string EncodeRatings(const std::vector<SchemaRating>& ratings) {
+  std::string out;
+  PutVarint64(&out, ratings.size());
+  for (const SchemaRating& r : ratings) {
+    PutLengthPrefixed(&out, r.author);
+    out.push_back(static_cast<char>(r.stars));
+  }
+  return out;
+}
+
+Result<std::vector<SchemaRating>> DecodeRatings(std::string_view data) {
+  uint64_t count = 0;
+  SCHEMR_RETURN_IF_ERROR(GetVarint64(&data, &count));
+  if (count > data.size()) {
+    return Status::Corruption("rating count exceeds payload");
+  }
+  std::vector<SchemaRating> ratings;
+  ratings.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    SchemaRating r;
+    std::string_view author;
+    SCHEMR_RETURN_IF_ERROR(GetLengthPrefixed(&data, &author));
+    if (data.empty()) return Status::Corruption("truncated rating");
+    r.author = std::string(author);
+    r.stars = static_cast<uint8_t>(data.front());
+    data.remove_prefix(1);
+    if (r.stars < 1 || r.stars > 5) {
+      return Status::Corruption("rating out of range");
+    }
+    ratings.push_back(std::move(r));
+  }
+  if (!data.empty()) return Status::Corruption("trailing rating bytes");
+  return ratings;
+}
+
+}  // namespace schemr

@@ -1,0 +1,56 @@
+// Collaboration annotations on schemas: comments, ratings, usage counts.
+//
+// The paper's Applications/Summary sections plan "collaboration
+// functionality that provides usage statistics and comments on schemas"
+// and "mechanisms for users to leave ratings and comments", feeding back
+// into search quality. This module defines the annotation records and
+// their binary codecs; SchemaRepository stores them next to the schemas,
+// and SearchEngineOptions::annotation_boost folds them into ranking.
+
+#ifndef SCHEMR_REPO_ANNOTATIONS_H_
+#define SCHEMR_REPO_ANNOTATIONS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace schemr {
+
+/// A user comment on a schema.
+struct SchemaComment {
+  std::string author;
+  std::string text;
+  /// Caller-supplied timestamp (seconds since epoch); the library does not
+  /// read clocks so tests and replays stay deterministic.
+  uint64_t timestamp = 0;
+
+  bool operator==(const SchemaComment&) const = default;
+};
+
+/// One user's star rating, 1..5. A later rating by the same author
+/// replaces the earlier one.
+struct SchemaRating {
+  std::string author;
+  uint8_t stars = 0;
+
+  bool operator==(const SchemaRating&) const = default;
+};
+
+/// Aggregated rating view.
+struct RatingSummary {
+  size_t num_ratings = 0;
+  double average = 0.0;  ///< 0 when unrated
+};
+
+/// Codecs (length-prefixed, varint; same style as the schema codec).
+std::string EncodeComments(const std::vector<SchemaComment>& comments);
+Result<std::vector<SchemaComment>> DecodeComments(std::string_view data);
+
+std::string EncodeRatings(const std::vector<SchemaRating>& ratings);
+Result<std::vector<SchemaRating>> DecodeRatings(std::string_view data);
+
+}  // namespace schemr
+
+#endif  // SCHEMR_REPO_ANNOTATIONS_H_

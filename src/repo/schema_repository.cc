@@ -1,0 +1,307 @@
+#include "repo/schema_repository.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "schema/schema_codec.h"
+
+namespace schemr {
+
+namespace {
+constexpr char kSchemaKeyPrefix[] = "s/";
+constexpr char kNextIdKey[] = "m/next_id";
+
+std::string AuxKey(char prefix, SchemaId id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%c/%016" PRIx64, prefix, id);
+  return buf;
+}
+}  // namespace
+
+std::string SchemaRepository::KeyFor(SchemaId id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s%016" PRIx64, kSchemaKeyPrefix, id);
+  return buf;
+}
+
+Result<std::unique_ptr<SchemaRepository>> SchemaRepository::Open(
+    std::string path, KvStoreOptions options) {
+  SCHEMR_ASSIGN_OR_RETURN(auto store, KvStore::Open(std::move(path), options));
+  std::unique_ptr<SchemaRepository> repo(new SchemaRepository());
+  repo->store_ = std::move(store);
+  // Restore the id counter.
+  auto next = repo->store_->Get(kNextIdKey);
+  if (next.ok()) {
+    uint64_t value = 0;
+    for (char c : *next) {
+      if (c < '0' || c > '9') {
+        return Status::Corruption("bad next_id record");
+      }
+      value = value * 10 + static_cast<uint64_t>(c - '0');
+    }
+    repo->next_id_ = value;
+  } else if (!next.status().IsNotFound()) {
+    return next.status();
+  }
+  return repo;
+}
+
+std::unique_ptr<SchemaRepository> SchemaRepository::OpenInMemory() {
+  return std::unique_ptr<SchemaRepository>(new SchemaRepository());
+}
+
+Status SchemaRepository::PutLocked(SchemaId id, const std::string& encoded) {
+  if (store_ != nullptr) {
+    SCHEMR_RETURN_IF_ERROR(store_->Put(KeyFor(id), encoded));
+    return store_->Put(kNextIdKey, std::to_string(next_id_));
+  }
+  memory_[id] = encoded;
+  return Status::OK();
+}
+
+Result<std::string> SchemaRepository::GetLocked(SchemaId id) const {
+  if (store_ != nullptr) return store_->Get(KeyFor(id));
+  auto it = memory_.find(id);
+  if (it == memory_.end()) {
+    return Status::NotFound("schema " + std::to_string(id));
+  }
+  return it->second;
+}
+
+Result<SchemaId> SchemaRepository::Insert(Schema schema) {
+  SCHEMR_RETURN_IF_ERROR(schema.Validate());
+  std::lock_guard<std::mutex> lock(mutex_);
+  SchemaId id = next_id_++;
+  schema.set_id(id);
+  SCHEMR_RETURN_IF_ERROR(PutLocked(id, EncodeSchema(schema)));
+  return id;
+}
+
+Status SchemaRepository::Update(const Schema& schema) {
+  if (schema.id() == kNoSchema) {
+    return Status::InvalidArgument("schema has no id; use Insert");
+  }
+  SCHEMR_RETURN_IF_ERROR(schema.Validate());
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!GetLocked(schema.id()).ok()) {
+    return Status::NotFound("schema " + std::to_string(schema.id()));
+  }
+  return PutLocked(schema.id(), EncodeSchema(schema));
+}
+
+Result<Schema> SchemaRepository::Get(SchemaId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SCHEMR_ASSIGN_OR_RETURN(std::string encoded, GetLocked(id));
+  return DecodeSchema(encoded);
+}
+
+Status SchemaRepository::Remove(SchemaId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (store_ != nullptr) {
+    if (!store_->Contains(KeyFor(id))) {
+      return Status::NotFound("schema " + std::to_string(id));
+    }
+    return store_->Delete(KeyFor(id));
+  }
+  if (memory_.erase(id) == 0) {
+    return Status::NotFound("schema " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+bool SchemaRepository::Contains(SchemaId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (store_ != nullptr) return store_->Contains(KeyFor(id));
+  return memory_.find(id) != memory_.end();
+}
+
+size_t SchemaRepository::Size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (store_ != nullptr) {
+    // All keys with the schema prefix.
+    size_t n = 0;
+    for (const auto& key : store_->Keys()) {
+      if (key.rfind(kSchemaKeyPrefix, 0) == 0) ++n;
+    }
+    return n;
+  }
+  return memory_.size();
+}
+
+std::vector<SchemaId> SchemaRepository::Ids() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SchemaId> ids;
+  if (store_ != nullptr) {
+    for (const auto& key : store_->Keys()) {
+      if (key.rfind(kSchemaKeyPrefix, 0) != 0) continue;
+      ids.push_back(std::strtoull(key.c_str() + 2, nullptr, 16));
+    }
+  } else {
+    for (const auto& [id, encoded] : memory_) ids.push_back(id);
+  }
+  return ids;  // store keys are hex zero-padded → already ascending
+}
+
+Result<std::vector<SchemaSummary>> SchemaRepository::ListAll() const {
+  std::vector<SchemaSummary> out;
+  Status st = ForEach([&out](const Schema& schema) {
+    SchemaSummary s;
+    s.id = schema.id();
+    s.name = schema.name();
+    s.description = schema.description();
+    s.num_entities = schema.NumEntities();
+    s.num_attributes = schema.NumAttributes();
+    out.push_back(std::move(s));
+    return Status::OK();
+  });
+  SCHEMR_RETURN_IF_ERROR(st);
+  return out;
+}
+
+Status SchemaRepository::ForEach(
+    const std::function<Status(const Schema&)>& fn) const {
+  for (SchemaId id : Ids()) {
+    SCHEMR_ASSIGN_OR_RETURN(Schema schema, Get(id));
+    SCHEMR_RETURN_IF_ERROR(fn(schema));
+  }
+  return Status::OK();
+}
+
+Status SchemaRepository::Compact() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (store_ != nullptr) return store_->Compact();
+  return Status::OK();
+}
+
+// --- annotations -------------------------------------------------------------
+
+Status SchemaRepository::PutAuxLocked(const std::string& key,
+                                      const std::string& value) {
+  if (store_ != nullptr) return store_->Put(key, value);
+  aux_[key] = value;
+  return Status::OK();
+}
+
+Result<std::string> SchemaRepository::GetAuxLocked(
+    const std::string& key) const {
+  if (store_ != nullptr) return store_->Get(key);
+  auto it = aux_.find(key);
+  if (it == aux_.end()) return Status::NotFound(key);
+  return it->second;
+}
+
+bool SchemaRepository::ContainsLocked(SchemaId id) const {
+  if (store_ != nullptr) return store_->Contains(KeyFor(id));
+  return memory_.find(id) != memory_.end();
+}
+
+Status SchemaRepository::AddComment(SchemaId id,
+                                    const SchemaComment& comment) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!ContainsLocked(id)) {
+    return Status::NotFound("schema " + std::to_string(id));
+  }
+  std::vector<SchemaComment> comments;
+  auto existing = GetAuxLocked(AuxKey('c', id));
+  if (existing.ok()) {
+    SCHEMR_ASSIGN_OR_RETURN(comments, DecodeComments(*existing));
+  } else if (!existing.status().IsNotFound()) {
+    return existing.status();
+  }
+  comments.push_back(comment);
+  return PutAuxLocked(AuxKey('c', id), EncodeComments(comments));
+}
+
+Result<std::vector<SchemaComment>> SchemaRepository::GetComments(
+    SchemaId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto existing = GetAuxLocked(AuxKey('c', id));
+  if (!existing.ok()) {
+    if (existing.status().IsNotFound()) {
+      return std::vector<SchemaComment>{};
+    }
+    return existing.status();
+  }
+  return DecodeComments(*existing);
+}
+
+Status SchemaRepository::AddRating(SchemaId id, const SchemaRating& rating) {
+  if (rating.stars < 1 || rating.stars > 5) {
+    return Status::InvalidArgument("stars must be 1..5");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!ContainsLocked(id)) {
+    return Status::NotFound("schema " + std::to_string(id));
+  }
+  std::vector<SchemaRating> ratings;
+  auto existing = GetAuxLocked(AuxKey('r', id));
+  if (existing.ok()) {
+    SCHEMR_ASSIGN_OR_RETURN(ratings, DecodeRatings(*existing));
+  } else if (!existing.status().IsNotFound()) {
+    return existing.status();
+  }
+  bool replaced = false;
+  for (SchemaRating& r : ratings) {
+    if (r.author == rating.author) {
+      r.stars = rating.stars;
+      replaced = true;
+      break;
+    }
+  }
+  if (!replaced) ratings.push_back(rating);
+  return PutAuxLocked(AuxKey('r', id), EncodeRatings(ratings));
+}
+
+Result<RatingSummary> SchemaRepository::GetRatingSummary(SchemaId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RatingSummary summary;
+  auto existing = GetAuxLocked(AuxKey('r', id));
+  if (!existing.ok()) {
+    if (existing.status().IsNotFound()) return summary;
+    return existing.status();
+  }
+  SCHEMR_ASSIGN_OR_RETURN(std::vector<SchemaRating> ratings,
+                          DecodeRatings(*existing));
+  summary.num_ratings = ratings.size();
+  if (!ratings.empty()) {
+    double sum = 0.0;
+    for (const SchemaRating& r : ratings) sum += r.stars;
+    summary.average = sum / static_cast<double>(ratings.size());
+  }
+  return summary;
+}
+
+Status SchemaRepository::RecordUsage(SchemaId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!ContainsLocked(id)) {
+    return Status::NotFound("schema " + std::to_string(id));
+  }
+  uint64_t count = 0;
+  auto existing = GetAuxLocked(AuxKey('u', id));
+  if (existing.ok()) {
+    for (char c : *existing) {
+      if (c < '0' || c > '9') return Status::Corruption("bad usage counter");
+      count = count * 10 + static_cast<uint64_t>(c - '0');
+    }
+  } else if (!existing.status().IsNotFound()) {
+    return existing.status();
+  }
+  return PutAuxLocked(AuxKey('u', id), std::to_string(count + 1));
+}
+
+Result<uint64_t> SchemaRepository::GetUsageCount(SchemaId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto existing = GetAuxLocked(AuxKey('u', id));
+  if (!existing.ok()) {
+    if (existing.status().IsNotFound()) return uint64_t{0};
+    return existing.status();
+  }
+  uint64_t count = 0;
+  for (char c : *existing) {
+    if (c < '0' || c > '9') return Status::Corruption("bad usage counter");
+    count = count * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return count;
+}
+
+}  // namespace schemr

@@ -1,0 +1,123 @@
+// The schema repository: Schemr's replacement for Yggdrasil (Fig. 5).
+//
+// Stores schemas durably (binary codec over the log-structured KV store)
+// or in memory (for benchmarks and short-lived fragments), assigns stable
+// SchemaIds, and provides the two access patterns the architecture needs:
+// bulk scan (the offline text indexer) and point lookup (the visualization
+// service resolving a clicked result's schema id).
+//
+// Thread-safe: all operations take an internal mutex.
+
+#ifndef SCHEMR_REPO_SCHEMA_REPOSITORY_H_
+#define SCHEMR_REPO_SCHEMA_REPOSITORY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "repo/annotations.h"
+#include "schema/schema.h"
+#include "store/kv_store.h"
+#include "util/status.h"
+
+namespace schemr {
+
+/// Lightweight listing row (the search-result table shows name, entities,
+/// attributes, description without materializing full schemas).
+struct SchemaSummary {
+  SchemaId id = kNoSchema;
+  std::string name;
+  std::string description;
+  size_t num_entities = 0;
+  size_t num_attributes = 0;
+};
+
+/// Durable or in-memory collection of schemas keyed by SchemaId.
+class SchemaRepository {
+ public:
+  /// Opens a persistent repository rooted at `path`, replaying the store.
+  static Result<std::unique_ptr<SchemaRepository>> Open(
+      std::string path, KvStoreOptions options = {});
+
+  /// Creates a volatile repository (no files touched).
+  static std::unique_ptr<SchemaRepository> OpenInMemory();
+
+  /// Adds a schema, assigning and returning a fresh id (also written into
+  /// the stored schema). Validates first.
+  Result<SchemaId> Insert(Schema schema);
+
+  /// Replaces the schema with `schema.id()`. NotFound if absent.
+  Status Update(const Schema& schema);
+
+  /// Fetches a schema by id.
+  Result<Schema> Get(SchemaId id) const;
+
+  /// Deletes a schema by id. NotFound if absent.
+  Status Remove(SchemaId id);
+
+  bool Contains(SchemaId id) const;
+  size_t Size() const;
+
+  /// All schema ids, ascending.
+  std::vector<SchemaId> Ids() const;
+
+  /// Summaries of all schemas, ascending by id.
+  Result<std::vector<SchemaSummary>> ListAll() const;
+
+  /// Calls `fn` for every schema, ascending by id; stops on first error.
+  Status ForEach(const std::function<Status(const Schema&)>& fn) const;
+
+  /// Compacts the underlying store (no-op in memory mode).
+  Status Compact();
+
+  // --- Collaboration annotations (paper Applications/Summary) -------------
+
+  /// Appends a comment to the schema. NotFound if the schema is absent.
+  Status AddComment(SchemaId id, const SchemaComment& comment);
+
+  /// All comments on the schema, oldest first. Empty list if none.
+  Result<std::vector<SchemaComment>> GetComments(SchemaId id) const;
+
+  /// Records a rating (1-5 stars); a later rating by the same author
+  /// replaces the earlier one. InvalidArgument for out-of-range stars.
+  Status AddRating(SchemaId id, const SchemaRating& rating);
+
+  /// Count + average of the schema's ratings.
+  Result<RatingSummary> GetRatingSummary(SchemaId id) const;
+
+  /// Bumps the schema's usage counter (a search click / reuse event).
+  Status RecordUsage(SchemaId id);
+
+  /// Lifetime usage count (0 if never used).
+  Result<uint64_t> GetUsageCount(SchemaId id) const;
+
+ private:
+  SchemaRepository() = default;
+
+  // One of the two backends is set.
+  std::unique_ptr<KvStore> store_;                  // persistent
+  std::map<SchemaId, std::string> memory_;          // in-memory encoded
+
+  SchemaId next_id_ = 1;
+  mutable std::mutex mutex_;
+
+  static std::string KeyFor(SchemaId id);
+  Status PutLocked(SchemaId id, const std::string& encoded);
+  Result<std::string> GetLocked(SchemaId id) const;
+
+  // Auxiliary (annotation) records share the key space of the store with
+  // their own prefixes; the in-memory backend keeps them in aux_.
+  Status PutAuxLocked(const std::string& key, const std::string& value);
+  /// NotFound when the key does not exist.
+  Result<std::string> GetAuxLocked(const std::string& key) const;
+  bool ContainsLocked(SchemaId id) const;
+
+  std::map<std::string, std::string> aux_;  // in-memory annotations
+};
+
+}  // namespace schemr
+
+#endif  // SCHEMR_REPO_SCHEMA_REPOSITORY_H_

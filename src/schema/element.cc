@@ -1,0 +1,47 @@
+#include "schema/element.h"
+
+namespace schemr {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kNone:
+      return "none";
+    case DataType::kString:
+      return "string";
+    case DataType::kText:
+      return "text";
+    case DataType::kInt32:
+      return "int32";
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kFloat:
+      return "float";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kDecimal:
+      return "decimal";
+    case DataType::kBool:
+      return "bool";
+    case DataType::kDate:
+      return "date";
+    case DataType::kTime:
+      return "time";
+    case DataType::kDateTime:
+      return "datetime";
+    case DataType::kBinary:
+      return "binary";
+  }
+  return "unknown";
+}
+
+const char* ElementKindName(ElementKind kind) {
+  switch (kind) {
+    case ElementKind::kEntity:
+      return "entity";
+    case ElementKind::kAttribute:
+      return "attribute";
+  }
+  return "unknown";
+}
+
+}  // namespace schemr

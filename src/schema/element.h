@@ -1,0 +1,75 @@
+// Schema elements: the nodes of a schema graph.
+//
+// Schemr models every schema -- relational or XML -- as a forest of
+// elements. Entities (tables, complex types) contain attributes (columns,
+// simple elements) and possibly nested entities; foreign keys add
+// cross-links between entities. Keywords in a query graph are represented
+// as one-element trees (see core/query_graph.h).
+
+#ifndef SCHEMR_SCHEMA_ELEMENT_H_
+#define SCHEMR_SCHEMA_ELEMENT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace schemr {
+
+/// Index of an element within its schema.
+using ElementId = uint32_t;
+
+/// Sentinel for "no element" (roots have this as parent).
+inline constexpr ElementId kNoElement = UINT32_MAX;
+
+/// Stable identifier of a schema within a repository.
+using SchemaId = uint64_t;
+
+/// Sentinel for "no schema assigned yet".
+inline constexpr SchemaId kNoSchema = UINT64_MAX;
+
+/// Role of an element in the schema graph.
+enum class ElementKind : uint8_t {
+  kEntity = 0,     ///< Table, XSD complex type, nested record.
+  kAttribute = 1,  ///< Column, XSD simple element or attribute.
+};
+
+/// Logical data type of an attribute. kNone for entities.
+enum class DataType : uint8_t {
+  kNone = 0,
+  kString,
+  kText,
+  kInt32,
+  kInt64,
+  kFloat,
+  kDouble,
+  kDecimal,
+  kBool,
+  kDate,
+  kTime,
+  kDateTime,
+  kBinary,
+};
+
+/// Stable lowercase name of a data type ("int64", "datetime", ...).
+const char* DataTypeName(DataType type);
+
+/// Stable name of an element kind ("entity" / "attribute").
+const char* ElementKindName(ElementKind kind);
+
+/// One node of a schema graph.
+struct Element {
+  std::string name;
+  /// Optional human documentation (column comment, xs:documentation).
+  std::string documentation;
+  ElementKind kind = ElementKind::kAttribute;
+  DataType type = DataType::kNone;
+  /// Containing element; kNoElement for roots.
+  ElementId parent = kNoElement;
+  bool nullable = true;
+  bool primary_key = false;
+
+  bool operator==(const Element&) const = default;
+};
+
+}  // namespace schemr
+
+#endif  // SCHEMR_SCHEMA_ELEMENT_H_

@@ -1,0 +1,239 @@
+#include "schema/schema.h"
+
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace schemr {
+
+ElementId Schema::AddEntity(std::string name, ElementId parent) {
+  Element e;
+  e.name = std::move(name);
+  e.kind = ElementKind::kEntity;
+  e.type = DataType::kNone;
+  e.parent = parent;
+  return AddElement(std::move(e));
+}
+
+ElementId Schema::AddAttribute(std::string name, ElementId parent,
+                               DataType type) {
+  Element e;
+  e.name = std::move(name);
+  e.kind = ElementKind::kAttribute;
+  e.type = type;
+  e.parent = parent;
+  return AddElement(std::move(e));
+}
+
+ElementId Schema::AddElement(Element element) {
+  InvalidateCache();
+  elements_.push_back(std::move(element));
+  return static_cast<ElementId>(elements_.size() - 1);
+}
+
+void Schema::AddForeignKey(ElementId attribute, ElementId target_entity,
+                           ElementId target_attribute) {
+  foreign_keys_.push_back(ForeignKey{attribute, target_entity,
+                                     target_attribute});
+}
+
+Element* Schema::mutable_element(ElementId id) {
+  InvalidateCache();
+  return &elements_[id];
+}
+
+std::vector<ElementId> Schema::Roots() const {
+  std::vector<ElementId> out;
+  for (ElementId i = 0; i < elements_.size(); ++i) {
+    if (elements_[i].parent == kNoElement) out.push_back(i);
+  }
+  return out;
+}
+
+const std::vector<ElementId>& Schema::Children(ElementId id) const {
+  EnsureChildren();
+  return children_[id];
+}
+
+std::vector<ElementId> Schema::Entities() const {
+  std::vector<ElementId> out;
+  for (ElementId i = 0; i < elements_.size(); ++i) {
+    if (elements_[i].kind == ElementKind::kEntity) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<ElementId> Schema::Attributes() const {
+  std::vector<ElementId> out;
+  for (ElementId i = 0; i < elements_.size(); ++i) {
+    if (elements_[i].kind == ElementKind::kAttribute) out.push_back(i);
+  }
+  return out;
+}
+
+size_t Schema::NumEntities() const {
+  size_t n = 0;
+  for (const auto& e : elements_) n += (e.kind == ElementKind::kEntity);
+  return n;
+}
+
+size_t Schema::NumAttributes() const {
+  size_t n = 0;
+  for (const auto& e : elements_) n += (e.kind == ElementKind::kAttribute);
+  return n;
+}
+
+ElementId Schema::EntityOf(ElementId id) const {
+  ElementId cur = id;
+  // Bounded by tree height; Validate() guarantees acyclicity for valid
+  // schemas, and the size() bound makes this loop safe even on bad input.
+  for (size_t steps = 0; steps <= elements_.size(); ++steps) {
+    if (cur == kNoElement) return kNoElement;
+    if (elements_[cur].kind == ElementKind::kEntity) return cur;
+    cur = elements_[cur].parent;
+  }
+  return kNoElement;
+}
+
+size_t Schema::Depth(ElementId id) const {
+  size_t depth = 0;
+  ElementId cur = elements_[id].parent;
+  while (cur != kNoElement && depth <= elements_.size()) {
+    ++depth;
+    cur = elements_[cur].parent;
+  }
+  return depth;
+}
+
+std::string Schema::Path(ElementId id) const {
+  std::vector<std::string> parts;
+  ElementId cur = id;
+  size_t guard = 0;
+  while (cur != kNoElement && guard++ <= elements_.size()) {
+    parts.push_back(elements_[cur].name);
+    cur = elements_[cur].parent;
+  }
+  std::string out;
+  for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+    if (!out.empty()) out += '.';
+    out += *it;
+  }
+  return out;
+}
+
+std::optional<ElementId> Schema::FindByName(
+    std::string_view name, std::optional<ElementKind> kind) const {
+  for (ElementId i = 0; i < elements_.size(); ++i) {
+    if (kind && elements_[i].kind != *kind) continue;
+    if (EqualsIgnoreCase(elements_[i].name, name)) return i;
+  }
+  return std::nullopt;
+}
+
+Status Schema::Validate() const {
+  const size_t n = elements_.size();
+  for (ElementId i = 0; i < n; ++i) {
+    const Element& e = elements_[i];
+    if (e.name.empty()) {
+      return Status::InvalidArgument("element " + std::to_string(i) +
+                                     " has empty name");
+    }
+    if (e.parent != kNoElement) {
+      if (e.parent >= n) {
+        return Status::InvalidArgument("element '" + e.name +
+                                       "' has out-of-range parent");
+      }
+      if (elements_[e.parent].kind == ElementKind::kAttribute) {
+        return Status::InvalidArgument("attribute '" +
+                                       elements_[e.parent].name +
+                                       "' has child '" + e.name + "'");
+      }
+    }
+    // Cycle check: walk to root, bounded by n steps.
+    ElementId cur = e.parent;
+    size_t steps = 0;
+    while (cur != kNoElement) {
+      if (++steps > n) {
+        return Status::InvalidArgument("containment cycle through '" +
+                                       e.name + "'");
+      }
+      if (cur >= n) break;  // caught above when that element is visited
+      cur = elements_[cur].parent;
+    }
+  }
+  for (const ForeignKey& fk : foreign_keys_) {
+    if (fk.attribute >= n ||
+        elements_[fk.attribute].kind != ElementKind::kAttribute) {
+      return Status::InvalidArgument("foreign key source is not an attribute");
+    }
+    if (fk.target_entity >= n ||
+        elements_[fk.target_entity].kind != ElementKind::kEntity) {
+      return Status::InvalidArgument("foreign key target is not an entity");
+    }
+    if (fk.target_attribute != kNoElement &&
+        (fk.target_attribute >= n ||
+         elements_[fk.target_attribute].kind != ElementKind::kAttribute)) {
+      return Status::InvalidArgument(
+          "foreign key target attribute is not an attribute");
+    }
+  }
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  os << "schema '" << name_ << "'";
+  if (id_ != kNoSchema) os << " (id " << id_ << ")";
+  os << ": " << NumEntities() << " entities, " << NumAttributes()
+     << " attributes\n";
+  // Render the forest depth-first.
+  EnsureChildren();
+  struct Frame {
+    ElementId id;
+    size_t depth;
+  };
+  std::vector<Frame> stack;
+  std::vector<ElementId> roots = Roots();
+  for (auto it = roots.rbegin(); it != roots.rend(); ++it) {
+    stack.push_back({*it, 0});
+  }
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    const Element& e = elements_[f.id];
+    for (size_t i = 0; i < f.depth; ++i) os << "  ";
+    os << (e.kind == ElementKind::kEntity ? "+ " : "- ") << e.name;
+    if (e.kind == ElementKind::kAttribute) os << " : " << DataTypeName(e.type);
+    if (e.primary_key) os << " [pk]";
+    os << "\n";
+    const auto& kids = children_[f.id];
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back({*it, f.depth + 1});
+    }
+  }
+  for (const ForeignKey& fk : foreign_keys_) {
+    os << "  fk: " << Path(fk.attribute) << " -> "
+       << elements_[fk.target_entity].name;
+    if (fk.target_attribute != kNoElement) {
+      os << "." << elements_[fk.target_attribute].name;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+void Schema::InvalidateCache() const { children_valid_ = false; }
+
+void Schema::EnsureChildren() const {
+  if (children_valid_) return;
+  children_.assign(elements_.size(), {});
+  for (ElementId i = 0; i < elements_.size(); ++i) {
+    ElementId p = elements_[i].parent;
+    if (p != kNoElement && p < elements_.size()) {
+      children_[p].push_back(i);
+    }
+  }
+  children_valid_ = true;
+}
+
+}  // namespace schemr

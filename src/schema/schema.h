@@ -1,0 +1,146 @@
+// The Schema class: a forest of elements plus foreign-key links.
+//
+// A Schema owns a vector of Elements; element ids are indices into that
+// vector, so a schema is a compact, cheaply copyable value type. Structure
+// is encoded by Element::parent (containment) and by ForeignKey records
+// (cross-entity references). Derived adjacency (children lists, entity
+// lists) is computed on demand and cached; any mutation invalidates the
+// cache.
+
+#ifndef SCHEMR_SCHEMA_SCHEMA_H_
+#define SCHEMR_SCHEMA_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "schema/element.h"
+#include "util/status.h"
+
+namespace schemr {
+
+/// A foreign-key edge: `attribute` (in some entity) references
+/// `target_entity`, optionally naming the referenced attribute.
+struct ForeignKey {
+  ElementId attribute = kNoElement;
+  ElementId target_entity = kNoElement;
+  ElementId target_attribute = kNoElement;  // optional; kNoElement if unnamed
+
+  bool operator==(const ForeignKey&) const = default;
+};
+
+/// A schema: metadata + element forest + foreign keys.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::string name) : name_(std::move(name)) {}
+
+  // --- Metadata -----------------------------------------------------------
+
+  SchemaId id() const { return id_; }
+  void set_id(SchemaId id) { id_ = id; }
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const std::string& description() const { return description_; }
+  void set_description(std::string d) { description_ = std::move(d); }
+
+  /// Provenance URI ("ddl://...", "xsd://...", "webtable://...").
+  const std::string& source() const { return source_; }
+  void set_source(std::string s) { source_ = std::move(s); }
+
+  // --- Construction -------------------------------------------------------
+
+  /// Adds an entity under `parent` (kNoElement for a root entity).
+  /// Returns its id. Invalid parent ids are caught by Validate().
+  ElementId AddEntity(std::string name, ElementId parent = kNoElement);
+
+  /// Adds an attribute of `type` to entity `parent`. Returns its id.
+  ElementId AddAttribute(std::string name, ElementId parent,
+                         DataType type = DataType::kString);
+
+  /// Appends a fully specified element (used by codecs/importers).
+  ElementId AddElement(Element element);
+
+  /// Records a foreign key. Referential validity is checked by Validate().
+  void AddForeignKey(ElementId attribute, ElementId target_entity,
+                     ElementId target_attribute = kNoElement);
+
+  /// Mutable access for importers; invalidates cached adjacency.
+  Element* mutable_element(ElementId id);
+
+  // --- Access -------------------------------------------------------------
+
+  size_t size() const { return elements_.size(); }
+  bool empty() const { return elements_.empty(); }
+  const Element& element(ElementId id) const { return elements_[id]; }
+  const std::vector<Element>& elements() const { return elements_; }
+  const std::vector<ForeignKey>& foreign_keys() const { return foreign_keys_; }
+
+  /// Ids of elements with no parent, in insertion order.
+  std::vector<ElementId> Roots() const;
+
+  /// Ids of direct children of `id`, in insertion order.
+  const std::vector<ElementId>& Children(ElementId id) const;
+
+  /// All entity ids / all attribute ids, in insertion order.
+  std::vector<ElementId> Entities() const;
+  std::vector<ElementId> Attributes() const;
+
+  size_t NumEntities() const;
+  size_t NumAttributes() const;
+
+  /// The entity containing `id`: itself if an entity, else the nearest
+  /// entity ancestor; kNoElement for a parentless attribute.
+  ElementId EntityOf(ElementId id) const;
+
+  /// Distance from root (roots have depth 0).
+  size_t Depth(ElementId id) const;
+
+  /// Dotted path from root, e.g. "patient.height".
+  std::string Path(ElementId id) const;
+
+  /// Finds the first element with this exact name (case-insensitive),
+  /// optionally restricted to a kind.
+  std::optional<ElementId> FindByName(
+      std::string_view name,
+      std::optional<ElementKind> kind = std::nullopt) const;
+
+  // --- Integrity ----------------------------------------------------------
+
+  /// Checks structural invariants:
+  ///  - parent ids in range, containment graph acyclic;
+  ///  - attributes never contain children;
+  ///  - foreign keys reference an existing attribute and entity;
+  ///  - element names non-empty.
+  Status Validate() const;
+
+  /// Human-readable multi-line rendering (for tests and examples).
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const {
+    return id_ == other.id_ && name_ == other.name_ &&
+           description_ == other.description_ && source_ == other.source_ &&
+           elements_ == other.elements_ && foreign_keys_ == other.foreign_keys_;
+  }
+
+ private:
+  void InvalidateCache() const;
+  void EnsureChildren() const;
+
+  SchemaId id_ = kNoSchema;
+  std::string name_;
+  std::string description_;
+  std::string source_;
+  std::vector<Element> elements_;
+  std::vector<ForeignKey> foreign_keys_;
+
+  // Lazily built child adjacency; indexed by element id.
+  mutable bool children_valid_ = false;
+  mutable std::vector<std::vector<ElementId>> children_;
+};
+
+}  // namespace schemr
+
+#endif  // SCHEMR_SCHEMA_SCHEMA_H_

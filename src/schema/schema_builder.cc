@@ -1,0 +1,109 @@
+#include "schema/schema_builder.h"
+
+#include <cassert>
+
+#include "util/string_util.h"
+
+namespace schemr {
+
+SchemaBuilder& SchemaBuilder::Entity(std::string name) {
+  entity_stack_.clear();
+  entity_stack_.push_back(schema_.AddEntity(std::move(name)));
+  last_attribute_ = kNoElement;
+  return *this;
+}
+
+SchemaBuilder& SchemaBuilder::NestedEntity(std::string name) {
+  ElementId parent = entity_stack_.empty() ? kNoElement : entity_stack_.back();
+  entity_stack_.push_back(schema_.AddEntity(std::move(name), parent));
+  last_attribute_ = kNoElement;
+  return *this;
+}
+
+SchemaBuilder& SchemaBuilder::End() {
+  if (!entity_stack_.empty()) entity_stack_.pop_back();
+  last_attribute_ = kNoElement;
+  return *this;
+}
+
+SchemaBuilder& SchemaBuilder::Attribute(std::string name, DataType type) {
+  ElementId parent = entity_stack_.empty() ? kNoElement : entity_stack_.back();
+  last_attribute_ = schema_.AddAttribute(std::move(name), parent, type);
+  return *this;
+}
+
+SchemaBuilder& SchemaBuilder::PrimaryKey() {
+  if (last_attribute_ != kNoElement) {
+    Element* e = schema_.mutable_element(last_attribute_);
+    e->primary_key = true;
+    e->nullable = false;
+  }
+  return *this;
+}
+
+SchemaBuilder& SchemaBuilder::NotNull() {
+  if (last_attribute_ != kNoElement) {
+    schema_.mutable_element(last_attribute_)->nullable = false;
+  }
+  return *this;
+}
+
+SchemaBuilder& SchemaBuilder::Doc(std::string documentation) {
+  ElementId target = last_attribute_ != kNoElement
+                         ? last_attribute_
+                         : (entity_stack_.empty() ? kNoElement
+                                                  : entity_stack_.back());
+  if (target != kNoElement) {
+    schema_.mutable_element(target)->documentation = std::move(documentation);
+  }
+  return *this;
+}
+
+SchemaBuilder& SchemaBuilder::References(std::string target) {
+  if (last_attribute_ != kNoElement) {
+    pending_fks_.push_back(PendingFk{last_attribute_, std::move(target)});
+  }
+  return *this;
+}
+
+Schema SchemaBuilder::Build() {
+  Result<Schema> result = TryBuild();
+  assert(result.ok());
+  return std::move(result).value();
+}
+
+Result<Schema> SchemaBuilder::TryBuild() {
+  for (const PendingFk& fk : pending_fks_) {
+    auto dot = fk.target.find('.');
+    std::string entity_name =
+        dot == std::string::npos ? fk.target : fk.target.substr(0, dot);
+    auto entity = schema_.FindByName(entity_name, ElementKind::kEntity);
+    if (!entity) {
+      return Status::InvalidArgument("unresolved foreign key target '" +
+                                     fk.target + "'");
+    }
+    ElementId target_attr = kNoElement;
+    if (dot != std::string::npos) {
+      std::string attr_name = fk.target.substr(dot + 1);
+      bool found = false;
+      for (ElementId child : schema_.Children(*entity)) {
+        if (schema_.element(child).kind == ElementKind::kAttribute &&
+            EqualsIgnoreCase(schema_.element(child).name, attr_name)) {
+          target_attr = child;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return Status::InvalidArgument("unresolved foreign key attribute '" +
+                                       fk.target + "'");
+      }
+    }
+    schema_.AddForeignKey(fk.attribute, *entity, target_attr);
+  }
+  pending_fks_.clear();
+  SCHEMR_RETURN_IF_ERROR(schema_.Validate());
+  return std::move(schema_);
+}
+
+}  // namespace schemr

@@ -1,0 +1,89 @@
+// Fluent construction of relational schemas, used heavily by tests,
+// examples and the corpus generator.
+//
+//   Schema s = SchemaBuilder("clinic")
+//                  .Entity("patient")
+//                  .Attribute("id", DataType::kInt64).PrimaryKey()
+//                  .Attribute("height", DataType::kDouble)
+//                  .Entity("case")
+//                  .Attribute("patient_id", DataType::kInt64)
+//                  .References("patient")
+//                  .Build();
+
+#ifndef SCHEMR_SCHEMA_SCHEMA_BUILDER_H_
+#define SCHEMR_SCHEMA_SCHEMA_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "schema/schema.h"
+
+namespace schemr {
+
+/// Incrementally builds a Schema. Entity() opens a new (root or nested)
+/// entity; Attribute() appends to the most recent entity; References()
+/// adds a foreign key from the most recent attribute to a named entity
+/// (resolved at Build() time so forward references work).
+class SchemaBuilder {
+ public:
+  explicit SchemaBuilder(std::string name) : schema_(std::move(name)) {}
+
+  SchemaBuilder& Description(std::string d) {
+    schema_.set_description(std::move(d));
+    return *this;
+  }
+
+  SchemaBuilder& Source(std::string s) {
+    schema_.set_source(std::move(s));
+    return *this;
+  }
+
+  /// Opens a new root entity; subsequent Attribute() calls attach to it.
+  SchemaBuilder& Entity(std::string name);
+
+  /// Opens a new entity nested inside the current entity.
+  SchemaBuilder& NestedEntity(std::string name);
+
+  /// Closes the current nested entity, returning to its parent entity.
+  SchemaBuilder& End();
+
+  /// Appends an attribute to the current entity.
+  SchemaBuilder& Attribute(std::string name,
+                           DataType type = DataType::kString);
+
+  /// Marks the most recent attribute as primary key (implies NOT NULL).
+  SchemaBuilder& PrimaryKey();
+
+  /// Marks the most recent attribute NOT NULL.
+  SchemaBuilder& NotNull();
+
+  /// Sets documentation on the most recent element.
+  SchemaBuilder& Doc(std::string documentation);
+
+  /// Adds a foreign key from the most recent attribute to entity `name`
+  /// (optionally `name.attribute`). Resolved when Build() is called.
+  SchemaBuilder& References(std::string target);
+
+  /// Finalizes, validates and returns the schema. Aborts (assert) on
+  /// builder misuse in debug builds; use TryBuild for checked building.
+  Schema Build();
+
+  /// Finalizes and validates; returns InvalidArgument for unresolved
+  /// references or misuse instead of asserting.
+  Result<Schema> TryBuild();
+
+ private:
+  struct PendingFk {
+    ElementId attribute;
+    std::string target;  // "entity" or "entity.attribute"
+  };
+
+  Schema schema_;
+  std::vector<ElementId> entity_stack_;
+  ElementId last_attribute_ = kNoElement;
+  std::vector<PendingFk> pending_fks_;
+};
+
+}  // namespace schemr
+
+#endif  // SCHEMR_SCHEMA_SCHEMA_BUILDER_H_

@@ -1,0 +1,141 @@
+#include "schema/schema_codec.h"
+
+#include "util/varint.h"
+
+namespace schemr {
+
+namespace {
+
+constexpr std::string_view kMagic = "SCM1";
+constexpr uint8_t kMaxDataType = static_cast<uint8_t>(DataType::kBinary);
+
+constexpr uint8_t kFlagNullable = 0x01;
+constexpr uint8_t kFlagPrimaryKey = 0x02;
+
+// kNoElement <-> 0 bijection for optional element references.
+uint64_t EncodeRef(ElementId id) {
+  return id == kNoElement ? 0 : static_cast<uint64_t>(id) + 1;
+}
+
+Status DecodeRef(uint64_t raw, size_t limit, bool allow_none, ElementId* out) {
+  if (raw == 0) {
+    if (!allow_none) return Status::Corruption("missing element reference");
+    *out = kNoElement;
+    return Status::OK();
+  }
+  uint64_t id = raw - 1;
+  if (id >= limit) return Status::Corruption("element reference out of range");
+  *out = static_cast<ElementId>(id);
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeSchema(const Schema& schema) {
+  std::string out;
+  out.append(kMagic);
+  PutVarint64(&out, schema.id() == kNoSchema ? 0 : schema.id() + 1);
+  PutLengthPrefixed(&out, schema.name());
+  PutLengthPrefixed(&out, schema.description());
+  PutLengthPrefixed(&out, schema.source());
+  PutVarint64(&out, schema.size());
+  for (const Element& e : schema.elements()) {
+    PutLengthPrefixed(&out, e.name);
+    PutLengthPrefixed(&out, e.documentation);
+    out.push_back(static_cast<char>(e.kind));
+    out.push_back(static_cast<char>(e.type));
+    PutVarint64(&out, EncodeRef(e.parent));
+    uint8_t flags = 0;
+    if (e.nullable) flags |= kFlagNullable;
+    if (e.primary_key) flags |= kFlagPrimaryKey;
+    out.push_back(static_cast<char>(flags));
+  }
+  PutVarint64(&out, schema.foreign_keys().size());
+  for (const ForeignKey& fk : schema.foreign_keys()) {
+    PutVarint64(&out, EncodeRef(fk.attribute));
+    PutVarint64(&out, EncodeRef(fk.target_entity));
+    PutVarint64(&out, EncodeRef(fk.target_attribute));
+  }
+  return out;
+}
+
+Result<Schema> DecodeSchema(std::string_view data) {
+  if (data.size() < kMagic.size() || data.substr(0, kMagic.size()) != kMagic) {
+    return Status::Corruption("bad schema magic");
+  }
+  data.remove_prefix(kMagic.size());
+
+  Schema schema;
+  uint64_t raw_id = 0;
+  SCHEMR_RETURN_IF_ERROR(GetVarint64(&data, &raw_id));
+  schema.set_id(raw_id == 0 ? kNoSchema : raw_id - 1);
+
+  std::string_view name, description, source;
+  SCHEMR_RETURN_IF_ERROR(GetLengthPrefixed(&data, &name));
+  SCHEMR_RETURN_IF_ERROR(GetLengthPrefixed(&data, &description));
+  SCHEMR_RETURN_IF_ERROR(GetLengthPrefixed(&data, &source));
+  schema.set_name(std::string(name));
+  schema.set_description(std::string(description));
+  schema.set_source(std::string(source));
+
+  uint64_t num_elements = 0;
+  SCHEMR_RETURN_IF_ERROR(GetVarint64(&data, &num_elements));
+  if (num_elements > data.size()) {
+    // Each element needs at least a few bytes; this bounds allocation on
+    // corrupt counts.
+    return Status::Corruption("element count exceeds payload");
+  }
+  for (uint64_t i = 0; i < num_elements; ++i) {
+    Element e;
+    std::string_view ename, edoc;
+    SCHEMR_RETURN_IF_ERROR(GetLengthPrefixed(&data, &ename));
+    SCHEMR_RETURN_IF_ERROR(GetLengthPrefixed(&data, &edoc));
+    e.name = std::string(ename);
+    e.documentation = std::string(edoc);
+    if (data.size() < 2) return Status::Corruption("truncated element");
+    uint8_t kind = static_cast<uint8_t>(data[0]);
+    uint8_t type = static_cast<uint8_t>(data[1]);
+    data.remove_prefix(2);
+    if (kind > 1) return Status::Corruption("bad element kind");
+    if (type > kMaxDataType) return Status::Corruption("bad data type");
+    e.kind = static_cast<ElementKind>(kind);
+    e.type = static_cast<DataType>(type);
+    uint64_t raw_parent = 0;
+    SCHEMR_RETURN_IF_ERROR(GetVarint64(&data, &raw_parent));
+    SCHEMR_RETURN_IF_ERROR(
+        DecodeRef(raw_parent, num_elements, /*allow_none=*/true, &e.parent));
+    if (data.empty()) return Status::Corruption("truncated element flags");
+    uint8_t flags = static_cast<uint8_t>(data[0]);
+    data.remove_prefix(1);
+    e.nullable = (flags & kFlagNullable) != 0;
+    e.primary_key = (flags & kFlagPrimaryKey) != 0;
+    schema.AddElement(std::move(e));
+  }
+
+  uint64_t num_fks = 0;
+  SCHEMR_RETURN_IF_ERROR(GetVarint64(&data, &num_fks));
+  if (num_fks > data.size() + 1) {
+    return Status::Corruption("foreign key count exceeds payload");
+  }
+  for (uint64_t i = 0; i < num_fks; ++i) {
+    uint64_t raw_attr = 0, raw_entity = 0, raw_target_attr = 0;
+    SCHEMR_RETURN_IF_ERROR(GetVarint64(&data, &raw_attr));
+    SCHEMR_RETURN_IF_ERROR(GetVarint64(&data, &raw_entity));
+    SCHEMR_RETURN_IF_ERROR(GetVarint64(&data, &raw_target_attr));
+    ElementId attr, entity, target_attr;
+    SCHEMR_RETURN_IF_ERROR(
+        DecodeRef(raw_attr, num_elements, /*allow_none=*/false, &attr));
+    SCHEMR_RETURN_IF_ERROR(
+        DecodeRef(raw_entity, num_elements, /*allow_none=*/false, &entity));
+    SCHEMR_RETURN_IF_ERROR(DecodeRef(raw_target_attr, num_elements,
+                                     /*allow_none=*/true, &target_attr));
+    schema.AddForeignKey(attr, entity, target_attr);
+  }
+
+  if (!data.empty()) {
+    return Status::Corruption("trailing bytes after schema");
+  }
+  return schema;
+}
+
+}  // namespace schemr

@@ -1,0 +1,33 @@
+// Compact binary (de)serialization of Schema values.
+//
+// Used by the schema repository to persist schemas in the storage engine
+// and by the service layer to cache flattened documents. The format is
+// versioned and self-describing enough for forward error reporting:
+//
+//   "SCM1" magic | varint64 id | lp name | lp description | lp source |
+//   varint count | elements... | varint count | foreign keys...
+//
+// where lp = length-prefixed string and element parents / FK targets are
+// stored as id+1 so that kNoElement encodes as 0.
+
+#ifndef SCHEMR_SCHEMA_SCHEMA_CODEC_H_
+#define SCHEMR_SCHEMA_SCHEMA_CODEC_H_
+
+#include <string>
+#include <string_view>
+
+#include "schema/schema.h"
+#include "util/status.h"
+
+namespace schemr {
+
+/// Serializes `schema` to a compact binary string.
+std::string EncodeSchema(const Schema& schema);
+
+/// Parses a schema previously produced by EncodeSchema. Returns Corruption
+/// for malformed input (bad magic, truncation, out-of-range enums).
+Result<Schema> DecodeSchema(std::string_view data);
+
+}  // namespace schemr
+
+#endif  // SCHEMR_SCHEMA_SCHEMA_CODEC_H_

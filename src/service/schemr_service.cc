@@ -1,0 +1,153 @@
+#include "service/schemr_service.h"
+
+#include "core/query_parser.h"
+#include "match/codebook.h"
+#include "util/xml_writer.h"
+#include "viz/graphml_writer.h"
+#include "viz/html_report.h"
+#include "viz/layout.h"
+#include "viz/svg_writer.h"
+
+namespace schemr {
+
+namespace {
+
+SearchEngineOptions WithRequest(const SearchRequest& request,
+                                SearchEngineOptions options) {
+  options.top_k = request.top_k;
+  options.extraction.pool_size = request.candidate_pool;
+  return options;
+}
+
+std::unordered_map<ElementId, double> ScoreMap(
+    const std::vector<MatchedElement>& scores) {
+  std::unordered_map<ElementId, double> map;
+  for (const MatchedElement& m : scores) map[m.element] = m.score;
+  return map;
+}
+
+}  // namespace
+
+Result<std::vector<SearchResult>> SchemrService::Search(
+    const SearchRequest& request,
+    const SearchEngineOptions& engine_options) const {
+  SCHEMR_ASSIGN_OR_RETURN(QueryGraph query,
+                          ParseQuery(request.keywords, request.fragment));
+  return engine_.Search(query, WithRequest(request, engine_options));
+}
+
+Result<std::string> SchemrService::SearchXml(
+    const SearchRequest& request,
+    const SearchEngineOptions& engine_options) const {
+  SCHEMR_ASSIGN_OR_RETURN(QueryGraph query,
+                          ParseQuery(request.keywords, request.fragment));
+  SCHEMR_ASSIGN_OR_RETURN(
+      std::vector<SearchResult> results,
+      engine_.Search(query, WithRequest(request, engine_options)));
+
+  XmlWriter xml;
+  xml.Open("results").Attribute("query", query.ToString());
+  xml.Attribute("count", static_cast<long long>(results.size()));
+  for (const SearchResult& result : results) {
+    xml.Open("result")
+        .Attribute("id", static_cast<long long>(result.schema_id))
+        .Attribute("name", result.name)
+        .Attribute("score", result.score)
+        .Attribute("coarse", result.coarse_score)
+        .Attribute("tightness", result.tightness)
+        .Attribute("matches", static_cast<long long>(result.num_matches))
+        .Attribute("entities", static_cast<long long>(result.num_entities))
+        .Attribute("attributes",
+                   static_cast<long long>(result.num_attributes));
+    if (!result.description.empty()) {
+      xml.SimpleElement("description", result.description);
+    }
+    for (const MatchedElement& m : result.matched_elements) {
+      xml.Open("element")
+          .Attribute("id", static_cast<long long>(m.element))
+          .Attribute("score", m.score)
+          .Attribute("penalized", m.penalized_score)
+          .Close();
+    }
+    xml.Close();
+  }
+  return xml.Finish();
+}
+
+Result<SchemaGraphView> SchemrService::BuildView(
+    const VisualizationRequest& request) const {
+  SCHEMR_ASSIGN_OR_RETURN(Schema schema, repository_->Get(request.schema_id));
+  GraphViewOptions options;
+  options.max_depth = request.max_depth;
+  options.root = request.root;
+  SchemaGraphView view = BuildGraphView(schema, ScoreMap(request.scores),
+                                        options);
+  // Codebook annotations ride along on the nodes ("a deeper
+  // standardization of data types alongside schema search results").
+  for (const AnnotatedElement& note :
+       Codebook::Default().AnnotateSchema(schema)) {
+    size_t index = view.NodeIndexOf(note.element);
+    if (index != SIZE_MAX) {
+      view.nodes[index].semantic = SemanticTypeName(note.entry.semantic);
+      if (!note.entry.unit.empty()) {
+        view.nodes[index].semantic += " [" + note.entry.unit + "]";
+      }
+    }
+  }
+  if (request.layout == "radial") {
+    ApplyRadialLayout(&view);
+  } else if (request.layout == "tree" || request.layout.empty()) {
+    ApplyTreeLayout(&view);
+  } else {
+    return Status::InvalidArgument("unknown layout '" + request.layout +
+                                   "' (expected 'tree' or 'radial')");
+  }
+  return view;
+}
+
+Result<std::string> SchemrService::GetSchemaGraphMl(
+    const VisualizationRequest& request) const {
+  SCHEMR_ASSIGN_OR_RETURN(SchemaGraphView view, BuildView(request));
+  return WriteGraphMl(view);
+}
+
+Result<std::string> SchemrService::GetSchemaSvg(
+    const VisualizationRequest& request) const {
+  SCHEMR_ASSIGN_OR_RETURN(SchemaGraphView view, BuildView(request));
+  return WriteSvg(view);
+}
+
+Result<std::string> SchemrService::RenderHtmlReport(
+    const SearchRequest& request, size_t max_panels,
+    const SearchEngineOptions& engine_options) const {
+  SCHEMR_ASSIGN_OR_RETURN(std::vector<SearchResult> results,
+                          Search(request, engine_options));
+
+  std::vector<ReportRow> rows;
+  rows.reserve(results.size());
+  for (const SearchResult& r : results) {
+    rows.push_back(ReportRow{r.name, r.score, r.num_matches, r.num_entities,
+                             r.num_attributes, r.description});
+  }
+
+  std::vector<ReportPanel> panels;
+  for (size_t i = 0; i < results.size() && i < max_panels; ++i) {
+    VisualizationRequest viz;
+    viz.schema_id = results[i].schema_id;
+    viz.scores = results[i].matched_elements;
+    // Alternate layouts across panels, as the GUI offers both.
+    viz.layout = (i % 2 == 0) ? "tree" : "radial";
+    SCHEMR_ASSIGN_OR_RETURN(std::string svg, GetSchemaSvg(viz));
+    panels.push_back(ReportPanel{
+        results[i].name + " (" + viz.layout + " view)", std::move(svg)});
+  }
+
+  std::string query_desc = "keywords: \"" + request.keywords + "\"";
+  if (!request.fragment.empty()) {
+    query_desc += "  +  schema fragment (" +
+                  std::to_string(request.fragment.size()) + " chars)";
+  }
+  return WriteHtmlReport("Schemr search results", query_desc, rows, panels);
+}
+
+}  // namespace schemr

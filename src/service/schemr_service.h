@@ -1,0 +1,90 @@
+// The Schemr server facade (paper Fig. 5).
+//
+// The GUI sends a search request (keywords + optional DDL/XSD fragment);
+// the service runs the three-phase pipeline and returns results "as an XML
+// response to the client". Clicking a result triggers a second request
+// with the schema ID; the service looks the schema up in the repository
+// and returns a GraphML rendering. This module implements both endpoints
+// headlessly (strings in, strings out), plus an HTML report that plays the
+// role of the two-panel GUI.
+
+#ifndef SCHEMR_SERVICE_SCHEMR_SERVICE_H_
+#define SCHEMR_SERVICE_SCHEMR_SERVICE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/search_engine.h"
+#include "viz/graph_view.h"
+
+namespace schemr {
+
+/// A client search request.
+struct SearchRequest {
+  std::string keywords;
+  /// DDL or XSD fragment text; format auto-detected. May be empty.
+  std::string fragment;
+  size_t top_k = 10;
+  size_t candidate_pool = 50;
+};
+
+/// A client visualization request ("drill-in").
+struct VisualizationRequest {
+  SchemaId schema_id = kNoSchema;
+  /// Drill-in root (double-clicked node); kNoElement shows the forest.
+  ElementId root = kNoElement;
+  size_t max_depth = 3;
+  /// "tree" or "radial".
+  std::string layout = "tree";
+  /// Per-element match scores from a previous search response, for color
+  /// encoding. May be empty.
+  std::vector<MatchedElement> scores;
+};
+
+class SchemrService {
+ public:
+  SchemrService(const SchemaRepository* repository,
+                const InvertedIndex* index,
+                MatcherEnsemble ensemble = MatcherEnsemble::Default())
+      : repository_(repository),
+        engine_(repository, index, std::move(ensemble)) {}
+
+  /// Runs a search and returns structured results.
+  Result<std::vector<SearchResult>> Search(
+      const SearchRequest& request,
+      const SearchEngineOptions& engine_options = {}) const;
+
+  /// Runs a search and serializes the ranked list as the XML wire format:
+  /// <results query="..."><result id=".." name=".." score=".."
+  /// matches=".." entities=".." attributes=".."><description>..
+  /// </description><element id=".." score=".."/>...</result></results>
+  Result<std::string> SearchXml(
+      const SearchRequest& request,
+      const SearchEngineOptions& engine_options = {}) const;
+
+  /// Resolves a visualization request to a laid-out GraphML document.
+  Result<std::string> GetSchemaGraphMl(
+      const VisualizationRequest& request) const;
+
+  /// Renders an SVG for a visualization request (used by the HTML report
+  /// and the examples).
+  Result<std::string> GetSchemaSvg(const VisualizationRequest& request) const;
+
+  /// Full GUI substitute: search, then render the results table plus the
+  /// top `max_panels` schemas side by side.
+  Result<std::string> RenderHtmlReport(
+      const SearchRequest& request, size_t max_panels = 3,
+      const SearchEngineOptions& engine_options = {}) const;
+
+  const SearchEngine& engine() const { return engine_; }
+
+ private:
+  Result<SchemaGraphView> BuildView(const VisualizationRequest& request) const;
+
+  const SchemaRepository* repository_;
+  SearchEngine engine_;
+};
+
+}  // namespace schemr
+
+#endif  // SCHEMR_SERVICE_SCHEMR_SERVICE_H_

@@ -1,0 +1,377 @@
+#include "store/kv_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "util/crc32.h"
+#include "util/logging.h"
+#include "util/varint.h"
+
+namespace schemr {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr uint8_t kTypePut = 1;
+constexpr uint8_t kTypeDelete = 2;
+constexpr char kSegmentSuffix[] = ".seg";
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+/// Serializes one record; returns the bytes to append.
+std::string EncodeRecord(uint8_t type, std::string_view key,
+                         std::string_view value) {
+  std::string body;
+  body.push_back(static_cast<char>(type));
+  PutVarint64(&body, key.size());
+  PutVarint64(&body, value.size());
+  body.append(key);
+  body.append(value);
+  std::string record;
+  PutFixed32(&record, Crc32Mask(Crc32(body)));
+  record += body;
+  return record;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<KvStore>> KvStore::Open(std::string path,
+                                               KvStoreOptions options) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) {
+    return Status::IOError("cannot create store directory '" + path +
+                           "': " + ec.message());
+  }
+  std::unique_ptr<KvStore> store(new KvStore(std::move(path), options));
+  SCHEMR_RETURN_IF_ERROR(store->Recover());
+  return store;
+}
+
+KvStore::~KvStore() {
+  if (active_fd_ >= 0) ::close(active_fd_);
+}
+
+std::string KvStore::SegmentFileName(uint64_t segment_id) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%08llu",
+                static_cast<unsigned long long>(segment_id));
+  return path_ + "/" + buf + kSegmentSuffix;
+}
+
+Status KvStore::Recover() {
+  segment_ids_.clear();
+  index_.clear();
+  dead_records_ = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(path_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    std::string name = entry.path().filename().string();
+    if (name.size() <= sizeof(kSegmentSuffix) - 1 ||
+        name.substr(name.size() - (sizeof(kSegmentSuffix) - 1)) !=
+            kSegmentSuffix) {
+      continue;
+    }
+    uint64_t id = 0;
+    try {
+      id = std::stoull(name.substr(0, name.size() - 4));
+    } catch (...) {
+      continue;  // not one of ours
+    }
+    segment_ids_.push_back(id);
+  }
+  if (ec) return Status::IOError("cannot list '" + path_ + "': " + ec.message());
+  std::sort(segment_ids_.begin(), segment_ids_.end());
+
+  for (size_t i = 0; i < segment_ids_.size(); ++i) {
+    bool newest = (i + 1 == segment_ids_.size());
+    SCHEMR_RETURN_IF_ERROR(ReplaySegment(segment_ids_[i], newest));
+  }
+  if (segment_ids_.empty()) segment_ids_.push_back(1);
+  return OpenActiveSegment();
+}
+
+Status KvStore::ReplaySegment(uint64_t segment_id, bool newest) {
+  std::string filename = SegmentFileName(segment_id);
+  std::ifstream in(filename, std::ios::binary);
+  if (!in) return Status::IOError("cannot open segment " + filename);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+
+  std::string_view data(contents);
+  uint64_t offset = 0;
+  uint64_t valid_end = 0;
+  Status bad = Status::OK();
+  while (!data.empty()) {
+    std::string_view record_start = data;
+    uint32_t masked_crc = 0;
+    uint8_t type = 0;
+    uint64_t key_len = 0, value_len = 0;
+    Status st = GetFixed32(&data, &masked_crc);
+    if (st.ok() && data.empty()) st = Status::Corruption("truncated record");
+    if (st.ok()) {
+      type = static_cast<uint8_t>(data.front());
+      data.remove_prefix(1);
+      st = GetVarint64(&data, &key_len);
+    }
+    if (st.ok()) st = GetVarint64(&data, &value_len);
+    if (st.ok() && key_len + value_len > data.size()) {
+      st = Status::Corruption("record payload truncated");
+    }
+    if (st.ok()) {
+      // Re-derive the body span to verify the checksum.
+      size_t header_len = record_start.size() - data.size();
+      std::string_view body =
+          record_start.substr(4, header_len - 4 + key_len + value_len);
+      if (Crc32Unmask(masked_crc) != Crc32(body)) {
+        st = Status::Corruption("record checksum mismatch");
+      }
+    }
+    if (st.ok() && type != kTypePut && type != kTypeDelete) {
+      st = Status::Corruption("unknown record type");
+    }
+    if (!st.ok()) {
+      bad = st;
+      break;
+    }
+    std::string key(data.substr(0, key_len));
+    data.remove_prefix(key_len + value_len);
+    uint64_t record_size = record_start.size() - data.size();
+    if (type == kTypePut) {
+      auto [it, inserted] = index_.insert_or_assign(
+          std::move(key), Location{segment_id, offset});
+      (void)it;
+      if (!inserted) ++dead_records_;
+    } else {
+      if (index_.erase(key) > 0) ++dead_records_;
+      ++dead_records_;  // the tombstone itself is dead weight
+    }
+    offset += record_size;
+    valid_end = offset;
+  }
+
+  if (!bad.ok()) {
+    if (!newest) {
+      return Status::Corruption("segment " + filename + ": " + bad.message());
+    }
+    // Torn tail of the active segment from a crash: truncate and move on.
+    SCHEMR_LOG(kWarning) << "truncating torn tail of " << filename << " at "
+                         << valid_end << " (" << bad.message() << ")";
+    std::error_code ec;
+    fs::resize_file(filename, valid_end, ec);
+    if (ec) {
+      return Status::IOError("cannot truncate " + filename + ": " +
+                             ec.message());
+    }
+  }
+  return Status::OK();
+}
+
+Status KvStore::OpenActiveSegment() {
+  if (active_fd_ >= 0) {
+    ::close(active_fd_);
+    active_fd_ = -1;
+  }
+  std::string filename = SegmentFileName(segment_ids_.back());
+  active_fd_ = ::open(filename.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (active_fd_ < 0) return ErrnoStatus("open " + filename);
+  off_t size = ::lseek(active_fd_, 0, SEEK_END);
+  if (size < 0) return ErrnoStatus("lseek " + filename);
+  active_offset_ = static_cast<uint64_t>(size);
+  return Status::OK();
+}
+
+Status KvStore::RollSegmentIfNeeded() {
+  if (active_offset_ < options_.max_segment_bytes) return Status::OK();
+  segment_ids_.push_back(segment_ids_.back() + 1);
+  return OpenActiveSegment();
+}
+
+Status KvStore::AppendRecord(uint8_t type, std::string_view key,
+                             std::string_view value, Location* loc) {
+  SCHEMR_RETURN_IF_ERROR(RollSegmentIfNeeded());
+  std::string record = EncodeRecord(type, key, value);
+  const char* p = record.data();
+  size_t remaining = record.size();
+  while (remaining > 0) {
+    ssize_t n = ::write(active_fd_, p, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write");
+    }
+    p += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  if (options_.sync_on_write && ::fsync(active_fd_) != 0) {
+    return ErrnoStatus("fsync");
+  }
+  if (loc != nullptr) {
+    loc->segment_id = segment_ids_.back();
+    loc->offset = active_offset_;
+  }
+  active_offset_ += record.size();
+  return Status::OK();
+}
+
+Status KvStore::Put(std::string_view key, std::string_view value) {
+  Location loc;
+  SCHEMR_RETURN_IF_ERROR(AppendRecord(kTypePut, key, value, &loc));
+  auto [it, inserted] = index_.insert_or_assign(std::string(key), loc);
+  (void)it;
+  if (!inserted) ++dead_records_;
+  return Status::OK();
+}
+
+Status KvStore::Delete(std::string_view key) {
+  auto it = index_.find(std::string(key));
+  if (it == index_.end()) return Status::OK();
+  SCHEMR_RETURN_IF_ERROR(AppendRecord(kTypeDelete, key, "", nullptr));
+  index_.erase(it);
+  dead_records_ += 2;  // the overwritten record and the tombstone
+  return Status::OK();
+}
+
+Result<std::pair<std::string, std::string>> KvStore::ReadRecordAt(
+    const Location& loc) const {
+  std::string filename = SegmentFileName(loc.segment_id);
+  std::ifstream in(filename, std::ios::binary);
+  if (!in) return Status::IOError("cannot open segment " + filename);
+  in.seekg(static_cast<std::streamoff>(loc.offset));
+  // Read the fixed header then the payload. Varints are at most 10 bytes
+  // each, so 25 bytes covers crc+type+both lengths.
+  char header[25];
+  in.read(header, sizeof(header));
+  std::streamsize got = in.gcount();
+  if (got < 6) return Status::Corruption("record header truncated");
+  std::string_view view(header, static_cast<size_t>(got));
+  uint32_t masked_crc = 0;
+  SCHEMR_RETURN_IF_ERROR(GetFixed32(&view, &masked_crc));
+  uint8_t type = static_cast<uint8_t>(view.front());
+  view.remove_prefix(1);
+  uint64_t key_len = 0, value_len = 0;
+  SCHEMR_RETURN_IF_ERROR(GetVarint64(&view, &key_len));
+  SCHEMR_RETURN_IF_ERROR(GetVarint64(&view, &value_len));
+  size_t header_len = static_cast<size_t>(got) - view.size();
+
+  std::string body;
+  body.resize(header_len - 4 + key_len + value_len);
+  std::memcpy(body.data(), header + 4, header_len - 4);
+  in.clear();
+  in.seekg(static_cast<std::streamoff>(loc.offset + header_len));
+  in.read(body.data() + header_len - 4,
+          static_cast<std::streamsize>(key_len + value_len));
+  if (static_cast<uint64_t>(in.gcount()) != key_len + value_len) {
+    return Status::Corruption("record payload truncated");
+  }
+  if (Crc32Unmask(masked_crc) != Crc32(body)) {
+    return Status::Corruption("record checksum mismatch on read");
+  }
+  if (type != kTypePut) {
+    return Status::Corruption("index points at non-put record");
+  }
+  size_t key_start = header_len - 4;
+  return std::make_pair(body.substr(key_start, key_len),
+                        body.substr(key_start + key_len, value_len));
+}
+
+Result<std::string> KvStore::Get(std::string_view key) const {
+  auto it = index_.find(std::string(key));
+  if (it == index_.end()) {
+    return Status::NotFound("key '" + std::string(key) + "'");
+  }
+  SCHEMR_ASSIGN_OR_RETURN(auto kv, ReadRecordAt(it->second));
+  if (kv.first != key) {
+    return Status::Corruption("index points at record for different key");
+  }
+  return std::move(kv.second);
+}
+
+bool KvStore::Contains(std::string_view key) const {
+  return index_.find(std::string(key)) != index_.end();
+}
+
+std::vector<std::string> KvStore::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(index_.size());
+  for (const auto& [key, loc] : index_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+Status KvStore::ForEach(
+    const std::function<Status(std::string_view, std::string_view)>& fn)
+    const {
+  for (const std::string& key : Keys()) {
+    SCHEMR_ASSIGN_OR_RETURN(std::string value, Get(key));
+    SCHEMR_RETURN_IF_ERROR(fn(key, value));
+  }
+  return Status::OK();
+}
+
+Status KvStore::Compact() {
+  SCHEMR_RETURN_IF_ERROR(Flush());
+  uint64_t new_id = segment_ids_.back() + 1;
+  std::vector<uint64_t> old_ids = segment_ids_;
+
+  // Write all live records into the new segment.
+  segment_ids_.push_back(new_id);
+  SCHEMR_RETURN_IF_ERROR(OpenActiveSegment());
+  std::unordered_map<std::string, Location> new_index;
+  for (const auto& [key, old_loc] : index_) {
+    SCHEMR_ASSIGN_OR_RETURN(auto kv, ReadRecordAt(old_loc));
+    Location loc;
+    SCHEMR_RETURN_IF_ERROR(AppendRecord(kTypePut, key, kv.second, &loc));
+    new_index[key] = loc;
+  }
+  if (::fsync(active_fd_) != 0) return ErrnoStatus("fsync after compaction");
+
+  index_ = std::move(new_index);
+  dead_records_ = 0;
+  // The compaction output may itself have rolled into several segments.
+  std::vector<uint64_t> kept;
+  for (uint64_t id : segment_ids_) {
+    if (id >= new_id) kept.push_back(id);
+  }
+  segment_ids_ = std::move(kept);
+  for (uint64_t id : old_ids) {
+    std::error_code ec;
+    fs::remove(SegmentFileName(id), ec);
+    if (ec) {
+      SCHEMR_LOG(kWarning) << "cannot remove old segment " << id << ": "
+                           << ec.message();
+    }
+  }
+  return Status::OK();
+}
+
+Status KvStore::Flush() {
+  if (active_fd_ >= 0 && ::fsync(active_fd_) != 0) {
+    return ErrnoStatus("fsync");
+  }
+  return Status::OK();
+}
+
+KvStoreStats KvStore::GetStats() const {
+  KvStoreStats stats;
+  stats.live_keys = index_.size();
+  stats.segment_count = segment_ids_.size();
+  stats.dead_records = dead_records_;
+  for (uint64_t id : segment_ids_) {
+    std::error_code ec;
+    auto size = fs::file_size(SegmentFileName(id), ec);
+    if (!ec) stats.total_bytes += size;
+  }
+  return stats;
+}
+
+}  // namespace schemr

@@ -1,0 +1,132 @@
+// Embedded log-structured key-value store.
+//
+// This is the storage engine beneath the schema repository (the role
+// Yggdrasil's RDBMS plays in the paper's architecture, Fig. 5). The design
+// is bitcask-style: all writes append CRC-checksummed records to the active
+// segment file; an in-memory hash index maps each live key to its latest
+// record's location; Get() reads one record back from disk and verifies
+// its checksum. Deletes append tombstones. Compaction rewrites live
+// records into a fresh segment and drops the old files.
+//
+// Durability/recovery contract: every record is self-validating
+// (masked CRC32 over header+payload). On Open() the store replays all
+// segments in id order to rebuild the index; a corrupt or torn record in
+// the *newest* segment is treated as a crashed tail -- the file is
+// truncated at the last valid record and the store opens cleanly. A bad
+// record in any older (immutable) segment is real corruption and fails
+// Open() with Corruption.
+//
+// Record layout (little-endian):
+//   fixed32 masked_crc | u8 type | varint key_len | varint value_len |
+//   key bytes | value bytes
+// where crc covers everything after the crc field.
+
+#ifndef SCHEMR_STORE_KV_STORE_H_
+#define SCHEMR_STORE_KV_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace schemr {
+
+struct KvStoreOptions {
+  /// The active segment rolls over once it exceeds this many bytes.
+  uint64_t max_segment_bytes = 4ull << 20;
+  /// fsync after every write (slow; off for bulk loads and tests).
+  bool sync_on_write = false;
+};
+
+/// Point-in-time statistics, for tests and the storage bench.
+struct KvStoreStats {
+  size_t live_keys = 0;
+  size_t segment_count = 0;
+  uint64_t total_bytes = 0;     ///< sum of segment file sizes
+  uint64_t dead_records = 0;    ///< overwritten/deleted records since open
+};
+
+/// Single-threaded embedded KV store. Not internally synchronized; wrap
+/// with external locking for concurrent use (the repository layer does).
+class KvStore {
+ public:
+  /// Opens (creating if needed) a store rooted at directory `path` and
+  /// replays existing segments to rebuild the index.
+  static Result<std::unique_ptr<KvStore>> Open(std::string path,
+                                               KvStoreOptions options = {});
+
+  ~KvStore();
+  KvStore(const KvStore&) = delete;
+  KvStore& operator=(const KvStore&) = delete;
+
+  /// Inserts or overwrites `key`.
+  Status Put(std::string_view key, std::string_view value);
+
+  /// Removes `key`. OK (idempotent) if absent.
+  Status Delete(std::string_view key);
+
+  /// Reads the current value of `key`; NotFound if absent or deleted.
+  Result<std::string> Get(std::string_view key) const;
+
+  bool Contains(std::string_view key) const;
+
+  /// Number of live keys.
+  size_t Size() const { return index_.size(); }
+
+  /// All live keys, sorted lexicographically.
+  std::vector<std::string> Keys() const;
+
+  /// Invokes `fn` for every live (key, value) pair; stops and propagates on
+  /// the first error the callback returns.
+  Status ForEach(
+      const std::function<Status(std::string_view key,
+                                 std::string_view value)>& fn) const;
+
+  /// Rewrites all live records into a fresh segment and removes the old
+  /// files. Reclaims space from overwrites and tombstones.
+  Status Compact();
+
+  /// Flushes the active segment to the OS (and fsyncs).
+  Status Flush();
+
+  KvStoreStats GetStats() const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  struct Location {
+    uint64_t segment_id = 0;
+    uint64_t offset = 0;  ///< byte offset of the record start
+  };
+
+  KvStore(std::string path, KvStoreOptions options)
+      : path_(std::move(path)), options_(options) {}
+
+  Status Recover();
+  Status ReplaySegment(uint64_t segment_id, bool newest);
+  Status OpenActiveSegment();
+  Status RollSegmentIfNeeded();
+  Status AppendRecord(uint8_t type, std::string_view key,
+                      std::string_view value, Location* loc);
+  Result<std::pair<std::string, std::string>> ReadRecordAt(
+      const Location& loc) const;
+
+  std::string SegmentFileName(uint64_t segment_id) const;
+
+  std::string path_;
+  KvStoreOptions options_;
+  std::unordered_map<std::string, Location> index_;
+  std::vector<uint64_t> segment_ids_;  ///< sorted ascending; back() is active
+  int active_fd_ = -1;
+  uint64_t active_offset_ = 0;
+  uint64_t dead_records_ = 0;
+};
+
+}  // namespace schemr
+
+#endif  // SCHEMR_STORE_KV_STORE_H_

@@ -1,0 +1,36 @@
+#include "text/analyzer.h"
+
+#include "text/porter_stemmer.h"
+#include "text/stopwords.h"
+#include "util/string_util.h"
+
+namespace schemr {
+
+std::vector<Token> Analyzer::Analyze(std::string_view input) const {
+  std::vector<Token> out;
+  for (Token& token : Tokenize(input)) {
+    std::string text = options_.lowercase ? ToLowerAscii(token.text)
+                                          : std::move(token.text);
+    if (options_.remove_stopwords && IsStopword(text)) continue;
+    if (options_.stem) text = PorterStem(text);
+    if (text.size() < options_.min_token_length) continue;
+    out.push_back(Token{std::move(text), token.position});
+  }
+  return out;
+}
+
+std::vector<std::string> Analyzer::AnalyzeToStrings(
+    std::string_view input) const {
+  std::vector<std::string> out;
+  for (auto& t : Analyze(input)) out.push_back(std::move(t.text));
+  return out;
+}
+
+std::string Analyzer::NormalizeWord(std::string_view word) const {
+  std::string text = options_.lowercase ? ToLowerAscii(word)
+                                        : std::string(word);
+  if (options_.stem) text = PorterStem(text);
+  return text;
+}
+
+}  // namespace schemr

@@ -1,0 +1,54 @@
+// The analyzer chain: tokenize → lowercase → (stopwords) → (stem).
+//
+// This mirrors a Lucene Analyzer. The same analyzer instance must be used
+// at index time and at query time or terms will not line up; IndexWriter
+// and the candidate extractor therefore share an AnalyzerOptions value.
+
+#ifndef SCHEMR_TEXT_ANALYZER_H_
+#define SCHEMR_TEXT_ANALYZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/tokenizer.h"
+
+namespace schemr {
+
+/// Configuration of the analysis chain.
+struct AnalyzerOptions {
+  bool lowercase = true;
+  bool remove_stopwords = true;
+  bool stem = true;
+  /// Tokens shorter than this (after normalization) are dropped.
+  size_t min_token_length = 1;
+
+  bool operator==(const AnalyzerOptions&) const = default;
+};
+
+/// Stateless text-analysis pipeline.
+class Analyzer {
+ public:
+  explicit Analyzer(AnalyzerOptions options = {}) : options_(options) {}
+
+  /// Full chain: returns terms with positions preserved from tokenization
+  /// (dropped tokens leave position gaps, as in Lucene, so proximity
+  /// scoring remains meaningful).
+  std::vector<Token> Analyze(std::string_view input) const;
+
+  /// Convenience: term texts only.
+  std::vector<std::string> AnalyzeToStrings(std::string_view input) const;
+
+  /// Normalizes a single already-tokenized word (lowercase + stem), without
+  /// stopword/length filtering. Used by matchers that must not lose terms.
+  std::string NormalizeWord(std::string_view word) const;
+
+  const AnalyzerOptions& options() const { return options_; }
+
+ private:
+  AnalyzerOptions options_;
+};
+
+}  // namespace schemr
+
+#endif  // SCHEMR_TEXT_ANALYZER_H_

@@ -1,0 +1,135 @@
+#include "text/lexicon.h"
+
+#include <set>
+
+#include "text/porter_stemmer.h"
+
+namespace schemr {
+
+const std::vector<std::pair<std::string, std::vector<std::string>>>&
+AbbreviationTable() {
+  static const std::vector<std::pair<std::string, std::vector<std::string>>>
+      table = {
+          {"patient", {"pat", "pt"}},
+          {"doctor", {"doc", "dr"}},
+          {"number", {"num", "no", "nbr"}},
+          {"address", {"addr"}},
+          {"quantity", {"qty"}},
+          {"description", {"desc", "descr"}},
+          {"amount", {"amt"}},
+          {"account", {"acct", "acc"}},
+          {"average", {"avg"}},
+          {"maximum", {"max"}},
+          {"minimum", {"min"}},
+          {"temperature", {"temp"}},
+          {"latitude", {"lat"}},
+          {"longitude", {"lon", "lng", "long"}},
+          {"department", {"dept"}},
+          {"organization", {"org"}},
+          {"reference", {"ref"}},
+          {"identifier", {"id", "ident"}},
+          {"telephone", {"tel"}},
+          {"phone", {"ph"}},
+          {"first", {"fst"}},
+          {"last", {"lst"}},
+          {"date", {"dt"}},
+          {"birth", {"brth"}},
+          {"height", {"ht", "hgt"}},
+          {"weight", {"wt", "wgt"}},
+          {"diagnosis", {"diag", "dx"}},
+          {"treatment", {"tx", "treat"}},
+          {"prescription", {"rx"}},
+          {"measurement", {"meas"}},
+          {"observation", {"obs"}},
+          {"transaction", {"txn", "trans"}},
+          {"employee", {"emp"}},
+          {"customer", {"cust"}},
+          {"supplier", {"supp"}},
+          {"product", {"prod"}},
+          {"warehouse", {"whs", "wh"}},
+          {"student", {"stu", "stud"}},
+          {"enrollment", {"enrol", "enr"}},
+          {"payment", {"pmt", "pay"}},
+          {"percent", {"pct"}},
+          {"year", {"yr"}},
+          {"month", {"mo", "mon"}},
+          {"location", {"loc"}},
+          {"category", {"cat"}},
+          {"manufacturer", {"mfr", "mfg"}},
+          {"expenditure", {"exp"}},
+          {"attendance", {"attend"}},
+          {"population", {"pop"}},
+          {"administration", {"admin"}},
+          {"information", {"info"}},
+      };
+  return table;
+}
+
+const std::vector<std::pair<std::string, std::string>>& SynonymTable() {
+  static const std::vector<std::pair<std::string, std::string>> table = {
+      {"gender", "sex"},
+      {"phone", "telephone"},
+      {"zip", "postal"},
+      {"surname", "lastname"},
+      {"dob", "birthdate"},
+      {"email", "mail"},
+      {"price", "cost"},
+      {"employee", "staff"},
+      {"student", "pupil"},
+      {"grade", "mark"},
+      {"vendor", "supplier"},
+      {"customer", "client"},
+      {"begin", "start"},
+      {"end", "finish"},
+      {"doctor", "physician"},
+      {"illness", "disease"},
+      {"drug", "medication"},
+      {"salary", "wage"},
+      {"company", "firm"},
+      {"country", "nation"},
+      {"picture", "image"},
+      {"film", "movie"},
+      {"author", "writer"},
+      {"site", "location"},
+      {"kind", "type"},
+  };
+  return table;
+}
+
+std::vector<std::string> AbbreviationsOf(const std::string& word) {
+  for (const auto& [full, abbrevs] : AbbreviationTable()) {
+    if (full == word) return abbrevs;
+  }
+  return {};
+}
+
+std::vector<std::string> SynonymsOf(const std::string& word) {
+  std::vector<std::string> out;
+  for (const auto& [a, b] : SynonymTable()) {
+    if (a == word) out.push_back(b);
+    if (b == word) out.push_back(a);
+  }
+  return out;
+}
+
+bool AreSynonyms(const std::string& a, const std::string& b) {
+  if (a == b) return false;  // identity is not synonymy
+  // Canonical stemmed pair set, built once.
+  static const std::set<std::pair<std::string, std::string>>* pairs = [] {
+    auto* set = new std::set<std::pair<std::string, std::string>>();
+    auto add = [set](std::string x, std::string y) {
+      if (x > y) std::swap(x, y);
+      set->emplace(std::move(x), std::move(y));
+    };
+    for (const auto& [x, y] : SynonymTable()) {
+      add(x, y);
+      add(PorterStem(x), PorterStem(y));
+    }
+    return set;
+  }();
+  std::pair<std::string, std::string> key =
+      a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  return pairs->count(key) > 0;
+}
+
+}  // namespace schemr

@@ -1,0 +1,41 @@
+// Language resources: abbreviation and synonym tables.
+//
+// Used from two directions: the corpus generator applies these to
+// *create* realistic name variation, and the name matcher consults them
+// to *recognize* it (synonyms like gender↔sex share no character grams,
+// so no string similarity can recover them). Keeping one table for both
+// sides makes the corpus noise model and the matcher's vocabulary
+// coverage consistent by construction.
+
+#ifndef SCHEMR_TEXT_LEXICON_H_
+#define SCHEMR_TEXT_LEXICON_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace schemr {
+
+/// Known word-level abbreviations ("patient" → {"pat", "pt"}, "number" →
+/// {"num", "no", "nbr"}). Keys and values are lowercase single words.
+const std::vector<std::pair<std::string, std::vector<std::string>>>&
+AbbreviationTable();
+
+/// Known synonym pairs ("gender" ↔ "sex"). Each pair is listed once;
+/// lookups are symmetric.
+const std::vector<std::pair<std::string, std::string>>& SynonymTable();
+
+/// Abbreviations applicable to `word` (lowercase); empty if none.
+std::vector<std::string> AbbreviationsOf(const std::string& word);
+
+/// Synonyms of `word` (lowercase, both directions); empty if none.
+std::vector<std::string> SynonymsOf(const std::string& word);
+
+/// True if the two words are a known synonym pair. Both raw and
+/// Porter-stemmed forms are checked, so matcher-normalized words
+/// ("telephon") still hit the table.
+bool AreSynonyms(const std::string& a, const std::string& b);
+
+}  // namespace schemr
+
+#endif  // SCHEMR_TEXT_LEXICON_H_

@@ -1,0 +1,72 @@
+#include "text/ngram.h"
+
+#include <algorithm>
+
+namespace schemr {
+
+std::vector<std::string> ExtractNgrams(std::string_view word, size_t min_n,
+                                       size_t max_n) {
+  std::vector<std::string> out;
+  if (word.empty() || min_n == 0) return out;
+  max_n = std::min(max_n, word.size());
+  for (size_t n = min_n; n <= max_n; ++n) {
+    for (size_t i = 0; i + n <= word.size(); ++i) {
+      out.emplace_back(word.substr(i, n));
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> ExtractAllNgrams(std::string_view word) {
+  return ExtractNgrams(word, 1, word.size());
+}
+
+NgramProfile BuildNgramProfile(std::string_view word, size_t min_n,
+                               size_t max_n) {
+  NgramProfile profile;
+  for (auto& g : ExtractNgrams(word, min_n, max_n)) {
+    ++profile[std::move(g)];
+  }
+  return profile;
+}
+
+namespace {
+
+struct OverlapCounts {
+  uint64_t intersection = 0;
+  uint64_t size_a = 0;
+  uint64_t size_b = 0;
+};
+
+OverlapCounts CountOverlap(const NgramProfile& a, const NgramProfile& b) {
+  OverlapCounts c;
+  for (const auto& [gram, count] : a) c.size_a += count;
+  for (const auto& [gram, count] : b) c.size_b += count;
+  const NgramProfile& smaller = a.size() <= b.size() ? a : b;
+  const NgramProfile& larger = a.size() <= b.size() ? b : a;
+  for (const auto& [gram, count] : smaller) {
+    auto it = larger.find(gram);
+    if (it != larger.end()) {
+      c.intersection += std::min(count, it->second);
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+double DiceSimilarity(const NgramProfile& a, const NgramProfile& b) {
+  OverlapCounts c = CountOverlap(a, b);
+  if (c.size_a + c.size_b == 0) return 0.0;
+  return 2.0 * static_cast<double>(c.intersection) /
+         static_cast<double>(c.size_a + c.size_b);
+}
+
+double JaccardSimilarity(const NgramProfile& a, const NgramProfile& b) {
+  OverlapCounts c = CountOverlap(a, b);
+  uint64_t uni = c.size_a + c.size_b - c.intersection;
+  if (uni == 0) return 0.0;
+  return static_cast<double>(c.intersection) / static_cast<double>(uni);
+}
+
+}  // namespace schemr

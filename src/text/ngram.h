@@ -1,0 +1,45 @@
+// Character n-gram extraction for the name matcher.
+//
+// The paper's name matcher "parses each schema element in the query into a
+// set of all possible n-grams, ranging in length from one character to the
+// length of the word" and ranks each n-gram set against candidate element
+// names. We expose both the exhaustive variant and a banded variant
+// (min_n..max_n) that is what production string matchers actually use.
+
+#ifndef SCHEMR_TEXT_NGRAM_H_
+#define SCHEMR_TEXT_NGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace schemr {
+
+/// Multiset of n-grams with counts.
+using NgramProfile = std::unordered_map<std::string, uint32_t>;
+
+/// All contiguous substrings of length in [min_n, max_n] (clamped to the
+/// word length). min_n >= 1, max_n >= min_n.
+std::vector<std::string> ExtractNgrams(std::string_view word, size_t min_n,
+                                       size_t max_n);
+
+/// All possible n-grams, 1..len(word) -- the paper's exhaustive variant.
+std::vector<std::string> ExtractAllNgrams(std::string_view word);
+
+/// Builds a counted profile from a word (banded n-grams).
+NgramProfile BuildNgramProfile(std::string_view word, size_t min_n,
+                               size_t max_n);
+
+/// Dice coefficient between two n-gram multisets:
+/// 2·|A∩B| / (|A|+|B|), with multiset intersection using min counts.
+/// Returns a value in [0, 1]; 1 for identical non-empty profiles.
+double DiceSimilarity(const NgramProfile& a, const NgramProfile& b);
+
+/// Jaccard coefficient over the same multisets (min/max counts).
+double JaccardSimilarity(const NgramProfile& a, const NgramProfile& b);
+
+}  // namespace schemr
+
+#endif  // SCHEMR_TEXT_NGRAM_H_

@@ -1,0 +1,206 @@
+#include "text/porter_stemmer.h"
+
+#include <algorithm>
+
+namespace schemr {
+
+namespace {
+
+// The implementation follows Porter's original description: a word is a
+// sequence [C](VC)^m[V]; each step applies the longest-matching suffix rule
+// whose condition (usually a lower bound on the measure m of the stem)
+// holds.
+
+bool IsVowelAt(const std::string& w, size_t i) {
+  char c = w[i];
+  if (c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u') return true;
+  // 'y' is a vowel when preceded by a consonant.
+  if (c == 'y') return i > 0 && !IsVowelAt(w, i - 1);
+  return false;
+}
+
+// Measure m of w[0..end): number of VC sequences.
+int Measure(const std::string& w, size_t end) {
+  int m = 0;
+  bool prev_vowel = false;
+  for (size_t i = 0; i < end; ++i) {
+    bool v = IsVowelAt(w, i);
+    if (prev_vowel && !v) ++m;
+    prev_vowel = v;
+  }
+  return m;
+}
+
+bool ContainsVowel(const std::string& w, size_t end) {
+  for (size_t i = 0; i < end; ++i) {
+    if (IsVowelAt(w, i)) return true;
+  }
+  return false;
+}
+
+bool EndsWithDoubleConsonant(const std::string& w) {
+  size_t n = w.size();
+  if (n < 2) return false;
+  return w[n - 1] == w[n - 2] && !IsVowelAt(w, n - 1);
+}
+
+// *o: stem ends cvc where the final c is not w, x or y.
+bool EndsCvc(const std::string& w, size_t end) {
+  if (end < 3) return false;
+  size_t i = end - 1;
+  if (IsVowelAt(w, i) || !IsVowelAt(w, i - 1) || IsVowelAt(w, i - 2)) {
+    return false;
+  }
+  char c = w[i];
+  return c != 'w' && c != 'x' && c != 'y';
+}
+
+bool HasSuffix(const std::string& w, std::string_view suffix) {
+  return w.size() >= suffix.size() &&
+         w.compare(w.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// If w ends with `suffix` and the stem before it has measure > min_m,
+// replace the suffix and return true.
+bool ReplaceIf(std::string* w, std::string_view suffix,
+               std::string_view replacement, int min_m) {
+  if (!HasSuffix(*w, suffix)) return false;
+  size_t stem_len = w->size() - suffix.size();
+  if (Measure(*w, stem_len) <= min_m) return true;  // matched, no change
+  w->resize(stem_len);
+  w->append(replacement);
+  return true;
+}
+
+void Step1a(std::string* w) {
+  if (HasSuffix(*w, "sses")) {
+    w->resize(w->size() - 2);
+  } else if (HasSuffix(*w, "ies")) {
+    w->resize(w->size() - 2);
+  } else if (HasSuffix(*w, "ss")) {
+    // no change
+  } else if (HasSuffix(*w, "s")) {
+    w->resize(w->size() - 1);
+  }
+}
+
+void Step1b(std::string* w) {
+  bool second = false;
+  if (HasSuffix(*w, "eed")) {
+    if (Measure(*w, w->size() - 3) > 0) w->resize(w->size() - 1);
+  } else if (HasSuffix(*w, "ed") && ContainsVowel(*w, w->size() - 2)) {
+    w->resize(w->size() - 2);
+    second = true;
+  } else if (HasSuffix(*w, "ing") && ContainsVowel(*w, w->size() - 3)) {
+    w->resize(w->size() - 3);
+    second = true;
+  }
+  if (second) {
+    if (HasSuffix(*w, "at") || HasSuffix(*w, "bl") || HasSuffix(*w, "iz")) {
+      w->push_back('e');
+    } else if (EndsWithDoubleConsonant(*w)) {
+      char last = w->back();
+      if (last != 'l' && last != 's' && last != 'z') w->resize(w->size() - 1);
+    } else if (Measure(*w, w->size()) == 1 && EndsCvc(*w, w->size())) {
+      w->push_back('e');
+    }
+  }
+}
+
+void Step1c(std::string* w) {
+  if (HasSuffix(*w, "y") && ContainsVowel(*w, w->size() - 1)) {
+    w->back() = 'i';
+  }
+}
+
+void Step2(std::string* w) {
+  static const struct {
+    const char* suffix;
+    const char* replacement;
+  } kRules[] = {
+      {"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+      {"anci", "ance"},   {"izer", "ize"},    {"abli", "able"},
+      {"alli", "al"},     {"entli", "ent"},   {"eli", "e"},
+      {"ousli", "ous"},   {"ization", "ize"}, {"ation", "ate"},
+      {"ator", "ate"},    {"alism", "al"},    {"iveness", "ive"},
+      {"fulness", "ful"}, {"ousness", "ous"}, {"aliti", "al"},
+      {"iviti", "ive"},   {"biliti", "ble"},
+  };
+  for (const auto& rule : kRules) {
+    if (ReplaceIf(w, rule.suffix, rule.replacement, 0)) return;
+  }
+}
+
+void Step3(std::string* w) {
+  static const struct {
+    const char* suffix;
+    const char* replacement;
+  } kRules[] = {
+      {"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+      {"ical", "ic"},  {"ful", ""},   {"ness", ""},
+  };
+  for (const auto& rule : kRules) {
+    if (ReplaceIf(w, rule.suffix, rule.replacement, 0)) return;
+  }
+}
+
+void Step4(std::string* w) {
+  static const char* kSuffixes[] = {
+      "al",   "ance", "ence", "er",  "ic",   "able", "ible", "ant", "ement",
+      "ment", "ent",  "ou",   "ism", "ate",  "iti",  "ous",  "ive", "ize",
+  };
+  for (const char* suffix : kSuffixes) {
+    if (HasSuffix(*w, suffix)) {
+      size_t stem_len = w->size() - std::string_view(suffix).size();
+      if (Measure(*w, stem_len) > 1) w->resize(stem_len);
+      return;
+    }
+  }
+  // "(s|t)ion": remove "ion" if preceded by s or t.
+  if (HasSuffix(*w, "ion")) {
+    size_t stem_len = w->size() - 3;
+    if (stem_len > 0 && ((*w)[stem_len - 1] == 's' || (*w)[stem_len - 1] == 't') &&
+        Measure(*w, stem_len) > 1) {
+      w->resize(stem_len);
+    }
+  }
+}
+
+void Step5a(std::string* w) {
+  if (HasSuffix(*w, "e")) {
+    size_t stem_len = w->size() - 1;
+    int m = Measure(*w, stem_len);
+    if (m > 1 || (m == 1 && !EndsCvc(*w, stem_len))) {
+      w->resize(stem_len);
+    }
+  }
+}
+
+void Step5b(std::string* w) {
+  if (w->size() >= 2 && w->back() == 'l' && EndsWithDoubleConsonant(*w) &&
+      Measure(*w, w->size()) > 1) {
+    w->resize(w->size() - 1);
+  }
+}
+
+}  // namespace
+
+std::string PorterStem(std::string_view word) {
+  std::string w(word);
+  if (w.size() < 3) return w;
+  if (!std::all_of(w.begin(), w.end(),
+                   [](char c) { return c >= 'a' && c <= 'z'; })) {
+    return w;
+  }
+  Step1a(&w);
+  Step1b(&w);
+  Step1c(&w);
+  Step2(&w);
+  Step3(&w);
+  Step4(&w);
+  Step5a(&w);
+  Step5b(&w);
+  return w;
+}
+
+}  // namespace schemr

@@ -1,0 +1,20 @@
+// Porter stemming algorithm (M.F. Porter, 1980), used by the analyzer to
+// conflate grammatical variants ("diagnoses"/"diagnosis"/"diagnosed" →
+// "diagnos") -- one of the name variations the Schemr paper calls out as
+// important for schema search recall.
+
+#ifndef SCHEMR_TEXT_PORTER_STEMMER_H_
+#define SCHEMR_TEXT_PORTER_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace schemr {
+
+/// Stems a single lowercase ASCII word. Words shorter than 3 characters
+/// and words containing non-letters are returned unchanged.
+std::string PorterStem(std::string_view word);
+
+}  // namespace schemr
+
+#endif  // SCHEMR_TEXT_PORTER_STEMMER_H_

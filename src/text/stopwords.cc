@@ -1,0 +1,27 @@
+#include "text/stopwords.h"
+
+#include <string>
+#include <unordered_set>
+
+namespace schemr {
+
+namespace {
+const std::unordered_set<std::string>& StopwordSet() {
+  // Lucene's classic English stopword list.
+  static const std::unordered_set<std::string> set = {
+      "a",    "an",   "and",  "are",   "as",    "at",   "be",   "but",
+      "by",   "for",  "if",   "in",    "into",  "is",   "it",   "no",
+      "not",  "of",   "on",   "or",    "such",  "that", "the",  "their",
+      "then", "there", "these", "they", "this",  "to",   "was",  "will",
+      "with",
+  };
+  return set;
+}
+}  // namespace
+
+bool IsStopword(std::string_view word) {
+  const auto& set = StopwordSet();
+  return set.find(std::string(word)) != set.end();
+}
+
+}  // namespace schemr

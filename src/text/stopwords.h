@@ -1,0 +1,18 @@
+// Stopword filtering for the document index.
+//
+// Schema names rarely contain classic English stopwords, but summaries,
+// descriptions and web-table headers do ("list of ...", "name of the ...").
+
+#ifndef SCHEMR_TEXT_STOPWORDS_H_
+#define SCHEMR_TEXT_STOPWORDS_H_
+
+#include <string_view>
+
+namespace schemr {
+
+/// True if the lowercase word is in the default English stopword list.
+bool IsStopword(std::string_view word);
+
+}  // namespace schemr
+
+#endif  // SCHEMR_TEXT_STOPWORDS_H_

@@ -1,0 +1,65 @@
+#include "text/tokenizer.h"
+
+namespace schemr {
+
+namespace {
+
+inline bool IsLower(char c) { return c >= 'a' && c <= 'z'; }
+inline bool IsUpper(char c) { return c >= 'A' && c <= 'Z'; }
+inline bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+inline bool IsWordChar(char c) { return IsLower(c) || IsUpper(c) || IsDigit(c); }
+
+}  // namespace
+
+std::vector<Token> Tokenize(std::string_view input) {
+  std::vector<Token> tokens;
+  uint32_t position = 0;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    if (!IsWordChar(input[i])) {
+      ++i;
+      continue;
+    }
+    // Scan one maximal alphanumeric run, then split it on case/digit
+    // boundaries.
+    size_t run_end = i;
+    while (run_end < n && IsWordChar(input[run_end])) ++run_end;
+
+    size_t start = i;
+    for (size_t j = i + 1; j <= run_end; ++j) {
+      bool boundary = false;
+      if (j == run_end) {
+        boundary = true;
+      } else {
+        char prev = input[j - 1];
+        char cur = input[j];
+        if (IsLower(prev) && IsUpper(cur)) {
+          boundary = true;  // camelCase
+        } else if (IsDigit(prev) != IsDigit(cur)) {
+          boundary = true;  // letter<->digit
+        } else if (IsUpper(prev) && IsUpper(cur) && j + 1 < run_end &&
+                   IsLower(input[j + 1])) {
+          // Uppercase run followed by lowercase: "XMLSchema" splits before
+          // the 'S'.
+          boundary = true;
+        }
+      }
+      if (boundary) {
+        tokens.push_back(
+            Token{std::string(input.substr(start, j - start)), position++});
+        start = j;
+      }
+    }
+    i = run_end;
+  }
+  return tokens;
+}
+
+std::vector<std::string> TokenizeToStrings(std::string_view input) {
+  std::vector<std::string> out;
+  for (auto& t : Tokenize(input)) out.push_back(std::move(t.text));
+  return out;
+}
+
+}  // namespace schemr

@@ -1,0 +1,44 @@
+// Tokenization of schema element names and keyword queries.
+//
+// Schema identifiers arrive in many shapes -- "dateOfBirth", "date_of_birth",
+// "DATE-OF-BIRTH", "date.of.birth", "DateOfBirth2" -- and the tokenizer
+// must expose the same word stream for all of them so that downstream
+// TF/IDF and the name matcher see comparable terms.
+
+#ifndef SCHEMR_TEXT_TOKENIZER_H_
+#define SCHEMR_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace schemr {
+
+/// A token plus its ordinal position in the source stream (positions feed
+/// the index's proximity data).
+struct Token {
+  std::string text;
+  uint32_t position = 0;
+
+  bool operator==(const Token& other) const = default;
+};
+
+/// Splits `input` into word tokens.
+///
+/// Rules:
+///  - any non-alphanumeric byte is a delimiter (underscore, dash, dot,
+///    slash, space, punctuation, ...);
+///  - a lowercase→uppercase boundary starts a new token (camelCase);
+///  - an uppercase run followed by a lowercase letter splits before the
+///    last uppercase letter ("XMLSchema" → "XML", "Schema");
+///  - a letter↔digit boundary starts a new token ("address2" → "address",
+///    "2").
+/// Tokens keep their original case; case folding is the normalizer's job.
+std::vector<Token> Tokenize(std::string_view input);
+
+/// Convenience: token texts only, in order.
+std::vector<std::string> TokenizeToStrings(std::string_view input);
+
+}  // namespace schemr
+
+#endif  // SCHEMR_TEXT_TOKENIZER_H_

@@ -1,0 +1,25 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) used to checksum storage-engine
+// records and index segment footers.
+
+#ifndef SCHEMR_UTIL_CRC32_H_
+#define SCHEMR_UTIL_CRC32_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace schemr {
+
+/// Extends a running CRC with `data`. Start from `crc = 0`.
+uint32_t Crc32Extend(uint32_t crc, std::string_view data);
+
+/// Convenience: CRC of a whole buffer.
+inline uint32_t Crc32(std::string_view data) { return Crc32Extend(0, data); }
+
+/// CRC masked so that a CRC of data containing embedded CRCs does not
+/// degenerate (same trick as LevelDB/RocksDB).
+uint32_t Crc32Mask(uint32_t crc);
+uint32_t Crc32Unmask(uint32_t masked);
+
+}  // namespace schemr
+
+#endif  // SCHEMR_UTIL_CRC32_H_

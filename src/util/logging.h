@@ -1,0 +1,47 @@
+// Minimal leveled logging for library diagnostics.
+//
+// Logging is off by default (level kWarning) so library users are not
+// spammed; the offline indexer and examples raise it to kInfo.
+
+#ifndef SCHEMR_UTIL_LOGGING_H_
+#define SCHEMR_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace schemr {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets / reads the process-wide minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line; emits to stderr on destruction if enabled.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace schemr
+
+#define SCHEMR_LOG(level)                                              \
+  ::schemr::internal::LogMessage(::schemr::LogLevel::level, __FILE__, \
+                                 __LINE__)
+
+#endif  // SCHEMR_UTIL_LOGGING_H_

@@ -1,0 +1,108 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace schemr {
+
+namespace {
+
+inline uint64_t SplitMix64(uint64_t* x) {
+  uint64_t z = (*x += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  return lo + static_cast<int64_t>(NextBelow(span));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  return NextDouble() < p;
+}
+
+double Rng::NextGaussian(double mean, double stddev) {
+  if (has_gaussian_) {
+    has_gaussian_ = false;
+    return mean + stddev * cached_gaussian_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  double u2 = NextDouble();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  double z0 = mag * std::cos(2.0 * M_PI * u2);
+  double z1 = mag * std::sin(2.0 * M_PI * u2);
+  cached_gaussian_ = z1;
+  has_gaussian_ = true;
+  return mean + stddev * z0;
+}
+
+size_t Rng::NextZipf(size_t n, double s) {
+  ZipfSampler sampler(n, s);
+  return sampler.Sample(this);
+}
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+ZipfSampler::ZipfSampler(size_t n, double s) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = acc;
+  }
+  for (auto& v : cdf_) v /= acc;
+}
+
+size_t ZipfSampler::Sample(Rng* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace schemr

@@ -1,0 +1,80 @@
+// Deterministic pseudo-random number generation.
+//
+// Every randomized component in Schemr (corpus generation, simulated search
+// histories, benchmark workloads) takes an explicit 64-bit seed and derives
+// all randomness from this generator, so experiments are reproducible
+// bit-for-bit across runs and platforms. The core is splitmix64 feeding
+// xoshiro256**, both public-domain algorithms.
+
+#ifndef SCHEMR_UTIL_RNG_H_
+#define SCHEMR_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace schemr {
+
+/// Deterministic, seedable 64-bit PRNG (xoshiro256**).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool NextBool(double p = 0.5);
+
+  /// Gaussian via Box-Muller, mean/stddev as given.
+  double NextGaussian(double mean, double stddev);
+
+  /// Zipf-distributed rank in [0, n) with exponent s (heavy-tailed choice,
+  /// used to model skewed vocabulary popularity). Uses an O(n) CDF table
+  /// cached per (n, s) instance -- construct one ZipfSampler for hot loops.
+  size_t NextZipf(size_t n, double s);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextBelow(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Forks a child generator with an independent stream, so components can
+  /// be reordered without perturbing each other's randomness.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  bool has_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+/// Precomputed-CDF Zipf sampler for hot loops.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s);
+  size_t Sample(Rng* rng) const;
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace schemr
+
+#endif  // SCHEMR_UTIL_RNG_H_

@@ -1,0 +1,167 @@
+// Error-handling primitives for the Schemr library.
+//
+// Following the Arrow/RocksDB convention, no exceptions cross library
+// boundaries: every fallible operation returns a Status (or a Result<T>,
+// which is a Status plus a value). Statuses carry a coarse machine-readable
+// code and a human-readable message.
+
+#ifndef SCHEMR_UTIL_STATUS_H_
+#define SCHEMR_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace schemr {
+
+/// Coarse classification of an error, used for programmatic dispatch.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kCorruption,
+  kIOError,
+  kParseError,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a stable lowercase name for a status code (e.g. "parse error").
+const char* StatusCodeName(StatusCode code);
+
+/// The outcome of a fallible operation: either OK or a code plus message.
+///
+/// A Status is cheap to copy in the OK case (no allocation) and carries a
+/// message string otherwise. Use the factory functions (Status::ParseError
+/// etc.) to construct errors; default construction yields OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsParseError() const { return code_ == StatusCode::kParseError; }
+
+  /// Renders "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// A Status plus a value of type T when the status is OK.
+///
+/// Mirrors arrow::Result. Accessing the value of an error Result is a
+/// programming error (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: success.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+  /// Implicit from an error status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value if OK, otherwise a caller-supplied fallback.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace schemr
+
+/// Propagates a non-OK Status from the current function.
+#define SCHEMR_RETURN_IF_ERROR(expr)            \
+  do {                                          \
+    ::schemr::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+/// Evaluates a Result<T> expression; assigns the value or propagates error.
+#define SCHEMR_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value();
+
+#define SCHEMR_ASSIGN_OR_RETURN_CAT(a, b) a##b
+#define SCHEMR_ASSIGN_OR_RETURN_NAME(a, b) SCHEMR_ASSIGN_OR_RETURN_CAT(a, b)
+#define SCHEMR_ASSIGN_OR_RETURN(lhs, expr)                                 \
+  SCHEMR_ASSIGN_OR_RETURN_IMPL(                                            \
+      SCHEMR_ASSIGN_OR_RETURN_NAME(_schemr_result_, __LINE__), lhs, expr)
+
+#endif  // SCHEMR_UTIL_STATUS_H_

@@ -1,0 +1,51 @@
+// Small string helpers shared across Schemr modules.
+
+#ifndef SCHEMR_UTIL_STRING_UTIL_H_
+#define SCHEMR_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace schemr {
+
+/// Lowercases ASCII letters; other bytes pass through unchanged.
+std::string ToLowerAscii(std::string_view s);
+
+/// Uppercases ASCII letters; other bytes pass through unchanged.
+std::string ToUpperAscii(std::string_view s);
+
+/// True if every byte is an ASCII letter, digit, space or underscore.
+/// (Used by the WebTables-style corpus filter: "schemas containing
+/// non-alphabetical characters" are dropped.)
+bool IsMostlyAlphabetic(std::string_view s);
+
+/// Splits on any character in `delims`; empty pieces are dropped.
+std::vector<std::string> Split(std::string_view s, std::string_view delims);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// True if `s` begins with `prefix` / ends with `suffix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Case-insensitive (ASCII) equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to);
+
+/// Escapes &, <, >, " and ' for inclusion in XML/HTML text or attributes.
+std::string XmlEscape(std::string_view s);
+
+/// Levenshtein edit distance (byte-wise), used in tests and matchers.
+size_t EditDistance(std::string_view a, std::string_view b);
+
+}  // namespace schemr
+
+#endif  // SCHEMR_UTIL_STRING_UTIL_H_

@@ -1,0 +1,31 @@
+// Wall-clock stopwatch used by the offline indexer, benches and examples.
+
+#ifndef SCHEMR_UTIL_TIMER_H_
+#define SCHEMR_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace schemr {
+
+/// Monotonic stopwatch; starts running on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace schemr
+
+#endif  // SCHEMR_UTIL_TIMER_H_

@@ -1,0 +1,103 @@
+#include "util/varint.h"
+
+namespace schemr {
+
+void PutVarint64(std::string* out, uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+void PutVarint32(std::string* out, uint32_t value) {
+  PutVarint64(out, value);
+}
+
+void PutLengthPrefixed(std::string* out, std::string_view value) {
+  PutVarint64(out, value.size());
+  out->append(value.data(), value.size());
+}
+
+Status GetVarint64(std::string_view* input, uint64_t* value) {
+  uint64_t result = 0;
+  for (int shift = 0; shift <= 63; shift += 7) {
+    if (input->empty()) {
+      return Status::Corruption("truncated varint");
+    }
+    uint8_t byte = static_cast<uint8_t>(input->front());
+    input->remove_prefix(1);
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("varint too long");
+}
+
+Status GetVarint32(std::string_view* input, uint32_t* value) {
+  uint64_t v64 = 0;
+  SCHEMR_RETURN_IF_ERROR(GetVarint64(input, &v64));
+  if (v64 > UINT32_MAX) {
+    return Status::Corruption("varint32 overflow");
+  }
+  *value = static_cast<uint32_t>(v64);
+  return Status::OK();
+}
+
+Status GetLengthPrefixed(std::string_view* input, std::string_view* value) {
+  uint64_t len = 0;
+  SCHEMR_RETURN_IF_ERROR(GetVarint64(input, &len));
+  if (len > input->size()) {
+    return Status::Corruption("length-prefixed string truncated");
+  }
+  *value = input->substr(0, len);
+  input->remove_prefix(len);
+  return Status::OK();
+}
+
+int VarintLength(uint64_t value) {
+  int len = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+void PutFixed32(std::string* out, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutFixed64(std::string* out, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+Status GetFixed32(std::string_view* input, uint32_t* value) {
+  if (input->size() < 4) return Status::Corruption("truncated fixed32");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>((*input)[i])) << (8 * i);
+  }
+  input->remove_prefix(4);
+  *value = v;
+  return Status::OK();
+}
+
+Status GetFixed64(std::string_view* input, uint64_t* value) {
+  if (input->size() < 8) return Status::Corruption("truncated fixed64");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>((*input)[i])) << (8 * i);
+  }
+  input->remove_prefix(8);
+  *value = v;
+  return Status::OK();
+}
+
+}  // namespace schemr

@@ -1,0 +1,44 @@
+// LEB128-style variable-length integer coding, used by the on-disk index
+// segment format and the storage-engine record format.
+//
+// Unsigned values are encoded little-endian, 7 bits per byte, with the high
+// bit as a continuation flag (same scheme as Lucene/protobuf varints).
+
+#ifndef SCHEMR_UTIL_VARINT_H_
+#define SCHEMR_UTIL_VARINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace schemr {
+
+/// Appends the varint encoding of `value` to `*out`.
+void PutVarint32(std::string* out, uint32_t value);
+void PutVarint64(std::string* out, uint64_t value);
+
+/// Appends a length-prefixed string (varint length + raw bytes).
+void PutLengthPrefixed(std::string* out, std::string_view value);
+
+/// Decodes a varint from the front of `*input`, advancing it past the
+/// consumed bytes. Returns Corruption on truncated or oversized input.
+Status GetVarint32(std::string_view* input, uint32_t* value);
+Status GetVarint64(std::string_view* input, uint64_t* value);
+
+/// Decodes a length-prefixed string from the front of `*input`.
+Status GetLengthPrefixed(std::string_view* input, std::string_view* value);
+
+/// Number of bytes PutVarint64 would emit for `value`.
+int VarintLength(uint64_t value);
+
+/// Fixed-width little-endian coding (for checksums and file headers).
+void PutFixed32(std::string* out, uint32_t value);
+void PutFixed64(std::string* out, uint64_t value);
+Status GetFixed32(std::string_view* input, uint32_t* value);
+Status GetFixed64(std::string_view* input, uint64_t* value);
+
+}  // namespace schemr
+
+#endif  // SCHEMR_UTIL_VARINT_H_

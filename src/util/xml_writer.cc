@@ -1,0 +1,100 @@
+#include "util/xml_writer.h"
+
+#include <cassert>
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace schemr {
+
+XmlWriter::XmlWriter(bool declaration) {
+  if (declaration) {
+    out_ = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  }
+}
+
+void XmlWriter::Indent() {
+  for (size_t i = 0; i < stack_.size(); ++i) out_ += "  ";
+}
+
+XmlWriter& XmlWriter::Open(std::string_view name) {
+  if (start_tag_open_) {
+    out_ += ">\n";
+    start_tag_open_ = false;
+  }
+  Indent();
+  out_ += "<";
+  out_ += name;
+  stack_.emplace_back(name);
+  flags_.push_back({false, false});
+  if (stack_.size() > 1) flags_[stack_.size() - 2].has_children = true;
+  start_tag_open_ = true;
+  return *this;
+}
+
+XmlWriter& XmlWriter::Attribute(std::string_view name,
+                                std::string_view value) {
+  assert(start_tag_open_);
+  out_ += " ";
+  out_ += name;
+  out_ += "=\"";
+  out_ += XmlEscape(value);
+  out_ += "\"";
+  return *this;
+}
+
+XmlWriter& XmlWriter::Attribute(std::string_view name, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return Attribute(name, std::string_view(buf));
+}
+
+XmlWriter& XmlWriter::Attribute(std::string_view name, long long value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", value);
+  return Attribute(name, std::string_view(buf));
+}
+
+XmlWriter& XmlWriter::Text(std::string_view text) {
+  if (text.empty()) return *this;
+  if (start_tag_open_) {
+    out_ += ">";
+    start_tag_open_ = false;
+  }
+  if (!flags_.empty()) flags_.back().has_text = true;
+  out_ += XmlEscape(text);
+  return *this;
+}
+
+XmlWriter& XmlWriter::Close() {
+  assert(!stack_.empty());
+  std::string name = stack_.back();
+  bool has_text = flags_.back().has_text;
+  bool has_children = flags_.back().has_children;
+  stack_.pop_back();
+  flags_.pop_back();
+  if (start_tag_open_) {
+    out_ += "/>\n";
+    start_tag_open_ = false;
+    return *this;
+  }
+  if (has_children || !has_text) Indent();
+  out_ += "</";
+  out_ += name;
+  out_ += ">\n";
+  return *this;
+}
+
+XmlWriter& XmlWriter::SimpleElement(std::string_view name,
+                                    std::string_view text) {
+  Open(name);
+  Text(text);
+  return Close();
+}
+
+std::string XmlWriter::Finish() {
+  while (!stack_.empty()) Close();
+  return std::move(out_);
+}
+
+}  // namespace schemr

@@ -1,0 +1,58 @@
+// Streaming XML writer used for GraphML output and service responses.
+//
+// Produces well-formed, pretty-printed XML; element and attribute text is
+// escaped automatically. Misuse (closing with no open element) is an
+// assertion failure -- callers are internal.
+
+#ifndef SCHEMR_UTIL_XML_WRITER_H_
+#define SCHEMR_UTIL_XML_WRITER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace schemr {
+
+class XmlWriter {
+ public:
+  /// If `declaration` is true, emits <?xml version="1.0" ...?> first.
+  explicit XmlWriter(bool declaration = true);
+
+  /// Opens <name>; attributes may follow until text/children are added.
+  XmlWriter& Open(std::string_view name);
+
+  /// Adds an attribute to the most recently opened element. Must precede
+  /// any Text/child of that element.
+  XmlWriter& Attribute(std::string_view name, std::string_view value);
+  XmlWriter& Attribute(std::string_view name, double value);
+  XmlWriter& Attribute(std::string_view name, long long value);
+
+  /// Appends escaped character data to the current element.
+  XmlWriter& Text(std::string_view text);
+
+  /// Closes the current element (self-closing if empty).
+  XmlWriter& Close();
+
+  /// Convenience: <name>text</name>.
+  XmlWriter& SimpleElement(std::string_view name, std::string_view text);
+
+  /// Finishes (closes any remaining elements) and returns the document.
+  std::string Finish();
+
+ private:
+  struct FrameFlags {
+    bool has_children = false;
+    bool has_text = false;
+  };
+
+  void Indent();
+
+  std::string out_;
+  std::vector<std::string> stack_;
+  std::vector<FrameFlags> flags_;
+  bool start_tag_open_ = false;
+};
+
+}  // namespace schemr
+
+#endif  // SCHEMR_UTIL_XML_WRITER_H_

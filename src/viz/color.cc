@@ -1,0 +1,46 @@
+#include "viz/color.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace schemr {
+
+std::string Rgb::ToHex() const {
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "#%02x%02x%02x", r, g, b);
+  return buf;
+}
+
+Rgb LerpColor(const Rgb& a, const Rgb& b, double t) {
+  t = std::clamp(t, 0.0, 1.0);
+  auto mix = [t](uint8_t x, uint8_t y) {
+    return static_cast<uint8_t>(static_cast<double>(x) +
+                                t * (static_cast<double>(y) -
+                                     static_cast<double>(x)) +
+                                0.5);
+  };
+  return Rgb{mix(a.r, b.r), mix(a.g, b.g), mix(a.b, b.b)};
+}
+
+Rgb KindBaseColor(ElementKind kind) {
+  switch (kind) {
+    case ElementKind::kEntity:
+      return Rgb{0x1f, 0x77, 0xb4};  // blue
+    case ElementKind::kAttribute:
+      return Rgb{0xff, 0x7f, 0x0e};  // orange
+  }
+  return Rgb{0x7f, 0x7f, 0x7f};
+}
+
+Rgb NodeColor(ElementKind kind, double similarity) {
+  // Pale tint of the base color at similarity 0.
+  Rgb base = KindBaseColor(kind);
+  Rgb pale = LerpColor(Rgb{0xff, 0xff, 0xff}, base, 0.25);
+  return LerpColor(pale, base, similarity);
+}
+
+Rgb ScoreRampColor(double score) {
+  return LerpColor(Rgb{0xff, 0xff, 0xff}, Rgb{0x00, 0x64, 0x00}, score);
+}
+
+}  // namespace schemr

@@ -1,0 +1,41 @@
+// Color encoding for graph nodes.
+//
+// "Node color corresponds to schema element types (e.g. entity or
+// attribute)" with match similarity visually encoded (paper Fig. 2). Each
+// element kind gets a hue; the match score S(e) drives saturation, so a
+// strongly matched attribute glows while unmatched elements stay pale.
+
+#ifndef SCHEMR_VIZ_COLOR_H_
+#define SCHEMR_VIZ_COLOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "schema/element.h"
+
+namespace schemr {
+
+struct Rgb {
+  uint8_t r = 0, g = 0, b = 0;
+
+  /// "#rrggbb".
+  std::string ToHex() const;
+};
+
+/// Linear interpolation between two colors, t in [0,1] (clamped).
+Rgb LerpColor(const Rgb& a, const Rgb& b, double t);
+
+/// Base (fully saturated) color of an element kind: entities blue,
+/// attributes orange.
+Rgb KindBaseColor(ElementKind kind);
+
+/// Display color of a node: the kind's base color saturated by the match
+/// score (0 → pale tint, 1 → full base color).
+Rgb NodeColor(ElementKind kind, double similarity);
+
+/// Sequential ramp for score legends: white → dark green.
+Rgb ScoreRampColor(double score);
+
+}  // namespace schemr
+
+#endif  // SCHEMR_VIZ_COLOR_H_

@@ -1,0 +1,36 @@
+#include "viz/dot_writer.h"
+
+#include "util/string_util.h"
+#include "viz/color.h"
+
+namespace schemr {
+
+namespace {
+std::string DotEscape(const std::string& s) {
+  return ReplaceAll(ReplaceAll(s, "\\", "\\\\"), "\"", "\\\"");
+}
+}  // namespace
+
+std::string WriteDot(const SchemaGraphView& view) {
+  std::string out = "digraph \"" + DotEscape(view.title) + "\" {\n";
+  out += "  rankdir=TB;\n  node [style=filled, fontname=\"Helvetica\"];\n";
+  for (size_t i = 0; i < view.nodes.size(); ++i) {
+    const VizNode& node = view.nodes[i];
+    std::string label = DotEscape(node.label);
+    if (node.collapsed) label += " …";
+    out += "  n" + std::to_string(i) + " [label=\"" + label + "\", shape=" +
+           (node.kind == ElementKind::kEntity ? "box" : "ellipse") +
+           ", fillcolor=\"" + NodeColor(node.kind, node.similarity).ToHex() +
+           "\"];\n";
+  }
+  for (const VizEdge& edge : view.edges) {
+    out += "  n" + std::to_string(edge.from) + " -> n" +
+           std::to_string(edge.to);
+    if (edge.is_foreign_key) out += " [style=dashed, color=gray]";
+    out += ";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace schemr

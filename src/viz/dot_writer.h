@@ -1,0 +1,19 @@
+// Graphviz DOT export of schema graph views, for quick inspection with
+// standard tooling (dot -Tpng, xdot, ...).
+
+#ifndef SCHEMR_VIZ_DOT_WRITER_H_
+#define SCHEMR_VIZ_DOT_WRITER_H_
+
+#include <string>
+
+#include "viz/graph_view.h"
+
+namespace schemr {
+
+/// Serializes `view` as a DOT digraph. Node fill colors follow the same
+/// kind/similarity encoding as the SVG renderer; foreign keys are dashed.
+std::string WriteDot(const SchemaGraphView& view);
+
+}  // namespace schemr
+
+#endif  // SCHEMR_VIZ_DOT_WRITER_H_

@@ -1,0 +1,83 @@
+#include "viz/graph_view.h"
+
+#include <deque>
+
+namespace schemr {
+
+size_t SchemaGraphView::NodeIndexOf(ElementId element) const {
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].element == element) return i;
+  }
+  return SIZE_MAX;
+}
+
+SchemaGraphView BuildGraphView(
+    const Schema& schema,
+    const std::unordered_map<ElementId, double>& element_scores,
+    const GraphViewOptions& options) {
+  SchemaGraphView view;
+  view.title = schema.name();
+
+  // Roots of the displayed forest.
+  std::vector<ElementId> roots;
+  if (options.root != kNoElement && options.root < schema.size()) {
+    roots.push_back(options.root);
+  } else {
+    roots = schema.Roots();
+  }
+
+  // BFS with depth cap; record node index per element for edges.
+  std::unordered_map<ElementId, size_t> node_index;
+  struct Item {
+    ElementId id;
+    size_t depth;
+  };
+  std::deque<Item> queue;
+  for (ElementId root : roots) queue.push_back({root, 0});
+  while (!queue.empty()) {
+    Item item = queue.front();
+    queue.pop_front();
+    const Element& element = schema.element(item.id);
+    VizNode node;
+    node.element = item.id;
+    node.label = element.name;
+    node.kind = element.kind;
+    node.type = element.type;
+    node.depth = item.depth;
+    auto score_it = element_scores.find(item.id);
+    if (score_it != element_scores.end()) node.similarity = score_it->second;
+    const auto& children = schema.Children(item.id);
+    if (item.depth >= options.max_depth && !children.empty()) {
+      node.collapsed = true;
+    } else {
+      for (ElementId child : children) {
+        queue.push_back({child, item.depth + 1});
+      }
+    }
+    node_index[item.id] = view.nodes.size();
+    view.nodes.push_back(std::move(node));
+  }
+
+  // Containment edges between visible nodes.
+  for (const auto& [id, idx] : node_index) {
+    ElementId parent = schema.element(id).parent;
+    if (parent == kNoElement) continue;
+    auto parent_it = node_index.find(parent);
+    if (parent_it != node_index.end()) {
+      view.edges.push_back(VizEdge{parent_it->second, idx, false});
+    }
+  }
+  // Foreign-key edges between visible elements.
+  if (options.include_foreign_keys) {
+    for (const ForeignKey& fk : schema.foreign_keys()) {
+      auto from_it = node_index.find(fk.attribute);
+      auto to_it = node_index.find(fk.target_entity);
+      if (from_it != node_index.end() && to_it != node_index.end()) {
+        view.edges.push_back(VizEdge{from_it->second, to_it->second, true});
+      }
+    }
+  }
+  return view;
+}
+
+}  // namespace schemr

@@ -1,0 +1,80 @@
+// Graph views: the renderable form of a schema.
+//
+// The Schemr GUI (paper Fig. 2) shows each result schema as a graph whose
+// "node color corresponds to schema element types" with similarity
+// visually encoded, capped at depth 3 with drill-in by re-rooting. This
+// module builds that view headlessly: a list of positioned nodes and
+// edges that the GraphML/DOT/SVG writers serialize.
+
+#ifndef SCHEMR_VIZ_GRAPH_VIEW_H_
+#define SCHEMR_VIZ_GRAPH_VIEW_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "schema/schema.h"
+
+namespace schemr {
+
+/// One displayable node.
+struct VizNode {
+  ElementId element = kNoElement;
+  std::string label;
+  ElementKind kind = ElementKind::kAttribute;
+  DataType type = DataType::kNone;
+  /// Match score S(e) in [0,1]; 0 for unmatched elements.
+  double similarity = 0.0;
+  /// Codebook semantic label ("latitude", "money", ...); empty when
+  /// unclassified. Filled by the service layer, serialized by the
+  /// writers.
+  std::string semantic;
+  /// True when descendants were hidden by the depth cap ("double click to
+  /// view its descendants" in the GUI).
+  bool collapsed = false;
+  size_t depth = 0;
+  /// Coordinates assigned by a layout (pixels; origin top-left).
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Containment or foreign-key edge between view nodes (indices into
+/// SchemaGraphView::nodes).
+struct VizEdge {
+  size_t from = 0;
+  size_t to = 0;
+  bool is_foreign_key = false;
+};
+
+/// A renderable schema graph.
+struct SchemaGraphView {
+  std::string title;
+  std::vector<VizNode> nodes;
+  std::vector<VizEdge> edges;
+
+  /// Index into `nodes` of an element id, or SIZE_MAX.
+  size_t NodeIndexOf(ElementId element) const;
+};
+
+struct GraphViewOptions {
+  /// "To ensure Schemr scales to very large schemas, we cap the displayed
+  /// graph depth to 3."
+  size_t max_depth = 3;
+  /// Drill-in root: display only this element's subtree (re-centered).
+  /// kNoElement shows the whole forest.
+  ElementId root = kNoElement;
+  /// Include foreign-key edges between visible entities.
+  bool include_foreign_keys = true;
+};
+
+/// Builds a view of `schema`, attaching `element_scores` (element →
+/// similarity) for color encoding. Coordinates are left at 0; run a layout
+/// afterwards.
+SchemaGraphView BuildGraphView(
+    const Schema& schema,
+    const std::unordered_map<ElementId, double>& element_scores = {},
+    const GraphViewOptions& options = {});
+
+}  // namespace schemr
+
+#endif  // SCHEMR_VIZ_GRAPH_VIEW_H_

@@ -1,0 +1,107 @@
+#include "viz/graphml_reader.h"
+
+#include <cstdlib>
+#include <unordered_map>
+
+#include "parse/xml_parser.h"
+
+namespace schemr {
+
+namespace {
+
+/// Resolves <key id=".."> declarations to their attr.name.
+std::unordered_map<std::string, std::string> KeyNames(const XmlNode& root) {
+  std::unordered_map<std::string, std::string> names;
+  for (const XmlNode* key : root.ChildrenNamed("key")) {
+    const std::string* id = key->FindAttribute("id");
+    const std::string* name = key->FindAttribute("attr.name");
+    if (id != nullptr && name != nullptr) names[*id] = *name;
+  }
+  return names;
+}
+
+}  // namespace
+
+Result<SchemaGraphView> ReadGraphMl(std::string_view graphml) {
+  SCHEMR_ASSIGN_OR_RETURN(XmlDocument doc, ParseXml(graphml));
+  if (doc.root->LocalName() != "graphml") {
+    return Status::ParseError("root element is not <graphml>");
+  }
+  const XmlNode* graph = doc.root->FirstChild("graph");
+  if (graph == nullptr) {
+    return Status::ParseError("GraphML has no <graph> element");
+  }
+  std::unordered_map<std::string, std::string> key_names = KeyNames(*doc.root);
+
+  SchemaGraphView view;
+  if (const std::string* id = graph->FindAttribute("id")) view.title = *id;
+
+  std::unordered_map<std::string, size_t> node_index;
+  for (const XmlNode* node_el : graph->ChildrenNamed("node")) {
+    const std::string* id = node_el->FindAttribute("id");
+    if (id == nullptr) return Status::ParseError("node without id");
+    VizNode node;
+    node.element = static_cast<ElementId>(view.nodes.size());
+    for (const XmlNode* data : node_el->ChildrenNamed("data")) {
+      const std::string* key = data->FindAttribute("key");
+      if (key == nullptr) continue;
+      auto name_it = key_names.find(*key);
+      if (name_it == key_names.end()) continue;
+      const std::string& name = name_it->second;
+      const std::string& value = data->text;
+      if (name == "label") {
+        node.label = value;
+      } else if (name == "kind") {
+        node.kind = value == "entity" ? ElementKind::kEntity
+                                      : ElementKind::kAttribute;
+      } else if (name == "score") {
+        node.similarity = std::strtod(value.c_str(), nullptr);
+      } else if (name == "collapsed") {
+        node.collapsed = (value == "true" || value == "1");
+      } else if (name == "semantic") {
+        node.semantic = value;
+      } else if (name == "x") {
+        node.x = std::strtod(value.c_str(), nullptr);
+      } else if (name == "y") {
+        node.y = std::strtod(value.c_str(), nullptr);
+      } else if (name == "datatype") {
+        for (int t = 0; t <= static_cast<int>(DataType::kBinary); ++t) {
+          if (value == DataTypeName(static_cast<DataType>(t))) {
+            node.type = static_cast<DataType>(t);
+            break;
+          }
+        }
+      }
+    }
+    if (!node_index.emplace(*id, view.nodes.size()).second) {
+      return Status::ParseError("duplicate node id '" + *id + "'");
+    }
+    view.nodes.push_back(std::move(node));
+  }
+
+  for (const XmlNode* edge_el : graph->ChildrenNamed("edge")) {
+    const std::string* source = edge_el->FindAttribute("source");
+    const std::string* target = edge_el->FindAttribute("target");
+    if (source == nullptr || target == nullptr) {
+      return Status::ParseError("edge missing source/target");
+    }
+    auto from = node_index.find(*source);
+    auto to = node_index.find(*target);
+    if (from == node_index.end() || to == node_index.end()) {
+      return Status::ParseError("edge references unknown node");
+    }
+    VizEdge edge{from->second, to->second, false};
+    for (const XmlNode* data : edge_el->ChildrenNamed("data")) {
+      const std::string* key = data->FindAttribute("key");
+      if (key == nullptr) continue;
+      auto name_it = key_names.find(*key);
+      if (name_it != key_names.end() && name_it->second == "foreignkey") {
+        edge.is_foreign_key = (data->text == "true" || data->text == "1");
+      }
+    }
+    view.edges.push_back(edge);
+  }
+  return view;
+}
+
+}  // namespace schemr

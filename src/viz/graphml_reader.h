@@ -1,0 +1,28 @@
+// GraphML parsing: the client side of the visualization wire format.
+//
+// The paper's GUI receives "a graphical representation of the schema ...
+// as a GraphML response, which is parsed and displayed on the frontend".
+// This reader plays that frontend role headlessly, reconstructing a
+// SchemaGraphView from a GraphML document produced by WriteGraphMl (or by
+// any tool emitting the same attr.name keys).
+
+#ifndef SCHEMR_VIZ_GRAPHML_READER_H_
+#define SCHEMR_VIZ_GRAPHML_READER_H_
+
+#include <string_view>
+
+#include "util/status.h"
+#include "viz/graph_view.h"
+
+namespace schemr {
+
+/// Parses a GraphML document into a view. Node data keys are matched by
+/// their declared attr.name (label, kind, datatype, score, collapsed,
+/// semantic, x, y); unknown keys are ignored; missing keys default.
+/// Returns ParseError/Corruption for malformed documents or dangling edge
+/// endpoints.
+Result<SchemaGraphView> ReadGraphMl(std::string_view graphml);
+
+}  // namespace schemr
+
+#endif  // SCHEMR_VIZ_GRAPHML_READER_H_

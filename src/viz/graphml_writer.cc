@@ -1,0 +1,72 @@
+#include "viz/graphml_writer.h"
+
+#include "util/xml_writer.h"
+
+namespace schemr {
+
+std::string WriteGraphMl(const SchemaGraphView& view) {
+  XmlWriter xml;
+  xml.Open("graphml")
+      .Attribute("xmlns", "http://graphml.graphdrawing.org/xmlns");
+
+  // Key declarations.
+  struct KeyDef {
+    const char* id;
+    const char* target;
+    const char* name;
+    const char* type;
+  };
+  static constexpr KeyDef kKeys[] = {
+      {"d_label", "node", "label", "string"},
+      {"d_kind", "node", "kind", "string"},
+      {"d_type", "node", "datatype", "string"},
+      {"d_score", "node", "score", "double"},
+      {"d_collapsed", "node", "collapsed", "boolean"},
+      {"d_semantic", "node", "semantic", "string"},
+      {"d_x", "node", "x", "double"},
+      {"d_y", "node", "y", "double"},
+      {"d_fk", "edge", "foreignkey", "boolean"},
+  };
+  for (const KeyDef& key : kKeys) {
+    xml.Open("key")
+        .Attribute("id", key.id)
+        .Attribute("for", key.target)
+        .Attribute("attr.name", key.name)
+        .Attribute("attr.type", key.type)
+        .Close();
+  }
+
+  xml.Open("graph")
+      .Attribute("id", view.title.empty() ? "schema" : view.title)
+      .Attribute("edgedefault", "directed");
+
+  auto data = [&xml](const char* key, const std::string& value) {
+    xml.Open("data").Attribute("key", key).Text(value).Close();
+  };
+
+  for (size_t i = 0; i < view.nodes.size(); ++i) {
+    const VizNode& node = view.nodes[i];
+    xml.Open("node").Attribute("id", "n" + std::to_string(i));
+    data("d_label", node.label);
+    data("d_kind", ElementKindName(node.kind));
+    data("d_type", DataTypeName(node.type));
+    data("d_score", std::to_string(node.similarity));
+    data("d_collapsed", node.collapsed ? "true" : "false");
+    if (!node.semantic.empty()) data("d_semantic", node.semantic);
+    data("d_x", std::to_string(node.x));
+    data("d_y", std::to_string(node.y));
+    xml.Close();
+  }
+  for (size_t i = 0; i < view.edges.size(); ++i) {
+    const VizEdge& edge = view.edges[i];
+    xml.Open("edge")
+        .Attribute("id", "e" + std::to_string(i))
+        .Attribute("source", "n" + std::to_string(edge.from))
+        .Attribute("target", "n" + std::to_string(edge.to));
+    data("d_fk", edge.is_foreign_key ? "true" : "false");
+    xml.Close();
+  }
+  return xml.Finish();
+}
+
+}  // namespace schemr

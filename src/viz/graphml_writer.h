@@ -1,0 +1,23 @@
+// GraphML serialization of schema graph views.
+//
+// GraphML is the wire format the Schemr server actually uses: "the server
+// ... returns a graphical representation of the schema to the client as a
+// GraphML response" (paper Sec. 2, Architecture). Node data keys carry the
+// label, element kind, data type, match score, collapsed flag and layout
+// coordinates; edge data marks foreign keys.
+
+#ifndef SCHEMR_VIZ_GRAPHML_WRITER_H_
+#define SCHEMR_VIZ_GRAPHML_WRITER_H_
+
+#include <string>
+
+#include "viz/graph_view.h"
+
+namespace schemr {
+
+/// Serializes `view` as a GraphML document.
+std::string WriteGraphMl(const SchemaGraphView& view);
+
+}  // namespace schemr
+
+#endif  // SCHEMR_VIZ_GRAPHML_WRITER_H_

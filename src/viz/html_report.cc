@@ -1,0 +1,57 @@
+#include "viz/html_report.h"
+
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace schemr {
+
+std::string WriteHtmlReport(const std::string& title,
+                            const std::string& query_description,
+                            const std::vector<ReportRow>& rows,
+                            const std::vector<ReportPanel>& panels) {
+  std::string html;
+  html += "<!DOCTYPE html>\n<html>\n<head>\n<meta charset=\"utf-8\">\n";
+  html += "<title>" + XmlEscape(title) + "</title>\n";
+  html +=
+      "<style>\n"
+      "body { font-family: Helvetica, Arial, sans-serif; margin: 24px; }\n"
+      ".layout { display: flex; gap: 24px; align-items: flex-start; }\n"
+      ".results { min-width: 420px; }\n"
+      "table { border-collapse: collapse; width: 100%; }\n"
+      "th, td { border: 1px solid #ccc; padding: 6px 10px; "
+      "font-size: 13px; text-align: left; }\n"
+      "th { background: #f0f4f8; }\n"
+      "tr:nth-child(even) { background: #fafafa; }\n"
+      ".panels { display: flex; flex-wrap: wrap; gap: 16px; }\n"
+      ".panel { border: 1px solid #ddd; padding: 8px; }\n"
+      ".panel h3 { margin: 4px 0 8px 0; font-size: 14px; }\n"
+      ".query { color: #555; font-size: 14px; margin-bottom: 16px; }\n"
+      "</style>\n</head>\n<body>\n";
+  html += "<h1>" + XmlEscape(title) + "</h1>\n";
+  html += "<div class=\"query\">" + XmlEscape(query_description) + "</div>\n";
+  html += "<div class=\"layout\">\n<div class=\"results\">\n";
+  html += "<h2>Results</h2>\n<table>\n<tr><th>#</th><th>Name</th>"
+          "<th>Score</th><th>Matches</th><th>Entities</th>"
+          "<th>Attributes</th><th>Description</th></tr>\n";
+  char buf[32];
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ReportRow& row = rows[i];
+    std::snprintf(buf, sizeof(buf), "%.3f", row.score);
+    html += "<tr><td>" + std::to_string(i + 1) + "</td><td>" +
+            XmlEscape(row.name) + "</td><td>" + buf + "</td><td>" +
+            std::to_string(row.matches) + "</td><td>" +
+            std::to_string(row.entities) + "</td><td>" +
+            std::to_string(row.attributes) + "</td><td>" +
+            XmlEscape(row.description) + "</td></tr>\n";
+  }
+  html += "</table>\n</div>\n<div class=\"panels\">\n";
+  for (const ReportPanel& panel : panels) {
+    html += "<div class=\"panel\">\n<h3>" + XmlEscape(panel.heading) +
+            "</h3>\n" + panel.svg + "</div>\n";
+  }
+  html += "</div>\n</div>\n</body>\n</html>\n";
+  return html;
+}
+
+}  // namespace schemr

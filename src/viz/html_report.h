@@ -1,0 +1,42 @@
+// Static HTML export of a search session: the headless counterpart of the
+// Schemr GUI's two panels (paper Fig. 2) -- a ranked results table on the
+// left, schema visualizations side by side on the right.
+//
+// This module is rendering-only: callers (the service layer, examples)
+// pass pre-built table rows and pre-rendered SVG panels, so viz stays
+// independent of the search engine types.
+
+#ifndef SCHEMR_VIZ_HTML_REPORT_H_
+#define SCHEMR_VIZ_HTML_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace schemr {
+
+/// One row of the results table ("name, score, matches, entities,
+/// attributes, and description").
+struct ReportRow {
+  std::string name;
+  double score = 0.0;
+  size_t matches = 0;
+  size_t entities = 0;
+  size_t attributes = 0;
+  std::string description;
+};
+
+/// One visualization panel: a heading plus a self-contained SVG document.
+struct ReportPanel {
+  std::string heading;
+  std::string svg;
+};
+
+/// Renders the full report page.
+std::string WriteHtmlReport(const std::string& title,
+                            const std::string& query_description,
+                            const std::vector<ReportRow>& rows,
+                            const std::vector<ReportPanel>& panels);
+
+}  // namespace schemr
+
+#endif  // SCHEMR_VIZ_HTML_REPORT_H_

@@ -1,0 +1,169 @@
+#include "viz/layout.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace schemr {
+
+namespace {
+
+/// Child adjacency over containment edges, plus root node indices.
+struct ViewTree {
+  std::vector<std::vector<size_t>> children;
+  std::vector<size_t> roots;
+};
+
+ViewTree BuildViewTree(const SchemaGraphView& view) {
+  ViewTree tree;
+  tree.children.resize(view.nodes.size());
+  std::vector<bool> has_parent(view.nodes.size(), false);
+  for (const VizEdge& edge : view.edges) {
+    if (edge.is_foreign_key) continue;
+    tree.children[edge.from].push_back(edge.to);
+    has_parent[edge.to] = true;
+  }
+  // Deterministic child order: element id.
+  for (auto& kids : tree.children) {
+    std::sort(kids.begin(), kids.end(), [&view](size_t a, size_t b) {
+      return view.nodes[a].element < view.nodes[b].element;
+    });
+  }
+  for (size_t i = 0; i < view.nodes.size(); ++i) {
+    if (!has_parent[i]) tree.roots.push_back(i);
+  }
+  std::sort(tree.roots.begin(), tree.roots.end(),
+            [&view](size_t a, size_t b) {
+              return view.nodes[a].element < view.nodes[b].element;
+            });
+  return tree;
+}
+
+size_t CountLeaves(const ViewTree& tree, size_t node) {
+  if (tree.children[node].empty()) return 1;
+  size_t leaves = 0;
+  for (size_t child : tree.children[node]) {
+    leaves += CountLeaves(tree, child);
+  }
+  return leaves;
+}
+
+/// Post-order x assignment: leaves take the next slot; parents center.
+/// Returns this subtree's x.
+double AssignTreeX(const ViewTree& tree, SchemaGraphView* view, size_t node,
+                   double* next_slot, double sibling_gap) {
+  if (tree.children[node].empty()) {
+    double x = *next_slot;
+    *next_slot += sibling_gap;
+    view->nodes[node].x = x;
+    return x;
+  }
+  double first = 0.0, last = 0.0;
+  bool first_set = false;
+  for (size_t child : tree.children[node]) {
+    double cx = AssignTreeX(tree, view, child, next_slot, sibling_gap);
+    if (!first_set) {
+      first = cx;
+      first_set = true;
+    }
+    last = cx;
+  }
+  double x = (first + last) / 2.0;
+  view->nodes[node].x = x;
+  return x;
+}
+
+void AssignTreeY(const ViewTree& tree, SchemaGraphView* view, size_t node,
+                 size_t depth, double level_gap, double margin) {
+  view->nodes[node].y = margin + static_cast<double>(depth) * level_gap;
+  for (size_t child : tree.children[node]) {
+    AssignTreeY(tree, view, child, depth + 1, level_gap, margin);
+  }
+}
+
+void AssignRadial(const ViewTree& tree, SchemaGraphView* view, size_t node,
+                  size_t depth, double angle_begin, double angle_end,
+                  double ring_gap, double cx, double cy) {
+  double angle = (angle_begin + angle_end) / 2.0;
+  double radius = static_cast<double>(depth) * ring_gap;
+  view->nodes[node].x = cx + radius * std::cos(angle);
+  view->nodes[node].y = cy + radius * std::sin(angle);
+  if (tree.children[node].empty()) return;
+  size_t total_leaves = CountLeaves(tree, node);
+  double cursor = angle_begin;
+  for (size_t child : tree.children[node]) {
+    size_t child_leaves = CountLeaves(tree, child);
+    double span = (angle_end - angle_begin) *
+                  static_cast<double>(child_leaves) /
+                  static_cast<double>(total_leaves);
+    AssignRadial(tree, view, child, depth + 1, cursor, cursor + span,
+                 ring_gap, cx, cy);
+    cursor += span;
+  }
+}
+
+}  // namespace
+
+void ApplyTreeLayout(SchemaGraphView* view, const TreeLayoutOptions& options) {
+  if (view->nodes.empty()) return;
+  ViewTree tree = BuildViewTree(*view);
+  double next_slot = options.margin;
+  for (size_t root : tree.roots) {
+    AssignTreeX(tree, view, root, &next_slot, options.sibling_gap);
+    AssignTreeY(tree, view, root, 0, options.level_gap, options.margin);
+  }
+}
+
+void ApplyRadialLayout(SchemaGraphView* view,
+                       const RadialLayoutOptions& options) {
+  if (view->nodes.empty()) return;
+  ViewTree tree = BuildViewTree(*view);
+  // Size the canvas by the maximum depth.
+  size_t max_depth = 0;
+  for (const VizNode& node : view->nodes) {
+    max_depth = std::max(max_depth, node.depth);
+  }
+  double radius = static_cast<double>(max_depth) * options.ring_gap;
+  double center = options.margin + radius;
+
+  size_t total_leaves = 0;
+  for (size_t root : tree.roots) total_leaves += CountLeaves(tree, root);
+  if (total_leaves == 0) return;
+  double cursor = 0.0;
+  const double two_pi = 2.0 * M_PI;
+  for (size_t root : tree.roots) {
+    size_t leaves = CountLeaves(tree, root);
+    double span =
+        two_pi * static_cast<double>(leaves) / static_cast<double>(total_leaves);
+    AssignRadial(tree, view, root, 0, cursor, cursor + span, options.ring_gap,
+                 center, center);
+    cursor += span;
+  }
+  // Several roots would all sit at the exact center (radius 0); spread
+  // them onto a small inner ring so they stay distinguishable.
+  if (tree.roots.size() > 1) {
+    double inner = options.ring_gap * 0.4;
+    for (size_t i = 0; i < tree.roots.size(); ++i) {
+      double angle =
+          two_pi * static_cast<double>(i) / static_cast<double>(tree.roots.size());
+      view->nodes[tree.roots[i]].x = center + inner * std::cos(angle);
+      view->nodes[tree.roots[i]].y = center + inner * std::sin(angle);
+    }
+  }
+}
+
+BoundingBox ComputeBounds(const SchemaGraphView& view) {
+  BoundingBox box;
+  if (view.nodes.empty()) return box;
+  box.min_x = box.max_x = view.nodes[0].x;
+  box.min_y = box.max_y = view.nodes[0].y;
+  for (const VizNode& node : view.nodes) {
+    box.min_x = std::min(box.min_x, node.x);
+    box.max_x = std::max(box.max_x, node.x);
+    box.min_y = std::min(box.min_y, node.y);
+    box.max_y = std::max(box.max_y, node.y);
+  }
+  return box;
+}
+
+}  // namespace schemr

@@ -1,0 +1,47 @@
+// Graph layouts: hierarchical tree and radial (paper Fig. 2: "We allow for
+// multiple graph layouts, including a hierarchical tree layout and a
+// radial layout").
+//
+// Both operate on the containment edges of a SchemaGraphView (foreign-key
+// edges are drawn but do not influence positions) and assign pixel
+// coordinates in place.
+
+#ifndef SCHEMR_VIZ_LAYOUT_H_
+#define SCHEMR_VIZ_LAYOUT_H_
+
+#include "viz/graph_view.h"
+
+namespace schemr {
+
+struct TreeLayoutOptions {
+  double level_gap = 80.0;   ///< vertical distance between depths
+  double sibling_gap = 90.0; ///< horizontal distance between leaves
+  double margin = 40.0;
+};
+
+struct RadialLayoutOptions {
+  double ring_gap = 80.0;  ///< radial distance between depths
+  double margin = 40.0;
+};
+
+/// Layered tree layout: leaves get successive x slots, internal nodes
+/// center over their children, y = depth. Multiple roots are laid out side
+/// by side. Guarantees no two nodes of the same depth overlap.
+void ApplyTreeLayout(SchemaGraphView* view, const TreeLayoutOptions& options = {});
+
+/// Radial layout: depth d sits on ring d·ring_gap around the center;
+/// each subtree receives an angular wedge proportional to its leaf count.
+void ApplyRadialLayout(SchemaGraphView* view,
+                       const RadialLayoutOptions& options = {});
+
+/// Bounding box of laid-out nodes (for SVG sizing).
+struct BoundingBox {
+  double min_x = 0.0, min_y = 0.0, max_x = 0.0, max_y = 0.0;
+  double width() const { return max_x - min_x; }
+  double height() const { return max_y - min_y; }
+};
+BoundingBox ComputeBounds(const SchemaGraphView& view);
+
+}  // namespace schemr
+
+#endif  // SCHEMR_VIZ_LAYOUT_H_

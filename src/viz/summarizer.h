@@ -1,0 +1,53 @@
+// Schema summarization for very large schemas.
+//
+// "To ensure Schemr scales to very large schemas, we plan to employ
+// schema visualization and summarization techniques, such as those
+// proposed in [7, 9]" — [9] being Yu & Jagadish, "Schema Summarization"
+// (VLDB 2006). Following its core idea, each entity gets an *importance*
+// score combining local information content (attribute count) with
+// connectivity (foreign-key degree), diffused one step over the FK graph
+// so hubs lift their neighborhoods; the summary keeps the top-k entities
+// and renders everything else as collapsed stubs.
+
+#ifndef SCHEMR_VIZ_SUMMARIZER_H_
+#define SCHEMR_VIZ_SUMMARIZER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "schema/schema.h"
+#include "viz/graph_view.h"
+
+namespace schemr {
+
+struct SummaryOptions {
+  /// Entities kept in the summary.
+  size_t max_entities = 5;
+  /// Weight of FK connectivity vs attribute count in the base importance.
+  double connectivity_weight = 0.5;
+  /// Fraction of a neighbor's importance diffused in (one iteration).
+  double diffusion = 0.3;
+  /// Attributes shown per kept entity (most important first: keys, then
+  /// FK attributes, then declaration order); 0 = all.
+  size_t max_attributes_per_entity = 6;
+};
+
+/// Importance score per entity id (higher = more central).
+std::unordered_map<ElementId, double> ComputeEntityImportance(
+    const Schema& schema, const SummaryOptions& options = {});
+
+/// The top-k entities by importance, descending (ties by id).
+std::vector<ElementId> SelectSummaryEntities(
+    const Schema& schema, const SummaryOptions& options = {});
+
+/// Builds a summary view: kept entities with their top attributes,
+/// FK edges among them; omitted subtrees appear as `collapsed` markers on
+/// their nearest kept ancestor. Scores attach as in BuildGraphView.
+SchemaGraphView BuildSummaryView(
+    const Schema& schema,
+    const std::unordered_map<ElementId, double>& element_scores = {},
+    const SummaryOptions& options = {});
+
+}  // namespace schemr
+
+#endif  // SCHEMR_VIZ_SUMMARIZER_H_

@@ -1,0 +1,82 @@
+#include "viz/svg_writer.h"
+
+#include <cstdio>
+
+#include "util/string_util.h"
+#include "viz/color.h"
+#include "viz/layout.h"
+
+namespace schemr {
+
+namespace {
+std::string Fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  return buf;
+}
+}  // namespace
+
+std::string WriteSvg(const SchemaGraphView& view, const SvgOptions& options) {
+  BoundingBox box = ComputeBounds(view);
+  double offset_x = options.padding - box.min_x;
+  double offset_y = options.padding - box.min_y;
+  double width = box.width() + 2 * options.padding;
+  double height = box.height() + 2 * options.padding;
+
+  std::string svg;
+  svg += "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" + Fmt(width) +
+         "\" height=\"" + Fmt(height) + "\" viewBox=\"0 0 " + Fmt(width) +
+         " " + Fmt(height) + "\">\n";
+  svg += "  <title>" + XmlEscape(view.title) + "</title>\n";
+  svg += "  <rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+
+  // Edges beneath nodes.
+  for (const VizEdge& edge : view.edges) {
+    const VizNode& a = view.nodes[edge.from];
+    const VizNode& b = view.nodes[edge.to];
+    svg += "  <line x1=\"" + Fmt(a.x + offset_x) + "\" y1=\"" +
+           Fmt(a.y + offset_y) + "\" x2=\"" + Fmt(b.x + offset_x) +
+           "\" y2=\"" + Fmt(b.y + offset_y) + "\" stroke=\"" +
+           (edge.is_foreign_key ? "#999999" : "#444444") + "\"";
+    if (edge.is_foreign_key) svg += " stroke-dasharray=\"5,4\"";
+    svg += " stroke-width=\"1.2\"/>\n";
+  }
+
+  // Nodes.
+  for (const VizNode& node : view.nodes) {
+    double x = node.x + offset_x;
+    double y = node.y + offset_y;
+    std::string fill = NodeColor(node.kind, node.similarity).ToHex();
+    if (node.kind == ElementKind::kEntity) {
+      double r = options.node_radius;
+      svg += "  <rect x=\"" + Fmt(x - r) + "\" y=\"" + Fmt(y - r * 0.7) +
+             "\" width=\"" + Fmt(2 * r) + "\" height=\"" + Fmt(1.4 * r) +
+             "\" rx=\"4\" fill=\"" + fill +
+             "\" stroke=\"#333333\" stroke-width=\"1\"/>\n";
+    } else {
+      svg += "  <circle cx=\"" + Fmt(x) + "\" cy=\"" + Fmt(y) + "\" r=\"" +
+             Fmt(options.node_radius * 0.6) + "\" fill=\"" + fill +
+             "\" stroke=\"#333333\" stroke-width=\"1\"/>\n";
+    }
+    // Label under the node.
+    svg += "  <text x=\"" + Fmt(x) + "\" y=\"" +
+           Fmt(y + options.node_radius + options.font_size) +
+           "\" text-anchor=\"middle\" font-family=\"Helvetica\" font-size=\"" +
+           Fmt(options.font_size) + "\">" + XmlEscape(node.label) +
+           (node.collapsed ? " +" : "") + "</text>\n";
+    if (options.show_scores && node.similarity > 0.0) {
+      char score[16];
+      std::snprintf(score, sizeof(score), "%.2f", node.similarity);
+      svg += "  <text x=\"" + Fmt(x) + "\" y=\"" +
+             Fmt(y + options.node_radius + 2.2 * options.font_size) +
+             "\" text-anchor=\"middle\" font-family=\"Helvetica\" "
+             "font-size=\"" +
+             Fmt(options.font_size * 0.9) + "\" fill=\"#006400\">" + score +
+             "</text>\n";
+    }
+  }
+  svg += "</svg>\n";
+  return svg;
+}
+
+}  // namespace schemr

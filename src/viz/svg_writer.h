@@ -1,0 +1,30 @@
+// SVG rendering of laid-out schema graph views -- the headless stand-in
+// for the Flash/Flare client (see DESIGN.md substitution #2). Produces a
+// self-contained SVG: edges (foreign keys dashed), colored nodes (kind →
+// hue, similarity → saturation), labels, and a "+" badge on collapsed
+// nodes.
+
+#ifndef SCHEMR_VIZ_SVG_WRITER_H_
+#define SCHEMR_VIZ_SVG_WRITER_H_
+
+#include <string>
+
+#include "viz/graph_view.h"
+
+namespace schemr {
+
+struct SvgOptions {
+  double node_radius = 16.0;
+  double font_size = 11.0;
+  /// Extra canvas padding around the layout bounds.
+  double padding = 50.0;
+  /// Draw the score value under matched node labels.
+  bool show_scores = true;
+};
+
+/// Renders a laid-out view (run a layout first) as an SVG document.
+std::string WriteSvg(const SchemaGraphView& view, const SvgOptions& options = {});
+
+}  // namespace schemr
+
+#endif  // SCHEMR_VIZ_SVG_WRITER_H_

@@ -1,0 +1,306 @@
+// Tests for the corpus tooling: vocabulary consistency, name variants,
+// schema generation (property: everything generated validates), the
+// WebTables filter pipeline, query workloads and relevance maps.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "corpus/name_variants.h"
+#include "corpus/query_workload.h"
+#include "corpus/schema_generator.h"
+#include "corpus/vocabulary.h"
+#include "corpus/web_tables.h"
+#include "parse/ddl_parser.h"
+
+namespace schemr {
+namespace {
+
+// --- vocabulary -------------------------------------------------------------------
+
+TEST(VocabularyTest, ConceptLibraryIsConsistent) {
+  const auto& concepts = BuiltinConcepts();
+  ASSERT_GE(concepts.size(), 20u);
+  std::set<std::string> ids;
+  std::set<std::string> domains;
+  for (const DomainConcept& dc : concepts) {
+    EXPECT_TRUE(ids.insert(dc.id).second) << "duplicate id " << dc.id;
+    domains.insert(dc.domain);
+    EXPECT_FALSE(dc.entities.empty()) << dc.id;
+    std::set<std::string> entity_names;
+    for (const ConceptEntity& entity : dc.entities) {
+      EXPECT_TRUE(entity_names.insert(entity.name).second)
+          << "duplicate entity in " << dc.id;
+      EXPECT_FALSE(entity.attributes.empty()) << dc.id << "." << entity.name;
+      // Every attribute name is canonical snake_case (lowercase + '_').
+      for (const ConceptAttribute& attr : entity.attributes) {
+        for (char c : attr.name) {
+          EXPECT_TRUE((c >= 'a' && c <= 'z') || c == '_' ||
+                      (c >= '0' && c <= '9'))
+              << dc.id << "." << entity.name << "." << attr.name;
+        }
+      }
+      // FK targets reference entities of the same concept.
+      for (const std::string& target : entity.references) {
+        bool found = false;
+        for (const ConceptEntity& other : dc.entities) {
+          if (other.name == target) found = true;
+        }
+        EXPECT_TRUE(found) << dc.id << ": dangling reference " << target;
+      }
+    }
+  }
+  EXPECT_GE(domains.size(), 5u);
+}
+
+TEST(VocabularyTest, LookupHelpers) {
+  EXPECT_NE(FindConcept("health.clinic_visits"), nullptr);
+  EXPECT_EQ(FindConcept("nope.nothing"), nullptr);
+  EXPECT_FALSE(ConceptsInDomain("health").empty());
+  EXPECT_TRUE(ConceptsInDomain("astrology").empty());
+  EXPECT_FALSE(GenericAttributePool().empty());
+}
+
+TEST(VocabularyTest, AbbreviationsAndSynonyms) {
+  auto pat = AbbreviationsOf("patient");
+  EXPECT_NE(std::find(pat.begin(), pat.end(), "pat"), pat.end());
+  EXPECT_TRUE(AbbreviationsOf("xyzzy").empty());
+  // Synonyms are symmetric.
+  auto of_gender = SynonymsOf("gender");
+  auto of_sex = SynonymsOf("sex");
+  EXPECT_NE(std::find(of_gender.begin(), of_gender.end(), "sex"),
+            of_gender.end());
+  EXPECT_NE(std::find(of_sex.begin(), of_sex.end(), "gender"), of_sex.end());
+}
+
+// --- name variants ----------------------------------------------------------------
+
+TEST(NameVariantsTest, AllStylesRender) {
+  std::vector<std::string> words = {"date", "of", "birth"};
+  EXPECT_EQ(RenderName(words, NameStyle::kSnake), "date_of_birth");
+  EXPECT_EQ(RenderName(words, NameStyle::kCamel), "dateOfBirth");
+  EXPECT_EQ(RenderName(words, NameStyle::kPascal), "DateOfBirth");
+  EXPECT_EQ(RenderName(words, NameStyle::kKebab), "date-of-birth");
+  EXPECT_EQ(RenderName(words, NameStyle::kDotted), "date.of.birth");
+  EXPECT_EQ(RenderName(words, NameStyle::kUpperSnake), "DATE_OF_BIRTH");
+  EXPECT_EQ(RenderName(words, NameStyle::kSquashed), "dateofbirth");
+  EXPECT_EQ(RenderName(words, NameStyle::kSpaced), "date of birth");
+}
+
+TEST(NameVariantsTest, CanonicalWordsInvertsSnake) {
+  EXPECT_EQ(CanonicalWords("date_of_birth"),
+            (std::vector<std::string>{"date", "of", "birth"}));
+  EXPECT_EQ(CanonicalWords("single"), (std::vector<std::string>{"single"}));
+}
+
+TEST(NameVariantsTest, DeterministicAndNeverEmpty) {
+  VariantOptions options;
+  options.abbreviation_prob = 0.5;
+  options.synonym_prob = 0.5;
+  options.truncation_prob = 0.3;
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    Rng a(seed), b(seed);
+    std::string va = MakeNameVariant("patient_date_of_birth", &a, options);
+    std::string vb = MakeNameVariant("patient_date_of_birth", &b, options);
+    EXPECT_EQ(va, vb);
+    EXPECT_FALSE(va.empty());
+  }
+  // Pure connectives survive as themselves.
+  Rng rng(1);
+  EXPECT_FALSE(MakeNameVariant("of", &rng, options).empty());
+}
+
+TEST(NameVariantsTest, ZeroNoiseIsIdentityInSnake) {
+  VariantOptions options;
+  options.abbreviation_prob = 0.0;
+  options.synonym_prob = 0.0;
+  options.truncation_prob = 0.0;
+  options.connective_drop_prob = 0.0;
+  options.style = NameStyle::kSnake;
+  Rng rng(7);
+  EXPECT_EQ(MakeNameVariant("date_of_birth", &rng, options), "date_of_birth");
+}
+
+TEST(NameVariantsTest, AbbreviationProbabilityOneAbbreviates) {
+  VariantOptions options;
+  options.abbreviation_prob = 1.0;
+  options.style = NameStyle::kSnake;
+  Rng rng(3);
+  std::string v = MakeNameVariant("patient", &rng, options);
+  auto abbrevs = AbbreviationsOf("patient");
+  EXPECT_NE(std::find(abbrevs.begin(), abbrevs.end(), v), abbrevs.end())
+      << v;
+}
+
+// --- schema generator ---------------------------------------------------------------
+
+TEST(SchemaGeneratorTest, CorpusIsValidAndDeterministic) {
+  CorpusOptions options;
+  options.num_schemas = 120;
+  options.seed = 99;
+  std::vector<GeneratedSchema> corpus = GenerateCorpus(options);
+  ASSERT_EQ(corpus.size(), 120u);
+  for (const GeneratedSchema& g : corpus) {
+    EXPECT_TRUE(g.schema.Validate().ok()) << g.schema.name();
+    EXPECT_NE(FindConcept(g.concept_id), nullptr);
+    EXPECT_GE(g.schema.NumEntities(), 1u);
+    EXPECT_GE(g.schema.NumAttributes(), 1u);
+    EXPECT_FALSE(g.schema.name().empty());
+  }
+  // Same seed, same corpus.
+  std::vector<GeneratedSchema> again = GenerateCorpus(options);
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ(corpus[i].schema, again[i].schema);
+    EXPECT_EQ(corpus[i].concept_id, again[i].concept_id);
+  }
+  // Different seed, different corpus.
+  options.seed = 100;
+  std::vector<GeneratedSchema> other = GenerateCorpus(options);
+  size_t same = 0;
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    same += (corpus[i].schema == other[i].schema);
+  }
+  EXPECT_LT(same, corpus.size() / 4);
+}
+
+TEST(SchemaGeneratorTest, CoversManyConceptsWithSkew) {
+  CorpusOptions options;
+  options.num_schemas = 500;
+  options.seed = 5;
+  std::unordered_map<std::string, size_t> counts;
+  for (const GeneratedSchema& g : GenerateCorpus(options)) {
+    ++counts[g.concept_id];
+  }
+  EXPECT_GE(counts.size(), 10u);  // broad coverage
+  size_t max_count = 0;
+  for (const auto& [id, n] : counts) max_count = std::max(max_count, n);
+  EXPECT_GT(max_count, 500 / counts.size())  // and popularity skew
+      << "expected a head concept above the uniform share";
+}
+
+TEST(SchemaGeneratorTest, ForeignKeysSurviveWhenEntitiesKept) {
+  CorpusOptions options;
+  options.num_schemas = 200;
+  options.seed = 17;
+  options.entity_dropout = 0.0;  // keep all entities
+  options.name_noise.abbreviation_prob = 0.0;
+  options.name_noise.synonym_prob = 0.0;
+  options.name_noise.truncation_prob = 0.0;
+  size_t with_fk = 0;
+  for (const GeneratedSchema& g : GenerateCorpus(options)) {
+    const DomainConcept* dc = FindConcept(g.concept_id);
+    size_t expected_refs = 0;
+    for (const ConceptEntity& e : dc->entities) {
+      expected_refs += e.references.size();
+    }
+    if (expected_refs > 0 && !g.schema.foreign_keys().empty()) ++with_fk;
+  }
+  EXPECT_GT(with_fk, 50u);
+}
+
+// --- web tables -----------------------------------------------------------------------
+
+TEST(WebTablesTest, FilterRulePredicates) {
+  RawWebTable clean{"patients", {"name", "height", "gender", "village"}};
+  RawWebTable junk{"t", {"price ($)", "name"}};
+  RawWebTable tiny{"t", {"a", "b", "c"}};
+  EXPECT_FALSE(IsNonAlphabeticTable(clean));
+  EXPECT_TRUE(IsNonAlphabeticTable(junk));
+  EXPECT_FALSE(IsTrivialTable(clean));
+  EXPECT_TRUE(IsTrivialTable(tiny));  // exactly 3 columns: "three or less"
+  RawWebTable four{"t", {"a", "b", "c", "d"}};
+  EXPECT_FALSE(IsTrivialTable(four));
+}
+
+TEST(WebTablesTest, FingerprintIgnoresOrderAndCase) {
+  RawWebTable a{"People", {"Name", "Age"}};
+  RawWebTable b{"people", {"age", "name"}};
+  RawWebTable c{"people", {"age", "height"}};
+  EXPECT_EQ(TableFingerprint(a), TableFingerprint(b));
+  EXPECT_NE(TableFingerprint(a), TableFingerprint(c));
+}
+
+TEST(WebTablesTest, FilterAppliesAllThreeRules) {
+  std::vector<RawWebTable> tables = {
+      {"patients", {"name", "height", "gender", "village"}},  // dup 1
+      {"patients", {"name", "height", "gender", "village"}},  // dup 2
+      {"junk", {"a+b", "c", "d", "e"}},                        // non-alpha
+      {"tiny", {"a", "b"}},                                    // trivial
+      {"lonely", {"alpha", "beta", "gamma", "delta"}},         // singleton
+  };
+  WebTableFilterStats stats;
+  std::vector<Schema> schemas = FilterWebTables(tables, &stats);
+  EXPECT_EQ(stats.input, 5u);
+  EXPECT_EQ(stats.dropped_non_alphabetic, 1u);
+  EXPECT_EQ(stats.dropped_trivial, 1u);
+  EXPECT_EQ(stats.dropped_singleton, 1u);
+  EXPECT_EQ(stats.duplicates_collapsed, 1u);
+  EXPECT_EQ(stats.kept, 1u);
+  ASSERT_EQ(schemas.size(), 1u);
+  EXPECT_EQ(schemas[0].name(), "patients");
+  EXPECT_EQ(schemas[0].NumEntities(), 1u);
+  EXPECT_EQ(schemas[0].NumAttributes(), 4u);
+  EXPECT_TRUE(schemas[0].Validate().ok());
+}
+
+TEST(WebTablesTest, GeneratedCrawlFiltersRealistically) {
+  WebTableGenOptions options;
+  options.num_tables = 5000;
+  options.seed = 3;
+  std::vector<RawWebTable> raw = GenerateRawWebTables(options);
+  ASSERT_EQ(raw.size(), 5000u);
+  WebTableFilterStats stats;
+  std::vector<Schema> schemas = FilterWebTables(raw, &stats);
+  // All rules fire on a realistic crawl.
+  EXPECT_GT(stats.dropped_non_alphabetic, 100u);
+  EXPECT_GT(stats.dropped_trivial, 100u);
+  EXPECT_GT(stats.dropped_singleton, 10u);
+  EXPECT_GT(stats.kept, 20u);
+  EXPECT_EQ(stats.kept, schemas.size());
+  for (const Schema& schema : schemas) {
+    EXPECT_TRUE(schema.Validate().ok());
+    EXPECT_GT(schema.NumAttributes(), 3u);
+  }
+}
+
+// --- query workload ----------------------------------------------------------------------
+
+TEST(QueryWorkloadTest, QueriesAreParsableAndGrounded) {
+  QueryWorkloadOptions options;
+  options.num_queries = 40;
+  options.fragment_prob = 0.5;
+  std::vector<WorkloadQuery> workload = GenerateQueryWorkload(options);
+  ASSERT_EQ(workload.size(), 40u);
+  size_t with_fragment = 0;
+  for (const WorkloadQuery& q : workload) {
+    EXPECT_NE(FindConcept(q.concept_id), nullptr);
+    EXPECT_FALSE(q.keywords.empty());
+    if (!q.ddl_fragment.empty()) {
+      ++with_fragment;
+      auto parsed = ParseDdl(q.ddl_fragment, "fragment");
+      EXPECT_TRUE(parsed.ok()) << parsed.status() << "\n" << q.ddl_fragment;
+      EXPECT_GE(parsed->NumAttributes(), 1u);
+    }
+  }
+  EXPECT_GT(with_fragment, 5u);
+  EXPECT_LT(with_fragment, 35u);
+}
+
+TEST(QueryWorkloadTest, RelevanceMapGroupsByConcept) {
+  CorpusOptions options;
+  options.num_schemas = 50;
+  std::vector<GeneratedSchema> corpus = GenerateCorpus(options);
+  std::vector<SchemaId> ids;
+  for (size_t i = 0; i < corpus.size(); ++i) ids.push_back(i + 1000);
+  auto map = BuildRelevanceMap(corpus, ids);
+  size_t total = 0;
+  for (const auto& [concept_id, set] : map) {
+    EXPECT_NE(FindConcept(concept_id), nullptr);
+    total += set.size();
+  }
+  EXPECT_EQ(total, corpus.size());
+}
+
+}  // namespace
+}  // namespace schemr

@@ -1,0 +1,275 @@
+// Tests for the SQL lexer, DDL parser and DDL writer.
+
+#include <gtest/gtest.h>
+
+#include "parse/ddl_parser.h"
+#include "parse/ddl_writer.h"
+#include "parse/sql_lexer.h"
+
+namespace schemr {
+namespace {
+
+// --- lexer -------------------------------------------------------------------
+
+TEST(SqlLexerTest, BasicTokens) {
+  auto tokens = LexSql("CREATE TABLE t (a INT, b VARCHAR(10));");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_GE(tokens->size(), 13u);
+  EXPECT_EQ((*tokens)[0].text, "CREATE");
+  EXPECT_EQ((*tokens)[0].type, SqlTokenType::kIdentifier);
+  EXPECT_EQ(tokens->back().type, SqlTokenType::kEnd);
+}
+
+TEST(SqlLexerTest, QuotedIdentifiers) {
+  auto tokens = LexSql(R"("case" `order` [select])");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 4u);  // 3 identifiers + end
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ((*tokens)[i].type, SqlTokenType::kIdentifier);
+    EXPECT_TRUE((*tokens)[i].quoted);
+  }
+  EXPECT_EQ((*tokens)[0].text, "case");
+  EXPECT_EQ((*tokens)[1].text, "order");
+  EXPECT_EQ((*tokens)[2].text, "select");
+}
+
+TEST(SqlLexerTest, StringLiteralsWithEscapes) {
+  auto tokens = LexSql("'it''s here'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, SqlTokenType::kString);
+  EXPECT_EQ((*tokens)[0].text, "it's here");
+}
+
+TEST(SqlLexerTest, CommentsSkipped) {
+  auto tokens = LexSql(
+      "-- line comment\n"
+      "a /* block\n comment */ b");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 3u);
+  EXPECT_EQ((*tokens)[0].text, "a");
+  EXPECT_EQ((*tokens)[1].text, "b");
+  EXPECT_EQ((*tokens)[1].line, 3);  // line tracking through comments
+}
+
+TEST(SqlLexerTest, Numbers) {
+  auto tokens = LexSql("42 3.14 .5");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "42");
+  EXPECT_EQ((*tokens)[1].text, "3.14");
+  EXPECT_EQ((*tokens)[2].text, ".5");
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ((*tokens)[i].type, SqlTokenType::kNumber);
+  }
+}
+
+TEST(SqlLexerTest, Errors) {
+  EXPECT_FALSE(LexSql("'unterminated").ok());
+  EXPECT_FALSE(LexSql("\"unterminated").ok());
+  EXPECT_FALSE(LexSql("/* unterminated").ok());
+  EXPECT_FALSE(LexSql("a ? b").ok());
+  // Error message carries the line number.
+  auto bad = LexSql("ok\nok\n'oops");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 3"), std::string::npos);
+}
+
+// --- type mapping -------------------------------------------------------------
+
+TEST(SqlTypeMappingTest, CommonTypes) {
+  EXPECT_EQ(SqlTypeToDataType("INT"), DataType::kInt32);
+  EXPECT_EQ(SqlTypeToDataType("integer"), DataType::kInt32);
+  EXPECT_EQ(SqlTypeToDataType("BIGINT"), DataType::kInt64);
+  EXPECT_EQ(SqlTypeToDataType("VarChar"), DataType::kString);
+  EXPECT_EQ(SqlTypeToDataType("TEXT"), DataType::kText);
+  EXPECT_EQ(SqlTypeToDataType("double"), DataType::kDouble);
+  EXPECT_EQ(SqlTypeToDataType("DECIMAL"), DataType::kDecimal);
+  EXPECT_EQ(SqlTypeToDataType("timestamp"), DataType::kDateTime);
+  EXPECT_EQ(SqlTypeToDataType("BOOLEAN"), DataType::kBool);
+  EXPECT_EQ(SqlTypeToDataType("BLOB"), DataType::kBinary);
+  // Unknown types degrade to string, never fail.
+  EXPECT_EQ(SqlTypeToDataType("GEOGRAPHY"), DataType::kString);
+}
+
+// --- DDL parser ------------------------------------------------------------------
+
+TEST(DdlParserTest, SingleTable) {
+  auto schema = ParseDdl(
+      "CREATE TABLE patient (\n"
+      "  patient_id BIGINT PRIMARY KEY,\n"
+      "  name VARCHAR(100) NOT NULL,\n"
+      "  height DOUBLE,\n"
+      "  gender CHAR(1)\n"
+      ");",
+      "test");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ(schema->NumEntities(), 1u);
+  EXPECT_EQ(schema->NumAttributes(), 4u);
+  const Element& id = schema->element(*schema->FindByName("patient_id"));
+  EXPECT_TRUE(id.primary_key);
+  EXPECT_FALSE(id.nullable);
+  EXPECT_EQ(id.type, DataType::kInt64);
+  const Element& name = schema->element(*schema->FindByName("name"));
+  EXPECT_FALSE(name.nullable);
+  EXPECT_FALSE(name.primary_key);
+}
+
+TEST(DdlParserTest, MultipleTablesWithInlineReferences) {
+  auto schema = ParseDdl(
+      "CREATE TABLE a (id BIGINT PRIMARY KEY);\n"
+      "CREATE TABLE b (\n"
+      "  id BIGINT PRIMARY KEY,\n"
+      "  a_id BIGINT REFERENCES a (id) ON DELETE CASCADE\n"
+      ");",
+      "test");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ(schema->NumEntities(), 2u);
+  ASSERT_EQ(schema->foreign_keys().size(), 1u);
+  const ForeignKey& fk = schema->foreign_keys()[0];
+  EXPECT_EQ(schema->element(fk.target_entity).name, "a");
+  EXPECT_EQ(schema->element(fk.target_attribute).name, "id");
+}
+
+TEST(DdlParserTest, TableLevelConstraints) {
+  auto schema = ParseDdl(
+      "CREATE TABLE t (\n"
+      "  x BIGINT,\n"
+      "  y BIGINT,\n"
+      "  z VARCHAR(10),\n"
+      "  PRIMARY KEY (x, y),\n"
+      "  UNIQUE (z),\n"
+      "  CONSTRAINT fk_t FOREIGN KEY (y) REFERENCES other (id),\n"
+      "  CHECK (x > 0)\n"
+      ");\n"
+      "CREATE TABLE other (id BIGINT PRIMARY KEY);",
+      "test");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_TRUE(schema->element(*schema->FindByName("x")).primary_key);
+  EXPECT_TRUE(schema->element(*schema->FindByName("y")).primary_key);
+  ASSERT_EQ(schema->foreign_keys().size(), 1u);
+  EXPECT_EQ(schema->element(schema->foreign_keys()[0].target_entity).name,
+            "other");
+}
+
+TEST(DdlParserTest, ForwardReferenceAcrossStatements) {
+  auto schema = ParseDdl(
+      "CREATE TABLE child (parent_id BIGINT REFERENCES parent);\n"
+      "CREATE TABLE parent (id BIGINT PRIMARY KEY);",
+      "test");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ(schema->foreign_keys().size(), 1u);
+}
+
+TEST(DdlParserTest, DanglingReferenceIsDroppedNotFatal) {
+  // Fragments reference tables outside the snippet; the edge is dropped
+  // but the parse succeeds (recall over precision for search input).
+  auto schema = ParseDdl(
+      "CREATE TABLE visit (patient_id BIGINT REFERENCES patient);", "test");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_TRUE(schema->foreign_keys().empty());
+  EXPECT_EQ(schema->NumAttributes(), 1u);
+}
+
+TEST(DdlParserTest, DialectNoise) {
+  auto schema = ParseDdl(
+      "CREATE TABLE IF NOT EXISTS t (\n"
+      "  id INT UNSIGNED AUTO_INCREMENT PRIMARY KEY,\n"
+      "  price DECIMAL(10,2) DEFAULT 0.0,\n"
+      "  label VARCHAR(50) DEFAULT 'none' COMMENT 'display label',\n"
+      "  created TIMESTAMP DEFAULT CURRENT_TIMESTAMP(),\n"
+      "  flag BOOLEAN DEFAULT NULL,\n"
+      "  KEY idx_label (label)\n"
+      ") ENGINE=InnoDB DEFAULT CHARSET=utf8 COMMENT='stuff';",
+      "test");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ(schema->NumAttributes(), 5u);
+  EXPECT_EQ(schema->element(*schema->FindByName("label")).documentation,
+            "display label");
+  // Table COMMENT lands on the entity.
+  auto entity = schema->FindByName("t", ElementKind::kEntity);
+  ASSERT_TRUE(entity.has_value());
+  EXPECT_EQ(schema->element(*entity).documentation, "stuff");
+}
+
+TEST(DdlParserTest, QuotedReservedTableName) {
+  auto schema = ParseDdl(
+      "CREATE TABLE \"case\" (id BIGINT PRIMARY KEY);", "test");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_TRUE(schema->FindByName("case", ElementKind::kEntity).has_value());
+}
+
+TEST(DdlParserTest, SchemaQualifiedNames) {
+  auto schema = ParseDdl(
+      "CREATE TABLE clinic.patient (id BIGINT PRIMARY KEY);", "test");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_TRUE(schema->FindByName("patient", ElementKind::kEntity).has_value());
+}
+
+TEST(DdlParserTest, CompoundTypeNames) {
+  auto schema = ParseDdl(
+      "CREATE TABLE t (a DOUBLE PRECISION, b CHARACTER VARYING(20));",
+      "test");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ(schema->element(*schema->FindByName("a")).type,
+            DataType::kDouble);
+  EXPECT_EQ(schema->element(*schema->FindByName("b")).type,
+            DataType::kString);
+}
+
+TEST(DdlParserTest, ErrorsCarryLineNumbers) {
+  auto bad = ParseDdl("CREATE TABLE t (\n  a INT,\n  ,\n);", "test");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsParseError());
+  EXPECT_NE(bad.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(DdlParserTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseDdl("DROP TABLE t;", "test").ok());
+  EXPECT_FALSE(ParseDdl("CREATE TABLE", "test").ok());
+  EXPECT_FALSE(ParseDdl("CREATE TABLE t (", "test").ok());
+  EXPECT_FALSE(ParseDdl("hello world", "test").ok());
+}
+
+TEST(DdlParserTest, EmptyScriptYieldsEmptySchema) {
+  auto schema = ParseDdl("", "test");
+  ASSERT_TRUE(schema.ok());
+  EXPECT_TRUE(schema->empty());
+}
+
+// --- DDL writer round-trip ----------------------------------------------------------
+
+TEST(DdlWriterTest, RoundTripPreservesStructure) {
+  const char* ddl =
+      "CREATE TABLE parent (id BIGINT PRIMARY KEY, name VARCHAR(10));\n"
+      "CREATE TABLE child (\n"
+      "  id BIGINT PRIMARY KEY,\n"
+      "  parent_id BIGINT NOT NULL REFERENCES parent (id)\n"
+      ");";
+  auto first = ParseDdl(ddl, "round");
+  ASSERT_TRUE(first.ok()) << first.status();
+  std::string rendered = WriteDdl(*first);
+  auto second = ParseDdl(rendered, "round");
+  ASSERT_TRUE(second.ok()) << second.status() << "\n" << rendered;
+  EXPECT_EQ(first->NumEntities(), second->NumEntities());
+  EXPECT_EQ(first->NumAttributes(), second->NumAttributes());
+  EXPECT_EQ(first->foreign_keys().size(), second->foreign_keys().size());
+  for (ElementId i = 0; i < first->size(); ++i) {
+    EXPECT_EQ(first->element(i).name, second->element(i).name);
+    EXPECT_EQ(first->element(i).type, second->element(i).type);
+    EXPECT_EQ(first->element(i).primary_key, second->element(i).primary_key);
+  }
+}
+
+TEST(DdlWriterTest, TypeNamesRoundTripThroughParser) {
+  for (int t = 0; t <= static_cast<int>(DataType::kBinary); ++t) {
+    DataType type = static_cast<DataType>(t);
+    DataType round = SqlTypeToDataType(DataTypeToSqlType(type));
+    if (type == DataType::kNone) {
+      EXPECT_EQ(round, DataType::kString);
+    } else {
+      EXPECT_EQ(round, type) << "type " << DataTypeName(type);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace schemr

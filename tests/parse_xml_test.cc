@@ -1,0 +1,229 @@
+// Tests for the XML mini-DOM parser and the XSD importer.
+
+#include <gtest/gtest.h>
+
+#include "parse/xml_parser.h"
+#include "parse/xsd_importer.h"
+
+namespace schemr {
+namespace {
+
+// --- XML parser -----------------------------------------------------------------
+
+TEST(XmlParserTest, ElementsAttributesText) {
+  auto doc = ParseXml(
+      "<root a=\"1\" b='two'>\n"
+      "  <child>hello</child>\n"
+      "  <empty/>\n"
+      "</root>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  const XmlNode& root = *doc->root;
+  EXPECT_EQ(root.name, "root");
+  ASSERT_EQ(root.attributes.size(), 2u);
+  EXPECT_EQ(*root.FindAttribute("a"), "1");
+  EXPECT_EQ(*root.FindAttribute("b"), "two");
+  EXPECT_EQ(root.FindAttribute("c"), nullptr);
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(root.children[0]->text, "hello");
+  EXPECT_EQ(root.children[1]->name, "empty");
+}
+
+TEST(XmlParserTest, PrologCommentsPiDoctype) {
+  auto doc = ParseXml(
+      "<?xml version=\"1.0\"?>\n"
+      "<!-- comment -->\n"
+      "<!DOCTYPE root SYSTEM \"x.dtd\">\n"
+      "<?pi data?>\n"
+      "<root><!-- inner --><a/></root>\n"
+      "<!-- trailing -->");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->root->children.size(), 1u);
+}
+
+TEST(XmlParserTest, EntitiesDecoded) {
+  auto doc = ParseXml("<r x=\"a&amp;b\">&lt;&gt;&quot;&apos;&#65;&#x42;</r>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(*doc->root->FindAttribute("x"), "a&b");
+  EXPECT_EQ(doc->root->text, "<>\"'AB");
+}
+
+TEST(XmlParserTest, Utf8NumericEntity) {
+  auto doc = ParseXml("<r>&#233;</r>");  // é
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->text, "\xC3\xA9");
+}
+
+TEST(XmlParserTest, Cdata) {
+  auto doc = ParseXml("<r><![CDATA[a <b> & c]]></r>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->text, "a <b> & c");
+}
+
+TEST(XmlParserTest, NamespacePrefixesKept) {
+  auto doc = ParseXml("<xs:schema><xs:element name=\"x\"/></xs:schema>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->name, "xs:schema");
+  EXPECT_EQ(doc->root->LocalName(), "schema");
+  EXPECT_EQ(doc->root->children[0]->LocalName(), "element");
+}
+
+TEST(XmlParserTest, ChildLookupHelpers) {
+  auto doc = ParseXml("<r><a/><b/><a/></r>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_NE(doc->root->FirstChild("a"), nullptr);
+  EXPECT_EQ(doc->root->FirstChild("z"), nullptr);
+  EXPECT_EQ(doc->root->ChildrenNamed("a").size(), 2u);
+}
+
+TEST(XmlParserTest, Errors) {
+  EXPECT_FALSE(ParseXml("").ok());
+  EXPECT_FALSE(ParseXml("no tags").ok());
+  EXPECT_FALSE(ParseXml("<a>").ok());                    // unterminated
+  EXPECT_FALSE(ParseXml("<a></b>").ok());                // mismatch
+  EXPECT_FALSE(ParseXml("<a x=1/>").ok());               // unquoted attr
+  EXPECT_FALSE(ParseXml("<a>&unknown;</a>").ok());       // bad entity
+  EXPECT_FALSE(ParseXml("<a/><b/>").ok());               // two roots
+  EXPECT_FALSE(ParseXml("<a><![CDATA[x]]</a>").ok());    // bad cdata
+  auto bad = ParseXml("<a>\n<b>\n</c>\n</a>");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 3"), std::string::npos);
+}
+
+// --- XSD importer ---------------------------------------------------------------------
+
+constexpr const char* kObservationXsd = R"xml(<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="observation">
+    <xs:annotation><xs:documentation>a field sighting</xs:documentation></xs:annotation>
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="site" type="xs:string"/>
+        <xs:element name="count" type="xs:int"/>
+        <xs:element name="observed_at" type="xs:dateTime" minOccurs="0"/>
+        <xs:element name="detail">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="weather" type="xs:string"/>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+      </xs:sequence>
+      <xs:attribute name="observer" type="xs:string" use="required"/>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>
+)xml";
+
+TEST(XsdImporterTest, ComplexTypeBecomesEntityTree) {
+  auto schema = ParseXsd(kObservationXsd, "obs");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_TRUE(schema->Validate().ok());
+
+  auto observation = schema->FindByName("observation", ElementKind::kEntity);
+  ASSERT_TRUE(observation.has_value());
+  EXPECT_EQ(schema->element(*observation).documentation, "a field sighting");
+
+  // Nested complex element is a nested entity.
+  auto detail = schema->FindByName("detail", ElementKind::kEntity);
+  ASSERT_TRUE(detail.has_value());
+  EXPECT_EQ(schema->element(*detail).parent, *observation);
+  auto weather = schema->FindByName("weather");
+  ASSERT_TRUE(weather.has_value());
+  EXPECT_EQ(schema->EntityOf(*weather), *detail);
+
+  // Types map through.
+  EXPECT_EQ(schema->element(*schema->FindByName("count")).type,
+            DataType::kInt32);
+  EXPECT_EQ(schema->element(*schema->FindByName("observed_at")).type,
+            DataType::kDateTime);
+  // minOccurs=0 → nullable; use=required → not nullable.
+  EXPECT_TRUE(schema->element(*schema->FindByName("observed_at")).nullable);
+  EXPECT_FALSE(schema->element(*schema->FindByName("observer")).nullable);
+}
+
+TEST(XsdImporterTest, NamedComplexTypeResolved) {
+  auto schema = ParseXsd(R"xml(
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:complexType name="PersonType">
+    <xs:sequence>
+      <xs:element name="name" type="xs:string"/>
+      <xs:element name="age" type="xs:int"/>
+    </xs:sequence>
+  </xs:complexType>
+  <xs:element name="person" type="PersonType"/>
+</xs:schema>)xml",
+                         "person");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  auto person = schema->FindByName("person", ElementKind::kEntity);
+  ASSERT_TRUE(person.has_value());
+  EXPECT_EQ(schema->Children(*person).size(), 2u);
+}
+
+TEST(XsdImporterTest, NamedSimpleTypeRestriction) {
+  auto schema = ParseXsd(R"xml(
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:simpleType name="Grade">
+    <xs:restriction base="xs:int"/>
+  </xs:simpleType>
+  <xs:element name="score" type="Grade"/>
+</xs:schema>)xml",
+                         "score");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ(schema->element(*schema->FindByName("score")).type,
+            DataType::kInt32);
+}
+
+TEST(XsdImporterTest, ChoiceAndAllParticles) {
+  auto schema = ParseXsd(R"xml(
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="contact">
+    <xs:complexType>
+      <xs:choice>
+        <xs:element name="email" type="xs:string"/>
+        <xs:element name="phone" type="xs:string"/>
+      </xs:choice>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>)xml",
+                         "contact");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ(schema->NumAttributes(), 2u);
+}
+
+TEST(XsdImporterTest, TypeMappingTable) {
+  EXPECT_EQ(XsdTypeToDataType("string"), DataType::kString);
+  EXPECT_EQ(XsdTypeToDataType("int"), DataType::kInt32);
+  EXPECT_EQ(XsdTypeToDataType("long"), DataType::kInt64);
+  EXPECT_EQ(XsdTypeToDataType("decimal"), DataType::kDecimal);
+  EXPECT_EQ(XsdTypeToDataType("boolean"), DataType::kBool);
+  EXPECT_EQ(XsdTypeToDataType("dateTime"), DataType::kDateTime);
+  EXPECT_EQ(XsdTypeToDataType("base64Binary"), DataType::kBinary);
+  EXPECT_EQ(XsdTypeToDataType("madeUpType"), DataType::kString);
+}
+
+TEST(XsdImporterTest, Errors) {
+  EXPECT_FALSE(ParseXsd("<notaschema/>", "x").ok());
+  EXPECT_FALSE(ParseXsd("<xs:schema></xs:schema>", "x").ok());  // no elements
+  EXPECT_FALSE(
+      ParseXsd("<xs:schema><xs:element/></xs:schema>", "x").ok());  // no name
+  EXPECT_FALSE(ParseXsd("not xml at all", "x").ok());
+}
+
+TEST(XsdImporterTest, ElementRefBecomesAttribute) {
+  auto schema = ParseXsd(R"xml(
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="wrapper">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element ref="xs:other"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>)xml",
+                         "w");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_TRUE(schema->FindByName("other").has_value());
+}
+
+}  // namespace
+}  // namespace schemr

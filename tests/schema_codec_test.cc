@@ -1,0 +1,118 @@
+// Round-trip and corruption tests for the binary schema codec, including
+// a property-style sweep over randomly generated schemas.
+
+#include <gtest/gtest.h>
+
+#include "corpus/schema_generator.h"
+#include "schema/schema_builder.h"
+#include "schema/schema_codec.h"
+#include "util/rng.h"
+
+namespace schemr {
+namespace {
+
+Schema MakeRichSchema() {
+  Schema schema = SchemaBuilder("rich")
+                      .Description("a schema with all the trimmings")
+                      .Source("test://rich")
+                      .Entity("order")
+                      .Doc("an order")
+                      .Attribute("order_id", DataType::kInt64)
+                      .PrimaryKey()
+                      .Attribute("customer_id", DataType::kInt64)
+                      .References("customer.id")
+                      .Attribute("notes", DataType::kText)
+                      .Entity("customer")
+                      .Attribute("id", DataType::kInt64)
+                      .PrimaryKey()
+                      .Attribute("email", DataType::kString)
+                      .NotNull()
+                      .Build();
+  schema.set_id(77);
+  return schema;
+}
+
+TEST(SchemaCodecTest, RoundTripsRichSchema) {
+  Schema original = MakeRichSchema();
+  std::string encoded = EncodeSchema(original);
+  Result<Schema> decoded = DecodeSchema(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(*decoded, original);
+}
+
+TEST(SchemaCodecTest, RoundTripsEmptySchema) {
+  Schema original("empty");
+  std::string encoded = EncodeSchema(original);
+  Result<Schema> decoded = DecodeSchema(encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, original);
+  EXPECT_EQ(decoded->id(), kNoSchema);
+}
+
+TEST(SchemaCodecTest, RejectsBadMagic) {
+  std::string encoded = EncodeSchema(MakeRichSchema());
+  encoded[0] = 'X';
+  EXPECT_TRUE(DecodeSchema(encoded).status().IsCorruption());
+  EXPECT_TRUE(DecodeSchema("").status().IsCorruption());
+  EXPECT_TRUE(DecodeSchema("SC").status().IsCorruption());
+}
+
+TEST(SchemaCodecTest, RejectsTrailingBytes) {
+  std::string encoded = EncodeSchema(MakeRichSchema());
+  encoded += "extra";
+  EXPECT_TRUE(DecodeSchema(encoded).status().IsCorruption());
+}
+
+TEST(SchemaCodecTest, EveryTruncationFailsCleanly) {
+  // Corruption property: any prefix of a valid encoding must decode to an
+  // error, never crash or succeed.
+  std::string encoded = EncodeSchema(MakeRichSchema());
+  for (size_t cut = 0; cut < encoded.size(); ++cut) {
+    Result<Schema> decoded = DecodeSchema(encoded.substr(0, cut));
+    EXPECT_FALSE(decoded.ok()) << "prefix length " << cut << " decoded OK";
+  }
+}
+
+TEST(SchemaCodecTest, DetectsDanglingReferences) {
+  // Hand-craft: encode a schema, then decode after breaking an FK target
+  // by truncating elements is covered above; here check a parent pointing
+  // past the element count round-trips as an error via crafted bytes.
+  Schema schema;
+  schema.AddEntity("e");
+  std::string encoded = EncodeSchema(schema);
+  // The parent ref of element 0 is encoded as varint 0 (= none). Flip it
+  // to 2 (= element id 1, out of range for a 1-element schema). The tail
+  // of the encoding is: parent varint, flags byte, fk-count varint -- so
+  // the parent byte sits third from the end.
+  encoded[encoded.size() - 3] = 2;
+  EXPECT_TRUE(DecodeSchema(encoded).status().IsCorruption());
+}
+
+class CodecPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CodecPropertyTest, GeneratedSchemasRoundTrip) {
+  // Property: every schema the corpus generator can produce round-trips
+  // exactly through the codec.
+  CorpusOptions options;
+  options.num_schemas = 25;
+  options.seed = GetParam();
+  for (GeneratedSchema& generated : GenerateCorpus(options)) {
+    generated.schema.set_id(GetParam());
+    std::string encoded = EncodeSchema(generated.schema);
+    Result<Schema> decoded = DecodeSchema(encoded);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_EQ(*decoded, generated.schema);
+    EXPECT_TRUE(decoded->Validate().ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(SchemaCodecTest, EncodingIsDeterministic) {
+  Schema schema = MakeRichSchema();
+  EXPECT_EQ(EncodeSchema(schema), EncodeSchema(schema));
+}
+
+}  // namespace
+}  // namespace schemr

@@ -1,0 +1,173 @@
+// Tests for the service layer: search XML responses, GraphML/SVG
+// visualization responses, and the HTML report -- the wire formats of the
+// paper's architecture diagram.
+
+#include <gtest/gtest.h>
+
+#include "index/indexer.h"
+#include "parse/xml_parser.h"
+#include "repo/schema_repository.h"
+#include "schema/schema_builder.h"
+#include "service/schemr_service.h"
+
+namespace schemr {
+namespace {
+
+struct ServiceFixture {
+  std::unique_ptr<SchemaRepository> repo;
+  std::unique_ptr<Indexer> indexer;
+  std::unique_ptr<SchemrService> service;
+  SchemaId clinic_id = 0;
+};
+
+ServiceFixture MakeFixture() {
+  ServiceFixture f;
+  f.repo = SchemaRepository::OpenInMemory();
+  Schema clinic = SchemaBuilder("clinic")
+                      .Description("rural clinic data")
+                      .Entity("patient")
+                      .Attribute("height", DataType::kDouble)
+                      .Attribute("gender")
+                      .Entity("case")
+                      .Attribute("patient_id", DataType::kInt64)
+                      .References("patient")
+                      .Attribute("diagnosis")
+                      .Build();
+  f.clinic_id = *f.repo->Insert(std::move(clinic));
+  (void)*f.repo->Insert(SchemaBuilder("shop")
+                            .Entity("customer")
+                            .Attribute("email")
+                            .Build());
+  f.indexer = std::make_unique<Indexer>();
+  EXPECT_TRUE(f.indexer->RebuildFromRepository(*f.repo).ok());
+  f.service =
+      std::make_unique<SchemrService>(f.repo.get(), &f.indexer->index());
+  return f;
+}
+
+TEST(SchemrServiceTest, SearchReturnsStructuredResults) {
+  ServiceFixture f = MakeFixture();
+  SearchRequest request;
+  request.keywords = "patient height diagnosis";
+  auto results = f.service->Search(request);
+  ASSERT_TRUE(results.ok()) << results.status();
+  ASSERT_FALSE(results->empty());
+  EXPECT_EQ((*results)[0].schema_id, f.clinic_id);
+  EXPECT_EQ((*results)[0].description, "rural clinic data");
+}
+
+TEST(SchemrServiceTest, SearchRespectsRequestKnobs) {
+  ServiceFixture f = MakeFixture();
+  SearchRequest request;
+  request.keywords = "patient customer email height";
+  request.top_k = 1;
+  auto results = f.service->Search(request);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results->size(), 1u);
+}
+
+TEST(SchemrServiceTest, SearchXmlIsWellFormedAndComplete) {
+  ServiceFixture f = MakeFixture();
+  SearchRequest request;
+  request.keywords = "patient height";
+  request.fragment = "CREATE TABLE patient (gender VARCHAR(8));";
+  auto xml = f.service->SearchXml(request);
+  ASSERT_TRUE(xml.ok()) << xml.status();
+
+  auto doc = ParseXml(*xml);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->root->name, "results");
+  ASSERT_NE(doc->root->FindAttribute("count"), nullptr);
+  auto results = doc->root->ChildrenNamed("result");
+  ASSERT_FALSE(results.empty());
+  const XmlNode* first = results[0];
+  for (const char* attr :
+       {"id", "name", "score", "matches", "entities", "attributes"}) {
+    EXPECT_NE(first->FindAttribute(attr), nullptr) << attr;
+  }
+  // Matched elements listed for client-side coloring.
+  EXPECT_FALSE(first->ChildrenNamed("element").empty());
+}
+
+TEST(SchemrServiceTest, GraphMlVisualizationRoundTrip) {
+  ServiceFixture f = MakeFixture();
+  VisualizationRequest viz;
+  viz.schema_id = f.clinic_id;
+  viz.scores.push_back(MatchedElement{1, 0.9, 0.9});
+  auto graphml = f.service->GetSchemaGraphMl(viz);
+  ASSERT_TRUE(graphml.ok()) << graphml.status();
+  auto doc = ParseXml(*graphml);
+  ASSERT_TRUE(doc.ok());
+  const XmlNode* graph = doc->root->FirstChild("graph");
+  ASSERT_NE(graph, nullptr);
+  // 6 schema elements → 6 nodes (cap not hit at depth ≤ 1).
+  EXPECT_EQ(graph->ChildrenNamed("node").size(), 6u);
+
+  // Unknown schema id → NotFound.
+  viz.schema_id = 424242;
+  EXPECT_TRUE(f.service->GetSchemaGraphMl(viz).status().IsNotFound());
+}
+
+TEST(SchemrServiceTest, LayoutSelection) {
+  ServiceFixture f = MakeFixture();
+  VisualizationRequest viz;
+  viz.schema_id = f.clinic_id;
+  viz.layout = "radial";
+  EXPECT_TRUE(f.service->GetSchemaSvg(viz).ok());
+  viz.layout = "tree";
+  EXPECT_TRUE(f.service->GetSchemaSvg(viz).ok());
+  viz.layout = "hyperbolic";
+  auto bad = f.service->GetSchemaSvg(viz);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemrServiceTest, DrillInRestrictsToSubtree) {
+  ServiceFixture f = MakeFixture();
+  Schema clinic = *f.repo->Get(f.clinic_id);
+  ElementId case_entity = *clinic.FindByName("case", ElementKind::kEntity);
+  VisualizationRequest viz;
+  viz.schema_id = f.clinic_id;
+  viz.root = case_entity;
+  auto graphml = f.service->GetSchemaGraphMl(viz);
+  ASSERT_TRUE(graphml.ok());
+  auto doc = ParseXml(*graphml);
+  ASSERT_TRUE(doc.ok());
+  // case + its two attributes.
+  EXPECT_EQ(doc->root->FirstChild("graph")->ChildrenNamed("node").size(), 3u);
+}
+
+TEST(SchemrServiceTest, GraphMlCarriesCodebookAnnotations) {
+  ServiceFixture f = MakeFixture();
+  // The clinic schema has patient_id (identifier) and more.
+  VisualizationRequest viz;
+  viz.schema_id = f.clinic_id;
+  auto graphml = f.service->GetSchemaGraphMl(viz);
+  ASSERT_TRUE(graphml.ok());
+  EXPECT_NE(graphml->find("d_semantic"), std::string::npos);
+  EXPECT_NE(graphml->find("identifier"), std::string::npos);
+}
+
+TEST(SchemrServiceTest, HtmlReportContainsTableAndPanels) {
+  ServiceFixture f = MakeFixture();
+  SearchRequest request;
+  request.keywords = "patient height gender diagnosis";
+  auto html = f.service->RenderHtmlReport(request, 2);
+  ASSERT_TRUE(html.ok()) << html.status();
+  EXPECT_NE(html->find("clinic"), std::string::npos);
+  EXPECT_NE(html->find("<svg"), std::string::npos);
+  EXPECT_NE(html->find("tree view"), std::string::npos);
+}
+
+TEST(SchemrServiceTest, BadRequestsSurfaceErrors) {
+  ServiceFixture f = MakeFixture();
+  SearchRequest empty;
+  EXPECT_FALSE(f.service->Search(empty).ok());
+  SearchRequest bad_fragment;
+  bad_fragment.keywords = "x";
+  bad_fragment.fragment = "CREATE TABLE oops (";
+  EXPECT_TRUE(f.service->Search(bad_fragment).status().IsParseError());
+}
+
+}  // namespace
+}  // namespace schemr

@@ -1,0 +1,300 @@
+// Tests for the log-structured KV store: CRUD, persistence, torn-tail
+// recovery, corruption detection, compaction, and a model-based property
+// test against std::map.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+
+#include "store/kv_store.h"
+#include "util/rng.h"
+
+namespace schemr {
+namespace {
+
+namespace fs = std::filesystem;
+
+class KvStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("schemr_store_test_" +
+            std::to_string(
+                ::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::unique_ptr<KvStore> OpenStore(KvStoreOptions options = {}) {
+    auto result = KvStore::Open(dir_.string(), options);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return std::move(result).value();
+  }
+
+  /// Path of the first (and in small tests only) segment file.
+  fs::path FirstSegment() {
+    for (const auto& entry : fs::directory_iterator(dir_)) {
+      return entry.path();
+    }
+    return {};
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(KvStoreTest, PutGetDelete) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store->Put("alpha", "1").ok());
+  ASSERT_TRUE(store->Put("beta", "2").ok());
+  EXPECT_EQ(store->Size(), 2u);
+  EXPECT_EQ(*store->Get("alpha"), "1");
+  EXPECT_EQ(*store->Get("beta"), "2");
+  EXPECT_TRUE(store->Get("gamma").status().IsNotFound());
+  EXPECT_TRUE(store->Contains("alpha"));
+
+  ASSERT_TRUE(store->Delete("alpha").ok());
+  EXPECT_TRUE(store->Get("alpha").status().IsNotFound());
+  EXPECT_FALSE(store->Contains("alpha"));
+  EXPECT_EQ(store->Size(), 1u);
+  // Deleting a missing key is OK (idempotent).
+  EXPECT_TRUE(store->Delete("alpha").ok());
+}
+
+TEST_F(KvStoreTest, OverwriteKeepsLatest) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store->Put("k", "old").ok());
+  ASSERT_TRUE(store->Put("k", "new").ok());
+  EXPECT_EQ(*store->Get("k"), "new");
+  EXPECT_EQ(store->Size(), 1u);
+  EXPECT_GE(store->GetStats().dead_records, 1u);
+}
+
+TEST_F(KvStoreTest, EmptyKeysAndValues) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store->Put("", "empty key").ok());
+  ASSERT_TRUE(store->Put("empty value", "").ok());
+  EXPECT_EQ(*store->Get(""), "empty key");
+  EXPECT_EQ(*store->Get("empty value"), "");
+}
+
+TEST_F(KvStoreTest, BinarySafeKeysAndValues) {
+  auto store = OpenStore();
+  std::string key("k\0ey", 4);
+  std::string value("v\0al\xFF\x80", 6);
+  ASSERT_TRUE(store->Put(key, value).ok());
+  EXPECT_EQ(*store->Get(key), value);
+}
+
+TEST_F(KvStoreTest, PersistsAcrossReopen) {
+  {
+    auto store = OpenStore();
+    ASSERT_TRUE(store->Put("a", "1").ok());
+    ASSERT_TRUE(store->Put("b", "2").ok());
+    ASSERT_TRUE(store->Delete("a").ok());
+    ASSERT_TRUE(store->Put("c", "3").ok());
+  }
+  auto store = OpenStore();
+  EXPECT_EQ(store->Size(), 2u);
+  EXPECT_TRUE(store->Get("a").status().IsNotFound());
+  EXPECT_EQ(*store->Get("b"), "2");
+  EXPECT_EQ(*store->Get("c"), "3");
+}
+
+TEST_F(KvStoreTest, KeysAreSorted) {
+  auto store = OpenStore();
+  for (const char* k : {"zeta", "alpha", "mid"}) {
+    ASSERT_TRUE(store->Put(k, "v").ok());
+  }
+  EXPECT_EQ(store->Keys(),
+            (std::vector<std::string>{"alpha", "mid", "zeta"}));
+}
+
+TEST_F(KvStoreTest, ForEachVisitsAllLivePairs) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store->Put("a", "1").ok());
+  ASSERT_TRUE(store->Put("b", "2").ok());
+  ASSERT_TRUE(store->Delete("a").ok());
+  std::map<std::string, std::string> seen;
+  ASSERT_TRUE(store
+                  ->ForEach([&seen](std::string_view k, std::string_view v) {
+                    seen[std::string(k)] = std::string(v);
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(seen, (std::map<std::string, std::string>{{"b", "2"}}));
+}
+
+TEST_F(KvStoreTest, SegmentRollover) {
+  KvStoreOptions options;
+  options.max_segment_bytes = 256;  // force frequent rolls
+  auto store = OpenStore(options);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(store->Put("key" + std::to_string(i),
+                           std::string(40, 'x')).ok());
+  }
+  EXPECT_GT(store->GetStats().segment_count, 3u);
+  // Everything still readable.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(store->Contains("key" + std::to_string(i)));
+  }
+  // And after reopen.
+  store.reset();
+  store = OpenStore(options);
+  EXPECT_EQ(store->Size(), 100u);
+}
+
+TEST_F(KvStoreTest, TornTailIsTruncatedOnRecovery) {
+  {
+    auto store = OpenStore();
+    ASSERT_TRUE(store->Put("good", "value").ok());
+    ASSERT_TRUE(store->Put("torn", "this one will be cut").ok());
+  }
+  // Simulate a crash mid-write: chop bytes off the live segment.
+  fs::path segment = FirstSegment();
+  ASSERT_FALSE(segment.empty());
+  fs::resize_file(segment, fs::file_size(segment) - 5);
+
+  auto store = OpenStore();
+  EXPECT_EQ(*store->Get("good"), "value");
+  EXPECT_TRUE(store->Get("torn").status().IsNotFound());
+  // The store is writable again and the tail stays consistent.
+  ASSERT_TRUE(store->Put("after", "crash").ok());
+  store.reset();
+  store = OpenStore();
+  EXPECT_EQ(*store->Get("after"), "crash");
+}
+
+TEST_F(KvStoreTest, CorruptPayloadDetectedOnRead) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store->Put("key", "valuevaluevalue").ok());
+  ASSERT_TRUE(store->Flush().ok());
+  // Flip a payload byte in place (not a truncation: same size).
+  fs::path segment = FirstSegment();
+  {
+    std::fstream file(segment, std::ios::in | std::ios::out |
+                                   std::ios::binary);
+    file.seekp(-3, std::ios::end);
+    file.put('X');
+  }
+  auto result = store->Get("key");
+  EXPECT_TRUE(result.status().IsCorruption()) << result.status();
+}
+
+TEST_F(KvStoreTest, CorruptMiddleSegmentFailsOpen) {
+  KvStoreOptions options;
+  options.max_segment_bytes = 128;
+  {
+    auto store = OpenStore(options);
+    for (int i = 0; i < 30; ++i) {
+      ASSERT_TRUE(store->Put("k" + std::to_string(i),
+                             std::string(30, 'y')).ok());
+    }
+    ASSERT_GT(store->GetStats().segment_count, 2u);
+  }
+  // Corrupt the FIRST (immutable) segment: open must fail loudly, not
+  // silently drop data.
+  std::vector<fs::path> segments;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    segments.push_back(entry.path());
+  }
+  std::sort(segments.begin(), segments.end());
+  {
+    std::fstream file(segments.front(), std::ios::in | std::ios::out |
+                                            std::ios::binary);
+    file.seekp(10);
+    file.put('Z');
+  }
+  auto result = KvStore::Open(dir_.string(), options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCorruption());
+}
+
+TEST_F(KvStoreTest, CompactionReclaimsSpaceAndPreservesData) {
+  auto store = OpenStore();
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(store->Put("churn", "version" + std::to_string(i)).ok());
+  }
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(store->Put("keep" + std::to_string(i), "v").ok());
+  }
+  ASSERT_TRUE(store->Delete("keep0").ok());
+  uint64_t before = store->GetStats().total_bytes;
+  ASSERT_TRUE(store->Compact().ok());
+  KvStoreStats after = store->GetStats();
+  EXPECT_LT(after.total_bytes, before);
+  EXPECT_EQ(after.dead_records, 0u);
+  EXPECT_EQ(store->Size(), 20u);  // churn + keep1..keep19
+  EXPECT_EQ(*store->Get("churn"), "version49");
+  EXPECT_TRUE(store->Get("keep0").status().IsNotFound());
+  // Compacted store persists.
+  store.reset();
+  store = OpenStore();
+  EXPECT_EQ(store->Size(), 20u);
+  EXPECT_EQ(*store->Get("churn"), "version49");
+}
+
+TEST_F(KvStoreTest, CompactionOutputCanSpanSegments) {
+  KvStoreOptions options;
+  options.max_segment_bytes = 200;
+  auto store = OpenStore(options);
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(
+        store->Put("key" + std::to_string(i), std::string(50, 'p')).ok());
+  }
+  ASSERT_TRUE(store->Compact().ok());
+  EXPECT_EQ(store->Size(), 40u);
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_EQ(store->Get("key" + std::to_string(i))->size(), 50u);
+  }
+}
+
+// Model-based property test: random operation sequences agree with a
+// std::map reference model, across compaction and reopen boundaries.
+TEST_F(KvStoreTest, ModelBasedRandomOperations) {
+  for (uint64_t seed : {1ull, 7ull, 42ull, 1234ull}) {
+    fs::remove_all(dir_);
+    Rng rng(seed);
+    std::map<std::string, std::string> model;
+    KvStoreOptions options;
+    options.max_segment_bytes = 512;
+    auto store = OpenStore(options);
+    for (int op = 0; op < 600; ++op) {
+      double roll = rng.NextDouble();
+      std::string key = "k" + std::to_string(rng.NextBelow(40));
+      if (roll < 0.55) {
+        std::string value = "v" + std::to_string(rng.Next() % 1000);
+        ASSERT_TRUE(store->Put(key, value).ok());
+        model[key] = value;
+      } else if (roll < 0.75) {
+        ASSERT_TRUE(store->Delete(key).ok());
+        model.erase(key);
+      } else if (roll < 0.80) {
+        ASSERT_TRUE(store->Compact().ok());
+      } else if (roll < 0.85) {
+        store.reset();
+        store = OpenStore(options);
+      } else {
+        auto result = store->Get(key);
+        if (model.count(key)) {
+          ASSERT_TRUE(result.ok()) << result.status();
+          EXPECT_EQ(*result, model[key]);
+        } else {
+          EXPECT_TRUE(result.status().IsNotFound());
+        }
+      }
+    }
+    // Final full comparison.
+    ASSERT_EQ(store->Size(), model.size()) << "seed " << seed;
+    for (const auto& [key, value] : model) {
+      EXPECT_EQ(*store->Get(key), value);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace schemr

@@ -1,0 +1,151 @@
+// Tests for schema summarization (the paper's cited Yu & Jagadish-style
+// plan for very large schemas).
+
+#include <gtest/gtest.h>
+
+#include "corpus/schema_generator.h"
+#include "parse/xml_parser.h"
+#include "schema/schema_builder.h"
+#include "viz/layout.h"
+#include "viz/summarizer.h"
+#include "viz/svg_writer.h"
+
+namespace schemr {
+namespace {
+
+/// A star schema: one fact table linked to 4 dimensions, plus two
+/// isolated small tables.
+Schema MakeStarSchema() {
+  SchemaBuilder builder("warehouse");
+  builder.Entity("fact_sales");
+  builder.Attribute("sale_id", DataType::kInt64).PrimaryKey();
+  for (const char* dim : {"product", "store", "customer", "calendar"}) {
+    builder.Attribute(std::string(dim) + "_id", DataType::kInt64)
+        .References(dim);
+  }
+  builder.Attribute("amount", DataType::kDecimal);
+  for (const char* dim : {"product", "store", "customer", "calendar"}) {
+    builder.Entity(dim);
+    builder.Attribute("id", DataType::kInt64).PrimaryKey();
+    builder.Attribute("name");
+  }
+  builder.Entity("tiny_lookup_a").Attribute("x");
+  builder.Entity("tiny_lookup_b").Attribute("y");
+  return builder.Build();
+}
+
+TEST(SummarizerTest, HubEntityRanksFirst) {
+  Schema schema = MakeStarSchema();
+  auto importance = ComputeEntityImportance(schema);
+  ElementId fact = *schema.FindByName("fact_sales", ElementKind::kEntity);
+  ElementId tiny = *schema.FindByName("tiny_lookup_a", ElementKind::kEntity);
+  EXPECT_GT(importance[fact], importance[tiny]);
+  // Dimensions beat isolated tables (diffusion from the hub + degree).
+  ElementId product = *schema.FindByName("product", ElementKind::kEntity);
+  EXPECT_GT(importance[product], importance[tiny]);
+
+  std::vector<ElementId> top = SelectSummaryEntities(schema);
+  ASSERT_FALSE(top.empty());
+  EXPECT_EQ(top[0], fact);
+}
+
+TEST(SummarizerTest, SelectionRespectsBudget) {
+  Schema schema = MakeStarSchema();
+  SummaryOptions options;
+  options.max_entities = 3;
+  EXPECT_EQ(SelectSummaryEntities(schema, options).size(), 3u);
+  options.max_entities = 100;
+  EXPECT_EQ(SelectSummaryEntities(schema, options).size(),
+            schema.NumEntities());
+}
+
+TEST(SummarizerTest, SummaryViewStructure) {
+  Schema schema = MakeStarSchema();
+  SummaryOptions options;
+  options.max_entities = 5;  // fact + 4 dimensions; drops the tiny tables
+  options.max_attributes_per_entity = 3;
+  SchemaGraphView view = BuildSummaryView(schema, {}, options);
+
+  // 5 entities, each with ≤3 attributes.
+  size_t entity_nodes = 0, attr_nodes = 0;
+  for (const VizNode& node : view.nodes) {
+    if (node.kind == ElementKind::kEntity) {
+      ++entity_nodes;
+      EXPECT_TRUE(node.collapsed);  // entities were dropped: expandable
+    } else {
+      ++attr_nodes;
+    }
+  }
+  EXPECT_EQ(entity_nodes, 5u);
+  EXPECT_LE(attr_nodes, 15u);
+  // Tiny tables are gone.
+  EXPECT_EQ(view.NodeIndexOf(
+                *schema.FindByName("tiny_lookup_a", ElementKind::kEntity)),
+            SIZE_MAX);
+
+  // FK edges among the kept entities survive (4 star arms).
+  size_t fk_edges = 0;
+  for (const VizEdge& edge : view.edges) fk_edges += edge.is_foreign_key;
+  EXPECT_EQ(fk_edges, 4u);
+
+  // Keys and FK attributes outrank plain attributes in the trim.
+  ElementId fact = *schema.FindByName("fact_sales", ElementKind::kEntity);
+  bool has_pk = false;
+  for (const VizNode& node : view.nodes) {
+    if (node.kind == ElementKind::kAttribute &&
+        schema.EntityOf(node.element) == fact &&
+        schema.element(node.element).primary_key) {
+      has_pk = true;
+    }
+  }
+  EXPECT_TRUE(has_pk);
+}
+
+TEST(SummarizerTest, SummaryRendersAndLaysOut) {
+  Schema schema = MakeStarSchema();
+  SchemaGraphView view = BuildSummaryView(schema);
+  ApplyTreeLayout(&view);
+  std::string svg = WriteSvg(view);
+  EXPECT_TRUE(ParseXml(svg).ok());
+}
+
+TEST(SummarizerTest, ScoresAttach) {
+  Schema schema = MakeStarSchema();
+  ElementId amount = *schema.FindByName("amount");
+  SchemaGraphView view = BuildSummaryView(schema, {{amount, 0.9}});
+  size_t idx = view.NodeIndexOf(amount);
+  ASSERT_NE(idx, SIZE_MAX);
+  EXPECT_DOUBLE_EQ(view.nodes[idx].similarity, 0.9);
+}
+
+TEST(SummarizerTest, WorksOnGeneratedCorpus) {
+  CorpusOptions options;
+  options.num_schemas = 30;
+  options.seed = 123;
+  for (const GeneratedSchema& g : GenerateCorpus(options)) {
+    SummaryOptions summary_options;
+    summary_options.max_entities = 2;
+    SchemaGraphView view = BuildSummaryView(g.schema, {}, summary_options);
+    size_t entities = 0;
+    for (const VizNode& node : view.nodes) {
+      entities += (node.kind == ElementKind::kEntity);
+    }
+    EXPECT_LE(entities, 2u);
+    EXPECT_GE(entities, 1u);
+    for (const VizEdge& edge : view.edges) {
+      ASSERT_LT(edge.from, view.nodes.size());
+      ASSERT_LT(edge.to, view.nodes.size());
+    }
+  }
+}
+
+TEST(SummarizerTest, EmptySchemaIsSafe) {
+  Schema empty("empty");
+  EXPECT_TRUE(ComputeEntityImportance(empty).empty());
+  EXPECT_TRUE(SelectSummaryEntities(empty).empty());
+  SchemaGraphView view = BuildSummaryView(empty);
+  EXPECT_TRUE(view.nodes.empty());
+}
+
+}  // namespace
+}  // namespace schemr

@@ -1,0 +1,376 @@
+// Unit tests for src/util: status, strings, varint, crc32, rng, xml.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/crc32.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/varint.h"
+#include "util/xml_writer.h"
+
+namespace schemr {
+namespace {
+
+// --- Status ----------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsParseError());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.ToString(), "parse error: bad token");
+}
+
+TEST(StatusTest, ResultHoldsValueOrStatus) {
+  Result<int> ok_result(42);
+  ASSERT_TRUE(ok_result.ok());
+  EXPECT_EQ(*ok_result, 42);
+  EXPECT_EQ(ok_result.value_or(-1), 42);
+
+  Result<int> err_result(Status::NotFound("nope"));
+  EXPECT_FALSE(err_result.ok());
+  EXPECT_TRUE(err_result.status().IsNotFound());
+  EXPECT_EQ(err_result.value_or(-1), -1);
+}
+
+Result<int> HalveEven(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> QuarterViaMacro(int x) {
+  SCHEMR_ASSIGN_OR_RETURN(int half, HalveEven(x));
+  SCHEMR_ASSIGN_OR_RETURN(int quarter, HalveEven(half));
+  return quarter;
+}
+
+TEST(StatusTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*QuarterViaMacro(8), 2);
+  EXPECT_FALSE(QuarterViaMacro(6).ok());   // inner call fails
+  EXPECT_FALSE(QuarterViaMacro(5).ok());   // outer call fails
+}
+
+// --- string_util -------------------------------------------------------------
+
+TEST(StringUtilTest, CaseConversion) {
+  EXPECT_EQ(ToLowerAscii("AbC_12"), "abc_12");
+  EXPECT_EQ(ToUpperAscii("aBc-x"), "ABC-X");
+}
+
+TEST(StringUtilTest, SplitDropsEmptyPieces) {
+  EXPECT_EQ(Split("a,b,,c", ","), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("  x  y ", " "), (std::vector<std::string>{"x", "y"}));
+  EXPECT_TRUE(Split("", ",").empty());
+  EXPECT_TRUE(Split(",,,", ",").empty());
+}
+
+TEST(StringUtilTest, JoinIsInverseOfSplitForCleanInput) {
+  std::vector<std::string> parts{"a", "bb", "ccc"};
+  EXPECT_EQ(Join(parts, "-"), "a-bb-ccc");
+  EXPECT_EQ(Split("a-bb-ccc", "-"), parts);
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  hi \t\n"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("x"), "x");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("ar", "bar"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(StringUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("Patient", "pATIENT"));
+  EXPECT_FALSE(EqualsIgnoreCase("patient", "patients"));
+}
+
+TEST(StringUtilTest, ReplaceAll) {
+  EXPECT_EQ(ReplaceAll("a_b_c", "_", "--"), "a--b--c");
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");  // non-overlapping
+  EXPECT_EQ(ReplaceAll("abc", "", "x"), "abc");   // empty pattern no-op
+}
+
+TEST(StringUtilTest, XmlEscape) {
+  EXPECT_EQ(XmlEscape("a<b>&\"c'"), "a&lt;b&gt;&amp;&quot;c&apos;");
+  EXPECT_EQ(XmlEscape("plain"), "plain");
+}
+
+TEST(StringUtilTest, IsMostlyAlphabetic) {
+  EXPECT_TRUE(IsMostlyAlphabetic("patient name_2"));
+  EXPECT_FALSE(IsMostlyAlphabetic("price ($)"));
+  EXPECT_FALSE(IsMostlyAlphabetic("a+b"));
+  EXPECT_TRUE(IsMostlyAlphabetic(""));
+}
+
+TEST(StringUtilTest, EditDistance) {
+  EXPECT_EQ(EditDistance("", ""), 0u);
+  EXPECT_EQ(EditDistance("abc", "abc"), 0u);
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistance("", "abc"), 3u);
+  EXPECT_EQ(EditDistance("patient", "pat"), 4u);
+}
+
+// --- varint -------------------------------------------------------------------
+
+class VarintRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VarintRoundTripTest, RoundTrips64) {
+  std::string buf;
+  PutVarint64(&buf, GetParam());
+  EXPECT_EQ(static_cast<int>(buf.size()), VarintLength(GetParam()));
+  std::string_view view(buf);
+  uint64_t out = 0;
+  ASSERT_TRUE(GetVarint64(&view, &out).ok());
+  EXPECT_EQ(out, GetParam());
+  EXPECT_TRUE(view.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, VarintRoundTripTest,
+    ::testing::Values(0ull, 1ull, 127ull, 128ull, 255ull, 300ull, 16383ull,
+                      16384ull, (1ull << 32) - 1, 1ull << 32, UINT64_MAX));
+
+TEST(VarintTest, TruncatedInputIsCorruption) {
+  std::string buf;
+  PutVarint64(&buf, 1ull << 40);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    std::string_view view(buf.data(), cut);
+    uint64_t out = 0;
+    EXPECT_TRUE(GetVarint64(&view, &out).IsCorruption()) << "cut=" << cut;
+  }
+}
+
+TEST(VarintTest, OverlongVarintRejected) {
+  std::string buf(11, '\x80');  // 11 continuation bytes: too long
+  std::string_view view(buf);
+  uint64_t out = 0;
+  EXPECT_TRUE(GetVarint64(&view, &out).IsCorruption());
+}
+
+TEST(VarintTest, Varint32OverflowRejected) {
+  std::string buf;
+  PutVarint64(&buf, uint64_t{UINT32_MAX} + 1);
+  std::string_view view(buf);
+  uint32_t out = 0;
+  EXPECT_TRUE(GetVarint32(&view, &out).IsCorruption());
+}
+
+TEST(VarintTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, std::string(1000, 'x'));
+  std::string_view view(buf);
+  std::string_view a, b, c;
+  ASSERT_TRUE(GetLengthPrefixed(&view, &a).ok());
+  ASSERT_TRUE(GetLengthPrefixed(&view, &b).ok());
+  ASSERT_TRUE(GetLengthPrefixed(&view, &c).ok());
+  EXPECT_EQ(a, "hello");
+  EXPECT_EQ(b, "");
+  EXPECT_EQ(c.size(), 1000u);
+  EXPECT_TRUE(view.empty());
+}
+
+TEST(VarintTest, LengthPrefixedTruncationRejected) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  buf.resize(buf.size() - 2);
+  std::string_view view(buf);
+  std::string_view out;
+  EXPECT_TRUE(GetLengthPrefixed(&view, &out).IsCorruption());
+}
+
+TEST(VarintTest, FixedRoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0xDEADBEEFu);
+  PutFixed64(&buf, 0x0123456789ABCDEFull);
+  std::string_view view(buf);
+  uint32_t v32 = 0;
+  uint64_t v64 = 0;
+  ASSERT_TRUE(GetFixed32(&view, &v32).ok());
+  ASSERT_TRUE(GetFixed64(&view, &v64).ok());
+  EXPECT_EQ(v32, 0xDEADBEEFu);
+  EXPECT_EQ(v64, 0x0123456789ABCDEFull);
+}
+
+// --- crc32 ---------------------------------------------------------------------
+
+TEST(Crc32Test, KnownVector) {
+  // CRC-32 of "123456789" is the classic check value 0xCBF43926.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+}
+
+TEST(Crc32Test, ExtendMatchesWhole) {
+  std::string data = "the quick brown fox";
+  uint32_t whole = Crc32(data);
+  uint32_t split = Crc32Extend(Crc32(data.substr(0, 7)), data.substr(7));
+  EXPECT_EQ(whole, split);
+}
+
+TEST(Crc32Test, MaskRoundTripsAndDiffers) {
+  for (uint32_t crc : {0u, 1u, 0xCBF43926u, 0xFFFFFFFFu}) {
+    EXPECT_EQ(Crc32Unmask(Crc32Mask(crc)), crc);
+    EXPECT_NE(Crc32Mask(crc), crc);
+  }
+}
+
+TEST(Crc32Test, DetectsBitFlip) {
+  std::string data = "record payload";
+  uint32_t before = Crc32(data);
+  data[3] ^= 0x01;
+  EXPECT_NE(Crc32(data), before);
+}
+
+// --- rng ------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(10), 10u);
+    EXPECT_EQ(rng.NextBelow(1), 0u);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, NextBoolRespectsProbability) {
+  Rng rng(11);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.NextBool(0.25);
+  EXPECT_NEAR(heads / 10000.0, 0.25, 0.02);
+  EXPECT_FALSE(Rng(1).NextBool(0.0));
+  EXPECT_TRUE(Rng(1).NextBool(1.0));
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.NextGaussian(5.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.25);
+}
+
+TEST(RngTest, ZipfIsSkewedTowardLowRanks) {
+  Rng rng(17);
+  ZipfSampler sampler(100, 1.2);
+  std::map<size_t, int> counts;
+  for (int i = 0; i < 10000; ++i) ++counts[sampler.Sample(&rng)];
+  EXPECT_GT(counts[0], counts[50] * 5);
+  // Every sample in range.
+  for (const auto& [rank, count] : counts) EXPECT_LT(rank, 100u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(19);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(23);
+  Rng child = a.Fork();
+  EXPECT_NE(child.Next(), a.Next());
+}
+
+// --- xml writer --------------------------------------------------------------------
+
+TEST(XmlWriterTest, SimpleDocument) {
+  XmlWriter xml;
+  xml.Open("root").Attribute("id", "r1");
+  xml.SimpleElement("name", "hello & <world>");
+  xml.Open("empty").Close();
+  std::string doc = xml.Finish();
+  EXPECT_NE(doc.find("<?xml version=\"1.0\""), std::string::npos);
+  EXPECT_NE(doc.find("<root id=\"r1\">"), std::string::npos);
+  EXPECT_NE(doc.find("<name>hello &amp; &lt;world&gt;</name>"),
+            std::string::npos);
+  EXPECT_NE(doc.find("<empty/>"), std::string::npos);
+  EXPECT_NE(doc.find("</root>"), std::string::npos);
+}
+
+TEST(XmlWriterTest, AttributesEscaped) {
+  XmlWriter xml(false);
+  xml.Open("a").Attribute("v", "x\"y<z").Close();
+  EXPECT_EQ(xml.Finish(), "<a v=\"x&quot;y&lt;z\"/>\n");
+}
+
+TEST(XmlWriterTest, FinishClosesAllOpenElements) {
+  XmlWriter xml(false);
+  xml.Open("a").Open("b").Open("c");
+  std::string doc = xml.Finish();
+  EXPECT_NE(doc.find("</b>"), std::string::npos);
+  EXPECT_NE(doc.find("</a>"), std::string::npos);
+}
+
+TEST(XmlWriterTest, NumericAttributes) {
+  XmlWriter xml(false);
+  xml.Open("n").Attribute("d", 1.5).Attribute("i", 42ll).Close();
+  std::string doc = xml.Finish();
+  EXPECT_NE(doc.find("d=\"1.5\""), std::string::npos);
+  EXPECT_NE(doc.find("i=\"42\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace schemr

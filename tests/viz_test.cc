@@ -1,0 +1,360 @@
+// Tests for the visualization library: graph views (depth cap, drill-in),
+// tree/radial layouts, color encoding, and the GraphML/DOT/SVG/HTML
+// writers. GraphML output is validated by parsing it back with the
+// project's own XML parser.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "parse/xml_parser.h"
+#include "schema/schema_builder.h"
+#include "viz/color.h"
+#include "viz/dot_writer.h"
+#include "viz/graph_view.h"
+#include "viz/graphml_reader.h"
+#include "viz/graphml_writer.h"
+#include "viz/html_report.h"
+#include "viz/layout.h"
+#include "viz/svg_writer.h"
+
+namespace schemr {
+namespace {
+
+Schema MakeDeepSchema() {
+  // root → l1 → l2 → l3 → l4 chain plus a wide entity.
+  Schema schema("deep");
+  ElementId root = schema.AddEntity("root");
+  ElementId l1 = schema.AddEntity("l1", root);
+  ElementId l2 = schema.AddEntity("l2", l1);
+  ElementId l3 = schema.AddEntity("l3", l2);
+  schema.AddAttribute("l4_attr", l3);
+  schema.AddAttribute("shallow", root);
+  return schema;
+}
+
+Schema MakeFkSchema() {
+  return SchemaBuilder("fk")
+      .Entity("parent")
+      .Attribute("id", DataType::kInt64)
+      .PrimaryKey()
+      .Entity("child")
+      .Attribute("parent_id", DataType::kInt64)
+      .References("parent")
+      .Build();
+}
+
+// --- graph view -------------------------------------------------------------------
+
+TEST(GraphViewTest, DepthCapCollapsesNodes) {
+  Schema schema = MakeDeepSchema();
+  GraphViewOptions options;
+  options.max_depth = 3;  // the paper's default cap
+  SchemaGraphView view = BuildGraphView(schema, {}, options);
+  // root(0) l1(1) l2(2) l3(3, collapsed) shallow(1); l4_attr hidden.
+  EXPECT_EQ(view.nodes.size(), 5u);
+  size_t l3 = view.NodeIndexOf(*schema.FindByName("l3"));
+  ASSERT_NE(l3, SIZE_MAX);
+  EXPECT_TRUE(view.nodes[l3].collapsed);
+  EXPECT_EQ(view.NodeIndexOf(*schema.FindByName("l4_attr")), SIZE_MAX);
+}
+
+TEST(GraphViewTest, DrillInReRoots) {
+  Schema schema = MakeDeepSchema();
+  GraphViewOptions options;
+  options.root = *schema.FindByName("l2");
+  options.max_depth = 3;
+  SchemaGraphView view = BuildGraphView(schema, {}, options);
+  // Only l2's subtree: l2, l3, l4_attr.
+  EXPECT_EQ(view.nodes.size(), 3u);
+  EXPECT_EQ(view.nodes[0].element, *schema.FindByName("l2"));
+  EXPECT_EQ(view.nodes[0].depth, 0u);  // re-rooted depths
+  EXPECT_NE(view.NodeIndexOf(*schema.FindByName("l4_attr")), SIZE_MAX);
+}
+
+TEST(GraphViewTest, SimilarityScoresAttached) {
+  Schema schema = MakeFkSchema();
+  ElementId pid = *schema.FindByName("parent_id");
+  SchemaGraphView view = BuildGraphView(schema, {{pid, 0.75}});
+  size_t node = view.NodeIndexOf(pid);
+  ASSERT_NE(node, SIZE_MAX);
+  EXPECT_DOUBLE_EQ(view.nodes[node].similarity, 0.75);
+  // Unscored nodes default to 0.
+  EXPECT_DOUBLE_EQ(view.nodes[view.NodeIndexOf(0)].similarity, 0.0);
+}
+
+TEST(GraphViewTest, ForeignKeyEdgesIncluded) {
+  Schema schema = MakeFkSchema();
+  SchemaGraphView view = BuildGraphView(schema);
+  size_t fk_edges = 0, tree_edges = 0;
+  for (const VizEdge& edge : view.edges) {
+    (edge.is_foreign_key ? fk_edges : tree_edges)++;
+  }
+  EXPECT_EQ(fk_edges, 1u);
+  EXPECT_EQ(tree_edges, 2u);  // parent→id and child→parent_id
+
+  GraphViewOptions no_fk;
+  no_fk.include_foreign_keys = false;
+  SchemaGraphView without = BuildGraphView(schema, {}, no_fk);
+  for (const VizEdge& edge : without.edges) {
+    EXPECT_FALSE(edge.is_foreign_key);
+  }
+}
+
+// --- layouts ------------------------------------------------------------------------
+
+TEST(TreeLayoutTest, DepthsMapToLevelsAndNoSameLevelOverlap) {
+  Schema schema = MakeDeepSchema();
+  SchemaGraphView view = BuildGraphView(schema, {}, {});
+  ApplyTreeLayout(&view);
+  // y grows with depth.
+  for (const VizNode& node : view.nodes) {
+    EXPECT_DOUBLE_EQ(node.y, 40.0 + 80.0 * static_cast<double>(node.depth));
+  }
+  // No two nodes of the same depth share x.
+  std::set<std::pair<size_t, long>> seen;
+  for (const VizNode& node : view.nodes) {
+    auto key = std::make_pair(node.depth, std::lround(node.x * 10));
+    EXPECT_TRUE(seen.insert(key).second)
+        << "overlap at depth " << node.depth << " x=" << node.x;
+  }
+}
+
+TEST(TreeLayoutTest, ParentCentersOverChildren) {
+  Schema schema;
+  ElementId root = schema.AddEntity("root");
+  ElementId a = schema.AddAttribute("a", root);
+  ElementId b = schema.AddAttribute("b", root);
+  SchemaGraphView view = BuildGraphView(schema);
+  ApplyTreeLayout(&view);
+  double xa = view.nodes[view.NodeIndexOf(a)].x;
+  double xb = view.nodes[view.NodeIndexOf(b)].x;
+  double xr = view.nodes[view.NodeIndexOf(root)].x;
+  EXPECT_NEAR(xr, (xa + xb) / 2.0, 1e-9);
+}
+
+TEST(RadialLayoutTest, DepthMapsToRadius) {
+  Schema schema = MakeDeepSchema();
+  SchemaGraphView view = BuildGraphView(schema);
+  ApplyRadialLayout(&view);
+  // Single root sits at the center; deeper nodes sit on larger rings.
+  const VizNode& root = view.nodes[view.NodeIndexOf(0)];
+  double cx = root.x, cy = root.y;
+  for (const VizNode& node : view.nodes) {
+    double r = std::hypot(node.x - cx, node.y - cy);
+    EXPECT_NEAR(r, 80.0 * static_cast<double>(node.depth), 1e-6)
+        << node.label;
+  }
+}
+
+TEST(RadialLayoutTest, MultipleRootsSpread) {
+  Schema schema = SchemaBuilder("multi")
+                      .Entity("a")
+                      .Attribute("x")
+                      .Entity("b")
+                      .Attribute("y")
+                      .Build();
+  SchemaGraphView view = BuildGraphView(schema);
+  ApplyRadialLayout(&view);
+  auto a = view.nodes[view.NodeIndexOf(0)];
+  auto b = view.nodes[view.NodeIndexOf(2)];
+  EXPECT_GT(std::hypot(a.x - b.x, a.y - b.y), 1.0);
+}
+
+TEST(LayoutTest, BoundsContainAllNodes) {
+  Schema schema = MakeDeepSchema();
+  SchemaGraphView view = BuildGraphView(schema);
+  ApplyTreeLayout(&view);
+  BoundingBox box = ComputeBounds(view);
+  for (const VizNode& node : view.nodes) {
+    EXPECT_GE(node.x, box.min_x);
+    EXPECT_LE(node.x, box.max_x);
+    EXPECT_GE(node.y, box.min_y);
+    EXPECT_LE(node.y, box.max_y);
+  }
+  EXPECT_GE(box.width(), 0.0);
+  EXPECT_GE(box.height(), 0.0);
+}
+
+TEST(LayoutTest, EmptyViewIsSafe) {
+  SchemaGraphView view;
+  ApplyTreeLayout(&view);
+  ApplyRadialLayout(&view);
+  BoundingBox box = ComputeBounds(view);
+  EXPECT_DOUBLE_EQ(box.width(), 0.0);
+}
+
+// --- colors -------------------------------------------------------------------------
+
+TEST(ColorTest, HexRendering) {
+  EXPECT_EQ((Rgb{0, 0, 0}).ToHex(), "#000000");
+  EXPECT_EQ((Rgb{255, 127, 14}).ToHex(), "#ff7f0e");
+}
+
+TEST(ColorTest, LerpEndpointsAndClamp) {
+  Rgb white{255, 255, 255}, black{0, 0, 0};
+  EXPECT_EQ(LerpColor(white, black, 0.0).ToHex(), "#ffffff");
+  EXPECT_EQ(LerpColor(white, black, 1.0).ToHex(), "#000000");
+  EXPECT_EQ(LerpColor(white, black, -1.0).ToHex(), "#ffffff");
+  EXPECT_EQ(LerpColor(white, black, 2.0).ToHex(), "#000000");
+}
+
+TEST(ColorTest, KindsDifferAndSimilaritySaturates) {
+  EXPECT_NE(KindBaseColor(ElementKind::kEntity).ToHex(),
+            KindBaseColor(ElementKind::kAttribute).ToHex());
+  // Full similarity hits the base color; zero similarity is paler.
+  Rgb full = NodeColor(ElementKind::kEntity, 1.0);
+  Rgb pale = NodeColor(ElementKind::kEntity, 0.0);
+  EXPECT_EQ(full.ToHex(), KindBaseColor(ElementKind::kEntity).ToHex());
+  EXPECT_GT(static_cast<int>(pale.r) + pale.g + pale.b,
+            static_cast<int>(full.r) + full.g + full.b);
+}
+
+// --- writers ------------------------------------------------------------------------
+
+TEST(GraphMlWriterTest, OutputParsesAndCarriesData) {
+  Schema schema = MakeFkSchema();
+  ElementId pid = *schema.FindByName("parent_id");
+  SchemaGraphView view = BuildGraphView(schema, {{pid, 0.9}});
+  ApplyTreeLayout(&view);
+  std::string graphml = WriteGraphMl(view);
+
+  // Well-formed XML (validated with our own parser).
+  auto doc = ParseXml(graphml);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->root->name, "graphml");
+  const XmlNode* graph = doc->root->FirstChild("graph");
+  ASSERT_NE(graph, nullptr);
+  EXPECT_EQ(graph->ChildrenNamed("node").size(), view.nodes.size());
+  EXPECT_EQ(graph->ChildrenNamed("edge").size(), view.edges.size());
+
+  // Node data keys include label/kind/score.
+  const XmlNode* node0 = graph->ChildrenNamed("node")[0];
+  std::set<std::string> keys;
+  for (const XmlNode* data : node0->ChildrenNamed("data")) {
+    keys.insert(*data->FindAttribute("key"));
+  }
+  EXPECT_TRUE(keys.count("d_label"));
+  EXPECT_TRUE(keys.count("d_kind"));
+  EXPECT_TRUE(keys.count("d_score"));
+  EXPECT_TRUE(keys.count("d_x"));
+
+  // Edge endpoints reference declared node ids.
+  std::set<std::string> node_ids;
+  for (const XmlNode* n : graph->ChildrenNamed("node")) {
+    node_ids.insert(*n->FindAttribute("id"));
+  }
+  for (const XmlNode* e : graph->ChildrenNamed("edge")) {
+    EXPECT_TRUE(node_ids.count(*e->FindAttribute("source")));
+    EXPECT_TRUE(node_ids.count(*e->FindAttribute("target")));
+  }
+}
+
+TEST(GraphMlReaderTest, WriteReadRoundTrip) {
+  Schema schema = MakeFkSchema();
+  ElementId pid = *schema.FindByName("parent_id");
+  SchemaGraphView original = BuildGraphView(schema, {{pid, 0.9}});
+  ApplyTreeLayout(&original);
+  original.nodes[0].semantic = "identifier";
+
+  auto round = ReadGraphMl(WriteGraphMl(original));
+  ASSERT_TRUE(round.ok()) << round.status();
+  ASSERT_EQ(round->nodes.size(), original.nodes.size());
+  ASSERT_EQ(round->edges.size(), original.edges.size());
+  for (size_t i = 0; i < original.nodes.size(); ++i) {
+    EXPECT_EQ(round->nodes[i].label, original.nodes[i].label);
+    EXPECT_EQ(round->nodes[i].kind, original.nodes[i].kind);
+    EXPECT_EQ(round->nodes[i].type, original.nodes[i].type);
+    EXPECT_EQ(round->nodes[i].collapsed, original.nodes[i].collapsed);
+    EXPECT_EQ(round->nodes[i].semantic, original.nodes[i].semantic);
+    EXPECT_NEAR(round->nodes[i].similarity, original.nodes[i].similarity,
+                1e-6);
+    EXPECT_NEAR(round->nodes[i].x, original.nodes[i].x, 1e-3);
+    EXPECT_NEAR(round->nodes[i].y, original.nodes[i].y, 1e-3);
+  }
+  for (size_t i = 0; i < original.edges.size(); ++i) {
+    EXPECT_EQ(round->edges[i].from, original.edges[i].from);
+    EXPECT_EQ(round->edges[i].to, original.edges[i].to);
+    EXPECT_EQ(round->edges[i].is_foreign_key,
+              original.edges[i].is_foreign_key);
+  }
+}
+
+TEST(GraphMlReaderTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(ReadGraphMl("not xml").ok());
+  EXPECT_FALSE(ReadGraphMl("<notgraphml/>").ok());
+  EXPECT_FALSE(ReadGraphMl("<graphml></graphml>").ok());  // no <graph>
+  // Edge referencing a missing node.
+  EXPECT_FALSE(ReadGraphMl(
+                   "<graphml><graph><node id=\"n0\"/>"
+                   "<edge source=\"n0\" target=\"n9\"/></graph></graphml>")
+                   .ok());
+  // Duplicate node ids.
+  EXPECT_FALSE(ReadGraphMl("<graphml><graph><node id=\"n0\"/>"
+                           "<node id=\"n0\"/></graph></graphml>")
+                   .ok());
+}
+
+TEST(GraphMlWriterTest, EscapesSpecialCharacters) {
+  Schema schema("we<ird & name");
+  schema.AddEntity("ent\"ity");
+  SchemaGraphView view = BuildGraphView(schema);
+  std::string graphml = WriteGraphMl(view);
+  auto doc = ParseXml(graphml);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+}
+
+TEST(DotWriterTest, StructureAndEscaping) {
+  Schema schema = MakeFkSchema();
+  SchemaGraphView view = BuildGraphView(schema);
+  std::string dot = WriteDot(view);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("n0 ->"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);  // the FK edge
+  // Entities are boxes, attributes ellipses.
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);
+  EXPECT_NE(dot.find("shape=ellipse"), std::string::npos);
+
+  Schema quoted("q");
+  quoted.AddEntity("has\"quote");
+  std::string dot2 = WriteDot(BuildGraphView(quoted));
+  EXPECT_NE(dot2.find("has\\\"quote"), std::string::npos);
+}
+
+TEST(SvgWriterTest, ValidXmlWithExpectedShapes) {
+  Schema schema = MakeFkSchema();
+  ElementId pid = *schema.FindByName("parent_id");
+  SchemaGraphView view = BuildGraphView(schema, {{pid, 0.8}});
+  ApplyTreeLayout(&view);
+  std::string svg = WriteSvg(view);
+  auto doc = ParseXml(svg);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->root->name, "svg");
+  // Entities as rects, attributes as circles, edges as lines, plus the
+  // background rect.
+  EXPECT_EQ(doc->root->ChildrenNamed("rect").size(), 3u);
+  EXPECT_EQ(doc->root->ChildrenNamed("circle").size(), 2u);
+  EXPECT_EQ(doc->root->ChildrenNamed("line").size(), view.edges.size());
+  // Scored node renders its score text.
+  EXPECT_NE(svg.find("0.80"), std::string::npos);
+}
+
+TEST(HtmlReportTest, TableAndPanelsRendered) {
+  std::vector<ReportRow> rows = {
+      {"clinic", 0.88, 5, 3, 7, "a <description>"},
+      {"shop", 0.4, 1, 2, 5, ""},
+  };
+  std::vector<ReportPanel> panels = {{"clinic (tree)", "<svg>x</svg>"}};
+  std::string html =
+      WriteHtmlReport("Results", "keywords: patient", rows, panels);
+  EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(html.find("clinic"), std::string::npos);
+  EXPECT_NE(html.find("0.880"), std::string::npos);
+  EXPECT_NE(html.find("a &lt;description&gt;"), std::string::npos);
+  EXPECT_NE(html.find("<svg>x</svg>"), std::string::npos);  // SVG unescaped
+  EXPECT_NE(html.find("keywords: patient"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace schemr

@@ -1,0 +1,316 @@
+// schemr: command-line interface to a Schemr repository.
+//
+// The paper positions Schemr as deployable "as a standalone tool for
+// organizations to search and share schemas". This CLI is that
+// deployment: a persistent repository directory, DDL/XSD import/export,
+// the offline indexer with a saved segment, the three-phase search, the
+// visualization endpoints, and the collaboration commands.
+//
+//   schemr import <repo> <file.sql|file.xsd> [name]
+//   schemr list <repo>
+//   schemr show <repo> <id>
+//   schemr index <repo>
+//   schemr search <repo> <keywords...> [--fragment <file>] [--top N]
+//                 [--offset N] [--boost]
+//   schemr viz <repo> <id> [--layout tree|radial] [--format graphml|svg|dot]
+//   schemr export <repo> <id> [--format ddl|xsd]
+//   schemr comment <repo> <id> <author> <text...>
+//   schemr rate <repo> <id> <author> <stars>
+//   schemr comments <repo> <id>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/query_parser.h"
+#include "index/indexer.h"
+#include "parse/ddl_parser.h"
+#include "parse/ddl_writer.h"
+#include "parse/xsd_importer.h"
+#include "parse/xsd_writer.h"
+#include "service/schemr_service.h"
+#include "util/string_util.h"
+#include "viz/dot_writer.h"
+
+namespace schemr {
+namespace {
+
+int Fail(const Status& status, const char* what) {
+  std::fprintf(stderr, "schemr: %s: %s\n", what, status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: schemr <command> <repo_dir> [args]\n"
+      "  import <repo> <file.sql|file.xsd> [name]   add a schema\n"
+      "  list <repo>                                list schemas\n"
+      "  show <repo> <id>                           print one schema\n"
+      "  index <repo>                               (re)build the segment\n"
+      "  search <repo> <keywords...> [--fragment f] [--top N] [--offset N]"
+      " [--boost]\n"
+      "  viz <repo> <id> [--layout tree|radial] [--format graphml|svg|dot]\n"
+      "  export <repo> <id> [--format ddl|xsd]\n"
+      "  comment <repo> <id> <author> <text...>     leave a comment\n"
+      "  rate <repo> <id> <author> <stars>          rate 1..5\n"
+      "  comments <repo> <id>                       show comments/ratings\n");
+  return 2;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string SegmentPath(const std::string& repo_dir) {
+  return repo_dir + "/segment.idx";
+}
+
+/// Loads the saved index segment if present, otherwise rebuilds from the
+/// repository (and saves, so the next invocation is fast).
+Result<Indexer> LoadOrBuildIndex(const SchemaRepository& repo,
+                                 const std::string& repo_dir) {
+  Indexer indexer;
+  if (indexer.LoadFrom(SegmentPath(repo_dir)).ok()) {
+    // Catch up with any imports since the segment was written.
+    SCHEMR_RETURN_IF_ERROR(indexer.Refresh(repo).status());
+    return indexer;
+  }
+  SCHEMR_RETURN_IF_ERROR(indexer.RebuildFromRepository(repo).status());
+  (void)indexer.Save(SegmentPath(repo_dir));
+  return indexer;
+}
+
+int CmdImport(SchemaRepository* repo, int argc, char** argv) {
+  if (argc < 1) return Usage();
+  std::string path = argv[0];
+  auto contents = ReadFile(path);
+  if (!contents.ok()) return Fail(contents.status(), "reading input");
+  // Name defaults to the file stem.
+  std::string name = argc >= 2 ? argv[1] : path;
+  size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  size_t dot = name.find_last_of('.');
+  if (dot != std::string::npos) name = name.substr(0, dot);
+
+  Result<Schema> schema = EndsWith(path, ".xsd")
+                              ? ParseXsd(*contents, name)
+                              : ParseDdl(*contents, name);
+  if (!schema.ok()) return Fail(schema.status(), "parsing schema");
+  auto id = repo->Insert(std::move(schema).value());
+  if (!id.ok()) return Fail(id.status(), "inserting schema");
+  std::printf("imported '%s' as schema %llu\n", name.c_str(),
+              static_cast<unsigned long long>(*id));
+  return 0;
+}
+
+int CmdList(SchemaRepository* repo) {
+  auto summaries = repo->ListAll();
+  if (!summaries.ok()) return Fail(summaries.status(), "listing");
+  std::printf("%-6s %-28s %-9s %-11s %s\n", "id", "name", "entities",
+              "attributes", "description");
+  for (const SchemaSummary& s : *summaries) {
+    std::printf("%-6llu %-28s %-9zu %-11zu %s\n",
+                static_cast<unsigned long long>(s.id), s.name.c_str(),
+                s.num_entities, s.num_attributes, s.description.c_str());
+  }
+  return 0;
+}
+
+int CmdShow(SchemaRepository* repo, int argc, char** argv) {
+  if (argc < 1) return Usage();
+  auto schema = repo->Get(std::strtoull(argv[0], nullptr, 10));
+  if (!schema.ok()) return Fail(schema.status(), "fetching schema");
+  std::printf("%s", schema->ToString().c_str());
+  return 0;
+}
+
+int CmdIndex(SchemaRepository* repo, const std::string& repo_dir) {
+  Indexer indexer;
+  auto stats = indexer.RebuildFromRepository(*repo);
+  if (!stats.ok()) return Fail(stats.status(), "indexing");
+  Status saved = indexer.Save(SegmentPath(repo_dir));
+  if (!saved.ok()) return Fail(saved, "saving segment");
+  std::printf("indexed %zu schemas (%zu terms) in %.1f ms → %s\n",
+              stats->schemas_indexed, indexer.index().NumTerms(),
+              stats->elapsed_seconds * 1e3, SegmentPath(repo_dir).c_str());
+  return 0;
+}
+
+int CmdSearch(SchemaRepository* repo, const std::string& repo_dir, int argc,
+              char** argv) {
+  std::string keywords;
+  std::string fragment;
+  SearchEngineOptions options;
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--fragment" && i + 1 < argc) {
+      auto contents = ReadFile(argv[++i]);
+      if (!contents.ok()) return Fail(contents.status(), "reading fragment");
+      fragment = *contents;
+    } else if (arg == "--top" && i + 1 < argc) {
+      options.top_k = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--offset" && i + 1 < argc) {
+      options.offset = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--boost") {
+      options.annotation_boost = 0.3;
+    } else {
+      if (!keywords.empty()) keywords += ' ';
+      keywords += arg;
+    }
+  }
+  auto indexer = LoadOrBuildIndex(*repo, repo_dir);
+  if (!indexer.ok()) return Fail(indexer.status(), "loading index");
+  SearchEngine engine(repo, &indexer->index());
+  auto query = ParseQuery(keywords, fragment);
+  if (!query.ok()) return Fail(query.status(), "parsing query");
+  auto results = engine.Search(*query, options);
+  if (!results.ok()) return Fail(results.status(), "searching");
+
+  std::printf("%-4s %-6s %-28s %-7s %-9s %-8s %-9s %-10s\n", "#", "id",
+              "name", "score", "tightness", "matches", "entities",
+              "attributes");
+  size_t rank = options.offset + 1;
+  for (const SearchResult& r : *results) {
+    std::printf("%-4zu %-6llu %-28s %-7.3f %-9.3f %-8zu %-9zu %-10zu\n",
+                rank++, static_cast<unsigned long long>(r.schema_id),
+                r.name.c_str(), r.score, r.tightness, r.num_matches,
+                r.num_entities, r.num_attributes);
+  }
+  if (results->empty()) std::printf("(no results)\n");
+  return 0;
+}
+
+int CmdViz(SchemaRepository* repo, const std::string& repo_dir, int argc,
+           char** argv) {
+  if (argc < 1) return Usage();
+  VisualizationRequest request;
+  request.schema_id = std::strtoull(argv[0], nullptr, 10);
+  std::string format = "graphml";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--layout" && i + 1 < argc) {
+      request.layout = argv[++i];
+    } else if (arg == "--format" && i + 1 < argc) {
+      format = argv[++i];
+    }
+  }
+  auto indexer = LoadOrBuildIndex(*repo, repo_dir);
+  if (!indexer.ok()) return Fail(indexer.status(), "loading index");
+  SchemrService service(repo, &indexer->index());
+
+  Result<std::string> rendered = Status::InvalidArgument("unknown format");
+  if (format == "graphml") {
+    rendered = service.GetSchemaGraphMl(request);
+  } else if (format == "svg") {
+    rendered = service.GetSchemaSvg(request);
+  } else if (format == "dot") {
+    auto schema = repo->Get(request.schema_id);
+    if (!schema.ok()) return Fail(schema.status(), "fetching schema");
+    rendered = WriteDot(BuildGraphView(*schema));
+  }
+  if (!rendered.ok()) return Fail(rendered.status(), "rendering");
+  std::fputs(rendered->c_str(), stdout);
+  return 0;
+}
+
+int CmdExport(SchemaRepository* repo, int argc, char** argv) {
+  if (argc < 1) return Usage();
+  auto schema = repo->Get(std::strtoull(argv[0], nullptr, 10));
+  if (!schema.ok()) return Fail(schema.status(), "fetching schema");
+  std::string format = "ddl";
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--format" && i + 1 < argc) {
+      format = argv[++i];
+    }
+  }
+  if (format == "xsd") {
+    std::fputs(WriteXsd(*schema).c_str(), stdout);
+  } else {
+    std::fputs(WriteDdl(*schema).c_str(), stdout);
+  }
+  return 0;
+}
+
+int CmdComment(SchemaRepository* repo, int argc, char** argv) {
+  if (argc < 3) return Usage();
+  SchemaId id = std::strtoull(argv[0], nullptr, 10);
+  std::string text;
+  for (int i = 2; i < argc; ++i) {
+    if (!text.empty()) text += ' ';
+    text += argv[i];
+  }
+  Status st = repo->AddComment(id, {argv[1], text, 0});
+  if (!st.ok()) return Fail(st, "adding comment");
+  (void)repo->RecordUsage(id);
+  std::printf("comment added to schema %llu\n",
+              static_cast<unsigned long long>(id));
+  return 0;
+}
+
+int CmdRate(SchemaRepository* repo, int argc, char** argv) {
+  if (argc < 3) return Usage();
+  SchemaId id = std::strtoull(argv[0], nullptr, 10);
+  Status st = repo->AddRating(
+      id, {argv[1], static_cast<uint8_t>(std::strtoul(argv[2], nullptr, 10))});
+  if (!st.ok()) return Fail(st, "rating");
+  auto summary = repo->GetRatingSummary(id);
+  std::printf("schema %llu now rated %.1f (%zu ratings)\n",
+              static_cast<unsigned long long>(id), summary->average,
+              summary->num_ratings);
+  return 0;
+}
+
+int CmdComments(SchemaRepository* repo, int argc, char** argv) {
+  if (argc < 1) return Usage();
+  SchemaId id = std::strtoull(argv[0], nullptr, 10);
+  auto summary = repo->GetRatingSummary(id);
+  auto usage = repo->GetUsageCount(id);
+  if (summary.ok() && usage.ok()) {
+    std::printf("rating: %.1f (%zu ratings), used %llu times\n",
+                summary->average, summary->num_ratings,
+                static_cast<unsigned long long>(*usage));
+  }
+  auto comments = repo->GetComments(id);
+  if (!comments.ok()) return Fail(comments.status(), "fetching comments");
+  for (const SchemaComment& c : *comments) {
+    std::printf("  [%s] %s\n", c.author.c_str(), c.text.c_str());
+  }
+  if (comments->empty()) std::printf("  (no comments)\n");
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::string command = argv[1];
+  std::string repo_dir = argv[2];
+  auto repo = SchemaRepository::Open(repo_dir);
+  if (!repo.ok()) return Fail(repo.status(), "opening repository");
+  SchemaRepository* r = repo->get();
+  int rest_argc = argc - 3;
+  char** rest = argv + 3;
+
+  if (command == "import") return CmdImport(r, rest_argc, rest);
+  if (command == "list") return CmdList(r);
+  if (command == "show") return CmdShow(r, rest_argc, rest);
+  if (command == "index") return CmdIndex(r, repo_dir);
+  if (command == "search") return CmdSearch(r, repo_dir, rest_argc, rest);
+  if (command == "viz") return CmdViz(r, repo_dir, rest_argc, rest);
+  if (command == "export") return CmdExport(r, rest_argc, rest);
+  if (command == "comment") return CmdComment(r, rest_argc, rest);
+  if (command == "rate") return CmdRate(r, rest_argc, rest);
+  if (command == "comments") return CmdComments(r, rest_argc, rest);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace schemr
+
+int main(int argc, char** argv) { return schemr::Run(argc, argv); }
