@@ -9,17 +9,24 @@
 #include <memory>
 
 #include "eval/harness.h"
+#include "obs/metrics.h"
+#include "util/timer.h"
 
 namespace schemr {
 namespace bench {
 
 /// Returns a cached fixture with `num_schemas` generated schemas indexed
-/// in memory. Seed is fixed so all benches see the same corpora.
+/// in memory. Seed is fixed so all benches see the same corpora. Build
+/// time lands in the `schemr_bench_fixture_build_seconds` histogram
+/// (visible in any bench that dumps the registry).
 inline const CorpusFixture& SharedFixture(size_t num_schemas) {
   static std::map<size_t, std::unique_ptr<CorpusFixture>>* cache =
       new std::map<size_t, std::unique_ptr<CorpusFixture>>();
   auto it = cache->find(num_schemas);
   if (it == cache->end()) {
+    ScopedTimer<Histogram> build_timer(MetricsRegistry::Global().GetHistogram(
+        "schemr_bench_fixture_build_seconds",
+        "Corpus fixture build time (generate + index)."));
     CorpusOptions options;
     options.num_schemas = num_schemas;
     options.seed = 20090629;  // SIGMOD 2009 demo week

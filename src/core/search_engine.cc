@@ -3,20 +3,89 @@
 #include <algorithm>
 
 #include "core/query_parser.h"
+#include "obs/metrics.h"
+#include "util/timer.h"
 
 namespace schemr {
 
+namespace {
+
+/// Metric handles are resolved once; the increment path is lock-free.
+struct EngineMetrics {
+  Counter* searches;
+  Counter* search_errors;
+  Counter* candidates_extracted;
+  Counter* candidates_pruned;
+  Histogram* total_seconds;
+  Histogram* phase1_seconds;
+  Histogram* phase2_seconds;
+  Histogram* phase3_seconds;
+  Histogram* pool_size;
+
+  static const EngineMetrics& Get() {
+    static const EngineMetrics* metrics = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      static const std::vector<double> pool_bounds{1,  2,   5,   10,  25,
+                                                   50, 100, 250, 500, 1000};
+      auto* m = new EngineMetrics{
+          r.GetCounter("schemr_search_requests_total",
+                       "Search pipeline invocations."),
+          r.GetCounter("schemr_search_errors_total",
+                       "Searches that returned a non-OK status."),
+          r.GetCounter("schemr_search_candidates_extracted_total",
+                       "Phase-1 candidates handed to the match phase."),
+          r.GetCounter("schemr_search_candidates_pruned_total",
+                       "Pool candidates dropped by ranking/pagination."),
+          r.GetHistogram("schemr_search_seconds",
+                         "End-to-end search latency."),
+          r.GetHistogram("schemr_search_phase1_seconds",
+                         "Phase 1 (candidate extraction) latency."),
+          r.GetHistogram("schemr_search_phase2_seconds",
+                         "Phase 2 (matcher ensemble) latency per search."),
+          r.GetHistogram("schemr_search_phase3_seconds",
+                         "Phase 3 (tightness-of-fit) latency per search."),
+          r.GetHistogram("schemr_search_pool_size",
+                         "Phase-1 candidate pool size per search.",
+                         pool_bounds),
+      };
+      return m;
+    }();
+    return *metrics;
+  }
+};
+
+}  // namespace
+
 Result<std::vector<SearchResult>> SearchEngine::Search(
     const QueryGraph& query, const SearchEngineOptions& options) const {
+  const EngineMetrics& metrics = EngineMetrics::Get();
+  metrics.searches->Increment();
   if (query.empty()) {
+    metrics.search_errors->Increment();
     return Status::InvalidArgument("empty query graph");
   }
 
+  Timer total_timer;
+  SearchTrace* trace = options.trace;
+  TraceSpan root_span(trace, "search");
+
   // Phase 1: candidate extraction.
+  Timer phase_timer;
+  TraceSpan phase1_span(trace, "phase1_extract");
   CandidateExtractor extractor(index_);
   std::vector<Candidate> candidates =
       extractor.Extract(query, options.extraction);
-  if (candidates.empty()) return std::vector<SearchResult>{};
+  phase1_span.Annotate("pool_requested",
+                       static_cast<uint64_t>(options.extraction.pool_size));
+  phase1_span.Annotate("pool_size", static_cast<uint64_t>(candidates.size()));
+  phase1_span.End();
+  metrics.phase1_seconds->Observe(phase_timer.ElapsedSeconds());
+  metrics.pool_size->Observe(static_cast<double>(candidates.size()));
+  metrics.candidates_extracted->Increment(candidates.size());
+  if (candidates.empty()) {
+    metrics.total_seconds->Observe(total_timer.ElapsedSeconds());
+    return std::vector<SearchResult>{};
+  }
 
   double max_coarse = 0.0;
   for (const Candidate& c : candidates) {
@@ -27,6 +96,17 @@ Result<std::vector<SearchResult>> SearchEngine::Search(
   const Schema& query_schema = query.AsSchema();
   std::vector<SearchResult> results;
   results.reserve(candidates.size());
+
+  // Phases 2 and 3 interleave per candidate; their spans are emitted as
+  // pool-wide aggregates after the loop.
+  double phase2_elapsed = 0.0;
+  double phase3_elapsed = 0.0;
+  std::vector<double> matcher_seconds;
+  if (trace != nullptr) matcher_seconds.assign(ensemble_.NumMatchers(), 0.0);
+  size_t candidates_matched = 0;
+  size_t candidates_scored = 0;
+  size_t matched_elements_total = 0;
+  double tightness_penalty_total = 0.0;
 
   for (const Candidate& candidate : candidates) {
     SCHEMR_ASSIGN_OR_RETURN(Schema schema, repository_->Get(candidate.schema_id));
@@ -49,7 +129,12 @@ Result<std::vector<SearchResult>> SearchEngine::Search(
     }
 
     // Phase 2: schema matching.
-    SimilarityMatrix combined = ensemble_.MatchCombined(query_schema, schema);
+    Timer candidate_timer;
+    SimilarityMatrix combined = ensemble_.MatchCombined(
+        query_schema, schema,
+        trace != nullptr ? &matcher_seconds : nullptr);
+    phase2_elapsed += candidate_timer.ElapsedSeconds();
+    ++candidates_matched;
 
     if (!options.enable_tightness) {
       // Ablation: rank by the unpenalized mean of matched element scores.
@@ -76,9 +161,16 @@ Result<std::vector<SearchResult>> SearchEngine::Search(
     }
 
     // Phase 3: tightness-of-fit.
+    candidate_timer.Reset();
     EntityGraph graph(schema);
     TightnessResult tof =
         ComputeTightnessOfFit(schema, graph, combined, options.tightness);
+    phase3_elapsed += candidate_timer.ElapsedSeconds();
+    ++candidates_scored;
+    matched_elements_total += tof.matched.size();
+    for (const MatchedElement& m : tof.matched) {
+      tightness_penalty_total += m.score - m.penalized_score;
+    }
     result.tightness = tof.score;
     result.best_anchor = tof.best_anchor;
     result.num_matches = tof.matched.size();
@@ -86,6 +178,34 @@ Result<std::vector<SearchResult>> SearchEngine::Search(
     result.score = options.coarse_blend * coarse_norm +
                    (1.0 - options.coarse_blend) * tof.score;
     results.push_back(std::move(result));
+  }
+
+  if (options.enable_matching) {
+    metrics.phase2_seconds->Observe(phase2_elapsed);
+    if (trace != nullptr) {
+      size_t phase2_id = trace->AddSpan("phase2_match", phase2_elapsed,
+                                        root_span.id());
+      trace->Annotate(phase2_id, "candidates",
+                      static_cast<uint64_t>(candidates_matched));
+      trace->Annotate(phase2_id, "matchers",
+                      static_cast<uint64_t>(ensemble_.NumMatchers()));
+      std::vector<std::string> names = ensemble_.MatcherNames();
+      for (size_t m = 0; m < names.size(); ++m) {
+        trace->AddSpan("matcher:" + names[m], matcher_seconds[m], phase2_id);
+      }
+    }
+  }
+  if (options.enable_matching && options.enable_tightness) {
+    metrics.phase3_seconds->Observe(phase3_elapsed);
+    if (trace != nullptr) {
+      size_t phase3_id = trace->AddSpan("phase3_tightness", phase3_elapsed,
+                                        root_span.id());
+      trace->Annotate(phase3_id, "candidates",
+                      static_cast<uint64_t>(candidates_scored));
+      trace->Annotate(phase3_id, "matched_elements",
+                      static_cast<uint64_t>(matched_elements_total));
+      trace->Annotate(phase3_id, "total_penalty", tightness_penalty_total);
+    }
   }
 
   // Collaboration boost: fold ratings and usage statistics in before the
@@ -104,6 +224,8 @@ Result<std::vector<SearchResult>> SearchEngine::Search(
     }
   }
 
+  TraceSpan rank_span(trace, "rank");
+  const size_t ranked_pool = results.size();
   auto better = [](const SearchResult& a, const SearchResult& b) {
     if (a.score != b.score) return a.score > b.score;
     if (a.coarse_score != b.coarse_score) {
@@ -121,6 +243,13 @@ Result<std::vector<SearchResult>> SearchEngine::Search(
     }
   }
   if (results.size() > options.top_k) results.resize(options.top_k);
+  metrics.candidates_pruned->Increment(ranked_pool - results.size());
+  rank_span.Annotate("returned", static_cast<uint64_t>(results.size()));
+  rank_span.Annotate("pruned",
+                     static_cast<uint64_t>(ranked_pool - results.size()));
+  rank_span.End();
+
+  metrics.total_seconds->Observe(total_timer.ElapsedSeconds());
   return results;
 }
 

@@ -22,6 +22,7 @@
 #include "core/tightness_of_fit.h"
 #include "index/inverted_index.h"
 #include "match/ensemble.h"
+#include "obs/trace.h"
 #include "repo/schema_repository.h"
 
 namespace schemr {
@@ -67,6 +68,11 @@ struct SearchEngineOptions {
   /// score is multiplied by 1 + boost·(0.7·rating/5 + 0.3·usage_sat)
   /// where usage_sat = hits/(hits+10). Community-endorsed schemas rise.
   double annotation_boost = 0.0;
+  /// When set, Search records a per-phase span breakdown (explain mode)
+  /// into this trace: a root "search" span with phase1_extract /
+  /// phase2_match (per-matcher children) / phase3_tightness / rank
+  /// children. Null (the default) skips all trace work.
+  SearchTrace* trace = nullptr;
 };
 
 /// Facade tying the repository, the index and the match engine together.

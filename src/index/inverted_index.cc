@@ -4,6 +4,7 @@
 #include <fstream>
 #include <map>
 
+#include "obs/metrics.h"
 #include "util/crc32.h"
 #include "util/varint.h"
 
@@ -51,11 +52,14 @@ void InvertedIndex::IndexText(uint32_t ordinal, Field field,
 }
 
 Status InvertedIndex::AddDocument(const Document& doc) {
+  static Counter* docs_added = MetricsRegistry::Global().GetCounter(
+      "schemr_index_docs_added_total", "Documents added to inverted indexes.");
   auto it = external_to_ordinal_.find(doc.external_id);
   if (it != external_to_ordinal_.end() && !docs_[it->second].deleted) {
     return Status::AlreadyExists("document " +
                                  std::to_string(doc.external_id));
   }
+  docs_added->Increment();
   // A tombstoned predecessor keeps its (skipped) slot until Vacuum; the
   // external id now maps to the fresh document.
   uint32_t ordinal = static_cast<uint32_t>(docs_.size());
@@ -75,12 +79,16 @@ Status InvertedIndex::AddDocument(const Document& doc) {
 }
 
 Status InvertedIndex::RemoveDocument(uint64_t external_id) {
+  static Counter* docs_removed = MetricsRegistry::Global().GetCounter(
+      "schemr_index_docs_removed_total",
+      "Documents tombstoned in inverted indexes.");
   auto it = external_to_ordinal_.find(external_id);
   if (it == external_to_ordinal_.end() || docs_[it->second].deleted) {
     return Status::NotFound("document " + std::to_string(external_id));
   }
   docs_[it->second].deleted = true;
   --live_docs_;
+  docs_removed->Increment();
   return Status::OK();
 }
 

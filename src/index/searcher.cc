@@ -5,6 +5,9 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "util/timer.h"
+
 namespace schemr {
 
 namespace {
@@ -17,6 +20,38 @@ struct Accumulator {
   std::vector<uint32_t> body_positions;   // for optional proximity boost
 };
 
+/// Work counters are accumulated in plain locals during the scan and
+/// flushed with one atomic add each per search.
+struct SearcherMetrics {
+  Counter* searches;
+  Counter* terms_looked_up;
+  Counter* terms_found;
+  Counter* postings_scanned;
+  Counter* docs_scored;
+  Histogram* seconds;
+
+  static const SearcherMetrics& Get() {
+    static const SearcherMetrics* metrics = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return new SearcherMetrics{
+          r.GetCounter("schemr_index_searches_total",
+                       "TF/IDF searches executed."),
+          r.GetCounter("schemr_index_terms_looked_up_total",
+                       "Term-dictionary probes (term x field)."),
+          r.GetCounter("schemr_index_terms_found_total",
+                       "Dictionary probes that found a posting list."),
+          r.GetCounter("schemr_index_postings_scanned_total",
+                       "Postings iterated while scoring."),
+          r.GetCounter("schemr_index_docs_scored_total",
+                       "Distinct documents scored per search, summed."),
+          r.GetHistogram("schemr_index_search_seconds",
+                         "TF/IDF search latency."),
+      };
+    }();
+    return *metrics;
+  }
+};
+
 }  // namespace
 
 std::vector<ScoredDoc> Searcher::Search(std::string_view query_text,
@@ -27,8 +62,15 @@ std::vector<ScoredDoc> Searcher::Search(std::string_view query_text,
 std::vector<ScoredDoc> Searcher::SearchTerms(
     const std::vector<std::string>& terms,
     const SearchOptions& options) const {
+  const SearcherMetrics& metrics = SearcherMetrics::Get();
+  metrics.searches->Increment();
   std::vector<ScoredDoc> results;
   if (terms.empty() || index_->NumDocs() == 0) return results;
+
+  Timer timer;
+  uint64_t terms_looked_up = 0;
+  uint64_t terms_found = 0;
+  uint64_t postings_scanned = 0;
 
   const double num_docs = static_cast<double>(index_->NumDocs());
   std::unordered_map<uint32_t, Accumulator> accumulators;
@@ -48,8 +90,11 @@ std::vector<ScoredDoc> Searcher::SearchTerms(
     const double term_weight = term_counts[term];
     for (size_t f = 0; f < kNumFields; ++f) {
       Field field = static_cast<Field>(f);
+      ++terms_looked_up;
       const std::vector<Posting>* postings = index_->GetPostings(field, term);
       if (postings == nullptr) continue;
+      ++terms_found;
+      postings_scanned += postings->size();
       const double df = static_cast<double>(postings->size());
       const double idf = 1.0 + std::log(num_docs / (df + 1.0));
       for (const Posting& posting : *postings) {
@@ -110,6 +155,12 @@ std::vector<ScoredDoc> Searcher::SearchTerms(
   } else {
     std::sort(results.begin(), results.end(), better);
   }
+
+  metrics.terms_looked_up->Increment(terms_looked_up);
+  metrics.terms_found->Increment(terms_found);
+  metrics.postings_scanned->Increment(postings_scanned);
+  metrics.docs_scored->Increment(accumulators.size());
+  metrics.seconds->Observe(timer.ElapsedSeconds());
   return results;
 }
 

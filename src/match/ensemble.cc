@@ -5,6 +5,7 @@
 #include "match/name_matcher.h"
 #include "match/structure_matcher.h"
 #include "match/type_matcher.h"
+#include "util/timer.h"
 
 namespace schemr {
 
@@ -48,14 +49,28 @@ void MatcherEnsemble::SetLogisticModel(LogisticModel model) {
   }
 }
 
-EnsembleResult MatcherEnsemble::Match(const Schema& query,
-                                      const Schema& candidate) const {
+std::vector<std::string> MatcherEnsemble::MatcherNames() const {
+  std::vector<std::string> names;
+  names.reserve(matchers_.size());
+  for (const auto& matcher : matchers_) names.push_back(matcher->Name());
+  return names;
+}
+
+EnsembleResult MatcherEnsemble::Match(
+    const Schema& query, const Schema& candidate,
+    std::vector<double>* matcher_seconds) const {
   EnsembleResult result;
   result.matcher_names.reserve(matchers_.size());
   result.per_matcher.reserve(matchers_.size());
-  for (const auto& matcher : matchers_) {
-    result.matcher_names.push_back(matcher->Name());
-    result.per_matcher.push_back(matcher->Match(query, candidate));
+  for (size_t m = 0; m < matchers_.size(); ++m) {
+    result.matcher_names.push_back(matchers_[m]->Name());
+    if (matcher_seconds != nullptr) {
+      Timer timer;
+      result.per_matcher.push_back(matchers_[m]->Match(query, candidate));
+      (*matcher_seconds)[m] += timer.ElapsedSeconds();
+    } else {
+      result.per_matcher.push_back(matchers_[m]->Match(query, candidate));
+    }
   }
 
   if (logistic_.has_value()) {
@@ -81,8 +96,9 @@ EnsembleResult MatcherEnsemble::Match(const Schema& query,
 }
 
 SimilarityMatrix MatcherEnsemble::MatchCombined(
-    const Schema& query, const Schema& candidate) const {
-  return Match(query, candidate).combined;
+    const Schema& query, const Schema& candidate,
+    std::vector<double>* matcher_seconds) const {
+  return Match(query, candidate, matcher_seconds).combined;
 }
 
 }  // namespace schemr

@@ -64,12 +64,21 @@ class MatcherEnsemble {
   void ClearLogisticModel() { logistic_.reset(); }
   bool HasLogisticModel() const { return logistic_.has_value(); }
 
-  /// Runs all matchers and combines.
-  EnsembleResult Match(const Schema& query, const Schema& candidate) const;
+  /// Matcher names in matcher order (the feature order of the
+  /// meta-learner and of Match's timing accumulator).
+  std::vector<std::string> MatcherNames() const;
+
+  /// Runs all matchers and combines. When `matcher_seconds` is non-null it
+  /// must have NumMatchers entries; each matcher's wall time is *added* to
+  /// its slot, so the search engine can accumulate per-matcher totals
+  /// across the whole candidate pool for tracing.
+  EnsembleResult Match(const Schema& query, const Schema& candidate,
+                       std::vector<double>* matcher_seconds = nullptr) const;
 
   /// Runs all matchers and returns only the combined matrix.
-  SimilarityMatrix MatchCombined(const Schema& query,
-                                 const Schema& candidate) const;
+  SimilarityMatrix MatchCombined(
+      const Schema& query, const Schema& candidate,
+      std::vector<double>* matcher_seconds = nullptr) const;
 
  private:
   std::vector<std::unique_ptr<Matcher>> matchers_;

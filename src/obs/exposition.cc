@@ -1,0 +1,155 @@
+#include "obs/exposition.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace schemr {
+
+namespace {
+
+using MetricSnapshot = MetricsRegistry::MetricSnapshot;
+using MetricKind = MetricsRegistry::MetricKind;
+
+std::string FormatNumber(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+void AppendEscapedJson(std::string* out, const std::string& text) {
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+const char* KindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+std::string ToPrometheusText(const MetricsRegistry& registry) {
+  std::string out;
+  char buf[160];
+  for (const MetricSnapshot& m : registry.Collect()) {
+    if (!m.help.empty()) {
+      out += "# HELP " + m.name + " ";
+      // Prometheus escapes backslash and newline in help text.
+      for (char c : m.help) {
+        if (c == '\\') {
+          out += "\\\\";
+        } else if (c == '\n') {
+          out += "\\n";
+        } else {
+          out += c;
+        }
+      }
+      out += '\n';
+    }
+    out += "# TYPE " + m.name + " " + KindName(m.kind) + "\n";
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        std::snprintf(buf, sizeof(buf), "%s %" PRIu64 "\n", m.name.c_str(),
+                      m.counter_value);
+        out += buf;
+        break;
+      case MetricKind::kGauge:
+        out += m.name + " " + FormatNumber(m.gauge_value) + "\n";
+        break;
+      case MetricKind::kHistogram: {
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < m.histogram.buckets.size(); ++i) {
+          cumulative += m.histogram.buckets[i];
+          const std::string le = i < m.histogram.bounds.size()
+                                     ? FormatNumber(m.histogram.bounds[i])
+                                     : "+Inf";
+          std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"%s\"} %" PRIu64 "\n",
+                        m.name.c_str(), le.c_str(), cumulative);
+          out += buf;
+        }
+        out += m.name + "_sum " + FormatNumber(m.histogram.sum) + "\n";
+        std::snprintf(buf, sizeof(buf), "%s_count %" PRIu64 "\n",
+                      m.name.c_str(), m.histogram.count);
+        out += buf;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string ToJson(const MetricsRegistry& registry) {
+  std::string out = "{";
+  bool first = true;
+  char buf[160];
+  for (const MetricSnapshot& m : registry.Collect()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  \"";
+    AppendEscapedJson(&out, m.name);
+    out += "\": ";
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, m.counter_value);
+        out += buf;
+        break;
+      case MetricKind::kGauge:
+        out += FormatNumber(m.gauge_value);
+        break;
+      case MetricKind::kHistogram: {
+        std::snprintf(buf, sizeof(buf), "{\"count\": %" PRIu64 ", \"sum\": %s",
+                      m.histogram.count,
+                      FormatNumber(m.histogram.sum).c_str());
+        out += buf;
+        out += ", \"p50\": " + FormatNumber(m.histogram.Quantile(0.50));
+        out += ", \"p95\": " + FormatNumber(m.histogram.Quantile(0.95));
+        out += ", \"p99\": " + FormatNumber(m.histogram.Quantile(0.99));
+        out += ", \"buckets\": [";
+        for (size_t i = 0; i < m.histogram.buckets.size(); ++i) {
+          if (i > 0) out += ", ";
+          const std::string le = i < m.histogram.bounds.size()
+                                     ? FormatNumber(m.histogram.bounds[i])
+                                     : "\"+Inf\"";
+          std::snprintf(buf, sizeof(buf), "{\"le\": %s, \"count\": %" PRIu64 "}",
+                        le.c_str(), m.histogram.buckets[i]);
+          out += buf;
+        }
+        out += "]}";
+        break;
+      }
+    }
+  }
+  out += "\n}\n";
+  return out;
+}
+
+}  // namespace schemr

@@ -1,0 +1,27 @@
+// Metric exposition formats.
+//
+// Renders a MetricsRegistry as Prometheus text exposition format
+// (https://prometheus.io/docs/instrumenting/exposition_formats/) or as a
+// JSON object, for scraping endpoints and the CLI `stats` subcommand.
+
+#ifndef SCHEMR_OBS_EXPOSITION_H_
+#define SCHEMR_OBS_EXPOSITION_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace schemr {
+
+/// Prometheus text format, version 0.0.4: `# HELP` / `# TYPE` comment
+/// lines followed by samples; histograms expand to `_bucket{le="..."}`
+/// (cumulative), `_sum` and `_count` series.
+std::string ToPrometheusText(const MetricsRegistry& registry);
+
+/// JSON object keyed by metric name; counters/gauges map to numbers,
+/// histograms to {count, sum, p50, p95, p99, buckets: [{le, count}...]}.
+std::string ToJson(const MetricsRegistry& registry);
+
+}  // namespace schemr
+
+#endif  // SCHEMR_OBS_EXPOSITION_H_

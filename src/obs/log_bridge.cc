@@ -1,0 +1,28 @@
+#include "obs/log_bridge.h"
+
+#include <cstdio>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace schemr {
+
+void InstallMetricsLogSink() {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter* total = registry.GetCounter("schemr_log_messages_total",
+                                       "Log lines emitted at any level.");
+  Counter* warnings = registry.GetCounter(
+      "schemr_log_warnings_total", "Log lines emitted at WARN level.");
+  Counter* errors = registry.GetCounter("schemr_log_errors_total",
+                                        "Log lines emitted at ERROR level.");
+  SetLogSink([total, warnings, errors](LogLevel level,
+                                       std::string_view message) {
+    total->Increment();
+    if (level == LogLevel::kWarning) warnings->Increment();
+    if (level == LogLevel::kError) errors->Increment();
+    std::fprintf(stderr, "%.*s\n", static_cast<int>(message.size()),
+                 message.data());
+  });
+}
+
+}  // namespace schemr

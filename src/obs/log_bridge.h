@@ -1,0 +1,20 @@
+// Bridges the util logging sink into the metrics registry.
+//
+// The library logger (util/logging.h) writes to stderr by default; a
+// service that wants visibility into library warnings installs this sink
+// so every emitted line also bumps `schemr_log_messages_total` /
+// `schemr_log_warnings_total` / `schemr_log_errors_total`.
+
+#ifndef SCHEMR_OBS_LOG_BRIDGE_H_
+#define SCHEMR_OBS_LOG_BRIDGE_H_
+
+namespace schemr {
+
+/// Installs a process-wide log sink that counts messages by level into
+/// MetricsRegistry::Global() and still forwards the line to stderr.
+/// Calling SetLogSink(nullptr) afterwards restores the plain default.
+void InstallMetricsLogSink();
+
+}  // namespace schemr
+
+#endif  // SCHEMR_OBS_LOG_BRIDGE_H_

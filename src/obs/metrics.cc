@@ -1,0 +1,173 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace schemr {
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the target observation (1-based), then walk the buckets.
+  const double target = q * static_cast<double>(count);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const uint64_t next = seen + buckets[i];
+    if (static_cast<double>(next) >= target) {
+      const double lower = i == 0 ? 0.0 : bounds[i - 1];
+      // The +Inf bucket has no finite width; report its lower bound.
+      if (i >= bounds.size()) return lower;
+      const double upper = bounds[i];
+      const double within =
+          (target - static_cast<double>(seen)) / static_cast<double>(buckets[i]);
+      return lower + (upper - lower) * within;
+    }
+    seen = next;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+const std::vector<double>& Histogram::DefaultLatencyBounds() {
+  static const std::vector<double>* bounds = new std::vector<double>{
+      1e-5,   2.5e-5, 5e-5,   1e-4,   2.5e-4, 5e-4,   1e-3,  2.5e-3,
+      5e-3,   1e-2,   2.5e-2, 5e-2,   1e-1,   2.5e-1, 5e-1,  1.0,
+      2.5,    5.0,    10.0};
+  return *bounds;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+  buckets_ =
+      std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::Observe(double value) {
+  const size_t bucket =
+      static_cast<size_t>(std::lower_bound(bounds_.begin(), bounds_.end(),
+                                           value) -
+                          bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.buckets.resize(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry entry;
+    entry.help = std::string(help);
+    entry.kind = MetricKind::kCounter;
+    entry.counter = std::make_unique<Counter>();
+    it = metrics_.emplace(std::string(name), std::move(entry)).first;
+  }
+  assert(it->second.kind == MetricKind::kCounter);
+  return it->second.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name,
+                                 std::string_view help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry entry;
+    entry.help = std::string(help);
+    entry.kind = MetricKind::kGauge;
+    entry.gauge = std::make_unique<Gauge>();
+    it = metrics_.emplace(std::string(name), std::move(entry)).first;
+  }
+  assert(it->second.kind == MetricKind::kGauge);
+  return it->second.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::string_view help,
+                                         const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry entry;
+    entry.help = std::string(help);
+    entry.kind = MetricKind::kHistogram;
+    entry.histogram = std::make_unique<Histogram>(bounds);
+    it = metrics_.emplace(std::string(name), std::move(entry)).first;
+  }
+  assert(it->second.kind == MetricKind::kHistogram);
+  return it->second.histogram.get();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, entry] : metrics_) {
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        entry.counter->Reset();
+        break;
+      case MetricKind::kGauge:
+        entry.gauge->Reset();
+        break;
+      case MetricKind::kHistogram:
+        entry.histogram->Reset();
+        break;
+    }
+  }
+}
+
+std::vector<MetricsRegistry::MetricSnapshot> MetricsRegistry::Collect()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(metrics_.size());
+  for (const auto& [name, entry] : metrics_) {
+    MetricSnapshot snap;
+    snap.name = name;
+    snap.help = entry.help;
+    snap.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        snap.counter_value = entry.counter->Value();
+        break;
+      case MetricKind::kGauge:
+        snap.gauge_value = entry.gauge->Value();
+        break;
+      case MetricKind::kHistogram:
+        snap.histogram = entry.histogram->Snapshot();
+        break;
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+}  // namespace schemr

@@ -1,0 +1,152 @@
+// Runtime metrics for the Schemr pipeline.
+//
+// A process-wide MetricsRegistry holds named counters, gauges, and
+// fixed-bucket latency histograms. The increment path is lock-free
+// (relaxed atomics); registration takes a mutex once, after which callers
+// cache the returned pointer (metric objects are never deleted or moved,
+// only zeroed by Reset()). Exposition as Prometheus text and JSON lives in
+// obs/exposition.h; per-request tracing in obs/trace.h.
+//
+// Naming follows the Prometheus convention: `schemr_<area>_<what>_<unit>`,
+// counters suffixed `_total`, latency histograms `_seconds`. DESIGN.md
+// ("Observability") maps each pipeline phase to its metric names.
+
+#ifndef SCHEMR_OBS_METRICS_H_
+#define SCHEMR_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace schemr {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time value that can move both ways (pool sizes, live keys).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// A consistent read of one histogram (see Histogram::Snapshot()).
+struct HistogramSnapshot {
+  std::vector<double> bounds;     ///< upper bounds, excluding +Inf
+  std::vector<uint64_t> buckets;  ///< cumulative-free per-bucket counts;
+                                  ///< size = bounds.size() + 1 (last = +Inf)
+  uint64_t count = 0;
+  double sum = 0.0;
+
+  /// Percentile estimate (q in [0, 1]) by linear interpolation inside the
+  /// containing bucket. Returns 0 for an empty histogram.
+  double Quantile(double q) const;
+};
+
+/// Fixed-bucket histogram. Observation is lock-free: one relaxed
+/// fetch_add per bucket counter plus a CAS loop for the running sum.
+class Histogram {
+ public:
+  /// Default bucket bounds for request latencies, in seconds:
+  /// 10us .. 10s, roughly 1-2.5-5 per decade.
+  static const std::vector<double>& DefaultLatencyBounds();
+
+  explicit Histogram(std::vector<double> bounds);
+
+  /// Records one observation (same unit as the bounds; seconds for
+  /// latency histograms).
+  void Observe(double value);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  HistogramSnapshot Snapshot() const;
+
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;  ///< ascending upper bounds
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  ///< bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Thread-safe named-metric registry. Get* registers on first use and
+/// returns a stable pointer; callers on hot paths should look up once and
+/// cache it. Reset() zeroes every metric but never invalidates pointers.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry all Schemr libraries report into.
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(std::string_view name, std::string_view help = "");
+  Gauge* GetGauge(std::string_view name, std::string_view help = "");
+  /// `bounds` applies only on first registration; subsequent calls with
+  /// the same name return the existing histogram.
+  Histogram* GetHistogram(std::string_view name, std::string_view help = "",
+                          const std::vector<double>& bounds =
+                              Histogram::DefaultLatencyBounds());
+
+  /// Zeroes all registered metrics (tests, CLI workloads).
+  void Reset();
+
+  enum class MetricKind { kCounter, kGauge, kHistogram };
+
+  /// One metric's state, copied out under the registry lock.
+  struct MetricSnapshot {
+    std::string name;
+    std::string help;
+    MetricKind kind = MetricKind::kCounter;
+    uint64_t counter_value = 0;
+    double gauge_value = 0.0;
+    HistogramSnapshot histogram;
+  };
+
+  /// All metrics in lexicographic name order.
+  std::vector<MetricSnapshot> Collect() const;
+
+ private:
+  struct Entry {
+    std::string help;
+    MetricKind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry, std::less<>> metrics_;
+};
+
+}  // namespace schemr
+
+#endif  // SCHEMR_OBS_METRICS_H_

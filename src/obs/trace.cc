@@ -1,0 +1,106 @@
+#include "obs/trace.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace schemr {
+
+namespace {
+
+std::string FormatDouble(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+}  // namespace
+
+size_t SearchTrace::BeginSpan(std::string_view name) {
+  SpanRecord span;
+  span.name = std::string(name);
+  span.parent = open_stack_.empty() ? kNoParent : open_stack_.back();
+  spans_.push_back(std::move(span));
+  const size_t id = spans_.size() - 1;
+  open_stack_.push_back(id);
+  return id;
+}
+
+void SearchTrace::EndSpan(size_t id, double seconds) {
+  assert(id < spans_.size());
+  assert(!open_stack_.empty() && open_stack_.back() == id);
+  spans_[id].seconds = seconds;
+  if (!open_stack_.empty() && open_stack_.back() == id) {
+    open_stack_.pop_back();
+  }
+}
+
+size_t SearchTrace::AddSpan(std::string_view name, double seconds,
+                            size_t parent) {
+  SpanRecord span;
+  span.name = std::string(name);
+  span.parent = parent != kNoParent
+                    ? parent
+                    : (open_stack_.empty() ? kNoParent : open_stack_.back());
+  span.seconds = seconds;
+  spans_.push_back(std::move(span));
+  return spans_.size() - 1;
+}
+
+void SearchTrace::Annotate(size_t id, std::string_view key,
+                           std::string_view value) {
+  assert(id < spans_.size());
+  spans_[id].annotations.push_back(
+      TraceAnnotation{std::string(key), std::string(value)});
+}
+
+void SearchTrace::Annotate(size_t id, std::string_view key, double value) {
+  Annotate(id, key, std::string_view(FormatDouble(value)));
+}
+
+void SearchTrace::Annotate(size_t id, std::string_view key, uint64_t value) {
+  Annotate(id, key, std::string_view(std::to_string(value)));
+}
+
+std::vector<size_t> SearchTrace::ChildrenOf(size_t id) const {
+  std::vector<size_t> children;
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    if (spans_[i].parent == id) children.push_back(i);
+  }
+  return children;
+}
+
+std::string SearchTrace::ToString() const {
+  std::string out;
+  // Depth-first over the span tree, preserving record order per level.
+  std::vector<std::pair<size_t, size_t>> stack;  // (span, depth), reversed
+  std::vector<size_t> roots = ChildrenOf(kNoParent);
+  for (size_t i = roots.size(); i-- > 0;) stack.emplace_back(roots[i], 0);
+  while (!stack.empty()) {
+    auto [id, depth] = stack.back();
+    stack.pop_back();
+    const SpanRecord& span = spans_[id];
+    out.append(depth * 2, ' ');
+    out += span.name;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " %.3fms", span.seconds * 1e3);
+    out += buf;
+    if (!span.annotations.empty()) {
+      out += " [";
+      for (size_t i = 0; i < span.annotations.size(); ++i) {
+        if (i > 0) out += ' ';
+        out += span.annotations[i].key;
+        out += '=';
+        out += span.annotations[i].value;
+      }
+      out += ']';
+    }
+    out += '\n';
+    std::vector<size_t> children = ChildrenOf(id);
+    for (size_t i = children.size(); i-- > 0;) {
+      stack.emplace_back(children[i], depth + 1);
+    }
+  }
+  return out;
+}
+
+}  // namespace schemr

@@ -1,0 +1,112 @@
+// Per-request tracing for the search pipeline.
+//
+// A SearchTrace collects a tree of timed spans for one request: the
+// search engine opens a root "search" span, one child per pipeline phase,
+// and per-matcher children under the match phase. Spans carry string
+// annotations (pool sizes, candidates pruned, penalty totals) that the
+// explain mode embeds into the XML response and the CLI pretty-prints.
+//
+// A SearchTrace is single-request, single-threaded state (one per Search
+// call); the RAII TraceSpan tolerates a null trace so untraced requests
+// pay only a pointer test.
+
+#ifndef SCHEMR_OBS_TRACE_H_
+#define SCHEMR_OBS_TRACE_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/timer.h"
+
+namespace schemr {
+
+struct TraceAnnotation {
+  std::string key;
+  std::string value;
+};
+
+/// One recorded span. `parent` is an index into SearchTrace::spans(), or
+/// SearchTrace::kNoParent for the root.
+struct SpanRecord {
+  std::string name;
+  size_t parent = static_cast<size_t>(-1);
+  double seconds = 0.0;
+  std::vector<TraceAnnotation> annotations;
+};
+
+class SearchTrace {
+ public:
+  static constexpr size_t kNoParent = static_cast<size_t>(-1);
+
+  /// Opens a span nested under the innermost still-open span. Returns its
+  /// id (stable index into spans()).
+  size_t BeginSpan(std::string_view name);
+
+  /// Closes span `id` with the given duration. Spans must close in LIFO
+  /// order (guaranteed by TraceSpan).
+  void EndSpan(size_t id, double seconds);
+
+  /// Records an already-measured span as a child of the innermost open
+  /// span (or of `parent` when given). Used for aggregate phase timings
+  /// accumulated across a candidate loop.
+  size_t AddSpan(std::string_view name, double seconds,
+                 size_t parent = kNoParent);
+
+  void Annotate(size_t id, std::string_view key, std::string_view value);
+  void Annotate(size_t id, std::string_view key, double value);
+  void Annotate(size_t id, std::string_view key, uint64_t value);
+
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+  bool empty() const { return spans_.empty(); }
+
+  /// Children of span `id` (kNoParent lists the roots), in record order.
+  std::vector<size_t> ChildrenOf(size_t id) const;
+
+  /// Indented human-readable rendering, one span per line:
+  ///   search 12.1ms
+  ///     phase1_extract 0.8ms [pool_size=50]
+  std::string ToString() const;
+
+ private:
+  std::vector<SpanRecord> spans_;
+  std::vector<size_t> open_stack_;
+};
+
+/// RAII span: begins on construction, records elapsed wall time when
+/// destroyed (or ended explicitly). No-op when `trace` is null.
+class TraceSpan {
+ public:
+  TraceSpan(SearchTrace* trace, std::string_view name)
+      : trace_(trace), id_(trace ? trace->BeginSpan(name) : 0) {}
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() { End(); }
+
+  /// Closes the span early (idempotent).
+  void End() {
+    if (trace_ != nullptr) {
+      trace_->EndSpan(id_, timer_.ElapsedSeconds());
+      trace_ = nullptr;
+    }
+  }
+
+  template <typename V>
+  void Annotate(std::string_view key, V value) {
+    if (trace_ != nullptr) trace_->Annotate(id_, key, value);
+  }
+
+  size_t id() const { return id_; }
+
+ private:
+  SearchTrace* trace_;
+  size_t id_;
+  Timer timer_;
+};
+
+}  // namespace schemr
+
+#endif  // SCHEMR_OBS_TRACE_H_

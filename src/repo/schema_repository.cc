@@ -173,6 +173,12 @@ Status SchemaRepository::Compact() {
   return Status::OK();
 }
 
+std::optional<KvStoreStats> SchemaRepository::GetStoreStats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (store_ == nullptr) return std::nullopt;
+  return store_->GetStats();
+}
+
 // --- annotations -------------------------------------------------------------
 
 Status SchemaRepository::PutAuxLocked(const std::string& key,

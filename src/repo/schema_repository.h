@@ -15,6 +15,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -72,6 +73,10 @@ class SchemaRepository {
 
   /// Compacts the underlying store (no-op in memory mode).
   Status Compact();
+
+  /// Storage-engine statistics (also refreshes the schemr_store_* gauges);
+  /// nullopt in memory mode.
+  std::optional<KvStoreStats> GetStoreStats() const;
 
   // --- Collaboration annotations (paper Applications/Summary) -------------
 

@@ -2,6 +2,9 @@
 
 #include "core/query_parser.h"
 #include "match/codebook.h"
+#include "obs/exposition.h"
+#include "obs/metrics.h"
+#include "util/timer.h"
 #include "util/xml_writer.h"
 #include "viz/graphml_writer.h"
 #include "viz/html_report.h"
@@ -12,11 +15,71 @@ namespace schemr {
 
 namespace {
 
+/// Request count / error count / latency histogram for one endpoint.
+struct EndpointMetrics {
+  Counter* requests;
+  Counter* errors;
+  Histogram* seconds;
+};
+
+EndpointMetrics MakeEndpoint(const std::string& endpoint) {
+  MetricsRegistry& r = MetricsRegistry::Global();
+  const std::string prefix = "schemr_service_" + endpoint;
+  return EndpointMetrics{
+      r.GetCounter(prefix + "_requests_total",
+                   "Requests handled by the " + endpoint + " endpoint."),
+      r.GetCounter(prefix + "_errors_total",
+                   "Non-OK responses from the " + endpoint + " endpoint."),
+      r.GetHistogram(prefix + "_seconds",
+                     "Request latency of the " + endpoint + " endpoint."),
+  };
+}
+
+/// Times one request and tallies its outcome on destruction.
+class EndpointScope {
+ public:
+  explicit EndpointScope(const EndpointMetrics& metrics) : metrics_(metrics) {
+    metrics_.requests->Increment();
+  }
+  ~EndpointScope() {
+    if (failed_) metrics_.errors->Increment();
+    metrics_.seconds->Observe(timer_.ElapsedSeconds());
+  }
+  template <typename T>
+  const Result<T>& Check(const Result<T>& result) {
+    if (!result.ok()) failed_ = true;
+    return result;
+  }
+
+ private:
+  const EndpointMetrics& metrics_;
+  Timer timer_;
+  bool failed_ = false;
+};
+
 SearchEngineOptions WithRequest(const SearchRequest& request,
                                 SearchEngineOptions options) {
   options.top_k = request.top_k;
   options.extraction.pool_size = request.candidate_pool;
   return options;
+}
+
+/// Writes the children of `parent` as nested <span> elements.
+void WriteSpans(XmlWriter* xml, const SearchTrace& trace, size_t parent) {
+  for (size_t id : trace.ChildrenOf(parent)) {
+    const SpanRecord& span = trace.spans()[id];
+    xml->Open("span")
+        .Attribute("name", span.name)
+        .Attribute("ms", span.seconds * 1e3);
+    for (const TraceAnnotation& note : span.annotations) {
+      xml->Open("note")
+          .Attribute("key", note.key)
+          .Attribute("value", note.value)
+          .Close();
+    }
+    WriteSpans(xml, trace, id);
+    xml->Close();
+  }
 }
 
 std::unordered_map<ElementId, double> ScoreMap(
@@ -31,19 +94,30 @@ std::unordered_map<ElementId, double> ScoreMap(
 Result<std::vector<SearchResult>> SchemrService::Search(
     const SearchRequest& request,
     const SearchEngineOptions& engine_options) const {
-  SCHEMR_ASSIGN_OR_RETURN(QueryGraph query,
-                          ParseQuery(request.keywords, request.fragment));
-  return engine_.Search(query, WithRequest(request, engine_options));
+  static const EndpointMetrics metrics = MakeEndpoint("search");
+  EndpointScope scope(metrics);
+  auto parsed = ParseQuery(request.keywords, request.fragment);
+  if (!scope.Check(parsed).ok()) return parsed.status();
+  auto results = engine_.Search(*parsed, WithRequest(request, engine_options));
+  scope.Check(results);
+  return results;
 }
 
 Result<std::string> SchemrService::SearchXml(
     const SearchRequest& request,
     const SearchEngineOptions& engine_options) const {
-  SCHEMR_ASSIGN_OR_RETURN(QueryGraph query,
-                          ParseQuery(request.keywords, request.fragment));
-  SCHEMR_ASSIGN_OR_RETURN(
-      std::vector<SearchResult> results,
-      engine_.Search(query, WithRequest(request, engine_options)));
+  static const EndpointMetrics metrics = MakeEndpoint("search_xml");
+  EndpointScope scope(metrics);
+  auto parsed = ParseQuery(request.keywords, request.fragment);
+  if (!scope.Check(parsed).ok()) return parsed.status();
+  const QueryGraph& query = *parsed;
+
+  SearchTrace trace;
+  SearchEngineOptions options = WithRequest(request, engine_options);
+  if (request.explain) options.trace = &trace;
+  auto searched = engine_.Search(query, options);
+  if (!scope.Check(searched).ok()) return searched.status();
+  const std::vector<SearchResult>& results = *searched;
 
   XmlWriter xml;
   xml.Open("results").Attribute("query", query.ToString());
@@ -69,6 +143,11 @@ Result<std::string> SchemrService::SearchXml(
           .Attribute("penalized", m.penalized_score)
           .Close();
     }
+    xml.Close();
+  }
+  if (request.explain) {
+    xml.Open("explain");
+    WriteSpans(&xml, trace, SearchTrace::kNoParent);
     xml.Close();
   }
   return xml.Finish();
@@ -107,21 +186,38 @@ Result<SchemaGraphView> SchemrService::BuildView(
 
 Result<std::string> SchemrService::GetSchemaGraphMl(
     const VisualizationRequest& request) const {
-  SCHEMR_ASSIGN_OR_RETURN(SchemaGraphView view, BuildView(request));
-  return WriteGraphMl(view);
+  static const EndpointMetrics metrics = MakeEndpoint("graphml");
+  EndpointScope scope(metrics);
+  auto view = BuildView(request);
+  if (!scope.Check(view).ok()) return view.status();
+  return WriteGraphMl(*view);
 }
 
 Result<std::string> SchemrService::GetSchemaSvg(
     const VisualizationRequest& request) const {
-  SCHEMR_ASSIGN_OR_RETURN(SchemaGraphView view, BuildView(request));
-  return WriteSvg(view);
+  static const EndpointMetrics metrics = MakeEndpoint("svg");
+  EndpointScope scope(metrics);
+  auto view = BuildView(request);
+  if (!scope.Check(view).ok()) return view.status();
+  return WriteSvg(*view);
+}
+
+std::string SchemrService::MetricsText() const {
+  return ToPrometheusText(MetricsRegistry::Global());
+}
+
+std::string SchemrService::MetricsJson() const {
+  return ToJson(MetricsRegistry::Global());
 }
 
 Result<std::string> SchemrService::RenderHtmlReport(
     const SearchRequest& request, size_t max_panels,
     const SearchEngineOptions& engine_options) const {
-  SCHEMR_ASSIGN_OR_RETURN(std::vector<SearchResult> results,
-                          Search(request, engine_options));
+  static const EndpointMetrics metrics = MakeEndpoint("report");
+  EndpointScope scope(metrics);
+  auto searched = Search(request, engine_options);
+  if (!scope.Check(searched).ok()) return searched.status();
+  std::vector<SearchResult> results = std::move(searched).value();
 
   std::vector<ReportRow> rows;
   rows.reserve(results.size());

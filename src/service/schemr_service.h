@@ -26,6 +26,11 @@ struct SearchRequest {
   std::string fragment;
   size_t top_k = 10;
   size_t candidate_pool = 50;
+  /// Explain mode: when true, SearchXml appends an <explain> element with
+  /// the per-phase span breakdown (timings, pool sizes, per-matcher
+  /// latencies, tightness penalty totals). Default responses are
+  /// byte-identical to the non-explain wire format.
+  bool explain = false;
 };
 
 /// A client visualization request ("drill-in").
@@ -75,6 +80,14 @@ class SchemrService {
   Result<std::string> RenderHtmlReport(
       const SearchRequest& request, size_t max_panels = 3,
       const SearchEngineOptions& engine_options = {}) const;
+
+  /// Scrape endpoint: the process-wide metrics registry in Prometheus
+  /// text exposition format (all schemr_* series — pipeline, index,
+  /// store, and per-endpoint service metrics).
+  std::string MetricsText() const;
+
+  /// The same registry as a JSON object (dashboards, the CLI).
+  std::string MetricsJson() const;
 
   const SearchEngine& engine() const { return engine_; }
 

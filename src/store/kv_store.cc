@@ -9,6 +9,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "obs/metrics.h"
 #include "util/crc32.h"
 #include "util/logging.h"
 #include "util/varint.h"
@@ -22,6 +23,50 @@ namespace {
 constexpr uint8_t kTypePut = 1;
 constexpr uint8_t kTypeDelete = 2;
 constexpr char kSegmentSuffix[] = ".seg";
+
+/// Operation counters, shared by all open stores; GetStats() additionally
+/// bridges the per-store KvStoreStats into the *_gauge metrics below.
+struct StoreMetrics {
+  Counter* reads;
+  Counter* read_misses;
+  Counter* read_bytes;
+  Counter* writes;
+  Counter* write_bytes;
+  Counter* deletes;
+  Counter* compactions;
+  Gauge* live_keys;
+  Gauge* segment_count;
+  Gauge* total_bytes;
+  Gauge* dead_records;
+
+  static const StoreMetrics& Get() {
+    static const StoreMetrics* metrics = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return new StoreMetrics{
+          r.GetCounter("schemr_store_reads_total", "KV store Get hits."),
+          r.GetCounter("schemr_store_read_misses_total",
+                       "KV store Gets of absent keys."),
+          r.GetCounter("schemr_store_read_bytes_total",
+                       "Key+value bytes read from segments."),
+          r.GetCounter("schemr_store_writes_total", "KV store Puts."),
+          r.GetCounter("schemr_store_write_bytes_total",
+                       "Key+value bytes appended by Puts."),
+          r.GetCounter("schemr_store_deletes_total", "KV store Deletes."),
+          r.GetCounter("schemr_store_compactions_total",
+                       "Segment compactions run."),
+          r.GetGauge("schemr_store_live_keys",
+                     "Live keys at the last GetStats call."),
+          r.GetGauge("schemr_store_segment_count",
+                     "Segment files at the last GetStats call."),
+          r.GetGauge("schemr_store_total_bytes",
+                     "Segment bytes on disk at the last GetStats call."),
+          r.GetGauge("schemr_store_dead_records",
+                     "Overwritten/deleted records at the last GetStats call."),
+      };
+    }();
+    return *metrics;
+  }
+};
 
 Status ErrnoStatus(const std::string& what) {
   return Status::IOError(what + ": " + std::strerror(errno));
@@ -224,11 +269,14 @@ Status KvStore::AppendRecord(uint8_t type, std::string_view key,
 }
 
 Status KvStore::Put(std::string_view key, std::string_view value) {
+  const StoreMetrics& metrics = StoreMetrics::Get();
   Location loc;
   SCHEMR_RETURN_IF_ERROR(AppendRecord(kTypePut, key, value, &loc));
   auto [it, inserted] = index_.insert_or_assign(std::string(key), loc);
   (void)it;
   if (!inserted) ++dead_records_;
+  metrics.writes->Increment();
+  metrics.write_bytes->Increment(key.size() + value.size());
   return Status::OK();
 }
 
@@ -238,6 +286,7 @@ Status KvStore::Delete(std::string_view key) {
   SCHEMR_RETURN_IF_ERROR(AppendRecord(kTypeDelete, key, "", nullptr));
   index_.erase(it);
   dead_records_ += 2;  // the overwritten record and the tombstone
+  StoreMetrics::Get().deletes->Increment();
   return Status::OK();
 }
 
@@ -285,14 +334,18 @@ Result<std::pair<std::string, std::string>> KvStore::ReadRecordAt(
 }
 
 Result<std::string> KvStore::Get(std::string_view key) const {
+  const StoreMetrics& metrics = StoreMetrics::Get();
   auto it = index_.find(std::string(key));
   if (it == index_.end()) {
+    metrics.read_misses->Increment();
     return Status::NotFound("key '" + std::string(key) + "'");
   }
   SCHEMR_ASSIGN_OR_RETURN(auto kv, ReadRecordAt(it->second));
   if (kv.first != key) {
     return Status::Corruption("index points at record for different key");
   }
+  metrics.reads->Increment();
+  metrics.read_bytes->Increment(kv.first.size() + kv.second.size());
   return std::move(kv.second);
 }
 
@@ -319,6 +372,7 @@ Status KvStore::ForEach(
 }
 
 Status KvStore::Compact() {
+  StoreMetrics::Get().compactions->Increment();
   SCHEMR_RETURN_IF_ERROR(Flush());
   uint64_t new_id = segment_ids_.back() + 1;
   std::vector<uint64_t> old_ids = segment_ids_;
@@ -371,6 +425,11 @@ KvStoreStats KvStore::GetStats() const {
     auto size = fs::file_size(SegmentFileName(id), ec);
     if (!ec) stats.total_bytes += size;
   }
+  const StoreMetrics& metrics = StoreMetrics::Get();
+  metrics.live_keys->Set(static_cast<double>(stats.live_keys));
+  metrics.segment_count->Set(static_cast<double>(stats.segment_count));
+  metrics.total_bytes->Set(static_cast<double>(stats.total_bytes));
+  metrics.dead_records->Set(static_cast<double>(stats.dead_records));
   return stats;
 }
 

@@ -2,11 +2,31 @@
 
 #include <atomic>
 #include <cstdio>
+#include <memory>
+#include <mutex>
 
 namespace schemr {
 
 namespace {
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
+
+// The sink is read on every emitted line but replaced rarely; a shared_ptr
+// swapped under a mutex keeps an in-flight emit safe against a concurrent
+// SetLogSink.
+std::mutex& SinkMutex() {
+  static std::mutex* mutex = new std::mutex();
+  return *mutex;
+}
+
+std::shared_ptr<LogSink>& SinkSlot() {
+  static std::shared_ptr<LogSink>* sink = new std::shared_ptr<LogSink>();
+  return *sink;
+}
+
+std::shared_ptr<LogSink> CurrentSink() {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  return SinkSlot();
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -31,6 +51,11 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
 }
 
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  SinkSlot() = sink ? std::make_shared<LogSink>(std::move(sink)) : nullptr;
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -48,7 +73,12 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (enabled_) {
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    std::string line = stream_.str();
+    if (std::shared_ptr<LogSink> sink = CurrentSink()) {
+      (*sink)(level_, line);
+    } else {
+      std::fprintf(stderr, "%s\n", line.c_str());
+    }
   }
 }
 

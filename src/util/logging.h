@@ -1,13 +1,18 @@
 // Minimal leveled logging for library diagnostics.
 //
 // Logging is off by default (level kWarning) so library users are not
-// spammed; the offline indexer and examples raise it to kInfo.
+// spammed; the offline indexer and examples raise it to kInfo. Output
+// goes to stderr unless a sink is installed with SetLogSink (the service
+// layer captures library warnings into its metrics stream this way; see
+// obs/log_bridge.h).
 
 #ifndef SCHEMR_UTIL_LOGGING_H_
 #define SCHEMR_UTIL_LOGGING_H_
 
+#include <functional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace schemr {
 
@@ -16,6 +21,14 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 /// Sets / reads the process-wide minimum level that is actually emitted.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Receives every emitted log line (already formatted, without trailing
+/// newline). Must be thread-safe; called from whatever thread logs.
+using LogSink = std::function<void(LogLevel, std::string_view)>;
+
+/// Replaces the output sink. Passing nullptr restores the default
+/// stderr sink.
+void SetLogSink(LogSink sink);
 
 namespace internal {
 

@@ -26,6 +26,33 @@ class Timer {
   Clock::time_point start_;
 };
 
+/// RAII stopwatch that reports its elapsed seconds into a sink on
+/// destruction. Sink is anything with `void Observe(double seconds)` —
+/// in practice an obs::Histogram — so this header stays free of an obs
+/// dependency. A null sink makes the timer a no-op.
+template <typename Sink>
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Sink* sink) : sink_(sink) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() { Stop(); }
+
+  /// Reports early (idempotent); destruction then reports nothing.
+  void Stop() {
+    if (sink_ != nullptr) {
+      sink_->Observe(timer_.ElapsedSeconds());
+      sink_ = nullptr;
+    }
+  }
+
+ private:
+  Sink* sink_;
+  Timer timer_;
+};
+
 }  // namespace schemr
 
 #endif  // SCHEMR_UTIL_TIMER_H_

@@ -1,0 +1,235 @@
+// Tests for the observability subsystem: registry semantics, percentile
+// math, exposition golden strings, span nesting, the log-sink bridge, and
+// the lock-free increment path under threads.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/exposition.h"
+#include "obs/log_bridge.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace schemr {
+namespace {
+
+TEST(MetricsTest, CounterSemantics) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("c_total", "a counter");
+  EXPECT_EQ(c->Value(), 0u);
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->Value(), 42u);
+  // Same name returns the same object.
+  EXPECT_EQ(registry.GetCounter("c_total"), c);
+  registry.Reset();
+  EXPECT_EQ(c->Value(), 0u);
+}
+
+TEST(MetricsTest, GaugeSemantics) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("g");
+  g->Set(7.5);
+  EXPECT_DOUBLE_EQ(g->Value(), 7.5);
+  g->Add(-2.5);
+  EXPECT_DOUBLE_EQ(g->Value(), 5.0);
+  registry.Reset();
+  EXPECT_DOUBLE_EQ(g->Value(), 0.0);
+}
+
+TEST(MetricsTest, HistogramBucketsAndSum) {
+  Histogram h({0.1, 1.0, 10.0});
+  h.Observe(0.05);   // bucket 0
+  h.Observe(0.1);    // le=0.1 is inclusive → bucket 0
+  h.Observe(0.5);    // bucket 1
+  h.Observe(100.0);  // +Inf bucket
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_DOUBLE_EQ(snap.sum, 100.65);
+  ASSERT_EQ(snap.buckets.size(), 4u);
+  EXPECT_EQ(snap.buckets[0], 2u);
+  EXPECT_EQ(snap.buckets[1], 1u);
+  EXPECT_EQ(snap.buckets[2], 0u);
+  EXPECT_EQ(snap.buckets[3], 1u);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.0);
+}
+
+TEST(MetricsTest, PercentileMath) {
+  Histogram h({1.0, 2.0, 4.0});
+  // 100 observations uniformly in (0, 1]: all land in the first bucket.
+  for (int i = 1; i <= 100; ++i) h.Observe(i / 100.0);
+  HistogramSnapshot snap = h.Snapshot();
+  // Interpolation within [0, 1]: p50 ≈ 0.5, p99 ≈ 0.99.
+  EXPECT_NEAR(snap.Quantile(0.50), 0.5, 0.02);
+  EXPECT_NEAR(snap.Quantile(0.99), 0.99, 0.02);
+
+  Histogram spread({1.0, 2.0, 4.0});
+  for (int i = 0; i < 50; ++i) spread.Observe(0.5);  // first bucket
+  for (int i = 0; i < 50; ++i) spread.Observe(3.0);  // third bucket
+  HistogramSnapshot s2 = spread.Snapshot();
+  EXPECT_LE(s2.Quantile(0.25), 1.0);
+  EXPECT_GT(s2.Quantile(0.75), 2.0);
+  EXPECT_LE(s2.Quantile(0.75), 4.0);
+
+  // Empty histogram and clamping.
+  EXPECT_DOUBLE_EQ(HistogramSnapshot{}.Quantile(0.5), 0.0);
+  EXPECT_GE(snap.Quantile(2.0), snap.Quantile(1.0));
+}
+
+TEST(MetricsTest, CollectIsSortedByName) {
+  MetricsRegistry registry;
+  registry.GetCounter("zz_total");
+  registry.GetGauge("aa");
+  registry.GetHistogram("mm_seconds");
+  auto snaps = registry.Collect();
+  ASSERT_EQ(snaps.size(), 3u);
+  EXPECT_EQ(snaps[0].name, "aa");
+  EXPECT_EQ(snaps[1].name, "mm_seconds");
+  EXPECT_EQ(snaps[2].name, "zz_total");
+}
+
+TEST(ExpositionTest, PrometheusTextGolden) {
+  MetricsRegistry registry;
+  registry.GetCounter("requests_total", "Total requests.")->Increment(3);
+  registry.GetGauge("pool_size")->Set(12);
+  Histogram* h = registry.GetHistogram("latency_seconds", "Latency.",
+                                       std::vector<double>{0.1, 1.0});
+  h->Observe(0.05);
+  h->Observe(0.5);
+  h->Observe(5.0);
+
+  const char* expected =
+      "# HELP latency_seconds Latency.\n"
+      "# TYPE latency_seconds histogram\n"
+      "latency_seconds_bucket{le=\"0.1\"} 1\n"
+      "latency_seconds_bucket{le=\"1\"} 2\n"
+      "latency_seconds_bucket{le=\"+Inf\"} 3\n"
+      "latency_seconds_sum 5.55\n"
+      "latency_seconds_count 3\n"
+      "# TYPE pool_size gauge\n"
+      "pool_size 12\n"
+      "# HELP requests_total Total requests.\n"
+      "# TYPE requests_total counter\n"
+      "requests_total 3\n";
+  EXPECT_EQ(ToPrometheusText(registry), expected);
+}
+
+TEST(ExpositionTest, JsonGolden) {
+  MetricsRegistry registry;
+  registry.GetCounter("requests_total")->Increment(2);
+  registry.GetGauge("pool_size")->Set(1.5);
+  registry.GetHistogram("lat_seconds", "", std::vector<double>{1.0})
+      ->Observe(0.5);
+
+  const char* expected =
+      "{\n"
+      "  \"lat_seconds\": {\"count\": 1, \"sum\": 0.5, \"p50\": 0.5, "
+      "\"p95\": 0.95, \"p99\": 0.99, \"buckets\": "
+      "[{\"le\": 1, \"count\": 1}, {\"le\": \"+Inf\", \"count\": 0}]},\n"
+      "  \"pool_size\": 1.5,\n"
+      "  \"requests_total\": 2\n"
+      "}\n";
+  EXPECT_EQ(ToJson(registry), expected);
+}
+
+TEST(TraceTest, SpanNesting) {
+  SearchTrace trace;
+  {
+    TraceSpan root(&trace, "search");
+    {
+      TraceSpan child(&trace, "phase1");
+      child.Annotate("pool_size", static_cast<uint64_t>(50));
+    }
+    trace.AddSpan("phase2", 0.25);
+    size_t grand = trace.AddSpan("matcher:name", 0.1, 1);
+    (void)grand;
+  }
+  const auto& spans = trace.spans();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[0].name, "search");
+  EXPECT_EQ(spans[0].parent, SearchTrace::kNoParent);
+  EXPECT_EQ(spans[1].name, "phase1");
+  EXPECT_EQ(spans[1].parent, 0u);
+  ASSERT_EQ(spans[1].annotations.size(), 1u);
+  EXPECT_EQ(spans[1].annotations[0].key, "pool_size");
+  EXPECT_EQ(spans[1].annotations[0].value, "50");
+  EXPECT_EQ(spans[2].parent, 0u);  // added while root still open
+  EXPECT_DOUBLE_EQ(spans[2].seconds, 0.25);
+  EXPECT_EQ(spans[3].parent, 1u);  // explicit parent
+  // The RAII spans measured real elapsed time.
+  EXPECT_GE(spans[0].seconds, spans[1].seconds);
+
+  EXPECT_EQ(trace.ChildrenOf(SearchTrace::kNoParent),
+            (std::vector<size_t>{0}));
+  EXPECT_EQ(trace.ChildrenOf(0), (std::vector<size_t>{1, 2}));
+
+  std::string rendered = trace.ToString();
+  EXPECT_NE(rendered.find("search"), std::string::npos);
+  EXPECT_NE(rendered.find("  phase1"), std::string::npos);
+  EXPECT_NE(rendered.find("pool_size=50"), std::string::npos);
+}
+
+TEST(TraceTest, NullTraceIsNoop) {
+  TraceSpan span(nullptr, "ignored");
+  span.Annotate("key", static_cast<uint64_t>(1));
+  span.End();  // must not crash
+}
+
+TEST(MetricsTest, ConcurrentCounterIncrements) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("hits_total");
+  Histogram* hist = registry.GetHistogram("obs_seconds");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Increment();
+        hist->Observe(1e-4);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter->Value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  HistogramSnapshot snap = hist->Snapshot();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_NEAR(snap.sum, kThreads * kPerThread * 1e-4, 1e-6 * kThreads *
+                                                          kPerThread);
+}
+
+TEST(ScopedTimerTest, ReportsIntoHistogramOnDestruction) {
+  Histogram h(Histogram::DefaultLatencyBounds());
+  {
+    ScopedTimer<Histogram> timer(&h);
+  }
+  EXPECT_EQ(h.Count(), 1u);
+  {
+    ScopedTimer<Histogram> timer(&h);
+    timer.Stop();
+    timer.Stop();  // idempotent
+  }
+  EXPECT_EQ(h.Count(), 2u);
+  { ScopedTimer<Histogram> null_timer(nullptr); }
+  EXPECT_EQ(h.Count(), 2u);
+}
+
+TEST(LogBridgeTest, CountsWarningsIntoGlobalRegistry) {
+  InstallMetricsLogSink();
+  Counter* warnings = MetricsRegistry::Global().GetCounter(
+      "schemr_log_warnings_total");
+  uint64_t before = warnings->Value();
+  SCHEMR_LOG(kWarning) << "bridge test warning";
+  EXPECT_EQ(warnings->Value(), before + 1);
+  SetLogSink(nullptr);  // restore stderr default for other tests
+}
+
+}  // namespace
+}  // namespace schemr

@@ -89,6 +89,95 @@ TEST(SchemrServiceTest, SearchXmlIsWellFormedAndComplete) {
   EXPECT_FALSE(first->ChildrenNamed("element").empty());
 }
 
+TEST(SchemrServiceTest, ExplainEmbedsOneSpanPerEnabledPhase) {
+  ServiceFixture f = MakeFixture();
+  SearchRequest request;
+  request.keywords = "patient height";
+  request.explain = true;
+  auto xml = f.service->SearchXml(request);
+  ASSERT_TRUE(xml.ok()) << xml.status();
+  auto doc = ParseXml(*xml);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+
+  const XmlNode* explain = doc->root->FirstChild("explain");
+  ASSERT_NE(explain, nullptr);
+  auto roots = explain->ChildrenNamed("span");
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(*roots[0]->FindAttribute("name"), "search");
+
+  // Collect the phase spans nested under the root search span.
+  auto count_phase = [&](const XmlNode* node, const std::string& name) {
+    size_t n = 0;
+    for (const XmlNode* span : node->ChildrenNamed("span")) {
+      if (span->FindAttribute("name") != nullptr &&
+          *span->FindAttribute("name") == name) {
+        ++n;
+      }
+    }
+    return n;
+  };
+  EXPECT_EQ(count_phase(roots[0], "phase1_extract"), 1u);
+  EXPECT_EQ(count_phase(roots[0], "phase2_match"), 1u);
+  EXPECT_EQ(count_phase(roots[0], "phase3_tightness"), 1u);
+
+  // The match span carries per-matcher child spans.
+  for (const XmlNode* span : roots[0]->ChildrenNamed("span")) {
+    if (*span->FindAttribute("name") == "phase2_match") {
+      EXPECT_FALSE(span->ChildrenNamed("span").empty());
+    }
+  }
+
+  // Ablated phases leave no span behind.
+  SearchEngineOptions ablated;
+  ablated.enable_tightness = false;
+  auto xml2 = f.service->SearchXml(request, ablated);
+  ASSERT_TRUE(xml2.ok());
+  auto doc2 = ParseXml(*xml2);
+  ASSERT_TRUE(doc2.ok());
+  const XmlNode* explain2 = doc2->root->FirstChild("explain");
+  ASSERT_NE(explain2, nullptr);
+  const XmlNode* root2 = explain2->ChildrenNamed("span")[0];
+  EXPECT_EQ(count_phase(root2, "phase2_match"), 1u);
+  EXPECT_EQ(count_phase(root2, "phase3_tightness"), 0u);
+
+  ablated.enable_matching = false;
+  auto xml3 = f.service->SearchXml(request, ablated);
+  ASSERT_TRUE(xml3.ok());
+  auto doc3 = ParseXml(*xml3);
+  ASSERT_TRUE(doc3.ok());
+  const XmlNode* root3 =
+      doc3->root->FirstChild("explain")->ChildrenNamed("span")[0];
+  EXPECT_EQ(count_phase(root3, "phase1_extract"), 1u);
+  EXPECT_EQ(count_phase(root3, "phase2_match"), 0u);
+  EXPECT_EQ(count_phase(root3, "phase3_tightness"), 0u);
+}
+
+TEST(SchemrServiceTest, DefaultRequestsOmitExplain) {
+  ServiceFixture f = MakeFixture();
+  SearchRequest request;
+  request.keywords = "patient height";
+  auto xml = f.service->SearchXml(request);
+  ASSERT_TRUE(xml.ok());
+  EXPECT_EQ(xml->find("<explain"), std::string::npos);
+  EXPECT_EQ(xml->find("<span"), std::string::npos);
+}
+
+TEST(SchemrServiceTest, MetricsTextExposesServiceSeries) {
+  ServiceFixture f = MakeFixture();
+  SearchRequest request;
+  request.keywords = "patient height";
+  ASSERT_TRUE(f.service->Search(request).ok());
+  std::string text = f.service->MetricsText();
+  EXPECT_NE(text.find("# TYPE schemr_service_search_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE schemr_search_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("schemr_search_seconds_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  std::string json = f.service->MetricsJson();
+  EXPECT_NE(json.find("\"schemr_search_requests_total\""), std::string::npos);
+}
+
 TEST(SchemrServiceTest, GraphMlVisualizationRoundTrip) {
   ServiceFixture f = MakeFixture();
   VisualizationRequest viz;

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <utility>
+#include <vector>
 
 #include "util/crc32.h"
+#include "util/logging.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/string_util.h"
@@ -370,6 +373,23 @@ TEST(XmlWriterTest, NumericAttributes) {
   std::string doc = xml.Finish();
   EXPECT_NE(doc.find("d=\"1.5\""), std::string::npos);
   EXPECT_NE(doc.find("i=\"42\""), std::string::npos);
+}
+
+TEST(LoggingTest, PluggableSinkCapturesLinesAndRestores) {
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  SetLogSink([&captured](LogLevel level, std::string_view message) {
+    captured.emplace_back(level, std::string(message));
+  });
+  SCHEMR_LOG(kError) << "sink " << 42;
+  SCHEMR_LOG(kDebug) << "below min level, not emitted";
+  SetLogSink(nullptr);
+  SCHEMR_LOG(kError) << "back to stderr, not captured";
+
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].first, LogLevel::kError);
+  EXPECT_NE(captured[0].second.find("sink 42"), std::string::npos);
+  // The formatted prefix (level + source location) is preserved.
+  EXPECT_NE(captured[0].second.find("[ERROR"), std::string::npos);
 }
 
 }  // namespace

@@ -11,12 +11,17 @@
 //   schemr show <repo> <id>
 //   schemr index <repo>
 //   schemr search <repo> <keywords...> [--fragment <file>] [--top N]
-//                 [--offset N] [--boost]
+//                 [--offset N] [--boost] [--explain]
+//   schemr stats <repo> [keywords...] [--json]
 //   schemr viz <repo> <id> [--layout tree|radial] [--format graphml|svg|dot]
 //   schemr export <repo> <id> [--format ddl|xsd]
 //   schemr comment <repo> <id> <author> <text...>
 //   schemr rate <repo> <id> <author> <stars>
 //   schemr comments <repo> <id>
+//
+// `--explain` prints the per-phase span breakdown after the results table;
+// `stats` runs a sample search workload and dumps the metrics registry
+// (Prometheus text format, or JSON with --json).
 
 #include <cstdio>
 #include <cstring>
@@ -27,6 +32,7 @@
 
 #include "core/query_parser.h"
 #include "index/indexer.h"
+#include "obs/log_bridge.h"
 #include "parse/ddl_parser.h"
 #include "parse/ddl_writer.h"
 #include "parse/xsd_importer.h"
@@ -52,7 +58,9 @@ int Usage() {
       "  show <repo> <id>                           print one schema\n"
       "  index <repo>                               (re)build the segment\n"
       "  search <repo> <keywords...> [--fragment f] [--top N] [--offset N]"
-      " [--boost]\n"
+      " [--boost] [--explain]\n"
+      "  stats <repo> [keywords...] [--json]           run a sample search,"
+      " dump metrics\n"
       "  viz <repo> <id> [--layout tree|radial] [--format graphml|svg|dot]\n"
       "  export <repo> <id> [--format ddl|xsd]\n"
       "  comment <repo> <id> <author> <text...>     leave a comment\n"
@@ -148,6 +156,7 @@ int CmdSearch(SchemaRepository* repo, const std::string& repo_dir, int argc,
               char** argv) {
   std::string keywords;
   std::string fragment;
+  bool explain = false;
   SearchEngineOptions options;
   for (int i = 0; i < argc; ++i) {
     std::string arg = argv[i];
@@ -161,6 +170,8 @@ int CmdSearch(SchemaRepository* repo, const std::string& repo_dir, int argc,
       options.offset = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--boost") {
       options.annotation_boost = 0.3;
+    } else if (arg == "--explain") {
+      explain = true;
     } else {
       if (!keywords.empty()) keywords += ' ';
       keywords += arg;
@@ -171,6 +182,8 @@ int CmdSearch(SchemaRepository* repo, const std::string& repo_dir, int argc,
   SearchEngine engine(repo, &indexer->index());
   auto query = ParseQuery(keywords, fragment);
   if (!query.ok()) return Fail(query.status(), "parsing query");
+  SearchTrace trace;
+  if (explain) options.trace = &trace;
   auto results = engine.Search(*query, options);
   if (!results.ok()) return Fail(results.status(), "searching");
 
@@ -185,6 +198,55 @@ int CmdSearch(SchemaRepository* repo, const std::string& repo_dir, int argc,
                 r.num_entities, r.num_attributes);
   }
   if (results->empty()) std::printf("(no results)\n");
+  if (explain) {
+    std::printf("\nexplain:\n%s", trace.ToString().c_str());
+  }
+  return 0;
+}
+
+/// Runs a sample search workload (given keywords, or the names of the
+/// first few schemas when none are given), then dumps the process metrics
+/// registry so phase latencies and index/store counters are non-zero.
+int CmdStats(SchemaRepository* repo, const std::string& repo_dir, int argc,
+             char** argv) {
+  std::string keywords;
+  bool json = false;
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else {
+      if (!keywords.empty()) keywords += ' ';
+      keywords += arg;
+    }
+  }
+  auto indexer = LoadOrBuildIndex(*repo, repo_dir);
+  if (!indexer.ok()) return Fail(indexer.status(), "loading index");
+  SchemrService service(repo, &indexer->index());
+
+  if (keywords.empty()) {
+    auto summaries = repo->ListAll();
+    if (!summaries.ok()) return Fail(summaries.status(), "listing");
+    size_t taken = 0;
+    for (const SchemaSummary& s : *summaries) {
+      if (taken++ == 3) break;
+      if (!keywords.empty()) keywords += ' ';
+      keywords += s.name;
+    }
+  }
+  if (!keywords.empty()) {
+    SearchRequest request;
+    request.keywords = keywords;
+    auto results = service.Search(request);
+    if (!results.ok()) return Fail(results.status(), "searching");
+    std::fprintf(stderr, "# sample search \"%s\": %zu results\n",
+                 keywords.c_str(), results->size());
+  }
+  (void)repo->GetStoreStats();  // refresh schemr_store_* gauges
+
+  std::fputs(json ? service.MetricsJson().c_str()
+                  : service.MetricsText().c_str(),
+             stdout);
   return 0;
 }
 
@@ -289,6 +351,8 @@ int CmdComments(SchemaRepository* repo, int argc, char** argv) {
 
 int Run(int argc, char** argv) {
   if (argc < 3) return Usage();
+  // Library warnings surface in the `stats` output too.
+  InstallMetricsLogSink();
   std::string command = argv[1];
   std::string repo_dir = argv[2];
   auto repo = SchemaRepository::Open(repo_dir);
@@ -302,6 +366,7 @@ int Run(int argc, char** argv) {
   if (command == "show") return CmdShow(r, rest_argc, rest);
   if (command == "index") return CmdIndex(r, repo_dir);
   if (command == "search") return CmdSearch(r, repo_dir, rest_argc, rest);
+  if (command == "stats") return CmdStats(r, repo_dir, rest_argc, rest);
   if (command == "viz") return CmdViz(r, repo_dir, rest_argc, rest);
   if (command == "export") return CmdExport(r, rest_argc, rest);
   if (command == "comment") return CmdComment(r, rest_argc, rest);
