@@ -13,6 +13,7 @@
 #include "repo/schema_repository.h"
 #include "schema/schema_codec.h"
 #include "store/kv_store.h"
+#include "util/fault_injection.h"
 #include "util/rng.h"
 
 namespace schemr {
@@ -126,6 +127,28 @@ void BM_StoreRecovery(benchmark::State& state) {
 }
 BENCHMARK(BM_StoreRecovery)->Arg(1000)->Arg(10000)->Unit(
     benchmark::kMillisecond);
+
+// The fault-injection shims sit on every write/fsync in the store; these
+// two benchmarks bound what that costs when no faults are armed. Disarmed
+// is the production configuration (one relaxed atomic load); armed-elsewhere
+// is the worst idle case (site table consulted, nothing fires).
+void BM_FaultShimDisarmed(benchmark::State& state) {
+  FaultInjector::Global().DisarmAll();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FaultInjector::Global().Check("bench/idle"));
+  }
+}
+BENCHMARK(BM_FaultShimDisarmed);
+
+void BM_FaultShimArmedElsewhere(benchmark::State& state) {
+  FaultInjector::Global().DisarmAll();
+  FaultInjector::Global().Arm("bench/other", FaultSpec{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FaultInjector::Global().Check("bench/idle"));
+  }
+  FaultInjector::Global().DisarmAll();
+}
+BENCHMARK(BM_FaultShimArmedElsewhere);
 
 // Repository-level: schema encode+put and get+decode round trips.
 void BM_RepositoryInsert(benchmark::State& state) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/query_parser.h"
+#include "obs/fault_bridge.h"
 #include "obs/metrics.h"
 #include "util/timer.h"
 
@@ -14,6 +15,8 @@ namespace {
 struct EngineMetrics {
   Counter* searches;
   Counter* search_errors;
+  Counter* searches_degraded;
+  Counter* matcher_failures;
   Counter* candidates_extracted;
   Counter* candidates_pruned;
   Histogram* total_seconds;
@@ -24,6 +27,7 @@ struct EngineMetrics {
 
   static const EngineMetrics& Get() {
     static const EngineMetrics* metrics = [] {
+      InstallFaultMetricsBridge();
       MetricsRegistry& r = MetricsRegistry::Global();
       static const std::vector<double> pool_bounds{1,  2,   5,   10,  25,
                                                    50, 100, 250, 500, 1000};
@@ -32,6 +36,12 @@ struct EngineMetrics {
                        "Search pipeline invocations."),
           r.GetCounter("schemr_search_errors_total",
                        "Searches that returned a non-OK status."),
+          r.GetCounter("schemr_searches_degraded_total",
+                       "Searches that returned degraded (best-effort) "
+                       "results after a matcher failure or deadline."),
+          r.GetCounter("schemr_matcher_failures_total",
+                       "Matchers benched mid-search (threw, faulted, or "
+                       "exceeded their time budget)."),
           r.GetCounter("schemr_search_candidates_extracted_total",
                        "Phase-1 candidates handed to the match phase."),
           r.GetCounter("schemr_search_candidates_pruned_total",
@@ -101,12 +111,26 @@ Result<std::vector<SearchResult>> SearchEngine::Search(
   // pool-wide aggregates after the loop.
   double phase2_elapsed = 0.0;
   double phase3_elapsed = 0.0;
+  const size_t num_matchers = ensemble_.NumMatchers();
+  // Per-matcher wall time feeds both the trace and the budget check.
+  const bool track_matcher_time =
+      trace != nullptr || options.matcher_budget_seconds > 0.0;
   std::vector<double> matcher_seconds;
-  if (trace != nullptr) matcher_seconds.assign(ensemble_.NumMatchers(), 0.0);
+  if (track_matcher_time) matcher_seconds.assign(num_matchers, 0.0);
   size_t candidates_matched = 0;
   size_t candidates_scored = 0;
   size_t matched_elements_total = 0;
   double tightness_penalty_total = 0.0;
+
+  // Graceful-degradation state: benched[m] marks a matcher dropped for
+  // the rest of this search (it threw, its fault site fired, or it blew
+  // its time budget). A degraded search still ranks and returns.
+  std::vector<char> benched(num_matchers, 0);
+  size_t benched_count = 0;
+  bool deadline_hit = false;
+  std::vector<std::string> dropped_matchers;
+  size_t coarse_only_candidates = 0;
+  const std::vector<std::string> matcher_names = ensemble_.MatcherNames();
 
   for (const Candidate& candidate : candidates) {
     SCHEMR_ASSIGN_OR_RETURN(Schema schema, repository_->Get(candidate.schema_id));
@@ -128,13 +152,42 @@ Result<std::vector<SearchResult>> SearchEngine::Search(
       continue;
     }
 
-    // Phase 2: schema matching.
+    if (!deadline_hit && options.deadline_seconds > 0.0 &&
+        total_timer.ElapsedSeconds() > options.deadline_seconds) {
+      deadline_hit = true;
+    }
+    if (deadline_hit || benched_count == num_matchers) {
+      // Out of time (or out of matchers): fall back to the phase-1
+      // ranking for this candidate rather than failing the search.
+      result.score = coarse_norm;
+      ++coarse_only_candidates;
+      results.push_back(std::move(result));
+      continue;
+    }
+
+    // Phase 2: schema matching (matchers isolated by the ensemble).
     Timer candidate_timer;
-    SimilarityMatrix combined = ensemble_.MatchCombined(
+    EnsembleResult ensemble_result = ensemble_.Match(
         query_schema, schema,
-        trace != nullptr ? &matcher_seconds : nullptr);
+        track_matcher_time ? &matcher_seconds : nullptr, &benched);
+    SimilarityMatrix combined = std::move(ensemble_result.combined);
     phase2_elapsed += candidate_timer.ElapsedSeconds();
     ++candidates_matched;
+
+    for (size_t m = 0; m < num_matchers; ++m) {
+      if (benched[m] == 0 && ensemble_result.failed[m] != 0) {
+        benched[m] = 1;
+        ++benched_count;
+        dropped_matchers.push_back(matcher_names[m]);
+        metrics.matcher_failures->Increment();
+      } else if (benched[m] == 0 && options.matcher_budget_seconds > 0.0 &&
+                 matcher_seconds[m] > options.matcher_budget_seconds) {
+        benched[m] = 1;
+        ++benched_count;
+        dropped_matchers.push_back(matcher_names[m] + " (budget)");
+        metrics.matcher_failures->Increment();
+      }
+    }
 
     if (!options.enable_tightness) {
       // Ablation: rank by the unpenalized mean of matched element scores.
@@ -248,6 +301,37 @@ Result<std::vector<SearchResult>> SearchEngine::Search(
   rank_span.Annotate("pruned",
                      static_cast<uint64_t>(ranked_pool - results.size()));
   rank_span.End();
+
+  const bool degraded =
+      deadline_hit || !dropped_matchers.empty() || coarse_only_candidates > 0;
+  if (degraded) {
+    metrics.searches_degraded->Increment();
+    for (SearchResult& result : results) result.degraded = true;
+    if (trace != nullptr) {
+      trace->Annotate(root_span.id(), "degraded", uint64_t{1});
+      if (deadline_hit) {
+        trace->Annotate(root_span.id(), "deadline_hit", uint64_t{1});
+      }
+      if (!dropped_matchers.empty()) {
+        std::string joined;
+        for (const std::string& name : dropped_matchers) {
+          if (!joined.empty()) joined += ",";
+          joined += name;
+        }
+        trace->Annotate(root_span.id(), "dropped_matchers", joined);
+      }
+      if (coarse_only_candidates > 0) {
+        trace->Annotate(root_span.id(), "coarse_only_candidates",
+                        static_cast<uint64_t>(coarse_only_candidates));
+      }
+    }
+  }
+  if (options.stats != nullptr) {
+    options.stats->degraded = degraded;
+    options.stats->deadline_hit = deadline_hit;
+    options.stats->dropped_matchers = dropped_matchers;
+    options.stats->coarse_only_candidates = coarse_only_candidates;
+  }
 
   metrics.total_seconds->Observe(total_timer.ElapsedSeconds());
   return results;

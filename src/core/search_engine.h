@@ -43,6 +43,26 @@ struct SearchResult {
   ElementId best_anchor = kNoElement;
   /// (element, S(e)) for every matched element, for drill-in coloring.
   std::vector<MatchedElement> matched_elements;
+  /// True when the search that produced this row degraded (a matcher was
+  /// dropped or the deadline forced coarse-only ranking); the scores are
+  /// best-effort rather than the full pipeline's.
+  bool degraded = false;
+};
+
+/// What (if anything) a search had to give up; see
+/// SearchEngineOptions::stats. A degraded search still returns ranked
+/// results -- degradation is never an error.
+struct SearchStats {
+  bool degraded = false;
+  /// The wall-clock deadline fired; candidates not yet matched were
+  /// ranked by their phase-1 coarse score only.
+  bool deadline_hit = false;
+  /// Matchers benched for the remainder of the search (threw, hit their
+  /// fault site, or exhausted their cumulative time budget).
+  std::vector<std::string> dropped_matchers;
+  /// Candidates ranked coarse-only (deadline already hit, or every
+  /// matcher benched).
+  size_t coarse_only_candidates = 0;
 };
 
 struct SearchEngineOptions {
@@ -73,6 +93,17 @@ struct SearchEngineOptions {
   /// phase2_match (per-matcher children) / phase3_tightness / rank
   /// children. Null (the default) skips all trace work.
   SearchTrace* trace = nullptr;
+  /// Wall-clock budget for the whole search, in seconds (0 = none). When
+  /// it expires mid-pool, the remaining candidates are ranked by their
+  /// phase-1 coarse score alone and the results are flagged degraded --
+  /// the deadline never turns into an error.
+  double deadline_seconds = 0.0;
+  /// Cumulative per-matcher time budget, in seconds (0 = none). A matcher
+  /// whose total wall time across the pool exceeds this is benched for
+  /// the remaining candidates (weights renormalize).
+  double matcher_budget_seconds = 0.0;
+  /// When set, Search writes what (if anything) it had to give up here.
+  SearchStats* stats = nullptr;
 };
 
 /// Facade tying the repository, the index and the match engine together.

@@ -1,10 +1,14 @@
 #include "match/ensemble.h"
 
+#include <cstring>
+#include <stdexcept>
+
 #include "match/codebook.h"
 #include "match/context_matcher.h"
 #include "match/name_matcher.h"
 #include "match/structure_matcher.h"
 #include "match/type_matcher.h"
+#include "util/fault_injection.h"
 #include "util/timer.h"
 
 namespace schemr {
@@ -58,18 +62,39 @@ std::vector<std::string> MatcherEnsemble::MatcherNames() const {
 
 EnsembleResult MatcherEnsemble::Match(
     const Schema& query, const Schema& candidate,
-    std::vector<double>* matcher_seconds) const {
+    std::vector<double>* matcher_seconds,
+    const std::vector<char>* skip) const {
   EnsembleResult result;
   result.matcher_names.reserve(matchers_.size());
   result.per_matcher.reserve(matchers_.size());
+  result.failed.assign(matchers_.size(), 0);
   for (size_t m = 0; m < matchers_.size(); ++m) {
     result.matcher_names.push_back(matchers_[m]->Name());
+    if (skip != nullptr && (*skip)[m] != 0) {
+      // Benched by the caller (earlier failure or budget overrun); a zero
+      // matrix with zero weight leaves it out of the combination.
+      result.per_matcher.emplace_back(query.size(), candidate.size());
+      result.failed[m] = 1;
+      continue;
+    }
+    Timer timer;
+    try {
+      std::string site = "match/" + result.matcher_names.back();
+      int err = FaultInjector::Global().Check(site.c_str());
+      if (err != 0) {
+        throw std::runtime_error("injected matcher fault: " +
+                                 std::string(std::strerror(err)));
+      }
+      result.per_matcher.push_back(matchers_[m]->Match(query, candidate));
+    } catch (const InjectedCrash&) {
+      throw;  // a simulated kill must never be absorbed as a matcher fault
+    } catch (...) {
+      result.per_matcher.emplace_back(query.size(), candidate.size());
+      result.failed[m] = 1;
+      result.any_failure = true;
+    }
     if (matcher_seconds != nullptr) {
-      Timer timer;
-      result.per_matcher.push_back(matchers_[m]->Match(query, candidate));
       (*matcher_seconds)[m] += timer.ElapsedSeconds();
-    } else {
-      result.per_matcher.push_back(matchers_[m]->Match(query, candidate));
     }
   }
 
@@ -90,7 +115,11 @@ EnsembleResult MatcherEnsemble::Match(
     std::vector<const SimilarityMatrix*> pointers;
     pointers.reserve(result.per_matcher.size());
     for (const auto& m : result.per_matcher) pointers.push_back(&m);
-    result.combined = SimilarityMatrix::WeightedCombine(pointers, weights_);
+    std::vector<double> weights = weights_;
+    for (size_t m = 0; m < weights.size(); ++m) {
+      if (result.failed[m] != 0) weights[m] = 0.0;
+    }
+    result.combined = SimilarityMatrix::WeightedCombine(pointers, weights);
   }
   return result;
 }

@@ -33,6 +33,11 @@ struct EnsembleResult {
   std::vector<std::string> matcher_names;
   std::vector<SimilarityMatrix> per_matcher;
   SimilarityMatrix combined;
+  /// failed[m] != 0 when matcher m threw (or its fault site fired) on this
+  /// candidate; its matrix is zeroed and its weight excluded from the
+  /// combination (the remaining weights renormalize automatically).
+  std::vector<char> failed;
+  bool any_failure = false;
 };
 
 class MatcherEnsemble {
@@ -72,8 +77,17 @@ class MatcherEnsemble {
   /// must have NumMatchers entries; each matcher's wall time is *added* to
   /// its slot, so the search engine can accumulate per-matcher totals
   /// across the whole candidate pool for tracing.
+  ///
+  /// Matchers are isolated: one that throws is recorded in
+  /// EnsembleResult::failed, contributes a zero matrix and zero weight
+  /// (the rest renormalize), and never fails the search. `skip`, when
+  /// non-null (NumMatchers entries), excludes already-dropped matchers —
+  /// the search engine passes the matchers it has benched for earlier
+  /// failures or budget overruns. Each matcher also consults the fault
+  /// site "match/<name>" so tests can force failures.
   EnsembleResult Match(const Schema& query, const Schema& candidate,
-                       std::vector<double>* matcher_seconds = nullptr) const;
+                       std::vector<double>* matcher_seconds = nullptr,
+                       const std::vector<char>* skip = nullptr) const;
 
   /// Runs all matchers and returns only the combined matrix.
   SimilarityMatrix MatchCombined(

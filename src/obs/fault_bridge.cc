@@ -1,0 +1,30 @@
+#include "obs/fault_bridge.h"
+
+#include <mutex>
+
+#include "obs/metrics.h"
+#include "util/fault_injection.h"
+
+namespace schemr {
+
+namespace {
+
+Counter* g_faults_injected = nullptr;
+
+void CountFault(const char* /*site*/) {
+  if (g_faults_injected != nullptr) g_faults_injected->Increment();
+}
+
+}  // namespace
+
+void InstallFaultMetricsBridge() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    g_faults_injected = MetricsRegistry::Global().GetCounter(
+        "schemr_faults_injected",
+        "Faults fired by the fault-injection framework.");
+    SetFaultHook(&CountFault);
+  });
+}
+
+}  // namespace schemr

@@ -1,0 +1,21 @@
+// Bridges fired faults into the metrics registry.
+//
+// util/fault_injection.h exposes a process-wide hook so fired faults can
+// be observed without a util→obs dependency (the same inversion as
+// obs/log_bridge.h over util/logging.h). InstallFaultMetricsBridge wires
+// that hook to the `schemr_faults_injected` counter. The store and the
+// search engine install it lazily alongside their own metric handles, so
+// any process that can reach a fault site is already counting.
+
+#ifndef SCHEMR_OBS_FAULT_BRIDGE_H_
+#define SCHEMR_OBS_FAULT_BRIDGE_H_
+
+namespace schemr {
+
+/// Installs (idempotently) a FaultHook that counts every fired fault into
+/// the schemr_faults_injected counter of the global registry.
+void InstallFaultMetricsBridge();
+
+}  // namespace schemr
+
+#endif  // SCHEMR_OBS_FAULT_BRIDGE_H_

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "schema/schema_codec.h"
+#include "util/logging.h"
 
 namespace schemr {
 
@@ -26,7 +27,15 @@ std::string SchemaRepository::KeyFor(SchemaId id) {
 
 Result<std::unique_ptr<SchemaRepository>> SchemaRepository::Open(
     std::string path, KvStoreOptions options) {
+  // The repository prefers degraded service over refusing to open: a
+  // damaged segment costs the schemas stored in it, not the whole corpus.
+  options.salvage_corrupt_segments = true;
   SCHEMR_ASSIGN_OR_RETURN(auto store, KvStore::Open(std::move(path), options));
+  if (store->repair_report().AnyDamage()) {
+    SCHEMR_LOG(kWarning) << "schema repository '" << store->path()
+                         << "' opened degraded; "
+                         << store->repair_report().ToString();
+  }
   std::unique_ptr<SchemaRepository> repo(new SchemaRepository());
   repo->store_ = std::move(store);
   // Restore the id counter.
@@ -177,6 +186,12 @@ std::optional<KvStoreStats> SchemaRepository::GetStoreStats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   if (store_ == nullptr) return std::nullopt;
   return store_->GetStats();
+}
+
+std::optional<KvRepairReport> SchemaRepository::GetRepairReport() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (store_ == nullptr) return std::nullopt;
+  return store_->repair_report();
 }
 
 // --- annotations -------------------------------------------------------------

@@ -40,6 +40,10 @@ struct SchemaSummary {
 class SchemaRepository {
  public:
   /// Opens a persistent repository rooted at `path`, replaying the store.
+  /// The repository opts into salvage mode
+  /// (KvStoreOptions::salvage_corrupt_segments): a repository with damaged
+  /// older segments opens with every still-readable schema rather than
+  /// refusing service, and GetRepairReport() describes what was lost.
   static Result<std::unique_ptr<SchemaRepository>> Open(
       std::string path, KvStoreOptions options = {});
 
@@ -77,6 +81,10 @@ class SchemaRepository {
   /// Storage-engine statistics (also refreshes the schemr_store_* gauges);
   /// nullopt in memory mode.
   std::optional<KvStoreStats> GetStoreStats() const;
+
+  /// What salvage-mode recovery had to quarantine when the store was
+  /// opened (all-zero report on a clean open); nullopt in memory mode.
+  std::optional<KvRepairReport> GetRepairReport() const;
 
   // --- Collaboration annotations (paper Applications/Summary) -------------
 

@@ -50,6 +50,10 @@ class EndpointScope {
     if (!result.ok()) failed_ = true;
     return result;
   }
+  const Status& Check(const Status& status) {
+    if (!status.ok()) failed_ = true;
+    return status;
+  }
 
  private:
   const EndpointMetrics& metrics_;
@@ -91,11 +95,35 @@ std::unordered_map<ElementId, double> ScoreMap(
 
 }  // namespace
 
+Status SchemrService::ValidateRequest(const SearchRequest& request) const {
+  if (request.top_k == 0) {
+    return Status::InvalidArgument("top_k must be at least 1");
+  }
+  if (request.candidate_pool < request.top_k) {
+    return Status::InvalidArgument(
+        "candidate_pool (" + std::to_string(request.candidate_pool) +
+        ") must be >= top_k (" + std::to_string(request.top_k) + ")");
+  }
+  if (request.keywords.size() > limits_.max_keywords_bytes) {
+    return Status::InvalidArgument(
+        "keywords too large (" + std::to_string(request.keywords.size()) +
+        " bytes, limit " + std::to_string(limits_.max_keywords_bytes) + ")");
+  }
+  if (request.fragment.size() > limits_.max_fragment_bytes) {
+    return Status::InvalidArgument(
+        "fragment too large (" + std::to_string(request.fragment.size()) +
+        " bytes, limit " + std::to_string(limits_.max_fragment_bytes) + ")");
+  }
+  return Status::OK();
+}
+
 Result<std::vector<SearchResult>> SchemrService::Search(
     const SearchRequest& request,
     const SearchEngineOptions& engine_options) const {
   static const EndpointMetrics metrics = MakeEndpoint("search");
   EndpointScope scope(metrics);
+  Status valid = ValidateRequest(request);
+  if (!scope.Check(valid).ok()) return valid;
   auto parsed = ParseQuery(request.keywords, request.fragment);
   if (!scope.Check(parsed).ok()) return parsed.status();
   auto results = engine_.Search(*parsed, WithRequest(request, engine_options));
@@ -108,13 +136,17 @@ Result<std::string> SchemrService::SearchXml(
     const SearchEngineOptions& engine_options) const {
   static const EndpointMetrics metrics = MakeEndpoint("search_xml");
   EndpointScope scope(metrics);
+  Status valid = ValidateRequest(request);
+  if (!scope.Check(valid).ok()) return valid;
   auto parsed = ParseQuery(request.keywords, request.fragment);
   if (!scope.Check(parsed).ok()) return parsed.status();
   const QueryGraph& query = *parsed;
 
   SearchTrace trace;
+  SearchStats stats;
   SearchEngineOptions options = WithRequest(request, engine_options);
   if (request.explain) options.trace = &trace;
+  options.stats = &stats;
   auto searched = engine_.Search(query, options);
   if (!scope.Check(searched).ok()) return searched.status();
   const std::vector<SearchResult>& results = *searched;
@@ -122,6 +154,8 @@ Result<std::string> SchemrService::SearchXml(
   XmlWriter xml;
   xml.Open("results").Attribute("query", query.ToString());
   xml.Attribute("count", static_cast<long long>(results.size()));
+  // Absent on healthy responses so those stay byte-identical.
+  if (stats.degraded) xml.Attribute("degraded", "true");
   for (const SearchResult& result : results) {
     xml.Open("result")
         .Attribute("id", static_cast<long long>(result.schema_id))
@@ -147,6 +181,16 @@ Result<std::string> SchemrService::SearchXml(
   }
   if (request.explain) {
     xml.Open("explain");
+    if (stats.degraded) {
+      xml.Open("degradation")
+          .Attribute("deadline_hit", stats.deadline_hit ? "true" : "false")
+          .Attribute("coarse_only_candidates",
+                     static_cast<long long>(stats.coarse_only_candidates));
+      for (const std::string& name : stats.dropped_matchers) {
+        xml.Open("dropped_matcher").Attribute("name", name).Close();
+      }
+      xml.Close();
+    }
     WriteSpans(&xml, trace, SearchTrace::kNoParent);
     xml.Close();
   }

@@ -33,6 +33,14 @@ struct SearchRequest {
   bool explain = false;
 };
 
+/// Request-validation caps. Requests breaching them are rejected with
+/// InvalidArgument before any pipeline work runs (a service exposed to
+/// clients must bound the work one request can demand).
+struct ServiceLimits {
+  size_t max_keywords_bytes = 4096;
+  size_t max_fragment_bytes = 1 << 20;
+};
+
 /// A client visualization request ("drill-in").
 struct VisualizationRequest {
   SchemaId schema_id = kNoSchema;
@@ -50,9 +58,11 @@ class SchemrService {
  public:
   SchemrService(const SchemaRepository* repository,
                 const InvertedIndex* index,
-                MatcherEnsemble ensemble = MatcherEnsemble::Default())
+                MatcherEnsemble ensemble = MatcherEnsemble::Default(),
+                ServiceLimits limits = {})
       : repository_(repository),
-        engine_(repository, index, std::move(ensemble)) {}
+        engine_(repository, index, std::move(ensemble)),
+        limits_(limits) {}
 
   /// Runs a search and returns structured results.
   Result<std::vector<SearchResult>> Search(
@@ -63,6 +73,10 @@ class SchemrService {
   /// <results query="..."><result id=".." name=".." score=".."
   /// matches=".." entities=".." attributes=".."><description>..
   /// </description><element id=".." score=".."/>...</result></results>
+  /// A degraded search (matcher dropped, deadline hit) adds
+  /// degraded="true" on <results>, and explain mode a <degradation>
+  /// element naming what was given up; non-degraded responses are
+  /// byte-identical to the pre-degradation wire format.
   Result<std::string> SearchXml(
       const SearchRequest& request,
       const SearchEngineOptions& engine_options = {}) const;
@@ -93,9 +107,13 @@ class SchemrService {
 
  private:
   Result<SchemaGraphView> BuildView(const VisualizationRequest& request) const;
+  /// InvalidArgument for malformed or over-limit requests; see
+  /// ServiceLimits.
+  Status ValidateRequest(const SearchRequest& request) const;
 
   const SchemaRepository* repository_;
   SearchEngine engine_;
+  ServiceLimits limits_;
 };
 
 }  // namespace schemr

@@ -9,8 +9,10 @@
 #include <filesystem>
 #include <fstream>
 
+#include "obs/fault_bridge.h"
 #include "obs/metrics.h"
 #include "util/crc32.h"
+#include "util/fault_injection.h"
 #include "util/logging.h"
 #include "util/varint.h"
 
@@ -23,6 +25,7 @@ namespace {
 constexpr uint8_t kTypePut = 1;
 constexpr uint8_t kTypeDelete = 2;
 constexpr char kSegmentSuffix[] = ".seg";
+constexpr char kCompactingMarker[] = "COMPACTING";
 
 /// Operation counters, shared by all open stores; GetStats() additionally
 /// bridges the per-store KvStoreStats into the *_gauge metrics below.
@@ -34,6 +37,7 @@ struct StoreMetrics {
   Counter* write_bytes;
   Counter* deletes;
   Counter* compactions;
+  Counter* salvaged_records;
   Gauge* live_keys;
   Gauge* segment_count;
   Gauge* total_bytes;
@@ -41,6 +45,7 @@ struct StoreMetrics {
 
   static const StoreMetrics& Get() {
     static const StoreMetrics* metrics = [] {
+      InstallFaultMetricsBridge();
       MetricsRegistry& r = MetricsRegistry::Global();
       return new StoreMetrics{
           r.GetCounter("schemr_store_reads_total", "KV store Get hits."),
@@ -54,6 +59,9 @@ struct StoreMetrics {
           r.GetCounter("schemr_store_deletes_total", "KV store Deletes."),
           r.GetCounter("schemr_store_compactions_total",
                        "Segment compactions run."),
+          r.GetCounter("schemr_store_salvaged_records_total",
+                       "Records recovered from corrupt segments by "
+                       "salvage-mode recovery."),
           r.GetGauge("schemr_store_live_keys",
                      "Live keys at the last GetStats call."),
           r.GetGauge("schemr_store_segment_count",
@@ -72,6 +80,22 @@ Status ErrnoStatus(const std::string& what) {
   return Status::IOError(what + ": " + std::strerror(errno));
 }
 
+/// Closes an fd on scope exit (the fault shims can throw InjectedCrash
+/// between open and close; the torture harness runs thousands of cycles
+/// in-process, so leaked descriptors would exhaust the limit).
+class FdCloser {
+ public:
+  explicit FdCloser(int fd) : fd_(fd) {}
+  ~FdCloser() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  FdCloser(const FdCloser&) = delete;
+  FdCloser& operator=(const FdCloser&) = delete;
+
+ private:
+  int fd_;
+};
+
 /// Serializes one record; returns the bytes to append.
 std::string EncodeRecord(uint8_t type, std::string_view key,
                          std::string_view value) {
@@ -87,7 +111,56 @@ std::string EncodeRecord(uint8_t type, std::string_view key,
   return record;
 }
 
+/// One decoded record, viewing into the segment buffer.
+struct ParsedRecord {
+  uint8_t type = 0;
+  std::string_view key;
+  std::string_view value;
+  uint64_t size = 0;  ///< encoded bytes consumed
+};
+
+/// Parses (and validates) the record at the head of *data; advances past
+/// it on success, leaves *data untouched on failure.
+Status ParseRecord(std::string_view* data, ParsedRecord* out) {
+  std::string_view view = *data;
+  uint32_t masked_crc = 0;
+  SCHEMR_RETURN_IF_ERROR(GetFixed32(&view, &masked_crc));
+  if (view.empty()) return Status::Corruption("truncated record");
+  uint8_t type = static_cast<uint8_t>(view.front());
+  view.remove_prefix(1);
+  uint64_t key_len = 0, value_len = 0;
+  SCHEMR_RETURN_IF_ERROR(GetVarint64(&view, &key_len));
+  SCHEMR_RETURN_IF_ERROR(GetVarint64(&view, &value_len));
+  // Lengths come from untrusted bytes; compare without key+value overflow.
+  if (key_len > view.size() || value_len > view.size() - key_len) {
+    return Status::Corruption("record payload truncated");
+  }
+  size_t header_len = data->size() - view.size();
+  std::string_view body =
+      data->substr(4, header_len - 4 + key_len + value_len);
+  if (Crc32Unmask(masked_crc) != Crc32(body)) {
+    return Status::Corruption("record checksum mismatch");
+  }
+  if (type != kTypePut && type != kTypeDelete) {
+    return Status::Corruption("unknown record type");
+  }
+  out->type = type;
+  out->key = view.substr(0, key_len);
+  out->value = view.substr(key_len, value_len);
+  out->size = header_len + key_len + value_len;
+  data->remove_prefix(out->size);
+  return Status::OK();
+}
+
 }  // namespace
+
+std::string KvRepairReport::ToString() const {
+  return "repair: " + std::to_string(corrupt_segments) +
+         " corrupt segment(s), " + std::to_string(corrupt_regions) +
+         " quarantined region(s), " + std::to_string(skipped_bytes) +
+         " byte(s) skipped, " + std::to_string(salvaged_records) +
+         " record(s) salvaged";
+}
 
 Result<std::unique_ptr<KvStore>> KvStore::Open(std::string path,
                                                KvStoreOptions options) {
@@ -113,10 +186,73 @@ std::string KvStore::SegmentFileName(uint64_t segment_id) const {
   return path_ + "/" + buf + kSegmentSuffix;
 }
 
+std::string KvStore::MarkerFileName() const {
+  return path_ + "/" + kCompactingMarker;
+}
+
+Status KvStore::WedgedStatus() const {
+  return Status::IOError("store '" + path_ +
+                         "' is wedged after an unrecoverable write "
+                         "failure; reopen to recover");
+}
+
+Status KvStore::SyncDirectory() {
+  int fd = ::open(path_.c_str(), O_RDONLY);
+  if (fd < 0) return ErrnoStatus("open dir " + path_);
+  FdCloser closer(fd);
+  if (FaultInjector::Global().Fsync("kv/dir/fsync", fd) != 0) {
+    return ErrnoStatus("fsync dir " + path_);
+  }
+  return Status::OK();
+}
+
+Status KvStore::WriteCompactionMarker(uint64_t first_output_id) {
+  // The trailing newline makes the marker self-validating under torn
+  // writes: any proper prefix of "<digits>\n" lacks the terminator, so
+  // recovery can tell a half-written marker (no output can exist yet)
+  // from a durable one -- without it, a torn "13" could read as id 1 and
+  // discard live segments.
+  std::string contents = std::to_string(first_output_id) + "\n";
+  int fd = ::open(MarkerFileName().c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                  0644);
+  if (fd < 0) return ErrnoStatus("open " + MarkerFileName());
+  FdCloser closer(fd);
+  FaultInjector& fi = FaultInjector::Global();
+  const char* p = contents.data();
+  size_t remaining = contents.size();
+  while (remaining > 0) {
+    ssize_t n = fi.Write("kv/compact/marker_write", fd, p, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write marker");
+    }
+    p += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  if (fi.Fsync("kv/compact/marker_fsync", fd) != 0) {
+    return ErrnoStatus("fsync marker");
+  }
+  // The marker must be durable before any compaction output exists, or a
+  // torn output segment could fail a markerless recovery.
+  return SyncDirectory();
+}
+
+Status KvStore::RemoveCompactionMarker() {
+  std::error_code ec;
+  fs::remove(MarkerFileName(), ec);
+  if (ec) {
+    return Status::IOError("cannot remove compaction marker: " +
+                           ec.message());
+  }
+  return SyncDirectory();
+}
+
 Status KvStore::Recover() {
   segment_ids_.clear();
   index_.clear();
   dead_records_ = 0;
+  repair_report_ = KvRepairReport{};
+  wedged_ = false;
   std::error_code ec;
   for (const auto& entry : fs::directory_iterator(path_, ec)) {
     if (!entry.is_regular_file()) continue;
@@ -137,9 +273,71 @@ Status KvStore::Recover() {
   if (ec) return Status::IOError("cannot list '" + path_ + "': " + ec.message());
   std::sort(segment_ids_.begin(), segment_ids_.end());
 
+  // An unfinished compaction left its marker: the output segments (ids >=
+  // the marker's id) may be arbitrarily incomplete, but every old segment
+  // is still on disk (they are deleted only after the marker is cleared).
+  // Discard the output and recover the pre-compaction state.
+  if (fs::exists(MarkerFileName(), ec)) {
+    std::ifstream in(MarkerFileName(), std::ios::binary);
+    std::string marker((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+    in.close();
+    uint64_t first_output_id = 0;
+    bool valid = marker.size() >= 2 && marker.back() == '\n';
+    if (valid) {
+      for (size_t i = 0; i + 1 < marker.size(); ++i) {
+        if (marker[i] < '0' || marker[i] > '9') {
+          valid = false;
+          break;
+        }
+        first_output_id = first_output_id * 10 +
+                          static_cast<uint64_t>(marker[i] - '0');
+      }
+      valid = valid && first_output_id != 0;
+    }
+    if (!valid) {
+      // A torn marker (missing its terminator) means the crash happened
+      // while writing the marker itself -- compaction output only starts
+      // after the complete marker is fsynced, so there is nothing to
+      // roll back.
+      SCHEMR_LOG(kWarning) << "removing torn COMPACTING marker in '" << path_
+                           << "'";
+      SCHEMR_RETURN_IF_ERROR(RemoveCompactionMarker());
+      first_output_id = 0;
+    }
+    if (first_output_id != 0) {
+      size_t discarded = 0;
+      std::vector<uint64_t> kept;
+      for (uint64_t id : segment_ids_) {
+        if (id >= first_output_id) {
+          fs::remove(SegmentFileName(id), ec);
+          if (ec) {
+            return Status::IOError("cannot discard compaction output " +
+                                   SegmentFileName(id) + ": " + ec.message());
+          }
+          ++discarded;
+        } else {
+          kept.push_back(id);
+        }
+      }
+      segment_ids_ = std::move(kept);
+      SCHEMR_LOG(kWarning) << "rolled back unfinished compaction in '"
+                           << path_ << "': discarded " << discarded
+                           << " partial output segment(s)";
+      SCHEMR_RETURN_IF_ERROR(RemoveCompactionMarker());
+    }
+  }
+
   for (size_t i = 0; i < segment_ids_.size(); ++i) {
     bool newest = (i + 1 == segment_ids_.size());
     SCHEMR_RETURN_IF_ERROR(ReplaySegment(segment_ids_[i], newest));
+  }
+  if (repair_report_.AnyDamage()) {
+    StoreMetrics::Get().salvaged_records->Increment(
+        repair_report_.salvaged_records);
+    SCHEMR_LOG(kWarning) << "store '" << path_
+                         << "' opened in salvage mode; "
+                         << repair_report_.ToString();
   }
   if (segment_ids_.empty()) segment_ids_.push_back(1);
   return OpenActiveSegment();
@@ -156,68 +354,63 @@ Status KvStore::ReplaySegment(uint64_t segment_id, bool newest) {
   std::string_view data(contents);
   uint64_t offset = 0;
   uint64_t valid_end = 0;
-  Status bad = Status::OK();
+  bool segment_corrupt = false;
   while (!data.empty()) {
-    std::string_view record_start = data;
-    uint32_t masked_crc = 0;
-    uint8_t type = 0;
-    uint64_t key_len = 0, value_len = 0;
-    Status st = GetFixed32(&data, &masked_crc);
-    if (st.ok() && data.empty()) st = Status::Corruption("truncated record");
-    if (st.ok()) {
-      type = static_cast<uint8_t>(data.front());
-      data.remove_prefix(1);
-      st = GetVarint64(&data, &key_len);
-    }
-    if (st.ok()) st = GetVarint64(&data, &value_len);
-    if (st.ok() && key_len + value_len > data.size()) {
-      st = Status::Corruption("record payload truncated");
-    }
-    if (st.ok()) {
-      // Re-derive the body span to verify the checksum.
-      size_t header_len = record_start.size() - data.size();
-      std::string_view body =
-          record_start.substr(4, header_len - 4 + key_len + value_len);
-      if (Crc32Unmask(masked_crc) != Crc32(body)) {
-        st = Status::Corruption("record checksum mismatch");
-      }
-    }
-    if (st.ok() && type != kTypePut && type != kTypeDelete) {
-      st = Status::Corruption("unknown record type");
-    }
+    ParsedRecord rec;
+    Status st = ParseRecord(&data, &rec);
     if (!st.ok()) {
-      bad = st;
-      break;
+      if (newest) {
+        // Torn tail of the active segment from a crash: truncate and
+        // move on.
+        SCHEMR_LOG(kWarning) << "truncating torn tail of " << filename
+                             << " at " << valid_end << " (" << st.message()
+                             << ")";
+        std::error_code ec;
+        fs::resize_file(filename, valid_end, ec);
+        if (ec) {
+          return Status::IOError("cannot truncate " + filename + ": " +
+                                 ec.message());
+        }
+        return Status::OK();
+      }
+      if (!options_.salvage_corrupt_segments) {
+        return Status::Corruption("segment " + filename + ": " +
+                                  st.message());
+      }
+      // Salvage: quarantine bytes until a checksummed record parses
+      // again. The CRC makes a false resync vanishingly unlikely.
+      if (!segment_corrupt) {
+        segment_corrupt = true;
+        ++repair_report_.corrupt_segments;
+      }
+      ++repair_report_.corrupt_regions;
+      uint64_t region_start = offset;
+      while (!data.empty()) {
+        data.remove_prefix(1);
+        ++offset;
+        std::string_view probe = data;
+        ParsedRecord resync;
+        if (!data.empty() && ParseRecord(&probe, &resync).ok()) break;
+      }
+      repair_report_.skipped_bytes += offset - region_start;
+      SCHEMR_LOG(kWarning) << "salvage: quarantined "
+                           << (offset - region_start) << " byte(s) of "
+                           << filename << " at offset " << region_start
+                           << " (" << st.message() << ")";
+      continue;
     }
-    std::string key(data.substr(0, key_len));
-    data.remove_prefix(key_len + value_len);
-    uint64_t record_size = record_start.size() - data.size();
-    if (type == kTypePut) {
+    if (rec.type == kTypePut) {
       auto [it, inserted] = index_.insert_or_assign(
-          std::move(key), Location{segment_id, offset});
+          std::string(rec.key), Location{segment_id, offset});
       (void)it;
       if (!inserted) ++dead_records_;
     } else {
-      if (index_.erase(key) > 0) ++dead_records_;
+      if (index_.erase(std::string(rec.key)) > 0) ++dead_records_;
       ++dead_records_;  // the tombstone itself is dead weight
     }
-    offset += record_size;
+    if (segment_corrupt) ++repair_report_.salvaged_records;
+    offset += rec.size;
     valid_end = offset;
-  }
-
-  if (!bad.ok()) {
-    if (!newest) {
-      return Status::Corruption("segment " + filename + ": " + bad.message());
-    }
-    // Torn tail of the active segment from a crash: truncate and move on.
-    SCHEMR_LOG(kWarning) << "truncating torn tail of " << filename << " at "
-                         << valid_end << " (" << bad.message() << ")";
-    std::error_code ec;
-    fs::resize_file(filename, valid_end, ec);
-    if (ec) {
-      return Status::IOError("cannot truncate " + filename + ": " +
-                             ec.message());
-    }
   }
   return Status::OK();
 }
@@ -238,26 +431,45 @@ Status KvStore::OpenActiveSegment() {
 
 Status KvStore::RollSegmentIfNeeded() {
   if (active_offset_ < options_.max_segment_bytes) return Status::OK();
+  // Sync the outgoing segment: once it is no longer the newest, the
+  // torn-tail truncation rule stops applying to it, so its contents must
+  // be durable before anything lands in the successor.
+  if (FaultInjector::Global().Fsync("kv/roll/fsync", active_fd_) != 0) {
+    return ErrnoStatus("fsync before roll");
+  }
   segment_ids_.push_back(segment_ids_.back() + 1);
   return OpenActiveSegment();
 }
 
 Status KvStore::AppendRecord(uint8_t type, std::string_view key,
                              std::string_view value, Location* loc) {
+  if (wedged_) return WedgedStatus();
   SCHEMR_RETURN_IF_ERROR(RollSegmentIfNeeded());
   std::string record = EncodeRecord(type, key, value);
+  FaultInjector& fi = FaultInjector::Global();
   const char* p = record.data();
   size_t remaining = record.size();
   while (remaining > 0) {
-    ssize_t n = ::write(active_fd_, p, remaining);
+    ssize_t n = fi.Write("kv/append/write", active_fd_, p, remaining);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return ErrnoStatus("write");
+      Status st = ErrnoStatus("write");
+      // A prefix of the record may have reached the file (short or torn
+      // write). Cut it back off so the next append starts on a record
+      // boundary; if even that fails, refuse further writes.
+      if (::ftruncate(active_fd_,
+                      static_cast<off_t>(active_offset_)) != 0) {
+        wedged_ = true;
+        SCHEMR_LOG(kError) << "cannot truncate torn append in '" << path_
+                           << "'; wedging store: " << std::strerror(errno);
+      }
+      return st;
     }
     p += n;
     remaining -= static_cast<size_t>(n);
   }
-  if (options_.sync_on_write && ::fsync(active_fd_) != 0) {
+  if (options_.sync_on_write &&
+      fi.Fsync("kv/append/fsync", active_fd_) != 0) {
     return ErrnoStatus("fsync");
   }
   if (loc != nullptr) {
@@ -364,40 +576,113 @@ std::vector<std::string> KvStore::Keys() const {
 Status KvStore::ForEach(
     const std::function<Status(std::string_view, std::string_view)>& fn)
     const {
-  for (const std::string& key : Keys()) {
-    SCHEMR_ASSIGN_OR_RETURN(std::string value, Get(key));
-    SCHEMR_RETURN_IF_ERROR(fn(key, value));
+  // Walk the index directly (one ReadRecordAt per record) instead of
+  // Keys() + Get(), which would re-hash and copy every key a second time.
+  std::vector<const std::pair<const std::string, Location>*> entries;
+  entries.reserve(index_.size());
+  for (const auto& entry : index_) entries.push_back(&entry);
+  std::sort(entries.begin(), entries.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  for (const auto* entry : entries) {
+    SCHEMR_ASSIGN_OR_RETURN(auto kv, ReadRecordAt(entry->second));
+    if (kv.first != entry->first) {
+      return Status::Corruption("index points at record for different key");
+    }
+    SCHEMR_RETURN_IF_ERROR(fn(entry->first, kv.second));
   }
   return Status::OK();
 }
 
 Status KvStore::Compact() {
+  if (wedged_) return WedgedStatus();
   StoreMetrics::Get().compactions->Increment();
   SCHEMR_RETURN_IF_ERROR(Flush());
-  uint64_t new_id = segment_ids_.back() + 1;
-  std::vector<uint64_t> old_ids = segment_ids_;
+  const uint64_t new_id = segment_ids_.back() + 1;
+  const std::vector<uint64_t> old_ids = segment_ids_;
+  FaultInjector& fi = FaultInjector::Global();
 
-  // Write all live records into the new segment.
+  // 1. Durable intent: until the marker is cleared, recovery discards
+  //    every segment with id >= new_id and falls back to the old files.
+  SCHEMR_RETURN_IF_ERROR(WriteCompactionMarker(new_id));
+  fi.CrashPoint("kv/compact/after_marker");
+
+  // Restores the pre-compaction view after a mid-compaction failure: the
+  // partial output is deleted, the old segments (untouched so far) become
+  // current again, and the marker is cleared.
+  auto restore_old_view = [&](Status cause) -> Status {
+    if (active_fd_ >= 0) {
+      ::close(active_fd_);
+      active_fd_ = -1;
+    }
+    for (uint64_t id : segment_ids_) {
+      if (id < new_id) continue;
+      std::error_code ec;
+      fs::remove(SegmentFileName(id), ec);
+    }
+    segment_ids_ = old_ids;
+    Status reopen = OpenActiveSegment();
+    if (!reopen.ok()) {
+      wedged_ = true;
+      SCHEMR_LOG(kError) << "cannot reopen old active segment after failed "
+                            "compaction; wedging store: "
+                         << reopen;
+      return reopen;
+    }
+    Status cleared = RemoveCompactionMarker();
+    if (!cleared.ok()) {
+      // A stale marker would discard future segments at the next open;
+      // refuse writes so no such segment can come into existence.
+      wedged_ = true;
+      SCHEMR_LOG(kError) << "cannot clear compaction marker after failed "
+                            "compaction; wedging store: "
+                         << cleared;
+    }
+    return cause;
+  };
+
+  // 2. Write all live records into the new segment(s).
   segment_ids_.push_back(new_id);
-  SCHEMR_RETURN_IF_ERROR(OpenActiveSegment());
+  Status opened = OpenActiveSegment();
+  if (!opened.ok()) return restore_old_view(opened);
   std::unordered_map<std::string, Location> new_index;
   for (const auto& [key, old_loc] : index_) {
-    SCHEMR_ASSIGN_OR_RETURN(auto kv, ReadRecordAt(old_loc));
+    auto kv = ReadRecordAt(old_loc);
+    if (!kv.ok()) return restore_old_view(kv.status());
     Location loc;
-    SCHEMR_RETURN_IF_ERROR(AppendRecord(kTypePut, key, kv.second, &loc));
+    Status appended = AppendRecord(kTypePut, key, kv->second, &loc);
+    if (!appended.ok()) return restore_old_view(appended);
     new_index[key] = loc;
   }
-  if (::fsync(active_fd_) != 0) return ErrnoStatus("fsync after compaction");
+  if (fi.Fsync("kv/compact/fsync", active_fd_) != 0) {
+    return restore_old_view(ErrnoStatus("fsync after compaction"));
+  }
 
+  // 3. Commit: swap the in-memory view, then clear the marker. A crash
+  //    before the clear rolls the whole compaction back on reopen; a
+  //    crash after it replays old + new segments in id order, which the
+  //    newer output records win.
   index_ = std::move(new_index);
   dead_records_ = 0;
-  // The compaction output may itself have rolled into several segments.
   std::vector<uint64_t> kept;
   for (uint64_t id : segment_ids_) {
     if (id >= new_id) kept.push_back(id);
   }
   segment_ids_ = std::move(kept);
+  fi.CrashPoint("kv/compact/before_clear_marker");
+  Status cleared = RemoveCompactionMarker();
+  if (!cleared.ok()) {
+    // Data is intact (old + new on disk), but a stale marker would
+    // discard the output at the next open; stop writes here.
+    wedged_ = true;
+    SCHEMR_LOG(kError) << "cannot clear compaction marker; wedging store: "
+                       << cleared;
+    return cleared;
+  }
+  fi.CrashPoint("kv/compact/after_clear_marker");
+
+  // 4. Old segments are garbage now; reclaim them.
   for (uint64_t id : old_ids) {
+    fi.CrashPoint("kv/compact/delete_old");
     std::error_code ec;
     fs::remove(SegmentFileName(id), ec);
     if (ec) {
@@ -409,7 +694,8 @@ Status KvStore::Compact() {
 }
 
 Status KvStore::Flush() {
-  if (active_fd_ >= 0 && ::fsync(active_fd_) != 0) {
+  if (active_fd_ >= 0 &&
+      FaultInjector::Global().Fsync("kv/flush/fsync", active_fd_) != 0) {
     return ErrnoStatus("fsync");
   }
   return Status::OK();

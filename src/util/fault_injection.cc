@@ -1,0 +1,294 @@
+#include "util/fault_injection.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+// (The obs layer counts fired faults into schemr_faults_injected through
+// SetFaultHook; see obs/fault_bridge.h.)
+
+namespace schemr {
+
+namespace {
+
+std::atomic<FaultHook> g_fault_hook{nullptr};
+
+bool ParseUint(std::string_view text, uint64_t* out) {
+  if (text.empty()) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+/// Parses "kind[:arg][@skip][xcount]" into `spec`.
+Status ParseFaultBody(std::string_view body, FaultSpec* spec) {
+  // Strip the numeric suffixes from the right: xcount, then @skip.
+  size_t x = body.rfind('x');
+  if (x != std::string_view::npos) {
+    uint64_t count = 0;
+    if (ParseUint(body.substr(x + 1), &count)) {
+      spec->count = static_cast<int>(count);
+      body = body.substr(0, x);
+    }
+  }
+  size_t at = body.rfind('@');
+  if (at != std::string_view::npos) {
+    uint64_t skip = 0;
+    if (!ParseUint(body.substr(at + 1), &skip)) {
+      return Status::InvalidArgument("bad @skip in fault spec");
+    }
+    spec->skip = static_cast<int>(skip);
+    body = body.substr(0, at);
+  }
+  std::string_view kind = body;
+  std::string_view arg;
+  size_t colon = body.find(':');
+  if (colon != std::string_view::npos) {
+    kind = body.substr(0, colon);
+    arg = body.substr(colon + 1);
+  }
+  if (kind == "eio") {
+    spec->kind = FaultKind::kError;
+    spec->error_code = EIO;
+  } else if (kind == "enospc") {
+    spec->kind = FaultKind::kError;
+    spec->error_code = ENOSPC;
+  } else if (kind == "error") {
+    uint64_t code = 0;
+    if (!ParseUint(arg, &code)) {
+      return Status::InvalidArgument("error fault needs :<errno>");
+    }
+    spec->kind = FaultKind::kError;
+    spec->error_code = static_cast<int>(code);
+  } else if (kind == "short") {
+    uint64_t bytes = 0;
+    if (!ParseUint(arg, &bytes)) {
+      return Status::InvalidArgument("short fault needs :<bytes>");
+    }
+    spec->kind = FaultKind::kShortWrite;
+    spec->error_code = EIO;
+    spec->arg = bytes;
+  } else if (kind == "crash") {
+    spec->kind = FaultKind::kCrash;
+  } else if (kind == "delay") {
+    uint64_t millis = 0;
+    if (!ParseUint(arg, &millis)) {
+      return Status::InvalidArgument("delay fault needs :<ms>");
+    }
+    spec->kind = FaultKind::kDelay;
+    spec->arg = millis;
+  } else {
+    return Status::InvalidArgument("unknown fault kind '" +
+                                   std::string(kind) + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void SetFaultHook(FaultHook hook) {
+  g_fault_hook.store(hook, std::memory_order_release);
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = [] {
+    auto* f = new FaultInjector();
+    const char* env = std::getenv("SCHEMR_FAULTS");
+    if (env != nullptr && *env != '\0') {
+      Status st = f->ArmFromSpec(env);
+      if (!st.ok()) {
+        SCHEMR_LOG(kWarning) << "ignoring SCHEMR_FAULTS: " << st;
+      } else {
+        SCHEMR_LOG(kWarning) << "fault injection armed from SCHEMR_FAULTS: "
+                             << env;
+      }
+    }
+    return f;
+  }();
+  return *injector;
+}
+
+void FaultInjector::Arm(const std::string& site, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sites_[site] = spec;
+  active_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sites_.erase(site);
+  active_.store(!sites_.empty() || counting_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+}
+
+void FaultInjector::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sites_.clear();
+  crash_at_.store(0, std::memory_order_relaxed);
+  counting_.store(false, std::memory_order_relaxed);
+  ops_.store(0, std::memory_order_relaxed);
+  active_.store(false, std::memory_order_relaxed);
+}
+
+Status FaultInjector::ArmFromSpec(const std::string& spec) {
+  for (const std::string& entry : Split(spec, ";")) {
+    size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("fault spec entry '" +
+                                     std::string(entry) +
+                                     "' is not site=kind");
+    }
+    FaultSpec parsed;
+    SCHEMR_RETURN_IF_ERROR(ParseFaultBody(entry.substr(eq + 1), &parsed));
+    Arm(entry.substr(0, eq), parsed);
+  }
+  return Status::OK();
+}
+
+void FaultInjector::CountOps(bool enable) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counting_.store(enable, std::memory_order_relaxed);
+  ops_.store(0, std::memory_order_relaxed);
+  if (!enable) crash_at_.store(0, std::memory_order_relaxed);
+  active_.store(enable || !sites_.empty(), std::memory_order_relaxed);
+}
+
+void FaultInjector::ScheduleCrashAtOp(uint64_t nth) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  crash_at_.store(nth, std::memory_order_relaxed);
+  counting_.store(true, std::memory_order_relaxed);
+  ops_.store(0, std::memory_order_relaxed);
+  active_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::Fired(const char* site) {
+  fired_.fetch_add(1, std::memory_order_relaxed);
+  FaultHook hook = g_fault_hook.load(std::memory_order_acquire);
+  if (hook != nullptr) hook(site);
+}
+
+bool FaultInjector::NextAction(const char* site, bool is_write,
+                               FaultSpec* out, bool* crash_now) {
+  *crash_now = false;
+  if (counting_.load(std::memory_order_relaxed)) {
+    uint64_t op = ops_.fetch_add(1, std::memory_order_relaxed) + 1;
+    uint64_t target = crash_at_.load(std::memory_order_relaxed);
+    if (target != 0 && op == target) {
+      Fired(site);
+      if (is_write) {
+        *crash_now = true;
+        return false;
+      }
+      throw InjectedCrash{site};
+    }
+  }
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sites_.find(site);
+    if (it == sites_.end()) return false;
+    FaultSpec& armed = it->second;
+    if (armed.skip > 0) {
+      --armed.skip;
+      return false;
+    }
+    if (armed.count == 0) return false;
+    if (armed.count > 0) --armed.count;
+    *out = armed;
+    fire = true;
+  }
+  Fired(site);
+  return fire;
+}
+
+ssize_t FaultInjector::Write(const char* site, int fd, const void* buf,
+                             size_t n) {
+  if (!enabled()) return ::write(fd, buf, n);
+  FaultSpec spec;
+  bool crash_now = false;
+  bool fire = NextAction(site, /*is_write=*/true, &spec, &crash_now);
+  if (crash_now || (fire && spec.kind == FaultKind::kCrash)) {
+    // A kill mid-write(2): a prefix of the payload reaches the file.
+    if (n > 1) (void)!::write(fd, buf, n / 2);
+    throw InjectedCrash{site};
+  }
+  if (!fire) return ::write(fd, buf, n);
+  switch (spec.kind) {
+    case FaultKind::kError:
+      errno = spec.error_code;
+      return -1;
+    case FaultKind::kShortWrite: {
+      size_t allowed = spec.arg < n ? static_cast<size_t>(spec.arg) : n;
+      if (allowed > 0) (void)!::write(fd, buf, allowed);
+      errno = spec.error_code;
+      return -1;
+    }
+    case FaultKind::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(spec.arg));
+      return ::write(fd, buf, n);
+    case FaultKind::kCrash:
+      break;  // handled above
+  }
+  return ::write(fd, buf, n);
+}
+
+int FaultInjector::Fsync(const char* site, int fd) {
+  if (!enabled()) return ::fsync(fd);
+  FaultSpec spec;
+  bool crash_now = false;
+  bool fire = NextAction(site, /*is_write=*/false, &spec, &crash_now);
+  if (!fire) return ::fsync(fd);
+  switch (spec.kind) {
+    case FaultKind::kError:
+    case FaultKind::kShortWrite:
+      // An fsync that fails leaves the durability of prior writes
+      // unknown; model the worst case by not syncing at all.
+      errno = spec.error_code;
+      return -1;
+    case FaultKind::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(spec.arg));
+      return ::fsync(fd);
+    case FaultKind::kCrash:
+      throw InjectedCrash{site};
+  }
+  return ::fsync(fd);
+}
+
+int FaultInjector::Check(const char* site) {
+  if (!enabled()) return 0;
+  FaultSpec spec;
+  bool crash_now = false;
+  bool fire = NextAction(site, /*is_write=*/false, &spec, &crash_now);
+  if (!fire) return 0;
+  switch (spec.kind) {
+    case FaultKind::kError:
+    case FaultKind::kShortWrite:
+      return spec.error_code;
+    case FaultKind::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(spec.arg));
+      return 0;
+    case FaultKind::kCrash:
+      throw InjectedCrash{site};
+  }
+  return 0;
+}
+
+void FaultInjector::CrashPoint(const char* site) {
+  if (!enabled()) return;
+  FaultSpec spec;
+  bool crash_now = false;
+  bool fire = NextAction(site, /*is_write=*/false, &spec, &crash_now);
+  if (fire && spec.kind == FaultKind::kCrash) throw InjectedCrash{site};
+}
+
+}  // namespace schemr

@@ -1,0 +1,162 @@
+// Fault-injection framework for robustness testing.
+//
+// Library code threads its syscalls (and a few pure decision points)
+// through named *fault sites*; tests and the crash-recovery torture
+// harness arm faults at those sites to simulate the storage failure modes
+// a production deployment will eventually see: short/torn writes, fsync
+// failures, ENOSPC/EIO, and hard process kills at arbitrary points
+// ("crash points"). When nothing is armed the shims are a single relaxed
+// atomic load away from the raw syscall, so they are compiled into
+// production builds unconditionally.
+//
+// Two arming models compose:
+//   * Per-site faults (`Arm`): a FaultSpec naming the kind, an optional
+//     number of hits to let pass first (`skip`), and how many times to
+//     fire (`count`, -1 = forever).
+//   * Scheduled crashes (`ScheduleCrashAtOp`): every shim hit increments
+//     a global op counter; the N-th hit throws InjectedCrash regardless
+//     of site. The torture harness measures a clean run's op count, then
+//     replays the workload killing it at a random op each cycle.
+//
+// Crashes are simulated by throwing InjectedCrash. The struct is
+// deliberately not derived from std::exception so that defensive
+// `catch (const std::exception&)` blocks in library code cannot swallow
+// a scheduled kill; only harnesses that opt in catch it. After a crash
+// the faulted object must be discarded (its destructor only releases
+// resources), exactly as a real `kill -9` would abandon process state.
+//
+// Faults can also be armed from the environment (see README, "Fault
+// injection"): SCHEMR_FAULTS="site=kind[:arg][@skip][xcount];..." e.g.
+//   SCHEMR_FAULTS="kv/append/fsync=eio;kv/compact/after_marker=crash@2"
+
+#ifndef SCHEMR_UTIL_FAULT_INJECTION_H_
+#define SCHEMR_UTIL_FAULT_INJECTION_H_
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "util/status.h"
+
+namespace schemr {
+
+/// Thrown by a shim when a crash fault fires. Catch by exact type in the
+/// harness; never caught by library code.
+struct InjectedCrash {
+  std::string site;
+};
+
+enum class FaultKind {
+  kError,       ///< shim fails with `error_code` (as errno)
+  kShortWrite,  ///< write persists only `arg` bytes, then fails (torn write)
+  kCrash,       ///< shim throws InjectedCrash (simulated kill -9)
+  kDelay,       ///< shim sleeps `arg` milliseconds, then proceeds normally
+};
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kError;
+  int error_code = 5;  ///< EIO; the errno reported for kError/kShortWrite
+  uint64_t arg = 0;    ///< kShortWrite: bytes allowed; kDelay: milliseconds
+  int skip = 0;        ///< let this many hits pass before firing
+  int count = -1;      ///< fire this many times, then lie dormant (-1 = ∞)
+};
+
+/// Process-wide fault injector. Thread-safe; the disarmed fast path is one
+/// relaxed atomic load per shim call.
+class FaultInjector {
+ public:
+  /// The process-wide injector all shim points consult. Reads
+  /// SCHEMR_FAULTS from the environment once on first use.
+  static FaultInjector& Global();
+
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // --- arming ---------------------------------------------------------------
+
+  void Arm(const std::string& site, FaultSpec spec);
+  void Disarm(const std::string& site);
+
+  /// Disarms every site, cancels any scheduled crash, disables and zeroes
+  /// the op counter. (The lifetime fault-fired total is kept.)
+  void DisarmAll();
+
+  /// Parses and arms a semicolon-separated spec list:
+  ///   site=kind[:arg][@skip][xcount]
+  /// kinds: eio | enospc | error:<errno> | short:<bytes> | crash |
+  ///        delay:<ms>.
+  Status ArmFromSpec(const std::string& spec);
+
+  // --- torture-harness op scheduling ---------------------------------------
+
+  /// Counts every shim hit into ops_seen() without firing anything (for
+  /// measuring a clean run).
+  void CountOps(bool enable);
+
+  /// Arranges for the `nth` (1-based) shim hit from now to throw
+  /// InjectedCrash. A crash that fires inside a write shim first persists
+  /// a prefix of the payload, simulating a kill mid-write(2). Implies
+  /// CountOps(true); ops_seen() restarts at zero.
+  void ScheduleCrashAtOp(uint64_t nth);
+
+  uint64_t ops_seen() const { return ops_.load(std::memory_order_relaxed); }
+
+  /// Lifetime count of faults fired (also surfaced through the hook below
+  /// as the schemr_faults_injected metric).
+  uint64_t faults_fired() const {
+    return fired_.load(std::memory_order_relaxed);
+  }
+
+  /// True when any site is armed or op counting/crash scheduling is on.
+  bool enabled() const { return active_.load(std::memory_order_relaxed); }
+
+  // --- shim points ----------------------------------------------------------
+
+  /// Behaves like ::write(fd, buf, n) unless a fault at `site` (or a
+  /// scheduled crash) fires. kShortWrite persists a prefix and fails with
+  /// the spec's errno; a crash persists half the payload, then throws.
+  ssize_t Write(const char* site, int fd, const void* buf, size_t n);
+
+  /// Behaves like ::fsync(fd) unless a fault fires.
+  int Fsync(const char* site, int fd);
+
+  /// Pure decision point: returns 0 (proceed) or an errno the caller
+  /// should fail with. kCrash throws; kDelay sleeps then returns 0.
+  int Check(const char* site);
+
+  /// Named crash point. No-op unless a kCrash fault is armed at `site` or
+  /// a scheduled crash lands on this hit.
+  void CrashPoint(const char* site);
+
+ private:
+  /// Returns the spec to apply at this hit, if one fires. Also advances
+  /// the op counter and throws on a scheduled crash (except from Write,
+  /// which handles the partial-persist itself via `crash_now`).
+  bool NextAction(const char* site, bool is_write, FaultSpec* out,
+                  bool* crash_now);
+  void Fired(const char* site);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, FaultSpec> sites_;
+  std::atomic<bool> active_{false};
+  std::atomic<uint64_t> ops_{0};
+  std::atomic<uint64_t> fired_{0};
+  std::atomic<bool> counting_{false};
+  std::atomic<uint64_t> crash_at_{0};  ///< 0 = no crash scheduled
+};
+
+/// Observer invoked (site name) every time a fault fires, so the obs layer
+/// can count faults into the metrics registry without a util→obs
+/// dependency (see obs/fault_bridge.h). Must be async-signal-unsafe-free
+/// and thread-safe. Passing nullptr uninstalls.
+using FaultHook = void (*)(const char* site);
+void SetFaultHook(FaultHook hook);
+
+}  // namespace schemr
+
+#endif  // SCHEMR_UTIL_FAULT_INJECTION_H_

@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
 #include "core/candidate_extractor.h"
 #include "core/query_graph.h"
 #include "core/query_parser.h"
@@ -417,6 +421,130 @@ TEST(SearchEngineTest, NoHitsYieldsEmptyNotError) {
   auto results = engine.SearchKeywords("zzz qqq www");
   ASSERT_TRUE(results.ok());
   EXPECT_TRUE(results->empty());
+}
+
+// --- graceful degradation ---------------------------------------------------
+
+/// A matcher that always throws, to exercise isolation.
+class ThrowingMatcher : public Matcher {
+ public:
+  std::string Name() const override { return "throwing"; }
+  SimilarityMatrix Match(const Schema&, const Schema&) const override {
+    throw std::runtime_error("matcher exploded");
+  }
+};
+
+/// A matcher that burns wall time, to exercise the per-matcher budget.
+class SlowMatcher : public Matcher {
+ public:
+  std::string Name() const override { return "slow"; }
+  SimilarityMatrix Match(const Schema& query,
+                         const Schema& candidate) const override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    return SimilarityMatrix(query.size(), candidate.size());
+  }
+};
+
+TEST(SearchDegradationTest, ThrowingMatcherIsIsolatedNotFatal) {
+  EngineFixture f = MakeEngineFixture();
+  MatcherEnsemble ensemble = MatcherEnsemble::PaperMinimal();
+  ensemble.AddMatcher(std::make_unique<ThrowingMatcher>(), 1.0);
+  SearchEngine engine(f.repo.get(), &f.indexer->index(), std::move(ensemble));
+
+  SearchStats stats;
+  SearchEngineOptions options;
+  options.stats = &stats;
+  auto results =
+      engine.SearchKeywords("patient height gender diagnosis", options);
+  ASSERT_TRUE(results.ok()) << results.status();
+  ASSERT_EQ(results->size(), 2u);
+  EXPECT_EQ((*results)[0].schema_id, f.clinic_id)
+      << "the surviving matchers must still rank the tight schema first";
+  EXPECT_TRUE(stats.degraded);
+  ASSERT_EQ(stats.dropped_matchers.size(), 1u);
+  EXPECT_EQ(stats.dropped_matchers[0], "throwing");
+  for (const SearchResult& r : *results) EXPECT_TRUE(r.degraded);
+}
+
+TEST(SearchDegradationTest, HealthySearchIsNotFlaggedDegraded) {
+  EngineFixture f = MakeEngineFixture();
+  SearchEngine engine(f.repo.get(), &f.indexer->index());
+  SearchStats stats;
+  SearchEngineOptions options;
+  options.stats = &stats;
+  options.deadline_seconds = 60.0;
+  options.matcher_budget_seconds = 60.0;
+  auto results =
+      engine.SearchKeywords("patient height gender diagnosis", options);
+  ASSERT_TRUE(results.ok());
+  EXPECT_FALSE(stats.degraded);
+  EXPECT_TRUE(stats.dropped_matchers.empty());
+  for (const SearchResult& r : *results) EXPECT_FALSE(r.degraded);
+}
+
+TEST(SearchDegradationTest, DeadlineFallsBackToCoarseRanking) {
+  EngineFixture f = MakeEngineFixture();
+  SearchEngine engine(f.repo.get(), &f.indexer->index());
+  SearchStats stats;
+  SearchEngineOptions options;
+  options.stats = &stats;
+  options.deadline_seconds = 1e-9;  // expires before the first candidate
+  auto results =
+      engine.SearchKeywords("patient height gender diagnosis", options);
+  ASSERT_TRUE(results.ok()) << "a blown deadline must not become an error: "
+                            << results.status();
+  ASSERT_EQ(results->size(), 2u);
+  EXPECT_TRUE(stats.degraded);
+  EXPECT_TRUE(stats.deadline_hit);
+  EXPECT_EQ(stats.coarse_only_candidates, 2u);
+  // Coarse-only ranking: scores are the normalized phase-1 scores.
+  EXPECT_GT((*results)[0].score, 0.0);
+  EXPECT_EQ((*results)[0].tightness, 0.0);
+  for (const SearchResult& r : *results) EXPECT_TRUE(r.degraded);
+}
+
+TEST(SearchDegradationTest, MatcherBudgetBenchesSlowMatcher) {
+  EngineFixture f = MakeEngineFixture();
+  MatcherEnsemble ensemble = MatcherEnsemble::PaperMinimal();
+  ensemble.AddMatcher(std::make_unique<SlowMatcher>(), 1.0);
+  SearchEngine engine(f.repo.get(), &f.indexer->index(), std::move(ensemble));
+
+  SearchStats stats;
+  SearchEngineOptions options;
+  options.stats = &stats;
+  options.matcher_budget_seconds = 2.5e-3;  // the 5ms matcher blows this
+  auto results =
+      engine.SearchKeywords("patient height gender diagnosis", options);
+  ASSERT_TRUE(results.ok()) << results.status();
+  ASSERT_FALSE(results->empty());
+  EXPECT_TRUE(stats.degraded);
+  // The fast matchers may squeak under the budget or not depending on
+  // machine load; the slow one must always be benched.
+  EXPECT_NE(std::find(stats.dropped_matchers.begin(),
+                      stats.dropped_matchers.end(), "slow (budget)"),
+            stats.dropped_matchers.end())
+      << "the 5ms matcher must be dropped for blowing its budget";
+}
+
+TEST(SearchDegradationTest, AllMatchersFailingStillReturnsRankedResults) {
+  EngineFixture f = MakeEngineFixture();
+  MatcherEnsemble ensemble;
+  ensemble.AddMatcher(std::make_unique<ThrowingMatcher>(), 1.0);
+  SearchEngine engine(f.repo.get(), &f.indexer->index(), std::move(ensemble));
+
+  SearchStats stats;
+  SearchEngineOptions options;
+  options.stats = &stats;
+  auto results =
+      engine.SearchKeywords("patient height gender diagnosis", options);
+  ASSERT_TRUE(results.ok()) << results.status();
+  ASSERT_EQ(results->size(), 2u);
+  EXPECT_TRUE(stats.degraded);
+  EXPECT_EQ(stats.dropped_matchers.size(), 1u);
+  EXPECT_GE(stats.coarse_only_candidates, 1u)
+      << "with every matcher benched the pool falls back to coarse scores";
+  // The coarse ranking still orders results deterministically.
+  EXPECT_GE((*results)[0].score, (*results)[1].score);
 }
 
 }  // namespace

@@ -4,11 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cerrno>
+
 #include "index/indexer.h"
 #include "parse/xml_parser.h"
 #include "repo/schema_repository.h"
 #include "schema/schema_builder.h"
 #include "service/schemr_service.h"
+#include "util/fault_injection.h"
 
 namespace schemr {
 namespace {
@@ -256,6 +259,99 @@ TEST(SchemrServiceTest, BadRequestsSurfaceErrors) {
   bad_fragment.keywords = "x";
   bad_fragment.fragment = "CREATE TABLE oops (";
   EXPECT_TRUE(f.service->Search(bad_fragment).status().IsParseError());
+}
+
+TEST(SchemrServiceTest, ValidationRejectsDegenerateKnobs) {
+  ServiceFixture f = MakeFixture();
+
+  SearchRequest zero_k;
+  zero_k.keywords = "patient";
+  zero_k.top_k = 0;
+  auto status = f.service->Search(zero_k).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("top_k"), std::string::npos);
+  EXPECT_EQ(f.service->SearchXml(zero_k).status().code(),
+            StatusCode::kInvalidArgument);
+
+  SearchRequest small_pool;
+  small_pool.keywords = "patient";
+  small_pool.top_k = 20;
+  small_pool.candidate_pool = 5;
+  status = f.service->Search(small_pool).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("candidate_pool"), std::string::npos);
+}
+
+TEST(SchemrServiceTest, ValidationEnforcesByteCaps) {
+  ServiceFixture f = MakeFixture();
+  ServiceLimits limits;
+  limits.max_keywords_bytes = 16;
+  limits.max_fragment_bytes = 32;
+  SchemrService capped(f.repo.get(), &f.indexer->index(),
+                       MatcherEnsemble::Default(), limits);
+
+  SearchRequest big_keywords;
+  big_keywords.keywords = std::string(17, 'k');
+  auto status = capped.Search(big_keywords).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("keywords"), std::string::npos);
+  EXPECT_EQ(capped.SearchXml(big_keywords).status().code(),
+            StatusCode::kInvalidArgument);
+
+  SearchRequest big_fragment;
+  big_fragment.keywords = "patient";
+  big_fragment.fragment = std::string(33, 'f');
+  status = capped.Search(big_fragment).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("fragment"), std::string::npos);
+
+  // Requests at the caps still pass validation.
+  SearchRequest at_cap;
+  at_cap.keywords = std::string(16, 'k');
+  EXPECT_TRUE(capped.Search(at_cap).ok());
+}
+
+TEST(SchemrServiceTest, DegradedSearchIsFlaggedInXml) {
+  ServiceFixture f = MakeFixture();
+  FaultInjector::Global().DisarmAll();
+  FaultInjector::Global().Arm("match/name", {FaultKind::kError, EIO});
+
+  SearchRequest request;
+  request.keywords = "patient height diagnosis";
+  auto xml = f.service->SearchXml(request);
+  FaultInjector::Global().DisarmAll();
+  ASSERT_TRUE(xml.ok()) << xml.status();
+  EXPECT_NE(xml->find("degraded=\"true\""), std::string::npos);
+
+  // Explain mode surfaces which matcher was dropped.
+  FaultInjector::Global().Arm("match/name", {FaultKind::kError, EIO});
+  request.explain = true;
+  xml = f.service->SearchXml(request);
+  FaultInjector::Global().DisarmAll();
+  ASSERT_TRUE(xml.ok()) << xml.status();
+  EXPECT_NE(xml->find("<degradation"), std::string::npos);
+  EXPECT_NE(xml->find("<dropped_matcher name=\"name\""), std::string::npos);
+
+  // Healthy responses carry no degraded markers at all.
+  request.explain = false;
+  xml = f.service->SearchXml(request);
+  ASSERT_TRUE(xml.ok());
+  EXPECT_EQ(xml->find("degraded"), std::string::npos);
+}
+
+TEST(SchemrServiceTest, MetricsTextExposesRobustnessSeries) {
+  ServiceFixture f = MakeFixture();
+  FaultInjector::Global().DisarmAll();
+  FaultInjector::Global().Arm("match/name", {FaultKind::kError, EIO});
+  SearchRequest request;
+  request.keywords = "patient height";
+  ASSERT_TRUE(f.service->Search(request).ok());
+  FaultInjector::Global().DisarmAll();
+
+  std::string text = f.service->MetricsText();
+  EXPECT_NE(text.find("schemr_faults_injected"), std::string::npos);
+  EXPECT_NE(text.find("schemr_matcher_failures_total"), std::string::npos);
+  EXPECT_NE(text.find("schemr_searches_degraded_total"), std::string::npos);
 }
 
 }  // namespace

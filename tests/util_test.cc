@@ -1,12 +1,19 @@
-// Unit tests for src/util: status, strings, varint, crc32, rng, xml.
+// Unit tests for src/util: status, strings, varint, crc32, rng, xml,
+// fault injection.
 
 #include <gtest/gtest.h>
 
+#include <cerrno>
+#include <cstdio>
 #include <map>
 #include <utility>
 #include <vector>
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include "util/crc32.h"
+#include "util/fault_injection.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -390,6 +397,144 @@ TEST(LoggingTest, PluggableSinkCapturesLinesAndRestores) {
   EXPECT_NE(captured[0].second.find("sink 42"), std::string::npos);
   // The formatted prefix (level + source location) is preserved.
   EXPECT_NE(captured[0].second.find("[ERROR"), std::string::npos);
+}
+
+// --- fault injection --------------------------------------------------------
+
+/// Guards against tests leaking armed faults into each other.
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Global().DisarmAll(); }
+  void TearDown() override { FaultInjector::Global().DisarmAll(); }
+};
+
+TEST_F(FaultInjectionTest, DisarmedShimsPassThrough) {
+  FaultInjector& fi = FaultInjector::Global();
+  EXPECT_FALSE(fi.enabled());
+  EXPECT_EQ(fi.Check("some/site"), 0);
+  fi.CrashPoint("some/site");  // must be a no-op
+}
+
+TEST_F(FaultInjectionTest, CheckReturnsArmedErrno) {
+  FaultInjector& fi = FaultInjector::Global();
+  FaultSpec spec;
+  spec.kind = FaultKind::kError;
+  spec.error_code = ENOSPC;
+  fi.Arm("site/a", spec);
+  EXPECT_TRUE(fi.enabled());
+  EXPECT_EQ(fi.Check("site/a"), ENOSPC);
+  EXPECT_EQ(fi.Check("site/b"), 0) << "only the armed site fires";
+  fi.Disarm("site/a");
+  EXPECT_EQ(fi.Check("site/a"), 0);
+}
+
+TEST_F(FaultInjectionTest, SkipAndCountBoundFiring) {
+  FaultInjector& fi = FaultInjector::Global();
+  FaultSpec spec;
+  spec.kind = FaultKind::kError;
+  spec.skip = 2;
+  spec.count = 3;
+  fi.Arm("site/skip", spec);
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (fi.Check("site/skip") != 0) ++fired;
+  }
+  EXPECT_EQ(fired, 3) << "skip 2 hits, then fire exactly 3 times";
+}
+
+TEST_F(FaultInjectionTest, CrashPointThrowsOnlyWhenArmed) {
+  FaultInjector& fi = FaultInjector::Global();
+  fi.CrashPoint("crash/site");
+  FaultSpec spec;
+  spec.kind = FaultKind::kCrash;
+  fi.Arm("crash/site", spec);
+  EXPECT_THROW(fi.CrashPoint("crash/site"), InjectedCrash);
+  try {
+    fi.CrashPoint("crash/site");
+    FAIL() << "expected InjectedCrash";
+  } catch (const InjectedCrash& crash) {
+    EXPECT_EQ(crash.site, "crash/site");
+  }
+}
+
+TEST_F(FaultInjectionTest, WriteShimInjectsShortWrite) {
+  FaultInjector& fi = FaultInjector::Global();
+  char path[] = "/tmp/schemr_fault_test_XXXXXX";
+  int fd = ::mkstemp(path);
+  ASSERT_GE(fd, 0);
+  FaultSpec spec;
+  spec.kind = FaultKind::kShortWrite;
+  spec.arg = 3;
+  spec.count = 1;
+  fi.Arm("write/site", spec);
+  errno = 0;
+  EXPECT_EQ(fi.Write("write/site", fd, "0123456789", 10), -1);
+  EXPECT_EQ(errno, EIO);
+  // The torn prefix reached the file; the next write is clean.
+  EXPECT_EQ(fi.Write("write/site", fd, "ab", 2), 2);
+  EXPECT_EQ(::lseek(fd, 0, SEEK_END), 5) << "3 torn bytes + 2 clean";
+  ::close(fd);
+  ::unlink(path);
+}
+
+TEST_F(FaultInjectionTest, ArmFromSpecParsesAllForms) {
+  FaultInjector& fi = FaultInjector::Global();
+  ASSERT_TRUE(fi.ArmFromSpec("a=eio;b=enospc;c=error:28;d=short:5;"
+                             "e=crash;f=delay:1;g=eio@2x3")
+                  .ok());
+  EXPECT_EQ(fi.Check("a"), EIO);
+  EXPECT_EQ(fi.Check("b"), ENOSPC);
+  EXPECT_EQ(fi.Check("c"), 28);
+  EXPECT_EQ(fi.Check("d"), EIO) << "short faults report their errno";
+  EXPECT_THROW(fi.Check("e"), InjectedCrash);
+  EXPECT_EQ(fi.Check("f"), 0) << "delay proceeds normally";
+  EXPECT_EQ(fi.Check("g"), 0) << "@2 skips the first two hits";
+  EXPECT_EQ(fi.Check("g"), 0);
+  EXPECT_NE(fi.Check("g"), 0);
+}
+
+TEST_F(FaultInjectionTest, ArmFromSpecRejectsMalformedSpecs) {
+  FaultInjector& fi = FaultInjector::Global();
+  EXPECT_FALSE(fi.ArmFromSpec("no_equals").ok());
+  EXPECT_FALSE(fi.ArmFromSpec("site=unknown_kind").ok());
+  EXPECT_FALSE(fi.ArmFromSpec("site=error").ok()) << "error needs :<errno>";
+  EXPECT_FALSE(fi.ArmFromSpec("site=delay").ok()) << "delay needs :<ms>";
+  EXPECT_FALSE(fi.ArmFromSpec("=eio").ok()) << "empty site name";
+}
+
+TEST_F(FaultInjectionTest, OpCountingAndScheduledCrash) {
+  FaultInjector& fi = FaultInjector::Global();
+  fi.CountOps(true);
+  EXPECT_EQ(fi.ops_seen(), 0u);
+  (void)fi.Check("x");
+  (void)fi.Check("y");
+  (void)fi.Check("z");
+  EXPECT_EQ(fi.ops_seen(), 3u);
+
+  fi.ScheduleCrashAtOp(2);
+  EXPECT_EQ(fi.ops_seen(), 0u) << "scheduling restarts the counter";
+  (void)fi.Check("x");
+  EXPECT_THROW(fi.Check("y"), InjectedCrash);
+  fi.DisarmAll();
+  EXPECT_FALSE(fi.enabled());
+  (void)fi.Check("x");
+  EXPECT_EQ(fi.ops_seen(), 0u) << "DisarmAll stops counting";
+}
+
+TEST_F(FaultInjectionTest, FiredFaultsAreCounted) {
+  FaultInjector& fi = FaultInjector::Global();
+  uint64_t before = fi.faults_fired();
+  FaultSpec spec;
+  spec.kind = FaultKind::kError;
+  spec.count = 2;
+  fi.Arm("count/site", spec);
+  (void)fi.Check("count/site");
+  (void)fi.Check("count/site");
+  (void)fi.Check("count/site");  // dormant: count exhausted
+  EXPECT_EQ(fi.faults_fired(), before + 2);
+  fi.DisarmAll();
+  EXPECT_EQ(fi.faults_fired(), before + 2)
+      << "DisarmAll keeps the lifetime total";
 }
 
 }  // namespace
