@@ -15,6 +15,9 @@ namespace schemr {
 
 void MatcherEnsemble::AddMatcher(std::unique_ptr<Matcher> matcher,
                                  double weight) {
+  // Precomputed here so Match() can consult the fault site without a
+  // per-(candidate x matcher) string allocation on the search hot path.
+  fault_sites_.push_back("match/" + matcher->Name());
   matchers_.push_back(std::move(matcher));
   weights_.push_back(weight);
 }
@@ -79,8 +82,7 @@ EnsembleResult MatcherEnsemble::Match(
     }
     Timer timer;
     try {
-      std::string site = "match/" + result.matcher_names.back();
-      int err = FaultInjector::Global().Check(site.c_str());
+      int err = FaultInjector::Global().Check(fault_sites_[m].c_str());
       if (err != 0) {
         throw std::runtime_error("injected matcher fault: " +
                                  std::string(std::strerror(err)));

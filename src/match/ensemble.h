@@ -97,6 +97,9 @@ class MatcherEnsemble {
  private:
   std::vector<std::unique_ptr<Matcher>> matchers_;
   std::vector<double> weights_;
+  /// "match/<name>" per matcher, precomputed so the hot path passes a
+  /// cached c_str() to the fault injector instead of allocating.
+  std::vector<std::string> fault_sites_;
   std::optional<LogisticModel> logistic_;
 };
 

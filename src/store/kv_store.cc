@@ -470,7 +470,18 @@ Status KvStore::AppendRecord(uint8_t type, std::string_view key,
   }
   if (options_.sync_on_write &&
       fi.Fsync("kv/append/fsync", active_fd_) != 0) {
-    return ErrnoStatus("fsync");
+    Status st = ErrnoStatus("fsync");
+    // The record is fully in the file but its durability is unknown. Cut
+    // it back off so the fd's append position stays in step with
+    // active_offset_ -- otherwise the next append lands after this
+    // orphan record while the index records the stale offset, and every
+    // later read in this segment fails with Corruption.
+    if (::ftruncate(active_fd_, static_cast<off_t>(active_offset_)) != 0) {
+      wedged_ = true;
+      SCHEMR_LOG(kError) << "cannot truncate unsynced append in '" << path_
+                         << "'; wedging store: " << std::strerror(errno);
+    }
+    return st;
   }
   if (loc != nullptr) {
     loc->segment_id = segment_ids_.back();
@@ -603,7 +614,22 @@ Status KvStore::Compact() {
 
   // 1. Durable intent: until the marker is cleared, recovery discards
   //    every segment with id >= new_id and falls back to the old files.
-  SCHEMR_RETURN_IF_ERROR(WriteCompactionMarker(new_id));
+  Status marked = WriteCompactionMarker(new_id);
+  if (!marked.ok()) {
+    // The marker payload may be complete on disk even though its fsync or
+    // the directory sync failed. If it survives while writes continue, a
+    // later segment roll can mint id new_id and the next Recover() would
+    // discard it as compaction output -- so remove the marker, or refuse
+    // further writes.
+    Status cleared = RemoveCompactionMarker();
+    if (!cleared.ok()) {
+      wedged_ = true;
+      SCHEMR_LOG(kError) << "cannot clear compaction marker after failed "
+                            "marker write; wedging store: "
+                         << cleared;
+    }
+    return marked;
+  }
   fi.CrashPoint("kv/compact/after_marker");
 
   // Restores the pre-compaction view after a mid-compaction failure: the

@@ -427,6 +427,73 @@ TEST_F(CrashRecoveryTest, AppendEnospcSurfacesErrorAndKeepsStoreUsable) {
   EXPECT_FALSE((*reopened)->Contains("doomed"));
 }
 
+TEST_F(CrashRecoveryTest, AppendFsyncFailureRollsRecordBack) {
+  FaultInjector& fi = FaultInjector::Global();
+  std::string dir = SubDir("store");
+  auto store = KvStore::Open(dir, TortureOptions());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("stable", "value").ok());
+
+  // The record is fully written before the fsync fails; without the
+  // ftruncate rollback the orphan record desyncs the O_APPEND position
+  // from active_offset_, and every later read in the segment returns
+  // Corruption until reopen.
+  FaultSpec eio;
+  eio.kind = FaultKind::kError;
+  eio.error_code = EIO;
+  eio.count = 1;
+  fi.Arm("kv/append/fsync", eio);
+  Status st = (*store)->Put("doomed", std::string(40, 'd'));
+  fi.DisarmAll();
+  ASSERT_FALSE(st.ok());
+
+  EXPECT_FALSE((*store)->Contains("doomed"));
+  ASSERT_TRUE((*store)->Put("next", "fine").ok());
+  EXPECT_EQ(*(*store)->Get("next"), "fine");
+  EXPECT_EQ(*(*store)->Get("stable"), "value");
+  auto reopened = KvStore::Open(dir, TortureOptions());
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ(*(*reopened)->Get("next"), "fine");
+  EXPECT_FALSE((*reopened)->Contains("doomed"));
+}
+
+TEST_F(CrashRecoveryTest, FailedMarkerFsyncDoesNotPoisonFutureSegments) {
+  FaultInjector& fi = FaultInjector::Global();
+  std::string dir = SubDir("store");
+  auto store = KvStore::Open(dir, TortureOptions());
+  ASSERT_TRUE(store.ok());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        (*store)->Put("k" + std::to_string(i), std::string(20, 'x')).ok());
+  }
+
+  // The marker payload lands but its fsync fails: the complete COMPACTING
+  // marker may survive on disk. Compact must remove it before returning,
+  // or a later segment roll mints the marker's first_output_id and the
+  // next Recover() silently discards that segment as compaction output.
+  FaultSpec eio;
+  eio.kind = FaultKind::kError;
+  eio.error_code = EIO;
+  eio.count = 1;
+  fi.Arm("kv/compact/marker_fsync", eio);
+  Status st = (*store)->Compact();
+  fi.DisarmAll();
+  ASSERT_FALSE(st.ok());
+
+  // Keep writing past max_segment_bytes so the store rolls into the id
+  // the failed compaction would have claimed.
+  std::map<std::string, std::string> model = Dump(**store);
+  for (int i = 0; i < 40; ++i) {
+    std::string key = "roll" + std::to_string(i);
+    std::string value(30, 'r');
+    ASSERT_TRUE((*store)->Put(key, value).ok());
+    model[key] = value;
+  }
+  auto reopened = KvStore::Open(dir, TortureOptions());
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ(Dump(**reopened), model);
+}
+
 TEST_F(CrashRecoveryTest, TornShortWriteIsTruncatedNotReplayed) {
   FaultInjector& fi = FaultInjector::Global();
   std::string dir = SubDir("store");
