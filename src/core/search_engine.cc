@@ -79,10 +79,23 @@ Result<std::vector<SearchResult>> SearchEngine::Search(
   SearchTrace* trace = options.trace;
   TraceSpan root_span(trace, "search");
 
+  // Snapshot isolation: in corpus mode, acquire the corpus once and run
+  // every phase against it. Ingest commits that land mid-search publish
+  // new snapshots and never touch this one.
+  std::shared_ptr<const CorpusSnapshot> snapshot;
+  const InvertedIndex* index = index_;
+  if (corpus_ != nullptr) {
+    snapshot = corpus_->Snapshot();
+    index = snapshot->index.get();
+    if (trace != nullptr) {
+      trace->Annotate(root_span.id(), "corpus_version", snapshot->version);
+    }
+  }
+
   // Phase 1: candidate extraction.
   Timer phase_timer;
   TraceSpan phase1_span(trace, "phase1_extract");
-  CandidateExtractor extractor(index_);
+  CandidateExtractor extractor(index);
   std::vector<Candidate> candidates =
       extractor.Extract(query, options.extraction);
   phase1_span.Annotate("pool_requested",
@@ -133,7 +146,12 @@ Result<std::vector<SearchResult>> SearchEngine::Search(
   const std::vector<std::string> matcher_names = ensemble_.MatcherNames();
 
   for (const Candidate& candidate : candidates) {
-    SCHEMR_ASSIGN_OR_RETURN(Schema schema, repository_->Get(candidate.schema_id));
+    // The schema comes from the same snapshot the candidates did, so the
+    // id always resolves even if the schema was removed after Snapshot().
+    SCHEMR_ASSIGN_OR_RETURN(
+        Schema schema, snapshot != nullptr
+                           ? snapshot->schemas->Get(candidate.schema_id)
+                           : repository_->Get(candidate.schema_id));
 
     SearchResult result;
     result.schema_id = candidate.schema_id;
@@ -262,11 +280,15 @@ Result<std::vector<SearchResult>> SearchEngine::Search(
   }
 
   // Collaboration boost: fold ratings and usage statistics in before the
-  // final sort.
+  // final sort. Annotations are read live (not from the snapshot): they
+  // tune ranking rather than define the corpus, and their accessors are
+  // internally synchronized.
   if (options.annotation_boost > 0.0) {
+    const SchemaRepository* annotations =
+        corpus_ != nullptr ? corpus_->repository() : repository_;
     for (SearchResult& result : results) {
-      auto rating = repository_->GetRatingSummary(result.schema_id);
-      auto usage = repository_->GetUsageCount(result.schema_id);
+      auto rating = annotations->GetRatingSummary(result.schema_id);
+      auto usage = annotations->GetUsageCount(result.schema_id);
       double rating_norm = rating.ok() ? rating->average / 5.0 : 0.0;
       double usage_norm =
           usage.ok() ? static_cast<double>(*usage) /

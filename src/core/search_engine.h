@@ -19,6 +19,7 @@
 
 #include "core/candidate_extractor.h"
 #include "core/query_graph.h"
+#include "core/serving_corpus.h"
 #include "core/tightness_of_fit.h"
 #include "index/inverted_index.h"
 #include "match/ensemble.h"
@@ -107,15 +108,34 @@ struct SearchEngineOptions {
 };
 
 /// Facade tying the repository, the index and the match engine together.
-/// Immutable references; safe for concurrent Search calls.
+///
+/// Thread safety depends on which constructor was used:
+///   - Corpus mode (ServingCorpus*): Search acquires one CorpusSnapshot
+///     up front and runs every phase against it, so concurrent Search
+///     calls are safe even while the corpus ingests -- each search sees
+///     a consistent pre- or post-commit corpus, never a mix.
+///   - Static mode (raw repository/index pointers): the engine does NOT
+///     synchronize those references. Concurrent Search calls are safe
+///     only while nothing mutates the repository or index; mutating
+///     either during a search is a data race. Use corpus mode for any
+///     serving path with live ingest.
+/// The ensemble is const during Search (matchers are stateless); do not
+/// call mutable_ensemble() concurrently with searches.
 class SearchEngine {
  public:
+  /// Static mode: caller guarantees `repository` and `index` outlive the
+  /// engine and do not change while searches run.
   SearchEngine(const SchemaRepository* repository,
                const InvertedIndex* index,
                MatcherEnsemble ensemble = MatcherEnsemble::Default())
       : repository_(repository),
         index_(index),
         ensemble_(std::move(ensemble)) {}
+
+  /// Corpus mode: snapshot-isolated searches over a live corpus.
+  explicit SearchEngine(const ServingCorpus* corpus,
+                        MatcherEnsemble ensemble = MatcherEnsemble::Default())
+      : corpus_(corpus), ensemble_(std::move(ensemble)) {}
 
   /// Runs the full pipeline for a query graph.
   Result<std::vector<SearchResult>> Search(
@@ -130,8 +150,10 @@ class SearchEngine {
   MatcherEnsemble& mutable_ensemble() { return ensemble_; }
 
  private:
-  const SchemaRepository* repository_;
-  const InvertedIndex* index_;
+  /// Corpus mode when set; otherwise the static pointers below are used.
+  const ServingCorpus* corpus_ = nullptr;
+  const SchemaRepository* repository_ = nullptr;
+  const InvertedIndex* index_ = nullptr;
   MatcherEnsemble ensemble_;
 };
 

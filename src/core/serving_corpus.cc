@@ -1,0 +1,86 @@
+#include "core/serving_corpus.h"
+
+#include "index/indexer.h"
+#include "util/fault_injection.h"
+
+namespace schemr {
+
+ServingCorpus::ServingCorpus(std::unique_ptr<SchemaRepository> repository,
+                             AnalyzerOptions analyzer_options)
+    : repository_(std::move(repository)),
+      analyzer_options_(analyzer_options),
+      index_(analyzer_options),
+      snapshot_(std::make_shared<const CorpusSnapshot>()) {}
+
+Result<std::unique_ptr<ServingCorpus>> ServingCorpus::Create(
+    std::unique_ptr<SchemaRepository> repository,
+    AnalyzerOptions analyzer_options) {
+  std::unique_ptr<ServingCorpus> corpus(
+      new ServingCorpus(std::move(repository), analyzer_options));
+  SCHEMR_RETURN_IF_ERROR(corpus->Reindex());
+  return corpus;
+}
+
+std::shared_ptr<const CorpusSnapshot> ServingCorpus::Snapshot() const {
+  return snapshot_.load(std::memory_order_acquire);
+}
+
+void ServingCorpus::PublishLocked() {
+  auto next = std::make_shared<CorpusSnapshot>();
+  next->version = Snapshot()->version + 1;
+  next->index = index_.Snapshot();
+  next->schemas = repository_->View();
+  FaultInjector::Global().Perturb("corpus/commit/publish");
+  snapshot_.store(std::shared_ptr<const CorpusSnapshot>(std::move(next)),
+                  std::memory_order_release);
+}
+
+Result<SchemaId> ServingCorpus::Ingest(Schema schema) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  // Durable commit first: a snapshot must never reference a schema the
+  // repository could not persist.
+  SCHEMR_ASSIGN_OR_RETURN(SchemaId id, repository_->Insert(schema));
+  schema.set_id(id);
+  SCHEMR_RETURN_IF_ERROR(index_.AddDocument(FlattenSchema(schema)));
+  PublishLocked();
+  return id;
+}
+
+Status ServingCorpus::Update(Schema schema) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  SCHEMR_RETURN_IF_ERROR(repository_->Update(schema));
+  // Replace the document in one index publication so no intermediate
+  // "removed but not re-added" index version can pair with the new view.
+  SCHEMR_RETURN_IF_ERROR(index_.Apply([&schema](InvertedIndex* index) {
+    SCHEMR_RETURN_IF_ERROR(index->RemoveDocument(schema.id()));
+    return index->AddDocument(FlattenSchema(schema));
+  }));
+  PublishLocked();
+  return Status::OK();
+}
+
+Status ServingCorpus::Remove(SchemaId id) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  SCHEMR_RETURN_IF_ERROR(repository_->Remove(id));
+  SCHEMR_RETURN_IF_ERROR(index_.RemoveDocument(id));
+  PublishLocked();
+  return Status::OK();
+}
+
+Status ServingCorpus::Reindex() {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  // Build against the repository view that will ship in the snapshot, so
+  // the rebuilt index and the published schemas agree exactly.
+  std::shared_ptr<const RepositoryView> schemas = repository_->View();
+  SCHEMR_RETURN_IF_ERROR(
+      index_.Apply([this, &schemas](InvertedIndex* index) {
+        *index = InvertedIndex(analyzer_options_);
+        return schemas->ForEach([index](const Schema& schema) {
+          return index->AddDocument(FlattenSchema(schema));
+        });
+      }));
+  PublishLocked();
+  return Status::OK();
+}
+
+}  // namespace schemr

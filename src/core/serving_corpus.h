@@ -1,0 +1,107 @@
+// The serving corpus: pairs the schema repository with a versioned text
+// index and publishes both as ONE immutable snapshot, so a search that
+// runs concurrently with ingest sees either the pre-commit corpus or the
+// post-commit corpus -- never the index of one and the schemas of the
+// other.
+//
+// Concurrency model (DESIGN.md §9):
+//   - Writers (Ingest/Update/Remove/Reindex) serialize on an internal
+//     mutex. Each commits durably to the repository first, then mutates
+//     the index copy-on-write, then publishes a fresh CorpusSnapshot by
+//     atomic shared_ptr swap.
+//   - Readers call Snapshot() (one acquire-load) and do all their work
+//     against that snapshot. They never block writers and writers never
+//     block them; a snapshot stays valid for as long as someone holds it
+//     and is retired by refcount.
+//   - The pairing invariant: within one snapshot, every document in the
+//     index resolves in the schema view and vice versa (assuming callers
+//     mutate only through this class).
+
+#ifndef SCHEMR_CORE_SERVING_CORPUS_H_
+#define SCHEMR_CORE_SERVING_CORPUS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "index/versioned_index.h"
+#include "repo/schema_repository.h"
+#include "text/analyzer.h"
+#include "util/status.h"
+
+namespace schemr {
+
+/// An immutable, internally consistent point-in-time view of the whole
+/// corpus. Everything reachable from it is const and safe to share
+/// across threads without further synchronization.
+struct CorpusSnapshot {
+  /// Monotone publication counter of the owning ServingCorpus.
+  uint64_t version = 0;
+  /// The text index at this version.
+  std::shared_ptr<const InvertedIndex> index;
+  /// The schema records at this version.
+  std::shared_ptr<const RepositoryView> schemas;
+};
+
+/// Owns a SchemaRepository plus the index built over it and keeps the two
+/// in lock-step behind atomically swapped snapshots.
+class ServingCorpus {
+ public:
+  /// Wraps `repository` (which may already hold schemas) and indexes its
+  /// current contents. Fails if an existing schema cannot be re-indexed.
+  static Result<std::unique_ptr<ServingCorpus>> Create(
+      std::unique_ptr<SchemaRepository> repository,
+      AnalyzerOptions analyzer_options = {});
+
+  /// Inserts the schema into the repository (durably, assigning an id),
+  /// indexes it, and publishes the combined snapshot. Returns the id.
+  Result<SchemaId> Ingest(Schema schema);
+
+  /// Replaces the schema with `schema.id()` and re-indexes it.
+  Status Update(Schema schema);
+
+  /// Removes the schema from the repository and the index.
+  Status Remove(SchemaId id);
+
+  /// Rebuilds the index from the repository's current contents (e.g.
+  /// after changing analyzer options upstream) and republishes.
+  Status Reindex();
+
+  /// The current corpus snapshot (never null; one acquire-load). Hold the
+  /// returned pointer for the duration of a search so every phase sees
+  /// the same corpus.
+  std::shared_ptr<const CorpusSnapshot> Snapshot() const;
+
+  /// Publication counter: bumped on every successful mutation.
+  uint64_t version() const { return Snapshot()->version; }
+
+  /// The live repository, for annotation traffic (comments, ratings,
+  /// usage) which is mutex-guarded internally and deliberately NOT part
+  /// of the snapshot: annotations tune ranking, they do not define the
+  /// corpus, so reading them live is acceptable and avoids republishing
+  /// on every click.
+  SchemaRepository* repository() { return repository_.get(); }
+  const SchemaRepository* repository() const { return repository_.get(); }
+
+ private:
+  ServingCorpus(std::unique_ptr<SchemaRepository> repository,
+                AnalyzerOptions analyzer_options);
+
+  /// Composes the current repository view + index snapshot into a new
+  /// CorpusSnapshot and swaps it in. Caller holds writer_mutex_.
+  void PublishLocked();
+
+  std::unique_ptr<SchemaRepository> repository_;
+  AnalyzerOptions analyzer_options_;
+  VersionedIndex index_;
+  /// Serializes Ingest/Update/Remove/Reindex so the repository view and
+  /// index snapshot composed by PublishLocked always belong together.
+  mutable std::mutex writer_mutex_;
+  std::atomic<std::shared_ptr<const CorpusSnapshot>> snapshot_;
+};
+
+}  // namespace schemr
+
+#endif  // SCHEMR_CORE_SERVING_CORPUS_H_

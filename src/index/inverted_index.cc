@@ -52,6 +52,9 @@ void InvertedIndex::IndexText(uint32_t ordinal, Field field,
 }
 
 Status InvertedIndex::AddDocument(const Document& doc) {
+  assert(active_readers_.load(std::memory_order_acquire) == 0 &&
+         "AddDocument during an active read epoch; mutate through "
+         "VersionedIndex for search-while-ingest");
   static Counter* docs_added = MetricsRegistry::Global().GetCounter(
       "schemr_index_docs_added_total", "Documents added to inverted indexes.");
   auto it = external_to_ordinal_.find(doc.external_id);
@@ -79,6 +82,9 @@ Status InvertedIndex::AddDocument(const Document& doc) {
 }
 
 Status InvertedIndex::RemoveDocument(uint64_t external_id) {
+  assert(active_readers_.load(std::memory_order_acquire) == 0 &&
+         "RemoveDocument during an active read epoch; mutate through "
+         "VersionedIndex for search-while-ingest");
   static Counter* docs_removed = MetricsRegistry::Global().GetCounter(
       "schemr_index_docs_removed_total",
       "Documents tombstoned in inverted indexes.");
@@ -109,6 +115,9 @@ size_t InvertedIndex::DocFreq(Field field, std::string_view term) const {
 }
 
 void InvertedIndex::Vacuum() {
+  assert(active_readers_.load(std::memory_order_acquire) == 0 &&
+         "Vacuum during an active read epoch; mutate through "
+         "VersionedIndex for search-while-ingest");
   // Map old ordinals to new ones, dropping tombstones.
   std::vector<uint32_t> remap(docs_.size(), UINT32_MAX);
   std::vector<DocInfo> new_docs;

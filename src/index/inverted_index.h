@@ -15,11 +15,14 @@
 #ifndef SCHEMR_INDEX_INVERTED_INDEX_H_
 #define SCHEMR_INDEX_INVERTED_INDEX_H_
 
+#include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "index/document.h"
@@ -43,12 +46,88 @@ struct DocInfo {
   bool deleted = false;
 };
 
-/// The index. Not thread-safe for concurrent mutation; concurrent reads
-/// are safe once building is done.
+/// The index.
+///
+/// Thread-safety contract (exact, not aspirational): an InvertedIndex has
+/// no internal synchronization. Concurrent reads are safe only while no
+/// mutator (AddDocument / RemoveDocument / Vacuum) is running; a mutation
+/// concurrent with any read is a data race. For live ingest alongside
+/// serving, do not mutate a shared instance — use VersionedIndex
+/// (index/versioned_index.h), which applies mutations copy-on-write and
+/// atomically publishes immutable snapshots, so readers pre-swap see the
+/// old index and readers post-swap see the new one, never a mix.
+///
+/// Readers declare themselves with a ReadScope; in debug builds the
+/// mutators assert that no read epoch is active, catching the
+/// unsynchronized search-while-ingest misuse at its source.
 class InvertedIndex {
  public:
   explicit InvertedIndex(AnalyzerOptions analyzer_options = {})
       : analyzer_(analyzer_options) {}
+
+  // Copies and moves transfer the corpus but never an active read epoch:
+  // the new instance starts with zero readers (std::atomic is neither
+  // copyable nor movable, so these are spelled out).
+  InvertedIndex(const InvertedIndex& other)
+      : analyzer_(other.analyzer_),
+        postings_(other.postings_),
+        docs_(other.docs_),
+        external_to_ordinal_(other.external_to_ordinal_),
+        live_docs_(other.live_docs_) {}
+  InvertedIndex(InvertedIndex&& other) noexcept
+      : analyzer_(std::move(other.analyzer_)),
+        postings_(std::move(other.postings_)),
+        docs_(std::move(other.docs_)),
+        external_to_ordinal_(std::move(other.external_to_ordinal_)),
+        live_docs_(other.live_docs_) {}
+  InvertedIndex& operator=(const InvertedIndex& other) {
+    if (this != &other) {
+      assert(active_readers_.load(std::memory_order_acquire) == 0 &&
+             "InvertedIndex overwritten during an active read epoch");
+      analyzer_ = other.analyzer_;
+      postings_ = other.postings_;
+      docs_ = other.docs_;
+      external_to_ordinal_ = other.external_to_ordinal_;
+      live_docs_ = other.live_docs_;
+    }
+    return *this;
+  }
+  InvertedIndex& operator=(InvertedIndex&& other) noexcept {
+    if (this != &other) {
+      assert(active_readers_.load(std::memory_order_acquire) == 0 &&
+             "InvertedIndex overwritten during an active read epoch");
+      analyzer_ = std::move(other.analyzer_);
+      postings_ = std::move(other.postings_);
+      docs_ = std::move(other.docs_);
+      external_to_ordinal_ = std::move(other.external_to_ordinal_);
+      live_docs_ = other.live_docs_;
+    }
+    return *this;
+  }
+
+  /// RAII read-epoch marker. Readers (the searcher, tests) hold one for
+  /// the duration of their traversal; mutators assert (debug builds) that
+  /// none is active. This is a misuse detector, not a lock — it makes the
+  /// documented contract observable instead of silently racy.
+  class ReadScope {
+   public:
+    explicit ReadScope(const InvertedIndex* index) : index_(index) {
+      index_->active_readers_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    ~ReadScope() {
+      index_->active_readers_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    ReadScope(const ReadScope&) = delete;
+    ReadScope& operator=(const ReadScope&) = delete;
+
+   private:
+    const InvertedIndex* index_;
+  };
+
+  /// Read epochs currently open (diagnostics and tests).
+  int32_t active_readers() const {
+    return active_readers_.load(std::memory_order_acquire);
+  }
 
   /// Analyzes and adds one document. Duplicate external ids are rejected
   /// with AlreadyExists (remove first to replace).
@@ -105,6 +184,8 @@ class InvertedIndex {
   std::vector<DocInfo> docs_;
   std::unordered_map<uint64_t, uint32_t> external_to_ordinal_;
   size_t live_docs_ = 0;
+  /// Open ReadScopes; mutators assert this is zero in debug builds.
+  mutable std::atomic<int32_t> active_readers_{0};
 };
 
 }  // namespace schemr

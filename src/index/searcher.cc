@@ -62,6 +62,9 @@ std::vector<ScoredDoc> Searcher::Search(std::string_view query_text,
 std::vector<ScoredDoc> Searcher::SearchTerms(
     const std::vector<std::string>& terms,
     const SearchOptions& options) const {
+  // Declare the read epoch so an unsynchronized concurrent mutation trips
+  // the index's debug assertion instead of racing silently.
+  InvertedIndex::ReadScope read_scope(index_);
   const SearcherMetrics& metrics = SearcherMetrics::Get();
   metrics.searches->Increment();
   std::vector<ScoredDoc> results;

@@ -1,0 +1,52 @@
+#include "index/versioned_index.h"
+
+#include <utility>
+
+#include "util/fault_injection.h"
+
+namespace schemr {
+
+VersionedIndex::VersionedIndex(AnalyzerOptions analyzer_options)
+    : current_(std::make_shared<const InvertedIndex>(analyzer_options)) {}
+
+VersionedIndex::VersionedIndex(InvertedIndex seed)
+    : current_(std::make_shared<const InvertedIndex>(std::move(seed))) {}
+
+std::shared_ptr<const InvertedIndex> VersionedIndex::Snapshot() const {
+  return current_.load(std::memory_order_acquire);
+}
+
+Status VersionedIndex::Apply(
+    const std::function<Status(InvertedIndex*)>& mutation) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  // Clone outside any reader's view: the clone has no readers, so the
+  // mutation below cannot race with in-flight searches on the old
+  // snapshot.
+  auto next = std::make_shared<InvertedIndex>(
+      *current_.load(std::memory_order_acquire));
+  SCHEMR_RETURN_IF_ERROR(mutation(next.get()));
+  FaultInjector::Global().Perturb("index/snapshot/swap");
+  current_.store(std::shared_ptr<const InvertedIndex>(std::move(next)),
+                 std::memory_order_release);
+  version_.fetch_add(1, std::memory_order_acq_rel);
+  return Status::OK();
+}
+
+Status VersionedIndex::AddDocument(const Document& doc) {
+  return Apply([&doc](InvertedIndex* index) { return index->AddDocument(doc); });
+}
+
+Status VersionedIndex::RemoveDocument(uint64_t external_id) {
+  return Apply([external_id](InvertedIndex* index) {
+    return index->RemoveDocument(external_id);
+  });
+}
+
+void VersionedIndex::Vacuum() {
+  (void)Apply([](InvertedIndex* index) {
+    index->Vacuum();
+    return Status::OK();
+  });
+}
+
+}  // namespace schemr

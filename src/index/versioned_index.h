@@ -1,0 +1,71 @@
+// Snapshot-isolated publication wrapper around InvertedIndex.
+//
+// A VersionedIndex holds the current index behind an atomically swapped
+// std::shared_ptr<const InvertedIndex>. Readers call Snapshot() and search
+// a consistent point-in-time index for as long as they hold the pointer;
+// writers clone the current index (copy-on-write), mutate the private
+// clone, and publish it with one atomic swap. Writers therefore never
+// block readers, readers never block writers, and no reader can observe a
+// torn (half-mutated) index. Retirement is reference counting: the old
+// snapshot is freed when its last reader drops it.
+//
+// Cost model: every published mutation pays a full deep copy of the
+// index, so this wrapper targets the serving workload of the paper's
+// architecture — interactive search traffic with incremental ingest —
+// not bulk loading. Batch builds should fill a plain InvertedIndex (or
+// use Apply with a multi-document mutation) and publish once.
+//
+// Writers serialize on an internal mutex; concurrent callers of the
+// mutators are safe.
+
+#ifndef SCHEMR_INDEX_VERSIONED_INDEX_H_
+#define SCHEMR_INDEX_VERSIONED_INDEX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "index/document.h"
+#include "index/inverted_index.h"
+#include "util/status.h"
+
+namespace schemr {
+
+class VersionedIndex {
+ public:
+  explicit VersionedIndex(AnalyzerOptions analyzer_options = {});
+
+  /// Adopts an already-built index as the first published snapshot.
+  explicit VersionedIndex(InvertedIndex seed);
+
+  /// The current immutable snapshot (never null). Searches run against
+  /// one snapshot for their whole lifetime; re-acquire to observe later
+  /// commits.
+  std::shared_ptr<const InvertedIndex> Snapshot() const;
+
+  /// Monotone publication counter; bumps on every successful mutation.
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
+
+  // --- copy-on-write mutators (each publishes one new snapshot) -----------
+
+  Status AddDocument(const Document& doc);
+  Status RemoveDocument(uint64_t external_id);
+  void Vacuum();
+
+  /// Generic commit: clones the current snapshot, runs `mutation` on the
+  /// clone, and publishes it only if the mutation returns OK (a failed
+  /// mutation publishes nothing — readers never see its partial effects).
+  /// Batch several documents into one Apply to amortize the clone.
+  Status Apply(const std::function<Status(InvertedIndex*)>& mutation);
+
+ private:
+  mutable std::mutex writer_mutex_;
+  std::atomic<std::shared_ptr<const InvertedIndex>> current_;
+  std::atomic<uint64_t> version_{0};
+};
+
+}  // namespace schemr
+
+#endif  // SCHEMR_INDEX_VERSIONED_INDEX_H_

@@ -2,8 +2,11 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
+#include <utility>
 
 #include "schema/schema_codec.h"
+#include "util/fault_injection.h"
 #include "util/logging.h"
 
 namespace schemr {
@@ -18,6 +21,58 @@ std::string AuxKey(char prefix, SchemaId id) {
   return buf;
 }
 }  // namespace
+
+// --- RepositoryView ----------------------------------------------------------
+
+Result<Schema> RepositoryView::Get(SchemaId id) const {
+  auto it = encoded_.find(id);
+  if (it == encoded_.end()) {
+    return Status::NotFound("schema " + std::to_string(id));
+  }
+  return DecodeSchema(*it->second);
+}
+
+bool RepositoryView::Contains(SchemaId id) const {
+  return encoded_.find(id) != encoded_.end();
+}
+
+std::vector<SchemaId> RepositoryView::Ids() const {
+  std::vector<SchemaId> ids;
+  ids.reserve(encoded_.size());
+  for (const auto& [id, encoded] : encoded_) ids.push_back(id);
+  return ids;
+}
+
+Result<std::vector<SchemaSummary>> RepositoryView::ListAll() const {
+  std::vector<SchemaSummary> out;
+  out.reserve(encoded_.size());
+  Status st = ForEach([&out](const Schema& schema) {
+    SchemaSummary s;
+    s.id = schema.id();
+    s.name = schema.name();
+    s.description = schema.description();
+    s.num_entities = schema.NumEntities();
+    s.num_attributes = schema.NumAttributes();
+    out.push_back(std::move(s));
+    return Status::OK();
+  });
+  SCHEMR_RETURN_IF_ERROR(st);
+  return out;
+}
+
+Status RepositoryView::ForEach(
+    const std::function<Status(const Schema&)>& fn) const {
+  for (const auto& [id, encoded] : encoded_) {
+    SCHEMR_ASSIGN_OR_RETURN(Schema schema, DecodeSchema(*encoded));
+    SCHEMR_RETURN_IF_ERROR(fn(schema));
+  }
+  return Status::OK();
+}
+
+// --- SchemaRepository --------------------------------------------------------
+
+SchemaRepository::SchemaRepository()
+    : view_(std::make_shared<const RepositoryView>()) {}
 
 std::string SchemaRepository::KeyFor(SchemaId id) {
   char buf[32];
@@ -52,6 +107,17 @@ Result<std::unique_ptr<SchemaRepository>> SchemaRepository::Open(
   } else if (!next.status().IsNotFound()) {
     return next.status();
   }
+  // Materialize the first published view from the replayed store, so
+  // every read after Open is already snapshot-isolated.
+  std::map<SchemaId, std::shared_ptr<const std::string>> initial;
+  for (const auto& key : repo->store_->Keys()) {
+    if (key.rfind(kSchemaKeyPrefix, 0) != 0) continue;
+    SchemaId id = std::strtoull(key.c_str() + 2, nullptr, 16);
+    SCHEMR_ASSIGN_OR_RETURN(std::string encoded, repo->store_->Get(key));
+    initial[id] = std::make_shared<const std::string>(std::move(encoded));
+  }
+  std::lock_guard<std::mutex> lock(repo->mutex_);
+  repo->PublishLocked([&initial](auto* records) { *records = std::move(initial); });
   return repo;
 }
 
@@ -59,22 +125,38 @@ std::unique_ptr<SchemaRepository> SchemaRepository::OpenInMemory() {
   return std::unique_ptr<SchemaRepository>(new SchemaRepository());
 }
 
-Status SchemaRepository::PutLocked(SchemaId id, const std::string& encoded) {
-  if (store_ != nullptr) {
-    SCHEMR_RETURN_IF_ERROR(store_->Put(KeyFor(id), encoded));
-    return store_->Put(kNextIdKey, std::to_string(next_id_));
-  }
-  memory_[id] = encoded;
-  return Status::OK();
+std::shared_ptr<const RepositoryView> SchemaRepository::View() const {
+  return view_.load(std::memory_order_acquire);
 }
 
-Result<std::string> SchemaRepository::GetLocked(SchemaId id) const {
-  if (store_ != nullptr) return store_->Get(KeyFor(id));
-  auto it = memory_.find(id);
-  if (it == memory_.end()) {
-    return Status::NotFound("schema " + std::to_string(id));
+void SchemaRepository::PublishLocked(
+    const std::function<void(
+        std::map<SchemaId, std::shared_ptr<const std::string>>*)>& mutate) {
+  // Copy-on-write: the map is copied (shared payloads), the delta applied
+  // to the copy, and the new view swapped in. Readers holding the old
+  // view are untouched.
+  auto next = std::make_shared<RepositoryView>();
+  std::shared_ptr<const RepositoryView> current =
+      view_.load(std::memory_order_acquire);
+  next->encoded_ = current->encoded_;
+  next->version_ = current->version_ + 1;
+  mutate(&next->encoded_);
+  FaultInjector::Global().Perturb("repo/view/publish");
+  view_.store(std::shared_ptr<const RepositoryView>(std::move(next)),
+              std::memory_order_release);
+}
+
+Status SchemaRepository::PutLocked(SchemaId id, std::string encoded) {
+  if (store_ != nullptr) {
+    // Durable commit first: a view is published only once the store holds
+    // the record, so a crash between the two replays to the published
+    // state or earlier, never ahead of it.
+    SCHEMR_RETURN_IF_ERROR(store_->Put(KeyFor(id), encoded));
+    SCHEMR_RETURN_IF_ERROR(store_->Put(kNextIdKey, std::to_string(next_id_)));
   }
-  return it->second;
+  auto record = std::make_shared<const std::string>(std::move(encoded));
+  PublishLocked([id, &record](auto* records) { (*records)[id] = record; });
+  return Status::OK();
 }
 
 Result<SchemaId> SchemaRepository::Insert(Schema schema) {
@@ -92,88 +174,43 @@ Status SchemaRepository::Update(const Schema& schema) {
   }
   SCHEMR_RETURN_IF_ERROR(schema.Validate());
   std::lock_guard<std::mutex> lock(mutex_);
-  if (!GetLocked(schema.id()).ok()) {
+  if (!ContainsLocked(schema.id())) {
     return Status::NotFound("schema " + std::to_string(schema.id()));
   }
   return PutLocked(schema.id(), EncodeSchema(schema));
 }
 
 Result<Schema> SchemaRepository::Get(SchemaId id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  SCHEMR_ASSIGN_OR_RETURN(std::string encoded, GetLocked(id));
-  return DecodeSchema(encoded);
+  return View()->Get(id);
 }
 
 Status SchemaRepository::Remove(SchemaId id) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (store_ != nullptr) {
-    if (!store_->Contains(KeyFor(id))) {
-      return Status::NotFound("schema " + std::to_string(id));
-    }
-    return store_->Delete(KeyFor(id));
-  }
-  if (memory_.erase(id) == 0) {
+  if (!ContainsLocked(id)) {
     return Status::NotFound("schema " + std::to_string(id));
   }
+  if (store_ != nullptr) {
+    SCHEMR_RETURN_IF_ERROR(store_->Delete(KeyFor(id)));
+  }
+  PublishLocked([id](auto* records) { records->erase(id); });
   return Status::OK();
 }
 
 bool SchemaRepository::Contains(SchemaId id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (store_ != nullptr) return store_->Contains(KeyFor(id));
-  return memory_.find(id) != memory_.end();
+  return View()->Contains(id);
 }
 
-size_t SchemaRepository::Size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (store_ != nullptr) {
-    // All keys with the schema prefix.
-    size_t n = 0;
-    for (const auto& key : store_->Keys()) {
-      if (key.rfind(kSchemaKeyPrefix, 0) == 0) ++n;
-    }
-    return n;
-  }
-  return memory_.size();
-}
+size_t SchemaRepository::Size() const { return View()->Size(); }
 
-std::vector<SchemaId> SchemaRepository::Ids() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  std::vector<SchemaId> ids;
-  if (store_ != nullptr) {
-    for (const auto& key : store_->Keys()) {
-      if (key.rfind(kSchemaKeyPrefix, 0) != 0) continue;
-      ids.push_back(std::strtoull(key.c_str() + 2, nullptr, 16));
-    }
-  } else {
-    for (const auto& [id, encoded] : memory_) ids.push_back(id);
-  }
-  return ids;  // store keys are hex zero-padded → already ascending
-}
+std::vector<SchemaId> SchemaRepository::Ids() const { return View()->Ids(); }
 
 Result<std::vector<SchemaSummary>> SchemaRepository::ListAll() const {
-  std::vector<SchemaSummary> out;
-  Status st = ForEach([&out](const Schema& schema) {
-    SchemaSummary s;
-    s.id = schema.id();
-    s.name = schema.name();
-    s.description = schema.description();
-    s.num_entities = schema.NumEntities();
-    s.num_attributes = schema.NumAttributes();
-    out.push_back(std::move(s));
-    return Status::OK();
-  });
-  SCHEMR_RETURN_IF_ERROR(st);
-  return out;
+  return View()->ListAll();
 }
 
 Status SchemaRepository::ForEach(
     const std::function<Status(const Schema&)>& fn) const {
-  for (SchemaId id : Ids()) {
-    SCHEMR_ASSIGN_OR_RETURN(Schema schema, Get(id));
-    SCHEMR_RETURN_IF_ERROR(fn(schema));
-  }
-  return Status::OK();
+  return View()->ForEach(fn);
 }
 
 Status SchemaRepository::Compact() {
@@ -212,8 +249,7 @@ Result<std::string> SchemaRepository::GetAuxLocked(
 }
 
 bool SchemaRepository::ContainsLocked(SchemaId id) const {
-  if (store_ != nullptr) return store_->Contains(KeyFor(id));
-  return memory_.find(id) != memory_.end();
+  return View()->Contains(id);
 }
 
 Status SchemaRepository::AddComment(SchemaId id,

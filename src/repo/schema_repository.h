@@ -6,11 +6,23 @@
 // bulk scan (the offline text indexer) and point lookup (the visualization
 // service resolving a clicked result's schema id).
 //
-// Thread-safe: all operations take an internal mutex.
+// Concurrency model (DESIGN.md §9): schema reads are snapshot-isolated
+// and lock-free. Every successful mutation republishes an immutable
+// RepositoryView — a point-in-time map of encoded schema records behind
+// an atomically swapped shared_ptr — and Get/Contains/Size/Ids/ListAll/
+// ForEach serve from the current view without taking the mutex. Writers
+// (and the annotation endpoints, whose read-modify-write cycles need it)
+// serialize on the internal mutex; durable writes commit to the store
+// before the new view is published, so a published view never shows a
+// record the store could lose on crash. View payloads are shared between
+// generations (copy-on-write of the id map, not of the encoded bytes),
+// so a republish costs O(schemas · log) pointer copies.
 
 #ifndef SCHEMR_REPO_SCHEMA_REPOSITORY_H_
 #define SCHEMR_REPO_SCHEMA_REPOSITORY_H_
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -34,6 +46,40 @@ struct SchemaSummary {
   std::string description;
   size_t num_entities = 0;
   size_t num_attributes = 0;
+};
+
+/// An immutable point-in-time view of the repository's schema records.
+/// Acquired via SchemaRepository::View() (or inside a CorpusSnapshot) and
+/// valid for as long as the caller holds the shared_ptr; later mutations
+/// publish new views and never touch this one. All methods are const and
+/// safe to call from any number of threads.
+class RepositoryView {
+ public:
+  /// Decodes and returns the schema; NotFound if absent in this view.
+  Result<Schema> Get(SchemaId id) const;
+
+  bool Contains(SchemaId id) const;
+  size_t Size() const { return encoded_.size(); }
+
+  /// All schema ids in this view, ascending.
+  std::vector<SchemaId> Ids() const;
+
+  /// Summaries of all schemas in this view, ascending by id.
+  Result<std::vector<SchemaSummary>> ListAll() const;
+
+  /// Calls `fn` for every schema in this view, ascending by id; stops on
+  /// first error. Unlike iterating Get() against the live repository,
+  /// the iteration is point-in-time consistent.
+  Status ForEach(const std::function<Status(const Schema&)>& fn) const;
+
+  /// Monotone publication counter of the owning repository.
+  uint64_t version() const { return version_; }
+
+ private:
+  friend class SchemaRepository;
+  uint64_t version_ = 0;
+  /// Encoded records, shared (not copied) across view generations.
+  std::map<SchemaId, std::shared_ptr<const std::string>> encoded_;
 };
 
 /// Durable or in-memory collection of schemas keyed by SchemaId.
@@ -65,6 +111,14 @@ class SchemaRepository {
 
   bool Contains(SchemaId id) const;
   size_t Size() const;
+
+  /// The current immutable snapshot of the schema records (never null).
+  /// Reads through one view are point-in-time consistent; re-acquire to
+  /// observe later commits.
+  std::shared_ptr<const RepositoryView> View() const;
+
+  /// Publication counter: how many views have been published.
+  uint64_t version() const { return View()->version(); }
 
   /// All schema ids, ascending.
   std::vector<SchemaId> Ids() const;
@@ -108,18 +162,27 @@ class SchemaRepository {
   Result<uint64_t> GetUsageCount(SchemaId id) const;
 
  private:
-  SchemaRepository() = default;
+  SchemaRepository();
 
-  // One of the two backends is set.
-  std::unique_ptr<KvStore> store_;                  // persistent
-  std::map<SchemaId, std::string> memory_;          // in-memory encoded
+  /// Null store = in-memory mode (the published view is then the only
+  /// copy of the schema records).
+  std::unique_ptr<KvStore> store_;
 
   SchemaId next_id_ = 1;
+  /// Serializes writers and the annotation read-modify-write cycles.
+  /// Schema reads do not take it — they go through view_.
   mutable std::mutex mutex_;
+  /// The current immutable schema view, swapped on every mutation.
+  std::atomic<std::shared_ptr<const RepositoryView>> view_;
 
   static std::string KeyFor(SchemaId id);
-  Status PutLocked(SchemaId id, const std::string& encoded);
-  Result<std::string> GetLocked(SchemaId id) const;
+  /// Commits to the store (durable first), then publishes a new view
+  /// containing the record.
+  Status PutLocked(SchemaId id, std::string encoded);
+  /// Publishes a copy of the current view with `mutate` applied.
+  void PublishLocked(
+      const std::function<void(
+          std::map<SchemaId, std::shared_ptr<const std::string>>*)>& mutate);
 
   // Auxiliary (annotation) records share the key space of the store with
   // their own prefixes; the in-memory backend keeps them in aux_.

@@ -1,0 +1,144 @@
+#include "service/admission.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "obs/metrics.h"
+
+namespace schemr {
+
+namespace {
+
+uint64_t ToBits(double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+double FromBits(uint64_t bits) {
+  double value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+/// Shed accounting: one total plus a per-reason breakdown, so dashboards
+/// can tell "queue bound hit" from "deadline infeasible" from "draining".
+struct AdmissionMetrics {
+  Counter* admitted;
+  Counter* shed_total;
+  Counter* shed_queue_full;
+  Counter* shed_deadline;
+  Counter* shed_drain;
+  Gauge* queue_depth;
+
+  static const AdmissionMetrics& Get() {
+    static const AdmissionMetrics* metrics = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return new AdmissionMetrics{
+          r.GetCounter("schemr_requests_admitted_total",
+                       "Requests accepted by admission control."),
+          r.GetCounter("schemr_requests_shed_total",
+                       "Requests refused by admission control (all "
+                       "reasons)."),
+          r.GetCounter("schemr_requests_shed_queue_full_total",
+                       "Requests shed because the pending queue was at "
+                       "its bound."),
+          r.GetCounter("schemr_requests_shed_deadline_total",
+                       "Requests shed because predicted queueing delay "
+                       "exceeded their deadline."),
+          r.GetCounter("schemr_requests_shed_drain_total",
+                       "Requests refused because the service was "
+                       "draining for shutdown."),
+          r.GetGauge("schemr_admission_queue_depth",
+                     "Pending queue depth observed at the last admission "
+                     "decision."),
+      };
+    }();
+    return *metrics;
+  }
+};
+
+}  // namespace
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options),
+      ewma_bits_(ToBits(std::max(1e-6, options.initial_service_seconds))) {}
+
+double AdmissionController::PredictedServiceSeconds() const {
+  return FromBits(ewma_bits_.load(std::memory_order_relaxed));
+}
+
+void AdmissionController::RecordServiceTime(double seconds) {
+  if (seconds < 0.0) return;
+  uint64_t observed = ewma_bits_.load(std::memory_order_relaxed);
+  uint64_t next;
+  do {
+    const double current = FromBits(observed);
+    next = ToBits(current + options_.ewma_alpha * (seconds - current));
+  } while (!ewma_bits_.compare_exchange_weak(observed, next,
+                                             std::memory_order_relaxed));
+}
+
+void AdmissionController::CountShed(const std::string& reason) {
+  const AdmissionMetrics& metrics = AdmissionMetrics::Get();
+  metrics.shed_total->Increment();
+  if (reason == "queue_full") {
+    metrics.shed_queue_full->Increment();
+  } else if (reason == "deadline") {
+    metrics.shed_deadline->Increment();
+  } else if (reason == "shutting_down") {
+    metrics.shed_drain->Increment();
+  }
+}
+
+AdmissionDecision AdmissionController::Admit(size_t queue_depth,
+                                             double deadline_seconds) {
+  const AdmissionMetrics& metrics = AdmissionMetrics::Get();
+  metrics.queue_depth->Set(static_cast<double>(queue_depth));
+
+  AdmissionDecision decision;
+  decision.deadline_seconds = deadline_seconds > 0.0
+                                  ? deadline_seconds
+                                  : options_.default_deadline_seconds;
+
+  const double predicted = PredictedServiceSeconds();
+  const double workers =
+      static_cast<double>(std::max<size_t>(1, options_.num_workers));
+  // Expected time before a worker reaches a request joining now: the
+  // backlog drained at worker parallelism, plus its own service time.
+  const double expected_wait =
+      predicted * (static_cast<double>(queue_depth) / workers + 1.0);
+
+  if (draining()) {
+    decision.admit = false;
+    decision.reason = "shutting_down";
+    // No useful retry horizon: this process is going away.
+    decision.retry_after_ms = 0.0;
+    CountShed("shutting_down");
+    return decision;
+  }
+
+  if (queue_depth >= options_.max_queue_depth) {
+    decision.admit = false;
+    decision.reason = "queue_full";
+    decision.retry_after_ms =
+        std::max(options_.retry_after_base_ms, expected_wait * 1e3);
+    CountShed("queue_full");
+    return decision;
+  }
+
+  if (expected_wait > decision.deadline_seconds) {
+    decision.admit = false;
+    decision.reason = "deadline";
+    decision.retry_after_ms = std::max(
+        options_.retry_after_base_ms,
+        (expected_wait - decision.deadline_seconds) * 1e3);
+    CountShed("deadline");
+    return decision;
+  }
+
+  metrics.admitted->Increment();
+  return decision;
+}
+
+}  // namespace schemr

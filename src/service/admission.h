@@ -1,0 +1,91 @@
+// Admission control for the serving path (DESIGN.md §9).
+//
+// A service that accepts every request under overload serves all of them
+// late; one that sheds the excess early serves the rest on time. The
+// controller decides, before any pipeline work runs, whether a request
+// should be (a) admitted, (b) shed because the queue is full, (c) shed
+// because the predicted queueing delay already exceeds the request's
+// deadline (admitting it would only waste a worker on a response the
+// client has given up on), or (d) refused because the service is
+// draining for shutdown.
+//
+// Shed responses carry a retry_after_ms hint derived from the predicted
+// per-request service time (an EWMA over completed requests) and the
+// current backlog, so well-behaved clients back off proportionally to
+// the actual overload instead of hammering a fixed interval.
+//
+// Thread safety: all methods are safe to call concurrently; state is a
+// pair of atomics (drain flag, EWMA bits) plus lock-free metric handles.
+
+#ifndef SCHEMR_SERVICE_ADMISSION_H_
+#define SCHEMR_SERVICE_ADMISSION_H_
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+
+namespace schemr {
+
+struct AdmissionOptions {
+  /// Requests queued (not yet running) beyond this are shed.
+  size_t max_queue_depth = 64;
+  /// Worker parallelism, for queueing-delay prediction (set this to the
+  /// executor's worker count).
+  size_t num_workers = 4;
+  /// Deadline assumed for requests that do not carry one, in seconds.
+  double default_deadline_seconds = 2.0;
+  /// Floor of the retry_after_ms hint on shed responses.
+  double retry_after_base_ms = 50.0;
+  /// EWMA smoothing for the per-request service-time estimate.
+  double ewma_alpha = 0.2;
+  /// Seed for the service-time estimate before any request completes.
+  double initial_service_seconds = 0.05;
+};
+
+/// Why a request was or was not admitted.
+struct AdmissionDecision {
+  bool admit = true;
+  /// On shed: how long the client should wait before retrying.
+  double retry_after_ms = 0.0;
+  /// On shed: "queue_full", "deadline", or "shutting_down".
+  std::string reason;
+  /// The deadline the request will run under (the request's own, or the
+  /// configured default), in seconds.
+  double deadline_seconds = 0.0;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options = {});
+
+  /// Decides admission for a request given the executor's current queue
+  /// depth. `deadline_seconds` <= 0 uses the configured default.
+  AdmissionDecision Admit(size_t queue_depth, double deadline_seconds);
+
+  /// Feeds a completed request's wall time into the EWMA.
+  void RecordServiceTime(double seconds);
+
+  /// Tallies a shed that happened outside Admit() (e.g. the submit lost a
+  /// race with the queue filling up after admission). `reason` must be
+  /// one of "queue_full", "deadline", "shutting_down".
+  void CountShed(const std::string& reason);
+
+  /// Current per-request service-time estimate, in seconds.
+  double PredictedServiceSeconds() const;
+
+  /// After this, every Admit() refuses with reason "shutting_down".
+  void BeginDrain() { draining_.store(true, std::memory_order_release); }
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  AdmissionOptions options_;
+  std::atomic<bool> draining_{false};
+  /// EWMA of service seconds, stored as bit pattern for lock-free CAS.
+  std::atomic<uint64_t> ewma_bits_;
+};
+
+}  // namespace schemr
+
+#endif  // SCHEMR_SERVICE_ADMISSION_H_

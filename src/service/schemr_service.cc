@@ -1,9 +1,13 @@
 #include "service/schemr_service.h"
 
+#include <algorithm>
+#include <condition_variable>
+
 #include "core/query_parser.h"
 #include "match/codebook.h"
 #include "obs/exposition.h"
 #include "obs/metrics.h"
+#include "util/fault_injection.h"
 #include "util/timer.h"
 #include "util/xml_writer.h"
 #include "viz/graphml_writer.h"
@@ -93,7 +97,50 @@ std::unordered_map<ElementId, double> ScoreMap(
   return map;
 }
 
+/// Serializes a failure as the wire format's error envelope; every
+/// HandleSearchXml response is well-formed XML, including refusals.
+std::string ErrorXml(const std::string& code, const std::string& message,
+                     double retry_after_ms = -1.0) {
+  XmlWriter xml;
+  xml.Open("error").Attribute("code", code);
+  if (retry_after_ms >= 0.0) {
+    xml.Attribute("retry_after_ms", retry_after_ms);
+  }
+  if (!message.empty()) xml.Attribute("message", message);
+  xml.Close();
+  return xml.Finish();
+}
+
+/// Status-code name as an XML-friendly slug ("parse error" ->
+/// "parse_error").
+std::string StatusCodeSlug(StatusCode code) {
+  std::string slug = StatusCodeName(code);
+  std::replace(slug.begin(), slug.end(), ' ', '_');
+  return slug;
+}
+
+struct ServingMetrics {
+  Gauge* inflight;
+
+  static const ServingMetrics& Get() {
+    static const ServingMetrics* metrics = [] {
+      return new ServingMetrics{
+          MetricsRegistry::Global().GetGauge(
+              "schemr_requests_inflight",
+              "Admitted search requests currently executing or queued."),
+      };
+    }();
+    return *metrics;
+  }
+};
+
 }  // namespace
+
+SchemrService::~SchemrService() {
+  // Best-effort immediate drain; queued requests are cancelled and their
+  // waiters (if any are somehow still alive) receive shutting_down.
+  if (executor_ != nullptr) (void)executor_->Shutdown(0.0);
+}
 
 Status SchemrService::ValidateRequest(const SearchRequest& request) const {
   if (request.top_k == 0) {
@@ -197,9 +244,33 @@ Result<std::string> SchemrService::SearchXml(
   return xml.Finish();
 }
 
+Status SchemrService::ValidateRequest(
+    const VisualizationRequest& request) const {
+  if (request.max_depth > limits_.max_viz_depth) {
+    return Status::InvalidArgument(
+        "max_depth (" + std::to_string(request.max_depth) +
+        ") exceeds the service cap (" +
+        std::to_string(limits_.max_viz_depth) + ")");
+  }
+  if (!request.layout.empty() && request.layout != "tree" &&
+      request.layout != "radial") {
+    return Status::InvalidArgument("unknown layout '" + request.layout +
+                                   "' (expected 'tree' or 'radial')");
+  }
+  return Status::OK();
+}
+
 Result<SchemaGraphView> SchemrService::BuildView(
     const VisualizationRequest& request) const {
-  SCHEMR_ASSIGN_OR_RETURN(Schema schema, repository_->Get(request.schema_id));
+  // Validation first: malformed requests are refused before any
+  // repository access or layout work.
+  SCHEMR_RETURN_IF_ERROR(ValidateRequest(request));
+  // Corpus mode resolves the schema through the current snapshot so the
+  // drill-in is point-in-time consistent, like Search.
+  SCHEMR_ASSIGN_OR_RETURN(
+      Schema schema, corpus_ != nullptr
+                         ? corpus_->Snapshot()->schemas->Get(request.schema_id)
+                         : repository_->Get(request.schema_id));
   GraphViewOptions options;
   options.max_depth = request.max_depth;
   options.root = request.root;
@@ -244,6 +315,154 @@ Result<std::string> SchemrService::GetSchemaSvg(
   auto view = BuildView(request);
   if (!scope.Check(view).ok()) return view.status();
   return WriteSvg(*view);
+}
+
+Status SchemrService::StartServing(ServingOptions options) {
+  if (corpus_ == nullptr) {
+    return Status::InvalidArgument(
+        "StartServing requires corpus mode: snapshot isolation is what "
+        "makes concurrent serving safe");
+  }
+  std::lock_guard<std::mutex> lock(serving_mutex_);
+  if (shut_down_) {
+    return Status::Unavailable("service was shut down; build a new one");
+  }
+  if (executor_ != nullptr) {
+    return Status::InvalidArgument("already serving");
+  }
+  // The admission controller's queueing-delay model must agree with the
+  // executor's actual parallelism.
+  options.admission.num_workers = options.executor.num_workers;
+  serving_options_ = options;
+  admission_ = std::make_unique<AdmissionController>(options.admission);
+  executor_ = std::make_unique<BoundedExecutor>(options.executor);
+  return Status::OK();
+}
+
+bool SchemrService::serving() const {
+  std::lock_guard<std::mutex> lock(serving_mutex_);
+  return executor_ != nullptr && !shut_down_;
+}
+
+Status SchemrService::Shutdown(double deadline_seconds) {
+  std::unique_lock<std::mutex> lock(serving_mutex_);
+  if (executor_ == nullptr) {
+    shut_down_ = true;
+    return Status::OK();
+  }
+  admission_->BeginDrain();
+  BoundedExecutor* executor = executor_.get();
+  // Drain outside the lock: in-flight handlers re-enter serving_mutex_
+  // briefly and must not deadlock against us. The executor pointer stays
+  // valid because executor_ is never reset, only wedged.
+  lock.unlock();
+  Status drained = executor->Shutdown(deadline_seconds);
+  lock.lock();
+  shut_down_ = true;
+  return drained;
+}
+
+std::string SchemrService::RunSearchToXml(
+    const SearchRequest& request, double deadline_seconds,
+    double original_deadline_seconds) const {
+  const ServingMetrics& serving_metrics = ServingMetrics::Get();
+  serving_metrics.inflight->Add(1.0);
+  SearchEngineOptions options;
+  // Whatever the queue wait left is the pipeline's wall-clock budget; the
+  // engine degrades (coarse-only tail) instead of erroring when it fires.
+  const double remaining = std::max(deadline_seconds, 1e-3);
+  options.deadline_seconds = remaining;
+  if (remaining < original_deadline_seconds *
+                      serving_options_.near_deadline_fraction) {
+    // Near-deadline admission: tighten the per-matcher budget so the
+    // request finishes degraded within what is left rather than being
+    // dropped (the PR-2 degradation ladder).
+    options.matcher_budget_seconds =
+        remaining * serving_options_.near_deadline_budget_fraction;
+  }
+  Result<std::string> xml = SearchXml(request, options);
+  serving_metrics.inflight->Add(-1.0);
+  if (xml.ok()) return *std::move(xml);
+  return ErrorXml(StatusCodeSlug(xml.status().code()),
+                  xml.status().message());
+}
+
+std::string SchemrService::HandleSearchXml(const SearchRequest& request,
+                                           double deadline_seconds) const {
+  BoundedExecutor* executor = nullptr;
+  AdmissionController* admission = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(serving_mutex_);
+    if (shut_down_) {
+      return ErrorXml("shutting_down", "service is shut down");
+    }
+    executor = executor_.get();
+    admission = admission_.get();
+  }
+  if (executor == nullptr) {
+    // Not serving: run inline on the caller's thread, still bounded by
+    // the (default) deadline. Single-threaded callers need no pool.
+    const double deadline = deadline_seconds > 0.0
+                                ? deadline_seconds
+                                : AdmissionOptions{}.default_deadline_seconds;
+    return RunSearchToXml(request, deadline, deadline);
+  }
+
+  AdmissionDecision decision =
+      admission->Admit(executor->QueueDepth(), deadline_seconds);
+  if (!decision.admit) {
+    if (decision.reason == "shutting_down") {
+      return ErrorXml("shutting_down", "service is draining");
+    }
+    return ErrorXml("overloaded", "request shed (" + decision.reason + ")",
+                    decision.retry_after_ms);
+  }
+
+  // Hand the request to a worker and wait for its completion signal. The
+  // executor guarantees the task runs exactly once (cancelled=true if the
+  // drain deadline expired first), so this wait cannot strand.
+  struct Completion {
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    bool done = false;
+    std::string xml;
+  };
+  auto state = std::make_shared<Completion>();
+  const Timer wait_timer;
+  const double deadline = decision.deadline_seconds;
+  Status submitted = executor->TrySubmit(
+      [this, state, request, wait_timer, deadline](bool cancelled) {
+        std::string xml =
+            cancelled
+                ? ErrorXml("shutting_down", "cancelled by shutdown drain")
+                : RunSearchToXml(request,
+                                 deadline - wait_timer.ElapsedSeconds(),
+                                 deadline);
+        {
+          std::lock_guard<std::mutex> lock(state->mutex);
+          state->xml = std::move(xml);
+          state->done = true;
+        }
+        state->done_cv.notify_all();
+      });
+  if (!submitted.ok()) {
+    // Lost the race between the admission check and the enqueue (another
+    // thread filled the queue, or drain began). Shed rather than block;
+    // CountShed keeps schemr_requests_shed_total accounting for every
+    // rejection, raced or not.
+    if (admission->draining()) {
+      admission->CountShed("shutting_down");
+      return ErrorXml("shutting_down", "service is draining");
+    }
+    admission->CountShed("queue_full");
+    return ErrorXml("overloaded", submitted.message(),
+                    admission->options().retry_after_base_ms);
+  }
+  FaultInjector::Global().Perturb("service/handoff/wait");
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done_cv.wait(lock, [&state] { return state->done; });
+  admission->RecordServiceTime(wait_timer.ElapsedSeconds());
+  return std::move(state->xml);
 }
 
 std::string SchemrService::MetricsText() const {

@@ -11,10 +11,15 @@
 #ifndef SCHEMR_SERVICE_SCHEMR_SERVICE_H_
 #define SCHEMR_SERVICE_SCHEMR_SERVICE_H_
 
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/search_engine.h"
+#include "core/serving_corpus.h"
+#include "service/admission.h"
+#include "util/executor.h"
 #include "viz/graph_view.h"
 
 namespace schemr {
@@ -39,6 +44,24 @@ struct SearchRequest {
 struct ServiceLimits {
   size_t max_keywords_bytes = 4096;
   size_t max_fragment_bytes = 1 << 20;
+  /// Visualization drill-in depth cap: a request asking for a deeper
+  /// traversal than this is rejected (depth bounds the rendered graph
+  /// and thus the response size).
+  size_t max_viz_depth = 64;
+};
+
+/// Configuration for StartServing: the worker pool that executes search
+/// requests and the admission policy that guards it.
+struct ServingOptions {
+  BoundedExecutor::Options executor;
+  AdmissionOptions admission;
+  /// A request that spent more than this fraction of its deadline waiting
+  /// in the queue runs with a tightened per-matcher budget (the PR-2
+  /// degradation ladder) instead of being dropped.
+  double near_deadline_fraction = 0.5;
+  /// The tightened per-matcher budget, as a fraction of the remaining
+  /// deadline.
+  double near_deadline_budget_fraction = 0.25;
 };
 
 /// A client visualization request ("drill-in").
@@ -56,6 +79,9 @@ struct VisualizationRequest {
 
 class SchemrService {
  public:
+  /// Static mode: serves a fixed repository/index pair. Safe for
+  /// concurrent requests only while neither is mutated (see
+  /// SearchEngine's thread-safety contract).
   SchemrService(const SchemaRepository* repository,
                 const InvertedIndex* index,
                 MatcherEnsemble ensemble = MatcherEnsemble::Default(),
@@ -63,6 +89,49 @@ class SchemrService {
       : repository_(repository),
         engine_(repository, index, std::move(ensemble)),
         limits_(limits) {}
+
+  /// Corpus mode: every request runs against one CorpusSnapshot, so
+  /// concurrent searches are safe while the corpus ingests. Required for
+  /// StartServing.
+  explicit SchemrService(const ServingCorpus* corpus,
+                         MatcherEnsemble ensemble = MatcherEnsemble::Default(),
+                         ServiceLimits limits = {})
+      : corpus_(corpus),
+        repository_(corpus->repository()),
+        engine_(corpus, std::move(ensemble)),
+        limits_(limits) {}
+
+  ~SchemrService();
+
+  // --- Concurrent serving (DESIGN.md §9) ---------------------------------
+
+  /// Brings up the bounded worker pool and admission control behind
+  /// HandleSearchXml. InvalidArgument in static mode (snapshot isolation
+  /// is what makes concurrent serving safe); FailedPrecondition if
+  /// already serving or already shut down.
+  Status StartServing(ServingOptions options = {});
+
+  /// The admission-controlled search endpoint. Always returns well-formed
+  /// XML: ranked <results> on success, or <error code="..."/> where code
+  /// is "overloaded" (shed; carries retry_after_ms), "shutting_down"
+  /// (drain began), or the status-code name of a pipeline failure.
+  /// `deadline_seconds` <= 0 uses the admission default. Before
+  /// StartServing (or after Shutdown completes) requests are not queued:
+  /// they run inline on the caller's thread (still deadline-bounded), so
+  /// single-threaded callers need no serving setup.
+  std::string HandleSearchXml(const SearchRequest& request,
+                              double deadline_seconds = 0.0) const;
+
+  /// Graceful drain: stops admitting (new requests get
+  /// <error code="shutting_down"/>), waits up to `deadline_seconds` for
+  /// in-flight and queued requests to finish, cancels stragglers (their
+  /// waiters receive the shutting_down error), and wedges the serving
+  /// path. Idempotent; returns the drain outcome (OK, or Unavailable if
+  /// the deadline expired first).
+  Status Shutdown(double deadline_seconds);
+
+  /// True between StartServing and Shutdown.
+  bool serving() const;
 
   /// Runs a search and returns structured results.
   Result<std::vector<SearchResult>> Search(
@@ -110,10 +179,28 @@ class SchemrService {
   /// InvalidArgument for malformed or over-limit requests; see
   /// ServiceLimits.
   Status ValidateRequest(const SearchRequest& request) const;
+  /// InvalidArgument for over-limit depth or unknown layout strings,
+  /// checked before any repository access.
+  Status ValidateRequest(const VisualizationRequest& request) const;
+  /// Runs the search under `deadline_seconds` with the near-deadline
+  /// degradation ladder applied and serializes the outcome (results or
+  /// <error>) as XML.
+  std::string RunSearchToXml(const SearchRequest& request,
+                             double deadline_seconds,
+                             double original_deadline_seconds) const;
 
+  const ServingCorpus* corpus_ = nullptr;  ///< null in static mode
   const SchemaRepository* repository_;
   SearchEngine engine_;
   ServiceLimits limits_;
+
+  // Serving state (null until StartServing). The executor owns the
+  // worker threads; the admission controller decides who gets one.
+  ServingOptions serving_options_;
+  std::unique_ptr<BoundedExecutor> executor_;
+  std::unique_ptr<AdmissionController> admission_;
+  mutable std::mutex serving_mutex_;  ///< guards the two pointers above
+  bool shut_down_ = false;            ///< serving ended; do not restart
 };
 
 }  // namespace schemr

@@ -1,0 +1,112 @@
+#include "util/executor.h"
+
+#include <chrono>
+#include <utility>
+
+#include "util/fault_injection.h"
+
+namespace schemr {
+
+BoundedExecutor::BoundedExecutor(const Options& options) : options_(options) {
+  size_t n = options_.num_workers == 0 ? 1 : options_.num_workers;
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+BoundedExecutor::~BoundedExecutor() {
+  Shutdown(0.0);
+}
+
+Status BoundedExecutor::TrySubmit(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_) {
+      return Status::Unavailable("executor is shut down");
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      return Status::Unavailable("executor queue full (" +
+                                 std::to_string(options_.queue_capacity) +
+                                 " pending)");
+    }
+    queue_.push_back(std::move(task));
+  }
+  FaultInjector::Global().Perturb("exec/queue/push");
+  work_available_.notify_one();
+  return Status::OK();
+}
+
+size_t BoundedExecutor::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+size_t BoundedExecutor::NumRunning() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_;
+}
+
+bool BoundedExecutor::wedged() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return draining_;
+}
+
+void BoundedExecutor::WorkerLoop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
+    FaultInjector::Global().Perturb("exec/queue/pop");
+    task(/*cancelled=*/false);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --running_;
+    }
+    drained_.notify_all();
+  }
+}
+
+Status BoundedExecutor::Shutdown(double deadline_seconds) {
+  std::deque<Task> cancelled;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (shutdown_done_) return shutdown_status_;
+    draining_ = true;
+    auto drained = [this] { return queue_.empty() && running_ == 0; };
+    if (deadline_seconds > 0.0) {
+      drained_.wait_for(
+          lock,
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(deadline_seconds)),
+          drained);
+    }
+    cancelled.swap(queue_);
+    stopping_ = true;
+    shutdown_done_ = true;
+    shutdown_status_ =
+        cancelled.empty()
+            ? Status::OK()
+            : Status::Unavailable("drain deadline expired; " +
+                                  std::to_string(cancelled.size()) +
+                                  " pending requests cancelled");
+  }
+  work_available_.notify_all();
+  // Flush the stranded tasks so their waiters are signalled, then join:
+  // workers only finish the task they already started.
+  for (Task& task : cancelled) task(/*cancelled=*/true);
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shutdown_status_;
+}
+
+}  // namespace schemr

@@ -1,0 +1,101 @@
+// Fixed worker pool over a bounded pending queue — the execution
+// substrate of the concurrent serving core (DESIGN.md §9).
+//
+// Submission never blocks and never queues into collapse: TrySubmit
+// either enqueues or fails fast with Unavailable when the queue is at
+// capacity, so the caller (the admission layer) can shed load with a
+// well-formed overload response instead of letting latency grow without
+// bound. Shutdown(deadline) implements graceful drain: intake stops,
+// queued and in-flight work is given until the deadline to finish, and
+// whatever is still pending is handed back to its task as a cancellation
+// (run with cancelled=true on the draining thread). After Shutdown the
+// executor is wedged: TrySubmit returns the sticky Unavailable, mirroring
+// the KV store's wedge semantics for writes.
+//
+// Tasks receive a `cancelled` flag instead of being silently dropped so a
+// caller blocked on a task's completion is always signalled — a drain
+// deadline must never strand a waiter.
+
+#ifndef SCHEMR_UTIL_EXECUTOR_H_
+#define SCHEMR_UTIL_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace schemr {
+
+class BoundedExecutor {
+ public:
+  /// A unit of work. `cancelled` is false when run by a worker, true when
+  /// the task was still queued at the drain deadline (or the executor was
+  /// destroyed) and is being flushed without execution.
+  using Task = std::function<void(bool cancelled)>;
+
+  struct Options {
+    /// Worker threads. At least 1.
+    size_t num_workers = 4;
+    /// Pending (not yet running) task bound; TrySubmit sheds beyond it.
+    size_t queue_capacity = 64;
+  };
+
+  explicit BoundedExecutor(const Options& options);
+
+  /// Cancels pending work and joins workers (Shutdown(0) if still open).
+  ~BoundedExecutor();
+
+  BoundedExecutor(const BoundedExecutor&) = delete;
+  BoundedExecutor& operator=(const BoundedExecutor&) = delete;
+
+  /// Enqueues `task` for a worker, or fails without blocking:
+  /// Unavailable("queue full") at capacity, Unavailable("shut down") once
+  /// draining/wedged. The task will eventually run exactly once, with
+  /// cancelled=false (a worker picked it up) or cancelled=true (drain).
+  Status TrySubmit(Task task);
+
+  /// Tasks enqueued but not yet picked up by a worker.
+  size_t QueueDepth() const;
+
+  /// Tasks currently executing on workers.
+  size_t NumRunning() const;
+
+  size_t num_workers() const { return workers_.size(); }
+  size_t queue_capacity() const { return options_.queue_capacity; }
+
+  /// Graceful drain: stops intake immediately, then waits up to
+  /// `deadline_seconds` (0 = no wait) for queued + in-flight work to
+  /// finish. Tasks still queued at the deadline are run with
+  /// cancelled=true on the calling thread; in-flight tasks are always
+  /// joined (they bound themselves via their own request deadlines).
+  /// Returns OK on a clean drain, Unavailable when pending work had to be
+  /// cancelled. Idempotent; later calls return the first outcome.
+  Status Shutdown(double deadline_seconds);
+
+  /// True once Shutdown has begun: submissions are rejected for good.
+  bool wedged() const;
+
+ private:
+  void WorkerLoop();
+
+  const Options options_;
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable drained_;
+  std::deque<Task> queue_;
+  std::vector<std::thread> workers_;
+  size_t running_ = 0;
+  bool draining_ = false;  ///< intake stopped
+  bool stopping_ = false;  ///< workers must exit when the queue is empty
+  bool shutdown_done_ = false;
+  Status shutdown_status_;
+};
+
+}  // namespace schemr
+
+#endif  // SCHEMR_UTIL_EXECUTOR_H_

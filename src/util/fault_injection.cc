@@ -87,6 +87,13 @@ Status ParseFaultBody(std::string_view body, FaultSpec* spec) {
     }
     spec->kind = FaultKind::kDelay;
     spec->arg = millis;
+  } else if (kind == "yield") {
+    uint64_t micros = 0;
+    if (!arg.empty() && !ParseUint(arg, &micros)) {
+      return Status::InvalidArgument("yield fault takes :<max_us>");
+    }
+    spec->kind = FaultKind::kYield;
+    spec->arg = micros;
   } else {
     return Status::InvalidArgument("unknown fault kind '" +
                                    std::string(kind) + "'");
@@ -112,6 +119,12 @@ FaultInjector& FaultInjector::Global() {
         SCHEMR_LOG(kWarning) << "fault injection armed from SCHEMR_FAULTS: "
                              << env;
       }
+    }
+    const char* perturb = std::getenv("SCHEMR_PERTURB");
+    if (perturb != nullptr && *perturb != '\0' && *perturb != '0') {
+      f->EnablePerturbation(true);
+      SCHEMR_LOG(kWarning)
+          << "thread-schedule perturbation enabled from SCHEMR_PERTURB";
     }
     return f;
   }();
@@ -237,7 +250,8 @@ ssize_t FaultInjector::Write(const char* site, int fd, const void* buf,
       std::this_thread::sleep_for(std::chrono::milliseconds(spec.arg));
       return ::write(fd, buf, n);
     case FaultKind::kCrash:
-      break;  // handled above
+    case FaultKind::kYield:  // meaningful only at Perturb() sites
+      break;                 // kCrash handled above
   }
   return ::write(fd, buf, n);
 }
@@ -260,6 +274,8 @@ int FaultInjector::Fsync(const char* site, int fd) {
       return ::fsync(fd);
     case FaultKind::kCrash:
       throw InjectedCrash{site};
+    case FaultKind::kYield:  // meaningful only at Perturb() sites
+      break;
   }
   return ::fsync(fd);
 }
@@ -279,6 +295,8 @@ int FaultInjector::Check(const char* site) {
       return 0;
     case FaultKind::kCrash:
       throw InjectedCrash{site};
+    case FaultKind::kYield:  // meaningful only at Perturb() sites
+      break;
   }
   return 0;
 }
@@ -289,6 +307,65 @@ void FaultInjector::CrashPoint(const char* site) {
   bool crash_now = false;
   bool fire = NextAction(site, /*is_write=*/false, &spec, &crash_now);
   if (fire && spec.kind == FaultKind::kCrash) throw InjectedCrash{site};
+}
+
+namespace {
+
+/// Sleeps up to `max_us` microseconds (yields when 0 or when the draw
+/// lands on 0). Each thread draws from its own cheap LCG so perturbation
+/// adds no cross-thread synchronization of its own.
+void RandomizedYield(uint64_t max_us) {
+  thread_local uint64_t state =
+      0x9e3779b97f4a7c15ull ^
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  state = state * 6364136223846793005ull + 1442695040888963407ull;
+  uint64_t draw = (state >> 33) % (max_us + 1);
+  if (draw == 0) {
+    std::this_thread::yield();
+  } else {
+    std::this_thread::sleep_for(std::chrono::microseconds(draw));
+  }
+}
+
+constexpr uint64_t kDefaultPerturbMaxMicros = 100;
+
+}  // namespace
+
+void FaultInjector::EnablePerturbation(bool enable) {
+  perturb_all_.store(enable, std::memory_order_relaxed);
+}
+
+void FaultInjector::Perturb(const char* site) {
+  // Fast path: one relaxed load each when nothing is armed.
+  if (!perturb_all_.load(std::memory_order_relaxed)) {
+    if (!active_.load(std::memory_order_relaxed)) return;
+    // A site-armed yield/delay still applies without global perturbation.
+    FaultSpec spec;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = sites_.find(site);
+      if (it == sites_.end()) return;
+      FaultSpec& armed = it->second;
+      if (armed.kind != FaultKind::kYield && armed.kind != FaultKind::kDelay) {
+        return;  // perturbation points never error or crash
+      }
+      if (armed.skip > 0) {
+        --armed.skip;
+        return;
+      }
+      if (armed.count == 0) return;
+      if (armed.count > 0) --armed.count;
+      spec = armed;
+    }
+    Fired(site);
+    if (spec.kind == FaultKind::kDelay) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(spec.arg));
+    } else {
+      RandomizedYield(spec.arg);
+    }
+    return;
+  }
+  RandomizedYield(kDefaultPerturbMaxMicros);
 }
 
 }  // namespace schemr

@@ -55,6 +55,8 @@ enum class FaultKind {
   kShortWrite,  ///< write persists only `arg` bytes, then fails (torn write)
   kCrash,       ///< shim throws InjectedCrash (simulated kill -9)
   kDelay,       ///< shim sleeps `arg` milliseconds, then proceeds normally
+  kYield,       ///< perturbation point sleeps a random 0..`arg` microseconds
+                ///< (0 = a bare sched yield); only Perturb() honors it
 };
 
 struct FaultSpec {
@@ -133,6 +135,25 @@ class FaultInjector {
   /// a scheduled crash lands on this hit.
   void CrashPoint(const char* site);
 
+  // --- thread-schedule perturbation ----------------------------------------
+
+  /// Perturbation point for race hunting: concurrency-sensitive hand-offs
+  /// (snapshot swaps, executor queue push/pop) call this so tests can
+  /// shake out orderings the scheduler rarely produces. Fires only for a
+  /// kYield/kDelay spec armed at `site`, or — when perturbation is enabled
+  /// globally (EnablePerturbation / SCHEMR_PERTURB=1 in the environment) —
+  /// as a randomized yield-or-microsleep at every perturbation site.
+  /// Never throws, never errors, and never advances the torture-harness op
+  /// counter: perturbation reorders schedules without changing workload
+  /// op counts or crash semantics.
+  void Perturb(const char* site);
+
+  /// Globally enables randomized perturbation at every Perturb() site.
+  void EnablePerturbation(bool enable);
+  bool perturbation_enabled() const {
+    return perturb_all_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// Returns the spec to apply at this hit, if one fires. Also advances
   /// the op counter and throws on a scheduled crash (except from Write,
@@ -148,6 +169,7 @@ class FaultInjector {
   std::atomic<uint64_t> fired_{0};
   std::atomic<bool> counting_{false};
   std::atomic<uint64_t> crash_at_{0};  ///< 0 = no crash scheduled
+  std::atomic<bool> perturb_all_{false};
 };
 
 /// Observer invoked (site name) every time a fault fires, so the obs layer

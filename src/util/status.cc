@@ -24,6 +24,8 @@ const char* StatusCodeName(StatusCode code) {
       return "unimplemented";
     case StatusCode::kInternal:
       return "internal error";
+    case StatusCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }

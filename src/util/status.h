@@ -28,6 +28,7 @@ enum class StatusCode {
   kOutOfRange,
   kUnimplemented,
   kInternal,
+  kUnavailable,
 };
 
 /// Returns a stable lowercase name for a status code (e.g. "parse error").
@@ -72,6 +73,11 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  /// The operation was refused because the service cannot take it right
+  /// now (queue full, shutting down, wedged); retrying later may succeed.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -80,6 +86,7 @@ class Status {
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// Renders "OK" or "<code name>: <message>".
   std::string ToString() const;

@@ -1,0 +1,572 @@
+// Concurrency hardening tests (DESIGN.md §9): snapshot isolation of the
+// index / repository / corpus, the bounded executor, admission control
+// with load shedding, graceful drain, and a multithreaded
+// search-while-ingest torture loop.
+//
+// The torture tests scale with SCHEMR_TORTURE_CYCLES (the TSan CI job
+// raises it) and run with schedule perturbation enabled so snapshot-swap
+// and queue hand-off windows are widened. Assertions about timing-derived
+// outcomes (shedding, degradation) are deliberately loose: they check
+// invariants ("every response is well-formed", "every rejection is
+// counted"), not exact schedules.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/search_engine.h"
+#include "core/serving_corpus.h"
+#include "index/indexer.h"
+#include "index/versioned_index.h"
+#include "obs/metrics.h"
+#include "repo/schema_repository.h"
+#include "schema/schema_builder.h"
+#include "service/admission.h"
+#include "service/schemr_service.h"
+#include "util/executor.h"
+#include "util/fault_injection.h"
+
+namespace schemr {
+namespace {
+
+size_t CyclesOrDefault(size_t default_cycles) {
+  const char* env = std::getenv("SCHEMR_TORTURE_CYCLES");
+  if (env == nullptr || *env == '\0') return default_cycles;
+  size_t cycles = static_cast<size_t>(std::strtoull(env, nullptr, 10));
+  return cycles > 0 ? cycles : default_cycles;
+}
+
+Schema ClinicSchema(const std::string& name, SchemaId id = 0) {
+  Schema schema =
+      SchemaBuilder(name)
+          .Description("rural clinic data")
+          .Entity("patient")
+          .Attribute("height", DataType::kDouble)
+          .Attribute("gender")
+          .Entity("case")
+          .Attribute("patient_id", DataType::kInt64)
+          .References("patient")
+          .Attribute("diagnosis")
+          .Build();
+  schema.set_id(id);
+  return schema;
+}
+
+Result<std::unique_ptr<ServingCorpus>> MakeCorpus(size_t seed_schemas) {
+  auto corpus = ServingCorpus::Create(SchemaRepository::OpenInMemory());
+  if (!corpus.ok()) return corpus.status();
+  for (size_t i = 0; i < seed_schemas; ++i) {
+    auto id = (*corpus)->Ingest(ClinicSchema("seed_" + std::to_string(i)));
+    if (!id.ok()) return id.status();
+  }
+  return corpus;
+}
+
+class ConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::Global().DisarmAll();
+    FaultInjector::Global().EnablePerturbation(false);
+  }
+  void TearDown() override {
+    FaultInjector::Global().DisarmAll();
+    FaultInjector::Global().EnablePerturbation(false);
+  }
+};
+
+// --- snapshot isolation primitives -----------------------------------------
+
+TEST_F(ConcurrencyTest, VersionedIndexSnapshotsAreImmutable) {
+  VersionedIndex index;
+  ASSERT_TRUE(index.AddDocument(FlattenSchema(ClinicSchema("one", 1))).ok());
+  std::shared_ptr<const InvertedIndex> before = index.Snapshot();
+  const uint64_t version_before = index.version();
+  ASSERT_TRUE(index.AddDocument(FlattenSchema(ClinicSchema("two", 2))).ok());
+  // The held snapshot is untouched; the new one sees the commit.
+  EXPECT_EQ(before->NumDocs(), 1u);
+  EXPECT_EQ(index.Snapshot()->NumDocs(), 2u);
+  EXPECT_EQ(index.version(), version_before + 1);
+}
+
+TEST_F(ConcurrencyTest, VersionedIndexFailedMutationPublishesNothing) {
+  VersionedIndex index;
+  ASSERT_TRUE(index.AddDocument(FlattenSchema(ClinicSchema("one", 1))).ok());
+  const uint64_t version_before = index.version();
+  Status st = index.Apply([](InvertedIndex* idx) {
+    (void)idx;
+    return Status::InvalidArgument("injected");
+  });
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(index.version(), version_before);
+  EXPECT_EQ(index.Snapshot()->NumDocs(), 1u);
+}
+
+TEST_F(ConcurrencyTest, ReadScopeTracksActiveReaders) {
+  InvertedIndex index{AnalyzerOptions{}};
+  EXPECT_EQ(index.active_readers(), 0);
+  {
+    InvertedIndex::ReadScope outer(&index);
+    EXPECT_EQ(index.active_readers(), 1);
+    {
+      InvertedIndex::ReadScope inner(&index);
+      EXPECT_EQ(index.active_readers(), 2);
+    }
+    EXPECT_EQ(index.active_readers(), 1);
+  }
+  EXPECT_EQ(index.active_readers(), 0);
+}
+
+TEST_F(ConcurrencyTest, RepositoryViewIsPointInTime) {
+  auto repo = SchemaRepository::OpenInMemory();
+  SchemaId first = *repo->Insert(ClinicSchema("first"));
+  std::shared_ptr<const RepositoryView> view = repo->View();
+  const uint64_t version_before = view->version();
+  SchemaId second = *repo->Insert(ClinicSchema("second"));
+  ASSERT_TRUE(repo->Remove(first).ok());
+  // The held view still resolves the removed schema and not the new one.
+  EXPECT_TRUE(view->Contains(first));
+  EXPECT_FALSE(view->Contains(second));
+  EXPECT_TRUE(view->Get(first).ok());
+  EXPECT_EQ(view->Size(), 1u);
+  // The live repository reflects both mutations, with a later version.
+  EXPECT_FALSE(repo->Contains(first));
+  EXPECT_TRUE(repo->Contains(second));
+  EXPECT_GT(repo->version(), version_before);
+}
+
+TEST_F(ConcurrencyTest, CorpusSnapshotPairsIndexAndSchemas) {
+  auto corpus = MakeCorpus(3);
+  ASSERT_TRUE(corpus.ok()) << corpus.status();
+  std::shared_ptr<const CorpusSnapshot> before = (*corpus)->Snapshot();
+  EXPECT_EQ(before->index->NumDocs(), before->schemas->Size());
+
+  SchemaId added = *(*corpus)->Ingest(ClinicSchema("added"));
+  // Old snapshot: neither side sees the commit.
+  EXPECT_FALSE(before->index->ContainsDocument(added));
+  EXPECT_FALSE(before->schemas->Contains(added));
+  // New snapshot: both sides see it.
+  std::shared_ptr<const CorpusSnapshot> after = (*corpus)->Snapshot();
+  EXPECT_TRUE(after->index->ContainsDocument(added));
+  EXPECT_TRUE(after->schemas->Contains(added));
+  EXPECT_EQ(after->index->NumDocs(), after->schemas->Size());
+  EXPECT_GT(after->version, before->version);
+
+  ASSERT_TRUE((*corpus)->Remove(added).ok());
+  // A search against the pre-remove snapshot can still resolve the id.
+  EXPECT_TRUE(after->schemas->Get(added).ok());
+  EXPECT_EQ((*corpus)->Snapshot()->index->NumDocs(),
+            (*corpus)->Snapshot()->schemas->Size());
+}
+
+// --- the bounded executor ----------------------------------------------------
+
+TEST_F(ConcurrencyTest, ExecutorRunsEverySubmittedTask) {
+  BoundedExecutor::Options options;
+  options.num_workers = 2;
+  options.queue_capacity = 64;
+  BoundedExecutor executor(options);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(executor
+                    .TrySubmit([&ran](bool cancelled) {
+                      if (!cancelled) ran.fetch_add(1);
+                    })
+                    .ok());
+  }
+  EXPECT_TRUE(executor.Shutdown(10.0).ok());
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST_F(ConcurrencyTest, ExecutorShedsBeyondQueueBound) {
+  BoundedExecutor::Options options;
+  options.num_workers = 1;
+  options.queue_capacity = 2;
+  BoundedExecutor executor(options);
+
+  // Wedge the single worker so submissions pile into the queue.
+  std::atomic<bool> release{false};
+  ASSERT_TRUE(executor
+                  .TrySubmit([&release](bool cancelled) {
+                    while (!cancelled && !release.load()) {
+                      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+                    }
+                  })
+                  .ok());
+  // Wait until the worker picked the blocker up.
+  while (executor.NumRunning() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  auto noop = [](bool) {};
+  ASSERT_TRUE(executor.TrySubmit(noop).ok());
+  ASSERT_TRUE(executor.TrySubmit(noop).ok());
+  Status shed = executor.TrySubmit(noop);
+  EXPECT_TRUE(shed.IsUnavailable()) << shed;
+  release.store(true);
+  EXPECT_TRUE(executor.Shutdown(10.0).ok());
+}
+
+TEST_F(ConcurrencyTest, ExecutorDrainDeadlineCancelsPendingTasks) {
+  BoundedExecutor::Options options;
+  options.num_workers = 1;
+  options.queue_capacity = 8;
+  BoundedExecutor executor(options);
+
+  std::atomic<bool> release{false};
+  ASSERT_TRUE(executor
+                  .TrySubmit([&release](bool cancelled) {
+                    while (!cancelled && !release.load()) {
+                      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+                    }
+                  })
+                  .ok());
+  while (executor.NumRunning() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::atomic<int> cancelled_count{0};
+  std::atomic<int> ran_count{0};
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(executor
+                    .TrySubmit([&](bool cancelled) {
+                      if (cancelled) {
+                        cancelled_count.fetch_add(1);
+                      } else {
+                        ran_count.fetch_add(1);
+                      }
+                    })
+                    .ok());
+  }
+  // Zero drain budget: pending tasks must be flushed as cancellations,
+  // and the in-flight blocker is released so the join can finish.
+  release.store(true);
+  Status drained = executor.Shutdown(0.0);
+  EXPECT_EQ(cancelled_count.load() + ran_count.load(), 3);
+  if (cancelled_count.load() > 0) {
+    EXPECT_TRUE(drained.IsUnavailable()) << drained;
+  }
+  // Wedged afterwards, and Shutdown is idempotent.
+  EXPECT_TRUE(executor.wedged());
+  EXPECT_TRUE(executor.TrySubmit([](bool) {}).IsUnavailable());
+  EXPECT_EQ(executor.Shutdown(1.0).code(), drained.code());
+}
+
+// --- admission control -------------------------------------------------------
+
+TEST_F(ConcurrencyTest, AdmissionShedsOnQueueBoundAndDeadline) {
+  AdmissionOptions options;
+  options.max_queue_depth = 4;
+  options.num_workers = 1;
+  options.initial_service_seconds = 0.1;
+  AdmissionController admission(options);
+
+  AdmissionDecision ok = admission.Admit(0, 5.0);
+  EXPECT_TRUE(ok.admit);
+  EXPECT_EQ(ok.deadline_seconds, 5.0);
+
+  AdmissionDecision full = admission.Admit(4, 5.0);
+  EXPECT_FALSE(full.admit);
+  EXPECT_EQ(full.reason, "queue_full");
+  EXPECT_GE(full.retry_after_ms, options.retry_after_base_ms);
+
+  // Predicted wait for depth 3 at 0.1 s/request on one worker is ~0.4 s,
+  // far beyond a 1 ms deadline: infeasible, shed.
+  AdmissionDecision late = admission.Admit(3, 0.001);
+  EXPECT_FALSE(late.admit);
+  EXPECT_EQ(late.reason, "deadline");
+
+  admission.BeginDrain();
+  AdmissionDecision drained = admission.Admit(0, 5.0);
+  EXPECT_FALSE(drained.admit);
+  EXPECT_EQ(drained.reason, "shutting_down");
+}
+
+TEST_F(ConcurrencyTest, AdmissionEwmaTracksServiceTime) {
+  AdmissionOptions options;
+  options.initial_service_seconds = 0.1;
+  options.ewma_alpha = 0.5;
+  AdmissionController admission(options);
+  EXPECT_DOUBLE_EQ(admission.PredictedServiceSeconds(), 0.1);
+  admission.RecordServiceTime(0.3);
+  EXPECT_NEAR(admission.PredictedServiceSeconds(), 0.2, 1e-9);
+  admission.RecordServiceTime(0.2);
+  EXPECT_NEAR(admission.PredictedServiceSeconds(), 0.2, 1e-9);
+}
+
+// --- the serving service -----------------------------------------------------
+
+TEST_F(ConcurrencyTest, ServiceRequiresCorpusModeForServing) {
+  auto repo = SchemaRepository::OpenInMemory();
+  (void)*repo->Insert(ClinicSchema("static"));
+  Indexer indexer;
+  ASSERT_TRUE(indexer.RebuildFromRepository(*repo).ok());
+  SchemrService service(repo.get(), &indexer.index());
+  EXPECT_FALSE(service.StartServing().ok());
+  EXPECT_FALSE(service.serving());
+}
+
+TEST_F(ConcurrencyTest, ServiceHandlesInlineWithoutServingSetup) {
+  auto corpus = MakeCorpus(2);
+  ASSERT_TRUE(corpus.ok()) << corpus.status();
+  SchemrService service(corpus->get());
+  SearchRequest request;
+  request.keywords = "patient height";
+  std::string xml = service.HandleSearchXml(request);
+  EXPECT_NE(xml.find("<results"), std::string::npos) << xml;
+}
+
+TEST_F(ConcurrencyTest, ServiceShedsWhenSaturated) {
+  auto corpus = MakeCorpus(3);
+  ASSERT_TRUE(corpus.ok()) << corpus.status();
+  SchemrService service(corpus->get());
+
+  ServingOptions serving;
+  serving.executor.num_workers = 1;
+  serving.executor.queue_capacity = 1;
+  serving.admission.max_queue_depth = 1;
+  serving.admission.default_deadline_seconds = 10.0;
+  ASSERT_TRUE(service.StartServing(serving).ok());
+  EXPECT_TRUE(service.serving());
+
+  // Each search holds its worker for >= 100 ms at the matcher fault site.
+  FaultSpec slow;
+  slow.kind = FaultKind::kDelay;
+  slow.arg = 100;
+  FaultInjector::Global().Arm("match/name", slow);
+
+  Counter* shed_total = MetricsRegistry::Global().GetCounter(
+      "schemr_requests_shed_total");
+  const uint64_t shed_before = shed_total->Value();
+
+  constexpr int kClients = 6;
+  std::vector<std::string> responses(kClients);
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int i = 0; i < kClients; ++i) {
+      clients.emplace_back([&service, &responses, i] {
+        SearchRequest request;
+        request.keywords = "patient height diagnosis";
+        responses[i] = service.HandleSearchXml(request, 10.0);
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+
+  size_t served = 0;
+  size_t shed = 0;
+  for (const std::string& xml : responses) {
+    // Every response is well-formed: ranked results or an explicit
+    // overload refusal with a retry hint.
+    if (xml.find("<results") != std::string::npos) {
+      ++served;
+    } else {
+      ASSERT_NE(xml.find("<error code=\"overloaded\""), std::string::npos)
+          << xml;
+      EXPECT_NE(xml.find("retry_after_ms="), std::string::npos) << xml;
+      ++shed;
+    }
+  }
+  EXPECT_EQ(served + shed, static_cast<size_t>(kClients));
+  // One worker + one queue slot: at most 2 requests can be in the system
+  // when all 6 arrive together, so at least some were refused...
+  EXPECT_GT(shed, 0u);
+  // ...and every refusal was counted.
+  EXPECT_GE(shed_total->Value() - shed_before, shed);
+
+  FaultInjector::Global().DisarmAll();
+  EXPECT_TRUE(service.Shutdown(10.0).ok());
+}
+
+TEST_F(ConcurrencyTest, ServiceDrainsAndWedges) {
+  auto corpus = MakeCorpus(2);
+  ASSERT_TRUE(corpus.ok()) << corpus.status();
+  SchemrService service(corpus->get());
+  ASSERT_TRUE(service.StartServing().ok());
+
+  SearchRequest request;
+  request.keywords = "patient height";
+  EXPECT_NE(service.HandleSearchXml(request).find("<results"),
+            std::string::npos);
+
+  EXPECT_TRUE(service.Shutdown(10.0).ok());
+  EXPECT_FALSE(service.serving());
+  // Post-drain requests get the explicit shutdown refusal, not a hang.
+  std::string refused = service.HandleSearchXml(request);
+  EXPECT_NE(refused.find("<error code=\"shutting_down\""), std::string::npos)
+      << refused;
+  // Idempotent.
+  EXPECT_TRUE(service.Shutdown(10.0).ok());
+  // Serving cannot be restarted on a wedged service.
+  EXPECT_FALSE(service.StartServing().ok());
+}
+
+TEST_F(ConcurrencyTest, ServiceDeadlineDegradesInsteadOfFailing) {
+  auto corpus = MakeCorpus(4);
+  ASSERT_TRUE(corpus.ok()) << corpus.status();
+  SchemrService service(corpus->get());
+
+  // 20 ms at the matcher site against a 5 ms deadline: the engine must
+  // hit its wall-clock budget and fall back to coarse-only ranking for
+  // the tail, flagged degraded -- never an error.
+  FaultSpec slow;
+  slow.kind = FaultKind::kDelay;
+  slow.arg = 20;
+  FaultInjector::Global().Arm("match/name", slow);
+
+  SearchRequest request;
+  request.keywords = "patient height diagnosis";
+  std::string xml = service.HandleSearchXml(request, 0.005);
+  FaultInjector::Global().DisarmAll();
+
+  ASSERT_NE(xml.find("<results"), std::string::npos) << xml;
+  EXPECT_NE(xml.find("degraded=\"true\""), std::string::npos) << xml;
+}
+
+// --- search-while-ingest torture --------------------------------------------
+
+TEST_F(ConcurrencyTest, SearchWhileIngestTorture) {
+  FaultInjector::Global().EnablePerturbation(true);
+  const size_t cycles = CyclesOrDefault(40);
+
+  auto corpus_or = MakeCorpus(4);
+  ASSERT_TRUE(corpus_or.ok()) << corpus_or.status();
+  ServingCorpus* corpus = corpus_or->get();
+  SearchEngine engine(corpus);
+
+  std::atomic<bool> writer_done{false};
+  std::atomic<size_t> searches_run{0};
+  std::atomic<size_t> search_errors{0};
+  std::atomic<size_t> pairing_violations{0};
+
+  std::thread writer([corpus, cycles, &writer_done] {
+    for (size_t i = 0; i < cycles; ++i) {
+      auto id = corpus->Ingest(ClinicSchema("torture_" + std::to_string(i)));
+      ASSERT_TRUE(id.ok()) << id.status();
+      if (i % 5 == 4) {
+        // Exercise the other mutators too.
+        Schema updated = ClinicSchema("torture_" + std::to_string(i));
+        updated.set_id(*id);
+        ASSERT_TRUE(corpus->Update(updated).ok());
+      }
+    }
+    writer_done.store(true, std::memory_order_release);
+  });
+
+  auto reader = [corpus, &engine, &writer_done, &searches_run,
+                 &search_errors, &pairing_violations] {
+    SearchEngineOptions options;
+    options.top_k = 5;
+    do {
+      // Pairing invariant: in any one snapshot, index and schema view
+      // describe the same corpus (every ingest adds exactly one of each).
+      std::shared_ptr<const CorpusSnapshot> snap = corpus->Snapshot();
+      if (snap->index->NumDocs() != snap->schemas->Size()) {
+        pairing_violations.fetch_add(1);
+      }
+      // Snapshot isolation: a search never observes a half-published
+      // corpus, so it can never fail to resolve a candidate.
+      auto results = engine.SearchKeywords("patient height", options);
+      if (!results.ok()) search_errors.fetch_add(1);
+      searches_run.fetch_add(1);
+    } while (!writer_done.load(std::memory_order_acquire));
+  };
+  std::thread reader_a(reader);
+  std::thread reader_b(reader);
+
+  writer.join();
+  reader_a.join();
+  reader_b.join();
+  FaultInjector::Global().EnablePerturbation(false);
+
+  EXPECT_EQ(search_errors.load(), 0u);
+  EXPECT_EQ(pairing_violations.load(), 0u);
+  EXPECT_GT(searches_run.load(), 0u);
+  // Post-quiescence: everything ingested is searchable.
+  std::shared_ptr<const CorpusSnapshot> final_snap = corpus->Snapshot();
+  EXPECT_EQ(final_snap->index->NumDocs(), 4 + cycles);
+  EXPECT_EQ(final_snap->schemas->Size(), 4 + cycles);
+}
+
+TEST_F(ConcurrencyTest, ServiceTortureUnderPerturbation) {
+  FaultInjector::Global().EnablePerturbation(true);
+  const size_t cycles = CyclesOrDefault(20);
+
+  auto corpus_or = MakeCorpus(3);
+  ASSERT_TRUE(corpus_or.ok()) << corpus_or.status();
+  ServingCorpus* corpus = corpus_or->get();
+  SchemrService service(corpus);
+  ServingOptions serving;
+  serving.executor.num_workers = 2;
+  serving.executor.queue_capacity = 16;
+  serving.admission.max_queue_depth = 16;
+  ASSERT_TRUE(service.StartServing(serving).ok());
+
+  std::atomic<bool> writer_done{false};
+  std::atomic<size_t> malformed{0};
+  std::thread writer([corpus, cycles, &writer_done] {
+    for (size_t i = 0; i < cycles; ++i) {
+      auto id = corpus->Ingest(ClinicSchema("svc_" + std::to_string(i)));
+      ASSERT_TRUE(id.ok()) << id.status();
+    }
+    writer_done.store(true, std::memory_order_release);
+  });
+  auto client = [&service, &writer_done, &malformed] {
+    do {
+      SearchRequest request;
+      request.keywords = "patient height";
+      std::string xml = service.HandleSearchXml(request, 5.0);
+      // Overloads are acceptable under perturbation; malformed output
+      // never is.
+      if (xml.find("<results") == std::string::npos &&
+          xml.find("<error") == std::string::npos) {
+        malformed.fetch_add(1);
+      }
+    } while (!writer_done.load(std::memory_order_acquire));
+  };
+  std::thread client_a(client);
+  std::thread client_b(client);
+  writer.join();
+  client_a.join();
+  client_b.join();
+
+  EXPECT_EQ(malformed.load(), 0u);
+  // Drain while perturbation still widens the hand-off windows.
+  EXPECT_TRUE(service.Shutdown(30.0).ok());
+  FaultInjector::Global().EnablePerturbation(false);
+}
+
+// --- visualization request validation (service limits) ----------------------
+
+TEST_F(ConcurrencyTest, VisualizationRequestsAreValidated) {
+  auto corpus = MakeCorpus(1);
+  ASSERT_TRUE(corpus.ok()) << corpus.status();
+  SchemaId id = (*corpus)->Snapshot()->schemas->Ids().front();
+  SchemrService service(corpus->get());
+
+  VisualizationRequest over_depth;
+  over_depth.schema_id = id;
+  over_depth.max_depth = 65;  // default cap is 64
+  auto rejected = service.GetSchemaGraphMl(over_depth);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+
+  VisualizationRequest bad_layout;
+  bad_layout.schema_id = id;
+  bad_layout.layout = "spiral";
+  auto rejected_layout = service.GetSchemaGraphMl(bad_layout);
+  ASSERT_FALSE(rejected_layout.ok());
+  EXPECT_EQ(rejected_layout.status().code(), StatusCode::kInvalidArgument);
+
+  VisualizationRequest good;
+  good.schema_id = id;
+  good.max_depth = 64;
+  good.layout = "radial";
+  EXPECT_TRUE(service.GetSchemaGraphMl(good).ok());
+}
+
+}  // namespace
+}  // namespace schemr

@@ -214,6 +214,31 @@ TEST(SchemrServiceTest, LayoutSelection) {
   EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
 }
 
+TEST(SchemrServiceTest, VisualizationDepthIsCapped) {
+  ServiceFixture f = MakeFixture();
+  VisualizationRequest viz;
+  viz.schema_id = f.clinic_id;
+  viz.max_depth = ServiceLimits{}.max_viz_depth + 1;
+  auto rejected = f.service->GetSchemaGraphMl(viz);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+  // At the cap is still fine.
+  viz.max_depth = ServiceLimits{}.max_viz_depth;
+  EXPECT_TRUE(f.service->GetSchemaGraphMl(viz).ok());
+}
+
+TEST(SchemrServiceTest, VisualizationRejectedBeforeRepositoryAccess) {
+  ServiceFixture f = MakeFixture();
+  // Both fields invalid AND the schema id unknown: validation must win,
+  // proving it runs before the repository lookup.
+  VisualizationRequest viz;
+  viz.schema_id = 999999;
+  viz.layout = "spiral";
+  auto rejected = f.service->GetSchemaGraphMl(viz);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(SchemrServiceTest, DrillInRestrictsToSubtree) {
   ServiceFixture f = MakeFixture();
   Schema clinic = *f.repo->Get(f.clinic_id);
