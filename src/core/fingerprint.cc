@@ -1,0 +1,169 @@
+#include "core/fingerprint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+
+namespace schemr {
+
+namespace {
+
+// FNV-1a 64-bit over bytes; combined with a splitmix-style finalizer for
+// mixing already-hashed values. Deliberately self-contained: the
+// fingerprint definition is part of the audit-log wire contract and must
+// not drift with std::hash.
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t HashBytes(uint64_t h, const void* data, size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t HashString(uint64_t h, std::string_view s) {
+  return HashBytes(h, s.data(), s.size());
+}
+
+uint64_t Mix(uint64_t h, uint64_t value) {
+  value += 0x9e3779b97f4a7c15ull;
+  value = (value ^ (value >> 30)) * 0xbf58476d1ce4e5b9ull;
+  value = (value ^ (value >> 27)) * 0x94d049bb133111ebull;
+  value ^= value >> 31;
+  return HashBytes(h, &value, sizeof(value));
+}
+
+std::string Lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+/// Canonical hash of the subtree rooted at `id`: kind, data type, and
+/// lowercased name of the element, plus the *sorted* hashes of its child
+/// subtrees. Sorting makes sibling order irrelevant while distinct
+/// structures (different nesting, different parents) stay distinct.
+uint64_t HashSubtree(const Schema& schema, ElementId id) {
+  const Element& e = schema.element(id);
+  uint64_t h = kFnvOffset;
+  h = Mix(h, static_cast<uint64_t>(e.kind));
+  h = Mix(h, static_cast<uint64_t>(e.type));
+  h = HashString(h, Lower(e.name));
+  std::vector<uint64_t> children;
+  for (ElementId child : schema.Children(id)) {
+    children.push_back(HashSubtree(schema, child));
+  }
+  std::sort(children.begin(), children.end());
+  for (uint64_t c : children) h = Mix(h, c);
+  return h;
+}
+
+/// Shape hash of one fragment: sorted root-subtree hashes plus the
+/// foreign-key edges rendered as (attribute path, entity name) pairs so
+/// the hash is independent of element-id assignment order.
+uint64_t HashFragment(const Schema& fragment) {
+  std::vector<uint64_t> roots;
+  for (ElementId root : fragment.Roots()) {
+    roots.push_back(HashSubtree(fragment, root));
+  }
+  std::sort(roots.begin(), roots.end());
+  uint64_t h = kFnvOffset;
+  for (uint64_t r : roots) h = Mix(h, r);
+
+  std::vector<uint64_t> fks;
+  for (const ForeignKey& fk : fragment.foreign_keys()) {
+    uint64_t fh = kFnvOffset;
+    fh = HashString(fh, Lower(fragment.Path(fk.attribute)));
+    fh = HashString(fh, Lower(fragment.Path(fk.target_entity)));
+    fks.push_back(fh);
+  }
+  std::sort(fks.begin(), fks.end());
+  for (uint64_t f : fks) h = Mix(h, f);
+  return h;
+}
+
+uint64_t HashKeywords(const std::vector<std::string>& keywords) {
+  std::vector<std::string> terms;
+  terms.reserve(keywords.size());
+  for (const std::string& k : keywords) terms.push_back(Lower(k));
+  std::sort(terms.begin(), terms.end());
+  uint64_t h = kFnvOffset;
+  for (const std::string& t : terms) {
+    h = HashString(h, t);
+    h = Mix(h, t.size());
+  }
+  return h;
+}
+
+/// Splits raw keyword input the same way ParseQuery does (whitespace and
+/// commas), without pulling in the parser: shed-path fingerprints must
+/// match admitted-path ones for keyword-only queries.
+std::vector<std::string> SplitRawKeywords(const std::string& input) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : input) {
+    if (std::isspace(static_cast<unsigned char>(c)) || c == ',') {
+      if (!current.empty()) out.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) out.push_back(std::move(current));
+  return out;
+}
+
+}  // namespace
+
+uint64_t FingerprintQuery(const QueryGraph& query) {
+  uint64_t h = kFnvOffset;
+  h = Mix(h, HashKeywords(query.keywords()));
+  std::vector<uint64_t> fragments;
+  for (const Schema& fragment : query.fragments()) {
+    fragments.push_back(HashFragment(fragment));
+  }
+  std::sort(fragments.begin(), fragments.end());
+  h = Mix(h, fragments.size());
+  for (uint64_t f : fragments) h = Mix(h, f);
+  return h;
+}
+
+uint64_t FingerprintRawRequest(const std::string& keywords,
+                               const std::string& fragment) {
+  uint64_t h = kFnvOffset;
+  h = Mix(h, HashKeywords(SplitRawKeywords(keywords)));
+  if (fragment.empty()) {
+    // Keyword-only: identical to FingerprintQuery (zero fragments).
+    h = Mix(h, 0);
+  } else {
+    // Refused before parsing: hash the raw bytes. Distinct from any
+    // parsed-shape hash, but stable for the same request resubmitted.
+    h = Mix(h, 1);
+    h = HashString(h, fragment);
+  }
+  return h;
+}
+
+float QuantizeScore(double score) { return static_cast<float>(score); }
+
+uint64_t DigestResults(const std::vector<SearchResult>& results) {
+  uint64_t h = kFnvOffset;
+  h = Mix(h, results.size());
+  size_t rank = 0;
+  for (const SearchResult& r : results) {
+    h = Mix(h, rank++);
+    h = Mix(h, r.schema_id);
+    const float q = QuantizeScore(r.score);
+    uint32_t bits;
+    std::memcpy(&bits, &q, sizeof(bits));
+    h = Mix(h, bits);
+  }
+  return h;
+}
+
+}  // namespace schemr

@@ -1,0 +1,57 @@
+// Query fingerprints and result digests for the audit/replay subsystem
+// (DESIGN.md §10).
+//
+// A *fingerprint* is a stable 64-bit hash of a query's semantic content:
+// the normalized flattened keyword terms plus the shape of every schema
+// fragment. Two requests that mean the same thing hash equal even when
+// their keywords or fragments arrive in a different order; fragments with
+// different structure (an attribute moved to another entity, a changed
+// nesting) hash different. The audit log keys per-query aggregation on it
+// ("which query got slow?") without retaining query text.
+//
+// A *digest* is a stable 64-bit hash of a ranked result list: rank order,
+// schema ids, and scores quantized to float precision so that sub-ulp
+// double noise (reordered summation, FMA differences) does not flip it.
+// The replay engine compares digests across runs to catch ranking
+// nondeterminism and unintended ranking changes.
+
+#ifndef SCHEMR_CORE_FINGERPRINT_H_
+#define SCHEMR_CORE_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/query_graph.h"
+#include "core/search_engine.h"
+
+namespace schemr {
+
+/// Stable hash of one query graph: sorted lowercased keyword terms +
+/// sorted per-fragment shape hashes. Insensitive to keyword order,
+/// fragment order, and sibling order inside a fragment; sensitive to the
+/// terms themselves and to fragment structure (kind/type/name nesting).
+uint64_t FingerprintQuery(const QueryGraph& query);
+
+/// Fingerprint for requests refused before the fragment is parsed (shed
+/// by admission control): the keyword part is normalized exactly like
+/// FingerprintQuery, the fragment contributes a hash of its raw bytes.
+/// Matches FingerprintQuery for keyword-only requests, so shed and
+/// admitted records of the same keyword query aggregate together.
+uint64_t FingerprintRawRequest(const std::string& keywords,
+                               const std::string& fragment);
+
+/// Score quantization used by DigestResults: double → float. One-ulp
+/// double perturbations survive the narrowing rounding, so digests are
+/// stable under benign floating-point reassociation.
+float QuantizeScore(double score);
+
+/// Stable hash of a ranked result list: (rank, schema id,
+/// QuantizeScore(score)) per row, in order. An empty list digests to a
+/// fixed non-zero value so "no results" is distinguishable from "not
+/// recorded" (0).
+uint64_t DigestResults(const std::vector<SearchResult>& results);
+
+}  // namespace schemr
+
+#endif  // SCHEMR_CORE_FINGERPRINT_H_

@@ -84,7 +84,11 @@ std::string QueryGraph::ToString() const {
   for (size_t i = 0; i < fragments_.size(); ++i) {
     if (i > 0) out += ", ";
     out += fragments_[i].name();
-    out += "(" + std::to_string(fragments_[i].size()) + " elements)";
+    // Split concatenation: `const char* + std::string&&` trips a bogus
+    // GCC 12 -Wrestrict at -O3 (PR105651) under -Werror.
+    out += "(";
+    out += std::to_string(fragments_[i].size());
+    out += " elements)";
   }
   out += "]}";
   return out;

@@ -81,11 +81,12 @@ Result<std::vector<SearchResult>> SearchEngine::Search(
 
   // Snapshot isolation: in corpus mode, acquire the corpus once and run
   // every phase against it. Ingest commits that land mid-search publish
-  // new snapshots and never touch this one.
-  std::shared_ptr<const CorpusSnapshot> snapshot;
+  // new snapshots and never touch this one. A pinned engine (replay) uses
+  // the same snapshot for every search.
+  std::shared_ptr<const CorpusSnapshot> snapshot = pinned_;
   const InvertedIndex* index = index_;
-  if (corpus_ != nullptr) {
-    snapshot = corpus_->Snapshot();
+  if (snapshot == nullptr && corpus_ != nullptr) snapshot = corpus_->Snapshot();
+  if (snapshot != nullptr) {
     index = snapshot->index.get();
     if (trace != nullptr) {
       trace->Annotate(root_span.id(), "corpus_version", snapshot->version);
@@ -102,10 +103,15 @@ Result<std::vector<SearchResult>> SearchEngine::Search(
                        static_cast<uint64_t>(options.extraction.pool_size));
   phase1_span.Annotate("pool_size", static_cast<uint64_t>(candidates.size()));
   phase1_span.End();
-  metrics.phase1_seconds->Observe(phase_timer.ElapsedSeconds());
+  const double phase1_elapsed = phase_timer.ElapsedSeconds();
+  metrics.phase1_seconds->Observe(phase1_elapsed);
   metrics.pool_size->Observe(static_cast<double>(candidates.size()));
   metrics.candidates_extracted->Increment(candidates.size());
   if (candidates.empty()) {
+    if (options.stats != nullptr) {
+      options.stats->phase1_seconds = phase1_elapsed;
+      options.stats->total_seconds = total_timer.ElapsedSeconds();
+    }
     metrics.total_seconds->Observe(total_timer.ElapsedSeconds());
     return std::vector<SearchResult>{};
   }
@@ -324,8 +330,13 @@ Result<std::vector<SearchResult>> SearchEngine::Search(
                      static_cast<uint64_t>(ranked_pool - results.size()));
   rank_span.End();
 
-  const bool degraded =
-      deadline_hit || !dropped_matchers.empty() || coarse_only_candidates > 0;
+  // One classifier decides "degraded" for the metric, the wire format,
+  // and the audit log alike (SearchStats::ComputeDegraded).
+  SearchStats classified;
+  classified.deadline_hit = deadline_hit;
+  classified.dropped_matchers = dropped_matchers;
+  classified.coarse_only_candidates = coarse_only_candidates;
+  const bool degraded = classified.ComputeDegraded();
   if (degraded) {
     metrics.searches_degraded->Increment();
     for (SearchResult& result : results) result.degraded = true;
@@ -348,14 +359,17 @@ Result<std::vector<SearchResult>> SearchEngine::Search(
       }
     }
   }
+  const double total_elapsed = total_timer.ElapsedSeconds();
   if (options.stats != nullptr) {
-    options.stats->degraded = degraded;
-    options.stats->deadline_hit = deadline_hit;
-    options.stats->dropped_matchers = dropped_matchers;
-    options.stats->coarse_only_candidates = coarse_only_candidates;
+    classified.degraded = degraded;
+    classified.total_seconds = total_elapsed;
+    classified.phase1_seconds = phase1_elapsed;
+    classified.phase2_seconds = phase2_elapsed;
+    classified.phase3_seconds = phase3_elapsed;
+    *options.stats = std::move(classified);
   }
 
-  metrics.total_seconds->Observe(total_timer.ElapsedSeconds());
+  metrics.total_seconds->Observe(total_elapsed);
   return results;
 }
 

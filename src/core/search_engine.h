@@ -14,6 +14,7 @@
 #ifndef SCHEMR_CORE_SEARCH_ENGINE_H_
 #define SCHEMR_CORE_SEARCH_ENGINE_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -50,9 +51,9 @@ struct SearchResult {
   bool degraded = false;
 };
 
-/// What (if anything) a search had to give up; see
-/// SearchEngineOptions::stats. A degraded search still returns ranked
-/// results -- degradation is never an error.
+/// What (if anything) a search had to give up, plus its per-phase wall
+/// times; see SearchEngineOptions::stats. A degraded search still returns
+/// ranked results -- degradation is never an error.
 struct SearchStats {
   bool degraded = false;
   /// The wall-clock deadline fired; candidates not yet matched were
@@ -64,6 +65,20 @@ struct SearchStats {
   /// Candidates ranked coarse-only (deadline already hit, or every
   /// matcher benched).
   size_t coarse_only_candidates = 0;
+  /// Per-phase wall times for this request (always filled, independent of
+  /// explain mode; the audit log and replay engine read them).
+  double total_seconds = 0.0;
+  double phase1_seconds = 0.0;
+  double phase2_seconds = 0.0;
+  double phase3_seconds = 0.0;
+
+  /// THE outcome classifier: the engine's degraded metric, the XML
+  /// degraded attribute, and the audit log's outcome byte are all derived
+  /// from this one predicate, so they can never disagree.
+  bool ComputeDegraded() const {
+    return deadline_hit || !dropped_matchers.empty() ||
+           coarse_only_candidates > 0;
+  }
 };
 
 struct SearchEngineOptions {
@@ -137,6 +152,14 @@ class SearchEngine {
                         MatcherEnsemble ensemble = MatcherEnsemble::Default())
       : corpus_(corpus), ensemble_(std::move(ensemble)) {}
 
+  /// Pinned-snapshot mode: every Search runs against this one snapshot,
+  /// regardless of what the owning corpus publishes afterwards. The
+  /// replay engine uses this so a whole recorded workload executes
+  /// against a single corpus version (deterministic digests).
+  explicit SearchEngine(std::shared_ptr<const CorpusSnapshot> snapshot,
+                        MatcherEnsemble ensemble = MatcherEnsemble::Default())
+      : pinned_(std::move(snapshot)), ensemble_(std::move(ensemble)) {}
+
   /// Runs the full pipeline for a query graph.
   Result<std::vector<SearchResult>> Search(
       const QueryGraph& query, const SearchEngineOptions& options = {}) const;
@@ -152,6 +175,8 @@ class SearchEngine {
  private:
   /// Corpus mode when set; otherwise the static pointers below are used.
   const ServingCorpus* corpus_ = nullptr;
+  /// Pinned-snapshot mode when set (takes precedence over corpus_).
+  std::shared_ptr<const CorpusSnapshot> pinned_;
   const SchemaRepository* repository_ = nullptr;
   const InvertedIndex* index_ = nullptr;
   MatcherEnsemble ensemble_;

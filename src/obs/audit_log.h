@@ -1,0 +1,185 @@
+// Per-request query audit log (DESIGN.md §10).
+//
+// An always-on, bounded, binary-framed log of every search request the
+// service handled: a normalized query fingerprint, the admission outcome
+// (ok / degraded / shed / error), per-phase latencies, the result-set
+// digest, and deadline/budget context. It is the bridge from production
+// telemetry back to benchmarks: `schemr audit` aggregates it, and the
+// replay engine (obs/replay.h) re-executes recorded workloads from it.
+//
+// Storage contract — same family as the kv-store segments:
+//   * Records append to numbered segment files (audit-000001.log …) under
+//     one directory; a segment rolls over at max_segment_bytes and the
+//     oldest segments are deleted beyond max_segments, so the log is
+//     bounded no matter how long the process serves.
+//   * Every record is self-validating: fixed32 masked CRC + fixed32
+//     length + payload. A torn tail (crash mid-append) is truncated away
+//     on the next Open; a flipped byte mid-segment is quarantined by the
+//     reader, which resyncs to the next valid record and reports exactly
+//     what it skipped. Audit damage never takes the service down.
+//   * Appends go through the fault-injection shims (sites
+//     "audit/append/write", "audit/append/fsync", "audit/rotate/open");
+//     an append failure drops the record, bumps schemr_audit_drops_total,
+//     and disables the failed segment — it NEVER fails the request being
+//     served.
+//
+// A slow-query ring buffer rides along: requests whose total latency
+// crosses slow_threshold_seconds keep their full query text, both in an
+// in-memory ring (live introspection) and inline in the persisted record
+// (so `schemr audit slow` and workload replay work across processes).
+//
+// Thread safety: Record() is safe from any thread (one internal mutex;
+// the serving path holds it only to frame + append one record).
+
+#ifndef SCHEMR_OBS_AUDIT_LOG_H_
+#define SCHEMR_OBS_AUDIT_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace schemr {
+
+/// Terminal classification of one handled request. Shed values mirror
+/// ShedReason (service/admission.h) one-to-one; the mapping lives in
+/// exactly one place (service/schemr_service.cc) so the metrics, the XML
+/// error code, and this byte always agree.
+enum class AuditOutcome : uint8_t {
+  kOk = 0,            ///< full pipeline, nothing given up
+  kDegraded = 1,      ///< served, but SearchStats::ComputeDegraded() fired
+  kError = 2,         ///< pipeline returned non-OK (parse error, ...)
+  kShedQueueFull = 3, ///< refused: queue bound
+  kShedDeadline = 4,  ///< refused: infeasible deadline
+  kShedDrain = 5,     ///< refused: draining for shutdown
+  kCancelled = 6,     ///< admitted but cancelled by the shutdown drain
+};
+
+/// Stable lowercase name ("ok", "degraded", "shed_queue_full", ...).
+const char* AuditOutcomeName(AuditOutcome outcome);
+
+/// True for the three kShed* values.
+bool IsShedOutcome(AuditOutcome outcome);
+
+/// One audited request. Times are in microseconds (micros fit uint64 and
+/// keep records compact under varint coding).
+struct AuditRecord {
+  uint64_t timestamp_micros = 0;  ///< wall clock, microseconds since epoch
+  uint64_t fingerprint = 0;       ///< FingerprintQuery / FingerprintRawRequest
+  AuditOutcome outcome = AuditOutcome::kOk;
+  uint64_t total_micros = 0;      ///< end-to-end handling time
+  uint64_t phase1_micros = 0;     ///< candidate extraction
+  uint64_t phase2_micros = 0;     ///< matcher ensemble
+  uint64_t phase3_micros = 0;     ///< tightness-of-fit
+  uint64_t deadline_micros = 0;   ///< deadline the request ran under
+  uint64_t budget_micros = 0;     ///< tightened per-matcher budget (0 = none)
+  uint64_t result_digest = 0;     ///< DigestResults over the ranked list
+  uint32_t result_count = 0;
+  uint32_t top_k = 0;
+  uint32_t candidate_pool = 0;
+  uint32_t coarse_only_candidates = 0;
+  uint32_t dropped_matchers = 0;
+  bool deadline_hit = false;
+  /// Full query text, retained only for slow (or shed/error) requests;
+  /// empty strings otherwise. `has_query_text` distinguishes "fast
+  /// request, text elided" from "empty query".
+  bool has_query_text = false;
+  std::string keywords;
+  std::string fragment;
+};
+
+/// Serializes one record payload (without framing); the inverse of
+/// DecodeAuditRecord. Exposed for tests and the replay engine.
+void EncodeAuditRecord(const AuditRecord& record, std::string* out);
+Status DecodeAuditRecord(std::string_view payload, AuditRecord* record);
+
+struct AuditLogOptions {
+  /// Active segment rolls over beyond this many bytes.
+  uint64_t max_segment_bytes = 4ull << 20;
+  /// Oldest segments beyond this count are deleted (the bound).
+  size_t max_segments = 4;
+  /// Requests at or above this total latency retain full query text and
+  /// enter the slow ring.
+  double slow_threshold_seconds = 0.25;
+  /// In-memory slow ring capacity.
+  size_t slow_ring_capacity = 64;
+  /// fsync after every record (off by default: audit is telemetry, and
+  /// the framing already makes torn tails recoverable).
+  bool sync_on_write = false;
+};
+
+/// What reading an audit log back had to skip (all zero when clean).
+struct AuditReadReport {
+  std::vector<AuditRecord> records;
+  size_t segments_read = 0;
+  size_t skipped_records = 0;   ///< CRC-invalid or undecodable records
+  uint64_t skipped_bytes = 0;   ///< bytes quarantined while resyncing
+  bool torn_tail = false;       ///< last segment ended mid-record
+};
+
+class AuditLog {
+ public:
+  /// Opens (creating if needed) an audit log rooted at directory `dir`.
+  /// Appends continue in the newest existing segment after validating its
+  /// tail (torn records from a crashed writer are truncated away).
+  static Result<std::unique_ptr<AuditLog>> Open(std::string dir,
+                                                AuditLogOptions options = {});
+
+  ~AuditLog();
+  AuditLog(const AuditLog&) = delete;
+  AuditLog& operator=(const AuditLog&) = delete;
+
+  /// Appends one record. Infallible by design: storage errors drop the
+  /// record and bump schemr_audit_drops_total instead of surfacing to the
+  /// request path. Slow-threshold bookkeeping (text retention, the ring)
+  /// happens here: callers fill keywords/fragment unconditionally and
+  /// Record decides whether they are kept.
+  void Record(AuditRecord record);
+
+  /// The in-memory slow-query ring, newest last.
+  std::vector<AuditRecord> SlowQueries() const;
+
+  /// Flushes and closes the active segment (also done by the dtor).
+  void Close();
+
+  const AuditLogOptions& options() const { return options_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  AuditLog(std::string dir, AuditLogOptions options);
+
+  /// Opens a fresh active segment (rolling `next_segment_id_`), deleting
+  /// segments beyond the retention bound. Caller holds mutex_.
+  Status RotateLocked();
+  void AppendLocked(const AuditRecord& record);
+
+  const std::string dir_;
+  const AuditLogOptions options_;
+
+  mutable std::mutex mutex_;
+  int fd_ = -1;                   ///< active segment; -1 when disabled
+  uint64_t active_segment_id_ = 0;
+  uint64_t active_bytes_ = 0;
+  std::deque<AuditRecord> slow_ring_;
+};
+
+/// Reads every record from the audit log at `dir` (all segments, oldest
+/// first), salvaging around damage. IOError only when the directory is
+/// unreadable; corrupt content is reported, not fatal.
+Result<AuditReadReport> ReadAuditLog(const std::string& dir);
+
+/// Reads one segment file (exposed for tests and LoadWorkload's
+/// file-or-directory detection).
+Result<AuditReadReport> ReadAuditSegment(const std::string& path);
+
+/// True if `path` names an audit segment file or a directory containing
+/// at least one ("audit-*.log").
+bool LooksLikeAuditLog(const std::string& path);
+
+}  // namespace schemr
+
+#endif  // SCHEMR_OBS_AUDIT_LOG_H_

@@ -1,0 +1,473 @@
+#include "obs/replay.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "core/fingerprint.h"
+#include "core/query_parser.h"
+#include "core/search_engine.h"
+#include "obs/audit_log.h"
+#include "parse/xml_parser.h"
+#include "util/timer.h"
+#include "util/xml_writer.h"
+
+namespace schemr {
+
+namespace {
+
+uint64_t ParseU64(const std::string& text) {
+  return std::strtoull(text.c_str(), nullptr, 10);
+}
+
+double Percentile(std::vector<double>* sorted_in_place, double q) {
+  std::vector<double>& v = *sorted_in_place;
+  if (v.empty()) return 0.0;
+  const size_t rank = static_cast<size_t>(
+      std::min<double>(static_cast<double>(v.size()) - 1.0,
+                       std::ceil(q * static_cast<double>(v.size())) - 1.0));
+  return v[rank];
+}
+
+LatencySummary Summarize(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  LatencySummary s;
+  s.p50 = Percentile(&samples, 0.50);
+  s.p95 = Percentile(&samples, 0.95);
+  s.p99 = Percentile(&samples, 0.99);
+  return s;
+}
+
+void JsonLatency(std::ostringstream* out, const char* name,
+                 const LatencySummary& s, bool trailing_comma) {
+  *out << "    \"" << name << "\": {\"p50\": " << s.p50
+       << ", \"p95\": " << s.p95 << ", \"p99\": " << s.p99 << "}"
+       << (trailing_comma ? "," : "") << "\n";
+}
+
+}  // namespace
+
+Result<std::vector<WorkloadEntry>> WorkloadFromXml(const std::string& xml) {
+  SCHEMR_ASSIGN_OR_RETURN(XmlDocument doc, ParseXml(xml));
+  if (doc.root->LocalName() != "workload") {
+    return Status::ParseError("expected <workload> root, got <" +
+                              doc.root->name + ">");
+  }
+  std::vector<WorkloadEntry> entries;
+  for (const XmlNode* query : doc.root->ChildrenNamed("query")) {
+    WorkloadEntry entry;
+    if (const std::string* v = query->FindAttribute("keywords")) {
+      entry.keywords = *v;
+    }
+    if (const std::string* v = query->FindAttribute("top_k")) {
+      entry.top_k = static_cast<uint32_t>(ParseU64(*v));
+    }
+    if (const std::string* v = query->FindAttribute("pool")) {
+      entry.candidate_pool = static_cast<uint32_t>(ParseU64(*v));
+    }
+    if (const std::string* v = query->FindAttribute("digest")) {
+      entry.expected_digest = ParseU64(*v);
+    }
+    if (const std::string* v = query->FindAttribute("fingerprint")) {
+      entry.fingerprint = ParseU64(*v);
+    }
+    if (const XmlNode* fragment = query->FirstChild("fragment")) {
+      entry.fragment = fragment->text;
+    }
+    if (entry.keywords.empty() && entry.fragment.empty()) {
+      return Status::ParseError(
+          "<query> with neither keywords nor a fragment");
+    }
+    if (entry.top_k == 0) entry.top_k = 10;
+    if (entry.candidate_pool < entry.top_k) entry.candidate_pool = entry.top_k;
+    entries.push_back(std::move(entry));
+  }
+  if (entries.empty()) {
+    return Status::ParseError("workload has no <query> entries");
+  }
+  return entries;
+}
+
+std::string WorkloadToXml(const std::vector<WorkloadEntry>& entries) {
+  XmlWriter xml;
+  xml.Open("workload");
+  xml.Attribute("count", static_cast<long long>(entries.size()));
+  for (const WorkloadEntry& entry : entries) {
+    xml.Open("query").Attribute("keywords", entry.keywords);
+    xml.Attribute("top_k", static_cast<long long>(entry.top_k));
+    xml.Attribute("pool", static_cast<long long>(entry.candidate_pool));
+    if (entry.fingerprint != 0) {
+      xml.Attribute("fingerprint", std::to_string(entry.fingerprint));
+    }
+    if (entry.expected_digest != 0) {
+      xml.Attribute("digest", std::to_string(entry.expected_digest));
+    }
+    if (!entry.fragment.empty()) {
+      xml.SimpleElement("fragment", entry.fragment);
+    }
+    xml.Close();
+  }
+  return xml.Finish();
+}
+
+Status SaveWorkload(const std::string& path,
+                    const std::vector<WorkloadEntry>& entries) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot write " + path);
+  out << WorkloadToXml(entries);
+  out.close();
+  if (!out) return Status::IOError("failed writing " + path);
+  return Status::OK();
+}
+
+Result<std::vector<WorkloadEntry>> LoadWorkload(const std::string& path,
+                                                size_t* skipped) {
+  if (skipped != nullptr) *skipped = 0;
+  if (LooksLikeAuditLog(path)) {
+    std::error_code ec;
+    auto report = std::filesystem::is_directory(path, ec)
+                      ? ReadAuditLog(path)
+                      : ReadAuditSegment(path);
+    SCHEMR_RETURN_IF_ERROR(report.status());
+    std::vector<WorkloadEntry> entries;
+    for (const AuditRecord& record : report->records) {
+      if (!record.has_query_text) {
+        // Fast healthy requests elide their text; only their fingerprint
+        // and digest were kept, so they cannot be re-executed.
+        if (skipped != nullptr) ++(*skipped);
+        continue;
+      }
+      WorkloadEntry entry;
+      entry.keywords = record.keywords;
+      entry.fragment = record.fragment;
+      entry.top_k = record.top_k != 0 ? record.top_k : 10;
+      entry.candidate_pool = std::max(record.candidate_pool, entry.top_k);
+      entry.fingerprint = record.fingerprint;
+      // Digests from records that completed the pipeline become the
+      // replay expectation; shed/cancelled records carry none.
+      entry.expected_digest = record.result_digest;
+      entries.push_back(std::move(entry));
+    }
+    if (entries.empty()) {
+      return Status::InvalidArgument(
+          "audit log at " + path +
+          " holds no replayable records (none retained query text)");
+    }
+    return entries;
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open workload " + path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  return WorkloadFromXml(contents);
+}
+
+Result<ReplayReport> ReplayWorkload(
+    std::shared_ptr<const CorpusSnapshot> snapshot,
+    const std::vector<WorkloadEntry>& workload, const ReplayOptions& options) {
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument("replay needs a corpus snapshot");
+  }
+  if (workload.empty()) {
+    return Status::InvalidArgument("empty workload");
+  }
+  const size_t threads = std::max<size_t>(1, options.threads);
+  const size_t repeat = std::max<size_t>(1, options.repeat);
+  // One engine pinned to the snapshot; Search is const and thread-safe.
+  const SearchEngine engine(snapshot);
+
+  struct Execution {
+    double total = 0.0;
+    double phase1 = 0.0;
+    double phase2 = 0.0;
+    double phase3 = 0.0;
+    uint64_t digest = 0;
+    bool error = false;
+    bool degraded = false;
+  };
+  std::vector<Execution> executions(workload.size() * repeat);
+  std::atomic<size_t> cursor{0};
+
+  auto worker = [&] {
+    for (;;) {
+      const size_t slot = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (slot >= executions.size()) return;
+      const WorkloadEntry& entry = workload[slot % workload.size()];
+      Execution& exec = executions[slot];
+      auto parsed = ParseQuery(entry.keywords, entry.fragment);
+      if (!parsed.ok()) {
+        exec.error = true;
+        continue;
+      }
+      SearchEngineOptions engine_options;
+      engine_options.top_k = entry.top_k;
+      engine_options.extraction.pool_size = entry.candidate_pool;
+      // No deadline, no matcher budget: determinism over realism. Timing
+      // noise must move the percentiles, never the digests.
+      SearchStats stats;
+      engine_options.stats = &stats;
+      auto results = engine.Search(*parsed, engine_options);
+      if (!results.ok()) {
+        exec.error = true;
+        continue;
+      }
+      exec.total = stats.total_seconds;
+      exec.phase1 = stats.phase1_seconds;
+      exec.phase2 = stats.phase2_seconds;
+      exec.phase3 = stats.phase3_seconds;
+      exec.degraded = stats.degraded;
+      exec.digest = DigestResults(*results);
+    }
+  };
+
+  const Timer wall;
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (size_t i = 0; i < threads; ++i) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  ReplayReport report;
+  report.entries = workload.size();
+  report.executed = executions.size();
+  report.threads = threads;
+  report.repeat = repeat;
+  report.wall_seconds = wall.ElapsedSeconds();
+  report.qps = report.wall_seconds > 0.0
+                   ? static_cast<double>(report.executed) / report.wall_seconds
+                   : 0.0;
+  report.digests.assign(workload.size(), 0);
+
+  std::vector<double> total, phase1, phase2, phase3;
+  total.reserve(executions.size());
+  for (size_t slot = 0; slot < executions.size(); ++slot) {
+    const Execution& exec = executions[slot];
+    const size_t entry_index = slot % workload.size();
+    if (exec.error) {
+      ++report.errors;
+      continue;
+    }
+    if (exec.degraded) ++report.degraded;
+    total.push_back(exec.total);
+    phase1.push_back(exec.phase1);
+    phase2.push_back(exec.phase2);
+    phase3.push_back(exec.phase3);
+    if (slot < workload.size()) {
+      report.digests[entry_index] = exec.digest;
+      const uint64_t expected = workload[entry_index].expected_digest;
+      if (expected != 0 && exec.digest != expected) {
+        ++report.digest_mismatches;
+      }
+    } else if (exec.digest != report.digests[entry_index]) {
+      // A repeat disagreeing with the first execution is nondeterminism
+      // inside this very run — the strongest possible signal.
+      ++report.digest_mismatches;
+    }
+  }
+  report.total = Summarize(std::move(total));
+  report.phase1 = Summarize(std::move(phase1));
+  report.phase2 = Summarize(std::move(phase2));
+  report.phase3 = Summarize(std::move(phase3));
+  return report;
+}
+
+std::string ReplayReportToJson(const ReplayReport& report) {
+  std::ostringstream out;
+  out.precision(9);
+  out << "{\n";
+  out << "  \"schemr_bench\": \"replay\",\n";
+  out << "  \"entries\": " << report.entries << ",\n";
+  out << "  \"executed\": " << report.executed << ",\n";
+  out << "  \"threads\": " << report.threads << ",\n";
+  out << "  \"repeat\": " << report.repeat << ",\n";
+  out << "  \"errors\": " << report.errors << ",\n";
+  out << "  \"degraded\": " << report.degraded << ",\n";
+  out << "  \"digest_mismatches\": " << report.digest_mismatches << ",\n";
+  out << "  \"wall_seconds\": " << report.wall_seconds << ",\n";
+  out << "  \"qps\": " << report.qps << ",\n";
+  out << "  \"latency_seconds\": {\n";
+  JsonLatency(&out, "total", report.total, true);
+  JsonLatency(&out, "phase1", report.phase1, true);
+  JsonLatency(&out, "phase2", report.phase2, true);
+  JsonLatency(&out, "phase3", report.phase3, false);
+  out << "  }\n";
+  out << "}\n";
+  return out.str();
+}
+
+namespace {
+
+/// Minimal recursive-descent parser for the JSON subset bench reports
+/// use: objects, numbers, strings (string values are skipped). Flattens
+/// nested objects with '.'-joined keys.
+class FlatJsonParser {
+ public:
+  explicit FlatJsonParser(std::string_view input) : input_(input) {}
+
+  Status Parse(std::map<std::string, double>* out) {
+    SkipSpace();
+    SCHEMR_RETURN_IF_ERROR(ParseObject("", out));
+    SkipSpace();
+    if (pos_ != input_.size()) {
+      return Status::ParseError("trailing characters in bench JSON");
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status ParseObject(const std::string& prefix,
+                     std::map<std::string, double>* out) {
+    SCHEMR_RETURN_IF_ERROR(Expect('{'));
+    SkipSpace();
+    if (Peek() == '}') {
+      ++pos_;
+      return Status::OK();
+    }
+    for (;;) {
+      SkipSpace();
+      std::string key;
+      SCHEMR_RETURN_IF_ERROR(ParseString(&key));
+      SkipSpace();
+      SCHEMR_RETURN_IF_ERROR(Expect(':'));
+      SkipSpace();
+      const std::string path = prefix.empty() ? key : prefix + "." + key;
+      if (Peek() == '{') {
+        SCHEMR_RETURN_IF_ERROR(ParseObject(path, out));
+      } else if (Peek() == '"') {
+        std::string ignored;
+        SCHEMR_RETURN_IF_ERROR(ParseString(&ignored));
+      } else {
+        double value = 0.0;
+        SCHEMR_RETURN_IF_ERROR(ParseNumber(&value));
+        (*out)[path] = value;
+      }
+      SkipSpace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      return Expect('}');
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    SCHEMR_RETURN_IF_ERROR(Expect('"'));
+    out->clear();
+    while (pos_ < input_.size() && input_[pos_] != '"') {
+      if (input_[pos_] == '\\') ++pos_;  // good enough for our own output
+      if (pos_ < input_.size()) out->push_back(input_[pos_++]);
+    }
+    return Expect('"');
+  }
+
+  Status ParseNumber(double* out) {
+    const size_t start = pos_;
+    while (pos_ < input_.size() &&
+           (std::isdigit(static_cast<unsigned char>(input_[pos_])) ||
+            input_[pos_] == '-' || input_[pos_] == '+' ||
+            input_[pos_] == '.' || input_[pos_] == 'e' ||
+            input_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::ParseError("expected a number in bench JSON at byte " +
+                                std::to_string(pos_));
+    }
+    *out = std::strtod(std::string(input_.substr(start, pos_ - start)).c_str(),
+                       nullptr);
+    return Status::OK();
+  }
+
+  char Peek() const { return pos_ < input_.size() ? input_[pos_] : '\0'; }
+
+  Status Expect(char c) {
+    if (pos_ >= input_.size() || input_[pos_] != c) {
+      return Status::ParseError(std::string("expected '") + c +
+                                "' in bench JSON at byte " +
+                                std::to_string(pos_));
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  void SkipSpace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::map<std::string, double>> ParseBenchJson(const std::string& json) {
+  std::map<std::string, double> out;
+  SCHEMR_RETURN_IF_ERROR(FlatJsonParser(json).Parse(&out));
+  return out;
+}
+
+Result<GateResult> CompareBenchReports(const std::string& baseline_json,
+                                       const std::string& current_json,
+                                       const GateOptions& options) {
+  SCHEMR_ASSIGN_OR_RETURN(auto baseline, ParseBenchJson(baseline_json));
+  SCHEMR_ASSIGN_OR_RETURN(auto current, ParseBenchJson(current_json));
+  GateResult result;
+  auto fail = [&result](std::string message) {
+    result.pass = false;
+    result.violations.push_back(std::move(message));
+  };
+
+  for (const auto& [key, base_value] : baseline) {
+    if (key.rfind("latency_seconds.", 0) != 0) continue;
+    auto it = current.find(key);
+    if (it == current.end()) {
+      fail("missing latency series in current report: " + key);
+      continue;
+    }
+    const double limit =
+        base_value * options.baseline_scale * (1.0 + options.latency_tolerance);
+    if (it->second > limit) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "%s regressed: %.6fs > %.6fs (baseline %.6fs, scale "
+                    "%.2f, tolerance +%.0f%%)",
+                    key.c_str(), it->second, limit, base_value,
+                    options.baseline_scale, options.latency_tolerance * 100.0);
+      fail(buf);
+    }
+  }
+
+  const double mismatches = current.count("digest_mismatches")
+                                ? current.at("digest_mismatches")
+                                : 0.0;
+  if (mismatches > static_cast<double>(options.max_digest_mismatches)) {
+    fail("digest mismatches: " +
+         std::to_string(static_cast<uint64_t>(mismatches)) + " (allowed " +
+         std::to_string(options.max_digest_mismatches) + ")");
+  }
+
+  const double base_errors =
+      baseline.count("errors") ? baseline.at("errors") : 0.0;
+  const double cur_errors =
+      current.count("errors") ? current.at("errors") : 0.0;
+  if (cur_errors > base_errors) {
+    fail("replay errors grew: " +
+         std::to_string(static_cast<uint64_t>(cur_errors)) + " > baseline " +
+         std::to_string(static_cast<uint64_t>(base_errors)));
+  }
+  return result;
+}
+
+}  // namespace schemr

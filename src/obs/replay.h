@@ -1,0 +1,145 @@
+// Deterministic workload replay + perf gating (DESIGN.md §10).
+//
+// The replay engine closes the loop the audit log opens: take a recorded
+// workload (an audit log directory/segment, or a portable XML workload
+// file), re-execute it against ONE pinned CorpusSnapshot, and check that
+// the ranked results still digest to the same values. Replay runs with no
+// deadline and no matcher budget, so the pipeline is fully deterministic:
+// the same snapshot and workload must produce the same digests on every
+// run, on any machine, at any thread count. A digest mismatch therefore
+// means the ranking changed — a nondeterminism bug or an unintended
+// ranking regression, never benign timing noise.
+//
+// The report (ReplayReportToJson → BENCH_replay.json) carries per-phase
+// latency percentiles, throughput, and the mismatch/degraded/error
+// counts; CompareBenchReports diffs two such reports and is the engine
+// behind tools/bench_gate, which fails CI when latency regresses beyond
+// tolerance or any digest mismatches appear.
+
+#ifndef SCHEMR_OBS_REPLAY_H_
+#define SCHEMR_OBS_REPLAY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/serving_corpus.h"
+#include "util/status.h"
+
+namespace schemr {
+
+/// One replayable request. `expected_digest` 0 means "not recorded":
+/// replay then only checks run-to-run stability, not against a recording.
+struct WorkloadEntry {
+  std::string keywords;
+  std::string fragment;
+  uint32_t top_k = 10;
+  uint32_t candidate_pool = 50;
+  uint64_t fingerprint = 0;       ///< recorded fingerprint (0 = unknown)
+  uint64_t expected_digest = 0;   ///< recorded result digest (0 = none)
+};
+
+/// Loads a workload from `path`: an audit log (directory of audit-*.log
+/// segments, or one segment file) or an XML workload file (<workload>
+/// with <query> children), auto-detected. Audit records that retained no
+/// query text (fast healthy requests) cannot be re-executed and are
+/// skipped; `skipped` (optional) receives how many.
+Result<std::vector<WorkloadEntry>> LoadWorkload(const std::string& path,
+                                                size_t* skipped = nullptr);
+
+/// The portable workload format:
+///   <workload>
+///     <query keywords="..." top_k="10" pool="50" digest="...">
+///       <fragment>CREATE TABLE ...</fragment>
+///     </query>
+///   </workload>
+std::string WorkloadToXml(const std::vector<WorkloadEntry>& entries);
+
+/// Parses the XML workload format (exposed for tests; LoadWorkload calls
+/// it for non-audit files).
+Result<std::vector<WorkloadEntry>> WorkloadFromXml(const std::string& xml);
+
+/// WorkloadToXml to a file.
+Status SaveWorkload(const std::string& path,
+                    const std::vector<WorkloadEntry>& entries);
+
+struct ReplayOptions {
+  /// Worker threads executing entries (results are digest-identical at
+  /// any thread count; only the latency distribution shifts).
+  size_t threads = 1;
+  /// Times each entry is executed. Repeats > 1 also cross-check digests
+  /// between repeats of the same entry.
+  size_t repeat = 1;
+};
+
+/// Latency percentiles over one timing series, in seconds.
+struct LatencySummary {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+struct ReplayReport {
+  size_t entries = 0;            ///< workload size
+  size_t executed = 0;           ///< entries × repeat
+  size_t threads = 1;
+  size_t repeat = 1;
+  size_t errors = 0;             ///< pipeline returned non-OK
+  size_t degraded = 0;           ///< should be 0: replay runs undeadlined
+  size_t digest_mismatches = 0;  ///< vs recording, or between repeats
+  double wall_seconds = 0.0;
+  double qps = 0.0;
+  LatencySummary total;
+  LatencySummary phase1;
+  LatencySummary phase2;
+  LatencySummary phase3;
+  /// Digest each entry produced on its first execution (parallel to the
+  /// workload; 0 for entries that errored).
+  std::vector<uint64_t> digests;
+};
+
+/// Re-executes `workload` against the pinned `snapshot`.
+Result<ReplayReport> ReplayWorkload(
+    std::shared_ptr<const CorpusSnapshot> snapshot,
+    const std::vector<WorkloadEntry>& workload,
+    const ReplayOptions& options = {});
+
+/// Serializes a report as BENCH_replay.json.
+std::string ReplayReportToJson(const ReplayReport& report);
+
+/// Flattens the numeric fields of a BENCH_replay.json document into
+/// dotted paths ("latency_seconds.total.p95" → 0.0042). ParseError on
+/// malformed input. Understands exactly the subset ReplayReportToJson
+/// emits (objects, numbers, strings — strings are ignored).
+Result<std::map<std::string, double>> ParseBenchJson(const std::string& json);
+
+struct GateOptions {
+  /// Allowed fractional latency regression per percentile (+10%).
+  double latency_tolerance = 0.10;
+  /// Multiplier applied to every baseline latency before comparing.
+  /// < 1.0 artificially tightens the baseline (the CI negative test);
+  /// > 1.0 loosens it (cross-machine comparisons against a committed
+  /// baseline).
+  double baseline_scale = 1.0;
+  /// Digest mismatches tolerated (0: any mismatch fails the gate).
+  uint64_t max_digest_mismatches = 0;
+};
+
+struct GateResult {
+  bool pass = true;
+  /// Human-readable violations, one per failed check (empty on pass).
+  std::vector<std::string> violations;
+};
+
+/// Diffs a current BENCH_replay.json against a baseline one. Fails on
+/// any latency percentile beyond tolerance, digest mismatches beyond the
+/// cap, or new errors (current errors > baseline errors).
+Result<GateResult> CompareBenchReports(const std::string& baseline_json,
+                                       const std::string& current_json,
+                                       const GateOptions& options = {});
+
+}  // namespace schemr
+
+#endif  // SCHEMR_OBS_REPLAY_H_

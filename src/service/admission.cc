@@ -79,15 +79,35 @@ void AdmissionController::RecordServiceTime(double seconds) {
                                              std::memory_order_relaxed));
 }
 
-void AdmissionController::CountShed(const std::string& reason) {
+const char* ShedReasonName(ShedReason reason) {
+  switch (reason) {
+    case ShedReason::kNone:
+      return "";
+    case ShedReason::kQueueFull:
+      return "queue_full";
+    case ShedReason::kDeadline:
+      return "deadline";
+    case ShedReason::kDrain:
+      return "shutting_down";
+  }
+  return "";
+}
+
+void AdmissionController::CountShed(ShedReason reason) {
   const AdmissionMetrics& metrics = AdmissionMetrics::Get();
   metrics.shed_total->Increment();
-  if (reason == "queue_full") {
-    metrics.shed_queue_full->Increment();
-  } else if (reason == "deadline") {
-    metrics.shed_deadline->Increment();
-  } else if (reason == "shutting_down") {
-    metrics.shed_drain->Increment();
+  switch (reason) {
+    case ShedReason::kNone:
+      break;
+    case ShedReason::kQueueFull:
+      metrics.shed_queue_full->Increment();
+      break;
+    case ShedReason::kDeadline:
+      metrics.shed_deadline->Increment();
+      break;
+    case ShedReason::kDrain:
+      metrics.shed_drain->Increment();
+      break;
   }
 }
 
@@ -109,32 +129,29 @@ AdmissionDecision AdmissionController::Admit(size_t queue_depth,
   const double expected_wait =
       predicted * (static_cast<double>(queue_depth) / workers + 1.0);
 
-  if (draining()) {
+  const auto shed = [&](ShedReason reason, double retry_after_ms) {
     decision.admit = false;
-    decision.reason = "shutting_down";
-    // No useful retry horizon: this process is going away.
-    decision.retry_after_ms = 0.0;
-    CountShed("shutting_down");
+    decision.shed_reason = reason;
+    decision.reason = ShedReasonName(reason);
+    decision.retry_after_ms = retry_after_ms;
+    CountShed(reason);
     return decision;
+  };
+
+  if (draining()) {
+    // No useful retry horizon: this process is going away.
+    return shed(ShedReason::kDrain, 0.0);
   }
 
   if (queue_depth >= options_.max_queue_depth) {
-    decision.admit = false;
-    decision.reason = "queue_full";
-    decision.retry_after_ms =
-        std::max(options_.retry_after_base_ms, expected_wait * 1e3);
-    CountShed("queue_full");
-    return decision;
+    return shed(ShedReason::kQueueFull,
+                std::max(options_.retry_after_base_ms, expected_wait * 1e3));
   }
 
   if (expected_wait > decision.deadline_seconds) {
-    decision.admit = false;
-    decision.reason = "deadline";
-    decision.retry_after_ms = std::max(
-        options_.retry_after_base_ms,
-        (expected_wait - decision.deadline_seconds) * 1e3);
-    CountShed("deadline");
-    return decision;
+    return shed(ShedReason::kDeadline,
+                std::max(options_.retry_after_base_ms,
+                         (expected_wait - decision.deadline_seconds) * 1e3));
   }
 
   metrics.admitted->Increment();

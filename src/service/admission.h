@@ -42,12 +42,28 @@ struct AdmissionOptions {
   double initial_service_seconds = 0.05;
 };
 
+/// Why a request was refused. The single vocabulary shared by the shed
+/// metrics, the XML error codes, and the audit log's outcome byte — all
+/// three derive from this enum so they can never disagree.
+enum class ShedReason : uint8_t {
+  kNone = 0,       ///< admitted
+  kQueueFull = 1,  ///< pending queue at its bound
+  kDeadline = 2,   ///< predicted queueing delay exceeds the deadline
+  kDrain = 3,      ///< service draining for shutdown
+};
+
+/// Stable wire name: "queue_full", "deadline", "shutting_down" ("" for
+/// kNone). Used verbatim in shed <error> messages and `schemr audit`.
+const char* ShedReasonName(ShedReason reason);
+
 /// Why a request was or was not admitted.
 struct AdmissionDecision {
   bool admit = true;
   /// On shed: how long the client should wait before retrying.
   double retry_after_ms = 0.0;
-  /// On shed: "queue_full", "deadline", or "shutting_down".
+  /// On shed: why (kNone when admitted).
+  ShedReason shed_reason = ShedReason::kNone;
+  /// ShedReasonName(shed_reason), kept as a field for convenience.
   std::string reason;
   /// The deadline the request will run under (the request's own, or the
   /// configured default), in seconds.
@@ -65,10 +81,10 @@ class AdmissionController {
   /// Feeds a completed request's wall time into the EWMA.
   void RecordServiceTime(double seconds);
 
-  /// Tallies a shed that happened outside Admit() (e.g. the submit lost a
-  /// race with the queue filling up after admission). `reason` must be
-  /// one of "queue_full", "deadline", "shutting_down".
-  void CountShed(const std::string& reason);
+  /// Tallies a shed that happened outside Admit() (e.g. the submit lost
+  /// a race with the queue filling up after admission). The one helper
+  /// that bumps the shed counters — Admit() routes through it too.
+  void CountShed(ShedReason reason);
 
   /// Current per-request service-time estimate, in seconds.
   double PredictedServiceSeconds() const;

@@ -1,8 +1,10 @@
 #include "service/schemr_service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 
+#include "core/fingerprint.h"
 #include "core/query_parser.h"
 #include "match/codebook.h"
 #include "obs/exposition.h"
@@ -119,6 +121,28 @@ std::string StatusCodeSlug(StatusCode code) {
   return slug;
 }
 
+uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+/// ShedReason → audit outcome byte; with ShedReasonName this is the whole
+/// shed vocabulary, derived from the one enum.
+AuditOutcome ShedOutcome(ShedReason reason) {
+  switch (reason) {
+    case ShedReason::kQueueFull:
+      return AuditOutcome::kShedQueueFull;
+    case ShedReason::kDeadline:
+      return AuditOutcome::kShedDeadline;
+    case ShedReason::kDrain:
+    case ShedReason::kNone:
+      break;
+  }
+  return AuditOutcome::kShedDrain;
+}
+
 struct ServingMetrics {
   Gauge* inflight;
 
@@ -173,14 +197,55 @@ Result<std::vector<SearchResult>> SchemrService::Search(
   if (!scope.Check(valid).ok()) return valid;
   auto parsed = ParseQuery(request.keywords, request.fragment);
   if (!scope.Check(parsed).ok()) return parsed.status();
-  auto results = engine_.Search(*parsed, WithRequest(request, engine_options));
+  std::shared_ptr<AuditLog> log = audit();
+  SearchEngineOptions options = WithRequest(request, engine_options);
+  SearchStats stats;
+  if (log != nullptr && options.stats == nullptr) options.stats = &stats;
+  const Timer handle_timer;
+  auto results = engine_.Search(*parsed, options);
   scope.Check(results);
+  if (log != nullptr) {
+    const SearchStats& observed =
+        options.stats != nullptr ? *options.stats : stats;
+    AuditRecord record;
+    record.timestamp_micros = NowMicros();
+    record.fingerprint = FingerprintQuery(*parsed);
+    record.outcome = !results.ok() ? AuditOutcome::kError
+                     : observed.degraded ? AuditOutcome::kDegraded
+                                         : AuditOutcome::kOk;
+    record.total_micros = static_cast<uint64_t>(handle_timer.ElapsedMicros());
+    record.phase1_micros =
+        static_cast<uint64_t>(observed.phase1_seconds * 1e6);
+    record.phase2_micros =
+        static_cast<uint64_t>(observed.phase2_seconds * 1e6);
+    record.phase3_micros =
+        static_cast<uint64_t>(observed.phase3_seconds * 1e6);
+    record.result_digest = results.ok() ? DigestResults(*results) : 0;
+    record.result_count =
+        results.ok() ? static_cast<uint32_t>(results->size()) : 0;
+    record.top_k = static_cast<uint32_t>(request.top_k);
+    record.candidate_pool = static_cast<uint32_t>(request.candidate_pool);
+    record.coarse_only_candidates =
+        static_cast<uint32_t>(observed.coarse_only_candidates);
+    record.dropped_matchers =
+        static_cast<uint32_t>(observed.dropped_matchers.size());
+    record.deadline_hit = observed.deadline_hit;
+    record.keywords = request.keywords;
+    record.fragment = request.fragment;
+    log->Record(std::move(record));
+  }
   return results;
 }
 
 Result<std::string> SchemrService::SearchXml(
     const SearchRequest& request,
     const SearchEngineOptions& engine_options) const {
+  return SearchXmlInternal(request, engine_options, nullptr);
+}
+
+Result<std::string> SchemrService::SearchXmlInternal(
+    const SearchRequest& request, const SearchEngineOptions& engine_options,
+    SearchAuditInfo* audit) const {
   static const EndpointMetrics metrics = MakeEndpoint("search_xml");
   EndpointScope scope(metrics);
   Status valid = ValidateRequest(request);
@@ -188,6 +253,7 @@ Result<std::string> SchemrService::SearchXml(
   auto parsed = ParseQuery(request.keywords, request.fragment);
   if (!scope.Check(parsed).ok()) return parsed.status();
   const QueryGraph& query = *parsed;
+  if (audit != nullptr) audit->fingerprint = FingerprintQuery(query);
 
   SearchTrace trace;
   SearchStats stats;
@@ -197,6 +263,12 @@ Result<std::string> SchemrService::SearchXml(
   auto searched = engine_.Search(query, options);
   if (!scope.Check(searched).ok()) return searched.status();
   const std::vector<SearchResult>& results = *searched;
+  if (audit != nullptr) {
+    audit->filled = true;
+    audit->digest = DigestResults(results);
+    audit->result_count = static_cast<uint32_t>(results.size());
+    audit->stats = stats;
+  }
 
   XmlWriter xml;
   xml.Open("results").Attribute("query", query.ToString());
@@ -362,11 +434,52 @@ Status SchemrService::Shutdown(double deadline_seconds) {
   return drained;
 }
 
+Status SchemrService::EnableAudit(const std::string& dir,
+                                  AuditLogOptions options) {
+  SCHEMR_ASSIGN_OR_RETURN(std::unique_ptr<AuditLog> log,
+                          AuditLog::Open(dir, options));
+  EnableAudit(std::shared_ptr<AuditLog>(std::move(log)));
+  return Status::OK();
+}
+
+void SchemrService::EnableAudit(std::shared_ptr<AuditLog> log) {
+  std::lock_guard<std::mutex> lock(audit_mutex_);
+  audit_ = std::move(log);
+}
+
+std::shared_ptr<AuditLog> SchemrService::audit() const {
+  std::lock_guard<std::mutex> lock(audit_mutex_);
+  return audit_;
+}
+
+void SchemrService::RecordRefusal(const SearchRequest& request,
+                                  AuditOutcome outcome,
+                                  double deadline_seconds) const {
+  std::shared_ptr<AuditLog> log = audit();
+  if (log == nullptr) return;
+  AuditRecord record;
+  record.timestamp_micros = NowMicros();
+  // The fragment is not parsed on a refusal (that would defeat shedding);
+  // the raw-request fingerprint still aggregates keyword-only queries
+  // together with their admitted records.
+  record.fingerprint =
+      FingerprintRawRequest(request.keywords, request.fragment);
+  record.outcome = outcome;
+  record.deadline_micros =
+      static_cast<uint64_t>(std::max(0.0, deadline_seconds) * 1e6);
+  record.top_k = static_cast<uint32_t>(request.top_k);
+  record.candidate_pool = static_cast<uint32_t>(request.candidate_pool);
+  record.keywords = request.keywords;
+  record.fragment = request.fragment;
+  log->Record(std::move(record));
+}
+
 std::string SchemrService::RunSearchToXml(
     const SearchRequest& request, double deadline_seconds,
     double original_deadline_seconds) const {
   const ServingMetrics& serving_metrics = ServingMetrics::Get();
   serving_metrics.inflight->Add(1.0);
+  const Timer handle_timer;
   SearchEngineOptions options;
   // Whatever the queue wait left is the pipeline's wall-clock budget; the
   // engine degrades (coarse-only tail) instead of erroring when it fires.
@@ -380,8 +493,45 @@ std::string SchemrService::RunSearchToXml(
     options.matcher_budget_seconds =
         remaining * serving_options_.near_deadline_budget_fraction;
   }
-  Result<std::string> xml = SearchXml(request, options);
+  std::shared_ptr<AuditLog> log = audit();
+  SearchAuditInfo info;
+  Result<std::string> xml =
+      SearchXmlInternal(request, options, log != nullptr ? &info : nullptr);
   serving_metrics.inflight->Add(-1.0);
+  if (log != nullptr) {
+    AuditRecord record;
+    record.timestamp_micros = NowMicros();
+    record.fingerprint =
+        info.fingerprint != 0
+            ? info.fingerprint
+            : FingerprintRawRequest(request.keywords, request.fragment);
+    record.outcome = !xml.ok() ? AuditOutcome::kError
+                     : info.stats.degraded ? AuditOutcome::kDegraded
+                                           : AuditOutcome::kOk;
+    record.total_micros =
+        static_cast<uint64_t>(handle_timer.ElapsedMicros());
+    record.phase1_micros =
+        static_cast<uint64_t>(info.stats.phase1_seconds * 1e6);
+    record.phase2_micros =
+        static_cast<uint64_t>(info.stats.phase2_seconds * 1e6);
+    record.phase3_micros =
+        static_cast<uint64_t>(info.stats.phase3_seconds * 1e6);
+    record.deadline_micros = static_cast<uint64_t>(remaining * 1e6);
+    record.budget_micros =
+        static_cast<uint64_t>(options.matcher_budget_seconds * 1e6);
+    record.result_digest = info.digest;
+    record.result_count = info.result_count;
+    record.top_k = static_cast<uint32_t>(request.top_k);
+    record.candidate_pool = static_cast<uint32_t>(request.candidate_pool);
+    record.coarse_only_candidates =
+        static_cast<uint32_t>(info.stats.coarse_only_candidates);
+    record.dropped_matchers =
+        static_cast<uint32_t>(info.stats.dropped_matchers.size());
+    record.deadline_hit = info.stats.deadline_hit;
+    record.keywords = request.keywords;
+    record.fragment = request.fragment;
+    log->Record(std::move(record));
+  }
   if (xml.ok()) return *std::move(xml);
   return ErrorXml(StatusCodeSlug(xml.status().code()),
                   xml.status().message());
@@ -394,6 +544,7 @@ std::string SchemrService::HandleSearchXml(const SearchRequest& request,
   {
     std::lock_guard<std::mutex> lock(serving_mutex_);
     if (shut_down_) {
+      RecordRefusal(request, AuditOutcome::kShedDrain, deadline_seconds);
       return ErrorXml("shutting_down", "service is shut down");
     }
     executor = executor_.get();
@@ -411,7 +562,9 @@ std::string SchemrService::HandleSearchXml(const SearchRequest& request,
   AdmissionDecision decision =
       admission->Admit(executor->QueueDepth(), deadline_seconds);
   if (!decision.admit) {
-    if (decision.reason == "shutting_down") {
+    RecordRefusal(request, ShedOutcome(decision.shed_reason),
+                  decision.deadline_seconds);
+    if (decision.shed_reason == ShedReason::kDrain) {
       return ErrorXml("shutting_down", "service is draining");
     }
     return ErrorXml("overloaded", "request shed (" + decision.reason + ")",
@@ -432,12 +585,15 @@ std::string SchemrService::HandleSearchXml(const SearchRequest& request,
   const double deadline = decision.deadline_seconds;
   Status submitted = executor->TrySubmit(
       [this, state, request, wait_timer, deadline](bool cancelled) {
-        std::string xml =
-            cancelled
-                ? ErrorXml("shutting_down", "cancelled by shutdown drain")
-                : RunSearchToXml(request,
-                                 deadline - wait_timer.ElapsedSeconds(),
-                                 deadline);
+        std::string xml;
+        if (cancelled) {
+          RecordRefusal(request, AuditOutcome::kCancelled, deadline);
+          xml = ErrorXml("shutting_down", "cancelled by shutdown drain");
+        } else {
+          xml = RunSearchToXml(request,
+                               deadline - wait_timer.ElapsedSeconds(),
+                               deadline);
+        }
         {
           std::lock_guard<std::mutex> lock(state->mutex);
           state->xml = std::move(xml);
@@ -451,10 +607,14 @@ std::string SchemrService::HandleSearchXml(const SearchRequest& request,
     // CountShed keeps schemr_requests_shed_total accounting for every
     // rejection, raced or not.
     if (admission->draining()) {
-      admission->CountShed("shutting_down");
+      admission->CountShed(ShedReason::kDrain);
+      RecordRefusal(request, AuditOutcome::kShedDrain,
+                    decision.deadline_seconds);
       return ErrorXml("shutting_down", "service is draining");
     }
-    admission->CountShed("queue_full");
+    admission->CountShed(ShedReason::kQueueFull);
+    RecordRefusal(request, AuditOutcome::kShedQueueFull,
+                  decision.deadline_seconds);
     return ErrorXml("overloaded", submitted.message(),
                     admission->options().retry_after_base_ms);
   }

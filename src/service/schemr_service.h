@@ -18,6 +18,7 @@
 
 #include "core/search_engine.h"
 #include "core/serving_corpus.h"
+#include "obs/audit_log.h"
 #include "service/admission.h"
 #include "util/executor.h"
 #include "viz/graph_view.h"
@@ -133,6 +134,22 @@ class SchemrService {
   /// True between StartServing and Shutdown.
   bool serving() const;
 
+  // --- Query audit log (DESIGN.md §10) -----------------------------------
+
+  /// Opens (creating if needed) an audit log at `dir` and records every
+  /// subsequent search request into it: admitted requests (with phase
+  /// latencies, fingerprint and result digest) from the pipeline path,
+  /// shed/cancelled requests from the admission path. Idempotent per
+  /// service; call before StartServing.
+  Status EnableAudit(const std::string& dir, AuditLogOptions options = {});
+
+  /// Shares an already-open log (several services, or a test, can feed
+  /// one log).
+  void EnableAudit(std::shared_ptr<AuditLog> log);
+
+  /// The active audit log, or null when auditing is off.
+  std::shared_ptr<AuditLog> audit() const;
+
   /// Runs a search and returns structured results.
   Result<std::vector<SearchResult>> Search(
       const SearchRequest& request,
@@ -175,6 +192,17 @@ class SchemrService {
   const SearchEngine& engine() const { return engine_; }
 
  private:
+  /// What the pipeline path hands back for the audit record: computed
+  /// where the parsed query and ranked results already exist, so auditing
+  /// costs no extra parse or copy on the hot path.
+  struct SearchAuditInfo {
+    bool filled = false;  ///< false when the request failed before ranking
+    uint64_t fingerprint = 0;
+    uint64_t digest = 0;
+    uint32_t result_count = 0;
+    SearchStats stats;
+  };
+
   Result<SchemaGraphView> BuildView(const VisualizationRequest& request) const;
   /// InvalidArgument for malformed or over-limit requests; see
   /// ServiceLimits.
@@ -182,12 +210,22 @@ class SchemrService {
   /// InvalidArgument for over-limit depth or unknown layout strings,
   /// checked before any repository access.
   Status ValidateRequest(const VisualizationRequest& request) const;
+  /// SearchXml with an optional audit side-channel (null skips the
+  /// fingerprint/digest work entirely).
+  Result<std::string> SearchXmlInternal(const SearchRequest& request,
+                                        const SearchEngineOptions& options,
+                                        SearchAuditInfo* audit) const;
   /// Runs the search under `deadline_seconds` with the near-deadline
   /// degradation ladder applied and serializes the outcome (results or
-  /// <error>) as XML.
+  /// <error>) as XML. Records the request into the audit log when one is
+  /// enabled.
   std::string RunSearchToXml(const SearchRequest& request,
                              double deadline_seconds,
                              double original_deadline_seconds) const;
+  /// Records a request refused before the pipeline ran (shed, cancelled,
+  /// post-shutdown). No-op when auditing is off.
+  void RecordRefusal(const SearchRequest& request, AuditOutcome outcome,
+                     double deadline_seconds) const;
 
   const ServingCorpus* corpus_ = nullptr;  ///< null in static mode
   const SchemaRepository* repository_;
@@ -201,6 +239,9 @@ class SchemrService {
   std::unique_ptr<AdmissionController> admission_;
   mutable std::mutex serving_mutex_;  ///< guards the two pointers above
   bool shut_down_ = false;            ///< serving ended; do not restart
+
+  mutable std::mutex audit_mutex_;    ///< guards audit_ (set-once, read often)
+  std::shared_ptr<AuditLog> audit_;
 };
 
 }  // namespace schemr

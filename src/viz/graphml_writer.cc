@@ -4,6 +4,19 @@
 
 namespace schemr {
 
+namespace {
+
+// Builds "n0"-style element ids without `const char* + std::string&&`,
+// which GCC 12 miscompiles into a bogus -Wrestrict error at -O3
+// (PR105651) under -Werror.
+std::string PrefixedId(char prefix, size_t i) {
+  std::string id(1, prefix);
+  id += std::to_string(i);
+  return id;
+}
+
+}  // namespace
+
 std::string WriteGraphMl(const SchemaGraphView& view) {
   XmlWriter xml;
   xml.Open("graphml")
@@ -46,7 +59,7 @@ std::string WriteGraphMl(const SchemaGraphView& view) {
 
   for (size_t i = 0; i < view.nodes.size(); ++i) {
     const VizNode& node = view.nodes[i];
-    xml.Open("node").Attribute("id", "n" + std::to_string(i));
+    xml.Open("node").Attribute("id", PrefixedId('n', i));
     data("d_label", node.label);
     data("d_kind", ElementKindName(node.kind));
     data("d_type", DataTypeName(node.type));
@@ -60,9 +73,9 @@ std::string WriteGraphMl(const SchemaGraphView& view) {
   for (size_t i = 0; i < view.edges.size(); ++i) {
     const VizEdge& edge = view.edges[i];
     xml.Open("edge")
-        .Attribute("id", "e" + std::to_string(i))
-        .Attribute("source", "n" + std::to_string(edge.from))
-        .Attribute("target", "n" + std::to_string(edge.to));
+        .Attribute("id", PrefixedId('e', i))
+        .Attribute("source", PrefixedId('n', edge.from))
+        .Attribute("target", PrefixedId('n', edge.to));
     data("d_fk", edge.is_foreign_key ? "true" : "false");
     xml.Close();
   }

@@ -1,0 +1,92 @@
+// bench_gate: CI comparator for BENCH_replay.json reports.
+//
+//   bench_gate <baseline.json> <current.json>
+//              [--latency-tolerance X]    allowed fractional regression
+//                                         per latency percentile (0.10)
+//              [--scale-baseline S]       multiply baseline latencies by S
+//                                         before comparing (<1 tightens —
+//                                         the CI negative test; >1 loosens
+//                                         for cross-machine baselines)
+//              [--max-digest-mismatches N]
+//
+// Exit 0 when the current report is within tolerance of the baseline,
+// 1 on any violation (each printed on stderr), 2 on usage/parse errors.
+// Digest mismatches are the hard failure: latency shifts with hardware,
+// ranking determinism must not.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/replay.h"
+
+namespace schemr {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: bench_gate <baseline.json> <current.json>\n"
+               "  [--latency-tolerance X] [--scale-baseline S]"
+               " [--max-digest-mismatches N]\n");
+  return 2;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string baseline_path = argv[1];
+  const std::string current_path = argv[2];
+  GateOptions options;
+  for (int i = 3; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--latency-tolerance" && i + 1 < argc) {
+      options.latency_tolerance = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--scale-baseline" && i + 1 < argc) {
+      options.baseline_scale = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--max-digest-mismatches" && i + 1 < argc) {
+      options.max_digest_mismatches = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      return Usage();
+    }
+  }
+
+  auto baseline = ReadFile(baseline_path);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "bench_gate: %s\n",
+                 baseline.status().ToString().c_str());
+    return 2;
+  }
+  auto current = ReadFile(current_path);
+  if (!current.ok()) {
+    std::fprintf(stderr, "bench_gate: %s\n",
+                 current.status().ToString().c_str());
+    return 2;
+  }
+  auto gate = CompareBenchReports(*baseline, *current, options);
+  if (!gate.ok()) {
+    std::fprintf(stderr, "bench_gate: %s\n", gate.status().ToString().c_str());
+    return 2;
+  }
+  for (const std::string& violation : gate->violations) {
+    std::fprintf(stderr, "bench_gate: %s\n", violation.c_str());
+  }
+  std::fprintf(stderr, "bench_gate: %s (baseline %s, tolerance +%.0f%%, "
+               "scale %.2f)\n",
+               gate->pass ? "PASS" : "FAIL", baseline_path.c_str(),
+               options.latency_tolerance * 100.0, options.baseline_scale);
+  return gate->pass ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace schemr
+
+int main(int argc, char** argv) { return schemr::Run(argc, argv); }

@@ -23,22 +23,31 @@
 // `stats` runs a sample search workload and dumps the metrics registry
 // (Prometheus text format, or JSON with --json).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/query_parser.h"
+#include "corpus/query_workload.h"
+#include "corpus/schema_generator.h"
 #include "index/indexer.h"
+#include "obs/audit_log.h"
 #include "obs/log_bridge.h"
+#include "obs/metrics.h"
+#include "obs/replay.h"
 #include "parse/ddl_parser.h"
 #include "parse/ddl_writer.h"
 #include "parse/xsd_importer.h"
 #include "parse/xsd_writer.h"
 #include "service/schemr_service.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 #include "viz/dot_writer.h"
 
 namespace schemr {
@@ -65,7 +74,16 @@ int Usage() {
       "  export <repo> <id> [--format ddl|xsd]\n"
       "  comment <repo> <id> <author> <text...>     leave a comment\n"
       "  rate <repo> <id> <author> <stars>          rate 1..5\n"
-      "  comments <repo> <id>                       show comments/ratings\n");
+      "  comments <repo> <id>                       show comments/ratings\n"
+      "  audit <repo> tail|top|slow [--limit N]     inspect the query"
+      " audit log\n"
+      "  replay <workload> --repo <dir> [--threads N] [--repeat N]"
+      " [--out f.json]\n"
+      "         [--baseline f.json] [--tolerance X] [--record f.xml]"
+      "   replay a workload\n"
+      "  seed <repo> [--schemas N] [--seed S] [--workload f.xml]"
+      " [--queries M]\n"
+      "         generate a synthetic corpus (and optional workload)\n");
   return 2;
 }
 
@@ -81,18 +99,40 @@ std::string SegmentPath(const std::string& repo_dir) {
   return repo_dir + "/segment.idx";
 }
 
+std::string AuditDir(const std::string& repo_dir) {
+  return repo_dir + "/audit";
+}
+
+/// How LoadOrBuildIndex got its index: opening the persisted segment
+/// (cheap; Refresh catches up on imports) or a full rebuild. The two
+/// paths are timed separately so `stats` can report which one a
+/// deployment is actually paying for.
+struct IndexLoadTiming {
+  bool rebuilt = false;
+  double open_seconds = 0.0;     ///< LoadFrom + Refresh (segment path)
+  double rebuild_seconds = 0.0;  ///< RebuildFromRepository + Save
+};
+
 /// Loads the saved index segment if present, otherwise rebuilds from the
 /// repository (and saves, so the next invocation is fast).
 Result<Indexer> LoadOrBuildIndex(const SchemaRepository& repo,
-                                 const std::string& repo_dir) {
+                                 const std::string& repo_dir,
+                                 IndexLoadTiming* timing = nullptr) {
   Indexer indexer;
+  Timer timer;
   if (indexer.LoadFrom(SegmentPath(repo_dir)).ok()) {
     // Catch up with any imports since the segment was written.
     SCHEMR_RETURN_IF_ERROR(indexer.Refresh(repo).status());
+    if (timing != nullptr) timing->open_seconds = timer.ElapsedSeconds();
     return indexer;
   }
+  timer.Reset();
   SCHEMR_RETURN_IF_ERROR(indexer.RebuildFromRepository(repo).status());
   (void)indexer.Save(SegmentPath(repo_dir));
+  if (timing != nullptr) {
+    timing->rebuilt = true;
+    timing->rebuild_seconds = timer.ElapsedSeconds();
+  }
   return indexer;
 }
 
@@ -179,12 +219,19 @@ int CmdSearch(SchemaRepository* repo, const std::string& repo_dir, int argc,
   }
   auto indexer = LoadOrBuildIndex(*repo, repo_dir);
   if (!indexer.ok()) return Fail(indexer.status(), "loading index");
-  SearchEngine engine(repo, &indexer->index());
-  auto query = ParseQuery(keywords, fragment);
-  if (!query.ok()) return Fail(query.status(), "parsing query");
+  SchemrService service(repo, &indexer->index());
+  // Every CLI search lands in the repo's audit log (inspect with
+  // `schemr audit`); failure to open it is not search-fatal.
+  (void)service.EnableAudit(AuditDir(repo_dir));
   SearchTrace trace;
   if (explain) options.trace = &trace;
-  auto results = engine.Search(*query, options);
+  SearchRequest request;
+  request.keywords = keywords;
+  request.fragment = fragment;
+  request.top_k = options.top_k;
+  request.candidate_pool = std::max<size_t>(options.top_k + options.offset,
+                                            SearchRequest{}.candidate_pool);
+  auto results = service.Search(request, options);
   if (!results.ok()) return Fail(results.status(), "searching");
 
   std::printf("%-4s %-6s %-28s %-7s %-9s %-8s %-9s %-10s\n", "#", "id",
@@ -220,9 +267,32 @@ int CmdStats(SchemaRepository* repo, const std::string& repo_dir, int argc,
       keywords += arg;
     }
   }
-  auto indexer = LoadOrBuildIndex(*repo, repo_dir);
+  IndexLoadTiming timing;
+  auto indexer = LoadOrBuildIndex(*repo, repo_dir, &timing);
   if (!indexer.ok()) return Fail(indexer.status(), "loading index");
+  // Open-vs-rebuild cost split, as gauges (scraped) and on stderr: the
+  // segment path should be milliseconds; paying a rebuild on every stats
+  // call means the persisted segment is missing or stale.
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry
+      .GetGauge("schemr_index_open_seconds",
+                "Time spent opening the persisted index segment (0 when "
+                "the index was rebuilt instead).")
+      ->Set(timing.open_seconds);
+  registry
+      .GetGauge("schemr_index_rebuild_seconds",
+                "Time spent rebuilding the index from the repository (0 "
+                "when the persisted segment was used).")
+      ->Set(timing.rebuild_seconds);
+  if (timing.rebuilt) {
+    std::fprintf(stderr, "# index: no usable segment, rebuilt in %.1f ms\n",
+                 timing.rebuild_seconds * 1e3);
+  } else {
+    std::fprintf(stderr, "# index: opened persisted segment in %.1f ms\n",
+                 timing.open_seconds * 1e3);
+  }
   SchemrService service(repo, &indexer->index());
+  (void)service.EnableAudit(AuditDir(repo_dir));
 
   if (keywords.empty()) {
     auto summaries = repo->ListAll();
@@ -349,12 +419,283 @@ int CmdComments(SchemaRepository* repo, int argc, char** argv) {
   return 0;
 }
 
+void PrintAuditRecord(const AuditRecord& r) {
+  char when[32] = "-";
+  const time_t seconds = static_cast<time_t>(r.timestamp_micros / 1000000);
+  struct tm tm_buf;
+  if (seconds > 0 && localtime_r(&seconds, &tm_buf) != nullptr) {
+    std::strftime(when, sizeof(when), "%Y-%m-%d %H:%M:%S", &tm_buf);
+  }
+  std::printf("%-19s %-15s fp=%016llx %8.1fms [p1 %5.1f p2 %5.1f p3 %5.1f]"
+              " n=%-3u digest=%016llx",
+              when, AuditOutcomeName(r.outcome),
+              static_cast<unsigned long long>(r.fingerprint),
+              r.total_micros / 1e3, r.phase1_micros / 1e3,
+              r.phase2_micros / 1e3, r.phase3_micros / 1e3, r.result_count,
+              static_cast<unsigned long long>(r.result_digest));
+  if (r.has_query_text) {
+    std::printf("  \"%s\"%s", r.keywords.c_str(),
+                r.fragment.empty() ? "" : " +fragment");
+  }
+  std::printf("\n");
+}
+
+int CmdAudit(const std::string& repo_dir, int argc, char** argv) {
+  if (argc < 1) return Usage();
+  const std::string mode = argv[0];
+  size_t limit = 20;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--limit" && i + 1 < argc) {
+      limit = std::strtoull(argv[++i], nullptr, 10);
+    }
+  }
+  auto report = ReadAuditLog(AuditDir(repo_dir));
+  if (!report.ok()) return Fail(report.status(), "reading audit log");
+  if (report->skipped_records > 0 || report->torn_tail) {
+    std::fprintf(stderr,
+                 "# audit: salvaged around %zu damaged records (%llu bytes"
+                 "%s)\n",
+                 report->skipped_records,
+                 static_cast<unsigned long long>(report->skipped_bytes),
+                 report->torn_tail ? ", torn tail" : "");
+  }
+  const std::vector<AuditRecord>& records = report->records;
+
+  if (mode == "tail") {
+    const size_t start = records.size() > limit ? records.size() - limit : 0;
+    for (size_t i = start; i < records.size(); ++i) {
+      PrintAuditRecord(records[i]);
+    }
+  } else if (mode == "slow") {
+    // Persisted slow records are the ones that retained query text with a
+    // healthy outcome (shed/error records keep text for debugging, not
+    // because they were slow).
+    std::vector<const AuditRecord*> slow;
+    for (const AuditRecord& r : records) {
+      if (r.has_query_text && (r.outcome == AuditOutcome::kOk ||
+                               r.outcome == AuditOutcome::kDegraded)) {
+        slow.push_back(&r);
+      }
+    }
+    std::sort(slow.begin(), slow.end(),
+              [](const AuditRecord* a, const AuditRecord* b) {
+                return a->total_micros > b->total_micros;
+              });
+    if (slow.size() > limit) slow.resize(limit);
+    for (const AuditRecord* r : slow) PrintAuditRecord(*r);
+    if (slow.empty()) std::printf("(no slow queries recorded)\n");
+  } else if (mode == "top") {
+    struct Aggregate {
+      size_t count = 0;
+      size_t degraded = 0;
+      size_t shed = 0;
+      uint64_t total_micros = 0;
+      uint64_t max_micros = 0;
+      const AuditRecord* sample = nullptr;
+    };
+    std::map<uint64_t, Aggregate> by_fingerprint;
+    for (const AuditRecord& r : records) {
+      Aggregate& agg = by_fingerprint[r.fingerprint];
+      ++agg.count;
+      if (r.outcome == AuditOutcome::kDegraded) ++agg.degraded;
+      if (IsShedOutcome(r.outcome)) ++agg.shed;
+      agg.total_micros += r.total_micros;
+      agg.max_micros = std::max(agg.max_micros, r.total_micros);
+      if (r.has_query_text) agg.sample = &r;
+    }
+    std::vector<std::pair<uint64_t, const Aggregate*>> ranked;
+    for (const auto& [fp, agg] : by_fingerprint) ranked.emplace_back(fp, &agg);
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) {
+                return a.second->count > b.second->count;
+              });
+    if (ranked.size() > limit) ranked.resize(limit);
+    std::printf("%-18s %-6s %-9s %-5s %-10s %-10s %s\n", "fingerprint",
+                "count", "degraded", "shed", "avg_ms", "max_ms", "sample");
+    for (const auto& [fp, agg] : ranked) {
+      std::printf("%016llx   %-6zu %-9zu %-5zu %-10.1f %-10.1f %s\n",
+                  static_cast<unsigned long long>(fp), agg->count,
+                  agg->degraded, agg->shed,
+                  agg->total_micros / 1e3 / static_cast<double>(agg->count),
+                  agg->max_micros / 1e3,
+                  agg->sample != nullptr ? agg->sample->keywords.c_str()
+                                         : "-");
+    }
+  } else {
+    return Usage();
+  }
+  std::fprintf(stderr, "# audit: %zu records in %zu segments\n",
+               records.size(), report->segments_read);
+  return 0;
+}
+
+int CmdSeed(SchemaRepository* repo, const std::string& repo_dir, int argc,
+            char** argv) {
+  CorpusOptions corpus_options;
+  corpus_options.num_schemas = 200;
+  QueryWorkloadOptions workload_options;
+  std::string workload_path;
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--schemas" && i + 1 < argc) {
+      corpus_options.num_schemas = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      corpus_options.seed = std::strtoull(argv[++i], nullptr, 10);
+      workload_options.seed = corpus_options.seed + 57;
+    } else if (arg == "--workload" && i + 1 < argc) {
+      workload_path = argv[++i];
+    } else if (arg == "--queries" && i + 1 < argc) {
+      workload_options.num_queries = std::strtoull(argv[++i], nullptr, 10);
+    }
+  }
+  Timer timer;
+  std::vector<GeneratedSchema> corpus = GenerateCorpus(corpus_options);
+  for (GeneratedSchema& generated : corpus) {
+    auto id = repo->Insert(std::move(generated.schema));
+    if (!id.ok()) return Fail(id.status(), "inserting generated schema");
+  }
+  std::printf("seeded %zu schemas in %.1f ms\n", corpus.size(),
+              timer.ElapsedMillis());
+  if (int rc = CmdIndex(repo, repo_dir); rc != 0) return rc;
+  if (!workload_path.empty()) {
+    workload_options.fragment_prob = 0.3;
+    std::vector<WorkloadQuery> queries =
+        GenerateQueryWorkload(workload_options);
+    std::vector<WorkloadEntry> entries;
+    entries.reserve(queries.size());
+    for (WorkloadQuery& q : queries) {
+      WorkloadEntry entry;
+      entry.keywords = std::move(q.keywords);
+      entry.fragment = std::move(q.ddl_fragment);
+      entries.push_back(std::move(entry));
+    }
+    Status saved = SaveWorkload(workload_path, entries);
+    if (!saved.ok()) return Fail(saved, "writing workload");
+    std::printf("wrote %zu queries to %s\n", entries.size(),
+                workload_path.c_str());
+  }
+  return 0;
+}
+
+/// `schemr replay <workload> --repo <dir> ...` — argument order differs
+/// from the other commands (the workload, not the repo, is the subject),
+/// so Run() special-cases it before the common repository open.
+int CmdReplay(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  const std::string workload_path = argv[0];
+  std::string repo_dir;
+  std::string out_path;
+  std::string baseline_path;
+  std::string record_path;
+  ReplayOptions replay_options;
+  GateOptions gate_options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--repo" && i + 1 < argc) {
+      repo_dir = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      replay_options.threads = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--repeat" && i + 1 < argc) {
+      replay_options.repeat = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--record" && i + 1 < argc) {
+      record_path = argv[++i];
+    } else if (arg == "--tolerance" && i + 1 < argc) {
+      gate_options.latency_tolerance = std::strtod(argv[++i], nullptr);
+    } else {
+      return Usage();
+    }
+  }
+  if (repo_dir.empty()) {
+    std::fprintf(stderr, "schemr replay: --repo <dir> is required\n");
+    return 2;
+  }
+
+  auto repo = SchemaRepository::Open(repo_dir);
+  if (!repo.ok()) return Fail(repo.status(), "opening repository");
+  auto indexer = LoadOrBuildIndex(**repo, repo_dir);
+  if (!indexer.ok()) return Fail(indexer.status(), "loading index");
+
+  // Pin one snapshot for the whole run: the pairing of this index with
+  // this schema view is what makes the digests reproducible.
+  auto holder = std::make_shared<Indexer>(std::move(*indexer));
+  auto snapshot = std::make_shared<CorpusSnapshot>();
+  snapshot->version = (*repo)->version();
+  snapshot->index =
+      std::shared_ptr<const InvertedIndex>(holder, &holder->index());
+  snapshot->schemas = (*repo)->View();
+
+  size_t skipped = 0;
+  auto workload = LoadWorkload(workload_path, &skipped);
+  if (!workload.ok()) return Fail(workload.status(), "loading workload");
+  if (skipped > 0) {
+    std::fprintf(stderr,
+                 "# replay: %zu audit records had no query text, skipped\n",
+                 skipped);
+  }
+
+  auto report = ReplayWorkload(snapshot, *workload, replay_options);
+  if (!report.ok()) return Fail(report.status(), "replaying");
+
+  std::fprintf(stderr,
+               "# replay: %zu entries x%zu on %zu threads: %.1f qps, "
+               "p50 %.2fms p95 %.2fms p99 %.2fms, %zu errors, %zu degraded, "
+               "%zu digest mismatches\n",
+               report->entries, report->repeat, report->threads, report->qps,
+               report->total.p50 * 1e3, report->total.p95 * 1e3,
+               report->total.p99 * 1e3, report->errors, report->degraded,
+               report->digest_mismatches);
+
+  const std::string json = ReplayReportToJson(*report);
+  if (out_path.empty()) {
+    std::fputs(json.c_str(), stdout);
+  } else {
+    std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+    if (!out) return Fail(Status::IOError("cannot write " + out_path),
+                          "writing report");
+    out << json;
+  }
+
+  if (!record_path.empty()) {
+    // Stamp this run's digests into the workload so the next replay (or
+    // machine) verifies against them.
+    std::vector<WorkloadEntry> recorded = *workload;
+    for (size_t i = 0; i < recorded.size(); ++i) {
+      recorded[i].expected_digest = report->digests[i];
+    }
+    Status saved = SaveWorkload(record_path, recorded);
+    if (!saved.ok()) return Fail(saved, "recording workload");
+    std::fprintf(stderr, "# replay: recorded digests to %s\n",
+                 record_path.c_str());
+  }
+
+  int rc = report->digest_mismatches > 0 ? 1 : 0;
+  if (!baseline_path.empty()) {
+    auto baseline = ReadFile(baseline_path);
+    if (!baseline.ok()) return Fail(baseline.status(), "reading baseline");
+    auto gate = CompareBenchReports(*baseline, json, gate_options);
+    if (!gate.ok()) return Fail(gate.status(), "gating");
+    for (const std::string& violation : gate->violations) {
+      std::fprintf(stderr, "GATE: %s\n", violation.c_str());
+    }
+    if (!gate->pass) rc = 1;
+    std::fprintf(stderr, "# gate vs %s: %s\n", baseline_path.c_str(),
+                 gate->pass ? "PASS" : "FAIL");
+  }
+  return rc;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 3) return Usage();
   // Library warnings surface in the `stats` output too.
   InstallMetricsLogSink();
   std::string command = argv[1];
+  if (command == "replay") return CmdReplay(argc - 2, argv + 2);
   std::string repo_dir = argv[2];
+  if (command == "audit") return CmdAudit(repo_dir, argc - 3, argv + 3);
   auto repo = SchemaRepository::Open(repo_dir);
   if (!repo.ok()) return Fail(repo.status(), "opening repository");
   SchemaRepository* r = repo->get();
@@ -372,6 +713,7 @@ int Run(int argc, char** argv) {
   if (command == "comment") return CmdComment(r, rest_argc, rest);
   if (command == "rate") return CmdRate(r, rest_argc, rest);
   if (command == "comments") return CmdComments(r, rest_argc, rest);
+  if (command == "seed") return CmdSeed(r, repo_dir, rest_argc, rest);
   return Usage();
 }
 
