@@ -1,0 +1,140 @@
+#include "core/result_cache.h"
+
+#include "core/search_engine.h"
+#include "obs/metrics.h"
+
+namespace schemr {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t Mix(uint64_t hash, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (i * 8)) & 0xffu;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+uint64_t MixDouble(uint64_t hash, double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  __builtin_memcpy(&bits, &value, sizeof(bits));
+  return Mix(hash, bits);
+}
+
+struct CacheMetrics {
+  Counter* hits;
+  Counter* misses;
+  Counter* insertions;
+  Counter* evictions;
+  Gauge* entries;
+
+  static const CacheMetrics& Get() {
+    static const CacheMetrics* metrics = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return new CacheMetrics{
+          r.GetCounter("schemr_result_cache_hits_total",
+                       "Searches served from the snapshot-keyed result "
+                       "cache (no pipeline work ran)."),
+          r.GetCounter("schemr_result_cache_misses_total",
+                       "Cache-eligible searches that ran the pipeline."),
+          r.GetCounter("schemr_result_cache_insertions_total",
+                       "Result lists stored into the cache."),
+          r.GetCounter("schemr_result_cache_evictions_total",
+                       "Entries evicted by the LRU capacity bound."),
+          r.GetGauge("schemr_result_cache_entries",
+                     "Entries currently resident in the result cache."),
+      };
+    }();
+    return *metrics;
+  }
+};
+
+}  // namespace
+
+uint64_t HashSearchOptions(const SearchEngineOptions& options) {
+  uint64_t hash = kFnvOffset;
+  hash = Mix(hash, options.top_k);
+  hash = Mix(hash, options.offset);
+  hash = MixDouble(hash, options.coarse_blend);
+  hash = Mix(hash, (options.enable_matching ? 1u : 0u) |
+                       (options.enable_tightness ? 2u : 0u));
+  hash = MixDouble(hash, options.annotation_boost);
+  hash = Mix(hash, options.extraction.pool_size);
+  const SearchOptions& index_options = options.extraction.index_options;
+  hash = Mix(hash, index_options.top_n);
+  hash = Mix(hash, index_options.use_coordination_factor ? 1u : 0u);
+  for (double boost : index_options.field_boosts) {
+    hash = MixDouble(hash, boost);
+  }
+  hash = MixDouble(hash, index_options.proximity_boost);
+  hash = MixDouble(hash, options.tightness.neighborhood_penalty);
+  hash = MixDouble(hash, options.tightness.unrelated_penalty);
+  hash = MixDouble(hash, options.tightness.match_threshold);
+  hash = Mix(hash, options.tightness.scale_by_query_coverage ? 1u : 0u);
+  return hash;
+}
+
+size_t ResultCache::KeyHash::operator()(const ResultCacheKey& key) const {
+  uint64_t hash = kFnvOffset;
+  hash = Mix(hash, key.fingerprint);
+  hash = Mix(hash, key.corpus_version);
+  hash = Mix(hash, key.options_hash);
+  return static_cast<size_t>(hash);
+}
+
+ResultCache::ResultCache(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::shared_ptr<const std::vector<SearchResult>> ResultCache::Get(
+    const ResultCacheKey& key) {
+  const CacheMetrics& metrics = CacheMetrics::Get();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    metrics.misses->Increment();
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  metrics.hits->Increment();
+  return it->second->results;
+}
+
+void ResultCache::Put(const ResultCacheKey& key,
+                      std::vector<SearchResult> results) {
+  const CacheMetrics& metrics = CacheMetrics::Get();
+  auto stored = std::make_shared<const std::vector<SearchResult>>(
+      std::move(results));
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    // Same key, same snapshot, same options: the list can only be the
+    // same; refresh recency and keep the resident entry.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(stored)});
+  map_[key] = lru_.begin();
+  ++insertions_;
+  metrics.insertions->Increment();
+  while (lru_.size() > capacity_) {
+    map_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+    metrics.evictions->Increment();
+  }
+  metrics.entries->Set(static_cast<double>(lru_.size()));
+}
+
+ResultCacheStats ResultCache::Stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ResultCacheStats{hits_, misses_, insertions_, evictions_,
+                          lru_.size()};
+}
+
+}  // namespace schemr

@@ -1,0 +1,101 @@
+// Snapshot-keyed query result cache (DESIGN.md §11).
+//
+// A search is a pure function of (query, corpus snapshot, result-affecting
+// options): the snapshot machinery from §9 makes the corpus input
+// immutable, and the fingerprint machinery from §10 gives the query a
+// stable order-insensitive identity. That purity is exactly what makes
+// result caching safe -- the cache key is (query fingerprint, corpus
+// version, options hash), so an ingest commits a new version and every
+// stale entry is simply never hit again (implicit invalidation; the LRU
+// ages them out). Degraded results are never stored: what a deadline or a
+// benched matcher produced is best-effort, not the answer.
+
+#ifndef SCHEMR_CORE_RESULT_CACHE_H_
+#define SCHEMR_CORE_RESULT_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace schemr {
+
+struct SearchResult;         // core/search_engine.h
+struct SearchEngineOptions;  // core/search_engine.h
+
+/// Identity of one cached entry.
+struct ResultCacheKey {
+  uint64_t fingerprint = 0;     ///< FingerprintQuery over the query graph
+  uint64_t corpus_version = 0;  ///< CorpusSnapshot::version
+  uint64_t options_hash = 0;    ///< HashSearchOptions
+
+  bool operator==(const ResultCacheKey& other) const {
+    return fingerprint == other.fingerprint &&
+           corpus_version == other.corpus_version &&
+           options_hash == other.options_hash;
+  }
+};
+
+/// Hashes exactly the options that change what Search returns: top_k,
+/// offset, the blend, the ablation switches, the annotation boost, and
+/// the extraction/tightness knobs. Execution-shaping options are
+/// deliberately excluded -- scoring_threads and enable_pruning cannot
+/// change the ranked list (that invariant is what this PR proves), and
+/// deadline/budget only matter through degradation, which is never
+/// stored -- so requests that differ only in those share entries.
+uint64_t HashSearchOptions(const SearchEngineOptions& options);
+
+/// Point-in-time counters (monotone except `entries`).
+struct ResultCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  size_t entries = 0;
+};
+
+/// Mutex-guarded LRU over final ranked result lists. Entries are shared
+/// const vectors, so a hit hands back the stored list without copying it
+/// under the lock and an eviction never invalidates a reader.
+class ResultCache {
+ public:
+  explicit ResultCache(size_t capacity);
+
+  /// The cached list for `key`, refreshed to most-recently-used, or null
+  /// on a miss.
+  std::shared_ptr<const std::vector<SearchResult>> Get(
+      const ResultCacheKey& key);
+
+  /// Inserts (or refreshes) `results` under `key`, evicting the least
+  /// recently used entry beyond capacity.
+  void Put(const ResultCacheKey& key, std::vector<SearchResult> results);
+
+  ResultCacheStats Stats() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct KeyHash {
+    size_t operator()(const ResultCacheKey& key) const;
+  };
+  struct Entry {
+    ResultCacheKey key;
+    std::shared_ptr<const std::vector<SearchResult>> results;
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  /// Front = most recently used.
+  std::list<Entry> lru_;
+  std::unordered_map<ResultCacheKey, std::list<Entry>::iterator, KeyHash> map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t insertions_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace schemr
+
+#endif  // SCHEMR_CORE_RESULT_CACHE_H_

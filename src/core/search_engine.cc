@@ -1,10 +1,20 @@
 #include "core/search_engine.h"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <queue>
 
+#include "core/fingerprint.h"
 #include "core/query_parser.h"
+#include "core/result_cache.h"
 #include "obs/fault_bridge.h"
 #include "obs/metrics.h"
+#include "util/executor.h"
+#include "util/fault_injection.h"
 #include "util/timer.h"
 
 namespace schemr {
@@ -19,6 +29,7 @@ struct EngineMetrics {
   Counter* matcher_failures;
   Counter* candidates_extracted;
   Counter* candidates_pruned;
+  Counter* candidates_skipped;
   Histogram* total_seconds;
   Histogram* phase1_seconds;
   Histogram* phase2_seconds;
@@ -46,6 +57,10 @@ struct EngineMetrics {
                        "Phase-1 candidates handed to the match phase."),
           r.GetCounter("schemr_search_candidates_pruned_total",
                        "Pool candidates dropped by ranking/pagination."),
+          r.GetCounter("schemr_search_candidates_skipped_total",
+                       "Candidates whose phases 2/3 were skipped by "
+                       "score-bound pruning (exact; the returned window "
+                       "never changes)."),
           r.GetHistogram("schemr_search_seconds",
                          "End-to-end search latency."),
           r.GetHistogram("schemr_search_phase1_seconds",
@@ -62,6 +77,54 @@ struct EngineMetrics {
     }();
     return *metrics;
   }
+};
+
+/// The running pruning floor: once `k` final (unboosted) scores have been
+/// observed, floor() is the k-th best of them, published through an
+/// atomic so the hot-path check never takes the lock. The floor only
+/// rises, so a candidate whose score bound is strictly below it at ANY
+/// moment is strictly below the final k-th best score too -- skipping it
+/// can never change the returned window.
+class TopKFloor {
+ public:
+  explicit TopKFloor(size_t k) : k_(k) {}
+
+  void Observe(double score) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (heap_.size() < k_) {
+      heap_.push(score);
+      if (heap_.size() == k_) {
+        floor_.store(heap_.top(), std::memory_order_release);
+      }
+    } else if (score > heap_.top()) {
+      heap_.pop();
+      heap_.push(score);
+      floor_.store(heap_.top(), std::memory_order_release);
+    }
+  }
+
+  /// -inf until k scores have been observed (prune nothing early).
+  double floor() const { return floor_.load(std::memory_order_acquire); }
+
+ private:
+  const size_t k_;
+  std::mutex mutex_;
+  std::priority_queue<double, std::vector<double>, std::greater<double>>
+      heap_;
+  std::atomic<double> floor_{-std::numeric_limits<double>::infinity()};
+};
+
+/// Per-worker tallies, merged into the pool-wide totals once per worker
+/// (not per candidate) so the scoring loop stays contention-free.
+struct WorkerTally {
+  double phase2_seconds = 0.0;
+  double phase3_seconds = 0.0;
+  size_t candidates_matched = 0;
+  size_t candidates_scored = 0;
+  size_t coarse_only = 0;
+  size_t skipped = 0;
+  size_t matched_elements = 0;
+  double tightness_penalty = 0.0;
 };
 
 }  // namespace
@@ -90,6 +153,31 @@ Result<std::vector<SearchResult>> SearchEngine::Search(
     index = snapshot->index.get();
     if (trace != nullptr) {
       trace->Annotate(root_span.id(), "corpus_version", snapshot->version);
+    }
+  }
+
+  // Result cache: a search is pure in (query, snapshot, options), so a
+  // hit returns the stored ranked list with zero pipeline work. Requires
+  // a snapshot (the version keys invalidation), no live annotation reads,
+  // and no explain trace (explain exists to show the pipeline running).
+  const bool cache_eligible =
+      result_cache_ != nullptr && !options.cache_bypass &&
+      snapshot != nullptr && options.annotation_boost == 0.0 &&
+      trace == nullptr;
+  ResultCacheKey cache_key;
+  if (cache_eligible) {
+    cache_key.fingerprint = FingerprintQuery(query);
+    cache_key.corpus_version = snapshot->version;
+    cache_key.options_hash = HashSearchOptions(options);
+    if (auto cached = result_cache_->Get(cache_key)) {
+      const double elapsed = total_timer.ElapsedSeconds();
+      if (options.stats != nullptr) {
+        *options.stats = SearchStats{};
+        options.stats->cache_hit = true;
+        options.stats->total_seconds = elapsed;
+      }
+      metrics.total_seconds->Observe(elapsed);
+      return *cached;
     }
   }
 
@@ -123,43 +211,72 @@ Result<std::vector<SearchResult>> SearchEngine::Search(
   if (max_coarse <= 0.0) max_coarse = 1.0;
 
   const Schema& query_schema = query.AsSchema();
-  std::vector<SearchResult> results;
-  results.reserve(candidates.size());
 
-  // Phases 2 and 3 interleave per candidate; their spans are emitted as
-  // pool-wide aggregates after the loop.
-  double phase2_elapsed = 0.0;
-  double phase3_elapsed = 0.0;
+  // --- Phases 2+3: parallel candidate scoring ----------------------------
+  //
+  // Candidate i is scored into slots[i] by whichever worker claims i off
+  // the shared cursor, so the compacted output is in candidate order no
+  // matter how many threads ran or how they interleaved: the ranked list
+  // (and therefore the result digest) is bit-identical to serial
+  // execution at any scoring_threads. The request thread always
+  // participates; pool helpers are a latency optimization that may be
+  // shed when the engine pool is saturated by concurrent searches.
   const size_t num_matchers = ensemble_.NumMatchers();
   // Per-matcher wall time feeds both the trace and the budget check.
   const bool track_matcher_time =
       trace != nullptr || options.matcher_budget_seconds > 0.0;
-  std::vector<double> matcher_seconds;
-  if (track_matcher_time) matcher_seconds.assign(num_matchers, 0.0);
+  // Benching and budget accounting live in one synchronized state so a
+  // matcher failing under several workers at once is benched exactly once.
+  DegradationState degradation(ensemble_.MatcherNames(),
+                               options.matcher_budget_seconds);
+
+  std::vector<SearchResult> slots(candidates.size());
+  std::vector<char> included(candidates.size(), 0);
+  std::atomic<size_t> cursor{0};
+  std::atomic<bool> deadline_hit{false};
+  std::atomic<bool> failed{false};
+  std::mutex merge_mutex;
+  Status first_error;
+  double phase2_elapsed = 0.0;
+  double phase3_elapsed = 0.0;
   size_t candidates_matched = 0;
   size_t candidates_scored = 0;
+  size_t coarse_only_candidates = 0;
+  size_t candidates_skipped = 0;
   size_t matched_elements_total = 0;
   double tightness_penalty_total = 0.0;
 
-  // Graceful-degradation state: benched[m] marks a matcher dropped for
-  // the rest of this search (it threw, its fault site fired, or it blew
-  // its time budget). A degraded search still ranks and returns.
-  std::vector<char> benched(num_matchers, 0);
-  size_t benched_count = 0;
-  bool deadline_hit = false;
-  std::vector<std::string> dropped_matchers;
-  size_t coarse_only_candidates = 0;
-  const std::vector<std::string> matcher_names = ensemble_.MatcherNames();
+  // Score-bound pruning floor over the first offset+top_k ranks. Inactive
+  // when the window covers the whole pool (nothing could be excluded) or
+  // in the matching-off ablation (phases 2/3 do not run anyway).
+  const size_t prune_window = options.offset + options.top_k;
+  const bool prune = options.enable_pruning && options.enable_matching &&
+                     prune_window > 0 && prune_window < candidates.size();
+  std::optional<TopKFloor> floor;
+  if (prune) floor.emplace(prune_window);
+  // The floor tracks unboosted scores while ranking boosts by a factor in
+  // [1, 1+boost]; scaling the bound by the ceiling keeps pruning exact
+  // under annotation boost (DESIGN.md §11).
+  const double bound_ceiling = 1.0 + std::max(0.0, options.annotation_boost);
 
-  for (const Candidate& candidate : candidates) {
+  auto score_candidate = [&](size_t i, WorkerTally* tally,
+                             std::vector<char>* benched_scratch,
+                             std::vector<double>* seconds_scratch) -> bool {
+    const Candidate& candidate = candidates[i];
     // The schema comes from the same snapshot the candidates did, so the
     // id always resolves even if the schema was removed after Snapshot().
-    SCHEMR_ASSIGN_OR_RETURN(
-        Schema schema, snapshot != nullptr
-                           ? snapshot->schemas->Get(candidate.schema_id)
-                           : repository_->Get(candidate.schema_id));
+    auto resolved = snapshot != nullptr
+                        ? snapshot->schemas->Get(candidate.schema_id)
+                        : repository_->Get(candidate.schema_id);
+    if (!resolved.ok()) {
+      std::lock_guard<std::mutex> lock(merge_mutex);
+      if (first_error.ok()) first_error = resolved.status();
+      failed.store(true, std::memory_order_release);
+      return false;
+    }
+    const Schema& schema = *resolved;
 
-    SearchResult result;
+    SearchResult& result = slots[i];
     result.schema_id = candidate.schema_id;
     result.name = schema.name();
     result.description = schema.description();
@@ -167,51 +284,63 @@ Result<std::vector<SearchResult>> SearchEngine::Search(
     result.num_entities = schema.NumEntities();
     result.num_attributes = schema.NumAttributes();
 
-    double coarse_norm = candidate.coarse_score / max_coarse;
+    const double coarse_norm = candidate.coarse_score / max_coarse;
 
     if (!options.enable_matching) {
       // Ablation: phase 1 only.
       result.score = coarse_norm;
-      results.push_back(std::move(result));
-      continue;
+      included[i] = 1;
+      return true;
     }
 
-    if (!deadline_hit && options.deadline_seconds > 0.0 &&
-        total_timer.ElapsedSeconds() > options.deadline_seconds) {
-      deadline_hit = true;
+    if (floor.has_value()) {
+      // score = blend·coarse_norm + (1-blend)·tightness with tightness in
+      // [0, 1] (matcher cells are clamped to [0, 1]; tightness is a
+      // penalized mean of them, optionally scaled by coverage <= 1), so
+      // the bound is exact: strictly below the floor means phases 2/3
+      // cannot move this candidate into the returned window.
+      const double bound = (options.coarse_blend * coarse_norm +
+                            (1.0 - options.coarse_blend)) *
+                           bound_ceiling;
+      if (bound < floor->floor()) {
+        ++tally->skipped;
+        return true;  // slot stays excluded
+      }
     }
-    if (deadline_hit || benched_count == num_matchers) {
+
+    if (!deadline_hit.load(std::memory_order_relaxed) &&
+        options.deadline_seconds > 0.0 &&
+        total_timer.ElapsedSeconds() > options.deadline_seconds) {
+      deadline_hit.store(true, std::memory_order_relaxed);
+    }
+    degradation.SnapshotBenched(benched_scratch);
+    bool all_benched = true;
+    for (char b : *benched_scratch) all_benched = all_benched && b != 0;
+    if (deadline_hit.load(std::memory_order_relaxed) || all_benched) {
       // Out of time (or out of matchers): fall back to the phase-1
       // ranking for this candidate rather than failing the search.
       result.score = coarse_norm;
-      ++coarse_only_candidates;
-      results.push_back(std::move(result));
-      continue;
+      ++tally->coarse_only;
+      included[i] = 1;
+      if (floor.has_value()) floor->Observe(coarse_norm);
+      return true;
     }
 
-    // Phase 2: schema matching (matchers isolated by the ensemble).
+    // Phase 2: schema matching (matchers isolated by the ensemble; the
+    // benched snapshot is this worker's private copy, so a concurrent
+    // bench never races the ensemble's skip reads).
     Timer candidate_timer;
+    if (track_matcher_time) seconds_scratch->assign(num_matchers, 0.0);
     EnsembleResult ensemble_result = ensemble_.Match(
         query_schema, schema,
-        track_matcher_time ? &matcher_seconds : nullptr, &benched);
+        track_matcher_time ? seconds_scratch : nullptr, benched_scratch);
     SimilarityMatrix combined = std::move(ensemble_result.combined);
-    phase2_elapsed += candidate_timer.ElapsedSeconds();
-    ++candidates_matched;
-
-    for (size_t m = 0; m < num_matchers; ++m) {
-      if (benched[m] == 0 && ensemble_result.failed[m] != 0) {
-        benched[m] = 1;
-        ++benched_count;
-        dropped_matchers.push_back(matcher_names[m]);
-        metrics.matcher_failures->Increment();
-      } else if (benched[m] == 0 && options.matcher_budget_seconds > 0.0 &&
-                 matcher_seconds[m] > options.matcher_budget_seconds) {
-        benched[m] = 1;
-        ++benched_count;
-        dropped_matchers.push_back(matcher_names[m] + " (budget)");
-        metrics.matcher_failures->Increment();
-      }
-    }
+    tally->phase2_seconds += candidate_timer.ElapsedSeconds();
+    ++tally->candidates_matched;
+    const size_t newly_benched = degradation.Observe(
+        ensemble_result.failed, *benched_scratch,
+        track_matcher_time ? seconds_scratch : nullptr);
+    if (newly_benched > 0) metrics.matcher_failures->Increment(newly_benched);
 
     if (!options.enable_tightness) {
       // Ablation: rank by the unpenalized mean of matched element scores.
@@ -233,20 +362,32 @@ Result<std::vector<SearchResult>> SearchEngine::Search(
       result.tightness = mean;
       result.score = options.coarse_blend * coarse_norm +
                      (1.0 - options.coarse_blend) * mean;
-      results.push_back(std::move(result));
-      continue;
+      included[i] = 1;
+      if (floor.has_value()) floor->Observe(result.score);
+      return true;
     }
 
-    // Phase 3: tightness-of-fit.
+    // Phase 3: tightness-of-fit, against the snapshot's shared entity
+    // graph when one exists (static mode builds a transient graph).
     candidate_timer.Reset();
-    EntityGraph graph(schema);
+    std::shared_ptr<const EntityGraph> shared_graph;
+    std::optional<EntityGraph> local_graph;
+    const EntityGraph* graph;
+    if (snapshot != nullptr) {
+      shared_graph =
+          snapshot->entity_graphs->GetOrBuild(candidate.schema_id, schema);
+      graph = shared_graph.get();
+    } else {
+      local_graph.emplace(schema);
+      graph = &*local_graph;
+    }
     TightnessResult tof =
-        ComputeTightnessOfFit(schema, graph, combined, options.tightness);
-    phase3_elapsed += candidate_timer.ElapsedSeconds();
-    ++candidates_scored;
-    matched_elements_total += tof.matched.size();
+        ComputeTightnessOfFit(schema, *graph, combined, options.tightness);
+    tally->phase3_seconds += candidate_timer.ElapsedSeconds();
+    ++tally->candidates_scored;
+    tally->matched_elements += tof.matched.size();
     for (const MatchedElement& m : tof.matched) {
-      tightness_penalty_total += m.score - m.penalized_score;
+      tally->tightness_penalty += m.score - m.penalized_score;
     }
     result.tightness = tof.score;
     result.best_anchor = tof.best_anchor;
@@ -254,8 +395,86 @@ Result<std::vector<SearchResult>> SearchEngine::Search(
     result.matched_elements = std::move(tof.matched);
     result.score = options.coarse_blend * coarse_norm +
                    (1.0 - options.coarse_blend) * tof.score;
-    results.push_back(std::move(result));
+    included[i] = 1;
+    if (floor.has_value()) floor->Observe(result.score);
+    return true;
+  };
+
+  auto run_worker = [&] {
+    WorkerTally tally;
+    std::vector<char> benched_scratch;
+    std::vector<double> seconds_scratch(num_matchers, 0.0);
+    for (;;) {
+      if (failed.load(std::memory_order_acquire)) break;
+      const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= candidates.size()) break;
+      if (!score_candidate(i, &tally, &benched_scratch, &seconds_scratch)) {
+        break;
+      }
+    }
+    std::lock_guard<std::mutex> lock(merge_mutex);
+    phase2_elapsed += tally.phase2_seconds;
+    phase3_elapsed += tally.phase3_seconds;
+    candidates_matched += tally.candidates_matched;
+    candidates_scored += tally.candidates_scored;
+    coarse_only_candidates += tally.coarse_only;
+    candidates_skipped += tally.skipped;
+    matched_elements_total += tally.matched_elements;
+    tightness_penalty_total += tally.tightness_penalty;
+  };
+
+  const size_t scoring_threads = std::max<size_t>(1, options.scoring_threads);
+  const size_t helpers_wanted =
+      std::min(scoring_threads - 1, candidates.size() - 1);
+  struct HelperSync {
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    size_t pending = 0;
+  };
+  HelperSync sync;
+  std::shared_ptr<BoundedExecutor> pool;
+  if (helpers_wanted > 0) {
+    pool = ScoringPool(helpers_wanted);
+    for (size_t h = 0; h < helpers_wanted; ++h) {
+      {
+        std::lock_guard<std::mutex> lock(sync.mutex);
+        ++sync.pending;
+      }
+      Status submitted = pool->TrySubmit([&](bool cancelled) {
+        if (!cancelled) run_worker();
+        std::lock_guard<std::mutex> lock(sync.mutex);
+        --sync.pending;
+        sync.done_cv.notify_all();
+      });
+      if (!submitted.ok()) {
+        // Pool saturated (or shut down): fewer helpers, same answer. The
+        // request thread drains the cursor regardless, so parallelism is
+        // an optimization, never a dependency.
+        std::lock_guard<std::mutex> lock(sync.mutex);
+        --sync.pending;
+        break;
+      }
+    }
   }
+  FaultInjector::Global().Perturb("engine/score/start");
+  run_worker();
+  if (helpers_wanted > 0) {
+    // Helpers signalled completion (or cancellation) exactly once each;
+    // this wait cannot strand and orders their slot writes before the
+    // compaction below.
+    std::unique_lock<std::mutex> lock(sync.mutex);
+    sync.done_cv.wait(lock, [&sync] { return sync.pending == 0; });
+  }
+  if (failed.load(std::memory_order_acquire)) return first_error;
+
+  std::vector<SearchResult> results;
+  results.reserve(candidates.size());
+  for (size_t i = 0; i < slots.size(); ++i) {
+    if (included[i] != 0) results.push_back(std::move(slots[i]));
+  }
+  const std::vector<std::string> dropped_matchers =
+      degradation.dropped_matchers();
+  metrics.candidates_skipped->Increment(candidates_skipped);
 
   if (options.enable_matching) {
     metrics.phase2_seconds->Observe(phase2_elapsed);
@@ -267,6 +486,7 @@ Result<std::vector<SearchResult>> SearchEngine::Search(
       trace->Annotate(phase2_id, "matchers",
                       static_cast<uint64_t>(ensemble_.NumMatchers()));
       std::vector<std::string> names = ensemble_.MatcherNames();
+      const std::vector<double> matcher_seconds = degradation.matcher_seconds();
       for (size_t m = 0; m < names.size(); ++m) {
         trace->AddSpan("matcher:" + names[m], matcher_seconds[m], phase2_id);
       }
@@ -333,16 +553,17 @@ Result<std::vector<SearchResult>> SearchEngine::Search(
   // One classifier decides "degraded" for the metric, the wire format,
   // and the audit log alike (SearchStats::ComputeDegraded).
   SearchStats classified;
-  classified.deadline_hit = deadline_hit;
+  classified.deadline_hit = deadline_hit.load(std::memory_order_relaxed);
   classified.dropped_matchers = dropped_matchers;
   classified.coarse_only_candidates = coarse_only_candidates;
+  classified.candidates_skipped = candidates_skipped;
   const bool degraded = classified.ComputeDegraded();
   if (degraded) {
     metrics.searches_degraded->Increment();
     for (SearchResult& result : results) result.degraded = true;
     if (trace != nullptr) {
       trace->Annotate(root_span.id(), "degraded", uint64_t{1});
-      if (deadline_hit) {
+      if (classified.deadline_hit) {
         trace->Annotate(root_span.id(), "deadline_hit", uint64_t{1});
       }
       if (!dropped_matchers.empty()) {
@@ -359,6 +580,12 @@ Result<std::vector<SearchResult>> SearchEngine::Search(
       }
     }
   }
+  // Store only full-fidelity answers: a degraded list reflects what a
+  // deadline or a benched matcher left behind, not the query's answer.
+  if (cache_eligible && !degraded) {
+    result_cache_->Put(cache_key, results);
+  }
+
   const double total_elapsed = total_timer.ElapsedSeconds();
   if (options.stats != nullptr) {
     classified.degraded = degraded;
@@ -371,6 +598,26 @@ Result<std::vector<SearchResult>> SearchEngine::Search(
 
   metrics.total_seconds->Observe(total_elapsed);
   return results;
+}
+
+void SearchEngine::EnableResultCache(size_t capacity) {
+  result_cache_ = std::make_shared<ResultCache>(capacity);
+}
+
+std::shared_ptr<BoundedExecutor> SearchEngine::ScoringPool(
+    size_t helpers) const {
+  std::lock_guard<std::mutex> lock(scoring_pool_mutex_);
+  if (scoring_pool_ == nullptr || scoring_pool_->num_workers() < helpers ||
+      scoring_pool_->wedged()) {
+    // Regrow by replacement: searches that already grabbed the old pool
+    // keep their shared_ptr (its workers drain normally), new searches
+    // get the bigger one.
+    BoundedExecutor::Options pool_options;
+    pool_options.num_workers = helpers;
+    pool_options.queue_capacity = std::max<size_t>(16, helpers * 4);
+    scoring_pool_ = std::make_shared<BoundedExecutor>(pool_options);
+  }
+  return scoring_pool_;
 }
 
 Result<std::vector<SearchResult>> SearchEngine::SearchKeywords(

@@ -15,6 +15,7 @@
 #define SCHEMR_CORE_SEARCH_ENGINE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,9 @@
 #include "repo/schema_repository.h"
 
 namespace schemr {
+
+class BoundedExecutor;  // util/executor.h
+class ResultCache;      // core/result_cache.h
 
 /// One row of the results table (paper Fig. 2: "name, score, matches,
 /// entities, attributes, and description"), plus the per-element scores
@@ -65,8 +69,17 @@ struct SearchStats {
   /// Candidates ranked coarse-only (deadline already hit, or every
   /// matcher benched).
   size_t coarse_only_candidates = 0;
+  /// Candidates whose phases 2/3 were skipped by score-bound pruning.
+  /// Exact, never degradation: a skipped candidate provably could not
+  /// have entered the returned window (DESIGN.md §11).
+  size_t candidates_skipped = 0;
+  /// Served from the snapshot-keyed result cache; no pipeline phase ran
+  /// and the phase times below are zero.
+  bool cache_hit = false;
   /// Per-phase wall times for this request (always filled, independent of
-  /// explain mode; the audit log and replay engine read them).
+  /// explain mode; the audit log and replay engine read them). Under
+  /// parallel scoring, phase2/phase3 are the summed per-worker CPU times
+  /// (they can exceed total_seconds at high thread counts).
   double total_seconds = 0.0;
   double phase1_seconds = 0.0;
   double phase2_seconds = 0.0;
@@ -118,6 +131,20 @@ struct SearchEngineOptions {
   /// whose total wall time across the pool exceeds this is benched for
   /// the remaining candidates (weights renormalize).
   double matcher_budget_seconds = 0.0;
+  /// Threads scoring the candidate pool through phases 2/3: the request
+  /// thread plus up to scoring_threads-1 workers from the engine-owned
+  /// pool (distinct from the service's admission executor). 1 = serial.
+  /// The ranked output is bit-identical at any value: every candidate is
+  /// scored into a pre-sized slot, so thread count shifts latency only.
+  size_t scoring_threads = 1;
+  /// Score-bound pruning: skip phases 2/3 for candidates whose best
+  /// possible final score cannot beat the running (offset+top_k)-th best
+  /// score already observed. Exact -- the returned window never changes
+  /// (bound proof in DESIGN.md §11) -- so it defaults on.
+  bool enable_pruning = true;
+  /// Escape hatch: skip the result cache for this request, both the
+  /// lookup and the store (debugging, cache-vs-pipeline comparisons).
+  bool cache_bypass = false;
   /// When set, Search writes what (if anything) it had to give up here.
   SearchStats* stats = nullptr;
 };
@@ -172,7 +199,22 @@ class SearchEngine {
   const MatcherEnsemble& ensemble() const { return ensemble_; }
   MatcherEnsemble& mutable_ensemble() { return ensemble_; }
 
+  /// Installs a snapshot-keyed LRU over final ranked results (see
+  /// core/result_cache.h for keying and invalidation). Effective only in
+  /// corpus or pinned mode -- the corpus version is what keys implicit
+  /// invalidation; static mode has no version and never caches. Like
+  /// mutable_ensemble, call before searches run concurrently.
+  void EnableResultCache(size_t capacity = 256);
+
+  /// The installed cache, or null. Exposed for stats and tests.
+  std::shared_ptr<ResultCache> result_cache() const { return result_cache_; }
+
  private:
+  /// The engine-owned scoring pool, created lazily and regrown (shared_ptr
+  /// swap; in-flight searches keep the pool they started with) when a
+  /// request asks for more helpers than the current pool holds.
+  std::shared_ptr<BoundedExecutor> ScoringPool(size_t helpers) const;
+
   /// Corpus mode when set; otherwise the static pointers below are used.
   const ServingCorpus* corpus_ = nullptr;
   /// Pinned-snapshot mode when set (takes precedence over corpus_).
@@ -180,6 +222,9 @@ class SearchEngine {
   const SchemaRepository* repository_ = nullptr;
   const InvertedIndex* index_ = nullptr;
   MatcherEnsemble ensemble_;
+  mutable std::mutex scoring_pool_mutex_;
+  mutable std::shared_ptr<BoundedExecutor> scoring_pool_;
+  std::shared_ptr<ResultCache> result_cache_;
 };
 
 }  // namespace schemr

@@ -1,9 +1,60 @@
 #include "core/serving_corpus.h"
 
 #include "index/indexer.h"
+#include "obs/metrics.h"
 #include "util/fault_injection.h"
 
 namespace schemr {
+
+namespace {
+
+struct GraphCacheMetrics {
+  Counter* hits;
+  Counter* builds;
+
+  static const GraphCacheMetrics& Get() {
+    static const GraphCacheMetrics* metrics = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return new GraphCacheMetrics{
+          r.GetCounter("schemr_entity_graph_cache_hits_total",
+                       "Phase-3 entity graphs served from the snapshot "
+                       "cache instead of being rebuilt."),
+          r.GetCounter("schemr_entity_graph_cache_builds_total",
+                       "Entity graphs built and inserted into a snapshot "
+                       "cache (includes the losers of build races)."),
+      };
+    }();
+    return *metrics;
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<const EntityGraph> EntityGraphCache::GetOrBuild(
+    SchemaId id, const Schema& schema) {
+  const GraphCacheMetrics& metrics = GraphCacheMetrics::Get();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = graphs_.find(id);
+    if (it != graphs_.end()) {
+      metrics.hits->Increment();
+      return it->second;
+    }
+  }
+  // Build outside the lock: graph construction is O(V+E) but a big schema
+  // must not serialize every other worker's lookup behind it. A racing
+  // builder is possible and harmless -- emplace keeps the first insert.
+  auto built = std::make_shared<const EntityGraph>(schema);
+  metrics.builds->Increment();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = graphs_.emplace(id, std::move(built));
+  return it->second;
+}
+
+size_t EntityGraphCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return graphs_.size();
+}
 
 ServingCorpus::ServingCorpus(std::unique_ptr<SchemaRepository> repository,
                              AnalyzerOptions analyzer_options)

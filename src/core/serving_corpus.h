@@ -24,14 +24,38 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <utility>
 
 #include "index/versioned_index.h"
 #include "repo/schema_repository.h"
+#include "schema/entity_graph.h"
 #include "text/analyzer.h"
 #include "util/status.h"
 
 namespace schemr {
+
+/// Lazily built per-schema EntityGraph store that rides inside one
+/// CorpusSnapshot. Schemas are immutable within a snapshot, so a graph
+/// built once is valid for the snapshot's whole lifetime and can be
+/// shared by every search (and every scoring worker) pinned to it;
+/// without this, phase 3 rebuilt the graph per candidate per request.
+/// Thread-safe; the returned graphs are immutable.
+class EntityGraphCache {
+ public:
+  /// Returns the graph for `schema` (keyed by id), building it outside
+  /// the lock on first request. Two threads racing on a cold id may both
+  /// build; the loser's graph is discarded and the winner's is returned
+  /// to both, so callers always share one instance per schema.
+  std::shared_ptr<const EntityGraph> GetOrBuild(SchemaId id,
+                                                const Schema& schema);
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<SchemaId, std::shared_ptr<const EntityGraph>> graphs_;
+};
 
 /// An immutable, internally consistent point-in-time view of the whole
 /// corpus. Everything reachable from it is const and safe to share
@@ -43,6 +67,10 @@ struct CorpusSnapshot {
   std::shared_ptr<const InvertedIndex> index;
   /// The schema records at this version.
   std::shared_ptr<const RepositoryView> schemas;
+  /// Per-schema entity graphs, filled lazily by phase 3 (the pointer is
+  /// const-shared so the cache stays usable through a const snapshot).
+  std::shared_ptr<EntityGraphCache> entity_graphs =
+      std::make_shared<EntityGraphCache>();
 };
 
 /// Owns a SchemaRepository plus the index built over it and keeps the two

@@ -20,6 +20,25 @@ struct Accumulator {
   std::vector<uint32_t> body_positions;   // for optional proximity boost
 };
 
+/// Accumulators live in a flat vector indexed by doc ordinal -- the scan
+/// is a plain array write instead of a hash probe per posting -- with a
+/// touched-list so only the docs a query actually hit are visited and
+/// reset afterwards (the vector itself is reused across searches on the
+/// same thread; body_positions keeps its capacity too).
+struct ScratchSpace {
+  std::vector<Accumulator> accumulators;
+  std::vector<uint32_t> touched;
+};
+
+ScratchSpace& Scratch(size_t doc_slots) {
+  static thread_local ScratchSpace scratch;
+  if (scratch.accumulators.size() < doc_slots) {
+    scratch.accumulators.resize(doc_slots);
+  }
+  scratch.touched.clear();
+  return scratch;
+}
+
 /// Work counters are accumulated in plain locals during the scan and
 /// flushed with one atomic add each per search.
 struct SearcherMetrics {
@@ -76,21 +95,31 @@ std::vector<ScoredDoc> Searcher::SearchTerms(
   uint64_t postings_scanned = 0;
 
   const double num_docs = static_cast<double>(index_->NumDocs());
-  std::unordered_map<uint32_t, Accumulator> accumulators;
+  ScratchSpace& scratch = Scratch(index_->TotalDocSlots());
+  std::vector<Accumulator>& accumulators = scratch.accumulators;
+  std::vector<uint32_t>& touched = scratch.touched;
 
   // Deduplicate query terms but keep multiplicity as a per-term weight, so
   // "patient patient height" weighs `patient` twice (as summing
-  // independently per term would).
-  std::unordered_map<std::string, uint32_t> term_counts;
+  // independently per term would). The weights sit in a vector parallel to
+  // unique_terms, keeping the posting scan free of dictionary lookups.
+  std::unordered_map<std::string, uint32_t> term_index_of;
   std::vector<std::string> unique_terms;
+  std::vector<double> term_weights;
   for (const std::string& term : terms) {
-    if (++term_counts[term] == 1) unique_terms.push_back(term);
+    auto [it, inserted] = term_index_of.emplace(term, unique_terms.size());
+    if (inserted) {
+      unique_terms.push_back(term);
+      term_weights.push_back(1.0);
+    } else {
+      term_weights[it->second] += 1.0;
+    }
   }
 
   for (uint32_t term_index = 0; term_index < unique_terms.size();
        ++term_index) {
     const std::string& term = unique_terms[term_index];
-    const double term_weight = term_counts[term];
+    const double term_weight = term_weights[term_index];
     for (size_t f = 0; f < kNumFields; ++f) {
       Field field = static_cast<Field>(f);
       ++terms_looked_up;
@@ -108,6 +137,7 @@ std::vector<ScoredDoc> Searcher::SearchTerms(
         const double norm = 1.0 / std::sqrt(static_cast<double>(field_len));
         const double tf = std::sqrt(static_cast<double>(posting.tf));
         Accumulator& acc = accumulators[posting.doc];
+        if (acc.last_term_index == UINT32_MAX) touched.push_back(posting.doc);
         acc.score +=
             term_weight * tf * idf * idf * options.field_boosts[f] * norm;
         if (acc.last_term_index != term_index) {
@@ -124,8 +154,9 @@ std::vector<ScoredDoc> Searcher::SearchTerms(
   }
 
   const double num_query_terms = static_cast<double>(unique_terms.size());
-  results.reserve(accumulators.size());
-  for (auto& [ordinal, acc] : accumulators) {
+  results.reserve(touched.size());
+  for (uint32_t ordinal : touched) {
+    Accumulator& acc = accumulators[ordinal];
     double score = acc.score;
     if (options.use_coordination_factor) {
       score *= static_cast<double>(acc.matched_terms) / num_query_terms;
@@ -144,6 +175,11 @@ std::vector<ScoredDoc> Searcher::SearchTerms(
     const DocInfo& doc = index_->doc_info(ordinal);
     results.push_back(
         ScoredDoc{doc.external_id, score, acc.matched_terms, doc.title});
+    // Sparse reset: the flat vector must read as untouched next search.
+    acc.score = 0.0;
+    acc.matched_terms = 0;
+    acc.last_term_index = UINT32_MAX;
+    acc.body_positions.clear();
   }
 
   // Top-n by score, ties broken by external id for determinism.
@@ -162,7 +198,7 @@ std::vector<ScoredDoc> Searcher::SearchTerms(
   metrics.terms_looked_up->Increment(terms_looked_up);
   metrics.terms_found->Increment(terms_found);
   metrics.postings_scanned->Increment(postings_scanned);
-  metrics.docs_scored->Increment(accumulators.size());
+  metrics.docs_scored->Increment(touched.size());
   metrics.seconds->Observe(timer.ElapsedSeconds());
   return results;
 }

@@ -13,6 +13,59 @@
 
 namespace schemr {
 
+DegradationState::DegradationState(std::vector<std::string> matcher_names,
+                                   double budget_seconds)
+    : matcher_names_(std::move(matcher_names)),
+      budget_seconds_(budget_seconds),
+      benched_(matcher_names_.size(), 0),
+      matcher_seconds_(matcher_names_.size(), 0.0) {}
+
+void DegradationState::SnapshotBenched(std::vector<char>* out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  *out = benched_;
+}
+
+size_t DegradationState::Observe(const std::vector<char>& failed,
+                                 const std::vector<char>& already_skipped,
+                                 const std::vector<double>* candidate_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t newly_benched = 0;
+  for (size_t m = 0; m < benched_.size(); ++m) {
+    if (candidate_seconds != nullptr) {
+      matcher_seconds_[m] += (*candidate_seconds)[m];
+    }
+    if (benched_[m] != 0) continue;
+    if (already_skipped[m] == 0 && failed[m] != 0) {
+      benched_[m] = 1;
+      ++benched_count_;
+      dropped_.push_back(matcher_names_[m]);
+      ++newly_benched;
+    } else if (budget_seconds_ > 0.0 && candidate_seconds != nullptr &&
+               matcher_seconds_[m] > budget_seconds_) {
+      benched_[m] = 1;
+      ++benched_count_;
+      dropped_.push_back(matcher_names_[m] + " (budget)");
+      ++newly_benched;
+    }
+  }
+  return newly_benched;
+}
+
+size_t DegradationState::benched_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return benched_count_;
+}
+
+std::vector<double> DegradationState::matcher_seconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return matcher_seconds_;
+}
+
+std::vector<std::string> DegradationState::dropped_matchers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
 void MatcherEnsemble::AddMatcher(std::unique_ptr<Matcher> matcher,
                                  double weight) {
   // Precomputed here so Match() can consult the fault site without a

@@ -18,6 +18,7 @@
 #define SCHEMR_MATCH_ENSEMBLE_H_
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -26,6 +27,54 @@
 #include "match/meta_learner.h"
 
 namespace schemr {
+
+/// Synchronized graceful-degradation state for one search: which ensemble
+/// members are benched (threw, hit a fault site, or blew the cumulative
+/// time budget), the per-matcher wall-time totals, and the dropped-matcher
+/// names. Parallel scoring workers share one instance, so a matcher that
+/// fails while several workers are in flight is still benched exactly
+/// once -- the bench check-and-set and the budget accounting are a single
+/// critical section, never a read-then-write race.
+class DegradationState {
+ public:
+  /// `budget_seconds` <= 0 disables the cumulative time budget.
+  DegradationState(std::vector<std::string> matcher_names,
+                   double budget_seconds);
+
+  size_t num_matchers() const { return matcher_names_.size(); }
+
+  /// Copies the current benched mask into `out` (resized to
+  /// num_matchers). Workers hand the copy to Match as `skip`; working
+  /// from a private copy keeps the ensemble's reads off the shared state
+  /// while another worker benches.
+  void SnapshotBenched(std::vector<char>* out) const;
+
+  /// Folds one candidate's outcome in. Matchers marked in `failed` that
+  /// are not yet benched (and were not in `already_skipped`, whose
+  /// entries Match reports as failed without running them) are benched
+  /// now; `candidate_seconds`, when non-null, is added to the cumulative
+  /// per-matcher time and members over budget are benched with a
+  /// "(budget)" suffix. Returns how many members this call benched.
+  size_t Observe(const std::vector<char>& failed,
+                 const std::vector<char>& already_skipped,
+                 const std::vector<double>* candidate_seconds);
+
+  size_t benched_count() const;
+
+  /// Accessors for after the scoring loop (still synchronized, but by
+  /// then the workers have quiesced and the values are final).
+  std::vector<double> matcher_seconds() const;
+  std::vector<std::string> dropped_matchers() const;
+
+ private:
+  const std::vector<std::string> matcher_names_;
+  const double budget_seconds_;
+  mutable std::mutex mutex_;
+  std::vector<char> benched_;
+  size_t benched_count_ = 0;
+  std::vector<double> matcher_seconds_;
+  std::vector<std::string> dropped_;
+};
 
 /// Per-matcher output for one candidate (kept for diagnostics and
 /// meta-learner feature extraction).

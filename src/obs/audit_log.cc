@@ -166,6 +166,7 @@ void EncodeAuditRecord(const AuditRecord& record, std::string* out) {
   uint32_t flags = 0;
   if (record.deadline_hit) flags |= 1u;
   if (record.has_query_text) flags |= 2u;
+  if (record.cache_hit) flags |= 4u;
   PutVarint32(out, flags);
   if (record.has_query_text) {
     PutLengthPrefixed(out, record.keywords);
@@ -208,6 +209,7 @@ Status DecodeAuditRecord(std::string_view payload, AuditRecord* record) {
   SCHEMR_RETURN_IF_ERROR(GetVarint32(&payload, &flags));
   record->deadline_hit = (flags & 1u) != 0;
   record->has_query_text = (flags & 2u) != 0;
+  record->cache_hit = (flags & 4u) != 0;
   if (record->has_query_text) {
     std::string_view keywords, fragment;
     SCHEMR_RETURN_IF_ERROR(GetLengthPrefixed(&payload, &keywords));

@@ -84,6 +84,9 @@ struct AuditRecord {
   uint32_t coarse_only_candidates = 0;
   uint32_t dropped_matchers = 0;
   bool deadline_hit = false;
+  /// Served from the engine's snapshot-keyed result cache; no pipeline
+  /// phase ran (phase micros are zero).
+  bool cache_hit = false;
   /// Full query text, retained only for slow (or shed/error) requests;
   /// empty strings otherwise. `has_query_text` distinguishes "fast
   /// request, text elided" from "empty query".

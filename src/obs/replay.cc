@@ -179,6 +179,7 @@ Result<ReplayReport> ReplayWorkload(
   }
   const size_t threads = std::max<size_t>(1, options.threads);
   const size_t repeat = std::max<size_t>(1, options.repeat);
+  const size_t engine_threads = std::max<size_t>(1, options.engine_threads);
   // One engine pinned to the snapshot; Search is const and thread-safe.
   const SearchEngine engine(snapshot);
 
@@ -208,6 +209,7 @@ Result<ReplayReport> ReplayWorkload(
       SearchEngineOptions engine_options;
       engine_options.top_k = entry.top_k;
       engine_options.extraction.pool_size = entry.candidate_pool;
+      engine_options.scoring_threads = engine_threads;
       // No deadline, no matcher budget: determinism over realism. Timing
       // noise must move the percentiles, never the digests.
       SearchStats stats;
@@ -241,6 +243,7 @@ Result<ReplayReport> ReplayWorkload(
   report.executed = executions.size();
   report.threads = threads;
   report.repeat = repeat;
+  report.engine_threads = engine_threads;
   report.wall_seconds = wall.ElapsedSeconds();
   report.qps = report.wall_seconds > 0.0
                    ? static_cast<double>(report.executed) / report.wall_seconds
@@ -289,6 +292,7 @@ std::string ReplayReportToJson(const ReplayReport& report) {
   out << "  \"executed\": " << report.executed << ",\n";
   out << "  \"threads\": " << report.threads << ",\n";
   out << "  \"repeat\": " << report.repeat << ",\n";
+  out << "  \"engine_threads\": " << report.engine_threads << ",\n";
   out << "  \"errors\": " << report.errors << ",\n";
   out << "  \"degraded\": " << report.degraded << ",\n";
   out << "  \"digest_mismatches\": " << report.digest_mismatches << ",\n";
@@ -456,6 +460,20 @@ Result<GateResult> CompareBenchReports(const std::string& baseline_json,
     fail("digest mismatches: " +
          std::to_string(static_cast<uint64_t>(mismatches)) + " (allowed " +
          std::to_string(options.max_digest_mismatches) + ")");
+  }
+
+  if (baseline.count("qps") != 0 && current.count("qps") != 0) {
+    const double required = baseline.at("qps") / options.baseline_scale *
+                            (1.0 - options.qps_tolerance);
+    if (current.at("qps") < required) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "throughput regressed: %.2f qps < %.2f qps required "
+                    "(baseline %.2f, scale %.2f, tolerance -%.0f%%)",
+                    current.at("qps"), required, baseline.at("qps"),
+                    options.baseline_scale, options.qps_tolerance * 100.0);
+      fail(buf);
+    }
   }
 
   const double base_errors =

@@ -72,6 +72,11 @@ struct ReplayOptions {
   /// Times each entry is executed. Repeats > 1 also cross-check digests
   /// between repeats of the same entry.
   size_t repeat = 1;
+  /// Threads each search uses to score its candidate pool
+  /// (SearchEngineOptions::scoring_threads). Replaying the same recording
+  /// at different values must produce identical digests -- that equality
+  /// is exactly what the CI perf gate enforces every push.
+  size_t engine_threads = 1;
 };
 
 /// Latency percentiles over one timing series, in seconds.
@@ -86,6 +91,7 @@ struct ReplayReport {
   size_t executed = 0;           ///< entries × repeat
   size_t threads = 1;
   size_t repeat = 1;
+  size_t engine_threads = 1;     ///< per-search scoring threads
   size_t errors = 0;             ///< pipeline returned non-OK
   size_t degraded = 0;           ///< should be 0: replay runs undeadlined
   size_t digest_mismatches = 0;  ///< vs recording, or between repeats
@@ -125,6 +131,11 @@ struct GateOptions {
   double baseline_scale = 1.0;
   /// Digest mismatches tolerated (0: any mismatch fails the gate).
   uint64_t max_digest_mismatches = 0;
+  /// Allowed fractional throughput drop: fail when current qps falls
+  /// below (baseline qps / baseline_scale) × (1 - qps_tolerance). The
+  /// default is forgiving (throughput is far noisier than percentiles on
+  /// shared CI machines); reports without a qps field skip the check.
+  double qps_tolerance = 0.75;
 };
 
 struct GateResult {

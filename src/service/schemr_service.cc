@@ -71,6 +71,7 @@ SearchEngineOptions WithRequest(const SearchRequest& request,
                                 SearchEngineOptions options) {
   options.top_k = request.top_k;
   options.extraction.pool_size = request.candidate_pool;
+  if (request.cache_bypass) options.cache_bypass = true;
   return options;
 }
 
@@ -230,6 +231,7 @@ Result<std::vector<SearchResult>> SchemrService::Search(
     record.dropped_matchers =
         static_cast<uint32_t>(observed.dropped_matchers.size());
     record.deadline_hit = observed.deadline_hit;
+    record.cache_hit = observed.cache_hit;
     record.keywords = request.keywords;
     record.fragment = request.fragment;
     log->Record(std::move(record));
@@ -406,6 +408,9 @@ Status SchemrService::StartServing(ServingOptions options) {
   // executor's actual parallelism.
   options.admission.num_workers = options.executor.num_workers;
   serving_options_ = options;
+  if (options.result_cache_capacity > 0) {
+    engine_.EnableResultCache(options.result_cache_capacity);
+  }
   admission_ = std::make_unique<AdmissionController>(options.admission);
   executor_ = std::make_unique<BoundedExecutor>(options.executor);
   return Status::OK();
@@ -485,6 +490,7 @@ std::string SchemrService::RunSearchToXml(
   // engine degrades (coarse-only tail) instead of erroring when it fires.
   const double remaining = std::max(deadline_seconds, 1e-3);
   options.deadline_seconds = remaining;
+  options.scoring_threads = std::max<size_t>(1, serving_options_.scoring_threads);
   if (remaining < original_deadline_seconds *
                       serving_options_.near_deadline_fraction) {
     // Near-deadline admission: tighten the per-matcher budget so the
@@ -528,6 +534,7 @@ std::string SchemrService::RunSearchToXml(
     record.dropped_matchers =
         static_cast<uint32_t>(info.stats.dropped_matchers.size());
     record.deadline_hit = info.stats.deadline_hit;
+    record.cache_hit = info.stats.cache_hit;
     record.keywords = request.keywords;
     record.fragment = request.fragment;
     log->Record(std::move(record));

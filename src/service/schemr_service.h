@@ -37,6 +37,10 @@ struct SearchRequest {
   /// latencies, tightness penalty totals). Default responses are
   /// byte-identical to the non-explain wire format.
   bool explain = false;
+  /// Escape hatch (`cache=bypass` on the wire): run the full pipeline even
+  /// when the engine's result cache holds this query, and do not store the
+  /// outcome. For debugging and cache-vs-pipeline comparisons.
+  bool cache_bypass = false;
 };
 
 /// Request-validation caps. Requests breaching them are rejected with
@@ -63,6 +67,14 @@ struct ServingOptions {
   /// The tightened per-matcher budget, as a fraction of the remaining
   /// deadline.
   double near_deadline_budget_fraction = 0.25;
+  /// Threads each admitted request may use to score its candidate pool
+  /// (SearchEngineOptions::scoring_threads). The engine owns that pool;
+  /// it is distinct from `executor` above, which bounds how many requests
+  /// run at once. 1 = serial scoring.
+  size_t scoring_threads = 1;
+  /// When > 0, StartServing installs a snapshot-keyed result cache of this
+  /// many entries on the engine (see core/result_cache.h). 0 = no cache.
+  size_t result_cache_capacity = 0;
 };
 
 /// A client visualization request ("drill-in").
@@ -190,6 +202,14 @@ class SchemrService {
   std::string MetricsJson() const;
 
   const SearchEngine& engine() const { return engine_; }
+
+  /// Installs a result cache on the engine (see core/result_cache.h).
+  /// StartServing does this automatically when
+  /// ServingOptions::result_cache_capacity > 0; call directly for
+  /// non-serving (inline) use. Call before searches run concurrently.
+  void EnableResultCache(size_t capacity) {
+    engine_.EnableResultCache(capacity);
+  }
 
  private:
   /// What the pipeline path hands back for the audit record: computed

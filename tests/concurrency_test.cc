@@ -19,6 +19,8 @@
 #include <thread>
 #include <vector>
 
+#include "core/fingerprint.h"
+#include "core/result_cache.h"
 #include "core/search_engine.h"
 #include "core/serving_corpus.h"
 #include "index/indexer.h"
@@ -460,6 +462,9 @@ TEST_F(ConcurrencyTest, SearchWhileIngestTorture) {
                  &search_errors, &pairing_violations] {
     SearchEngineOptions options;
     options.top_k = 5;
+    // Both readers score their pools on the shared engine-owned worker
+    // pool while the writer swaps snapshots under them.
+    options.scoring_threads = 4;
     do {
       // Pairing invariant: in any one snapshot, index and schema view
       // describe the same corpus (every ingest adds exactly one of each).
@@ -503,6 +508,11 @@ TEST_F(ConcurrencyTest, ServiceTortureUnderPerturbation) {
   serving.executor.num_workers = 2;
   serving.executor.queue_capacity = 16;
   serving.admission.max_queue_depth = 16;
+  // Exercise the full new surface under perturbation: parallel candidate
+  // scoring inside each admitted request, plus the result cache racing
+  // version bumps from the writer.
+  serving.scoring_threads = 2;
+  serving.result_cache_capacity = 32;
   ASSERT_TRUE(service.StartServing(serving).ok());
 
   std::atomic<bool> writer_done{false};
@@ -537,6 +547,305 @@ TEST_F(ConcurrencyTest, ServiceTortureUnderPerturbation) {
   // Drain while perturbation still widens the hand-off windows.
   EXPECT_TRUE(service.Shutdown(30.0).ok());
   FaultInjector::Global().EnablePerturbation(false);
+}
+
+// --- parallel scoring, score-bound pruning, result cache ---------------------
+
+// Schemas whose attribute sets vary with `i` so the coarse TF/IDF scores
+// (and with them the pruning bounds) spread out instead of collapsing to
+// one value for the whole pool.
+Schema VariedSchema(size_t i) {
+  SchemaBuilder builder("varied_" + std::to_string(i));
+  builder.Description(i % 2 == 0 ? "rural clinic records"
+                                 : "hospital billing records");
+  builder.Entity("patient").Attribute("height", DataType::kDouble);
+  if (i % 2 == 0) builder.Attribute("gender");
+  if (i % 3 == 0) builder.Attribute("diagnosis");
+  builder.Entity("case")
+      .Attribute("patient_id", DataType::kInt64)
+      .References("patient");
+  if (i % 5 == 0) builder.Attribute("treatment");
+  if (i % 7 == 0) builder.Attribute("billing_code");
+  return builder.Build();
+}
+
+Result<std::unique_ptr<ServingCorpus>> MakeVariedCorpus(size_t n) {
+  auto corpus = ServingCorpus::Create(SchemaRepository::OpenInMemory());
+  if (!corpus.ok()) return corpus.status();
+  for (size_t i = 0; i < n; ++i) {
+    auto id = (*corpus)->Ingest(VariedSchema(i));
+    if (!id.ok()) return id.status();
+  }
+  return corpus;
+}
+
+void ExpectSameResults(const std::vector<SearchResult>& a,
+                       const std::vector<SearchResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].schema_id, b[i].schema_id) << "rank " << i;
+    EXPECT_EQ(a[i].score, b[i].score) << "rank " << i;
+    EXPECT_EQ(a[i].coarse_score, b[i].coarse_score) << "rank " << i;
+    EXPECT_EQ(a[i].tightness, b[i].tightness) << "rank " << i;
+    EXPECT_EQ(a[i].num_matches, b[i].num_matches) << "rank " << i;
+  }
+  EXPECT_EQ(DigestResults(a), DigestResults(b));
+}
+
+TEST_F(ConcurrencyTest, ParallelScoringMatchesSerial) {
+  auto corpus = MakeVariedCorpus(40);
+  ASSERT_TRUE(corpus.ok()) << corpus.status();
+  SearchEngine engine(corpus->get());
+
+  const std::string query = "patient height diagnosis treatment billing";
+  SearchEngineOptions options;
+  options.top_k = 10;
+  options.extraction.pool_size = 200;
+
+  options.scoring_threads = 1;
+  auto serial = engine.SearchKeywords(query, options);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  ASSERT_FALSE(serial->empty());
+
+  for (size_t threads : {2u, 8u}) {
+    SearchEngineOptions parallel_options = options;
+    parallel_options.scoring_threads = threads;
+    SearchStats stats;
+    parallel_options.stats = &stats;
+    auto parallel = engine.SearchKeywords(query, parallel_options);
+    ASSERT_TRUE(parallel.ok()) << parallel.status();
+    EXPECT_FALSE(stats.degraded);
+    // Bit-identical ranked output at any thread count: every candidate is
+    // scored into a pre-sized slot, so the merge order never depends on
+    // the schedule.
+    ExpectSameResults(*serial, *parallel);
+  }
+}
+
+TEST_F(ConcurrencyTest, PruningNeverChangesTopK) {
+  auto corpus = MakeVariedCorpus(60);
+  ASSERT_TRUE(corpus.ok()) << corpus.status();
+  SearchEngine engine(corpus->get());
+  const std::string query = "patient height diagnosis treatment billing";
+
+  for (size_t threads : {1u, 4u}) {
+    SearchEngineOptions unpruned;
+    unpruned.top_k = 5;
+    unpruned.extraction.pool_size = 200;
+    unpruned.scoring_threads = threads;
+    unpruned.enable_pruning = false;
+    auto baseline = engine.SearchKeywords(query, unpruned);
+    ASSERT_TRUE(baseline.ok()) << baseline.status();
+
+    SearchEngineOptions pruned = unpruned;
+    pruned.enable_pruning = true;
+    SearchStats stats;
+    pruned.stats = &stats;
+    auto got = engine.SearchKeywords(query, pruned);
+    ASSERT_TRUE(got.ok()) << got.status();
+    // Pruning is exact: a skipped candidate provably could not enter the
+    // returned window, so the ranked list (and digest) never moves.
+    ExpectSameResults(*baseline, *got);
+    EXPECT_FALSE(stats.degraded);
+  }
+}
+
+TEST_F(ConcurrencyTest, PruningSkipsCandidatesAtHighBlend) {
+  // At the default blend (0.25) the bound floor is 0.75, so pruning only
+  // fires when the running top-k is nearly perfect. A coarse-heavy blend
+  // makes the bound track the (spread-out) coarse scores, which is where
+  // the optimization pays off -- and where this test pins it down.
+  auto corpus = MakeVariedCorpus(80);
+  ASSERT_TRUE(corpus.ok()) << corpus.status();
+  SearchEngine engine(corpus->get());
+  const std::string query = "patient height diagnosis treatment billing";
+
+  SearchEngineOptions unpruned;
+  unpruned.top_k = 3;
+  unpruned.extraction.pool_size = 200;
+  unpruned.coarse_blend = 0.9;
+  unpruned.enable_pruning = false;
+  auto baseline = engine.SearchKeywords(query, unpruned);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+
+  SearchEngineOptions pruned = unpruned;
+  pruned.enable_pruning = true;
+  SearchStats stats;
+  pruned.stats = &stats;
+  auto got = engine.SearchKeywords(query, pruned);
+  ASSERT_TRUE(got.ok()) << got.status();
+  ExpectSameResults(*baseline, *got);
+  EXPECT_GT(stats.candidates_skipped, 0u);
+  // Skipping is an optimization, never degradation.
+  EXPECT_FALSE(stats.degraded);
+}
+
+TEST_F(ConcurrencyTest, MatcherFaultUnderParallelScoringBenchesOnce) {
+  auto corpus = MakeVariedCorpus(24);
+  ASSERT_TRUE(corpus.ok()) << corpus.status();
+  SearchEngine engine(corpus->get());
+  const std::string query = "patient height diagnosis";
+
+  auto run = [&engine, &query](size_t threads, SearchStats* stats) {
+    FaultSpec fail;
+    fail.kind = FaultKind::kError;
+    FaultInjector::Global().Arm("match/name", fail);
+    SearchEngineOptions options;
+    options.top_k = 10;
+    options.extraction.pool_size = 100;
+    options.scoring_threads = threads;
+    options.stats = stats;
+    auto results = engine.SearchKeywords(query, options);
+    FaultInjector::Global().DisarmAll();
+    return results;
+  };
+
+  SearchStats serial_stats;
+  auto serial = run(1, &serial_stats);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+
+  SearchStats parallel_stats;
+  auto parallel = run(4, &parallel_stats);
+  ASSERT_TRUE(parallel.ok()) << parallel.status();
+  ASSERT_FALSE(parallel->empty());
+
+  // Even with several workers hitting the failing matcher concurrently,
+  // the shared degradation state benches it exactly once...
+  ASSERT_EQ(parallel_stats.dropped_matchers.size(), 1u)
+      << parallel_stats.dropped_matchers.size() << " matchers dropped";
+  EXPECT_NE(parallel_stats.dropped_matchers[0].find("name"),
+            std::string::npos);
+  EXPECT_TRUE(parallel_stats.degraded);
+  EXPECT_EQ(serial_stats.dropped_matchers, parallel_stats.dropped_matchers);
+  // ...and a failed matcher scores exactly like a benched one (zero
+  // matrix, weight renormalized away), so the fault does not break
+  // thread-count independence either.
+  ExpectSameResults(*serial, *parallel);
+}
+
+TEST_F(ConcurrencyTest, ResultCacheHitsAndImplicitInvalidation) {
+  auto corpus = MakeVariedCorpus(12);
+  ASSERT_TRUE(corpus.ok()) << corpus.status();
+  SearchEngine engine(corpus->get());
+  engine.EnableResultCache(8);
+  const std::string query = "patient height diagnosis";
+  SearchEngineOptions options;
+  options.top_k = 5;
+
+  SearchStats first_stats;
+  options.stats = &first_stats;
+  auto first = engine.SearchKeywords(query, options);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_FALSE(first_stats.cache_hit);
+
+  SearchStats second_stats;
+  options.stats = &second_stats;
+  auto second = engine.SearchKeywords(query, options);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_TRUE(second_stats.cache_hit);
+  ExpectSameResults(*first, *second);
+
+  // An ingest bumps the corpus version; the key changes and the stale
+  // entry is simply never hit again -- no explicit invalidation path.
+  ASSERT_TRUE((*corpus)->Ingest(VariedSchema(100)).ok());
+  SearchStats third_stats;
+  options.stats = &third_stats;
+  auto third = engine.SearchKeywords(query, options);
+  ASSERT_TRUE(third.ok()) << third.status();
+  EXPECT_FALSE(third_stats.cache_hit);
+
+  ResultCacheStats cache_stats = engine.result_cache()->Stats();
+  EXPECT_EQ(cache_stats.hits, 1u);
+  EXPECT_EQ(cache_stats.misses, 2u);
+  EXPECT_EQ(cache_stats.insertions, 2u);
+}
+
+TEST_F(ConcurrencyTest, ResultCacheBypassAndDegradedNeverStored) {
+  auto corpus = MakeVariedCorpus(12);
+  ASSERT_TRUE(corpus.ok()) << corpus.status();
+  SearchEngine engine(corpus->get());
+  engine.EnableResultCache(8);
+  const std::string query = "patient height diagnosis";
+
+  // cache_bypass skips both the lookup and the store.
+  SearchEngineOptions bypass;
+  bypass.top_k = 5;
+  bypass.cache_bypass = true;
+  for (int i = 0; i < 2; ++i) {
+    SearchStats stats;
+    bypass.stats = &stats;
+    auto results = engine.SearchKeywords(query, bypass);
+    ASSERT_TRUE(results.ok()) << results.status();
+    EXPECT_FALSE(stats.cache_hit);
+  }
+  EXPECT_EQ(engine.result_cache()->Stats().hits, 0u);
+  EXPECT_EQ(engine.result_cache()->Stats().insertions, 0u);
+
+  // A degraded result (benched matcher here) is best-effort, not the
+  // answer: it must not be stored...
+  FaultSpec fail;
+  fail.kind = FaultKind::kError;
+  FaultInjector::Global().Arm("match/name", fail);
+  SearchEngineOptions options;
+  options.top_k = 5;
+  SearchStats degraded_stats;
+  options.stats = &degraded_stats;
+  auto degraded = engine.SearchKeywords(query, options);
+  FaultInjector::Global().DisarmAll();
+  ASSERT_TRUE(degraded.ok()) << degraded.status();
+  EXPECT_TRUE(degraded_stats.degraded);
+  EXPECT_EQ(engine.result_cache()->Stats().insertions, 0u);
+
+  // ...so the next healthy search misses, runs the pipeline, stores, and
+  // only then do hits begin.
+  SearchStats healthy_stats;
+  options.stats = &healthy_stats;
+  auto healthy = engine.SearchKeywords(query, options);
+  ASSERT_TRUE(healthy.ok()) << healthy.status();
+  EXPECT_FALSE(healthy_stats.cache_hit);
+  EXPECT_FALSE(healthy_stats.degraded);
+
+  SearchStats hit_stats;
+  options.stats = &hit_stats;
+  auto hit = engine.SearchKeywords(query, options);
+  ASSERT_TRUE(hit.ok()) << hit.status();
+  EXPECT_TRUE(hit_stats.cache_hit);
+  ExpectSameResults(*healthy, *hit);
+}
+
+TEST_F(ConcurrencyTest, ResultCacheEvictsLeastRecentlyUsed) {
+  ResultCache cache(2);
+  auto make_key = [](uint64_t fp) {
+    ResultCacheKey key;
+    key.fingerprint = fp;
+    key.corpus_version = 7;
+    key.options_hash = 11;
+    return key;
+  };
+  auto make_results = [](SchemaId id) {
+    std::vector<SearchResult> results(1);
+    results[0].schema_id = id;
+    return results;
+  };
+
+  cache.Put(make_key(1), make_results(1));
+  cache.Put(make_key(2), make_results(2));
+  // Touch key 1 so key 2 becomes least recently used.
+  ASSERT_NE(cache.Get(make_key(1)), nullptr);
+  cache.Put(make_key(3), make_results(3));
+
+  EXPECT_NE(cache.Get(make_key(1)), nullptr);
+  EXPECT_EQ(cache.Get(make_key(2)), nullptr);
+  auto third = cache.Get(make_key(3));
+  ASSERT_NE(third, nullptr);
+  EXPECT_EQ((*third)[0].schema_id, 3u);
+
+  ResultCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.insertions, 3u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 3u);
 }
 
 // --- visualization request validation (service limits) ----------------------

@@ -11,6 +11,7 @@
 #include <filesystem>
 
 #include "core/fingerprint.h"
+#include "corpus/schema_generator.h"
 #include "index/indexer.h"
 #include "obs/audit_log.h"
 #include "repo/schema_repository.h"
@@ -176,6 +177,66 @@ TEST_F(ReplayTest, ThreadedRepeatsStayDeterministic) {
   EXPECT_EQ(threaded->digests, single->digests);
 }
 
+TEST_F(ReplayTest, EngineThreadsPreserveDigests) {
+  std::vector<WorkloadEntry> workload = SampleWorkload();
+  auto serial = ReplayWorkload(snapshot_, workload);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+
+  // Parallel candidate scoring inside every search, on top of parallel
+  // workload execution and repeat cross-checks: the digests must not move.
+  ReplayOptions options;
+  options.threads = 2;
+  options.repeat = 2;
+  options.engine_threads = 8;
+  auto parallel = ReplayWorkload(snapshot_, workload, options);
+  ASSERT_TRUE(parallel.ok()) << parallel.status();
+  EXPECT_EQ(parallel->engine_threads, 8u);
+  EXPECT_EQ(parallel->errors, 0u);
+  EXPECT_EQ(parallel->digest_mismatches, 0u);
+  EXPECT_EQ(parallel->digests, serial->digests);
+}
+
+TEST_F(ReplayTest, CommittedSampleWorkloadIsThreadCountIndependent) {
+  // The exact pairing the CI perf gate runs: the committed workload
+  // against the reference corpus recipe (120 schemas, seed 42), replayed
+  // serially and with 4 scoring threads. Digest divergence here means the
+  // parallel pipeline went nondeterministic.
+  size_t skipped = 0;
+  auto workload = LoadWorkload(
+      std::string(SCHEMR_SOURCE_DIR) + "/examples/sample_workload.xml",
+      &skipped);
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  ASSERT_EQ(skipped, 0u);
+  ASSERT_FALSE(workload->empty());
+
+  auto repo = SchemaRepository::OpenInMemory();
+  CorpusOptions corpus_options;
+  corpus_options.num_schemas = 120;
+  corpus_options.seed = 42;
+  for (GeneratedSchema& generated : GenerateCorpus(corpus_options)) {
+    ASSERT_TRUE(repo->Insert(std::move(generated.schema)).ok());
+  }
+  Indexer indexer;
+  ASSERT_TRUE(indexer.RebuildFromRepository(*repo).ok());
+  auto snapshot = std::make_shared<CorpusSnapshot>();
+  snapshot->index = std::shared_ptr<const InvertedIndex>(
+      std::shared_ptr<void>(), &indexer.index());
+  snapshot->schemas = repo->View();
+  snapshot->version = repo->version();
+
+  auto serial = ReplayWorkload(snapshot, *workload);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  EXPECT_EQ(serial->errors, 0u);
+
+  ReplayOptions options;
+  options.engine_threads = 4;
+  auto threaded = ReplayWorkload(snapshot, *workload, options);
+  ASSERT_TRUE(threaded.ok()) << threaded.status();
+  EXPECT_EQ(threaded->errors, 0u);
+  EXPECT_EQ(threaded->digest_mismatches, 0u);
+  EXPECT_EQ(threaded->digests, serial->digests);
+}
+
 TEST_F(ReplayTest, PipelineErrorsAreCountedNotFatal) {
   std::vector<WorkloadEntry> workload(1);  // empty query: parse error
   auto report = ReplayWorkload(snapshot_, workload);
@@ -248,6 +309,7 @@ ReplayReport MakeReport(double scale) {
   report.executed = 6;
   report.threads = 2;
   report.repeat = 2;
+  report.engine_threads = 4;
   report.wall_seconds = 0.5 * scale;
   report.qps = 12.0 / scale;
   report.total = {0.010 * scale, 0.020 * scale, 0.030 * scale};
@@ -267,6 +329,7 @@ TEST(BenchJsonTest, JsonRoundTripsThroughTheFlatParser) {
   EXPECT_NEAR(flat->at("latency_seconds.total.p95"), 0.020, 1e-12);
   EXPECT_NEAR(flat->at("latency_seconds.phase2.p99"), 0.020, 1e-12);
   EXPECT_NEAR(flat->at("qps"), 12.0, 1e-9);
+  EXPECT_DOUBLE_EQ(flat->at("engine_threads"), 4.0);
 }
 
 TEST(BenchJsonTest, ParserRejectsMalformedInput) {
@@ -319,6 +382,28 @@ TEST(BenchGateTest, DigestMismatchesFailRegardlessOfLatency) {
 
   GateOptions lenient;
   lenient.max_digest_mismatches = 2;
+  auto tolerated = CompareBenchReports(ReplayReportToJson(MakeReport(1.0)),
+                                       ReplayReportToJson(bad), lenient);
+  ASSERT_TRUE(tolerated.ok());
+  EXPECT_TRUE(tolerated->pass);
+}
+
+TEST(BenchGateTest, ThroughputCollapseFails) {
+  // Latency percentiles can look fine while throughput craters (lock
+  // convoys, pool starvation). Baseline qps 12 with the default 75%
+  // tolerance requires >= 3.
+  ReplayReport bad = MakeReport(1.0);
+  bad.qps = 1.0;
+  auto gate = CompareBenchReports(ReplayReportToJson(MakeReport(1.0)),
+                                  ReplayReportToJson(bad));
+  ASSERT_TRUE(gate.ok());
+  EXPECT_FALSE(gate->pass);
+  ASSERT_FALSE(gate->violations.empty());
+  EXPECT_NE(gate->violations[0].find("qps"), std::string::npos);
+
+  // A looser operator-chosen tolerance admits the same report.
+  GateOptions lenient;
+  lenient.qps_tolerance = 0.95;  // requires >= 0.6
   auto tolerated = CompareBenchReports(ReplayReportToJson(MakeReport(1.0)),
                                        ReplayReportToJson(bad), lenient);
   ASSERT_TRUE(tolerated.ok());

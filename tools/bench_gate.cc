@@ -8,6 +8,8 @@
 //                                         the CI negative test; >1 loosens
 //                                         for cross-machine baselines)
 //              [--max-digest-mismatches N]
+//              [--qps-tolerance X]        allowed fractional throughput
+//                                         drop vs baseline qps (0.75)
 //
 // Exit 0 when the current report is within tolerance of the baseline,
 // 1 on any violation (each printed on stderr), 2 on usage/parse errors.
@@ -29,7 +31,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: bench_gate <baseline.json> <current.json>\n"
                "  [--latency-tolerance X] [--scale-baseline S]"
-               " [--max-digest-mismatches N]\n");
+               " [--max-digest-mismatches N] [--qps-tolerance X]\n");
   return 2;
 }
 
@@ -54,6 +56,8 @@ int Run(int argc, char** argv) {
       options.baseline_scale = std::strtod(argv[++i], nullptr);
     } else if (arg == "--max-digest-mismatches" && i + 1 < argc) {
       options.max_digest_mismatches = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--qps-tolerance" && i + 1 < argc) {
+      options.qps_tolerance = std::strtod(argv[++i], nullptr);
     } else {
       return Usage();
     }

@@ -78,9 +78,10 @@ int Usage() {
       "  audit <repo> tail|top|slow [--limit N]     inspect the query"
       " audit log\n"
       "  replay <workload> --repo <dir> [--threads N] [--repeat N]"
-      " [--out f.json]\n"
-      "         [--baseline f.json] [--tolerance X] [--record f.xml]"
-      "   replay a workload\n"
+      " [--engine-threads N]\n"
+      "         [--out f.json] [--baseline f.json] [--tolerance X]"
+      " [--qps-tolerance X]\n"
+      "         [--record f.xml]                        replay a workload\n"
       "  seed <repo> [--schemas N] [--seed S] [--workload f.xml]"
       " [--queries M]\n"
       "         generate a synthetic corpus (and optional workload)\n");
@@ -597,6 +598,8 @@ int CmdReplay(int argc, char** argv) {
       replay_options.threads = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--repeat" && i + 1 < argc) {
       replay_options.repeat = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--engine-threads" && i + 1 < argc) {
+      replay_options.engine_threads = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else if (arg == "--baseline" && i + 1 < argc) {
@@ -605,6 +608,8 @@ int CmdReplay(int argc, char** argv) {
       record_path = argv[++i];
     } else if (arg == "--tolerance" && i + 1 < argc) {
       gate_options.latency_tolerance = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--qps-tolerance" && i + 1 < argc) {
+      gate_options.qps_tolerance = std::strtod(argv[++i], nullptr);
     } else {
       return Usage();
     }
