@@ -137,4 +137,36 @@ ResultCacheStats ResultCache::Stats() const {
                           lru_.size()};
 }
 
+void PublishResultCacheMetrics(const ResultCache* cache) {
+  struct DerivedGauges {
+    Gauge* hit_ratio;
+    Gauge* capacity;
+  };
+  static const DerivedGauges* gauges = [] {
+    MetricsRegistry& r = MetricsRegistry::Global();
+    return new DerivedGauges{
+        r.GetGauge("schemr_result_cache_hit_ratio",
+                   "hits / (hits + misses) over the cache's lifetime; 0 "
+                   "until the first lookup or when no cache is installed."),
+        r.GetGauge("schemr_result_cache_capacity",
+                   "Configured result-cache entry bound (0 = no cache)."),
+    };
+  }();
+  if (cache == nullptr) {
+    gauges->hit_ratio->Set(0.0);
+    gauges->capacity->Set(0.0);
+    return;
+  }
+  const ResultCacheStats stats = cache->Stats();
+  const uint64_t lookups = stats.hits + stats.misses;
+  gauges->hit_ratio->Set(
+      lookups == 0 ? 0.0
+                   : static_cast<double>(stats.hits) /
+                         static_cast<double>(lookups));
+  gauges->capacity->Set(static_cast<double>(cache->capacity()));
+  // `entries` is also event-maintained by Put(); refreshing it here keeps
+  // a scrape of an idle process current.
+  CacheMetrics::Get().entries->Set(static_cast<double>(stats.entries));
+}
+
 }  // namespace schemr

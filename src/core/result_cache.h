@@ -96,6 +96,15 @@ class ResultCache {
   uint64_t evictions_ = 0;
 };
 
+/// Publishes the derived cache gauges into the global registry:
+/// `schemr_result_cache_hit_ratio` (hits / lookups; 0 until the first
+/// lookup) and `schemr_result_cache_capacity`. A ratio is a read-time
+/// derivation over two counters, not an event, so it is computed at
+/// scrape time — the /metrics handler and `schemr stats` call this just
+/// before collecting. Null-tolerant: with no cache installed both gauges
+/// read 0.
+void PublishResultCacheMetrics(const ResultCache* cache);
+
 }  // namespace schemr
 
 #endif  // SCHEMR_CORE_RESULT_CACHE_H_

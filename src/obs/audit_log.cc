@@ -482,6 +482,99 @@ Result<AuditReadReport> ReadAuditLog(const std::string& dir) {
   return report;
 }
 
+Result<AuditReadReport> ReadAuditSegmentFrom(const std::string& path,
+                                             uint64_t start_offset,
+                                             uint64_t* next_offset) {
+  SCHEMR_ASSIGN_OR_RETURN(std::string contents, ReadWholeFile(path));
+  AuditReadReport report;
+  report.segments_read = 1;
+  *next_offset = start_offset;
+  if (start_offset >= contents.size()) return report;
+  size_t offset = static_cast<size_t>(start_offset);
+  while (offset < contents.size()) {
+    size_t consumed = 0;
+    std::string_view payload;
+    if (ParseFrameAt(contents, offset, &consumed, &payload)) {
+      AuditRecord record;
+      if (DecodeAuditRecord(payload, &record).ok()) {
+        report.records.push_back(std::move(record));
+      } else {
+        ++report.skipped_records;
+        report.skipped_bytes += consumed;
+      }
+      offset += consumed;
+      *next_offset = offset;
+      continue;
+    }
+    // Same resync scan as ReadAuditSegment, but the cursor only advances
+    // over damage that is *followed by* a valid record: a tail that does
+    // not frame yet may simply be a record the writer has not finished,
+    // and must be re-read by the next poll.
+    size_t resync = offset + 1;
+    bool found = false;
+    for (; resync + kFramePrelude <= contents.size(); ++resync) {
+      size_t c2 = 0;
+      std::string_view p2;
+      if (ParseFrameAt(contents, resync, &c2, &p2)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      report.torn_tail = true;
+      report.skipped_bytes += contents.size() - offset;
+      break;  // *next_offset stays parked at the incomplete frame
+    }
+    ++report.skipped_records;
+    report.skipped_bytes += resync - offset;
+    offset = resync;
+  }
+  return report;
+}
+
+Result<AuditReadReport> ReadAuditLogFrom(const std::string& dir,
+                                         AuditCursor* cursor) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return Status::IOError("not an audit directory: " + dir);
+  }
+  AuditReadReport report;
+  const std::vector<uint64_t> ids = ListSegmentIds(dir);
+  if (ids.empty()) return report;
+  if (cursor->segment_id < ids.front()) {
+    // Retention deleted the cursor's segment out from under us; the
+    // records between are gone, resume at the oldest survivor.
+    cursor->segment_id = ids.front();
+    cursor->offset = 0;
+  }
+  for (uint64_t id : ids) {
+    if (id < cursor->segment_id) continue;
+    const uint64_t start = id == cursor->segment_id ? cursor->offset : 0;
+    uint64_t next = start;
+    auto segment = ReadAuditSegmentFrom(SegmentFileName(dir, id), start, &next);
+    if (!segment.ok()) continue;  // unreadable segment: skip, keep going
+    report.segments_read += segment->segments_read;
+    report.skipped_records += segment->skipped_records;
+    report.skipped_bytes += segment->skipped_bytes;
+    for (AuditRecord& r : segment->records) {
+      report.records.push_back(std::move(r));
+    }
+    cursor->segment_id = id;
+    cursor->offset = next;
+    if (segment->torn_tail) {
+      if (id == ids.back()) {
+        // The live segment ends mid-record: park here and let the next
+        // poll pick the record up once the writer finishes it.
+        report.torn_tail = true;
+        break;
+      }
+      // A torn tail in a *rotated* segment can never heal (the writer
+      // has moved on); consume it so the follow loop cannot wedge.
+    }
+  }
+  return report;
+}
+
 bool LooksLikeAuditLog(const std::string& path) {
   std::error_code ec;
   if (fs::is_directory(path, ec)) return !ListSegmentIds(path).empty();

@@ -179,6 +179,34 @@ Result<AuditReadReport> ReadAuditLog(const std::string& dir);
 /// file-or-directory detection).
 Result<AuditReadReport> ReadAuditSegment(const std::string& path);
 
+/// Resume point for incremental tailing (`schemr audit tail --follow`):
+/// the next byte to read, as (segment, offset). Value-initialized it
+/// reads from the oldest retained segment. Serialize as
+/// "<segment_id>:<offset>" if it must cross process restarts.
+struct AuditCursor {
+  uint64_t segment_id = 0;
+  uint64_t offset = 0;
+};
+
+/// Reads the records appended since `*cursor` and advances the cursor
+/// past everything cleanly consumed. A torn tail (the writer is mid-
+/// append, or crashed mid-record) is NOT consumed: the cursor parks at
+/// the start of the incomplete frame and the next poll re-reads it —
+/// this is what makes polling `--follow` lossless against an active
+/// writer. Mid-segment damage is salvaged around (and consumed) exactly
+/// like ReadAuditLog. When retention has deleted the cursor's segment,
+/// reading resumes at the oldest segment still on disk.
+Result<AuditReadReport> ReadAuditLogFrom(const std::string& dir,
+                                         AuditCursor* cursor);
+
+/// One segment from `start_offset`. `*next_offset` receives the offset
+/// just past the last cleanly-framed record (i.e. where a follow-up read
+/// should resume); it does not advance over a torn tail. Exposed for
+/// tests.
+Result<AuditReadReport> ReadAuditSegmentFrom(const std::string& path,
+                                             uint64_t start_offset,
+                                             uint64_t* next_offset);
+
 /// True if `path` names an audit segment file or a directory containing
 /// at least one ("audit-*.log").
 bool LooksLikeAuditLog(const std::string& path);

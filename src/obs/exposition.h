@@ -8,8 +8,10 @@
 #define SCHEMR_OBS_EXPOSITION_H_
 
 #include <string>
+#include <string_view>
 
 #include "obs/metrics.h"
+#include "util/status.h"
 
 namespace schemr {
 
@@ -21,6 +23,25 @@ std::string ToPrometheusText(const MetricsRegistry& registry);
 /// JSON object keyed by metric name; counters/gauges map to numbers,
 /// histograms to {count, sum, p50, p95, p99, buckets: [{le, count}...]}.
 std::string ToJson(const MetricsRegistry& registry);
+
+/// Structural conformance check over a text-exposition body (what a
+/// Prometheus scraper would reject). Enforced rules:
+///   - every sample belongs to a family announced by a preceding
+///     `# TYPE` line (histogram `_bucket`/`_sum`/`_count` series resolve
+///     to their base family), and a family's TYPE appears only once;
+///   - metric names match [a-zA-Z_:][a-zA-Z0-9_:]*, label names match
+///     [a-zA-Z_][a-zA-Z0-9_]*, and label values are double-quoted with
+///     only \\ \" \n escapes;
+///   - `# HELP` text escapes backslash and newline;
+///   - sample values parse as numbers (+Inf/-Inf/NaN allowed); counter
+///     samples are finite, non-negative integers (this registry's
+///     counters are uint64);
+///   - each histogram family's buckets are cumulative (non-decreasing in
+///     order of appearance), end in le="+Inf", carry a `_sum`, and a
+///     `_count` equal to the +Inf bucket.
+/// InvalidArgument names the first offending line; used by the CI smoke
+/// check (`schemr checkmetrics`) and the exposition tests.
+Status CheckPrometheusText(std::string_view text);
 
 }  // namespace schemr
 

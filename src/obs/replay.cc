@@ -311,8 +311,8 @@ std::string ReplayReportToJson(const ReplayReport& report) {
 namespace {
 
 /// Minimal recursive-descent parser for the JSON subset bench reports
-/// use: objects, numbers, strings (string values are skipped). Flattens
-/// nested objects with '.'-joined keys.
+/// use: objects, numbers, booleans (as 1/0), strings (string values are
+/// skipped). Flattens nested objects with '.'-joined keys.
 class FlatJsonParser {
  public:
   explicit FlatJsonParser(std::string_view input) : input_(input) {}
@@ -349,6 +349,17 @@ class FlatJsonParser {
       } else if (Peek() == '"') {
         std::string ignored;
         SCHEMR_RETURN_IF_ERROR(ParseString(&ignored));
+      } else if (Peek() == 't' || Peek() == 'f') {
+        // Booleans read as 1/0 (the /statusz body carries flags like
+        // "serving" beside its numbers).
+        const bool truthy = Peek() == 't';
+        const std::string_view word = truthy ? "true" : "false";
+        if (input_.substr(pos_, word.size()) != word) {
+          return Status::ParseError("bad literal in bench JSON at byte " +
+                                    std::to_string(pos_));
+        }
+        pos_ += word.size();
+        (*out)[path] = truthy ? 1.0 : 0.0;
       } else {
         double value = 0.0;
         SCHEMR_RETURN_IF_ERROR(ParseNumber(&value));

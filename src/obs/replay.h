@@ -118,7 +118,8 @@ std::string ReplayReportToJson(const ReplayReport& report);
 /// Flattens the numeric fields of a BENCH_replay.json document into
 /// dotted paths ("latency_seconds.total.p95" → 0.0042). ParseError on
 /// malformed input. Understands exactly the subset ReplayReportToJson
-/// emits (objects, numbers, strings — strings are ignored).
+/// and the service's /statusz emit (objects, numbers, booleans as 1/0,
+/// strings — strings are ignored).
 Result<std::map<std::string, double>> ParseBenchJson(const std::string& json);
 
 struct GateOptions {

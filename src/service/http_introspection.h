@@ -1,0 +1,124 @@
+// Embedded HTTP/1.1 introspection listener (DESIGN.md §12).
+//
+// A minimal, dependency-free status server: a dedicated acceptor thread
+// polls one listening socket, accepted connections are handed to a small
+// BoundedExecutor (util/executor.h), and each connection serves exactly
+// one GET request (Connection: close) against an exact-match route table.
+// Connections beyond the handler pool's queue bound are answered 503
+// inline by the acceptor — the introspection plane load-sheds the same
+// way the search plane does, and can never pile up unbounded work.
+//
+// This is deliberately NOT a general web server: no keep-alive, no
+// chunked encoding, no request bodies, GET only. It exists so operators
+// (and `schemr top`) can always ask a serving process what it is doing —
+// and its acceptor/executor skeleton is the piece a future search front
+// end extends (ROADMAP item 3).
+//
+// Thread safety: Route before Start; Start/Stop from one thread;
+// handlers run concurrently on the pool and must be thread-safe
+// themselves (the SchemrService handlers only read atomics, take
+// registry snapshots, or copy ring contents).
+
+#ifndef SCHEMR_SERVICE_HTTP_INTROSPECTION_H_
+#define SCHEMR_SERVICE_HTTP_INTROSPECTION_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "util/executor.h"
+#include "util/status.h"
+
+namespace schemr {
+
+/// One parsed request line. Only the pieces the routes need.
+struct HttpRequest {
+  std::string method;  ///< "GET"
+  std::string path;    ///< "/statusz" (query string stripped)
+  std::string query;   ///< "window=60" (without the '?'; may be empty)
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+struct IntrospectionOptions {
+  /// Port to bind (0 = kernel-assigned ephemeral; read port() after
+  /// Start). Loopback only: introspection is an operator plane, not a
+  /// public API; fronting it to a network is a reverse proxy's job.
+  int port = 0;
+  std::string bind_address = "127.0.0.1";
+  /// Handler pool size: connections served concurrently.
+  size_t handler_threads = 2;
+  /// Accepted connections waiting for a handler beyond this are answered
+  /// 503 by the acceptor itself.
+  size_t max_pending_connections = 16;
+  /// Request head larger than this is answered 431.
+  size_t max_request_bytes = 8192;
+  /// Per-connection socket read/write timeout.
+  double io_timeout_seconds = 5.0;
+};
+
+class IntrospectionServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  explicit IntrospectionServer(IntrospectionOptions options = {});
+  ~IntrospectionServer();
+
+  IntrospectionServer(const IntrospectionServer&) = delete;
+  IntrospectionServer& operator=(const IntrospectionServer&) = delete;
+
+  /// Registers an exact-match route ("/metrics"). Call before Start.
+  void Route(std::string path, Handler handler);
+
+  /// Binds, listens, and starts the acceptor thread and handler pool.
+  /// IOError when the address cannot be bound; InvalidArgument when
+  /// already started.
+  Status Start();
+
+  /// Stops accepting, drains in-flight handlers briefly, joins the
+  /// acceptor. Idempotent.
+  void Stop();
+
+  /// The actually bound port (resolves port 0), or 0 before Start.
+  int port() const { return port_; }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  const IntrospectionOptions& options() const { return options_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  /// Formats and writes one response (best-effort; errors close the
+  /// connection, introspection never retries).
+  void WriteResponse(int fd, const HttpResponse& response);
+
+  const IntrospectionOptions options_;
+  std::map<std::string, Handler> routes_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+  std::unique_ptr<BoundedExecutor> handlers_;
+};
+
+/// Minimal blocking HTTP/1.1 GET, for `schemr top` and the tests (no
+/// external HTTP client dependency). Returns the response body on any
+/// 200; Unavailable("http <code>: <body prefix>") otherwise; IOError on
+/// connect/read failures.
+Result<std::string> HttpGet(const std::string& host, int port,
+                            const std::string& path,
+                            double timeout_seconds = 5.0);
+
+}  // namespace schemr
+
+#endif  // SCHEMR_SERVICE_HTTP_INTROSPECTION_H_

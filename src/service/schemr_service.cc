@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
+#include <cstdio>
 
 #include "core/fingerprint.h"
 #include "core/query_parser.h"
+#include "core/result_cache.h"
 #include "match/codebook.h"
 #include "obs/exposition.h"
 #include "obs/metrics.h"
@@ -144,6 +147,63 @@ AuditOutcome ShedOutcome(ShedReason reason) {
   return AuditOutcome::kShedDrain;
 }
 
+// --- Introspection JSON emitters -----------------------------------------
+// A deliberately tiny vocabulary: objects, numbers, strings, booleans —
+// exactly what obs/replay.h's ParseBenchJson reads, so `schemr top` and
+// the CI smoke check need no real JSON parser.
+
+void JsonKey(std::string* out, const char* key) {
+  if (out->back() != '{') out->push_back(',');
+  out->push_back('"');
+  *out += key;  // keys are identifiers; nothing to escape
+  *out += "\":";
+}
+
+void JsonNum(std::string* out, const char* key, double value) {
+  JsonKey(out, key);
+  if (!std::isfinite(value)) value = 0.0;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  *out += buf;
+}
+
+void JsonStr(std::string* out, const char* key, std::string_view value) {
+  JsonKey(out, key);
+  out->push_back('"');
+  AppendJsonEscaped(out, value);
+  out->push_back('"');
+}
+
+void JsonBool(std::string* out, const char* key, bool value) {
+  JsonKey(out, key);
+  *out += value ? "true" : "false";
+}
+
+/// One windowed-view sub-object ("window_1m": {...}) distilled to the
+/// handful of series an operator watches.
+void AppendWindowJson(std::string* out, const char* key,
+                      const WindowedView& view) {
+  JsonKey(out, key);
+  out->push_back('{');
+  JsonNum(out, "seconds", view.window_seconds);
+  const WindowedMetric* requests =
+      view.Find("schemr_service_search_xml_requests_total");
+  JsonNum(out, "qps", requests != nullptr ? requests->rate_per_second : 0.0);
+  const WindowedMetric* latency =
+      view.Find("schemr_service_search_xml_seconds");
+  JsonNum(out, "p50_ms", latency != nullptr ? latency->p50 * 1e3 : 0.0);
+  JsonNum(out, "p95_ms", latency != nullptr ? latency->p95 * 1e3 : 0.0);
+  JsonNum(out, "p99_ms", latency != nullptr ? latency->p99 * 1e3 : 0.0);
+  const WindowedMetric* errors =
+      view.Find("schemr_service_search_xml_errors_total");
+  JsonNum(out, "errors_per_second",
+          errors != nullptr ? errors->rate_per_second : 0.0);
+  const WindowedMetric* shed = view.Find("schemr_requests_shed_total");
+  JsonNum(out, "shed_per_second",
+          shed != nullptr ? shed->rate_per_second : 0.0);
+  out->push_back('}');
+}
+
 struct ServingMetrics {
   Gauge* inflight;
 
@@ -242,12 +302,12 @@ Result<std::vector<SearchResult>> SchemrService::Search(
 Result<std::string> SchemrService::SearchXml(
     const SearchRequest& request,
     const SearchEngineOptions& engine_options) const {
-  return SearchXmlInternal(request, engine_options, nullptr);
+  return SearchXmlInternal(request, engine_options, nullptr, nullptr);
 }
 
 Result<std::string> SchemrService::SearchXmlInternal(
     const SearchRequest& request, const SearchEngineOptions& engine_options,
-    SearchAuditInfo* audit) const {
+    SearchAuditInfo* audit, SearchTrace* sample_trace) const {
   static const EndpointMetrics metrics = MakeEndpoint("search_xml");
   EndpointScope scope(metrics);
   Status valid = ValidateRequest(request);
@@ -260,7 +320,16 @@ Result<std::string> SchemrService::SearchXmlInternal(
   SearchTrace trace;
   SearchStats stats;
   SearchEngineOptions options = WithRequest(request, engine_options);
-  if (request.explain) options.trace = &trace;
+  if (request.explain) {
+    options.trace = &trace;
+  } else if (sample_trace != nullptr) {
+    // Tail sampling: the trace is filled exactly like an explain trace
+    // but lives and dies service-side, so the response bytes cannot
+    // change. (A traced request bypasses the result cache — see
+    // search_engine.cc's cache-eligibility rule — which is what makes a
+    // sampled trace show the real pipeline, not a cache hit.)
+    options.trace = sample_trace;
+  }
   options.stats = &stats;
   auto searched = engine_.Search(query, options);
   if (!scope.Check(searched).ok()) return searched.status();
@@ -413,6 +482,64 @@ Status SchemrService::StartServing(ServingOptions options) {
   }
   admission_ = std::make_unique<AdmissionController>(options.admission);
   executor_ = std::make_unique<BoundedExecutor>(options.executor);
+
+  // The telemetry sampler and trace retention always run while serving:
+  // windowed views and the retained tail are what make a production
+  // incident debuggable after the fact, and their cost is bounded (one
+  // registry Collect per interval; one counter bump per request).
+  telemetry_ = std::make_unique<TelemetrySampler>(options.telemetry);
+  telemetry_->Start();
+  traces_ = std::make_unique<TraceRetention>(options.trace_retention);
+
+  if (options.introspection_port >= 0) {
+    IntrospectionOptions iopts;
+    iopts.port = options.introspection_port;
+    introspection_ = std::make_unique<IntrospectionServer>(iopts);
+    introspection_->Route("/metrics", [this](const HttpRequest&) {
+      HttpResponse response;
+      response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+      response.body = MetricsText();
+      return response;
+    });
+    introspection_->Route("/healthz", [this](const HttpRequest&) {
+      HttpResponse response;
+      response.content_type = "application/json";
+      response.body = HealthzJson(&response.status);
+      return response;
+    });
+    introspection_->Route("/statusz", [this](const HttpRequest&) {
+      HttpResponse response;
+      response.content_type = "application/json";
+      response.body = StatuszJson();
+      return response;
+    });
+    introspection_->Route("/tracez", [this](const HttpRequest&) {
+      HttpResponse response;
+      response.content_type = "application/json";
+      response.body = TracezJson();
+      return response;
+    });
+    introspection_->Route("/slowz", [this](const HttpRequest&) {
+      HttpResponse response;
+      response.content_type = "application/json";
+      response.body = SlowzJson();
+      return response;
+    });
+    Status started = introspection_->Start();
+    if (!started.ok()) {
+      // No traffic has been admitted yet (we still hold serving_mutex_ and
+      // executor_ has never been visible outside it), so a full unwind is
+      // safe — the caller can retry StartServing with a different port.
+      introspection_.reset();
+      telemetry_->Stop();
+      telemetry_.reset();
+      traces_.reset();
+      (void)executor_->Shutdown(0.0);
+      executor_.reset();
+      admission_.reset();
+      return started;
+    }
+  }
   return Status::OK();
 }
 
@@ -436,6 +563,12 @@ Status SchemrService::Shutdown(double deadline_seconds) {
   Status drained = executor->Shutdown(deadline_seconds);
   lock.lock();
   shut_down_ = true;
+  // The introspection plane outlives the drain window (so /healthz can
+  // report "draining" to a watching balancer) and comes down only once
+  // the drain has resolved. The sampler stops after the listener: a
+  // handler mid-flight may still read it.
+  if (introspection_ != nullptr) introspection_->Stop();
+  if (telemetry_ != nullptr) telemetry_->Stop();
   return drained;
 }
 
@@ -460,6 +593,16 @@ std::shared_ptr<AuditLog> SchemrService::audit() const {
 void SchemrService::RecordRefusal(const SearchRequest& request,
                                   AuditOutcome outcome,
                                   double deadline_seconds) const {
+  // A refusal never carried a trace, but it is exactly the kind of
+  // outcome the retention rings exist for: offer it metadata-only.
+  if (TraceRetention* retention = traces_.get(); retention != nullptr) {
+    RetainedTrace retained;
+    retained.timestamp_micros = NowMicros();
+    retained.fingerprint =
+        FingerprintRawRequest(request.keywords, request.fragment);
+    retained.outcome = AuditOutcomeName(outcome);
+    retention->Retain(std::move(retained));
+  }
   std::shared_ptr<AuditLog> log = audit();
   if (log == nullptr) return;
   AuditRecord record;
@@ -500,10 +643,33 @@ std::string SchemrService::RunSearchToXml(
         remaining * serving_options_.near_deadline_budget_fraction;
   }
   std::shared_ptr<AuditLog> log = audit();
+  TraceRetention* retention = traces_.get();
+  SearchTrace sample_trace;
+  const bool sampled = retention != nullptr && retention->ShouldSample();
   SearchAuditInfo info;
-  Result<std::string> xml =
-      SearchXmlInternal(request, options, log != nullptr ? &info : nullptr);
+  Result<std::string> xml = SearchXmlInternal(
+      request, options,
+      log != nullptr || retention != nullptr ? &info : nullptr,
+      sampled ? &sample_trace : nullptr);
   serving_metrics.inflight->Add(-1.0);
+  const double total_seconds = handle_timer.ElapsedSeconds();
+  if (retention != nullptr) {
+    RetainedTrace retained;
+    retained.timestamp_micros = NowMicros();
+    retained.fingerprint =
+        info.fingerprint != 0
+            ? info.fingerprint
+            : FingerprintRawRequest(request.keywords, request.fragment);
+    retained.outcome = AuditOutcomeName(!xml.ok() ? AuditOutcome::kError
+                                        : info.stats.degraded
+                                            ? AuditOutcome::kDegraded
+                                            : AuditOutcome::kOk);
+    retained.total_seconds = total_seconds;
+    retained.cache_hit = info.stats.cache_hit;
+    retained.sampled = sampled;
+    if (sampled) retained.spans = sample_trace.ToString();
+    retention->Retain(std::move(retained));
+  }
   if (log != nullptr) {
     AuditRecord record;
     record.timestamp_micros = NowMicros();
@@ -633,11 +799,187 @@ std::string SchemrService::HandleSearchXml(const SearchRequest& request,
 }
 
 std::string SchemrService::MetricsText() const {
+  PublishResultCacheMetrics(engine_.result_cache().get());
   return ToPrometheusText(MetricsRegistry::Global());
 }
 
 std::string SchemrService::MetricsJson() const {
+  PublishResultCacheMetrics(engine_.result_cache().get());
   return ToJson(MetricsRegistry::Global());
+}
+
+std::string SchemrService::StatuszJson() const {
+  std::string out = "{";
+  JsonStr(&out, "service", "schemr");
+  TelemetrySampler* sampler = telemetry_.get();
+  JsonNum(&out, "uptime_seconds",
+          sampler != nullptr ? sampler->UptimeSeconds() : 0.0);
+  JsonBool(&out, "serving", serving());
+
+  JsonKey(&out, "build");
+  out.push_back('{');
+  JsonStr(&out, "compiler", __VERSION__);
+#ifdef NDEBUG
+  JsonStr(&out, "mode", "release");
+#else
+  JsonStr(&out, "mode", "debug");
+#endif
+  out.push_back('}');
+
+  JsonKey(&out, "corpus");
+  out.push_back('{');
+  if (corpus_ != nullptr) {
+    std::shared_ptr<const CorpusSnapshot> snapshot = corpus_->Snapshot();
+    JsonNum(&out, "snapshot_version",
+            static_cast<double>(snapshot->version));
+    JsonNum(&out, "index_docs",
+            static_cast<double>(snapshot->index->NumDocs()));
+    JsonNum(&out, "index_terms",
+            static_cast<double>(snapshot->index->NumTerms()));
+  } else {
+    JsonNum(&out, "snapshot_version", 0.0);
+    JsonNum(&out, "index_docs", 0.0);
+    JsonNum(&out, "index_terms", 0.0);
+  }
+  out.push_back('}');
+
+  JsonKey(&out, "result_cache");
+  out.push_back('{');
+  std::shared_ptr<ResultCache> cache = engine_.result_cache();
+  JsonBool(&out, "enabled", cache != nullptr);
+  if (cache != nullptr) {
+    const ResultCacheStats stats = cache->Stats();
+    const uint64_t lookups = stats.hits + stats.misses;
+    JsonNum(&out, "capacity", static_cast<double>(cache->capacity()));
+    JsonNum(&out, "entries", static_cast<double>(stats.entries));
+    JsonNum(&out, "hits", static_cast<double>(stats.hits));
+    JsonNum(&out, "misses", static_cast<double>(stats.misses));
+    JsonNum(&out, "insertions", static_cast<double>(stats.insertions));
+    JsonNum(&out, "evictions", static_cast<double>(stats.evictions));
+    JsonNum(&out, "hit_ratio",
+            lookups == 0 ? 0.0
+                         : static_cast<double>(stats.hits) /
+                               static_cast<double>(lookups));
+  }
+  out.push_back('}');
+
+  JsonKey(&out, "executor");
+  out.push_back('{');
+  BoundedExecutor* executor = executor_.get();
+  if (executor != nullptr) {
+    JsonNum(&out, "workers", static_cast<double>(executor->num_workers()));
+    JsonNum(&out, "queue_capacity",
+            static_cast<double>(executor->queue_capacity()));
+    JsonNum(&out, "queue_depth",
+            static_cast<double>(executor->QueueDepth()));
+    JsonNum(&out, "running", static_cast<double>(executor->NumRunning()));
+    JsonBool(&out, "wedged", executor->wedged());
+  }
+  out.push_back('}');
+
+  JsonKey(&out, "admission");
+  out.push_back('{');
+  AdmissionController* admission = admission_.get();
+  if (admission != nullptr) {
+    JsonBool(&out, "draining", admission->draining());
+    JsonNum(&out, "predicted_service_ms",
+            admission->PredictedServiceSeconds() * 1e3);
+  }
+  out.push_back('}');
+
+  JsonKey(&out, "traces");
+  out.push_back('{');
+  if (TraceRetention* retention = traces_.get(); retention != nullptr) {
+    const TraceRetention::Stats stats = retention->GetStats();
+    JsonNum(&out, "offered", static_cast<double>(stats.offered));
+    JsonNum(&out, "sampled", static_cast<double>(stats.sampled));
+    JsonNum(&out, "retained", static_cast<double>(stats.retained));
+    JsonNum(&out, "sample_every_n",
+            static_cast<double>(retention->options().sample_every_n));
+  }
+  out.push_back('}');
+
+  if (sampler != nullptr) {
+    AppendWindowJson(&out, "window_1m", sampler->Window(60.0));
+    AppendWindowJson(&out, "window_5m", sampler->Window(300.0));
+    AppendWindowJson(&out, "window_15m", sampler->Window(900.0));
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string SchemrService::HealthzJson(int* http_status) const {
+  const char* state = "ok";
+  int status = 200;
+  BoundedExecutor* executor;
+  AdmissionController* admission;
+  bool down;
+  {
+    std::lock_guard<std::mutex> lock(serving_mutex_);
+    executor = executor_.get();
+    admission = admission_.get();
+    down = shut_down_;
+  }
+  std::string out = "{";
+  if (executor == nullptr) {
+    state = "not_serving";
+    status = 503;
+  } else if (executor->wedged() || down) {
+    state = "wedged";
+    status = 503;
+  } else if (admission->draining()) {
+    state = "draining";
+    status = 503;
+  }
+  JsonStr(&out, "status", state);
+  bool overloaded = false;
+  if (executor != nullptr) {
+    const size_t depth = executor->QueueDepth();
+    overloaded = depth >= executor->queue_capacity();
+    JsonNum(&out, "queue_depth", static_cast<double>(depth));
+    JsonNum(&out, "running", static_cast<double>(executor->NumRunning()));
+  }
+  JsonBool(&out, "overloaded", overloaded);
+  out += "}\n";
+  if (http_status != nullptr) *http_status = status;
+  return out;
+}
+
+std::string SchemrService::TracezJson() const {
+  TraceRetention* retention = traces_.get();
+  if (retention == nullptr) return "{}\n";
+  return retention->ToJson();
+}
+
+std::string SchemrService::SlowzJson() const {
+  std::shared_ptr<AuditLog> log = audit();
+  std::vector<AuditRecord> slow;
+  if (log != nullptr) slow = log->SlowQueries();
+  std::string out = "{";
+  JsonNum(&out, "count", static_cast<double>(slow.size()));
+  JsonKey(&out, "queries");
+  out.push_back('[');
+  bool first = true;
+  for (const AuditRecord& record : slow) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('{');
+    JsonNum(&out, "timestamp_micros",
+            static_cast<double>(record.timestamp_micros));
+    char fingerprint[32];
+    std::snprintf(fingerprint, sizeof(fingerprint), "%016llx",
+                  static_cast<unsigned long long>(record.fingerprint));
+    JsonStr(&out, "fingerprint", fingerprint);
+    JsonStr(&out, "outcome", AuditOutcomeName(record.outcome));
+    JsonNum(&out, "total_ms", static_cast<double>(record.total_micros) / 1e3);
+    JsonNum(&out, "result_count", static_cast<double>(record.result_count));
+    JsonBool(&out, "deadline_hit", record.deadline_hit);
+    JsonBool(&out, "cache_hit", record.cache_hit);
+    if (record.has_query_text) JsonStr(&out, "keywords", record.keywords);
+    out.push_back('}');
+  }
+  out += "]}\n";
+  return out;
 }
 
 Result<std::string> SchemrService::RenderHtmlReport(

@@ -19,7 +19,9 @@
 #include "core/search_engine.h"
 #include "core/serving_corpus.h"
 #include "obs/audit_log.h"
+#include "obs/telemetry.h"
 #include "service/admission.h"
+#include "service/http_introspection.h"
 #include "util/executor.h"
 #include "viz/graph_view.h"
 
@@ -75,6 +77,18 @@ struct ServingOptions {
   /// When > 0, StartServing installs a snapshot-keyed result cache of this
   /// many entries on the engine (see core/result_cache.h). 0 = no cache.
   size_t result_cache_capacity = 0;
+  /// When >= 0, StartServing brings up the HTTP introspection listener on
+  /// this loopback port (0 = kernel-assigned ephemeral; read the bound
+  /// port from introspection()->port()). Disabled (-1) by default: the
+  /// introspection plane is opt-in per process.
+  int introspection_port = -1;
+  /// Windowed-telemetry sampler configuration (the sampler itself always
+  /// runs while serving; it costs one registry Collect per interval).
+  TelemetryOptions telemetry;
+  /// Tail-sampled trace retention configuration. `sample_every_n = 0`
+  /// disables sampling but still retains interesting outcomes
+  /// metadata-only.
+  TraceRetentionOptions trace_retention;
 };
 
 /// A client visualization request ("drill-in").
@@ -195,11 +209,46 @@ class SchemrService {
 
   /// Scrape endpoint: the process-wide metrics registry in Prometheus
   /// text exposition format (all schemr_* series — pipeline, index,
-  /// store, and per-endpoint service metrics).
+  /// store, and per-endpoint service metrics). Refreshes the derived
+  /// result-cache gauges first.
   std::string MetricsText() const;
 
   /// The same registry as a JSON object (dashboards, the CLI).
   std::string MetricsJson() const;
+
+  // --- Introspection plane (DESIGN.md §12) -------------------------------
+
+  /// The /statusz body: one flat JSON object (objects, numbers, strings
+  /// and booleans only — no arrays — so obs/replay.h's ParseBenchJson and
+  /// `schemr top` can read it) covering uptime, corpus snapshot, result
+  /// cache, executor, admission, trace-retention stats, build info, and
+  /// 1m/5m/15m windowed qps / latency percentiles / error and shed rates.
+  std::string StatuszJson() const;
+
+  /// The /healthz body. `http_status` (may be null) receives 200 when the
+  /// process should stay in a load balancer's rotation, 503 when draining
+  /// or wedged (or never started serving).
+  std::string HealthzJson(int* http_status = nullptr) const;
+
+  /// The /tracez body: retained traces grouped by category (see
+  /// obs/telemetry.h TraceRetention). "{}" until StartServing.
+  std::string TracezJson() const;
+
+  /// The /slowz body: the audit log's in-memory slow-query ring, newest
+  /// last. Empty ring (or auditing off) yields {"count": 0}.
+  std::string SlowzJson() const;
+
+  /// The live introspection listener, or null when not enabled. Valid
+  /// between StartServing and destruction.
+  const IntrospectionServer* introspection() const {
+    return introspection_.get();
+  }
+
+  /// The windowed-telemetry sampler, or null before StartServing.
+  TelemetrySampler* telemetry() const { return telemetry_.get(); }
+
+  /// The trace-retention rings, or null before StartServing.
+  TraceRetention* trace_retention() const { return traces_.get(); }
 
   const SearchEngine& engine() const { return engine_; }
 
@@ -231,10 +280,15 @@ class SchemrService {
   /// checked before any repository access.
   Status ValidateRequest(const VisualizationRequest& request) const;
   /// SearchXml with an optional audit side-channel (null skips the
-  /// fingerprint/digest work entirely).
+  /// fingerprint/digest work entirely) and an optional caller-owned trace
+  /// for tail sampling. `sample_trace` is engine-internal: it is filled
+  /// like an explain trace but never serialized, so sampled responses
+  /// stay byte-identical to unsampled ones. Ignored when the request
+  /// itself asks for explain (the explain trace wins).
   Result<std::string> SearchXmlInternal(const SearchRequest& request,
                                         const SearchEngineOptions& options,
-                                        SearchAuditInfo* audit) const;
+                                        SearchAuditInfo* audit,
+                                        SearchTrace* sample_trace) const;
   /// Runs the search under `deadline_seconds` with the near-deadline
   /// degradation ladder applied and serializes the outcome (results or
   /// <error>) as XML. Records the request into the audit log when one is
@@ -262,6 +316,15 @@ class SchemrService {
 
   mutable std::mutex audit_mutex_;    ///< guards audit_ (set-once, read often)
   std::shared_ptr<AuditLog> audit_;
+
+  // Introspection plane (set under serving_mutex_ in StartServing, read
+  // unguarded afterwards like serving_options_; never reset while the
+  // service lives). introspection_ is declared last so its destructor —
+  // which joins handler threads that read every member above — runs
+  // first.
+  std::unique_ptr<TelemetrySampler> telemetry_;
+  std::unique_ptr<TraceRetention> traces_;
+  std::unique_ptr<IntrospectionServer> introspection_;
 };
 
 }  // namespace schemr

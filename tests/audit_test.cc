@@ -1,8 +1,9 @@
 // Audit-log coverage (DESIGN.md §10): record codec round-trips, segment
 // rotation and retention bounds, crash tolerance (torn tails, mid-file
 // byte flips, injected short writes), the slow-query ring, fingerprint
-// and digest stability, and the service integration that writes records
-// for served, shed, and failed requests.
+// and digest stability, the service integration that writes records for
+// served, shed, and failed requests, and the incremental cursor reads
+// behind `schemr audit tail --follow`.
 
 #include "obs/audit_log.h"
 
@@ -534,6 +535,138 @@ TEST(AuditOutcomeTest, NamesAreStable) {
   EXPECT_TRUE(IsShedOutcome(AuditOutcome::kShedQueueFull));
   EXPECT_TRUE(IsShedOutcome(AuditOutcome::kShedDeadline));
   EXPECT_TRUE(IsShedOutcome(AuditOutcome::kShedDrain));
+}
+
+// --- incremental reads (`schemr audit tail --follow`) -----------------------
+
+class AuditCursorTest : public AuditLogTest {};
+
+TEST_F(AuditCursorTest, SeesOnlyNewRecordsAcrossPolls) {
+  auto log = OpenLog();
+  for (uint64_t i = 0; i < 5; ++i) log->Record(SampleRecord(i));
+
+  AuditCursor cursor;
+  auto first = ReadAuditLogFrom(dir_.string(), &cursor);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(first->records.size(), 5u);
+
+  // Nothing new: the next poll is empty, not a whole-segment re-read.
+  auto idle = ReadAuditLogFrom(dir_.string(), &cursor);
+  ASSERT_TRUE(idle.ok());
+  EXPECT_TRUE(idle->records.empty());
+
+  for (uint64_t i = 5; i < 8; ++i) log->Record(SampleRecord(i));
+  auto next = ReadAuditLogFrom(dir_.string(), &cursor);
+  ASSERT_TRUE(next.ok());
+  ASSERT_EQ(next->records.size(), 3u);
+  EXPECT_EQ(next->records[0].fingerprint, SampleRecord(5).fingerprint);
+  EXPECT_EQ(next->records[2].fingerprint, SampleRecord(7).fingerprint);
+}
+
+TEST_F(AuditCursorTest, FollowsAcrossSegmentRotation) {
+  AuditLogOptions options;
+  options.max_segment_bytes = 256;
+  options.max_segments = 100;  // rotate but never delete
+  auto log = OpenLog(options);
+  log->Record(SampleRecord(0));
+
+  AuditCursor cursor;
+  ASSERT_TRUE(ReadAuditLogFrom(dir_.string(), &cursor).ok());
+
+  // Enough appends to rotate several times.
+  for (uint64_t i = 1; i <= 40; ++i) log->Record(SampleRecord(i));
+  ASSERT_GT(SegmentFiles().size(), 1u);
+  auto report = ReadAuditLogFrom(dir_.string(), &cursor);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->records.size(), 40u);
+  for (uint64_t i = 0; i < 40; ++i) {
+    EXPECT_EQ(report->records[i].fingerprint, SampleRecord(i + 1).fingerprint);
+  }
+  // And the cursor is parked at the live tail again.
+  auto idle = ReadAuditLogFrom(dir_.string(), &cursor);
+  ASSERT_TRUE(idle.ok());
+  EXPECT_TRUE(idle->records.empty());
+}
+
+TEST_F(AuditCursorTest, TornTailIsNotConsumedUntilHealed) {
+  {
+    auto log = OpenLog();
+    for (uint64_t i = 0; i < 3; ++i) log->Record(SampleRecord(i));
+  }
+  AuditCursor cursor;
+  ASSERT_TRUE(ReadAuditLogFrom(dir_.string(), &cursor).ok());
+
+  // A crash leaves a half-record at the tail.
+  std::vector<fs::path> files = SegmentFiles();
+  ASSERT_EQ(files.size(), 1u);
+  {
+    std::ofstream out(files[0], std::ios::binary | std::ios::app);
+    out << "\x12\x34\x56\x78\x0c\x00\x00\x00torn";
+  }
+  auto torn = ReadAuditLogFrom(dir_.string(), &cursor);
+  ASSERT_TRUE(torn.ok());
+  EXPECT_TRUE(torn->records.empty());
+  EXPECT_TRUE(torn->torn_tail);
+
+  // The writer reopens (truncating the tail) and appends; the parked
+  // cursor picks the new record up — the damage was never skipped past.
+  {
+    auto log = OpenLog();
+    log->Record(SampleRecord(3));
+  }
+  auto healed = ReadAuditLogFrom(dir_.string(), &cursor);
+  ASSERT_TRUE(healed.ok());
+  ASSERT_EQ(healed->records.size(), 1u);
+  EXPECT_EQ(healed->records[0].fingerprint, SampleRecord(3).fingerprint);
+  EXPECT_FALSE(healed->torn_tail);
+}
+
+TEST_F(AuditCursorTest, RetentionDeletedSegmentJumpsToOldestSurvivor) {
+  AuditLogOptions options;
+  options.max_segment_bytes = 256;
+  options.max_segments = 2;
+  auto log = OpenLog(options);
+  log->Record(SampleRecord(0));
+
+  AuditCursor cursor;
+  ASSERT_TRUE(ReadAuditLogFrom(dir_.string(), &cursor).ok());
+  const uint64_t parked_segment = cursor.segment_id;
+
+  // Rotate far enough that the parked segment is retention-deleted.
+  for (uint64_t i = 1; i <= 100; ++i) log->Record(SampleRecord(i));
+  auto report = ReadAuditLogFrom(dir_.string(), &cursor);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(cursor.segment_id, parked_segment);
+  // What it read is a contiguous run ending at the newest record.
+  ASSERT_GT(report->records.size(), 0u);
+  EXPECT_EQ(report->records.back().fingerprint, SampleRecord(100).fingerprint);
+  for (size_t i = 1; i < report->records.size(); ++i) {
+    EXPECT_EQ(report->records[i].fingerprint,
+              SampleRecord(100 - (report->records.size() - 1) + i)
+                  .fingerprint);
+  }
+}
+
+TEST_F(AuditCursorTest, SegmentReaderReportsNextOffset) {
+  {
+    auto log = OpenLog();
+    for (uint64_t i = 0; i < 4; ++i) log->Record(SampleRecord(i));
+  }
+  std::vector<fs::path> files = SegmentFiles();
+  ASSERT_EQ(files.size(), 1u);
+
+  uint64_t offset = 0;
+  auto all = ReadAuditSegmentFrom(files[0].string(), 0, &offset);
+  ASSERT_TRUE(all.ok()) << all.status();
+  EXPECT_EQ(all->records.size(), 4u);
+  EXPECT_EQ(offset, fs::file_size(files[0]));
+
+  // Resuming from the reported offset reads nothing and stays parked.
+  uint64_t again = 0;
+  auto rest = ReadAuditSegmentFrom(files[0].string(), offset, &again);
+  ASSERT_TRUE(rest.ok());
+  EXPECT_TRUE(rest->records.empty());
+  EXPECT_EQ(again, offset);
 }
 
 }  // namespace

@@ -29,6 +29,7 @@
 #include "repo/schema_repository.h"
 #include "schema/schema_builder.h"
 #include "service/admission.h"
+#include "service/http_introspection.h"
 #include "service/schemr_service.h"
 #include "util/executor.h"
 #include "util/fault_injection.h"
@@ -875,6 +876,77 @@ TEST_F(ConcurrencyTest, VisualizationRequestsAreValidated) {
   good.max_depth = 64;
   good.layout = "radial";
   EXPECT_TRUE(service.GetSchemaGraphMl(good).ok());
+}
+
+// --- introspection plane under churn (DESIGN.md §12) -------------------------
+
+// The listener's handlers read every serving-plane structure (registry,
+// telemetry ring, trace rings, slow-query ring, executor/admission
+// gauges) while searches, ingests, and the sampler thread mutate them.
+// The TSan CI job runs this at raised cycles: the endpoints must be
+// data-race-free against live traffic, and every scrape must parse.
+TEST_F(ConcurrencyTest, IntrospectionEndpointsUnderServingTorture) {
+  FaultInjector::Global().EnablePerturbation(true);
+  const size_t cycles = CyclesOrDefault(20);
+
+  auto corpus_or = MakeCorpus(3);
+  ASSERT_TRUE(corpus_or.ok()) << corpus_or.status();
+  ServingCorpus* corpus = corpus_or->get();
+  SchemrService service(corpus);
+  ServingOptions serving;
+  serving.executor.num_workers = 2;
+  serving.executor.queue_capacity = 16;
+  serving.admission.max_queue_depth = 16;
+  serving.result_cache_capacity = 32;
+  serving.introspection_port = 0;
+  serving.telemetry.sample_interval_seconds = 0.01;  // sampler churns too
+  serving.trace_retention.sample_every_n = 2;
+  ASSERT_TRUE(service.StartServing(serving).ok());
+  const int port = service.introspection()->port();
+  ASSERT_GT(port, 0);
+
+  std::atomic<bool> writer_done{false};
+  std::atomic<size_t> malformed{0};
+  std::atomic<size_t> bad_scrapes{0};
+  std::thread writer([corpus, cycles, &writer_done] {
+    for (size_t i = 0; i < cycles; ++i) {
+      auto id = corpus->Ingest(ClinicSchema("intro_" + std::to_string(i)));
+      ASSERT_TRUE(id.ok()) << id.status();
+    }
+    writer_done.store(true, std::memory_order_release);
+  });
+  std::thread client([&service, &writer_done, &malformed] {
+    do {
+      SearchRequest request;
+      request.keywords = "patient height";
+      std::string xml = service.HandleSearchXml(request, 5.0);
+      if (xml.find("<results") == std::string::npos &&
+          xml.find("<error") == std::string::npos) {
+        malformed.fetch_add(1);
+      }
+    } while (!writer_done.load(std::memory_order_acquire));
+  });
+  std::thread scraper([port, &writer_done, &bad_scrapes] {
+    const char* endpoints[] = {"/metrics", "/healthz", "/statusz", "/tracez",
+                               "/slowz"};
+    size_t i = 0;
+    do {
+      auto body = HttpGet("127.0.0.1", port, endpoints[i++ % 5]);
+      // A saturated handler pool answering 503 is load shedding, not a
+      // bug; an empty 200 body would be.
+      if (body.ok() && body->empty()) bad_scrapes.fetch_add(1);
+    } while (!writer_done.load(std::memory_order_acquire));
+  });
+  writer.join();
+  client.join();
+  scraper.join();
+
+  EXPECT_EQ(malformed.load(), 0u);
+  EXPECT_EQ(bad_scrapes.load(), 0u);
+  // Shutdown stops the listener; the port stops answering.
+  EXPECT_TRUE(service.Shutdown(30.0).ok());
+  EXPECT_FALSE(HttpGet("127.0.0.1", port, "/healthz", 1.0).ok());
+  FaultInjector::Global().EnablePerturbation(false);
 }
 
 }  // namespace

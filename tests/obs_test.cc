@@ -1,15 +1,21 @@
 // Tests for the observability subsystem: registry semantics, percentile
-// math, exposition golden strings, span nesting, the log-sink bridge, and
-// the lock-free increment path under threads.
+// math, exposition golden strings and Prometheus conformance checking,
+// span nesting, the log-sink bridge, the lock-free increment path under
+// threads, windowed telemetry (snapshot ring + window math), and
+// tail-based trace retention.
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "obs/exposition.h"
 #include "obs/log_bridge.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/timer.h"
@@ -229,6 +235,430 @@ TEST(LogBridgeTest, CountsWarningsIntoGlobalRegistry) {
   SCHEMR_LOG(kWarning) << "bridge test warning";
   EXPECT_EQ(warnings->Value(), before + 1);
   SetLogSink(nullptr);  // restore stderr default for other tests
+}
+
+// --- Prometheus exposition conformance (DESIGN.md §12) ----------------------
+
+TEST(ConformanceTest, RealExpositionOutputPasses) {
+  MetricsRegistry registry;
+  registry.GetCounter("requests_total", "Total requests.")->Increment(3);
+  registry.GetGauge("pool_size")->Set(12);
+  Histogram* h = registry.GetHistogram("latency_seconds", "Latency.",
+                                       std::vector<double>{0.1, 1.0});
+  h->Observe(0.05);
+  h->Observe(0.5);
+  h->Observe(5.0);
+  Status status = CheckPrometheusText(ToPrometheusText(registry));
+  EXPECT_TRUE(status.ok()) << status;
+}
+
+TEST(ConformanceTest, GlobalRegistryExpositionPasses) {
+  // The registry every subsystem reports into must always render a body a
+  // scraper accepts, whatever metrics happen to be registered by the time
+  // this test runs.
+  Status status =
+      CheckPrometheusText(ToPrometheusText(MetricsRegistry::Global()));
+  EXPECT_TRUE(status.ok()) << status;
+}
+
+TEST(ConformanceTest, EmptyBodyPasses) {
+  EXPECT_TRUE(CheckPrometheusText("").ok());
+  EXPECT_TRUE(CheckPrometheusText("\n\n").ok());
+}
+
+TEST(ConformanceTest, SampleWithoutTypeFails) {
+  Status status = CheckPrometheusText("orphan_total 3\n");
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("TYPE"), std::string::npos) << status;
+}
+
+TEST(ConformanceTest, DuplicateTypeFails) {
+  EXPECT_FALSE(CheckPrometheusText("# TYPE a counter\n"
+                                   "a 1\n"
+                                   "# TYPE a counter\n"
+                                   "a 2\n")
+                   .ok());
+}
+
+TEST(ConformanceTest, BadMetricNameFails) {
+  EXPECT_FALSE(CheckPrometheusText("# TYPE 9lives counter\n"
+                                   "9lives 1\n")
+                   .ok());
+}
+
+TEST(ConformanceTest, UnknownTypeKeywordFails) {
+  EXPECT_FALSE(CheckPrometheusText("# TYPE a thingy\na 1\n").ok());
+}
+
+TEST(ConformanceTest, CounterMustBeFiniteNonNegativeInteger) {
+  EXPECT_FALSE(CheckPrometheusText("# TYPE a counter\na -1\n").ok());
+  EXPECT_FALSE(CheckPrometheusText("# TYPE a counter\na 1.5\n").ok());
+  EXPECT_FALSE(CheckPrometheusText("# TYPE a counter\na +Inf\n").ok());
+  EXPECT_FALSE(CheckPrometheusText("# TYPE a counter\na NaN\n").ok());
+  EXPECT_TRUE(CheckPrometheusText("# TYPE a counter\na 7\n").ok());
+}
+
+TEST(ConformanceTest, GaugeMayBeNegativeOrSpecial) {
+  EXPECT_TRUE(CheckPrometheusText("# TYPE g gauge\ng -1.5\n").ok());
+  EXPECT_TRUE(CheckPrometheusText("# TYPE g gauge\ng +Inf\n").ok());
+  EXPECT_TRUE(CheckPrometheusText("# TYPE g gauge\ng NaN\n").ok());
+}
+
+TEST(ConformanceTest, UnparsableValueFails) {
+  EXPECT_FALSE(CheckPrometheusText("# TYPE g gauge\ng twelve\n").ok());
+}
+
+TEST(ConformanceTest, LabelRules) {
+  // Well-formed labels, escapes, and a trailing comma are all legal.
+  EXPECT_TRUE(CheckPrometheusText("# TYPE a counter\n"
+                                  "a{x=\"y\",z=\"a\\\\b\\\"c\\nd\",} 1\n")
+                  .ok());
+  // Unquoted label value.
+  EXPECT_FALSE(CheckPrometheusText("# TYPE a counter\na{x=y} 1\n").ok());
+  // Unsupported escape sequence.
+  EXPECT_FALSE(
+      CheckPrometheusText("# TYPE a counter\na{x=\"\\t\"} 1\n").ok());
+  // Label name may not contain a colon (metric names may).
+  EXPECT_FALSE(
+      CheckPrometheusText("# TYPE a counter\na{x:y=\"v\"} 1\n").ok());
+}
+
+TEST(ConformanceTest, HelpEscapeRules) {
+  EXPECT_TRUE(CheckPrometheusText("# HELP a back\\\\slash and \\n line\n"
+                                  "# TYPE a counter\n"
+                                  "a 1\n")
+                  .ok());
+  EXPECT_FALSE(CheckPrometheusText("# HELP a bad \\t escape\n"
+                                   "# TYPE a counter\n"
+                                   "a 1\n")
+                   .ok());
+}
+
+TEST(ConformanceTest, HistogramBucketsMustBeCumulative) {
+  EXPECT_FALSE(CheckPrometheusText("# TYPE h histogram\n"
+                                   "h_bucket{le=\"0.1\"} 5\n"
+                                   "h_bucket{le=\"1\"} 3\n"
+                                   "h_bucket{le=\"+Inf\"} 5\n"
+                                   "h_sum 1\n"
+                                   "h_count 5\n")
+                   .ok());
+}
+
+TEST(ConformanceTest, HistogramMustEndInInfBucket) {
+  EXPECT_FALSE(CheckPrometheusText("# TYPE h histogram\n"
+                                   "h_bucket{le=\"0.1\"} 1\n"
+                                   "h_bucket{le=\"1\"} 2\n"
+                                   "h_sum 1\n"
+                                   "h_count 2\n")
+                   .ok());
+}
+
+TEST(ConformanceTest, HistogramCountMustMatchInfBucket) {
+  EXPECT_FALSE(CheckPrometheusText("# TYPE h histogram\n"
+                                   "h_bucket{le=\"+Inf\"} 3\n"
+                                   "h_sum 1\n"
+                                   "h_count 4\n")
+                   .ok());
+}
+
+TEST(ConformanceTest, HistogramMustCarrySum) {
+  EXPECT_FALSE(CheckPrometheusText("# TYPE h histogram\n"
+                                   "h_bucket{le=\"+Inf\"} 1\n"
+                                   "h_count 1\n")
+                   .ok());
+}
+
+TEST(ConformanceTest, HistogramBucketRequiresLeLabel) {
+  EXPECT_FALSE(CheckPrometheusText("# TYPE h histogram\n"
+                                   "h_bucket 1\n"
+                                   "h_sum 1\n"
+                                   "h_count 1\n")
+                   .ok());
+}
+
+TEST(ConformanceTest, TypeAfterSamplesFails) {
+  EXPECT_FALSE(CheckPrometheusText("# TYPE a counter\n"
+                                   "a 1\n"
+                                   "# TYPE b counter\n"
+                                   "a 2\n"
+                                   "# TYPE a gauge\n")
+                   .ok());
+}
+
+TEST(ConformanceTest, ErrorNamesOffendingLine) {
+  Status status = CheckPrometheusText("# TYPE good counter\n"
+                                      "good 1\n"
+                                      "orphan 2\n");
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("line 3"), std::string::npos) << status;
+}
+
+// --- windowed telemetry (obs/telemetry.h) -----------------------------------
+
+std::shared_ptr<const MetricsSample> MakeSample(const MetricsRegistry& registry,
+                                                double when) {
+  auto sample = std::make_shared<MetricsSample>();
+  sample->monotonic_seconds = when;
+  sample->metrics = registry.Collect();
+  return sample;
+}
+
+TEST(TelemetryRingTest, NewestAndSizeTrackPushes) {
+  MetricsSnapshotRing ring(4);
+  EXPECT_EQ(ring.Newest(), nullptr);
+  EXPECT_EQ(ring.size(), 0u);
+
+  MetricsRegistry registry;
+  for (int i = 1; i <= 6; ++i) {
+    ring.Push(MakeSample(registry, i));
+    EXPECT_EQ(ring.Newest()->monotonic_seconds, i);
+  }
+  // Capacity 4: pushes 5 and 6 evicted 1 and 2.
+  EXPECT_EQ(ring.size(), 4u);
+}
+
+TEST(TelemetryRingTest, WindowAnchorPicksNewestOldEnoughSample) {
+  MetricsSnapshotRing ring(16);
+  MetricsRegistry registry;
+  EXPECT_EQ(ring.WindowAnchor(1.0), nullptr);  // empty
+  ring.Push(MakeSample(registry, 10.0));
+  EXPECT_EQ(ring.WindowAnchor(1.0), nullptr);  // one sample: no window yet
+  for (double t : {11.0, 12.0, 13.0, 14.0}) {
+    ring.Push(MakeSample(registry, t));
+  }
+  // Newest is t=14; a 2s window wants the newest sample at age >= 2.
+  auto anchor = ring.WindowAnchor(2.0);
+  ASSERT_NE(anchor, nullptr);
+  EXPECT_EQ(anchor->monotonic_seconds, 12.0);
+  // Asking for more history than retained falls back to the oldest.
+  EXPECT_EQ(ring.WindowAnchor(100.0)->monotonic_seconds, 10.0);
+}
+
+TEST(TelemetryWindowTest, CounterDeltasBecomeRates) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("reqs_total");
+  c->Increment(10);
+  auto older = MakeSample(registry, 100.0);
+  c->Increment(30);
+  auto newer = MakeSample(registry, 110.0);
+
+  WindowedView view = ComputeWindow(*older, *newer);
+  EXPECT_DOUBLE_EQ(view.window_seconds, 10.0);
+  const WindowedMetric* m = view.Find("reqs_total");
+  ASSERT_NE(m, nullptr);
+  EXPECT_DOUBLE_EQ(m->rate_per_second, 3.0);  // 30 events / 10 s
+}
+
+TEST(TelemetryWindowTest, GaugeReportsNewestValue) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("depth");
+  g->Set(5);
+  auto older = MakeSample(registry, 0.0);
+  g->Set(2);
+  auto newer = MakeSample(registry, 1.0);
+  const WindowedMetric* m = ComputeWindow(*older, *newer).Find("depth");
+  ASSERT_NE(m, nullptr);
+  EXPECT_DOUBLE_EQ(m->gauge_value, 2.0);
+}
+
+TEST(TelemetryWindowTest, HistogramDeltaPercentilesIgnoreOldObservations) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("lat_seconds", "",
+                                       std::vector<double>{0.01, 0.1, 1.0});
+  // Old, slow traffic before the window.
+  for (int i = 0; i < 100; ++i) h->Observe(0.5);
+  auto older = MakeSample(registry, 0.0);
+  // Fast traffic inside the window: lifetime percentiles would still be
+  // dominated by the 0.5s observations; the window must not be.
+  for (int i = 0; i < 100; ++i) h->Observe(0.005);
+  auto newer = MakeSample(registry, 60.0);
+
+  const WindowedMetric* m = ComputeWindow(*older, *newer).Find("lat_seconds");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->delta_count, 100u);
+  EXPECT_LE(m->p99, 0.01);  // every windowed observation is in bucket one
+}
+
+TEST(TelemetryWindowTest, ResetBetweenSamplesClampsToZero) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("reqs_total");
+  c->Increment(50);
+  auto older = MakeSample(registry, 0.0);
+  registry.Reset();
+  c->Increment(2);
+  auto newer = MakeSample(registry, 10.0);
+  const WindowedMetric* m = ComputeWindow(*older, *newer).Find("reqs_total");
+  ASSERT_NE(m, nullptr);
+  // Delta is 2 - 50 < 0: clamp, don't report a negative rate.
+  EXPECT_DOUBLE_EQ(m->rate_per_second, 0.0);
+}
+
+TEST(TelemetryWindowTest, MetricRegisteredMidWindowIsRatedOverFullWindow) {
+  MetricsRegistry registry;
+  auto older = MakeSample(registry, 0.0);
+  registry.GetCounter("late_total")->Increment(20);
+  auto newer = MakeSample(registry, 10.0);
+  const WindowedMetric* m = ComputeWindow(*older, *newer).Find("late_total");
+  ASSERT_NE(m, nullptr);
+  EXPECT_DOUBLE_EQ(m->rate_per_second, 2.0);
+}
+
+TEST(TelemetrySamplerTest, SampleNowFeedsWindow) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("reqs_total");
+  TelemetryOptions options;
+  options.sample_interval_seconds = 3600;  // never fires on its own
+  TelemetrySampler sampler(options, &registry);
+
+  EXPECT_EQ(sampler.Window(60).window_seconds, 0.0);  // no samples yet
+  c->Increment(5);
+  sampler.SampleNow();
+  EXPECT_EQ(sampler.Window(60).window_seconds, 0.0);  // one sample: no window
+  c->Increment(5);
+  auto newest = sampler.SampleNow();
+  ASSERT_NE(newest, nullptr);
+  EXPECT_EQ(newest->Find("reqs_total")->counter_value, 10u);
+
+  WindowedView view = sampler.Window(60);
+  const WindowedMetric* m = view.Find("reqs_total");
+  ASSERT_NE(m, nullptr);
+  // The two samples are microseconds apart; just check the delta landed.
+  EXPECT_GT(m->rate_per_second, 0.0);
+  EXPECT_GE(sampler.UptimeSeconds(), 0.0);
+}
+
+TEST(TelemetrySamplerTest, StartStopIdempotent) {
+  MetricsRegistry registry;
+  TelemetryOptions options;
+  options.sample_interval_seconds = 0.001;
+  TelemetrySampler sampler(options, &registry);
+  sampler.Start();
+  sampler.Start();  // no-op
+  // The background thread publishes a sample almost immediately.
+  for (int i = 0; i < 1000 && sampler.Newest() == nullptr; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_NE(sampler.Newest(), nullptr);
+  sampler.Stop();
+  sampler.Stop();  // no-op
+}
+
+// --- tail-based trace retention ---------------------------------------------
+
+RetainedTrace MakeTrace(const std::string& outcome, double seconds,
+                        bool sampled = false) {
+  RetainedTrace trace;
+  trace.timestamp_micros = 1700000000000000ull;
+  trace.fingerprint = 0x1234;
+  trace.outcome = outcome;
+  trace.total_seconds = seconds;
+  trace.sampled = sampled;
+  if (sampled) trace.spans = "search total=1ms\n";
+  return trace;
+}
+
+TEST(TraceRetentionTest, ShouldSampleIsDeterministicOneInN) {
+  TraceRetentionOptions options;
+  options.sample_every_n = 4;
+  TraceRetention retention(options);
+  int sampled = 0;
+  for (int i = 0; i < 40; ++i) {
+    if (retention.ShouldSample()) ++sampled;
+  }
+  EXPECT_EQ(sampled, 10);
+
+  options.sample_every_n = 0;  // disabled
+  TraceRetention off(options);
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(off.ShouldSample());
+}
+
+TEST(TraceRetentionTest, ClassifiesByOutcomeAndLatency) {
+  TraceRetentionOptions options;
+  options.slow_threshold_seconds = 0.25;
+  TraceRetention retention(options);
+  retention.Retain(MakeTrace("ok", 0.001, /*sampled=*/true));
+  retention.Retain(MakeTrace("ok", 0.5));             // slow
+  retention.Retain(MakeTrace("degraded", 0.01));
+  retention.Retain(MakeTrace("error", 0.01));
+  retention.Retain(MakeTrace("shed_queue_full", 0.0));
+  retention.Retain(MakeTrace("shed_deadline", 0.0));
+  retention.Retain(MakeTrace("cancelled", 0.0));
+
+  std::vector<RetainedTrace> all = retention.Snapshot();
+  int counts[5] = {0, 0, 0, 0, 0};
+  for (const auto& t : all) counts[static_cast<int>(t.category)]++;
+  EXPECT_EQ(counts[static_cast<int>(TraceCategory::kRecent)], 1);
+  EXPECT_EQ(counts[static_cast<int>(TraceCategory::kSlow)], 1);
+  EXPECT_EQ(counts[static_cast<int>(TraceCategory::kDegraded)], 1);
+  EXPECT_EQ(counts[static_cast<int>(TraceCategory::kError)], 1);
+  EXPECT_EQ(counts[static_cast<int>(TraceCategory::kShed)], 3);
+}
+
+TEST(TraceRetentionTest, HealthyFastUntracedRequestsAreNotRetained) {
+  TraceRetention retention;
+  retention.Retain(MakeTrace("ok", 0.001, /*sampled=*/false));
+  EXPECT_TRUE(retention.Snapshot().empty());
+  TraceRetention::Stats stats = retention.GetStats();
+  EXPECT_EQ(stats.offered, 1u);
+  EXPECT_EQ(stats.retained, 0u);
+}
+
+TEST(TraceRetentionTest, SlowRingKeepsSlowestNotNewest) {
+  TraceRetentionOptions options;
+  options.ring_capacity = 3;
+  options.slow_threshold_seconds = 0.1;
+  TraceRetention retention(options);
+  // Offer slow requests in an order where the newest are the fastest.
+  for (double s : {0.9, 0.3, 0.5, 0.2, 0.15, 0.11}) {
+    retention.Retain(MakeTrace("ok", s));
+  }
+  std::vector<RetainedTrace> all = retention.Snapshot();
+  ASSERT_EQ(all.size(), 3u);
+  // Slowest-first, and the three slowest ever offered survive.
+  EXPECT_DOUBLE_EQ(all[0].total_seconds, 0.9);
+  EXPECT_DOUBLE_EQ(all[1].total_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(all[2].total_seconds, 0.3);
+}
+
+TEST(TraceRetentionTest, RingsAreBounded) {
+  TraceRetentionOptions options;
+  options.ring_capacity = 2;
+  TraceRetention retention(options);
+  for (int i = 0; i < 10; ++i) {
+    retention.Retain(MakeTrace("error", 0.01));
+  }
+  EXPECT_EQ(retention.Snapshot().size(), 2u);
+  TraceRetention::Stats stats = retention.GetStats();
+  EXPECT_EQ(stats.offered, 10u);
+  EXPECT_EQ(stats.retained, 10u);  // all entered; older ones were evicted
+}
+
+TEST(TraceRetentionTest, StatsCountSampled) {
+  TraceRetention retention;
+  retention.Retain(MakeTrace("ok", 0.001, /*sampled=*/true));
+  retention.Retain(MakeTrace("error", 0.001, /*sampled=*/false));
+  TraceRetention::Stats stats = retention.GetStats();
+  EXPECT_EQ(stats.offered, 2u);
+  EXPECT_EQ(stats.sampled, 1u);
+  EXPECT_EQ(stats.retained, 2u);
+}
+
+TEST(TraceRetentionTest, ToJsonCarriesStatsAndTraces) {
+  TraceRetention retention;
+  RetainedTrace trace = MakeTrace("error", 0.02, /*sampled=*/true);
+  trace.spans = "span \"with quotes\"\n";
+  retention.Retain(std::move(trace));
+  std::string json = retention.ToJson();
+  EXPECT_NE(json.find("\"stats\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"traces\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"error\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\\\"with quotes\\\""), std::string::npos) << json;
+}
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
+  std::string out;
+  AppendJsonEscaped(&out, "a\"b\\c\nd\te\x01" "f");
+  EXPECT_EQ(out, "a\\\"b\\\\c\\nd\\te\\u0001f");
 }
 
 }  // namespace

@@ -23,24 +23,34 @@
 // `stats` runs a sample search workload and dumps the metrics registry
 // (Prometheus text format, or JSON with --json).
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <ctime>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/query_parser.h"
+#include "core/result_cache.h"
+#include "core/serving_corpus.h"
 #include "corpus/query_workload.h"
 #include "corpus/schema_generator.h"
 #include "index/indexer.h"
 #include "obs/audit_log.h"
+#include "obs/exposition.h"
 #include "obs/log_bridge.h"
 #include "obs/metrics.h"
 #include "obs/replay.h"
+#include "service/http_introspection.h"
 #include "parse/ddl_parser.h"
 #include "parse/ddl_writer.h"
 #include "parse/xsd_importer.h"
@@ -75,8 +85,18 @@ int Usage() {
       "  comment <repo> <id> <author> <text...>     leave a comment\n"
       "  rate <repo> <id> <author> <stars>          rate 1..5\n"
       "  comments <repo> <id>                       show comments/ratings\n"
-      "  audit <repo> tail|top|slow [--limit N]     inspect the query"
-      " audit log\n"
+      "  audit <repo> tail|top|slow [--limit N] [--follow] [--poll-ms N]"
+      " [--max-polls N]\n"
+      "         inspect the query audit log (--follow tails incrementally)\n"
+      "  serve <repo> [--port N] [--workers N] [--cache N] [--duration S]"
+      " [--warmup N]\n"
+      "         serve with the HTTP introspection plane enabled\n"
+      "  top <host:port> [--interval S] [--iterations N]   live /statusz"
+      " dashboard\n"
+      "  checkmetrics <file|->                      validate Prometheus"
+      " exposition text\n"
+      "  checkjson <file|-> [--require key]...      validate flat JSON"
+      " (e.g. /statusz)\n"
       "  replay <workload> --repo <dir> [--threads N] [--repeat N]"
       " [--engine-threads N]\n"
       "         [--out f.json] [--baseline f.json] [--tolerance X]"
@@ -294,6 +314,12 @@ int CmdStats(SchemaRepository* repo, const std::string& repo_dir, int argc,
   }
   SchemrService service(repo, &indexer->index());
   (void)service.EnableAudit(AuditDir(repo_dir));
+  // A small result cache so the derived cache gauges (hit ratio,
+  // entries, capacity) appear in the dump. Static mode has no corpus
+  // snapshot, so lookups stay zero here — the gauges go live under
+  // `schemr serve` / StartServing, which is where the cache actually
+  // runs.
+  service.EnableResultCache(64);
 
   if (keywords.empty()) {
     auto summaries = repo->ListAll();
@@ -314,6 +340,20 @@ int CmdStats(SchemaRepository* repo, const std::string& repo_dir, int argc,
                  keywords.c_str(), results->size());
   }
   (void)repo->GetStoreStats();  // refresh schemr_store_* gauges
+  if (std::shared_ptr<ResultCache> cache = service.engine().result_cache();
+      cache != nullptr) {
+    const ResultCacheStats cache_stats = cache->Stats();
+    const uint64_t lookups = cache_stats.hits + cache_stats.misses;
+    std::fprintf(stderr,
+                 "# result cache: %zu/%zu entries, %llu hits / %llu lookups"
+                 " (ratio %.2f)\n",
+                 cache_stats.entries, cache->capacity(),
+                 static_cast<unsigned long long>(cache_stats.hits),
+                 static_cast<unsigned long long>(lookups),
+                 lookups == 0 ? 0.0
+                              : static_cast<double>(cache_stats.hits) /
+                                    static_cast<double>(lookups));
+  }
 
   std::fputs(json ? service.MetricsJson().c_str()
                   : service.MetricsText().c_str(),
@@ -441,14 +481,61 @@ void PrintAuditRecord(const AuditRecord& r) {
   std::printf("\n");
 }
 
+volatile std::sig_atomic_t g_interrupted = 0;
+void OnInterrupt(int) { g_interrupted = 1; }
+
+/// `audit tail --follow`: prints the last `limit` records, then polls the
+/// log with an offset cursor — each poll reads only the bytes appended
+/// since the previous one, instead of re-reading whole segments.
+int FollowAuditLog(const std::string& dir, size_t limit, int poll_ms,
+                   size_t max_polls) {
+  std::signal(SIGINT, OnInterrupt);
+  AuditCursor cursor;
+  auto initial = ReadAuditLogFrom(dir, &cursor);
+  if (!initial.ok()) return Fail(initial.status(), "reading audit log");
+  const std::vector<AuditRecord>& records = initial->records;
+  const size_t start = records.size() > limit ? records.size() - limit : 0;
+  for (size_t i = start; i < records.size(); ++i) {
+    PrintAuditRecord(records[i]);
+  }
+  std::fflush(stdout);
+  for (size_t polls = 0; max_polls == 0 || polls < max_polls; ++polls) {
+    if (g_interrupted) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+    auto more = ReadAuditLogFrom(dir, &cursor);
+    if (!more.ok()) continue;  // log may rotate/vanish between polls
+    for (const AuditRecord& r : more->records) PrintAuditRecord(r);
+    if (!more->records.empty()) std::fflush(stdout);
+  }
+  return 0;
+}
+
 int CmdAudit(const std::string& repo_dir, int argc, char** argv) {
   if (argc < 1) return Usage();
   const std::string mode = argv[0];
   size_t limit = 20;
+  bool follow = false;
+  int poll_ms = 500;
+  size_t max_polls = 0;
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--limit" && i + 1 < argc) {
+    const std::string arg = argv[i];
+    if (arg == "--limit" && i + 1 < argc) {
       limit = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--follow") {
+      follow = true;
+    } else if (arg == "--poll-ms" && i + 1 < argc) {
+      poll_ms = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+      if (poll_ms < 1) poll_ms = 1;
+    } else if (arg == "--max-polls" && i + 1 < argc) {
+      max_polls = std::strtoull(argv[++i], nullptr, 10);
     }
+  }
+  if (follow) {
+    if (mode != "tail") {
+      std::fprintf(stderr, "schemr audit: --follow only applies to tail\n");
+      return 2;
+    }
+    return FollowAuditLog(AuditDir(repo_dir), limit, poll_ms, max_polls);
   }
   auto report = ReadAuditLog(AuditDir(repo_dir));
   if (!report.ok()) return Fail(report.status(), "reading audit log");
@@ -693,6 +780,215 @@ int CmdReplay(int argc, char** argv) {
   return rc;
 }
 
+/// `schemr serve <repo>`: brings up the full serving stack — serving
+/// corpus, worker pool, admission control, result cache, and the HTTP
+/// introspection plane — then idles until SIGINT/SIGTERM or --duration.
+/// The CI smoke job drives this; operators get the same entry point.
+int CmdServe(const std::string& repo_dir, int argc, char** argv) {
+  ServingOptions serving;
+  serving.introspection_port = 0;  // ephemeral unless --port pins one
+  serving.result_cache_capacity = 256;
+  double duration = 0.0;  // 0 = until interrupted
+  size_t warmup = 0;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--port" && i + 1 < argc) {
+      serving.introspection_port =
+          static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (arg == "--workers" && i + 1 < argc) {
+      serving.executor.num_workers = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--cache" && i + 1 < argc) {
+      serving.result_cache_capacity = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--duration" && i + 1 < argc) {
+      duration = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--warmup" && i + 1 < argc) {
+      warmup = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--sample-every" && i + 1 < argc) {
+      serving.trace_retention.sample_every_n =
+          static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else {
+      return Usage();
+    }
+  }
+  auto repo = SchemaRepository::Open(repo_dir);
+  if (!repo.ok()) return Fail(repo.status(), "opening repository");
+  std::vector<std::string> warmup_names;
+  if (warmup > 0) {
+    if (auto summaries = (*repo)->ListAll(); summaries.ok()) {
+      for (const SchemaSummary& s : *summaries) {
+        warmup_names.push_back(s.name);
+        if (warmup_names.size() == 8) break;
+      }
+    }
+  }
+  auto corpus = ServingCorpus::Create(std::move(*repo));
+  if (!corpus.ok()) return Fail(corpus.status(), "building serving corpus");
+  SchemrService service(corpus->get());
+  (void)service.EnableAudit(AuditDir(repo_dir));
+  Status started = service.StartServing(serving);
+  if (!started.ok()) return Fail(started, "starting service");
+  std::printf("introspection: http://127.0.0.1:%d (corpus v%llu, %zu docs)\n",
+              service.introspection()->port(),
+              static_cast<unsigned long long>((*corpus)->version()),
+              (*corpus)->Snapshot()->index->NumDocs());
+  std::fflush(stdout);
+  // Warm-up traffic so the windows, traces, and cache counters are live
+  // for whoever scrapes us. Each query runs twice: miss, then cache hit.
+  for (size_t i = 0; i < warmup && !warmup_names.empty(); ++i) {
+    SearchRequest request;
+    request.keywords = warmup_names[i % warmup_names.size()];
+    (void)service.HandleSearchXml(request);
+    (void)service.HandleSearchXml(request);
+  }
+  std::signal(SIGINT, OnInterrupt);
+  std::signal(SIGTERM, OnInterrupt);
+  Timer timer;
+  while (!g_interrupted &&
+         (duration <= 0.0 || timer.ElapsedSeconds() < duration)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  Status drained = service.Shutdown(5.0);
+  std::fprintf(stderr, "# serve: drain %s\n", drained.ToString().c_str());
+  return drained.ok() ? 0 : 1;
+}
+
+/// `schemr top <host:port>`: polls /statusz and renders a one-screen
+/// dashboard (a terminal `top` for a serving schemr process).
+int CmdTop(const std::string& target, int argc, char** argv) {
+  double interval = 2.0;
+  size_t iterations = 0;  // 0 = until interrupted
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--interval" && i + 1 < argc) {
+      interval = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--iterations" && i + 1 < argc) {
+      iterations = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      return Usage();
+    }
+  }
+  const size_t colon = target.rfind(':');
+  const std::string host =
+      colon == std::string::npos || colon == 0 ? std::string("127.0.0.1")
+                                               : target.substr(0, colon);
+  const int port = static_cast<int>(std::strtol(
+      colon == std::string::npos ? target.c_str()
+                                 : target.c_str() + colon + 1,
+      nullptr, 10));
+  if (port <= 0) {
+    std::fprintf(stderr, "schemr top: expected <host:port>, got '%s'\n",
+                 target.c_str());
+    return 2;
+  }
+  std::signal(SIGINT, OnInterrupt);
+  const bool tty = ::isatty(STDOUT_FILENO) != 0;
+  for (size_t i = 0; iterations == 0 || i < iterations; ++i) {
+    if (g_interrupted) break;
+    auto body = HttpGet(host, port, "/statusz");
+    if (!body.ok()) return Fail(body.status(), "fetching /statusz");
+    auto parsed = ParseBenchJson(*body);
+    if (!parsed.ok()) return Fail(parsed.status(), "parsing /statusz");
+    auto get = [&parsed](const char* key) {
+      auto it = parsed->find(key);
+      return it == parsed->end() ? 0.0 : it->second;
+    };
+    if (tty) std::fputs("\x1b[2J\x1b[H", stdout);  // clear + home
+    std::printf("schemr @ %s:%d  up %.0fs  %s%s\n", host.c_str(), port,
+                get("uptime_seconds"),
+                get("serving") != 0.0 ? "SERVING" : "DOWN",
+                get("admission.draining") != 0.0 ? " (draining)" : "");
+    std::printf(
+        "corpus   v%-6.0f docs %-8.0f terms %-8.0f\n",
+        get("corpus.snapshot_version"), get("corpus.index_docs"),
+        get("corpus.index_terms"));
+    std::printf(
+        "executor %0.f/%0.f queued, %.0f running on %.0f workers%s\n",
+        get("executor.queue_depth"), get("executor.queue_capacity"),
+        get("executor.running"), get("executor.workers"),
+        get("executor.wedged") != 0.0 ? "  WEDGED" : "");
+    std::printf(
+        "cache    %.0f/%.0f entries, hit ratio %.2f\n",
+        get("result_cache.entries"), get("result_cache.capacity"),
+        get("result_cache.hit_ratio"));
+    std::printf(
+        "traces   %.0f offered, %.0f sampled, %.0f retained (1/%0.f)\n",
+        get("traces.offered"), get("traces.sampled"), get("traces.retained"),
+        get("traces.sample_every_n"));
+    std::printf("%-8s %10s %10s %10s %10s %10s\n", "window", "qps", "p50_ms",
+                "p99_ms", "err/s", "shed/s");
+    for (const char* window : {"window_1m", "window_5m", "window_15m"}) {
+      const std::string prefix(window);
+      auto field = [&](const char* name) {
+        return get((prefix + "." + name).c_str());
+      };
+      std::printf("%-8s %10.1f %10.2f %10.2f %10.2f %10.2f\n", window,
+                  field("qps"), field("p50_ms"), field("p99_ms"),
+                  field("errors_per_second"), field("shed_per_second"));
+    }
+    std::fflush(stdout);
+    if (iterations != 0 && i + 1 == iterations) break;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(static_cast<int>(interval * 1e3)));
+  }
+  return 0;
+}
+
+Result<std::string> ReadFileOrStdin(const std::string& path) {
+  if (path == "-") {
+    std::stringstream buffer;
+    buffer << std::cin.rdbuf();
+    return buffer.str();
+  }
+  return ReadFile(path);
+}
+
+/// `schemr checkmetrics <file|->`: Prometheus exposition conformance
+/// check for CI (no scraper dependency in the container).
+int CmdCheckMetrics(const std::string& path) {
+  auto text = ReadFileOrStdin(path);
+  if (!text.ok()) return Fail(text.status(), "reading exposition text");
+  Status checked = CheckPrometheusText(*text);
+  if (!checked.ok()) return Fail(checked, "checking exposition text");
+  size_t families = 0;
+  size_t pos = 0;
+  while ((pos = text->find("# TYPE ", pos)) != std::string::npos) {
+    ++families;
+    pos += 7;
+  }
+  if (families == 0) {
+    std::fprintf(stderr, "schemr checkmetrics: no metric families\n");
+    return 1;
+  }
+  std::printf("ok: %zu metric families\n", families);
+  return 0;
+}
+
+/// `schemr checkjson <file|-> [--require key]...`: flat-JSON validation
+/// (the /statusz contract) for CI.
+int CmdCheckJson(const std::string& path, int argc, char** argv) {
+  auto text = ReadFileOrStdin(path);
+  if (!text.ok()) return Fail(text.status(), "reading JSON");
+  auto parsed = ParseBenchJson(*text);
+  if (!parsed.ok()) return Fail(parsed.status(), "parsing JSON");
+  if (parsed->empty()) {
+    std::fprintf(stderr, "schemr checkjson: no numeric fields\n");
+    return 1;
+  }
+  int rc = 0;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--require" && i + 1 < argc) {
+      const std::string key = argv[++i];
+      if (parsed->count(key) == 0) {
+        std::fprintf(stderr, "schemr checkjson: missing required key %s\n",
+                     key.c_str());
+        rc = 1;
+      }
+    }
+  }
+  if (rc == 0) std::printf("ok: %zu numeric fields\n", parsed->size());
+  return rc;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 3) return Usage();
   // Library warnings surface in the `stats` output too.
@@ -701,6 +997,10 @@ int Run(int argc, char** argv) {
   if (command == "replay") return CmdReplay(argc - 2, argv + 2);
   std::string repo_dir = argv[2];
   if (command == "audit") return CmdAudit(repo_dir, argc - 3, argv + 3);
+  if (command == "serve") return CmdServe(repo_dir, argc - 3, argv + 3);
+  if (command == "top") return CmdTop(argv[2], argc - 3, argv + 3);
+  if (command == "checkmetrics") return CmdCheckMetrics(argv[2]);
+  if (command == "checkjson") return CmdCheckJson(argv[2], argc - 3, argv + 3);
   auto repo = SchemaRepository::Open(repo_dir);
   if (!repo.ok()) return Fail(repo.status(), "opening repository");
   SchemaRepository* r = repo->get();
