@@ -73,7 +73,7 @@ Result<std::unique_ptr<ServingCorpus>> ServingCorpus::Create(
 }
 
 std::shared_ptr<const CorpusSnapshot> ServingCorpus::Snapshot() const {
-  return snapshot_.load(std::memory_order_acquire);
+  return snapshot_.load();
 }
 
 void ServingCorpus::PublishLocked() {
@@ -82,8 +82,7 @@ void ServingCorpus::PublishLocked() {
   next->index = index_.Snapshot();
   next->schemas = repository_->View();
   FaultInjector::Global().Perturb("corpus/commit/publish");
-  snapshot_.store(std::shared_ptr<const CorpusSnapshot>(std::move(next)),
-                  std::memory_order_release);
+  snapshot_.store(std::move(next));
 }
 
 Result<SchemaId> ServingCorpus::Ingest(Schema schema) {

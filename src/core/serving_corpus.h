@@ -8,11 +8,13 @@
 //   - Writers (Ingest/Update/Remove/Reindex) serialize on an internal
 //     mutex. Each commits durably to the repository first, then mutates
 //     the index copy-on-write, then publishes a fresh CorpusSnapshot by
-//     atomic shared_ptr swap.
-//   - Readers call Snapshot() (one acquire-load) and do all their work
-//     against that snapshot. They never block writers and writers never
-//     block them; a snapshot stays valid for as long as someone holds it
-//     and is retired by refcount.
+//     a pointer swap (AtomicSharedPtr — a micro-mutex held only for the
+//     shared_ptr copy; see util/atomic_shared_ptr.h for why not
+//     std::atomic<std::shared_ptr>).
+//   - Readers call Snapshot() (one pointer copy) and do all their work
+//     against that snapshot. Neither side ever waits for more than that
+//     copy; a snapshot stays valid for as long as someone holds it and
+//     is retired by refcount.
 //   - The pairing invariant: within one snapshot, every document in the
 //     index resolves in the schema view and vice versa (assuming callers
 //     mutate only through this class).
@@ -31,6 +33,7 @@
 #include "repo/schema_repository.h"
 #include "schema/entity_graph.h"
 #include "text/analyzer.h"
+#include "util/atomic_shared_ptr.h"
 #include "util/status.h"
 
 namespace schemr {
@@ -127,7 +130,7 @@ class ServingCorpus {
   /// Serializes Ingest/Update/Remove/Reindex so the repository view and
   /// index snapshot composed by PublishLocked always belong together.
   mutable std::mutex writer_mutex_;
-  std::atomic<std::shared_ptr<const CorpusSnapshot>> snapshot_;
+  AtomicSharedPtr<const CorpusSnapshot> snapshot_;
 };
 
 }  // namespace schemr

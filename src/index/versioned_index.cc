@@ -13,7 +13,7 @@ VersionedIndex::VersionedIndex(InvertedIndex seed)
     : current_(std::make_shared<const InvertedIndex>(std::move(seed))) {}
 
 std::shared_ptr<const InvertedIndex> VersionedIndex::Snapshot() const {
-  return current_.load(std::memory_order_acquire);
+  return current_.load();
 }
 
 Status VersionedIndex::Apply(
@@ -22,12 +22,10 @@ Status VersionedIndex::Apply(
   // Clone outside any reader's view: the clone has no readers, so the
   // mutation below cannot race with in-flight searches on the old
   // snapshot.
-  auto next = std::make_shared<InvertedIndex>(
-      *current_.load(std::memory_order_acquire));
+  auto next = std::make_shared<InvertedIndex>(*current_.load());
   SCHEMR_RETURN_IF_ERROR(mutation(next.get()));
   FaultInjector::Global().Perturb("index/snapshot/swap");
-  current_.store(std::shared_ptr<const InvertedIndex>(std::move(next)),
-                 std::memory_order_release);
+  current_.store(std::move(next));
   version_.fetch_add(1, std::memory_order_acq_rel);
   return Status::OK();
 }

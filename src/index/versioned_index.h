@@ -1,13 +1,15 @@
 // Snapshot-isolated publication wrapper around InvertedIndex.
 //
-// A VersionedIndex holds the current index behind an atomically swapped
-// std::shared_ptr<const InvertedIndex>. Readers call Snapshot() and search
-// a consistent point-in-time index for as long as they hold the pointer;
-// writers clone the current index (copy-on-write), mutate the private
-// clone, and publish it with one atomic swap. Writers therefore never
-// block readers, readers never block writers, and no reader can observe a
-// torn (half-mutated) index. Retirement is reference counting: the old
-// snapshot is freed when its last reader drops it.
+// A VersionedIndex holds the current index behind a swappable
+// std::shared_ptr<const InvertedIndex> (AtomicSharedPtr: a micro-mutex
+// held only for the pointer copy — see util/atomic_shared_ptr.h).
+// Readers call Snapshot() and search a consistent point-in-time index
+// for as long as they hold the pointer; writers clone the current index
+// (copy-on-write), mutate the private clone, and publish it with one
+// pointer swap. Neither side ever waits for more than that pointer
+// copy, and no reader can observe a torn (half-mutated) index.
+// Retirement is reference counting: the old snapshot is freed when its
+// last reader drops it.
 //
 // Cost model: every published mutation pays a full deep copy of the
 // index, so this wrapper targets the serving workload of the paper's
@@ -29,6 +31,7 @@
 
 #include "index/document.h"
 #include "index/inverted_index.h"
+#include "util/atomic_shared_ptr.h"
 #include "util/status.h"
 
 namespace schemr {
@@ -62,7 +65,7 @@ class VersionedIndex {
 
  private:
   mutable std::mutex writer_mutex_;
-  std::atomic<std::shared_ptr<const InvertedIndex>> current_;
+  AtomicSharedPtr<const InvertedIndex> current_;
   std::atomic<uint64_t> version_{0};
 };
 

@@ -54,8 +54,7 @@ MetricsSnapshotRing::MetricsSnapshotRing(size_t capacity)
 
 void MetricsSnapshotRing::Push(std::shared_ptr<const MetricsSample> sample) {
   const uint64_t index = pushed_.load(std::memory_order_relaxed);
-  slots_[index % capacity_].store(std::move(sample),
-                                  std::memory_order_release);
+  slots_[index % capacity_].store(std::move(sample));
   // Publish after the slot write: a reader that sees the new count finds
   // the new sample in its slot.
   pushed_.store(index + 1, std::memory_order_release);
@@ -64,14 +63,14 @@ void MetricsSnapshotRing::Push(std::shared_ptr<const MetricsSample> sample) {
 std::shared_ptr<const MetricsSample> MetricsSnapshotRing::Newest() const {
   const uint64_t count = pushed_.load(std::memory_order_acquire);
   if (count == 0) return nullptr;
-  return slots_[(count - 1) % capacity_].load(std::memory_order_acquire);
+  return slots_[(count - 1) % capacity_].load();
 }
 
 std::shared_ptr<const MetricsSample> MetricsSnapshotRing::WindowAnchor(
     double age_seconds) const {
   const uint64_t count = pushed_.load(std::memory_order_acquire);
   if (count < 2) return nullptr;
-  auto newest = slots_[(count - 1) % capacity_].load(std::memory_order_acquire);
+  auto newest = slots_[(count - 1) % capacity_].load();
   if (newest == nullptr) return nullptr;
   const double anchor_time = newest->monotonic_seconds - age_seconds;
   // Scan oldest→newest; the first sample at or under the anchor age is
@@ -81,7 +80,7 @@ std::shared_ptr<const MetricsSample> MetricsSnapshotRing::WindowAnchor(
   const uint64_t oldest = count > capacity_ ? count - capacity_ : 0;
   std::shared_ptr<const MetricsSample> fallback;
   for (uint64_t i = oldest; i + 1 < count; ++i) {
-    auto sample = slots_[i % capacity_].load(std::memory_order_acquire);
+    auto sample = slots_[i % capacity_].load();
     if (sample == nullptr || sample == newest) continue;
     if (fallback == nullptr ||
         sample->monotonic_seconds < fallback->monotonic_seconds) {
@@ -176,15 +175,18 @@ void TelemetrySampler::Start() {
 }
 
 void TelemetrySampler::Stop() {
+  // Claim the thread handle under the lock so concurrent Stop() calls
+  // race for it; exactly one caller joins, the rest return immediately.
+  std::thread worker;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!running_) return;
     stop_ = true;
+    running_ = false;
+    worker = std::move(thread_);
   }
   wake_.notify_all();
-  thread_.join();
-  std::lock_guard<std::mutex> lock(mutex_);
-  running_ = false;
+  worker.join();
 }
 
 std::shared_ptr<const MetricsSample> TelemetrySampler::SampleNow() {

@@ -43,6 +43,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/atomic_shared_ptr.h"
 
 namespace schemr {
 
@@ -57,9 +58,10 @@ struct MetricsSample {
 };
 
 /// Fixed-capacity ring of immutable samples. One writer (the sampler),
-/// any number of lock-free readers: slots are atomic shared_ptrs and the
-/// head index is a monotone counter, so a reader sees either the old or
-/// the new sample in a slot, never a torn one.
+/// any number of readers: slots are swappable shared_ptrs
+/// (AtomicSharedPtr — a per-slot micro-mutex held only for the pointer
+/// copy) and the head index is a monotone counter, so a reader sees
+/// either the old or the new sample in a slot, never a torn one.
 class MetricsSnapshotRing {
  public:
   explicit MetricsSnapshotRing(size_t capacity);
@@ -82,7 +84,7 @@ class MetricsSnapshotRing {
 
  private:
   const size_t capacity_;
-  std::vector<std::atomic<std::shared_ptr<const MetricsSample>>> slots_;
+  std::vector<AtomicSharedPtr<const MetricsSample>> slots_;
   std::atomic<uint64_t> pushed_{0};  ///< total pushes; head = pushed_ - 1
 };
 
@@ -121,7 +123,9 @@ struct TelemetryOptions {
   size_t ring_capacity = 1024;
 };
 
-/// Owns the sampling thread and the ring. Start/Stop are idempotent;
+/// Owns the sampling thread and the ring. Start/Stop are idempotent and
+/// Stop is safe under concurrent callers (exactly one joins the
+/// sampler thread; later callers return without waiting for it);
 /// SampleNow is exposed so tests (and the CLI) can sample synchronously
 /// without a thread.
 class TelemetrySampler {

@@ -126,7 +126,7 @@ std::unique_ptr<SchemaRepository> SchemaRepository::OpenInMemory() {
 }
 
 std::shared_ptr<const RepositoryView> SchemaRepository::View() const {
-  return view_.load(std::memory_order_acquire);
+  return view_.load();
 }
 
 void SchemaRepository::PublishLocked(
@@ -136,14 +136,12 @@ void SchemaRepository::PublishLocked(
   // to the copy, and the new view swapped in. Readers holding the old
   // view are untouched.
   auto next = std::make_shared<RepositoryView>();
-  std::shared_ptr<const RepositoryView> current =
-      view_.load(std::memory_order_acquire);
+  std::shared_ptr<const RepositoryView> current = view_.load();
   next->encoded_ = current->encoded_;
   next->version_ = current->version_ + 1;
   mutate(&next->encoded_);
   FaultInjector::Global().Perturb("repo/view/publish");
-  view_.store(std::shared_ptr<const RepositoryView>(std::move(next)),
-              std::memory_order_release);
+  view_.store(std::move(next));
 }
 
 Status SchemaRepository::PutLocked(SchemaId id, std::string encoded) {

@@ -6,11 +6,12 @@
 // bulk scan (the offline text indexer) and point lookup (the visualization
 // service resolving a clicked result's schema id).
 //
-// Concurrency model (DESIGN.md §9): schema reads are snapshot-isolated
-// and lock-free. Every successful mutation republishes an immutable
-// RepositoryView — a point-in-time map of encoded schema records behind
-// an atomically swapped shared_ptr — and Get/Contains/Size/Ids/ListAll/
-// ForEach serve from the current view without taking the mutex. Writers
+// Concurrency model (DESIGN.md §9): schema reads are snapshot-isolated.
+// Every successful mutation republishes an immutable RepositoryView — a
+// point-in-time map of encoded schema records behind a swappable
+// shared_ptr (AtomicSharedPtr, util/atomic_shared_ptr.h) — and
+// Get/Contains/Size/Ids/ListAll/ForEach serve from the current view
+// without taking the writer mutex. Writers
 // (and the annotation endpoints, whose read-modify-write cycles need it)
 // serialize on the internal mutex; durable writes commit to the store
 // before the new view is published, so a published view never shows a
@@ -34,6 +35,7 @@
 #include "repo/annotations.h"
 #include "schema/schema.h"
 #include "store/kv_store.h"
+#include "util/atomic_shared_ptr.h"
 #include "util/status.h"
 
 namespace schemr {
@@ -173,7 +175,7 @@ class SchemaRepository {
   /// Schema reads do not take it — they go through view_.
   mutable std::mutex mutex_;
   /// The current immutable schema view, swapped on every mutation.
-  std::atomic<std::shared_ptr<const RepositoryView>> view_;
+  AtomicSharedPtr<const RepositoryView> view_;
 
   static std::string KeyFor(SchemaId id);
   /// Commits to the store (durable first), then publishes a new view

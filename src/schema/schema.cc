@@ -1,10 +1,61 @@
 #include "schema/schema.h"
 
 #include <sstream>
+#include <utility>
 
 #include "util/string_util.h"
 
 namespace schemr {
+
+Schema::Schema(const Schema& other)
+    : id_(other.id_),
+      name_(other.name_),
+      description_(other.description_),
+      source_(other.source_),
+      elements_(other.elements_),
+      foreign_keys_(other.foreign_keys_) {
+  // The adjacency cache is not copied — the copy rebuilds it lazily.
+  // Copying it would require locking `other`, which may be shared.
+}
+
+Schema& Schema::operator=(const Schema& other) {
+  if (this == &other) return *this;
+  id_ = other.id_;
+  name_ = other.name_;
+  description_ = other.description_;
+  source_ = other.source_;
+  elements_ = other.elements_;
+  foreign_keys_ = other.foreign_keys_;
+  children_.clear();
+  children_valid_.store(false, std::memory_order_release);
+  return *this;
+}
+
+Schema::Schema(Schema&& other) noexcept
+    : id_(other.id_),
+      name_(std::move(other.name_)),
+      description_(std::move(other.description_)),
+      source_(std::move(other.source_)),
+      elements_(std::move(other.elements_)),
+      foreign_keys_(std::move(other.foreign_keys_)),
+      children_valid_(
+          other.children_valid_.load(std::memory_order_relaxed)),
+      children_(std::move(other.children_)) {}
+
+Schema& Schema::operator=(Schema&& other) noexcept {
+  if (this == &other) return *this;
+  id_ = other.id_;
+  name_ = std::move(other.name_);
+  description_ = std::move(other.description_);
+  source_ = std::move(other.source_);
+  elements_ = std::move(other.elements_);
+  foreign_keys_ = std::move(other.foreign_keys_);
+  children_ = std::move(other.children_);
+  children_valid_.store(
+      other.children_valid_.load(std::memory_order_relaxed),
+      std::memory_order_release);
+  return *this;
+}
 
 ElementId Schema::AddEntity(std::string name, ElementId parent) {
   Element e;
@@ -222,10 +273,17 @@ std::string Schema::ToString() const {
   return os.str();
 }
 
-void Schema::InvalidateCache() const { children_valid_ = false; }
+void Schema::InvalidateCache() const {
+  children_valid_.store(false, std::memory_order_release);
+}
 
 void Schema::EnsureChildren() const {
-  if (children_valid_) return;
+  // Double-checked build: schemas shared by a snapshot are scored from
+  // several worker threads at once, and the first Children() call may
+  // land on all of them simultaneously.
+  if (children_valid_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(children_mutex_);
+  if (children_valid_.load(std::memory_order_relaxed)) return;
   children_.assign(elements_.size(), {});
   for (ElementId i = 0; i < elements_.size(); ++i) {
     ElementId p = elements_[i].parent;
@@ -233,7 +291,7 @@ void Schema::EnsureChildren() const {
       children_[p].push_back(i);
     }
   }
-  children_valid_ = true;
+  children_valid_.store(true, std::memory_order_release);
 }
 
 }  // namespace schemr

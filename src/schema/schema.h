@@ -10,6 +10,8 @@
 #ifndef SCHEMR_SCHEMA_SCHEMA_H_
 #define SCHEMR_SCHEMA_SCHEMA_H_
 
+#include <atomic>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -34,6 +36,15 @@ class Schema {
  public:
   Schema() = default;
   explicit Schema(std::string name) : name_(std::move(name)) {}
+
+  // Defined out of line: the adjacency-cache guard (mutex + atomic flag)
+  // is neither copyable nor movable, so the data members are transferred
+  // explicitly and the destination gets its own guard. Copies/moves
+  // require exclusive ownership of the source, like any other mutation.
+  Schema(const Schema& other);
+  Schema& operator=(const Schema& other);
+  Schema(Schema&& other) noexcept;
+  Schema& operator=(Schema&& other) noexcept;
 
   // --- Metadata -----------------------------------------------------------
 
@@ -136,8 +147,13 @@ class Schema {
   std::vector<Element> elements_;
   std::vector<ForeignKey> foreign_keys_;
 
-  // Lazily built child adjacency; indexed by element id.
-  mutable bool children_valid_ = false;
+  // Lazily built child adjacency; indexed by element id. Schemas inside
+  // a published snapshot are shared across scoring threads, so the first
+  // use can race: children_mutex_ serializes the build and
+  // children_valid_ (acquire/release) publishes it. Invalidation happens
+  // only on mutation, which requires exclusive ownership anyway.
+  mutable std::mutex children_mutex_;
+  mutable std::atomic<bool> children_valid_{false};
   mutable std::vector<std::vector<ElementId>> children_;
 };
 

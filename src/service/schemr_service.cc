@@ -563,12 +563,20 @@ Status SchemrService::Shutdown(double deadline_seconds) {
   Status drained = executor->Shutdown(deadline_seconds);
   lock.lock();
   shut_down_ = true;
+  IntrospectionServer* introspection = introspection_.get();
+  TelemetrySampler* telemetry = telemetry_.get();
+  lock.unlock();
   // The introspection plane outlives the drain window (so /healthz can
   // report "draining" to a watching balancer) and comes down only once
-  // the drain has resolved. The sampler stops after the listener: a
-  // handler mid-flight may still read it.
-  if (introspection_ != nullptr) introspection_->Stop();
-  if (telemetry_ != nullptr) telemetry_->Stop();
+  // the drain has resolved. Stopping it joins in-flight handlers, and
+  // those handlers take serving_mutex_ themselves (/healthz, /statusz),
+  // so the join must happen unlocked — same rule as the executor drain
+  // above. The pointers stay valid: introspection_ and telemetry_ are
+  // never reset once StartServing succeeds, and both Stop()s are safe
+  // under concurrent Shutdown calls. The sampler stops after the
+  // listener: a handler mid-flight may still read it.
+  if (introspection != nullptr) introspection->Stop();
+  if (telemetry != nullptr) telemetry->Stop();
   return drained;
 }
 
@@ -924,7 +932,12 @@ std::string SchemrService::HealthzJson(int* http_status) const {
   if (executor == nullptr) {
     state = "not_serving";
     status = 503;
-  } else if (executor->wedged() || down) {
+  } else if (down) {
+    // A completed graceful drain is a planned exit, not a stuck
+    // executor; operators filter on "wedged" for the latter.
+    state = "shut_down";
+    status = 503;
+  } else if (executor->wedged()) {
     state = "wedged";
     status = 503;
   } else if (admission->draining()) {
@@ -964,8 +977,13 @@ std::string SchemrService::SlowzJson() const {
     if (!first) out.push_back(',');
     first = false;
     out.push_back('{');
-    JsonNum(&out, "timestamp_micros",
-            static_cast<double>(record.timestamp_micros));
+    // Full-precision integer, matching /tracez: epoch micros lose
+    // ~10s of granularity through %.9g double formatting.
+    char timestamp[24];
+    std::snprintf(timestamp, sizeof(timestamp), "%llu",
+                  static_cast<unsigned long long>(record.timestamp_micros));
+    JsonKey(&out, "timestamp_micros");
+    out += timestamp;
     char fingerprint[32];
     std::snprintf(fingerprint, sizeof(fingerprint), "%016llx",
                   static_cast<unsigned long long>(record.fingerprint));

@@ -1,0 +1,60 @@
+// A mutex-guarded shared_ptr slot with acquire/release load-store
+// semantics.
+//
+// Why not std::atomic<std::shared_ptr<T>>: libstdc++'s _Sp_atomic
+// protects its raw pointer field with a spin lock embedded in the
+// control-block word, but load() releases that lock with a *relaxed*
+// RMW. A reader's plain read of the pointer field therefore has no
+// happens-before edge to the next store()'s plain write — formally a
+// data race under the C++ memory model, and ThreadSanitizer reports it
+// as one (the serving suite runs under TSan in CI). A plain mutex gives
+// the same pointer-swap publication pattern the ordering it needs; the
+// critical section is only a shared_ptr copy (one refcount bump), so
+// the cost is a few uncontended atomic ops per access.
+//
+// Use it exactly like the atomic it replaces: writers build immutable
+// state, then store(); readers load() once and use the snapshot for as
+// long as they hold the pointer. Retirement stays refcount-driven.
+
+#ifndef SCHEMR_UTIL_ATOMIC_SHARED_PTR_H_
+#define SCHEMR_UTIL_ATOMIC_SHARED_PTR_H_
+
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace schemr {
+
+template <typename T>
+class AtomicSharedPtr {
+ public:
+  AtomicSharedPtr() = default;
+  explicit AtomicSharedPtr(std::shared_ptr<T> initial)
+      : ptr_(std::move(initial)) {}
+
+  AtomicSharedPtr(const AtomicSharedPtr&) = delete;
+  AtomicSharedPtr& operator=(const AtomicSharedPtr&) = delete;
+
+  std::shared_ptr<T> load() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ptr_;
+  }
+
+  void store(std::shared_ptr<T> next) {
+    // Drop the previous value outside the lock: releasing the last
+    // reference can run an arbitrary destructor.
+    std::shared_ptr<T> previous;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      previous = std::exchange(ptr_, std::move(next));
+    }
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::shared_ptr<T> ptr_;
+};
+
+}  // namespace schemr
+
+#endif  // SCHEMR_UTIL_ATOMIC_SHARED_PTR_H_

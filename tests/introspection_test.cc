@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <string>
@@ -312,8 +313,40 @@ TEST_F(IntrospectionServiceTest, HealthzTracksServingLifecycle) {
   EXPECT_TRUE(service.Shutdown(5.0).ok());
   body = service.HealthzJson(&status);
   EXPECT_EQ(status, 503);
-  // The drained serving path is wedged for good; stay out of rotation.
-  EXPECT_NE(body.find("\"status\":\"wedged\""), std::string::npos) << body;
+  // A clean drain is a planned exit, distinct from a wedged executor;
+  // either way the process stays out of rotation.
+  EXPECT_NE(body.find("\"status\":\"shut_down\""), std::string::npos) << body;
+}
+
+TEST_F(IntrospectionServiceTest, HealthzPollDuringShutdownDoesNotDeadlock) {
+  // Regression: Shutdown used to hold serving_mutex_ while stopping the
+  // listener, whose Stop() joins in-flight handlers — and /healthz
+  // handlers take serving_mutex_ themselves, so a poll racing a drain
+  // deadlocked permanently. A balancer polling /healthz through a
+  // graceful drain is the documented workload, so hammer the endpoint
+  // while Shutdown runs; under the old locking this test never returns
+  // (the ctest timeout is the failure mode).
+  auto corpus_or = MakeCorpus(2);
+  ASSERT_TRUE(corpus_or.ok());
+  SchemrService service(corpus_or->get());
+  ServingOptions serving;
+  serving.introspection_port = 0;
+  ASSERT_TRUE(service.StartServing(serving).ok());
+  const int port = service.introspection()->port();
+  ASSERT_GT(port, 0);
+
+  std::atomic<bool> stop{false};
+  std::thread poller([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)HttpGet("127.0.0.1", port, "/healthz", 1.0);
+    }
+  });
+  // Give the poller time to have requests in flight, then drain.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(service.Shutdown(5.0).ok());
+  stop.store(true, std::memory_order_relaxed);
+  poller.join();
+  EXPECT_FALSE(service.serving());
 }
 
 TEST_F(IntrospectionServiceTest, EndpointsWorkWithoutAuditOrTraffic) {

@@ -456,7 +456,8 @@ TEST(TelemetryWindowTest, GaugeReportsNewestValue) {
   auto older = MakeSample(registry, 0.0);
   g->Set(2);
   auto newer = MakeSample(registry, 1.0);
-  const WindowedMetric* m = ComputeWindow(*older, *newer).Find("depth");
+  WindowedView view = ComputeWindow(*older, *newer);
+  const WindowedMetric* m = view.Find("depth");
   ASSERT_NE(m, nullptr);
   EXPECT_DOUBLE_EQ(m->gauge_value, 2.0);
 }
@@ -473,7 +474,8 @@ TEST(TelemetryWindowTest, HistogramDeltaPercentilesIgnoreOldObservations) {
   for (int i = 0; i < 100; ++i) h->Observe(0.005);
   auto newer = MakeSample(registry, 60.0);
 
-  const WindowedMetric* m = ComputeWindow(*older, *newer).Find("lat_seconds");
+  WindowedView view = ComputeWindow(*older, *newer);
+  const WindowedMetric* m = view.Find("lat_seconds");
   ASSERT_NE(m, nullptr);
   EXPECT_EQ(m->delta_count, 100u);
   EXPECT_LE(m->p99, 0.01);  // every windowed observation is in bucket one
@@ -487,7 +489,8 @@ TEST(TelemetryWindowTest, ResetBetweenSamplesClampsToZero) {
   registry.Reset();
   c->Increment(2);
   auto newer = MakeSample(registry, 10.0);
-  const WindowedMetric* m = ComputeWindow(*older, *newer).Find("reqs_total");
+  WindowedView view = ComputeWindow(*older, *newer);
+  const WindowedMetric* m = view.Find("reqs_total");
   ASSERT_NE(m, nullptr);
   // Delta is 2 - 50 < 0: clamp, don't report a negative rate.
   EXPECT_DOUBLE_EQ(m->rate_per_second, 0.0);
@@ -498,7 +501,8 @@ TEST(TelemetryWindowTest, MetricRegisteredMidWindowIsRatedOverFullWindow) {
   auto older = MakeSample(registry, 0.0);
   registry.GetCounter("late_total")->Increment(20);
   auto newer = MakeSample(registry, 10.0);
-  const WindowedMetric* m = ComputeWindow(*older, *newer).Find("late_total");
+  WindowedView view = ComputeWindow(*older, *newer);
+  const WindowedMetric* m = view.Find("late_total");
   ASSERT_NE(m, nullptr);
   EXPECT_DOUBLE_EQ(m->rate_per_second, 2.0);
 }
