@@ -1,360 +1,52 @@
 #include "service/http_introspection.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstdio>
-#include <cstring>
-
-#include "obs/metrics.h"
+#include <utility>
 
 namespace schemr {
 
 namespace {
 
-struct IntrospectionMetrics {
-  Counter* requests;
-  Counter* errors;
-  Counter* rejected;
-
-  static const IntrospectionMetrics& Get() {
-    static const IntrospectionMetrics* metrics = [] {
-      MetricsRegistry& r = MetricsRegistry::Global();
-      return new IntrospectionMetrics{
-          r.GetCounter("schemr_introspection_requests_total",
-                       "HTTP requests handled by the introspection "
-                       "listener."),
-          r.GetCounter("schemr_introspection_errors_total",
-                       "Introspection responses with a non-200 status."),
-          r.GetCounter("schemr_introspection_rejected_total",
-                       "Connections answered 503 because the handler pool "
-                       "was saturated."),
-      };
-    }();
-    return *metrics;
-  }
-};
-
-const char* ReasonPhrase(int status) {
-  switch (status) {
-    case 200:
-      return "OK";
-    case 400:
-      return "Bad Request";
-    case 404:
-      return "Not Found";
-    case 405:
-      return "Method Not Allowed";
-    case 431:
-      return "Request Header Fields Too Large";
-    case 500:
-      return "Internal Server Error";
-    case 503:
-      return "Service Unavailable";
-  }
-  return "Unknown";
-}
-
-void SetSocketTimeout(int fd, double seconds) {
-  struct timeval tv;
-  tv.tv_sec = static_cast<time_t>(seconds);
-  tv.tv_usec =
-      static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
-  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-}
-
-/// Sends all of `data`, tolerating short writes. False on any error.
-bool SendAll(int fd, std::string_view data) {
-  while (!data.empty()) {
-    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;
-    }
-    data.remove_prefix(static_cast<size_t>(n));
-  }
-  return true;
-}
-
-/// Reads until the end of the request head (CRLFCRLF) or `max_bytes`.
-/// Returns false on socket error/timeout before a complete head arrived.
-bool ReadRequestHead(int fd, size_t max_bytes, std::string* head) {
-  char buf[1024];
-  while (head->size() < max_bytes) {
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;
-    }
-    head->append(buf, static_cast<size_t>(n));
-    if (head->find("\r\n\r\n") != std::string::npos ||
-        head->find("\n\n") != std::string::npos) {
-      return true;
-    }
-  }
-  // Head overran the cap; the caller answers 431.
-  return true;
-}
-
-/// Parses "GET /path?query HTTP/1.1" (the first line of the head).
-bool ParseRequestLine(const std::string& head, HttpRequest* request) {
-  const size_t eol = head.find_first_of("\r\n");
-  const std::string line =
-      eol == std::string::npos ? head : head.substr(0, eol);
-  const size_t sp1 = line.find(' ');
-  if (sp1 == std::string::npos) return false;
-  const size_t sp2 = line.find(' ', sp1 + 1);
-  if (sp2 == std::string::npos) return false;
-  request->method = line.substr(0, sp1);
-  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
-  if (target.empty() || target[0] != '/') return false;
-  const size_t q = target.find('?');
-  if (q == std::string::npos) {
-    request->path = std::move(target);
-  } else {
-    request->path = target.substr(0, q);
-    request->query = target.substr(q + 1);
-  }
-  return true;
+HttpServerOptions ToServerOptions(const IntrospectionOptions& options) {
+  HttpServerOptions server;
+  server.port = options.port;
+  server.bind_address = options.bind_address;
+  server.handler_threads = options.handler_threads;
+  server.max_pending_connections = options.max_pending_connections;
+  server.max_request_bytes = options.max_request_bytes;
+  server.max_body_bytes = 0;  // introspection requests carry no body
+  server.header_timeout_seconds = options.io_timeout_seconds;
+  server.body_timeout_seconds = options.io_timeout_seconds;
+  server.write_timeout_seconds = options.io_timeout_seconds;
+  return server;
 }
 
 }  // namespace
 
 IntrospectionServer::IntrospectionServer(IntrospectionOptions options)
-    : options_(options) {}
+    : options_(std::move(options)),
+      server_(std::make_unique<HttpServer>(ToServerOptions(options_))) {}
 
 IntrospectionServer::~IntrospectionServer() { Stop(); }
 
 void IntrospectionServer::Route(std::string path, Handler handler) {
-  routes_[std::move(path)] = std::move(handler);
+  server_->Route("GET", std::move(path), std::move(handler));
 }
 
-Status IntrospectionServer::Start() {
-  if (running_.load(std::memory_order_acquire) || listen_fd_ >= 0) {
-    return Status::InvalidArgument("introspection server already started");
-  }
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return Status::IOError("introspection socket() failed");
-  const int one = 1;
-  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+Status IntrospectionServer::Start() { return server_->Start(); }
 
-  struct sockaddr_in addr;
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
-  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
-      1) {
-    ::close(fd);
-    return Status::InvalidArgument("bad introspection bind address '" +
-                                   options_.bind_address + "'");
-  }
-  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    const int err = errno;
-    ::close(fd);
-    return Status::IOError("cannot bind introspection port " +
-                           std::to_string(options_.port) + ": " +
-                           std::strerror(err));
-  }
-  if (::listen(fd, 16) != 0) {
-    const int err = errno;
-    ::close(fd);
-    return Status::IOError(std::string("introspection listen() failed: ") +
-                           std::strerror(err));
-  }
-  // Resolve the actually bound port (meaningful when port was 0).
-  struct sockaddr_in bound;
-  socklen_t bound_len = sizeof(bound);
-  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound),
-                    &bound_len) == 0) {
-    port_ = ntohs(bound.sin_port);
-  }
-
-  BoundedExecutor::Options pool;
-  pool.num_workers = std::max<size_t>(1, options_.handler_threads);
-  pool.queue_capacity = std::max<size_t>(1, options_.max_pending_connections);
-  handlers_ = std::make_unique<BoundedExecutor>(pool);
-
-  listen_fd_ = fd;
-  stopping_.store(false, std::memory_order_release);
-  running_.store(true, std::memory_order_release);
-  acceptor_ = std::thread(&IntrospectionServer::AcceptLoop, this);
-  return Status::OK();
-}
-
-void IntrospectionServer::Stop() {
-  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
-  stopping_.store(true, std::memory_order_release);
-  if (acceptor_.joinable()) acceptor_.join();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  // Give in-flight handlers a moment; stragglers are cancelled (their
-  // connection is closed without a response, which a scraper treats like
-  // any other connection loss).
-  if (handlers_ != nullptr) (void)handlers_->Shutdown(1.0);
-}
-
-void IntrospectionServer::AcceptLoop() {
-  // Poll with a short tick instead of blocking in accept(): Stop() only
-  // has to flip a flag, never race a close() against a blocked accept.
-  struct pollfd pfd;
-  pfd.fd = listen_fd_;
-  pfd.events = POLLIN;
-  while (!stopping_.load(std::memory_order_acquire)) {
-    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
-    if (ready < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    if (ready == 0) continue;
-    const int conn = ::accept(listen_fd_, nullptr, nullptr);
-    if (conn < 0) {
-      if (errno == EINTR || errno == ECONNABORTED) continue;
-      break;
-    }
-    SetSocketTimeout(conn, options_.io_timeout_seconds);
-    Status submitted = handlers_->TrySubmit([this, conn](bool cancelled) {
-      if (cancelled) {
-        ::close(conn);
-        return;
-      }
-      ServeConnection(conn);
-    });
-    if (!submitted.ok()) {
-      // Handler pool saturated: shed on the acceptor thread with a tiny
-      // fixed response, mirroring the search plane's overload behavior.
-      IntrospectionMetrics::Get().rejected->Increment();
-      HttpResponse overloaded;
-      overloaded.status = 503;
-      overloaded.body = "introspection overloaded\n";
-      WriteResponse(conn, overloaded);
-      ::close(conn);
-    }
-  }
-}
-
-void IntrospectionServer::WriteResponse(int fd, const HttpResponse& response) {
-  char head[256];
-  std::snprintf(head, sizeof(head),
-                "HTTP/1.1 %d %s\r\n"
-                "Content-Type: %s\r\n"
-                "Content-Length: %zu\r\n"
-                "Connection: close\r\n"
-                "\r\n",
-                response.status, ReasonPhrase(response.status),
-                response.content_type.c_str(), response.body.size());
-  if (SendAll(fd, head)) (void)SendAll(fd, response.body);
-}
-
-void IntrospectionServer::ServeConnection(int fd) {
-  IntrospectionMetrics::Get().requests->Increment();
-  std::string head;
-  HttpResponse response;
-  HttpRequest request;
-  if (!ReadRequestHead(fd, options_.max_request_bytes, &head)) {
-    ::close(fd);  // peer vanished or stalled past the timeout; no answer
-    return;
-  }
-  if (head.size() >= options_.max_request_bytes) {
-    response.status = 431;
-    response.body = "request head too large\n";
-  } else if (!ParseRequestLine(head, &request)) {
-    response.status = 400;
-    response.body = "malformed request line\n";
-  } else if (request.method != "GET") {
-    response.status = 405;
-    response.body = "introspection endpoints are GET-only\n";
-  } else {
-    auto it = routes_.find(request.path);
-    if (it == routes_.end()) {
-      response.status = 404;
-      response.body = "no such endpoint: " + request.path + "\n";
-      response.body += "endpoints:";
-      for (const auto& [path, handler] : routes_) {
-        (void)handler;
-        response.body += " " + path;
-      }
-      response.body += "\n";
-    } else {
-      response = it->second(request);
-    }
-  }
-  if (response.status != 200) {
-    IntrospectionMetrics::Get().errors->Increment();
-  }
-  WriteResponse(fd, response);
-  ::close(fd);
-}
+void IntrospectionServer::Stop() { server_->Stop(/*drain_seconds=*/1.0); }
 
 Result<std::string> HttpGet(const std::string& host, int port,
                             const std::string& path,
                             double timeout_seconds) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return Status::IOError("socket() failed");
-  SetSocketTimeout(fd, timeout_seconds);
-  struct sockaddr_in addr;
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    return Status::InvalidArgument("bad host '" + host +
-                                   "' (dotted IPv4 expected)");
-  }
-  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    const int err = errno;
-    ::close(fd);
-    return Status::IOError("cannot connect to " + host + ":" +
-                           std::to_string(port) + ": " + std::strerror(err));
-  }
-  const std::string request = "GET " + path +
-                              " HTTP/1.1\r\n"
-                              "Host: " +
-                              host +
-                              "\r\n"
-                              "Connection: close\r\n"
-                              "\r\n";
-  if (!SendAll(fd, request)) {
-    ::close(fd);
-    return Status::IOError("request write failed");
-  }
-  std::string reply;
-  char buf[4096];
-  for (;;) {
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;
-    reply.append(buf, static_cast<size_t>(n));
-  }
-  ::close(fd);
-  size_t body_at = reply.find("\r\n\r\n");
-  size_t skip = 4;
-  if (body_at == std::string::npos) {
-    body_at = reply.find("\n\n");
-    skip = 2;
-  }
-  if (body_at == std::string::npos) {
-    return Status::IOError("malformed HTTP response (no header terminator)");
-  }
-  // "HTTP/1.1 200 OK"
-  int status = 0;
-  const size_t sp = reply.find(' ');
-  if (sp != std::string::npos) status = std::atoi(reply.c_str() + sp + 1);
-  std::string body = reply.substr(body_at + skip);
-  if (status != 200) {
-    return Status::Unavailable("http " + std::to_string(status) + ": " +
-                               body.substr(0, 120));
-  }
-  return body;
+  HttpCallOptions options;
+  options.attempt_timeout_seconds = timeout_seconds;
+  Result<HttpReply> reply = HttpCall(host, port, path, options);
+  if (!reply.ok()) return reply.status();
+  if (reply->status == 200) return std::move(reply->body);
+  std::string prefix = reply->body.substr(0, 120);
+  return Status::Unavailable("http " + std::to_string(reply->status) + ": " +
+                             prefix);
 }
 
 }  // namespace schemr

@@ -1,18 +1,13 @@
 // Embedded HTTP/1.1 introspection listener (DESIGN.md §12).
 //
-// A minimal, dependency-free status server: a dedicated acceptor thread
-// polls one listening socket, accepted connections are handed to a small
-// BoundedExecutor (util/executor.h), and each connection serves exactly
-// one GET request (Connection: close) against an exact-match route table.
-// Connections beyond the handler pool's queue bound are answered 503
-// inline by the acceptor — the introspection plane load-sheds the same
-// way the search plane does, and can never pile up unbounded work.
-//
-// This is deliberately NOT a general web server: no keep-alive, no
-// chunked encoding, no request bodies, GET only. It exists so operators
-// (and `schemr top`) can always ask a serving process what it is doing —
-// and its acceptor/executor skeleton is the piece a future search front
-// end extends (ROADMAP item 3).
+// A thin wrapper over the shared hardened HttpServer (http_server.h,
+// DESIGN.md §13): the introspection plane keeps its small operator-facing
+// API — GET-only routes, loopback bind, one call to Stop — while the
+// socket handling (timeout ladder, bounded parsing, robust acceptor,
+// inline 503 shedding, fault-injection sites) lives in one place shared
+// with the search front end. PR 6 grew this plumbing here; PR 7 promoted
+// it and left this shim so operators' mental model (and the existing
+// tests) stay unchanged.
 //
 // Thread safety: Route before Start; Start/Stop from one thread;
 // handlers run concurrently on the pool and must be thread-safe
@@ -22,30 +17,14 @@
 #ifndef SCHEMR_SERVICE_HTTP_INTROSPECTION_H_
 #define SCHEMR_SERVICE_HTTP_INTROSPECTION_H_
 
-#include <atomic>
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
-#include <thread>
 
-#include "util/executor.h"
+#include "service/http_server.h"
 #include "util/status.h"
 
 namespace schemr {
-
-/// One parsed request line. Only the pieces the routes need.
-struct HttpRequest {
-  std::string method;  ///< "GET"
-  std::string path;    ///< "/statusz" (query string stripped)
-  std::string query;   ///< "window=60" (without the '?'; may be empty)
-};
-
-struct HttpResponse {
-  int status = 200;
-  std::string content_type = "text/plain; charset=utf-8";
-  std::string body;
-};
 
 struct IntrospectionOptions {
   /// Port to bind (0 = kernel-assigned ephemeral; read port() after
@@ -74,7 +53,7 @@ class IntrospectionServer {
   IntrospectionServer(const IntrospectionServer&) = delete;
   IntrospectionServer& operator=(const IntrospectionServer&) = delete;
 
-  /// Registers an exact-match route ("/metrics"). Call before Start.
+  /// Registers an exact-match GET route ("/metrics"). Call before Start.
   void Route(std::string path, Handler handler);
 
   /// Binds, listens, and starts the acceptor thread and handler pool.
@@ -87,28 +66,15 @@ class IntrospectionServer {
   void Stop();
 
   /// The actually bound port (resolves port 0), or 0 before Start.
-  int port() const { return port_; }
+  int port() const { return server_ == nullptr ? 0 : server_->port(); }
 
-  bool running() const { return running_.load(std::memory_order_acquire); }
+  bool running() const { return server_ != nullptr && server_->running(); }
 
   const IntrospectionOptions& options() const { return options_; }
 
  private:
-  void AcceptLoop();
-  void ServeConnection(int fd);
-  /// Formats and writes one response (best-effort; errors close the
-  /// connection, introspection never retries).
-  void WriteResponse(int fd, const HttpResponse& response);
-
   const IntrospectionOptions options_;
-  std::map<std::string, Handler> routes_;
-
-  int listen_fd_ = -1;
-  int port_ = 0;
-  std::atomic<bool> running_{false};
-  std::atomic<bool> stopping_{false};
-  std::thread acceptor_;
-  std::unique_ptr<BoundedExecutor> handlers_;
+  std::unique_ptr<HttpServer> server_;
 };
 
 /// Minimal blocking HTTP/1.1 GET, for `schemr top` and the tests (no

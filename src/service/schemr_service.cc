@@ -12,6 +12,7 @@
 #include "match/codebook.h"
 #include "obs/exposition.h"
 #include "obs/metrics.h"
+#include "parse/xml_parser.h"
 #include "util/fault_injection.h"
 #include "util/timer.h"
 #include "util/xml_writer.h"
@@ -540,6 +541,31 @@ Status SchemrService::StartServing(ServingOptions options) {
       return started;
     }
   }
+
+  if (options.search_port >= 0) {
+    HttpServerOptions sopts = options.search_http;
+    sopts.port = options.search_port;
+    search_server_ = std::make_unique<HttpServer>(sopts);
+    search_server_->Route("POST", "/search", [this](const HttpRequest& http) {
+      return HandleSearchHttp(http);
+    });
+    Status started = search_server_->Start();
+    if (!started.ok()) {
+      // Same full-unwind rule as the introspection bind failure above.
+      search_server_.reset();
+      if (introspection_ != nullptr) {
+        introspection_->Stop();
+        introspection_.reset();
+      }
+      telemetry_->Stop();
+      telemetry_.reset();
+      traces_.reset();
+      (void)executor_->Shutdown(0.0);
+      executor_.reset();
+      admission_.reset();
+      return started;
+    }
+  }
   return Status::OK();
 }
 
@@ -556,25 +582,36 @@ Status SchemrService::Shutdown(double deadline_seconds) {
   }
   admission_->BeginDrain();
   BoundedExecutor* executor = executor_.get();
+  HttpServer* search_server = search_server_.get();
+  lock.unlock();
+  // The search front end stops accepting first: new connects fail fast
+  // while requests already on a socket drain through admission (which now
+  // answers shutting_down) and the executor below. BeginDrain joins only
+  // the acceptor thread, never a handler, so it is deadlock-free against
+  // in-flight searches.
+  if (search_server != nullptr) search_server->BeginDrain();
   // Drain outside the lock: in-flight handlers re-enter serving_mutex_
   // briefly and must not deadlock against us. The executor pointer stays
   // valid because executor_ is never reset, only wedged.
-  lock.unlock();
   Status drained = executor->Shutdown(deadline_seconds);
   lock.lock();
   shut_down_ = true;
   IntrospectionServer* introspection = introspection_.get();
   TelemetrySampler* telemetry = telemetry_.get();
   lock.unlock();
+  // The search front end's handler pool comes down once the executor has
+  // drained: any connection still open is writing out a response that
+  // already resolved (or a shutting_down error), so the window is short.
+  if (search_server != nullptr) search_server->Stop(/*drain_seconds=*/1.0);
   // The introspection plane outlives the drain window (so /healthz can
   // report "draining" to a watching balancer) and comes down only once
   // the drain has resolved. Stopping it joins in-flight handlers, and
   // those handlers take serving_mutex_ themselves (/healthz, /statusz),
   // so the join must happen unlocked — same rule as the executor drain
-  // above. The pointers stay valid: introspection_ and telemetry_ are
-  // never reset once StartServing succeeds, and both Stop()s are safe
-  // under concurrent Shutdown calls. The sampler stops after the
-  // listener: a handler mid-flight may still read it.
+  // above. The pointers stay valid: introspection_, search_server_, and
+  // telemetry_ are never reset once StartServing succeeds, and the
+  // Stop()s are safe under concurrent Shutdown calls. The sampler stops
+  // after the listeners: a handler mid-flight may still read it.
   if (introspection != nullptr) introspection->Stop();
   if (telemetry != nullptr) telemetry->Stop();
   return drained;
@@ -632,7 +669,7 @@ void SchemrService::RecordRefusal(const SearchRequest& request,
 
 std::string SchemrService::RunSearchToXml(
     const SearchRequest& request, double deadline_seconds,
-    double original_deadline_seconds) const {
+    double original_deadline_seconds, SearchWireInfo* wire) const {
   const ServingMetrics& serving_metrics = ServingMetrics::Get();
   serving_metrics.inflight->Add(1.0);
   const Timer handle_timer;
@@ -714,18 +751,24 @@ std::string SchemrService::RunSearchToXml(
     log->Record(std::move(record));
   }
   if (xml.ok()) return *std::move(xml);
-  return ErrorXml(StatusCodeSlug(xml.status().code()),
-                  xml.status().message());
+  std::string slug = StatusCodeSlug(xml.status().code());
+  if (wire != nullptr) wire->error_code = slug;
+  return ErrorXml(slug, xml.status().message());
 }
 
 std::string SchemrService::HandleSearchXml(const SearchRequest& request,
-                                           double deadline_seconds) const {
+                                           double deadline_seconds,
+                                           SearchWireInfo* wire) const {
   BoundedExecutor* executor = nullptr;
   AdmissionController* admission = nullptr;
   {
     std::lock_guard<std::mutex> lock(serving_mutex_);
     if (shut_down_) {
       RecordRefusal(request, AuditOutcome::kShedDrain, deadline_seconds);
+      if (wire != nullptr) {
+        wire->shed_reason = ShedReason::kDrain;
+        wire->error_code = "shutting_down";
+      }
       return ErrorXml("shutting_down", "service is shut down");
     }
     executor = executor_.get();
@@ -737,7 +780,7 @@ std::string SchemrService::HandleSearchXml(const SearchRequest& request,
     const double deadline = deadline_seconds > 0.0
                                 ? deadline_seconds
                                 : AdmissionOptions{}.default_deadline_seconds;
-    return RunSearchToXml(request, deadline, deadline);
+    return RunSearchToXml(request, deadline, deadline, wire);
   }
 
   AdmissionDecision decision =
@@ -745,9 +788,15 @@ std::string SchemrService::HandleSearchXml(const SearchRequest& request,
   if (!decision.admit) {
     RecordRefusal(request, ShedOutcome(decision.shed_reason),
                   decision.deadline_seconds);
+    if (wire != nullptr) {
+      wire->shed_reason = decision.shed_reason;
+      wire->retry_after_ms = decision.retry_after_ms;
+    }
     if (decision.shed_reason == ShedReason::kDrain) {
+      if (wire != nullptr) wire->error_code = "shutting_down";
       return ErrorXml("shutting_down", "service is draining");
     }
+    if (wire != nullptr) wire->error_code = "overloaded";
     return ErrorXml("overloaded", "request shed (" + decision.reason + ")",
                     decision.retry_after_ms);
   }
@@ -760,6 +809,7 @@ std::string SchemrService::HandleSearchXml(const SearchRequest& request,
     std::condition_variable done_cv;
     bool done = false;
     std::string xml;
+    SearchWireInfo wire;
   };
   auto state = std::make_shared<Completion>();
   const Timer wait_timer;
@@ -769,11 +819,13 @@ std::string SchemrService::HandleSearchXml(const SearchRequest& request,
         std::string xml;
         if (cancelled) {
           RecordRefusal(request, AuditOutcome::kCancelled, deadline);
+          state->wire.shed_reason = ShedReason::kDrain;
+          state->wire.error_code = "shutting_down";
           xml = ErrorXml("shutting_down", "cancelled by shutdown drain");
         } else {
           xml = RunSearchToXml(request,
                                deadline - wait_timer.ElapsedSeconds(),
-                               deadline);
+                               deadline, &state->wire);
         }
         {
           std::lock_guard<std::mutex> lock(state->mutex);
@@ -791,11 +843,20 @@ std::string SchemrService::HandleSearchXml(const SearchRequest& request,
       admission->CountShed(ShedReason::kDrain);
       RecordRefusal(request, AuditOutcome::kShedDrain,
                     decision.deadline_seconds);
+      if (wire != nullptr) {
+        wire->shed_reason = ShedReason::kDrain;
+        wire->error_code = "shutting_down";
+      }
       return ErrorXml("shutting_down", "service is draining");
     }
     admission->CountShed(ShedReason::kQueueFull);
     RecordRefusal(request, AuditOutcome::kShedQueueFull,
                   decision.deadline_seconds);
+    if (wire != nullptr) {
+      wire->shed_reason = ShedReason::kQueueFull;
+      wire->retry_after_ms = admission->options().retry_after_base_ms;
+      wire->error_code = "overloaded";
+    }
     return ErrorXml("overloaded", submitted.message(),
                     admission->options().retry_after_base_ms);
   }
@@ -803,7 +864,114 @@ std::string SchemrService::HandleSearchXml(const SearchRequest& request,
   std::unique_lock<std::mutex> lock(state->mutex);
   state->done_cv.wait(lock, [&state] { return state->done; });
   admission->RecordServiceTime(wait_timer.ElapsedSeconds());
+  if (wire != nullptr) *wire = std::move(state->wire);
   return std::move(state->xml);
+}
+
+std::string SearchRequestToXml(const SearchRequest& request) {
+  XmlWriter xml;
+  xml.Open("query").Attribute("keywords", request.keywords);
+  xml.Attribute("top_k", static_cast<long long>(request.top_k));
+  xml.Attribute("pool", static_cast<long long>(request.candidate_pool));
+  if (request.explain) xml.Attribute("explain", "true");
+  if (request.cache_bypass) xml.Attribute("cache", "bypass");
+  if (!request.fragment.empty()) {
+    xml.SimpleElement("fragment", request.fragment);
+  }
+  xml.Close();
+  return xml.Finish();
+}
+
+Result<SearchRequest> ParseSearchRequestXml(const std::string& xml) {
+  auto doc = ParseXml(xml);
+  if (!doc.ok()) {
+    return Status::InvalidArgument("malformed request XML: " +
+                                   doc.status().message());
+  }
+  const XmlNode* root = doc->root.get();
+  if (root == nullptr || root->LocalName() != "query") {
+    return Status::InvalidArgument("expected <query> root");
+  }
+  SearchRequest request;
+  if (const std::string* v = root->FindAttribute("keywords")) {
+    request.keywords = *v;
+  }
+  // Strict numeric attributes: a request that cannot say how much work it
+  // wants does not get to guess.
+  auto parse_size = [](const std::string& text, size_t* out) {
+    if (text.empty() || text.size() > 9) return false;
+    size_t value = 0;
+    for (char c : text) {
+      if (c < '0' || c > '9') return false;
+      value = value * 10 + static_cast<size_t>(c - '0');
+    }
+    *out = value;
+    return true;
+  };
+  if (const std::string* v = root->FindAttribute("top_k")) {
+    if (!parse_size(*v, &request.top_k)) {
+      return Status::InvalidArgument("non-numeric top_k '" + *v + "'");
+    }
+  }
+  if (const std::string* v = root->FindAttribute("pool")) {
+    if (!parse_size(*v, &request.candidate_pool)) {
+      return Status::InvalidArgument("non-numeric pool '" + *v + "'");
+    }
+  }
+  if (const std::string* v = root->FindAttribute("explain")) {
+    request.explain = *v == "true" || *v == "1";
+  }
+  if (const std::string* v = root->FindAttribute("cache")) {
+    request.cache_bypass = *v == "bypass";
+  }
+  if (const XmlNode* fragment = root->FirstChild("fragment")) {
+    request.fragment = fragment->text;
+  }
+  if (request.top_k == 0) request.top_k = 10;
+  if (request.candidate_pool < request.top_k) {
+    request.candidate_pool = request.top_k;
+  }
+  return request;
+}
+
+HttpResponse SchemrService::HandleSearchHttp(const HttpRequest& http) const {
+  HttpResponse response;
+  response.content_type = "application/xml";
+  Result<SearchRequest> parsed = ParseSearchRequestXml(http.body);
+  if (!parsed.ok()) {
+    response.status = 400;
+    response.body = ErrorXml(StatusCodeSlug(parsed.status().code()),
+                             parsed.status().message());
+    return response;
+  }
+  double deadline_seconds = 0.0;
+  if (const std::string* header = http.FindHeader("x-schemr-deadline-ms")) {
+    // Client deadline propagation: the header value flows into the
+    // admission deadline and from there into the matcher budgets. A
+    // non-numeric or non-positive value falls back to the default rather
+    // than erroring — a bad hint should not cost the client its answer.
+    const double deadline_ms = std::atof(header->c_str());
+    if (deadline_ms > 0.0) deadline_seconds = deadline_ms / 1e3;
+  }
+  SearchWireInfo wire;
+  response.body = HandleSearchXml(*parsed, deadline_seconds, &wire);
+  if (wire.shed_reason != ShedReason::kNone) {
+    // Sheds become 503. Only capacity sheds carry Retry-After — they are
+    // the invitation to come back; a draining instance withholds it so a
+    // well-behaved client (HttpCall) goes elsewhere instead.
+    response.status = 503;
+    response.headers.emplace_back("X-Schemr-Shed",
+                                  ShedReasonName(wire.shed_reason));
+    if (wire.shed_reason != ShedReason::kDrain && wire.retry_after_ms > 0.0) {
+      response.retry_after_seconds = wire.retry_after_ms / 1e3;
+    }
+  } else if (!wire.error_code.empty()) {
+    const bool client_fault = wire.error_code == "invalid_argument" ||
+                              wire.error_code == "parse_error" ||
+                              wire.error_code == "out_of_range";
+    response.status = client_fault ? 400 : 500;
+  }
+  return response;
 }
 
 std::string SchemrService::MetricsText() const {
@@ -892,6 +1060,21 @@ std::string SchemrService::StatuszJson() const {
     JsonBool(&out, "draining", admission->draining());
     JsonNum(&out, "predicted_service_ms",
             admission->PredictedServiceSeconds() * 1e3);
+  }
+  out.push_back('}');
+
+  JsonKey(&out, "http");
+  out.push_back('{');
+  if (HttpServer* search = search_server_.get(); search != nullptr) {
+    const HttpServerStats stats = search->Stats();
+    JsonNum(&out, "port", static_cast<double>(search->port()));
+    JsonNum(&out, "connections", static_cast<double>(stats.connections));
+    JsonNum(&out, "active", static_cast<double>(stats.active));
+    JsonNum(&out, "shed", static_cast<double>(stats.shed));
+    JsonNum(&out, "timeouts", static_cast<double>(stats.timeouts));
+    JsonNum(&out, "bytes_read", static_cast<double>(stats.bytes_read));
+    JsonNum(&out, "bytes_written", static_cast<double>(stats.bytes_written));
+    JsonBool(&out, "draining", search->draining());
   }
   out.push_back('}');
 

@@ -82,6 +82,15 @@ struct ServingOptions {
   /// port from introspection()->port()). Disabled (-1) by default: the
   /// introspection plane is opt-in per process.
   int introspection_port = -1;
+  /// When >= 0, StartServing brings up the search serving front end
+  /// (POST /search over the hardened HttpServer; DESIGN.md §13) on this
+  /// port (0 = ephemeral; read search_server()->port()). Disabled (-1)
+  /// by default.
+  int search_port = -1;
+  /// Socket hardening knobs for the search front end (timeout ladder,
+  /// connection cap, input bounds). `search_http.port` is overridden by
+  /// `search_port` above.
+  HttpServerOptions search_http;
   /// Windowed-telemetry sampler configuration (the sampler itself always
   /// runs while serving; it costs one registry Collect per interval).
   TelemetryOptions telemetry;
@@ -90,6 +99,32 @@ struct ServingOptions {
   /// metadata-only.
   TraceRetentionOptions trace_retention;
 };
+
+/// How a search outcome should look on the wire, filled by
+/// HandleSearchXml for transports (the HTTP front end) that must map the
+/// outcome onto protocol status codes without re-parsing the response
+/// XML. The XML body itself is identical with or without this side
+/// channel — byte-identical serving is the front end's contract.
+struct SearchWireInfo {
+  /// Why admission refused the request, kNone when it ran (or failed for
+  /// a non-admission reason).
+  ShedReason shed_reason = ShedReason::kNone;
+  /// The Retry-After hint attached to a shed, milliseconds; 0 when none.
+  double retry_after_ms = 0.0;
+  /// The <error code="..."> slug when the response is an error, empty on
+  /// success ("overloaded", "shutting_down", "invalid_argument", ...).
+  std::string error_code;
+};
+
+/// Serializes a SearchRequest as the request wire format the search
+/// front end accepts over POST /search:
+///   <query keywords="..." top_k="10" pool="50" [explain="true"]
+///          [cache="bypass"]>[<fragment>...</fragment>]</query>
+std::string SearchRequestToXml(const SearchRequest& request);
+
+/// Parses the POST /search request body. InvalidArgument on malformed
+/// XML, a non-<query> root, or non-numeric attributes.
+Result<SearchRequest> ParseSearchRequestXml(const std::string& xml);
 
 /// A client visualization request ("drill-in").
 struct VisualizationRequest {
@@ -146,8 +181,23 @@ class SchemrService {
   /// StartServing (or after Shutdown completes) requests are not queued:
   /// they run inline on the caller's thread (still deadline-bounded), so
   /// single-threaded callers need no serving setup.
+  /// `wire`, when non-null, receives transport-mapping facts about the
+  /// outcome (shed reason, retry-after, error slug); the returned XML is
+  /// byte-identical either way.
   std::string HandleSearchXml(const SearchRequest& request,
-                              double deadline_seconds = 0.0) const;
+                              double deadline_seconds = 0.0,
+                              SearchWireInfo* wire = nullptr) const;
+
+  /// The POST /search endpoint: parses the XML request body, reads the
+  /// client deadline from the X-Schemr-Deadline-Ms header (absent or
+  /// non-positive = admission default), runs HandleSearchXml, and maps
+  /// the outcome onto the HTTP status ladder: 200 with the response XML
+  /// (including pipeline <error>s that are the caller's fault — they ran),
+  /// 400 for malformed request XML / invalid arguments, 503 with
+  /// Retry-After and an X-Schemr-Shed header for sheds and drain, 500
+  /// for internal failures. Success bodies are byte-identical to the
+  /// in-process HandleSearchXml return for the same request.
+  HttpResponse HandleSearchHttp(const HttpRequest& request) const;
 
   /// Graceful drain: stops admitting (new requests get
   /// <error code="shutting_down"/>), waits up to `deadline_seconds` for
@@ -244,6 +294,11 @@ class SchemrService {
     return introspection_.get();
   }
 
+  /// The live search front end, or null when not enabled
+  /// (ServingOptions::search_port < 0). Valid between StartServing and
+  /// destruction.
+  const HttpServer* search_server() const { return search_server_.get(); }
+
   /// The windowed-telemetry sampler, or null before StartServing.
   TelemetrySampler* telemetry() const { return telemetry_.get(); }
 
@@ -292,10 +347,11 @@ class SchemrService {
   /// Runs the search under `deadline_seconds` with the near-deadline
   /// degradation ladder applied and serializes the outcome (results or
   /// <error>) as XML. Records the request into the audit log when one is
-  /// enabled.
+  /// enabled. `wire` (may be null) receives the error slug on failure.
   std::string RunSearchToXml(const SearchRequest& request,
                              double deadline_seconds,
-                             double original_deadline_seconds) const;
+                             double original_deadline_seconds,
+                             SearchWireInfo* wire = nullptr) const;
   /// Records a request refused before the pipeline ran (shed, cancelled,
   /// post-shutdown). No-op when auditing is off.
   void RecordRefusal(const SearchRequest& request, AuditOutcome outcome,
@@ -317,14 +373,15 @@ class SchemrService {
   mutable std::mutex audit_mutex_;    ///< guards audit_ (set-once, read often)
   std::shared_ptr<AuditLog> audit_;
 
-  // Introspection plane (set under serving_mutex_ in StartServing, read
+  // Network planes (set under serving_mutex_ in StartServing, read
   // unguarded afterwards like serving_options_; never reset while the
-  // service lives). introspection_ is declared last so its destructor —
-  // which joins handler threads that read every member above — runs
-  // first.
+  // service lives). The two listeners are declared last so their
+  // destructors — which join handler threads that read every member
+  // above — run first.
   std::unique_ptr<TelemetrySampler> telemetry_;
   std::unique_ptr<TraceRetention> traces_;
   std::unique_ptr<IntrospectionServer> introspection_;
+  std::unique_ptr<HttpServer> search_server_;
 };
 
 }  // namespace schemr

@@ -1,5 +1,6 @@
 #include "util/fault_injection.h"
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -307,6 +308,93 @@ void FaultInjector::CrashPoint(const char* site) {
   bool crash_now = false;
   bool fire = NextAction(site, /*is_write=*/false, &spec, &crash_now);
   if (fire && spec.kind == FaultKind::kCrash) throw InjectedCrash{site};
+}
+
+int FaultInjector::Accept(const char* site, int fd, struct sockaddr* addr,
+                          socklen_t* len) {
+  if (!enabled()) return ::accept(fd, addr, len);
+  FaultSpec spec;
+  bool crash_now = false;
+  bool fire = NextAction(site, /*is_write=*/false, &spec, &crash_now);
+  if (!fire) return ::accept(fd, addr, len);
+  switch (spec.kind) {
+    case FaultKind::kError:
+    case FaultKind::kShortWrite:
+      errno = spec.error_code;
+      return -1;
+    case FaultKind::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(spec.arg));
+      return ::accept(fd, addr, len);
+    case FaultKind::kCrash:
+      throw InjectedCrash{site};
+    case FaultKind::kYield:  // meaningful only at Perturb() sites
+      break;
+  }
+  return ::accept(fd, addr, len);
+}
+
+ssize_t FaultInjector::Recv(const char* reset_site, const char* short_site,
+                            int fd, void* buf, size_t n, int flags) {
+  if (!enabled()) return ::recv(fd, buf, n, flags);
+  FaultSpec spec;
+  bool crash_now = false;
+  if (NextAction(reset_site, /*is_write=*/false, &spec, &crash_now)) {
+    switch (spec.kind) {
+      case FaultKind::kError:
+      case FaultKind::kShortWrite:
+        errno = spec.error_code;
+        return -1;
+      case FaultKind::kDelay:
+        std::this_thread::sleep_for(std::chrono::milliseconds(spec.arg));
+        break;
+      case FaultKind::kCrash:
+        throw InjectedCrash{reset_site};
+      case FaultKind::kYield:
+        break;
+    }
+  }
+  if (NextAction(short_site, /*is_write=*/false, &spec, &crash_now)) {
+    if (spec.kind == FaultKind::kCrash) throw InjectedCrash{short_site};
+    // Any non-crash kind dribbles: cap the read at `arg` bytes (at least
+    // one, so a capped read still makes progress and the connection
+    // reassembles rather than spinning).
+    uint64_t cap = spec.arg > 0 ? spec.arg : 1;
+    if (cap < n) n = static_cast<size_t>(cap);
+  }
+  return ::recv(fd, buf, n, flags);
+}
+
+ssize_t FaultInjector::Send(const char* reset_site, const char* short_site,
+                            int fd, const void* buf, size_t n, int flags) {
+  if (!enabled()) return ::send(fd, buf, n, flags);
+  FaultSpec spec;
+  bool crash_now = false;
+  if (NextAction(reset_site, /*is_write=*/false, &spec, &crash_now)) {
+    switch (spec.kind) {
+      case FaultKind::kError:
+      case FaultKind::kShortWrite:
+        errno = spec.error_code;
+        return -1;
+      case FaultKind::kDelay:
+        std::this_thread::sleep_for(std::chrono::milliseconds(spec.arg));
+        break;
+      case FaultKind::kCrash:
+        throw InjectedCrash{reset_site};
+      case FaultKind::kYield:
+        break;
+    }
+  }
+  if (NextAction(short_site, /*is_write=*/false, &spec, &crash_now)) {
+    if (spec.kind == FaultKind::kCrash) throw InjectedCrash{short_site};
+    // Torn mid-response write: a prefix reaches the peer, then the
+    // connection errors. The ambiguous failure mode retrying clients must
+    // treat as non-retryable.
+    size_t allowed = spec.arg < n ? static_cast<size_t>(spec.arg) : n;
+    if (allowed > 0) (void)::send(fd, buf, allowed, flags);
+    errno = spec.error_code;
+    return -1;
+  }
+  return ::send(fd, buf, n, flags);
 }
 
 namespace {

@@ -32,6 +32,7 @@
 #ifndef SCHEMR_UTIL_FAULT_INJECTION_H_
 #define SCHEMR_UTIL_FAULT_INJECTION_H_
 
+#include <sys/socket.h>
 #include <sys/types.h>
 
 #include <atomic>
@@ -134,6 +135,38 @@ class FaultInjector {
   /// Named crash point. No-op unless a kCrash fault is armed at `site` or
   /// a scheduled crash lands on this hit.
   void CrashPoint(const char* site);
+
+  // --- socket shim points ---------------------------------------------------
+  // The network front end (service/http_server) threads its socket
+  // syscalls through these so the chaos harness can reset, truncate, and
+  // stall real connections. Each op consults the failure-mode sites the
+  // server passes ("net/accept/fail", "net/read/{reset,short}",
+  // "net/write/{reset,short}"); the armed FaultSpec supplies mechanics
+  // (errno, byte caps, delays). kCrash at a socket site throws like any
+  // other shim — the chaos harness arms errors, not kills, on the serving
+  // path.
+
+  /// Behaves like ::accept(fd, addr, len). A kError fault at `site` fails
+  /// the accept with the spec's errno without accepting anything (EMFILE
+  /// exhaustion, ECONNABORTED races); kDelay stalls the acceptor first.
+  int Accept(const char* site, int fd, struct sockaddr* addr,
+             socklen_t* len);
+
+  /// Behaves like ::recv(fd, buf, n, flags). A kError fault at
+  /// `reset_site` fails the read outright (peer reset); a kShortWrite
+  /// fault at `short_site` caps this read at `arg` bytes — a trickling
+  /// peer, which is not an error but forces every reassembly loop to
+  /// handle arbitrary fragmentation.
+  ssize_t Recv(const char* reset_site, const char* short_site, int fd,
+               void* buf, size_t n, int flags);
+
+  /// Behaves like ::send(fd, buf, n, flags). A kError fault at
+  /// `reset_site` fails before any byte leaves; a kShortWrite fault at
+  /// `short_site` sends a prefix of `arg` bytes and then fails with the
+  /// spec's errno — a torn mid-response write, the ambiguous failure a
+  /// client must never retry.
+  ssize_t Send(const char* reset_site, const char* short_site, int fd,
+               const void* buf, size_t n, int flags);
 
   // --- thread-schedule perturbation ----------------------------------------
 

@@ -1,0 +1,357 @@
+// Network chaos tests for the search front end (DESIGN.md §13): the
+// byte-identical serving contract (a POST /search response equals the
+// in-process HandleSearchXml XML for the same request), the shed →
+// wire mapping (ShedReason onto 503 / Retry-After / X-Schemr-Shed),
+// client-deadline propagation via X-Schemr-Deadline-Ms, and a chaos
+// torture loop that runs full serve/drain cycles while socket faults
+// fire and clients kill connections mid-request and mid-response.
+// SCHEMR_TORTURE_CYCLES scales the torture loop (CI runs it at 100
+// under TSan with SCHEMR_PERTURB=1).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/serving_corpus.h"
+#include "repo/schema_repository.h"
+#include "schema/schema_builder.h"
+#include "service/http_server.h"
+#include "service/schemr_service.h"
+#include "util/fault_injection.h"
+#include "util/rng.h"
+
+namespace schemr {
+namespace {
+
+Schema ClinicSchema(const std::string& name) {
+  return SchemaBuilder(name)
+      .Description("rural clinic data")
+      .Entity("patient")
+      .Attribute("height", DataType::kDouble)
+      .Attribute("gender")
+      .Entity("case")
+      .Attribute("patient_id", DataType::kInt64)
+      .References("patient")
+      .Attribute("diagnosis")
+      .Build();
+}
+
+Result<std::unique_ptr<ServingCorpus>> MakeCorpus(size_t seed_schemas) {
+  auto corpus = ServingCorpus::Create(SchemaRepository::OpenInMemory());
+  if (!corpus.ok()) return corpus.status();
+  for (size_t i = 0; i < seed_schemas; ++i) {
+    auto id = (*corpus)->Ingest(ClinicSchema("seed_" + std::to_string(i)));
+    if (!id.ok()) return id.status();
+  }
+  return corpus;
+}
+
+SearchRequest ClinicQuery() {
+  SearchRequest request;
+  request.keywords = "patient height diagnosis";
+  request.top_k = 5;
+  request.candidate_pool = 20;
+  return request;
+}
+
+/// POSTs `body` to the service's /search and returns the reply.
+Result<HttpReply> PostSearch(const SchemrService& service,
+                             const std::string& body,
+                             HttpCallOptions options = {}) {
+  options.method = "POST";
+  options.body = body;
+  return HttpCall("127.0.0.1", service.search_server()->port(), "/search",
+                  options);
+}
+
+// --- the serving contract ---------------------------------------------------
+
+TEST(SearchFrontEndTest, SocketServedSearchIsByteIdenticalToInProcess) {
+  auto corpus = MakeCorpus(8);
+  ASSERT_TRUE(corpus.ok());
+  SchemrService service(corpus->get());
+  ServingOptions serving;
+  serving.search_port = 0;
+  ASSERT_TRUE(service.StartServing(serving).ok());
+  ASSERT_NE(service.search_server(), nullptr);
+  ASSERT_GT(service.search_server()->port(), 0);
+
+  const SearchRequest request = ClinicQuery();
+  const std::string in_process = service.HandleSearchXml(request);
+  ASSERT_NE(in_process.find("<results"), std::string::npos) << in_process;
+
+  auto reply = PostSearch(service, SearchRequestToXml(request));
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(reply->status, 200);
+  EXPECT_EQ(reply->body, in_process);
+  ASSERT_NE(reply->headers.find("content-type"), reply->headers.end());
+  EXPECT_EQ(reply->headers.at("content-type"), "application/xml");
+
+  EXPECT_TRUE(service.Shutdown(2.0).ok());
+}
+
+TEST(SearchFrontEndTest, RequestXmlRoundTrips) {
+  SearchRequest request = ClinicQuery();
+  request.fragment = "CREATE TABLE patient (height DOUBLE);";
+  request.explain = true;
+  request.cache_bypass = true;
+  auto parsed = ParseSearchRequestXml(SearchRequestToXml(request));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->keywords, request.keywords);
+  EXPECT_EQ(parsed->fragment, request.fragment);
+  EXPECT_EQ(parsed->top_k, request.top_k);
+  EXPECT_EQ(parsed->candidate_pool, request.candidate_pool);
+  EXPECT_TRUE(parsed->explain);
+  EXPECT_TRUE(parsed->cache_bypass);
+}
+
+TEST(SearchFrontEndTest, MalformedRequestBodyIs400) {
+  auto corpus = MakeCorpus(2);
+  ASSERT_TRUE(corpus.ok());
+  SchemrService service(corpus->get());
+  ServingOptions serving;
+  serving.search_port = 0;
+  ASSERT_TRUE(service.StartServing(serving).ok());
+
+  for (const char* body : {"not xml at all", "<wrong-root/>",
+                           "<query keywords=\"x\" top_k=\"banana\"/>"}) {
+    auto reply = PostSearch(service, body);
+    ASSERT_TRUE(reply.ok()) << reply.status();
+    EXPECT_EQ(reply->status, 400) << body;
+    EXPECT_NE(reply->body.find("<error"), std::string::npos) << reply->body;
+  }
+  EXPECT_TRUE(service.Shutdown(2.0).ok());
+}
+
+TEST(SearchFrontEndTest, QueueFullShedMapsTo503RetryAfterAndShedHeader) {
+  auto corpus = MakeCorpus(2);
+  ASSERT_TRUE(corpus.ok());
+  SchemrService service(corpus->get());
+  ServingOptions serving;
+  serving.search_port = 0;
+  // Admission sheds when queue_depth >= max_queue_depth, so a zero cap
+  // refuses every request deterministically.
+  serving.admission.max_queue_depth = 0;
+  ASSERT_TRUE(service.StartServing(serving).ok());
+
+  auto reply = PostSearch(service, SearchRequestToXml(ClinicQuery()));
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(reply->status, 503);
+  ASSERT_NE(reply->headers.find("x-schemr-shed"), reply->headers.end());
+  EXPECT_EQ(reply->headers.at("x-schemr-shed"), "queue_full");
+  EXPECT_NE(reply->headers.find("retry-after"), reply->headers.end());
+  EXPECT_NE(reply->body.find("overloaded"), std::string::npos) << reply->body;
+  EXPECT_TRUE(service.Shutdown(2.0).ok());
+}
+
+TEST(SearchFrontEndTest, DrainShedCarriesNoRetryAfter) {
+  auto corpus = MakeCorpus(2);
+  ASSERT_TRUE(corpus.ok());
+  SchemrService service(corpus->get());
+  ASSERT_TRUE(service.StartServing({}).ok());
+  ASSERT_TRUE(service.Shutdown(2.0).ok());
+
+  // The handler itself (the socket is already down post-shutdown): a
+  // drained instance answers 503 shutting_down WITHOUT Retry-After, so
+  // the retrying client gives up instead of hammering a dying process.
+  HttpRequest request;
+  request.method = "POST";
+  request.path = "/search";
+  request.body = SearchRequestToXml(ClinicQuery());
+  const HttpResponse response = service.HandleSearchHttp(request);
+  EXPECT_EQ(response.status, 503);
+  EXPECT_LT(response.retry_after_seconds, 0.0);
+  bool shed_header = false;
+  for (const auto& [name, value] : response.headers) {
+    if (name == "X-Schemr-Shed") {
+      shed_header = true;
+      EXPECT_EQ(value, "shutting_down");
+    }
+  }
+  EXPECT_TRUE(shed_header);
+  EXPECT_NE(response.body.find("shutting_down"), std::string::npos);
+}
+
+TEST(SearchFrontEndTest, DeadlineHeaderPropagatesToTheSearch) {
+  auto corpus = MakeCorpus(8);
+  ASSERT_TRUE(corpus.ok());
+  SchemrService service(corpus->get());
+  ServingOptions serving;
+  serving.search_port = 0;
+  ASSERT_TRUE(service.StartServing(serving).ok());
+
+  // A generous client deadline serves normally and byte-identically to
+  // the in-process call under the same deadline.
+  const SearchRequest request = ClinicQuery();
+  const std::string in_process = service.HandleSearchXml(request, 5.0);
+  HttpCallOptions options;
+  options.headers.emplace_back("X-Schemr-Deadline-Ms", "5000");
+  auto generous = PostSearch(service, SearchRequestToXml(request), options);
+  ASSERT_TRUE(generous.ok()) << generous.status();
+  EXPECT_EQ(generous->status, 200);
+  EXPECT_EQ(generous->body, in_process);
+
+  // A non-numeric deadline header falls back to the admission default
+  // rather than failing the request.
+  HttpCallOptions bogus;
+  bogus.headers.emplace_back("X-Schemr-Deadline-Ms", "soon");
+  auto fallback = PostSearch(service, SearchRequestToXml(request), bogus);
+  ASSERT_TRUE(fallback.ok()) << fallback.status();
+  EXPECT_EQ(fallback->status, 200);
+  EXPECT_TRUE(service.Shutdown(2.0).ok());
+}
+
+// --- chaos torture ----------------------------------------------------------
+
+int TortureCycles() {
+  const char* env = std::getenv("SCHEMR_TORTURE_CYCLES");
+  if (env != nullptr) {
+    const int cycles = std::atoi(env);
+    if (cycles > 0) return cycles;
+  }
+  return 8;
+}
+
+/// One hostile client action against the live front end: a normal call,
+/// a connection killed mid-request, a reader that abandons the response
+/// after a few bytes, or raw garbage.
+void HostileClient(int port, const std::string& body, Rng* rng) {
+  const uint64_t kind = rng->NextBelow(4);
+  if (kind == 0) {
+    HttpCallOptions options;
+    options.method = "POST";
+    options.body = body;
+    options.attempt_timeout_seconds = 3.0;
+    options.max_attempts = 2;  // exercise the 503+Retry-After retry path
+    options.backoff_base_ms = 1.0;
+    options.jitter_seed = rng->Next();
+    // Any complete status and any IOError are acceptable under chaos;
+    // the assertions that matter are liveness ones after the joins.
+    (void)HttpCall("127.0.0.1", port, "/search", options);
+    return;
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return;
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return;
+  }
+  const std::string request = "POST /search HTTP/1.1\r\nContent-Length: " +
+                              std::to_string(body.size()) + "\r\n\r\n" + body;
+  if (kind == 1) {
+    // Kill mid-request: send a prefix, then vanish.
+    const size_t cut = 1 + rng->NextBelow(request.size());
+    (void)::send(fd, request.data(), cut, MSG_NOSIGNAL);
+  } else if (kind == 2) {
+    // Abandon mid-response: full request, read a few bytes, vanish.
+    (void)::send(fd, request.data(), request.size(), MSG_NOSIGNAL);
+    char buf[8];
+    (void)::recv(fd, buf, sizeof(buf), 0);
+  } else {
+    const size_t size = 1 + rng->NextBelow(256);
+    std::string noise;
+    noise.reserve(size);
+    for (size_t i = 0; i < size; ++i) {
+      noise.push_back(static_cast<char>(rng->NextBelow(256)));
+    }
+    (void)::send(fd, noise.data(), noise.size(), MSG_NOSIGNAL);
+  }
+  ::close(fd);
+}
+
+/// Arms count-limited socket faults for one cycle. Count-limited specs
+/// go dormant after firing, so cycles never leak faults into each other
+/// and environment-armed faults (SCHEMR_FAULTS in CI) stay untouched.
+void ArmCycleFaults(Rng* rng) {
+  static const char* const kSites[] = {
+      "net/accept/fail", "net/read/reset",  "net/read/short",
+      "net/write/reset", "net/write/short", "net/respond/kill",
+  };
+  for (const char* site : kSites) {
+    if (rng->NextBool(0.5)) continue;
+    FaultSpec spec;
+    if (std::string(site).find("short") != std::string::npos) {
+      spec.kind = FaultKind::kShortWrite;
+      spec.arg = 1 + rng->NextBelow(64);
+    } else {
+      spec.kind = FaultKind::kError;
+      spec.error_code = rng->NextBool() ? ECONNRESET : EMFILE;
+    }
+    spec.skip = static_cast<int>(rng->NextBelow(4));
+    spec.count = 1 + static_cast<int>(rng->NextBelow(3));
+    FaultInjector::Global().Arm(site, spec);
+  }
+}
+
+TEST(NetworkChaosTest, TortureServeDrainUnderSocketFaults) {
+  const int cycles = TortureCycles();
+  constexpr int kClientThreads = 4;
+  constexpr int kRequestsPerThread = 3;
+  Rng rng(20260807);
+
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    auto corpus = MakeCorpus(4);
+    ASSERT_TRUE(corpus.ok());
+    SchemrService service(corpus->get());
+    ServingOptions serving;
+    serving.search_port = 0;
+    serving.executor.num_workers = 2;
+    // Short timeouts so killed connections give handlers back quickly.
+    serving.search_http.header_timeout_seconds = 0.5;
+    serving.search_http.body_timeout_seconds = 0.5;
+    serving.search_http.write_timeout_seconds = 0.5;
+    serving.search_http.handler_threads = 2;
+    serving.search_http.max_connections = 8;
+    ASSERT_TRUE(service.StartServing(serving).ok());
+    const int port = service.search_server()->port();
+    ASSERT_GT(port, 0);
+
+    ArmCycleFaults(&rng);
+    const std::string body = SearchRequestToXml(ClinicQuery());
+    std::vector<std::thread> clients;
+    clients.reserve(kClientThreads);
+    for (int t = 0; t < kClientThreads; ++t) {
+      Rng client_rng(rng.Next());
+      clients.emplace_back([port, &body, client_rng]() mutable {
+        for (int i = 0; i < kRequestsPerThread; ++i) {
+          HostileClient(port, body, &client_rng);
+        }
+      });
+    }
+    // Let real traffic land first (one well-formed request from this
+    // thread guarantees the cycle exercised serving, not just connect
+    // refusal), then drain while clients are still attacking: Shutdown
+    // must return — a wedged executor or a handler stuck on a dead
+    // socket fails the test at the ctest timeout.
+    HttpCallOptions probe;
+    probe.method = "POST";
+    probe.body = body;
+    probe.attempt_timeout_seconds = 3.0;
+    (void)HttpCall("127.0.0.1", port, "/search", probe);
+    const Status drained = service.Shutdown(5.0);
+    EXPECT_TRUE(drained.ok() || drained.code() == StatusCode::kUnavailable)
+        << drained;
+    for (std::thread& client : clients) client.join();
+    EXPECT_FALSE(service.serving());
+    EXPECT_FALSE(service.search_server()->running());
+  }
+  FaultInjector::Global().DisarmAll();
+}
+
+}  // namespace
+}  // namespace schemr

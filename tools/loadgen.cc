@@ -1,0 +1,307 @@
+// Load generator for the schemr search front end (EXPERIMENTS E18).
+//
+// Drives POST /search on a live `schemr serve --search-port` instance
+// with the replay workload XML, in one of two modes:
+//
+//   * closed loop (--mode closed): N connections (--connections) issue
+//     requests back to back — throughput is whatever the server sustains,
+//     and latency is the classic closed-loop number (it cannot exceed
+//     concurrency / service time).
+//   * open loop (--mode open): arrivals are scheduled at a fixed rate
+//     (--qps) regardless of completions, and each request's latency is
+//     measured from its *scheduled* arrival, so queueing delay shows up
+//     in the percentiles instead of being hidden by coordinated omission.
+//
+// Output is one flat JSON object on stdout (ParseBenchJson-compatible,
+// same convention as /statusz and bench_gate): qps achieved, latency
+// percentiles, and the ok / shed / error / net-error split. Exit status
+// is 0 when at least one request succeeded, 1 otherwise.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/replay.h"
+#include "service/http_server.h"
+#include "service/schemr_service.h"
+#include "util/timer.h"
+
+namespace {
+
+using schemr::HttpCall;
+using schemr::HttpCallOptions;
+using schemr::HttpReply;
+using schemr::Result;
+using schemr::SearchRequest;
+using schemr::Timer;
+using schemr::WorkloadEntry;
+
+struct Args {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string workload_path;
+  std::string mode = "closed";
+  size_t connections = 4;
+  double qps = 100.0;
+  double duration_seconds = 5.0;
+  double deadline_ms = 0.0;
+  double timeout_seconds = 5.0;
+  int retries = 0;  ///< extra attempts on connect-failure / 503+Retry-After
+  uint64_t seed = 1;
+};
+
+struct Tally {
+  std::mutex mutex;
+  std::vector<double> latencies_ms;  ///< successful requests only
+  uint64_t ok = 0;
+  uint64_t shed = 0;         ///< 503 responses
+  uint64_t http_error = 0;   ///< complete non-200/non-503 responses
+  uint64_t net_error = 0;    ///< no complete response at all
+  uint64_t attempts = 0;     ///< total attempts incl. retries
+  uint64_t late = 0;         ///< open loop: arrivals the client ran behind on
+};
+
+double Percentile(std::vector<double>* values, double p) {
+  if (values->empty()) return 0.0;
+  std::sort(values->begin(), values->end());
+  const size_t index = static_cast<size_t>(
+      p * static_cast<double>(values->size() - 1) + 0.5);
+  return (*values)[std::min(index, values->size() - 1)];
+}
+
+void RecordReply(Tally* tally, const Result<HttpReply>& reply,
+                 double latency_ms) {
+  std::lock_guard<std::mutex> lock(tally->mutex);
+  if (!reply.ok()) {
+    ++tally->net_error;
+    return;
+  }
+  tally->attempts += static_cast<uint64_t>(reply->attempts - 1);
+  if (reply->status == 200) {
+    ++tally->ok;
+    tally->latencies_ms.push_back(latency_ms);
+  } else if (reply->status == 503) {
+    ++tally->shed;
+  } else {
+    ++tally->http_error;
+  }
+}
+
+/// Pre-renders each workload entry as the POST /search body once — the
+/// load loop should measure the server, not XML serialization.
+std::vector<std::string> RenderBodies(const std::vector<WorkloadEntry>& work) {
+  std::vector<std::string> bodies;
+  bodies.reserve(work.size());
+  for (const WorkloadEntry& entry : work) {
+    SearchRequest request;
+    request.keywords = entry.keywords;
+    request.fragment = entry.fragment;
+    request.top_k = entry.top_k;
+    request.candidate_pool = entry.candidate_pool;
+    bodies.push_back(schemr::SearchRequestToXml(request));
+  }
+  return bodies;
+}
+
+HttpCallOptions CallOptions(const Args& args, uint64_t worker_seed) {
+  HttpCallOptions options;
+  options.method = "POST";
+  options.attempt_timeout_seconds = args.timeout_seconds;
+  options.max_attempts = 1 + std::max(0, args.retries);
+  options.jitter_seed = worker_seed;
+  if (args.deadline_ms > 0.0) {
+    char value[32];
+    std::snprintf(value, sizeof(value), "%.0f", args.deadline_ms);
+    options.headers.emplace_back("X-Schemr-Deadline-Ms", value);
+  }
+  return options;
+}
+
+void RunClosed(const Args& args, const std::vector<std::string>& bodies,
+               Tally* tally) {
+  std::atomic<uint64_t> next{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  workers.reserve(args.connections);
+  for (size_t w = 0; w < args.connections; ++w) {
+    workers.emplace_back([&, w] {
+      const HttpCallOptions options = CallOptions(args, args.seed + w);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const uint64_t n = next.fetch_add(1, std::memory_order_relaxed);
+        const std::string& body = bodies[n % bodies.size()];
+        HttpCallOptions attempt = options;
+        attempt.body = body;
+        const Timer timer;
+        Result<HttpReply> reply =
+            HttpCall(args.host, args.port, "/search", attempt);
+        RecordReply(tally, reply, timer.ElapsedMillis());
+      }
+    });
+  }
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<int64_t>(args.duration_seconds * 1e3)));
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& worker : workers) worker.join();
+}
+
+void RunOpen(const Args& args, const std::vector<std::string>& bodies,
+             Tally* tally) {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point start = Clock::now();
+  const uint64_t total = static_cast<uint64_t>(args.duration_seconds * args.qps);
+  std::atomic<uint64_t> next_arrival{0};
+  std::vector<std::thread> workers;
+  workers.reserve(args.connections);
+  for (size_t w = 0; w < args.connections; ++w) {
+    workers.emplace_back([&, w] {
+      const HttpCallOptions options = CallOptions(args, args.seed + w);
+      for (;;) {
+        const uint64_t n =
+            next_arrival.fetch_add(1, std::memory_order_relaxed);
+        if (n >= total) return;
+        // The n-th request is due at start + n/qps, whether or not
+        // earlier ones have finished — that is what makes the loop open.
+        const Clock::time_point due =
+            start + std::chrono::microseconds(
+                        static_cast<int64_t>(1e6 * static_cast<double>(n) /
+                                             args.qps));
+        const Clock::time_point now = Clock::now();
+        if (due > now) {
+          std::this_thread::sleep_until(due);
+        } else if (now - due > std::chrono::milliseconds(10)) {
+          // All workers are busy past this arrival's slot: the client
+          // itself is the bottleneck. Counted, because silently absorbing
+          // it would undercount queueing exactly when it matters.
+          std::lock_guard<std::mutex> lock(tally->mutex);
+          ++tally->late;
+        }
+        const std::string& body = bodies[n % bodies.size()];
+        HttpCallOptions attempt = options;
+        attempt.body = body;
+        Result<HttpReply> reply =
+            HttpCall(args.host, args.port, "/search", attempt);
+        // Latency from the scheduled arrival, not the actual send:
+        // coordinated-omission-honest.
+        const double latency_ms =
+            std::chrono::duration<double, std::milli>(Clock::now() - due)
+                .count();
+        RecordReply(tally, reply, latency_ms);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s <host:port> <workload.xml|audit-dir> [options]\n"
+      "  --mode closed|open   closed: back-to-back per connection (default)\n"
+      "                       open: fixed-rate arrivals, latency from the\n"
+      "                       scheduled arrival time\n"
+      "  --connections N      worker connections (default 4)\n"
+      "  --qps X              open-loop arrival rate (default 100)\n"
+      "  --duration S         seconds to run (default 5)\n"
+      "  --deadline-ms N      X-Schemr-Deadline-Ms header per request\n"
+      "  --timeout S          per-attempt client timeout (default 5)\n"
+      "  --retries N          extra attempts on connect-failure or\n"
+      "                       503+Retry-After (default 0)\n"
+      "  --seed S             jitter/backoff seed (default 1)\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage(argv[0]);
+  Args args;
+  const std::string target = argv[1];
+  const size_t colon = target.rfind(':');
+  if (colon == std::string::npos) return Usage(argv[0]);
+  args.host = target.substr(0, colon);
+  args.port = std::atoi(target.c_str() + colon + 1);
+  args.workload_path = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (flag == "--mode") {
+      args.mode = value();
+    } else if (flag == "--connections") {
+      args.connections = static_cast<size_t>(std::atoi(value()));
+    } else if (flag == "--qps") {
+      args.qps = std::atof(value());
+    } else if (flag == "--duration") {
+      args.duration_seconds = std::atof(value());
+    } else if (flag == "--deadline-ms") {
+      args.deadline_ms = std::atof(value());
+    } else if (flag == "--timeout") {
+      args.timeout_seconds = std::atof(value());
+    } else if (flag == "--retries") {
+      args.retries = std::atoi(value());
+    } else if (flag == "--seed") {
+      args.seed = static_cast<uint64_t>(std::atoll(value()));
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (args.port <= 0 || args.connections == 0 ||
+      (args.mode != "closed" && args.mode != "open") ||
+      (args.mode == "open" && args.qps <= 0.0)) {
+    return Usage(argv[0]);
+  }
+
+  auto workload = schemr::LoadWorkload(args.workload_path);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "loadgen: cannot load workload: %s\n",
+                 workload.status().message().c_str());
+    return 1;
+  }
+  const std::vector<std::string> bodies = RenderBodies(*workload);
+
+  Tally tally;
+  const Timer wall;
+  if (args.mode == "closed") {
+    RunClosed(args, bodies, &tally);
+  } else {
+    RunOpen(args, bodies, &tally);
+  }
+  const double elapsed = wall.ElapsedSeconds();
+
+  const uint64_t issued =
+      tally.ok + tally.shed + tally.http_error + tally.net_error;
+  const double qps = elapsed > 0.0
+                         ? static_cast<double>(tally.ok) / elapsed
+                         : 0.0;
+  std::vector<double> latencies = std::move(tally.latencies_ms);
+  std::printf(
+      "{\"mode\": \"%s\", \"connections\": %zu, \"duration_seconds\": %.3f, "
+      "\"requests\": %llu, \"ok\": %llu, \"shed\": %llu, "
+      "\"http_errors\": %llu, \"net_errors\": %llu, \"retried\": %llu, "
+      "\"late_arrivals\": %llu, "
+      "\"qps\": %.2f, \"shed_rate\": %.4f, "
+      "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f}\n",
+      args.mode.c_str(), args.connections, elapsed,
+      static_cast<unsigned long long>(issued),
+      static_cast<unsigned long long>(tally.ok),
+      static_cast<unsigned long long>(tally.shed),
+      static_cast<unsigned long long>(tally.http_error),
+      static_cast<unsigned long long>(tally.net_error),
+      static_cast<unsigned long long>(tally.attempts),
+      static_cast<unsigned long long>(tally.late), qps,
+      issued > 0 ? static_cast<double>(tally.shed) /
+                       static_cast<double>(issued)
+                 : 0.0,
+      Percentile(&latencies, 0.50), Percentile(&latencies, 0.95),
+      Percentile(&latencies, 0.99));
+  return tally.ok > 0 ? 0 : 1;
+}

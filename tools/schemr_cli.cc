@@ -88,9 +88,10 @@ int Usage() {
       "  audit <repo> tail|top|slow [--limit N] [--follow] [--poll-ms N]"
       " [--max-polls N]\n"
       "         inspect the query audit log (--follow tails incrementally)\n"
-      "  serve <repo> [--port N] [--workers N] [--cache N] [--duration S]"
-      " [--warmup N]\n"
-      "         serve with the HTTP introspection plane enabled\n"
+      "  serve <repo> [--port N] [--search-port N] [--workers N] [--cache N]"
+      " [--duration S] [--warmup N]\n"
+      "         serve with the HTTP introspection plane (and, with\n"
+      "         --search-port, the POST /search front end) enabled\n"
       "  top <host:port> [--interval S] [--iterations N]   live /statusz"
       " dashboard\n"
       "  checkmetrics <file|->                      validate Prometheus"
@@ -795,6 +796,9 @@ int CmdServe(const std::string& repo_dir, int argc, char** argv) {
     if (arg == "--port" && i + 1 < argc) {
       serving.introspection_port =
           static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (arg == "--search-port" && i + 1 < argc) {
+      serving.search_port =
+          static_cast<int>(std::strtol(argv[++i], nullptr, 10));
     } else if (arg == "--workers" && i + 1 < argc) {
       serving.executor.num_workers = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--cache" && i + 1 < argc) {
@@ -831,6 +835,10 @@ int CmdServe(const std::string& repo_dir, int argc, char** argv) {
               service.introspection()->port(),
               static_cast<unsigned long long>((*corpus)->version()),
               (*corpus)->Snapshot()->index->NumDocs());
+  if (service.search_server() != nullptr) {
+    std::printf("search: http://127.0.0.1:%d/search\n",
+                service.search_server()->port());
+  }
   std::fflush(stdout);
   // Warm-up traffic so the windows, traces, and cache counters are live
   // for whoever scrapes us. Each query runs twice: miss, then cache hit.
@@ -914,6 +922,15 @@ int CmdTop(const std::string& target, int argc, char** argv) {
         "traces   %.0f offered, %.0f sampled, %.0f retained (1/%0.f)\n",
         get("traces.offered"), get("traces.sampled"), get("traces.retained"),
         get("traces.sample_every_n"));
+    if (get("http.port") != 0.0) {
+      std::printf(
+          "http     :%.0f  %.0f conns (%.0f active), %.0f shed, %.0f"
+          " timeouts, %.0f/%.0f B in/out%s\n",
+          get("http.port"), get("http.connections"), get("http.active"),
+          get("http.shed"), get("http.timeouts"), get("http.bytes_read"),
+          get("http.bytes_written"),
+          get("http.draining") != 0.0 ? "  DRAINING" : "");
+    }
     std::printf("%-8s %10s %10s %10s %10s %10s\n", "window", "qps", "p50_ms",
                 "p99_ms", "err/s", "shed/s");
     for (const char* window : {"window_1m", "window_5m", "window_15m"}) {
