@@ -1,0 +1,493 @@
+#include "service/coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "obs/exposition.h"
+#include "obs/metrics.h"
+#include "service/admission.h"
+#include "util/fault_injection.h"
+#include "util/timer.h"
+#include "util/xml_writer.h"
+
+namespace schemr {
+
+namespace {
+
+// Process-wide schemr_coord_* request-path series (pool state gauges
+// live in backend_pool.cc).
+struct CoordMetrics {
+  Counter* requests;
+  Counter* failovers;
+  Counter* hedges;
+  Counter* hedges_won;
+  Counter* hedges_lost;
+  Counter* no_backend;
+  Counter* bad_gateway;
+
+  static const CoordMetrics& Get() {
+    static const CoordMetrics* metrics = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return new CoordMetrics{
+          r.GetCounter("schemr_coord_requests_total",
+                       "Search requests the coordinator accepted."),
+          r.GetCounter("schemr_coord_failovers_total",
+                       "Requests moved to another backend after a "
+                       "connect failure, complete 503, or torn "
+                       "exchange."),
+          r.GetCounter("schemr_coord_hedges_total",
+                       "Backup attempts launched after the hedge "
+                       "delay."),
+          r.GetCounter("schemr_coord_hedges_won_total",
+                       "Hedged requests answered by the backup "
+                       "attempt."),
+          r.GetCounter("schemr_coord_hedges_lost_total",
+                       "Hedged requests answered by the primary "
+                       "attempt (backup cancelled)."),
+          r.GetCounter("schemr_coord_no_backend_total",
+                       "Requests shed inline because no routable "
+                       "backend remained."),
+          r.GetCounter("schemr_coord_bad_gateway_total",
+                       "Requests answered 502 (torn exchange with "
+                       "failover exhausted or disabled)."),
+      };
+    }();
+    return *metrics;
+  }
+};
+
+void JsonKey(std::string* out, const std::string& key) {
+  if (out->back() != '{') out->push_back(',');
+  out->push_back('"');
+  *out += key;
+  *out += "\":";
+}
+
+void JsonNum(std::string* out, const std::string& key, double value) {
+  JsonKey(out, key);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  *out += buf;
+}
+
+void JsonStr(std::string* out, const std::string& key,
+             const std::string& value) {
+  JsonKey(out, key);
+  out->push_back('"');
+  *out += value;
+  out->push_back('"');
+}
+
+/// Same error envelope HandleSearchXml uses for refusals, so the
+/// coordinator's inline sheds speak the wire format clients already
+/// parse.
+std::string CoordErrorXml(const std::string& code, const std::string& message,
+                          double retry_after_ms = -1.0) {
+  XmlWriter xml;
+  xml.Open("error").Attribute("code", code);
+  if (retry_after_ms >= 0.0) xml.Attribute("retry_after_ms", retry_after_ms);
+  if (!message.empty()) xml.Attribute("message", message);
+  xml.Close();
+  return xml.Finish();
+}
+
+/// Builds the outbound call for one backend attempt: body and
+/// Content-Type pass through, X-Schemr-* request headers are forwarded,
+/// and the deadline header carries the REMAINING budget, not the
+/// original — a failover chain spends one client budget, not N.
+HttpCallOptions MakeBackendCall(const HttpRequest& request, double deadline_ms,
+                                double elapsed_ms,
+                                double attempt_timeout_seconds) {
+  HttpCallOptions call;
+  call.method = "POST";
+  call.body = request.body;
+  if (const std::string* ct = request.FindHeader("content-type")) {
+    call.content_type = *ct;
+  }
+  call.attempt_timeout_seconds = attempt_timeout_seconds;
+  for (const auto& [name, value] : request.headers) {
+    if (name.rfind("x-schemr-", 0) == 0 && name != "x-schemr-deadline-ms") {
+      call.headers.emplace_back(name, value);
+    }
+  }
+  if (deadline_ms > 0.0) {
+    const double remaining_ms = std::max(deadline_ms - elapsed_ms, 1.0);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", remaining_ms);
+    call.headers.emplace_back("X-Schemr-Deadline-Ms", buf);
+    // No point waiting on a socket past the client's own patience.
+    call.attempt_timeout_seconds =
+        std::min(attempt_timeout_seconds, remaining_ms / 1e3 + 0.25);
+  }
+  return call;
+}
+
+}  // namespace
+
+Coordinator::Coordinator(std::vector<BackendConfig> backends,
+                         CoordinatorOptions options)
+    : options_(options),
+      pool_(std::make_unique<BackendPool>(std::move(backends), options.pool)) {
+}
+
+Coordinator::~Coordinator() { Shutdown(0.5); }
+
+Status Coordinator::Start() {
+  bool expected = false;
+  if (!started_.compare_exchange_strong(expected, true)) {
+    return Status::InvalidArgument("coordinator already started");
+  }
+  pool_->Start();
+  server_ = std::make_unique<HttpServer>(options_.http);
+  server_->Route("POST", "/search", [this](const HttpRequest& request) {
+    return ForwardSearch(request);
+  });
+  server_->Route("GET", "/healthz", [this](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "application/json";
+    std::string out = "{";
+    JsonStr(&out, "status",
+            shut_down_.load(std::memory_order_acquire) ? "shut_down" : "ok");
+    out += "}\n";
+    response.body = std::move(out);
+    if (shut_down_.load(std::memory_order_acquire)) response.status = 503;
+    return response;
+  });
+  server_->Route("GET", "/readyz", [this](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "application/json";
+    const size_t routable = pool_->RoutableCount();
+    const char* state = "ready";
+    if (server_ != nullptr && server_->draining()) {
+      state = "draining";
+    } else if (routable == 0) {
+      state = "not_serving";
+    }
+    std::string out = "{";
+    JsonStr(&out, "status", state);
+    JsonNum(&out, "routable_backends", static_cast<double>(routable));
+    out += "}\n";
+    response.body = std::move(out);
+    if (std::string(state) != "ready") response.status = 503;
+    return response;
+  });
+  server_->Route("GET", "/statusz", [this](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "application/json";
+    response.body = StatuszJson();
+    return response;
+  });
+  server_->Route("GET", "/metrics", [](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = ToPrometheusText(MetricsRegistry::Global());
+    return response;
+  });
+  Status started = server_->Start();
+  if (!started.ok()) {
+    pool_->Stop();
+    server_.reset();
+    started_.store(false);
+    return started;
+  }
+  return Status::OK();
+}
+
+void Coordinator::Shutdown(double drain_seconds) {
+  if (!started_.load(std::memory_order_acquire)) return;
+  shut_down_.store(true, std::memory_order_release);
+  if (server_ != nullptr) {
+    server_->BeginDrain();
+    server_->Stop(drain_seconds);
+  }
+  pool_->Stop();
+}
+
+int Coordinator::port() const {
+  return server_ == nullptr ? 0 : server_->port();
+}
+
+bool Coordinator::running() const {
+  return server_ != nullptr && server_->running();
+}
+
+Coordinator::ForwardOutcome Coordinator::AttemptBackend(
+    int id, const HttpRequest& request, double deadline_ms,
+    double elapsed_ms, const std::vector<int>& tried) {
+  ForwardOutcome out;
+  out.backend = id;
+
+  std::mutex m;
+  std::condition_variable cv;
+  int finished_mask = 0;
+  HttpAttemptResult results[2];
+  HttpCancelToken tokens[2];
+  double attempt_ms[2] = {0.0, 0.0};
+  int backend_ids[2] = {id, -1};
+  std::thread threads[2];
+  const Timer attempt_timer;
+
+  const auto launch = [&](int slot, int backend_id, double slot_elapsed_ms) {
+    const BackendConfig config = pool_->Config(backend_id);
+    const HttpCallOptions call =
+        MakeBackendCall(request, deadline_ms, elapsed_ms + slot_elapsed_ms,
+                        options_.attempt_timeout_seconds);
+    threads[slot] = std::thread([&, slot, config, call] {
+      const Timer timer;
+      HttpAttemptResult r;
+      // coord/backend/blackhole: the attempt vanishes without a trace —
+      // classified as a torn exchange, exactly what a silently dropped
+      // connection to a live-looking backend produces.
+      if (FaultInjector::Global().Check("coord/backend/blackhole") != 0) {
+        r.kind = HttpAttemptResult::Kind::kBroken;
+        r.error = "backend blackholed (injected)";
+      } else {
+        r = HttpAttempt(config.host, config.search_port, "/search", call,
+                        &tokens[slot]);
+      }
+      std::lock_guard<std::mutex> lock(m);
+      attempt_ms[slot] = timer.ElapsedMillis();
+      results[slot] = std::move(r);
+      finished_mask |= 1 << slot;
+      cv.notify_all();
+    });
+  };
+
+  launch(0, id, 0.0);
+  bool hedge_launched = false;
+  int winner = -1;
+  {
+    std::unique_lock<std::mutex> lock(m);
+    if (options_.hedge && pool_->size() > 1) {
+      const double delay_ms = pool_->HedgeDelayMs();
+      const bool primary_done = cv.wait_for(
+          lock, std::chrono::duration<double, std::milli>(delay_ms),
+          [&] { return (finished_mask & 1) != 0; });
+      if (!primary_done) {
+        // Tail territory: launch ONE backup on a different backend.
+        lock.unlock();
+        const int hedge_id = pool_->Acquire(tried);
+        lock.lock();
+        if (hedge_id >= 0) {
+          backend_ids[1] = hedge_id;
+          hedge_launched = true;
+          hedges_.fetch_add(1, std::memory_order_relaxed);
+          CoordMetrics::Get().hedges->Increment();
+          lock.unlock();
+          launch(1, hedge_id, attempt_timer.ElapsedMillis());
+          lock.lock();
+        }
+      }
+    }
+    // First complete response wins; a failed attempt defers to the other
+    // while it is still in flight.
+    const int launched_mask = hedge_launched ? 3 : 1;
+    int inspected = 0;
+    while (winner < 0) {
+      cv.wait(lock, [&] { return (finished_mask & ~inspected) != 0; });
+      const int newly = finished_mask & ~inspected;
+      for (int slot = 0; slot < 2; ++slot) {
+        if ((newly & (1 << slot)) == 0) continue;
+        inspected |= 1 << slot;
+        if (winner < 0 &&
+            results[slot].kind == HttpAttemptResult::Kind::kOk) {
+          winner = slot;
+        }
+      }
+      if ((finished_mask & launched_mask) == launched_mask) break;
+    }
+  }
+  if (winner >= 0) {
+    // Cancel the loser by closing its socket; it unblocks promptly.
+    for (int slot = 0; slot < 2; ++slot) {
+      if (slot != winner && threads[slot].joinable()) tokens[slot].Cancel();
+    }
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+
+  // Outcome accounting. A cancelled loser is OUR doing, not the
+  // backend's: it feeds neither the breaker nor the latency ring.
+  for (int slot = 0; slot < 2; ++slot) {
+    if (backend_ids[slot] < 0) continue;
+    const HttpAttemptResult& r = results[slot];
+    const bool ok = r.kind == HttpAttemptResult::Kind::kOk;
+    const bool cancelled = !ok && tokens[slot].cancelled();
+    if (!cancelled) {
+      pool_->ReportOutcome(backend_ids[slot], ok,
+                           ok && r.reply.status == 200 ? attempt_ms[slot]
+                                                       : -1.0);
+    }
+  }
+  if (hedge_launched) {
+    pool_->Release(backend_ids[1]);
+    if (winner == 1) {
+      hedges_won_.fetch_add(1, std::memory_order_relaxed);
+      CoordMetrics::Get().hedges_won->Increment();
+    } else {
+      hedges_lost_.fetch_add(1, std::memory_order_relaxed);
+      CoordMetrics::Get().hedges_lost->Increment();
+    }
+  }
+
+  out.hedge_won = winner == 1;
+  if (winner >= 0) {
+    out.backend = backend_ids[winner];
+    out.result = std::move(results[winner]);
+  } else {
+    // Neither attempt completed; classify by the primary (the hedge was
+    // opportunistic).
+    out.result = std::move(results[0]);
+  }
+  return out;
+}
+
+HttpResponse Coordinator::PassThrough(const HttpAttemptResult& result) const {
+  // Byte-identity: the backend's body is the client's body, no
+  // re-serialization. Status, Content-Type, Retry-After, and the
+  // X-Schemr-* headers ride along.
+  HttpResponse response;
+  response.status = result.reply.status;
+  response.body = result.reply.body;
+  auto ct = result.reply.headers.find("content-type");
+  if (ct != result.reply.headers.end()) response.content_type = ct->second;
+  auto ra = result.reply.headers.find("retry-after");
+  if (ra != result.reply.headers.end()) {
+    response.retry_after_seconds = std::atof(ra->second.c_str());
+  }
+  for (const auto& [name, value] : result.reply.headers) {
+    if (name.rfind("x-schemr-", 0) == 0) {
+      response.headers.emplace_back(name, value);
+    }
+  }
+  return response;
+}
+
+HttpResponse Coordinator::ShedNoBackend() const {
+  // "Every replica is down or draining" is a capacity condition: shed
+  // with the existing vocabulary (queue_full carries Retry-After, the
+  // invitation to come back) rather than inventing a new wire word.
+  HttpResponse response;
+  response.status = 503;
+  response.content_type = "application/xml";
+  response.retry_after_seconds = options_.shed_retry_after_seconds;
+  response.headers.emplace_back("X-Schemr-Shed",
+                                ShedReasonName(ShedReason::kQueueFull));
+  response.body = CoordErrorXml("overloaded", "no healthy backend",
+                                options_.shed_retry_after_seconds * 1e3);
+  return response;
+}
+
+HttpResponse Coordinator::ForwardSearch(const HttpRequest& request) {
+  const Timer timer;
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  CoordMetrics::Get().requests->Increment();
+
+  double deadline_ms = 0.0;
+  if (const std::string* header = request.FindHeader("x-schemr-deadline-ms")) {
+    const double parsed = std::atof(header->c_str());
+    if (parsed > 0.0) deadline_ms = parsed;
+  }
+
+  std::vector<int> tried;
+  HttpAttemptResult last_refusal;
+  bool have_refusal = false;
+  const int budget = 1 + std::max(0, options_.max_failovers);
+  for (int attempt = 0; attempt < budget; ++attempt) {
+    if (deadline_ms > 0.0 && timer.ElapsedMillis() >= deadline_ms) {
+      // The client's budget is gone; answering anything else now is
+      // wasted work on every layer below.
+      HttpResponse response;
+      response.status = 503;
+      response.content_type = "application/xml";
+      response.headers.emplace_back("X-Schemr-Shed",
+                                    ShedReasonName(ShedReason::kDeadline));
+      response.body = CoordErrorXml(
+          "overloaded", "deadline exhausted before a backend answered");
+      return response;
+    }
+    const int id = pool_->Acquire(tried);
+    if (id < 0) break;
+    tried.push_back(id);
+    if (attempt > 0) {
+      failovers_.fetch_add(1, std::memory_order_relaxed);
+      CoordMetrics::Get().failovers->Increment();
+    }
+    ForwardOutcome outcome = AttemptBackend(id, request, deadline_ms,
+                                            timer.ElapsedMillis(), tried);
+    pool_->Release(id);
+    if (outcome.result.kind == HttpAttemptResult::Kind::kOk) {
+      if (outcome.result.reply.status == 503) {
+        // A complete 503 is a refusal BEFORE execution (shed or
+        // draining): failing over is safe, and HttpCall's contract says
+        // so. Remember it — if every backend refuses, the client gets a
+        // real backend's shed, not a synthetic one.
+        last_refusal = std::move(outcome.result);
+        have_refusal = true;
+        continue;
+      }
+      return PassThrough(outcome.result);
+    }
+    if (outcome.result.kind == HttpAttemptResult::Kind::kConnectFailed ||
+        options_.failover_on_broken) {
+      continue;  // next routable backend, this one excluded
+    }
+    // Torn exchange with failover disabled: ambiguous, surface it.
+    bad_gateway_.fetch_add(1, std::memory_order_relaxed);
+    CoordMetrics::Get().bad_gateway->Increment();
+    HttpResponse response;
+    response.status = 502;
+    response.content_type = "application/xml";
+    response.body = CoordErrorXml("bad_gateway", outcome.result.error);
+    return response;
+  }
+
+  if (have_refusal) return PassThrough(last_refusal);
+  no_backend_.fetch_add(1, std::memory_order_relaxed);
+  CoordMetrics::Get().no_backend->Increment();
+  return ShedNoBackend();
+}
+
+std::string Coordinator::StatuszJson() const {
+  std::string out = "{";
+  JsonStr(&out, "service", "schemr-coordinator");
+  // `serving` and `uptime_seconds` keep `schemr top` (and anything else
+  // reading replica /statusz) working unchanged against a coordinator.
+  JsonNum(&out, "serving", started_.load(std::memory_order_relaxed) &&
+                                   !shut_down_.load(std::memory_order_relaxed)
+                               ? 1.0
+                               : 0.0);
+  JsonNum(&out, "uptime_seconds", uptime_.ElapsedSeconds());
+  JsonNum(&out, "coord.requests",
+          static_cast<double>(requests_.load(std::memory_order_relaxed)));
+  JsonNum(&out, "coord.failovers",
+          static_cast<double>(failovers_.load(std::memory_order_relaxed)));
+  JsonNum(&out, "coord.hedges",
+          static_cast<double>(hedges_.load(std::memory_order_relaxed)));
+  JsonNum(&out, "coord.hedges_won",
+          static_cast<double>(hedges_won_.load(std::memory_order_relaxed)));
+  JsonNum(&out, "coord.hedges_lost",
+          static_cast<double>(hedges_lost_.load(std::memory_order_relaxed)));
+  JsonNum(&out, "coord.no_backend",
+          static_cast<double>(no_backend_.load(std::memory_order_relaxed)));
+  JsonNum(&out, "coord.bad_gateway",
+          static_cast<double>(bad_gateway_.load(std::memory_order_relaxed)));
+  if (server_ != nullptr) {
+    const HttpServerStats stats = server_->Stats();
+    JsonNum(&out, "http.connections", static_cast<double>(stats.connections));
+    JsonNum(&out, "http.active", static_cast<double>(stats.active));
+    JsonNum(&out, "http.shed", static_cast<double>(stats.shed));
+    JsonNum(&out, "http.timeouts", static_cast<double>(stats.timeouts));
+  }
+  pool_->AppendStatsJson(&out);
+  out += "}\n";
+  return out;
+}
+
+}  // namespace schemr

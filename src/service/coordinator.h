@@ -1,0 +1,140 @@
+// Fault-tolerant serving tier over a replica fleet (DESIGN.md §14).
+//
+// A Coordinator fronts N independent `schemr serve` processes behind one
+// HttpServer and exposes the same byte-identical POST /search: whatever
+// bytes the chosen backend answered are what the client receives —
+// status, body, Content-Type, Retry-After, and X-Schemr-* headers pass
+// through untouched. On top of the BackendPool's health view it adds the
+// forwarding policy:
+//
+//   * Deadline propagation: the client's X-Schemr-Deadline-Ms arrives
+//     with some of its budget already spent here; each hop forwards the
+//     REMAINING budget (original minus elapsed), so a failover chain
+//     cannot overspend what the client granted.
+//   * Failover: a connect failure (nothing was sent) or a complete 503
+//     (the backend refused before executing — shed or draining) moves
+//     the request to the next routable backend, excluding every backend
+//     already tried. The response the client sees is always one
+//     backend's complete answer; the coordinator never splices or
+//     streams a partial body ("never mid-body").
+//   * Torn exchanges: /search is a read-only RPC, so a response that
+//     dies mid-exchange (backend killed or stalled while answering) is
+//     ALSO failed over — re-executing a search is safe, unlike the
+//     general case HttpCall's narrow retry contract protects. Routes
+//     that are not provably idempotent must keep
+//     `failover_on_broken = false`, which maps torn exchanges to an
+//     inline 502 instead.
+//   * Hedging: when enabled, a request still unanswered after a
+//     p95-derived delay launches ONE backup attempt on a second backend;
+//     the first complete response wins and the loser is cancelled by
+//     closing its socket (HttpCancelToken).
+//   * No healthy backend: an inline 503 + Retry-After carrying
+//     `X-Schemr-Shed: queue_full` — the existing capacity-shed
+//     vocabulary, because "every replica is down or draining" is a
+//     capacity condition the client should back off from and retry.
+//
+// The coordinator serves its own introspection on the same listener:
+// GET /healthz (liveness), /readyz (ready iff ≥1 routable backend),
+// /statusz (flat JSON: coord.* plus per-backend keys), /metrics.
+
+#ifndef SCHEMR_SERVICE_COORDINATOR_H_
+#define SCHEMR_SERVICE_COORDINATOR_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/backend_pool.h"
+#include "service/http_server.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace schemr {
+
+struct CoordinatorOptions {
+  /// Listener configuration (port 0 = ephemeral; read port() after
+  /// Start). Handler threads bound the coordinator's own concurrency.
+  HttpServerOptions http;
+  BackendPoolOptions pool;
+  /// Additional backends tried after the first pick (failover budget).
+  int max_failovers = 2;
+  /// Treat torn backend exchanges as retryable (see header comment).
+  /// Correct for /search because it is a read; a non-idempotent route
+  /// would need this off.
+  bool failover_on_broken = true;
+  /// Tail hedging: one backup attempt after HedgeDelayMs() without an
+  /// answer, first complete response wins, loser cancelled by close.
+  bool hedge = true;
+  /// Per-attempt wall-clock budget against a backend (further clamped
+  /// by the request's remaining deadline when one is set).
+  double attempt_timeout_seconds = 5.0;
+  /// Retry-After on inline "no healthy backend" sheds, seconds.
+  double shed_retry_after_seconds = 1.0;
+};
+
+class Coordinator {
+ public:
+  Coordinator(std::vector<BackendConfig> backends,
+              CoordinatorOptions options = {});
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Starts the pool's probe thread and the HTTP listener.
+  Status Start();
+
+  /// Drains the listener, then stops the probe thread. Idempotent.
+  void Shutdown(double drain_seconds = 2.0);
+
+  int port() const;
+  bool running() const;
+
+  BackendPool& pool() { return *pool_; }
+  const BackendPool& pool() const { return *pool_; }
+  HttpServer* server() { return server_.get(); }
+
+  /// Flat JSON (ParseBenchJson/checkjson-compatible): coord.* counters
+  /// plus the pool's per-backend keys.
+  std::string StatuszJson() const;
+
+  /// Forwarding core, exposed for in-process tests: answers one /search
+  /// request exactly as the HTTP handler would.
+  HttpResponse ForwardSearch(const HttpRequest& request);
+
+ private:
+  struct ForwardOutcome {
+    HttpAttemptResult result;
+    int backend = -1;
+    bool hedge_won = false;  ///< the backup attempt produced the answer
+  };
+
+  /// One routed attempt (with optional hedge) against backend `id`.
+  ForwardOutcome AttemptBackend(int id, const HttpRequest& request,
+                                double deadline_ms, double elapsed_ms,
+                                const std::vector<int>& tried);
+  HttpResponse PassThrough(const HttpAttemptResult& result) const;
+  HttpResponse ShedNoBackend() const;
+
+  const CoordinatorOptions options_;
+  std::unique_ptr<BackendPool> pool_;
+  std::unique_ptr<HttpServer> server_;
+  std::atomic<bool> started_{false};
+  Timer uptime_;
+  std::atomic<bool> shut_down_{false};
+
+  // Coordinator-level counters mirrored into schemr_coord_* metrics;
+  // kept per-instance too so /statusz is cheap and self-contained.
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> failovers_{0};
+  std::atomic<uint64_t> hedges_{0};
+  std::atomic<uint64_t> hedges_won_{0};
+  std::atomic<uint64_t> hedges_lost_{0};
+  std::atomic<uint64_t> no_backend_{0};
+  std::atomic<uint64_t> bad_gateway_{0};
+};
+
+}  // namespace schemr
+
+#endif  // SCHEMR_SERVICE_COORDINATOR_H_

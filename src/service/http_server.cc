@@ -79,6 +79,8 @@ const char* ReasonPhrase(int status) {
       return "Internal Server Error";
     case 501:
       return "Not Implemented";
+    case 502:
+      return "Bad Gateway";
     case 503:
       return "Service Unavailable";
   }
@@ -640,28 +642,167 @@ double JitterFactor(uint64_t* state) {
   return 0.5 + 0.5 * (static_cast<double>(z >> 11) / 9007199254740992.0);
 }
 
-struct AttemptResult {
-  enum class Kind {
-    kOk,             ///< complete response parsed (any status)
-    kConnectFailed,  ///< connect() failed: nothing was sent, safe to retry
-    kBroken,         ///< failed mid-exchange: ambiguous, never retried
-  };
-  Kind kind = Kind::kBroken;
-  HttpReply reply;
-  std::string error;
+// Process-wide schemr_client_* series: every outbound attempt counts
+// here, whether it came from HttpCall's retry loop, the coordinator's
+// failover path, or a hedge.
+struct ClientMetrics {
+  Counter* attempts;
+  Counter* retries;
+  Counter* backoff_ms;
+
+  static const ClientMetrics& Get() {
+    static const ClientMetrics* metrics = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return new ClientMetrics{
+          r.GetCounter("schemr_client_attempts_total",
+                       "Outbound HTTP attempts (first tries + retries + "
+                       "hedges)."),
+          r.GetCounter("schemr_client_retries_total",
+                       "HttpCall retries (connect failure or complete "
+                       "503-with-Retry-After)."),
+          r.GetCounter("schemr_client_backoff_ms",
+                       "Milliseconds HttpCall spent sleeping between "
+                       "attempts (backoff plus honored Retry-After)."),
+      };
+    }();
+    return *metrics;
+  }
 };
 
-AttemptResult RunAttempt(const std::string& host, int port,
-                         const std::string& path,
-                         const HttpCallOptions& options) {
-  AttemptResult result;
+}  // namespace
+
+HttpResponseOutcome ParseResponseHead(std::string_view data,
+                                      size_t max_head_bytes,
+                                      ParsedResponseHead* out) {
+  // Only the capped prefix is scanned, so a hostile server cannot make
+  // parsing cost scale with what it manages to send.
+  std::string_view window = data.substr(0, max_head_bytes);
+  size_t head_end = window.find("\r\n\r\n");
+  size_t terminator = 4;
+  if (head_end == std::string_view::npos) {
+    head_end = window.find("\n\n");
+    terminator = 2;
+  }
+  if (head_end == std::string_view::npos) {
+    return data.size() >= max_head_bytes ? HttpResponseOutcome::kMalformed
+                                         : HttpResponseOutcome::kNeedMore;
+  }
+  out->head_bytes = head_end + terminator;
+  std::string_view head = data.substr(0, head_end);
+
+  // Status line: HTTP/x.y SP NNN [SP reason]. The status is strictly
+  // three digits in 100..599; the reason phrase is free-form (it may
+  // even be absent) but never parsed, so an oversized one costs nothing.
+  size_t line_end = head.find_first_of("\r\n");
+  std::string_view line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  if (line.substr(0, 5) != "HTTP/") return HttpResponseOutcome::kMalformed;
+  const size_t sp = line.find(' ');
+  if (sp == std::string_view::npos) return HttpResponseOutcome::kMalformed;
+  std::string_view code = line.substr(sp + 1);
+  const size_t sp2 = code.find(' ');
+  if (sp2 != std::string_view::npos) code = code.substr(0, sp2);
+  if (code.size() != 3) return HttpResponseOutcome::kMalformed;
+  int status = 0;
+  for (char c : code) {
+    if (c < '0' || c > '9') return HttpResponseOutcome::kMalformed;
+    status = status * 10 + (c - '0');
+  }
+  if (status < 100 || status > 599) return HttpResponseOutcome::kMalformed;
+  out->status = status;
+
+  // Header fields: same shape as the request parser — names lowercased,
+  // values trimmed, a field line without a colon refused, disagreeing
+  // duplicate Content-Length refused. Other duplicates (Retry-After
+  // included) last-win; the caller clamps Retry-After anyway.
+  bool saw_content_length = false;
+  size_t pos = line_end == std::string_view::npos ? head.size() : line_end;
+  while (pos < head.size()) {
+    if (head[pos] == '\r') ++pos;
+    if (pos < head.size() && head[pos] == '\n') ++pos;
+    if (pos >= head.size()) break;
+    size_t eol = head.find_first_of("\r\n", pos);
+    std::string_view field = head.substr(
+        pos, eol == std::string_view::npos ? head.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? head.size() : eol;
+    if (field.empty()) continue;
+    const size_t colon = field.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return HttpResponseOutcome::kMalformed;
+    }
+    std::string name(field.substr(0, colon));
+    for (char& c : name) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    std::string_view value = field.substr(colon + 1);
+    while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+      value.remove_prefix(1);
+    }
+    while (!value.empty() && (value.back() == ' ' || value.back() == '\t')) {
+      value.remove_suffix(1);
+    }
+    if (name == "content-length") {
+      if (saw_content_length &&
+          out->headers["content-length"] != std::string(value)) {
+        return HttpResponseOutcome::kMalformed;
+      }
+      saw_content_length = true;
+    }
+    out->headers[name] = std::string(value);
+  }
+  return HttpResponseOutcome::kComplete;
+}
+
+void HttpCancelToken::Cancel() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cancelled_ = true;
+  if (fd_ >= 0) (void)::shutdown(fd_, SHUT_RDWR);
+}
+
+bool HttpCancelToken::cancelled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cancelled_;
+}
+
+bool HttpCancelToken::RegisterFd(int fd) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (cancelled_) return false;
+  fd_ = fd;
+  return true;
+}
+
+void HttpCancelToken::DeregisterFd() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fd_ = -1;
+}
+
+HttpAttemptResult HttpAttempt(const std::string& host, int port,
+                              const std::string& path,
+                              const HttpCallOptions& options,
+                              HttpCancelToken* cancel) {
+  ClientMetrics::Get().attempts->Increment();
+  HttpAttemptResult result;
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
-    result.kind = AttemptResult::Kind::kConnectFailed;
+    result.kind = HttpAttemptResult::Kind::kConnectFailed;
     result.error = "socket() failed";
     return result;
   }
   (void)::fcntl(fd, F_SETFD, FD_CLOEXEC);
+  // Register with the cancel token before connect: Cancel() from here on
+  // shuts the socket down and every blocking op below fails promptly.
+  // Deregister under the token's lock before every close() so a
+  // racing Cancel never touches a reused fd.
+  if (cancel != nullptr && !cancel->RegisterFd(fd)) {
+    ::close(fd);
+    result.kind = HttpAttemptResult::Kind::kBroken;
+    result.error = "attempt cancelled before connect";
+    return result;
+  }
+  const auto close_fd = [fd, cancel] {
+    if (cancel != nullptr) cancel->DeregisterFd();
+    ::close(fd);
+  };
   SetSocketTimeout(fd, options.attempt_timeout_seconds, SO_RCVTIMEO);
   SetSocketTimeout(fd, options.attempt_timeout_seconds, SO_SNDTIMEO);
   struct sockaddr_in addr;
@@ -669,16 +810,16 @@ AttemptResult RunAttempt(const std::string& host, int port,
   addr.sin_family = AF_INET;
   addr.sin_port = htons(static_cast<uint16_t>(port));
   if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    result.kind = AttemptResult::Kind::kBroken;  // config error: no retry
+    close_fd();
+    result.kind = HttpAttemptResult::Kind::kBroken;  // config error: no retry
     result.error = "bad host '" + host + "' (dotted IPv4 expected)";
     return result;
   }
   if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
                 sizeof(addr)) != 0) {
     const int err = errno;
-    ::close(fd);
-    result.kind = AttemptResult::Kind::kConnectFailed;
+    close_fd();
+    result.kind = HttpAttemptResult::Kind::kConnectFailed;
     result.error = "cannot connect to " + host + ":" + std::to_string(port) +
                    ": " + std::strerror(err);
     return result;
@@ -704,8 +845,10 @@ AttemptResult RunAttempt(const std::string& host, int port,
                              MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
-      ::close(fd);
-      result.error = "request write failed mid-exchange";
+      close_fd();
+      result.error = cancel != nullptr && cancel->cancelled()
+                         ? "attempt cancelled (hedge lost)"
+                         : "request write failed mid-exchange";
       return result;
     }
     remaining_send.remove_prefix(static_cast<size_t>(n));
@@ -715,14 +858,14 @@ AttemptResult RunAttempt(const std::string& host, int port,
   char buf[4096];
   for (;;) {
     if (attempt_timer.ElapsedSeconds() > options.attempt_timeout_seconds) {
-      ::close(fd);
+      close_fd();
       result.error = "attempt timed out reading the response";
       return result;
     }
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
     if (n < 0 && errno == EINTR) continue;
     if (n < 0) {
-      ::close(fd);
+      close_fd();
       result.error = std::string("response read failed: ") +
                      std::strerror(errno);
       return result;
@@ -730,47 +873,25 @@ AttemptResult RunAttempt(const std::string& host, int port,
     if (n == 0) break;
     raw.append(buf, static_cast<size_t>(n));
   }
-  ::close(fd);
+  close_fd();
+  if (cancel != nullptr && cancel->cancelled()) {
+    result.error = "attempt cancelled (hedge lost)";
+    return result;
+  }
 
-  size_t body_at = raw.find("\r\n\r\n");
-  size_t skip = 4;
-  if (body_at == std::string::npos) {
-    body_at = raw.find("\n\n");
-    skip = 2;
-  }
-  if (body_at == std::string::npos) {
-    result.error = "malformed HTTP response (no header terminator)";
+  ParsedResponseHead head;
+  // The head cap mirrors the server's default: a reply head beyond it is
+  // hostile or broken either way.
+  if (ParseResponseHead(raw, 64 * 1024, &head) !=
+      HttpResponseOutcome::kComplete) {
+    result.error = "malformed HTTP response head";
     return result;
   }
-  const size_t sp = raw.find(' ');
-  if (sp == std::string::npos || sp > body_at) {
-    result.error = "malformed HTTP status line";
-    return result;
-  }
-  result.reply.status = std::atoi(raw.c_str() + sp + 1);
-  // Response headers, lowercased, for Retry-After and friends.
-  size_t pos = raw.find('\n');
-  while (pos != std::string::npos && pos < body_at) {
-    size_t eol = raw.find('\n', pos + 1);
-    std::string_view line(raw.data() + pos + 1,
-                          (eol == std::string::npos ? body_at : eol) -
-                              pos - 1);
-    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
-    const size_t colon = line.find(':');
-    if (colon != std::string_view::npos && colon > 0) {
-      std::string name(line.substr(0, colon));
-      for (char& c : name) {
-        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-      }
-      std::string_view value = line.substr(colon + 1);
-      while (!value.empty() && value.front() == ' ') value.remove_prefix(1);
-      result.reply.headers[name] = std::string(value);
-    }
-    pos = eol;
-  }
+  result.reply.status = head.status;
+  result.reply.headers = std::move(head.headers);
   // Truncation check: a declared length the body doesn't meet means the
   // connection died mid-body — ambiguous, not a complete response.
-  std::string body = raw.substr(body_at + skip);
+  std::string body = raw.substr(head.head_bytes);
   auto it = result.reply.headers.find("content-length");
   if (it != result.reply.headers.end()) {
     uint64_t declared = 0;
@@ -783,28 +904,34 @@ AttemptResult RunAttempt(const std::string& host, int port,
     if (body.size() > declared) body.resize(declared);
   }
   result.reply.body = std::move(body);
-  result.kind = AttemptResult::Kind::kOk;
+  result.kind = HttpAttemptResult::Kind::kOk;
   return result;
 }
-
-}  // namespace
 
 Result<HttpReply> HttpCall(const std::string& host, int port,
                            const std::string& path,
                            const HttpCallOptions& options) {
   uint64_t jitter_state = options.jitter_seed;
   const int attempts = std::max(1, options.max_attempts);
+  const auto sleep_ms = [](double ms) {
+    ClientMetrics::Get().backoff_ms->Increment(
+        static_cast<uint64_t>(std::max(ms, 0.0)));
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<int64_t>(ms * 1e3)));
+  };
   std::string last_error;
   for (int attempt = 1; attempt <= attempts; ++attempt) {
-    AttemptResult result = RunAttempt(host, port, path, options);
+    if (attempt > 1) ClientMetrics::Get().retries->Increment();
+    HttpAttemptResult result = HttpAttempt(host, port, path, options);
     result.reply.attempts = attempt;
-    if (result.kind == AttemptResult::Kind::kOk) {
+    if (result.kind == HttpAttemptResult::Kind::kOk) {
       const bool retryable_503 =
           result.reply.status == 503 &&
           result.reply.headers.count("retry-after") != 0;
       if (!retryable_503 || attempt == attempts) return result.reply;
       // The server said "come back later": honor its hint, floored by our
-      // own backoff curve and capped so a bad hint cannot park us.
+      // own backoff curve and capped (max_retry_after_seconds) so a
+      // misbehaving backend cannot park the client for minutes.
       double retry_after_s =
           std::atof(result.reply.headers.at("retry-after").c_str());
       retry_after_s = std::clamp(retry_after_s, 0.0,
@@ -814,16 +941,15 @@ Result<HttpReply> HttpCall(const std::string& host, int port,
                        static_cast<double>(1ull << (attempt - 1)),
                    options.backoff_max_ms) *
           JitterFactor(&jitter_state);
-      const double wait_s = std::max(retry_after_s, backoff_ms / 1e3);
-      std::this_thread::sleep_for(
-          std::chrono::microseconds(static_cast<int64_t>(wait_s * 1e6)));
+      sleep_ms(std::max(retry_after_s * 1e3, backoff_ms));
       last_error = "503 retry-after";
       continue;
     }
     last_error = result.error;
     // Mid-exchange failures are final (the request may have executed);
     // connect failures retry until attempts run out.
-    if (result.kind == AttemptResult::Kind::kBroken || attempt == attempts) {
+    if (result.kind == HttpAttemptResult::Kind::kBroken ||
+        attempt == attempts) {
       return Status::IOError(last_error + " (attempt " +
                              std::to_string(attempt) + "/" +
                              std::to_string(attempts) + ")");
@@ -833,8 +959,7 @@ Result<HttpReply> HttpCall(const std::string& host, int port,
                      static_cast<double>(1ull << (attempt - 1)),
                  options.backoff_max_ms) *
         JitterFactor(&jitter_state);
-    std::this_thread::sleep_for(
-        std::chrono::microseconds(static_cast<int64_t>(backoff_ms * 1e3)));
+    sleep_ms(backoff_ms);
   }
   return Status::IOError(last_error.empty() ? "http call failed" : last_error);
 }

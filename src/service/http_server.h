@@ -44,6 +44,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -146,6 +147,40 @@ HttpParseOutcome ParseRequestHead(std::string_view data,
 /// stalls become 408 in the socket layer, not here). kNeedMore maps to
 /// 0 (keep reading).
 int HttpStatusForOutcome(HttpParseOutcome outcome);
+
+// --- pure response-head parsing (fuzzable without sockets) ------------------
+
+/// Outcome of parsing a (possibly incomplete) response head. The client
+/// treats kMalformed as a mid-exchange failure — never retried, because
+/// the server may have executed the request before garbling its answer.
+enum class HttpResponseOutcome {
+  kComplete,   ///< status line + headers parsed
+  kNeedMore,   ///< no head terminator within the data yet
+  kMalformed,  ///< bad status line, status code, or header field
+};
+
+struct ParsedResponseHead {
+  int status = 0;  ///< 100..599 on kComplete
+  /// Header fields, names lowercased, values trimmed. Later duplicates
+  /// overwrite earlier ones (a duplicate Retry-After last-wins and is
+  /// still clamped by HttpCallOptions::max_retry_after_seconds), except
+  /// Content-Length, where a disagreeing duplicate is kMalformed — the
+  /// same smuggling defense the request parser applies.
+  std::map<std::string, std::string> headers;
+  size_t head_bytes = 0;  ///< bytes consumed through the terminator
+};
+
+/// Parses the response head at the front of `data`: status line
+/// (`HTTP/x.y NNN reason`, status strictly three digits in 100..599, the
+/// reason phrase free-form but bounded by the head cap) followed by
+/// header fields. Never reads past `data.size()`, never throws. This
+/// parser sits on the coordinator's failover hot path, so it is exposed
+/// for the same seeded property fuzz ParseRequestHead gets — truncated
+/// status lines, oversized reason phrases, and duplicate Retry-After
+/// included.
+HttpResponseOutcome ParseResponseHead(std::string_view data,
+                                      size_t max_head_bytes,
+                                      ParsedResponseHead* out);
 
 // --- the server -------------------------------------------------------------
 
@@ -273,6 +308,60 @@ struct HttpCallOptions {
   /// hostile or confused server cannot park the client for minutes).
   double max_retry_after_seconds = 5.0;
 };
+
+/// Cancellation handle for one in-flight HttpAttempt, built for request
+/// hedging: the coordinator launches a backup attempt after a
+/// p95-derived delay and cancels the loser by closing its socket. The
+/// token owns the race between Cancel() and the attempt's own close():
+/// the attempt registers its socket under the token's lock and
+/// deregisters before closing, so Cancel never touches a reused fd.
+class HttpCancelToken {
+ public:
+  HttpCancelToken() = default;
+  HttpCancelToken(const HttpCancelToken&) = delete;
+  HttpCancelToken& operator=(const HttpCancelToken&) = delete;
+
+  /// Shuts down the registered attempt socket (if any), making the
+  /// attempt fail promptly with kBroken. An attempt started after
+  /// Cancel() fails before connecting. Idempotent, thread-safe.
+  void Cancel();
+  bool cancelled() const;
+
+  /// Internal registration by HttpAttempt. RegisterFd returns false when
+  /// the token is already cancelled (the attempt must not proceed).
+  bool RegisterFd(int fd);
+  void DeregisterFd();
+
+ private:
+  mutable std::mutex mutex_;
+  int fd_ = -1;
+  bool cancelled_ = false;
+};
+
+/// One HTTP exchange's outcome, classified for the retry/failover
+/// decision. kConnectFailed is the only "nothing was sent" class; kOk is
+/// any complete response (the caller branches on status); kBroken is a
+/// mid-exchange failure — ambiguous, because the server may have
+/// executed the request.
+struct HttpAttemptResult {
+  enum class Kind {
+    kOk,             ///< complete response parsed (any status)
+    kConnectFailed,  ///< connect() failed: nothing was sent, safe to retry
+    kBroken,         ///< failed mid-exchange: ambiguous, never retried here
+  };
+  Kind kind = Kind::kBroken;
+  HttpReply reply;
+  std::string error;
+};
+
+/// Performs exactly one HTTP/1.1 exchange (Connection: close), no
+/// retries, no backoff. This is the coordinator's building block: it
+/// decides failover itself from the returned Kind, and threads a cancel
+/// token through for hedging. Counts into schemr_client_attempts_total.
+HttpAttemptResult HttpAttempt(const std::string& host, int port,
+                              const std::string& path,
+                              const HttpCallOptions& options = {},
+                              HttpCancelToken* cancel = nullptr);
 
 /// Performs one HTTP/1.1 call (Connection: close) with the retry policy
 /// above. Returns the final reply for ANY complete response, 200 or not —

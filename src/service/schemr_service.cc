@@ -508,6 +508,17 @@ Status SchemrService::StartServing(ServingOptions options) {
       response.body = HealthzJson(&response.status);
       return response;
     });
+    // Liveness and readiness are different questions: /healthz answers
+    // "is the process alive and sane", /readyz answers "should a load
+    // balancer route here". The fleet coordinator probes /readyz, so a
+    // draining replica ("dying") stops receiving traffic while a dead
+    // one ("dead") is distinguished by the connect failure itself.
+    introspection_->Route("/readyz", [this](const HttpRequest&) {
+      HttpResponse response;
+      response.content_type = "application/json";
+      response.body = ReadyzJson(&response.status);
+      return response;
+    });
     introspection_->Route("/statusz", [this](const HttpRequest&) {
       HttpResponse response;
       response.content_type = "application/json";
@@ -1136,6 +1147,36 @@ std::string SchemrService::HealthzJson(int* http_status) const {
     JsonNum(&out, "running", static_cast<double>(executor->NumRunning()));
   }
   JsonBool(&out, "overloaded", overloaded);
+  out += "}\n";
+  if (http_status != nullptr) *http_status = status;
+  return out;
+}
+
+std::string SchemrService::ReadyzJson(int* http_status) const {
+  const char* state = "ready";
+  int status = 200;
+  BoundedExecutor* executor;
+  AdmissionController* admission;
+  bool down;
+  {
+    std::lock_guard<std::mutex> lock(serving_mutex_);
+    executor = executor_.get();
+    admission = admission_.get();
+    down = shut_down_;
+  }
+  if (executor == nullptr || down || executor->wedged()) {
+    // "Dead" from a router's perspective: never started, shut down, or
+    // a wedged executor that will not answer. (/healthz still tells the
+    // operator WHICH of those it is.)
+    state = "not_serving";
+    status = 503;
+  } else if (admission->draining()) {
+    // "Dying": in-flight work finishes, new work must go elsewhere.
+    state = "draining";
+    status = 503;
+  }
+  std::string out = "{";
+  JsonStr(&out, "status", state);
   out += "}\n";
   if (http_status != nullptr) *http_status = status;
   return out;

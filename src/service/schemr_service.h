@@ -280,6 +280,13 @@ class SchemrService {
   /// or wedged (or never started serving).
   std::string HealthzJson(int* http_status = nullptr) const;
 
+  /// The /readyz body: readiness as a router sees it, one of
+  /// `ready` (200), `draining` (503 — alive, finishing in-flight work,
+  /// route elsewhere), or `not_serving` (503 — never started, wedged, or
+  /// shut down). Split from /healthz so probes can tell "dying" from
+  /// "dead": the fleet coordinator keys routing off this endpoint.
+  std::string ReadyzJson(int* http_status = nullptr) const;
+
   /// The /tracez body: retained traces grouped by category (see
   /// obs/telemetry.h TraceRetention). "{}" until StartServing.
   std::string TracezJson() const;

@@ -1,0 +1,378 @@
+// Cross-process chaos tests for the replica fleet (DESIGN.md §14): a
+// Fleet of real `schemr serve` child processes behind the failover
+// Coordinator. Covered: the byte-identical serving contract THROUGH the
+// coordinator (a /search answered via the coordinator equals the same
+// request answered by a backend directly), kill -9 of a replica under
+// client load without a single fabricated non-shed 5xx, circuit-breaker
+// open → half-open probe readmission, the rolling-drain invariant
+// (ready count never below N−1, asserted by polling every replica's
+// /readyz), and a torture loop racing kills, stalls, injected
+// coordinator faults, and rolling restarts against live client traffic.
+// SCHEMR_TORTURE_CYCLES scales the torture loop. The schemr binary the
+// replicas exec is baked in at compile time (SCHEMR_BINARY_PATH).
+
+#include "service/fleet.h"
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "corpus/schema_generator.h"
+#include "index/indexer.h"
+#include "repo/schema_repository.h"
+#include "service/coordinator.h"
+#include "service/http_server.h"
+#include "service/schemr_service.h"
+#include "util/fault_injection.h"
+#include "util/rng.h"
+
+#ifndef SCHEMR_BINARY_PATH
+#error "SCHEMR_BINARY_PATH must point at the schemr CLI binary"
+#endif
+
+namespace schemr {
+namespace {
+
+namespace fs = std::filesystem;
+
+int TortureCycles() {
+  const char* env = std::getenv("SCHEMR_TORTURE_CYCLES");
+  if (env != nullptr) {
+    const int cycles = std::atoi(env);
+    if (cycles > 0) return cycles;
+  }
+  return 4;
+}
+
+/// Seeds an on-disk repository + index segment the way `schemr seed`
+/// does, so real `schemr serve` children can open it.
+std::string SeedRepo(const std::string& name, size_t schemas) {
+  const fs::path dir =
+      fs::temp_directory_path() /
+      (name + "_" + std::to_string(static_cast<long>(::getpid())));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  auto repo = SchemaRepository::Open(dir.string());
+  EXPECT_TRUE(repo.ok()) << repo.status();
+  CorpusOptions options;
+  options.num_schemas = schemas;
+  options.seed = 2026;
+  for (const GeneratedSchema& g : GenerateCorpus(options)) {
+    EXPECT_TRUE((*repo)->Insert(g.schema).ok());
+  }
+  Indexer indexer;
+  EXPECT_TRUE(indexer.RebuildFromRepository(**repo).ok());
+  EXPECT_TRUE(indexer.Save((dir / "segment.idx").string()).ok());
+  return dir.string();
+}
+
+FleetOptions MakeFleetOptions(const std::string& repo_dir, int replicas) {
+  FleetOptions options;
+  options.binary_path = SCHEMR_BINARY_PATH;
+  options.repo_dir = repo_dir;
+  options.replicas = replicas;
+  options.serve_workers = 2;
+  return options;
+}
+
+std::string QueryXml() {
+  SearchRequest request;
+  request.keywords = "patient height gender diagnosis";
+  request.top_k = 5;
+  request.candidate_pool = 20;
+  return SearchRequestToXml(request);
+}
+
+Result<HttpReply> PostSearch(int port, const std::string& body,
+                             double timeout_seconds = 10.0) {
+  HttpCallOptions options;
+  options.method = "POST";
+  options.body = body;
+  options.attempt_timeout_seconds = timeout_seconds;
+  options.max_attempts = 1;  // the coordinator owns failover, not the client
+  return HttpCall("127.0.0.1", port, "/search", options);
+}
+
+/// True when `port`'s /readyz answers 200 within `timeout_seconds`.
+bool Readyz(int port, double timeout_seconds = 1.0) {
+  HttpCallOptions options;
+  options.attempt_timeout_seconds = timeout_seconds;
+  options.max_attempts = 1;
+  auto reply = HttpCall("127.0.0.1", port, "/readyz", options);
+  return reply.ok() && reply->status == 200;
+}
+
+// --- the serving contract through the coordinator ---------------------------
+
+TEST(FleetTest, SearchThroughCoordinatorIsByteIdenticalToDirectBackend) {
+  const std::string repo_dir = SeedRepo("schemr_fleet_ident", 40);
+  CoordinatorOptions coordinator;
+  coordinator.hedge = false;  // one backend answers; no racing attempt
+  Fleet fleet(MakeFleetOptions(repo_dir, 2), coordinator);
+  ASSERT_TRUE(fleet.Start().ok());
+
+  const std::string body = QueryXml();
+  auto direct = PostSearch(fleet.ReplicaConfig(0).search_port, body);
+  ASSERT_TRUE(direct.ok()) << direct.status();
+  ASSERT_EQ(direct->status, 200);
+  ASSERT_FALSE(direct->body.empty());
+
+  // Replicas serve identical corpora, so whichever backend the
+  // coordinator routes to must produce these exact bytes.
+  auto via = PostSearch(fleet.coordinator().port(), body);
+  ASSERT_TRUE(via.ok()) << via.status();
+  EXPECT_EQ(via->status, 200);
+  EXPECT_EQ(via->body, direct->body);
+  EXPECT_EQ(via->headers.at("content-type"), direct->headers.at("content-type"));
+
+  // The coordinator's own readiness follows the pool.
+  EXPECT_TRUE(Readyz(fleet.coordinator().port()));
+  EXPECT_EQ(fleet.coordinator().pool().RoutableCount(), 2u);
+  fleet.Shutdown();
+  fs::remove_all(repo_dir);
+}
+
+// --- kill -9 under load -----------------------------------------------------
+
+TEST(FleetTest, KillNineUnderLoadNeverFabricatesNonShed5xx) {
+  const std::string repo_dir = SeedRepo("schemr_fleet_kill", 40);
+  Fleet fleet(MakeFleetOptions(repo_dir, 3), {});
+  ASSERT_TRUE(fleet.Start().ok());
+  const int port = fleet.coordinator().port();
+  const std::string body = QueryXml();
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> ok{0};
+  std::atomic<uint64_t> shed{0};         // 503 carrying the shed vocabulary
+  std::atomic<uint64_t> bad_5xx{0};      // anything else in 5xx: forbidden
+  std::atomic<uint64_t> net_errors{0};   // incomplete client exchanges
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto reply = PostSearch(port, body);
+        if (!reply.ok()) {
+          net_errors.fetch_add(1, std::memory_order_relaxed);
+        } else if (reply->status == 200) {
+          ok.fetch_add(1, std::memory_order_relaxed);
+        } else if (reply->status == 503 &&
+                   reply->headers.count("x-schemr-shed") > 0) {
+          shed.fetch_add(1, std::memory_order_relaxed);
+        } else if (reply->status >= 500) {
+          bad_5xx.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  // Let load establish, then kill -9 one replica mid-flight and let the
+  // supervisor respawn it while clients keep hammering.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  ASSERT_TRUE(fleet.KillReplica(1).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  EXPECT_EQ(fleet.SupervisePass(), 1);
+  ASSERT_TRUE(fleet.WaitRoutable(1, 20.0).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : clients) t.join();
+
+  // The contract: every client saw either a real backend answer or an
+  // honest shed. A kill -9 mid-exchange must surface as a failover, not
+  // as a fabricated 502/504 or a torn response.
+  EXPECT_GT(ok.load(), 0u);
+  EXPECT_EQ(bad_5xx.load(), 0u);
+  EXPECT_EQ(net_errors.load(), 0u);
+  // The killed replica is routable again (probe readmission).
+  EXPECT_EQ(fleet.coordinator().pool().RoutableCount(), 3u);
+  fleet.Shutdown();
+  fs::remove_all(repo_dir);
+}
+
+// --- circuit breaker --------------------------------------------------------
+
+TEST(FleetTest, BreakerOpensOnInjectedFailuresAndHalfOpenProbeReadmits) {
+  const std::string repo_dir = SeedRepo("schemr_fleet_breaker", 30);
+  CoordinatorOptions coordinator;
+  coordinator.hedge = false;  // hedging would consume injected faults
+  coordinator.pool.failure_threshold = 3;
+  coordinator.pool.open_cooldown_seconds = 0.3;
+  Fleet fleet(MakeFleetOptions(repo_dir, 2), coordinator);
+  ASSERT_TRUE(fleet.Start().ok());
+  const std::string body = QueryXml();
+
+  // Blackhole every coordinator→backend attempt for exactly enough hits
+  // to trip both breakers (threshold per backend, two backends), then go
+  // dormant. Each request fails over across both, so three requests feed
+  // three consecutive failures to each backend.
+  FaultSpec spec;
+  spec.kind = FaultKind::kError;
+  spec.count = 2 * coordinator.pool.failure_threshold;
+  FaultInjector::Global().Arm("coord/backend/blackhole", spec);
+  int sheds = 0;
+  for (int i = 0; i < 6 && sheds < 3; ++i) {
+    auto reply = PostSearch(fleet.coordinator().port(), body);
+    ASSERT_TRUE(reply.ok()) << reply.status();
+    if (reply->status == 503) ++sheds;
+  }
+  FaultInjector::Global().Disarm("coord/backend/blackhole");
+
+  // At least one breaker tripped open on consecutive failures.
+  bool saw_open = false;
+  for (const BackendSnapshot& s : fleet.coordinator().pool().Snapshot()) {
+    saw_open = saw_open || s.breaker == BreakerState::kOpen ||
+               s.failures >= 3;
+  }
+  EXPECT_TRUE(saw_open);
+
+  // The backends themselves were healthy all along, so after the
+  // cooldown the probe thread walks each open breaker through half-open
+  // and a successful /readyz probe re-closes it — no live traffic needed.
+  ASSERT_TRUE(fleet.WaitRoutable(0, 10.0).ok());
+  ASSERT_TRUE(fleet.WaitRoutable(1, 10.0).ok());
+  auto reply = PostSearch(fleet.coordinator().port(), body);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->status, 200);
+  fleet.Shutdown();
+  fs::remove_all(repo_dir);
+}
+
+// --- rolling drain ----------------------------------------------------------
+
+TEST(FleetTest, RollingRestartKeepsReadyCountAtNMinusOne) {
+  const std::string repo_dir = SeedRepo("schemr_fleet_roll", 30);
+  Fleet fleet(MakeFleetOptions(repo_dir, 3), {});
+  ASSERT_TRUE(fleet.Start().ok());
+
+  std::atomic<bool> done{false};
+  Status rolled;
+  std::thread restarter([&] {
+    rolled = fleet.RollingRestart();
+    done.store(true, std::memory_order_release);
+  });
+
+  // Poll every replica's own /readyz while the drain walks the fleet:
+  // at most one replica may be out (draining, stopped, or not yet
+  // re-ready) at any sample.
+  int samples = 0;
+  while (!done.load(std::memory_order_acquire)) {
+    int ready = 0;
+    for (int id = 0; id < fleet.replicas(); ++id) {
+      if (Readyz(fleet.ReplicaConfig(id).introspection_port, 0.5)) ++ready;
+    }
+    ++samples;
+    ASSERT_GE(ready, fleet.replicas() - 1) << "sample " << samples;
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  }
+  restarter.join();
+  ASSERT_TRUE(rolled.ok()) << rolled;
+  EXPECT_GT(samples, 0);
+
+  // Drain complete: the whole fleet is ready and serving again.
+  for (int id = 0; id < fleet.replicas(); ++id) {
+    EXPECT_TRUE(Readyz(fleet.ReplicaConfig(id).introspection_port, 2.0))
+        << "replica " << id;
+  }
+  EXPECT_EQ(fleet.coordinator().pool().RoutableCount(), 3u);
+  auto reply = PostSearch(fleet.coordinator().port(), QueryXml());
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->status, 200);
+  fleet.Shutdown();
+  fs::remove_all(repo_dir);
+}
+
+// --- chaos torture ----------------------------------------------------------
+
+TEST(FleetChaosTest, TortureKillsStallsAndRestartsUnderLoad) {
+  const int cycles = TortureCycles();
+  const std::string repo_dir = SeedRepo("schemr_fleet_torture", 30);
+  Fleet fleet(MakeFleetOptions(repo_dir, 3), {});
+  ASSERT_TRUE(fleet.Start().ok());
+  const int port = fleet.coordinator().port();
+  const std::string body = QueryXml();
+  Rng rng(20260807);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> ok{0};
+  std::atomic<uint64_t> bad_5xx{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 2; ++c) {
+    clients.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto reply = PostSearch(port, body, 5.0);
+        if (!reply.ok()) continue;  // liveness is asserted after the joins
+        if (reply->status == 200) {
+          ok.fetch_add(1, std::memory_order_relaxed);
+        } else if (reply->status >= 500 && reply->status != 503) {
+          bad_5xx.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    const int victim = static_cast<int>(rng.NextBelow(3));
+    switch (rng.NextBelow(4)) {
+      case 0: {  // kill -9, then let the supervisor respawn
+        ASSERT_TRUE(fleet.KillReplica(victim).ok());
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            static_cast<int>(rng.NextBelow(300))));
+        fleet.SupervisePass();
+        ASSERT_TRUE(fleet.WaitRoutable(victim, 20.0).ok());
+        break;
+      }
+      case 1: {  // stall (SIGSTOP) long enough for probes to notice
+        ASSERT_TRUE(fleet.StallReplica(victim, true).ok());
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            400 + static_cast<int>(rng.NextBelow(400))));
+        ASSERT_TRUE(fleet.StallReplica(victim, false).ok());
+        ASSERT_TRUE(fleet.WaitRoutable(victim, 20.0).ok());
+        break;
+      }
+      case 2: {  // count-limited coordinator faults racing live traffic
+        FaultSpec probe;
+        probe.kind = FaultKind::kError;
+        probe.error_code = ECONNREFUSED;
+        probe.count = 1 + static_cast<int>(rng.NextBelow(3));
+        FaultInjector::Global().Arm("coord/probe/fail", probe);
+        FaultSpec blackhole;
+        blackhole.kind = FaultKind::kError;
+        blackhole.count = 1 + static_cast<int>(rng.NextBelow(3));
+        FaultInjector::Global().Arm("coord/backend/blackhole", blackhole);
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            static_cast<int>(rng.NextBelow(300))));
+        break;
+      }
+      case 3: {  // rolling restart of the whole fleet under load
+        ASSERT_TRUE(fleet.RollingRestart().ok());
+        break;
+      }
+    }
+  }
+  FaultInjector::Global().Disarm("coord/probe/fail");
+  FaultInjector::Global().Disarm("coord/backend/blackhole");
+
+  // Settle: every replica routable, then the fleet must still serve.
+  for (int id = 0; id < fleet.replicas(); ++id) {
+    ASSERT_TRUE(fleet.WaitRoutable(id, 30.0).ok()) << "replica " << id;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : clients) t.join();
+  EXPECT_GT(ok.load(), 0u);
+  EXPECT_EQ(bad_5xx.load(), 0u);
+  auto reply = PostSearch(port, body);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(reply->status, 200);
+  fleet.Shutdown();
+  fs::remove_all(repo_dir);
+}
+
+}  // namespace
+}  // namespace schemr

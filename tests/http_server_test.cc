@@ -1,10 +1,11 @@
 // Hardened HTTP server tests (DESIGN.md §13): the pure request-head
-// parser under property-style fuzzing (truncated, byte-flipped,
-// pipelined, oversized inputs), the timeout ladder (408 on header and
-// body stalls), strict Content-Length validation, the connection cap's
-// inline 503, graceful drain, the socket fault-injection sites, and the
-// HttpCall retry contract (retry connect failures and 503+Retry-After,
-// never an ambiguous mid-body failure).
+// and response-head parsers under property-style fuzzing (truncated,
+// byte-flipped, pipelined, oversized inputs; truncated status lines,
+// oversized reason phrases, duplicate Retry-After), the timeout ladder
+// (408 on header and body stalls), strict Content-Length validation,
+// the connection cap's inline 503, graceful drain, the socket
+// fault-injection sites, and the HttpCall retry contract (retry connect
+// failures and 503+Retry-After, never an ambiguous mid-body failure).
 
 #include "service/http_server.h"
 
@@ -224,6 +225,154 @@ TEST_P(ParserFuzzTest, ArbitraryInputsNeverCrashOrOverread) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest,
+                         ::testing::Values(1u, 7u, 42u, 2026u));
+
+// --- pure response parser ---------------------------------------------------
+
+TEST(ParseResponseHeadTest, ParsesStatusHeadersAndHeadBytes) {
+  const std::string raw =
+      "HTTP/1.1 503 Service Unavailable\r\nRetry-After: 2\r\n"
+      "Content-Length: 5\r\nX-Schemr-Shed: queue_full\r\n\r\nhello";
+  ParsedResponseHead parsed;
+  ASSERT_EQ(ParseResponseHead(raw, 8192, &parsed),
+            HttpResponseOutcome::kComplete);
+  EXPECT_EQ(parsed.status, 503);
+  EXPECT_EQ(parsed.headers.at("retry-after"), "2");
+  EXPECT_EQ(parsed.headers.at("content-length"), "5");
+  EXPECT_EQ(parsed.headers.at("x-schemr-shed"), "queue_full");
+  EXPECT_EQ(parsed.head_bytes, raw.size() - 5);
+}
+
+TEST(ParseResponseHeadTest, TruncatedStatusLinesWantMoreUntilTheCap) {
+  const std::string raw = "HTTP/1.1 200 OK\r\nContent-Length: 0\r\n\r\n";
+  // Every proper prefix short of the blank line is just "keep reading".
+  for (size_t len = 0; len < raw.size() - 1; ++len) {
+    ParsedResponseHead parsed;
+    EXPECT_EQ(ParseResponseHead(raw.substr(0, len), 8192, &parsed),
+              HttpResponseOutcome::kNeedMore)
+        << len;
+  }
+  // Once the unterminated head has consumed the whole budget, it is
+  // refused rather than buffered forever.
+  ParsedResponseHead parsed;
+  EXPECT_EQ(ParseResponseHead(std::string(256, 'a'), 256, &parsed),
+            HttpResponseOutcome::kMalformed);
+}
+
+TEST(ParseResponseHeadTest, StatusCodeIsStrictlyThreeDigits) {
+  ParsedResponseHead parsed;
+  for (const char* raw : {
+           "HTTP/1.1 50 OK\r\n\r\n",       // two digits
+           "HTTP/1.1 5033 OK\r\n\r\n",     // four digits
+           "HTTP/1.1 20x OK\r\n\r\n",      // non-digit
+           "HTTP/1.1 099 OK\r\n\r\n",      // below 100
+           "HTTP/1.1 600 OK\r\n\r\n",      // above 599
+           "HTTP/1.1\r\n\r\n",             // no status at all
+           "SMTP/1.0 200 OK\r\n\r\n",      // wrong protocol
+           "200 OK\r\n\r\n",               // bare status
+       }) {
+    EXPECT_EQ(ParseResponseHead(raw, 8192, &parsed),
+              HttpResponseOutcome::kMalformed)
+        << raw;
+  }
+  // A missing reason phrase is legal.
+  ASSERT_EQ(ParseResponseHead("HTTP/1.1 204\r\n\r\n", 8192, &parsed),
+            HttpResponseOutcome::kComplete);
+  EXPECT_EQ(parsed.status, 204);
+}
+
+TEST(ParseResponseHeadTest, OversizedReasonPhraseIsHarmless) {
+  // The reason phrase is never parsed, so a huge one only counts against
+  // the head budget.
+  const std::string within = "HTTP/1.1 200 " + std::string(2000, 'R') +
+                             "\r\nContent-Length: 0\r\n\r\n";
+  ParsedResponseHead parsed;
+  ASSERT_EQ(ParseResponseHead(within, 8192, &parsed),
+            HttpResponseOutcome::kComplete);
+  EXPECT_EQ(parsed.status, 200);
+  const std::string oversized = "HTTP/1.1 200 " + std::string(9000, 'R') +
+                                "\r\nContent-Length: 0\r\n\r\n";
+  EXPECT_EQ(ParseResponseHead(oversized, 8192, &parsed),
+            HttpResponseOutcome::kMalformed);
+}
+
+TEST(ParseResponseHeadTest, DuplicateRetryAfterLastWins) {
+  ParsedResponseHead parsed;
+  ASSERT_EQ(ParseResponseHead("HTTP/1.1 503 Unavailable\r\n"
+                              "Retry-After: 1\r\nRetry-After: 30\r\n\r\n",
+                              8192, &parsed),
+            HttpResponseOutcome::kComplete);
+  // Duplicates of non-load-bearing headers last-win; the retry client
+  // clamps whatever value survives, so a hostile 30 cannot stall it.
+  EXPECT_EQ(parsed.headers.at("retry-after"), "30");
+}
+
+TEST(ParseResponseHeadTest, DisagreeingDuplicateContentLengthIsRefused) {
+  ParsedResponseHead parsed;
+  ASSERT_EQ(ParseResponseHead("HTTP/1.1 200 OK\r\nContent-Length: 5\r\n"
+                              "Content-Length: 5\r\n\r\n",
+                              8192, &parsed),
+            HttpResponseOutcome::kComplete);
+  EXPECT_EQ(ParseResponseHead("HTTP/1.1 200 OK\r\nContent-Length: 5\r\n"
+                              "Content-Length: 6\r\n\r\n",
+                              8192, &parsed),
+            HttpResponseOutcome::kMalformed);
+}
+
+// Property-style fuzz over the response parser, mirroring the request
+// side: truncations, byte flips, oversized reason phrases, duplicated
+// Retry-After, and pure noise must all land in a defined outcome with
+// head_bytes never exceeding the input.
+class ResponseParserFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ResponseParserFuzzTest, ArbitraryResponsesNeverCrashOrOverread) {
+  Rng rng(GetParam());
+  const std::string valid =
+      "HTTP/1.1 503 Service Unavailable\r\nRetry-After: 2\r\n"
+      "Content-Length: 10\r\nX-Schemr-Shed: queue_full\r\n\r\n0123456789";
+  for (int iteration = 0; iteration < 2000; ++iteration) {
+    std::string input = valid;
+    switch (rng.NextBelow(5)) {
+      case 0:  // truncate (status line included)
+        input.resize(rng.NextBelow(input.size() + 1));
+        break;
+      case 1:  // flip bytes
+        for (int flips = 0; flips < 4; ++flips) {
+          const size_t at = rng.NextBelow(input.size());
+          input[at] = static_cast<char>(rng.NextBelow(256));
+        }
+        break;
+      case 2:  // oversize the reason phrase
+        input.insert(13, std::string(rng.NextBelow(16384), 'R'));
+        break;
+      case 3:  // duplicate Retry-After with a hostile value
+        input.insert(input.find("\r\nContent-Length"),
+                     "\r\nRetry-After: 99999999");
+        break;
+      case 4: {  // pure noise
+        input.clear();
+        const size_t size = rng.NextBelow(4096);
+        input.reserve(size);
+        for (size_t i = 0; i < size; ++i) {
+          input.push_back(static_cast<char>(rng.NextBelow(256)));
+        }
+        break;
+      }
+    }
+    ParsedResponseHead parsed;
+    const HttpResponseOutcome outcome = ParseResponseHead(input, 1024, &parsed);
+    if (outcome == HttpResponseOutcome::kComplete) {
+      ASSERT_LE(parsed.head_bytes, input.size());
+      ASSERT_GE(parsed.status, 100);
+      ASSERT_LE(parsed.status, 599);
+    } else {
+      ASSERT_TRUE(outcome == HttpResponseOutcome::kNeedMore ||
+                  outcome == HttpResponseOutcome::kMalformed);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ResponseParserFuzzTest,
                          ::testing::Values(1u, 7u, 42u, 2026u));
 
 // --- the live server --------------------------------------------------------

@@ -43,9 +43,16 @@ using schemr::SearchRequest;
 using schemr::Timer;
 using schemr::WorkloadEntry;
 
-struct Args {
+/// One backend endpoint. Multi-target runs (repeated --target) drive a
+/// replica fleet directly, bypassing the coordinator, so per-replica
+/// latency and error behaviour stays observable from the outside.
+struct Target {
   std::string host = "127.0.0.1";
   int port = 0;
+};
+
+struct Args {
+  std::vector<Target> targets;
   std::string workload_path;
   std::string mode = "closed";
   size_t connections = 4;
@@ -125,13 +132,17 @@ HttpCallOptions CallOptions(const Args& args, uint64_t worker_seed) {
 }
 
 void RunClosed(const Args& args, const std::vector<std::string>& bodies,
-               Tally* tally) {
+               std::vector<Tally>* tallies) {
   std::atomic<uint64_t> next{0};
   std::atomic<bool> stop{false};
   std::vector<std::thread> workers;
   workers.reserve(args.connections);
   for (size_t w = 0; w < args.connections; ++w) {
     workers.emplace_back([&, w] {
+      // Round-robin worker→target assignment: with T targets and N
+      // connections, target t serves ceil/floor(N/T) closed loops.
+      const Target& target = args.targets[w % args.targets.size()];
+      Tally* tally = &(*tallies)[w % args.targets.size()];
       const HttpCallOptions options = CallOptions(args, args.seed + w);
       while (!stop.load(std::memory_order_relaxed)) {
         const uint64_t n = next.fetch_add(1, std::memory_order_relaxed);
@@ -140,7 +151,7 @@ void RunClosed(const Args& args, const std::vector<std::string>& bodies,
         attempt.body = body;
         const Timer timer;
         Result<HttpReply> reply =
-            HttpCall(args.host, args.port, "/search", attempt);
+            HttpCall(target.host, target.port, "/search", attempt);
         RecordReply(tally, reply, timer.ElapsedMillis());
       }
     });
@@ -152,7 +163,7 @@ void RunClosed(const Args& args, const std::vector<std::string>& bodies,
 }
 
 void RunOpen(const Args& args, const std::vector<std::string>& bodies,
-             Tally* tally) {
+             std::vector<Tally>* tallies) {
   using Clock = std::chrono::steady_clock;
   const Clock::time_point start = Clock::now();
   const uint64_t total = static_cast<uint64_t>(args.duration_seconds * args.qps);
@@ -161,6 +172,8 @@ void RunOpen(const Args& args, const std::vector<std::string>& bodies,
   workers.reserve(args.connections);
   for (size_t w = 0; w < args.connections; ++w) {
     workers.emplace_back([&, w] {
+      const Target& target = args.targets[w % args.targets.size()];
+      Tally* tally = &(*tallies)[w % args.targets.size()];
       const HttpCallOptions options = CallOptions(args, args.seed + w);
       for (;;) {
         const uint64_t n =
@@ -186,7 +199,7 @@ void RunOpen(const Args& args, const std::vector<std::string>& bodies,
         HttpCallOptions attempt = options;
         attempt.body = body;
         Result<HttpReply> reply =
-            HttpCall(args.host, args.port, "/search", attempt);
+            HttpCall(target.host, target.port, "/search", attempt);
         // Latency from the scheduled arrival, not the actual send:
         // coordinated-omission-honest.
         const double latency_ms =
@@ -203,6 +216,9 @@ int Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s <host:port> <workload.xml|audit-dir> [options]\n"
+      "  --target host:port   additional backend; workers are assigned\n"
+      "                       round-robin across all targets and the JSON\n"
+      "                       output gains a per-target breakdown\n"
       "  --mode closed|open   closed: back-to-back per connection (default)\n"
       "                       open: fixed-rate arrivals, latency from the\n"
       "                       scheduled arrival time\n"
@@ -218,23 +234,33 @@ int Usage(const char* argv0) {
   return 2;
 }
 
+bool ParseTarget(const std::string& spec, Target* out) {
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string::npos) return false;
+  out->host = spec.substr(0, colon);
+  out->port = std::atoi(spec.c_str() + colon + 1);
+  return out->port > 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 3) return Usage(argv[0]);
   Args args;
-  const std::string target = argv[1];
-  const size_t colon = target.rfind(':');
-  if (colon == std::string::npos) return Usage(argv[0]);
-  args.host = target.substr(0, colon);
-  args.port = std::atoi(target.c_str() + colon + 1);
+  Target first;
+  if (!ParseTarget(argv[1], &first)) return Usage(argv[0]);
+  args.targets.push_back(first);
   args.workload_path = argv[2];
   for (int i = 3; i < argc; ++i) {
     const std::string flag = argv[i];
     auto value = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : "";
     };
-    if (flag == "--mode") {
+    if (flag == "--target") {
+      Target extra;
+      if (!ParseTarget(value(), &extra)) return Usage(argv[0]);
+      args.targets.push_back(extra);
+    } else if (flag == "--mode") {
       args.mode = value();
     } else if (flag == "--connections") {
       args.connections = static_cast<size_t>(std::atoi(value()));
@@ -254,10 +280,17 @@ int main(int argc, char** argv) {
       return Usage(argv[0]);
     }
   }
-  if (args.port <= 0 || args.connections == 0 ||
+  if (args.connections == 0 ||
       (args.mode != "closed" && args.mode != "open") ||
       (args.mode == "open" && args.qps <= 0.0)) {
     return Usage(argv[0]);
+  }
+  if (args.connections < args.targets.size()) {
+    std::fprintf(stderr,
+                 "loadgen: %zu connections < %zu targets; some targets "
+                 "would receive no load\n",
+                 args.connections, args.targets.size());
+    return 2;
   }
 
   auto workload = schemr::LoadWorkload(args.workload_path);
@@ -268,40 +301,80 @@ int main(int argc, char** argv) {
   }
   const std::vector<std::string> bodies = RenderBodies(*workload);
 
-  Tally tally;
+  // One tally per target: workers write only their own slot, and the
+  // aggregate is summed afterwards, so multi-target runs cost no extra
+  // synchronization.
+  std::vector<Tally> tallies(args.targets.size());
   const Timer wall;
   if (args.mode == "closed") {
-    RunClosed(args, bodies, &tally);
+    RunClosed(args, bodies, &tallies);
   } else {
-    RunOpen(args, bodies, &tally);
+    RunOpen(args, bodies, &tallies);
   }
   const double elapsed = wall.ElapsedSeconds();
 
+  Tally total;
+  std::vector<double> all_latencies;
+  for (Tally& tally : tallies) {
+    total.ok += tally.ok;
+    total.shed += tally.shed;
+    total.http_error += tally.http_error;
+    total.net_error += tally.net_error;
+    total.attempts += tally.attempts;
+    total.late += tally.late;
+    all_latencies.insert(all_latencies.end(), tally.latencies_ms.begin(),
+                         tally.latencies_ms.end());
+  }
   const uint64_t issued =
-      tally.ok + tally.shed + tally.http_error + tally.net_error;
+      total.ok + total.shed + total.http_error + total.net_error;
   const double qps = elapsed > 0.0
-                         ? static_cast<double>(tally.ok) / elapsed
+                         ? static_cast<double>(total.ok) / elapsed
                          : 0.0;
-  std::vector<double> latencies = std::move(tally.latencies_ms);
   std::printf(
-      "{\"mode\": \"%s\", \"connections\": %zu, \"duration_seconds\": %.3f, "
+      "{\"mode\": \"%s\", \"connections\": %zu, \"targets\": %zu, "
+      "\"duration_seconds\": %.3f, "
       "\"requests\": %llu, \"ok\": %llu, \"shed\": %llu, "
       "\"http_errors\": %llu, \"net_errors\": %llu, \"retried\": %llu, "
       "\"late_arrivals\": %llu, "
       "\"qps\": %.2f, \"shed_rate\": %.4f, "
-      "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f}\n",
-      args.mode.c_str(), args.connections, elapsed,
+      "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f",
+      args.mode.c_str(), args.connections, args.targets.size(), elapsed,
       static_cast<unsigned long long>(issued),
-      static_cast<unsigned long long>(tally.ok),
-      static_cast<unsigned long long>(tally.shed),
-      static_cast<unsigned long long>(tally.http_error),
-      static_cast<unsigned long long>(tally.net_error),
-      static_cast<unsigned long long>(tally.attempts),
-      static_cast<unsigned long long>(tally.late), qps,
-      issued > 0 ? static_cast<double>(tally.shed) /
+      static_cast<unsigned long long>(total.ok),
+      static_cast<unsigned long long>(total.shed),
+      static_cast<unsigned long long>(total.http_error),
+      static_cast<unsigned long long>(total.net_error),
+      static_cast<unsigned long long>(total.attempts),
+      static_cast<unsigned long long>(total.late), qps,
+      issued > 0 ? static_cast<double>(total.shed) /
                        static_cast<double>(issued)
                  : 0.0,
-      Percentile(&latencies, 0.50), Percentile(&latencies, 0.95),
-      Percentile(&latencies, 0.99));
-  return tally.ok > 0 ? 0 : 1;
+      Percentile(&all_latencies, 0.50), Percentile(&all_latencies, 0.95),
+      Percentile(&all_latencies, 0.99));
+  // Per-target breakdown (flat keys, same convention as /statusz), only
+  // when there is more than one target — the single-target JSON shape
+  // stays exactly what existing consumers parse.
+  if (args.targets.size() > 1) {
+    for (size_t t = 0; t < args.targets.size(); ++t) {
+      Tally& tally = tallies[t];
+      const uint64_t target_issued =
+          tally.ok + tally.shed + tally.http_error + tally.net_error;
+      std::printf(
+          ", \"target%zu.endpoint\": \"%s:%d\", "
+          "\"target%zu.requests\": %llu, \"target%zu.ok\": %llu, "
+          "\"target%zu.shed\": %llu, \"target%zu.http_errors\": %llu, "
+          "\"target%zu.net_errors\": %llu, "
+          "\"target%zu.p50_ms\": %.3f, \"target%zu.p99_ms\": %.3f",
+          t, args.targets[t].host.c_str(), args.targets[t].port, t,
+          static_cast<unsigned long long>(target_issued), t,
+          static_cast<unsigned long long>(tally.ok), t,
+          static_cast<unsigned long long>(tally.shed), t,
+          static_cast<unsigned long long>(tally.http_error), t,
+          static_cast<unsigned long long>(tally.net_error), t,
+          Percentile(&tally.latencies_ms, 0.50), t,
+          Percentile(&tally.latencies_ms, 0.99));
+    }
+  }
+  std::printf("}\n");
+  return total.ok > 0 ? 0 : 1;
 }

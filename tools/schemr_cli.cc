@@ -50,6 +50,7 @@
 #include "obs/log_bridge.h"
 #include "obs/metrics.h"
 #include "obs/replay.h"
+#include "service/fleet.h"
 #include "service/http_introspection.h"
 #include "parse/ddl_parser.h"
 #include "parse/ddl_writer.h"
@@ -92,6 +93,10 @@ int Usage() {
       " [--duration S] [--warmup N]\n"
       "         serve with the HTTP introspection plane (and, with\n"
       "         --search-port, the POST /search front end) enabled\n"
+      "  fleet <repo> [--replicas N] [--port N] [--workers N]"
+      " [--duration S] [--no-hedge]\n"
+      "         serve via N supervised replica processes behind the\n"
+      "         failover coordinator (SIGHUP = rolling restart)\n"
       "  top <host:port> [--interval S] [--iterations N]   live /statusz"
       " dashboard\n"
       "  checkmetrics <file|->                      validate Prometheus"
@@ -484,6 +489,8 @@ void PrintAuditRecord(const AuditRecord& r) {
 
 volatile std::sig_atomic_t g_interrupted = 0;
 void OnInterrupt(int) { g_interrupted = 1; }
+volatile std::sig_atomic_t g_rolling_restart = 0;
+void OnHangup(int) { g_rolling_restart = 1; }
 
 /// `audit tail --follow`: prints the last `limit` records, then polls the
 /// log with an offset cursor — each poll reads only the bytes appended
@@ -860,6 +867,78 @@ int CmdServe(const std::string& repo_dir, int argc, char** argv) {
   return drained.ok() ? 0 : 1;
 }
 
+/// `schemr fleet <repo>`: spawns N `schemr serve` replicas (each over
+/// its own corpus copy) behind the in-process failover coordinator,
+/// then supervises them: dead replicas are respawned in place, and
+/// SIGHUP triggers a rolling drain-and-restart that never drops the
+/// ready count below N−1. SIGINT/SIGTERM drain the whole fleet.
+int CmdFleet(const std::string& repo_dir, int argc, char** argv) {
+  FleetOptions fleet_options;
+  fleet_options.repo_dir = repo_dir;
+  CoordinatorOptions coord_options;
+  coord_options.http.port = 0;
+  double duration = 0.0;  // 0 = until interrupted
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--replicas" && i + 1 < argc) {
+      fleet_options.replicas =
+          static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (arg == "--port" && i + 1 < argc) {
+      coord_options.http.port =
+          static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (arg == "--workers" && i + 1 < argc) {
+      fleet_options.serve_workers = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--duration" && i + 1 < argc) {
+      duration = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--no-hedge") {
+      coord_options.hedge = false;
+    } else {
+      return Usage();
+    }
+  }
+  // Replicas exec this very binary: /proc/self/exe survives relative
+  // argv[0] and $PATH lookups.
+  char exe[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+  if (n <= 0) {
+    return Fail(Status::IOError("cannot resolve /proc/self/exe"),
+                "locating the schemr binary");
+  }
+  fleet_options.binary_path.assign(exe, static_cast<size_t>(n));
+
+  Fleet fleet(fleet_options, coord_options);
+  Status started = fleet.Start();
+  if (!started.ok()) return Fail(started, "starting fleet");
+  std::printf("coordinator: http://127.0.0.1:%d/search (%d replicas)\n",
+              fleet.coordinator().port(), fleet.replicas());
+  for (int i = 0; i < fleet.replicas(); ++i) {
+    const BackendConfig config = fleet.ReplicaConfig(i);
+    std::printf("%s: pid %d search :%d introspection :%d\n",
+                config.name.c_str(), static_cast<int>(fleet.ReplicaPid(i)),
+                config.search_port, config.introspection_port);
+  }
+  std::fflush(stdout);
+  std::signal(SIGINT, OnInterrupt);
+  std::signal(SIGTERM, OnInterrupt);
+  std::signal(SIGHUP, OnHangup);
+  Timer timer;
+  while (!g_interrupted &&
+         (duration <= 0.0 || timer.ElapsedSeconds() < duration)) {
+    if (g_rolling_restart) {
+      g_rolling_restart = 0;
+      std::fprintf(stderr, "# fleet: rolling restart begin\n");
+      Status rolled = fleet.RollingRestart();
+      std::fprintf(stderr, "# fleet: rolling restart %s\n",
+                   rolled.ToString().c_str());
+    }
+    fleet.SupervisePass();
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  fleet.Shutdown();
+  std::fprintf(stderr, "# fleet: drain OK\n");
+  return 0;
+}
+
 /// `schemr top <host:port>`: polls /statusz and renders a one-screen
 /// dashboard (a terminal `top` for a serving schemr process).
 int CmdTop(const std::string& target, int argc, char** argv) {
@@ -930,6 +1009,26 @@ int CmdTop(const std::string& target, int argc, char** argv) {
           get("http.shed"), get("http.timeouts"), get("http.bytes_read"),
           get("http.bytes_written"),
           get("http.draining") != 0.0 ? "  DRAINING" : "");
+    }
+    if (get("pool.backends") != 0.0) {
+      std::printf(
+          "pool     %.0f backends (%.0f routable), hedge after %.1f ms,"
+          " %.0f failovers, %.0f hedges (%.0f won)\n",
+          get("pool.backends"), get("pool.routable"),
+          get("pool.hedge_delay_ms"), get("coord.failovers"),
+          get("coord.hedges"), get("coord.hedges_won"));
+      for (int r = 0; r < static_cast<int>(get("pool.backends")); ++r) {
+        const std::string prefix = "replica" + std::to_string(r);
+        auto field = [&](const char* name) {
+          return get((prefix + "." + name).c_str());
+        };
+        std::printf(
+            "%-8s :%-6.0f %s%s %.0f in-flight, %.0f reqs, %.0f failures\n",
+            prefix.c_str(), field("search_port"),
+            field("routable") != 0.0 ? "routable" : "out",
+            field("draining") != 0.0 ? " (draining)" : "",
+            field("in_flight"), field("requests"), field("failures"));
+      }
     }
     std::printf("%-8s %10s %10s %10s %10s %10s\n", "window", "qps", "p50_ms",
                 "p99_ms", "err/s", "shed/s");
@@ -1015,6 +1114,7 @@ int Run(int argc, char** argv) {
   std::string repo_dir = argv[2];
   if (command == "audit") return CmdAudit(repo_dir, argc - 3, argv + 3);
   if (command == "serve") return CmdServe(repo_dir, argc - 3, argv + 3);
+  if (command == "fleet") return CmdFleet(repo_dir, argc - 3, argv + 3);
   if (command == "top") return CmdTop(argv[2], argc - 3, argv + 3);
   if (command == "checkmetrics") return CmdCheckMetrics(argv[2]);
   if (command == "checkjson") return CmdCheckJson(argv[2], argc - 3, argv + 3);
