@@ -167,10 +167,17 @@ void EncodeAuditRecord(const AuditRecord& record, std::string* out) {
   if (record.deadline_hit) flags |= 1u;
   if (record.has_query_text) flags |= 2u;
   if (record.cache_hit) flags |= 4u;
+  if (!record.request_id.empty()) flags |= 8u;
   PutVarint32(out, flags);
   if (record.has_query_text) {
     PutLengthPrefixed(out, record.keywords);
     PutLengthPrefixed(out, record.fragment);
+  }
+  // Trailing optional field (flags bit 8): records without a request id
+  // stay byte-identical to the pre-fleet layout, so old segments and new
+  // readers interoperate in both directions under version 1.
+  if (!record.request_id.empty()) {
+    PutLengthPrefixed(out, record.request_id);
   }
 }
 
@@ -216,6 +223,11 @@ Status DecodeAuditRecord(std::string_view payload, AuditRecord* record) {
     SCHEMR_RETURN_IF_ERROR(GetLengthPrefixed(&payload, &fragment));
     record->keywords.assign(keywords);
     record->fragment.assign(fragment);
+  }
+  if ((flags & 8u) != 0) {
+    std::string_view request_id;
+    SCHEMR_RETURN_IF_ERROR(GetLengthPrefixed(&payload, &request_id));
+    record->request_id.assign(request_id);
   }
   if (!payload.empty()) {
     return Status::Corruption("trailing bytes in audit record");

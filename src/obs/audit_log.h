@@ -93,6 +93,12 @@ struct AuditRecord {
   bool has_query_text = false;
   std::string keywords;
   std::string fragment;
+  /// Fleet-wide request id (DESIGN.md §15), the join key against
+  /// coordinator hop journals and replica traces. Empty on records
+  /// written before the id existed (or by non-HTTP entry points);
+  /// persisted as a trailing optional field, so old segments decode
+  /// unchanged.
+  std::string request_id;
 };
 
 /// Serializes one record payload (without framing); the inverse of

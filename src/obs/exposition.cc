@@ -61,9 +61,14 @@ const char* KindName(MetricKind kind) {
 }  // namespace
 
 std::string ToPrometheusText(const MetricsRegistry& registry) {
+  return ToPrometheusText(registry.Collect());
+}
+
+std::string ToPrometheusText(
+    const std::vector<MetricsRegistry::MetricSnapshot>& metrics) {
   std::string out;
   char buf[160];
-  for (const MetricSnapshot& m : registry.Collect()) {
+  for (const MetricSnapshot& m : metrics) {
     if (!m.help.empty()) {
       out += "# HELP " + m.name + " ";
       // Prometheus escapes backslash and newline in help text.

@@ -9,6 +9,7 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "util/status.h"
@@ -19,6 +20,13 @@ namespace schemr {
 /// lines followed by samples; histograms expand to `_bucket{le="..."}`
 /// (cumulative), `_sum` and `_count` series.
 std::string ToPrometheusText(const MetricsRegistry& registry);
+
+/// Same emitter over an already-collected (or synthesized) snapshot
+/// list. The federation layer (obs/federation.h) renders merged fleet
+/// series through this, so federated output is format-identical to a
+/// registry's own.
+std::string ToPrometheusText(
+    const std::vector<MetricsRegistry::MetricSnapshot>& metrics);
 
 /// JSON object keyed by metric name; counters/gauges map to numbers,
 /// histograms to {count, sum, p50, p95, p99, buckets: [{le, count}...]}.

@@ -350,12 +350,14 @@ std::string TraceRetention::ToJson() const {
     std::snprintf(buf, sizeof(buf),
                   "\", \"timestamp_micros\": %llu, \"fingerprint\": "
                   "\"%016llx\", \"total_ms\": %.3f, \"cache_hit\": %s, "
-                  "\"sampled\": %s, \"spans\": \"",
+                  "\"sampled\": %s, \"request_id\": \"",
                   static_cast<unsigned long long>(t.timestamp_micros),
                   static_cast<unsigned long long>(t.fingerprint),
                   t.total_seconds * 1e3, t.cache_hit ? "true" : "false",
                   t.sampled ? "true" : "false");
     out += buf;
+    AppendJsonEscaped(&out, t.request_id);
+    out += "\", \"spans\": \"";
     AppendJsonEscaped(&out, t.spans);
     out += "\"}";
   }

@@ -193,7 +193,13 @@ struct RetainedTrace {
   double total_seconds = 0.0;
   bool cache_hit = false;
   bool sampled = false;
+  /// Fleet-wide request id (DESIGN.md §15) — the join key `schemr trace`
+  /// uses to stitch coordinator hop journals to replica traces. Empty
+  /// for requests that entered below the HTTP layer.
+  std::string request_id;
   /// SearchTrace::ToString() captured at retention time (multi-line).
+  /// The coordinator reuses this for its hop journal (one line per
+  /// backend attempt).
   std::string spans;
 };
 

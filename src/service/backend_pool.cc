@@ -349,6 +349,9 @@ void BackendPool::AppendStatsJson(std::string* out) const {
     JsonBool(out, p + ".draining", s.draining);
     JsonBool(out, p + ".routable", s.routable);
     JsonNum(out, p + ".search_port", static_cast<double>(s.search_port));
+    // `schemr trace` walks these ports to collect each replica's /tracez.
+    JsonNum(out, p + ".introspection_port",
+            static_cast<double>(s.introspection_port));
     JsonNum(out, p + ".in_flight", static_cast<double>(s.in_flight));
     JsonNum(out, p + ".requests", static_cast<double>(s.requests));
     JsonNum(out, p + ".failures", static_cast<double>(s.failures));

@@ -9,8 +9,11 @@
 #include <thread>
 
 #include "obs/exposition.h"
+#include "obs/federation.h"
 #include "obs/metrics.h"
 #include "service/admission.h"
+#include "service/http_introspection.h"
+#include "service/request_id.h"
 #include "util/fault_injection.h"
 #include "util/timer.h"
 #include "util/xml_writer.h"
@@ -96,13 +99,23 @@ std::string CoordErrorXml(const std::string& code, const std::string& message,
   return xml.Finish();
 }
 
+uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
 /// Builds the outbound call for one backend attempt: body and
 /// Content-Type pass through, X-Schemr-* request headers are forwarded,
-/// and the deadline header carries the REMAINING budget, not the
-/// original — a failover chain spends one client budget, not N.
+/// the request id is rewritten to the hop-suffixed form (each attempt is
+/// individually joinable in replica traces), and the deadline header
+/// carries the REMAINING budget, not the original — a failover chain
+/// spends one client budget, not N.
 HttpCallOptions MakeBackendCall(const HttpRequest& request, double deadline_ms,
                                 double elapsed_ms,
-                                double attempt_timeout_seconds) {
+                                double attempt_timeout_seconds,
+                                const std::string& hop_id) {
   HttpCallOptions call;
   call.method = "POST";
   call.body = request.body;
@@ -111,10 +124,12 @@ HttpCallOptions MakeBackendCall(const HttpRequest& request, double deadline_ms,
   }
   call.attempt_timeout_seconds = attempt_timeout_seconds;
   for (const auto& [name, value] : request.headers) {
-    if (name.rfind("x-schemr-", 0) == 0 && name != "x-schemr-deadline-ms") {
+    if (name.rfind("x-schemr-", 0) == 0 && name != "x-schemr-deadline-ms" &&
+        name != kRequestIdHeaderLower) {
       call.headers.emplace_back(name, value);
     }
   }
+  call.headers.emplace_back(kRequestIdHeader, hop_id);
   if (deadline_ms > 0.0) {
     const double remaining_ms = std::max(deadline_ms - elapsed_ms, 1.0);
     char buf[32];
@@ -132,8 +147,8 @@ HttpCallOptions MakeBackendCall(const HttpRequest& request, double deadline_ms,
 Coordinator::Coordinator(std::vector<BackendConfig> backends,
                          CoordinatorOptions options)
     : options_(options),
-      pool_(std::make_unique<BackendPool>(std::move(backends), options.pool)) {
-}
+      pool_(std::make_unique<BackendPool>(std::move(backends), options.pool)),
+      traces_(std::make_unique<TraceRetention>(options.trace_retention)) {}
 
 Coordinator::~Coordinator() { Shutdown(0.5); }
 
@@ -182,10 +197,37 @@ Status Coordinator::Start() {
     response.body = StatuszJson();
     return response;
   });
-  server_->Route("GET", "/metrics", [](const HttpRequest&) {
+  server_->Route("GET", "/tracez", [this](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "application/json";
+    response.body = TracezJson();
+    return response;
+  });
+  server_->Route("GET", "/metrics", [this](const HttpRequest& request) {
     HttpResponse response;
     response.content_type = "text/plain; version=0.0.4; charset=utf-8";
     response.body = ToPrometheusText(MetricsRegistry::Global());
+    // Merge mode (?merge=fleet): append schemr_fleet_* series federated
+    // from every ready replica's own /metrics. The coordinator's own
+    // families all carry other prefixes, so the combined body stays a
+    // valid single exposition.
+    if (request.query.find("merge") != std::string::npos) {
+      size_t scraped = 0;
+      std::vector<MetricsRegistry::MetricSnapshot> fleet =
+          RenameForFleet(FleetMergedSnapshots(&scraped));
+      MetricsRegistry::MetricSnapshot meta;
+      meta.name = "schemr_fleet_replicas_scraped";
+      meta.help = "Replicas whose /metrics contributed to this merge.";
+      meta.kind = MetricsRegistry::MetricKind::kGauge;
+      meta.gauge_value = static_cast<double>(scraped);
+      fleet.insert(fleet.begin(), std::move(meta));
+      std::sort(fleet.begin(), fleet.end(),
+                [](const MetricsRegistry::MetricSnapshot& a,
+                   const MetricsRegistry::MetricSnapshot& b) {
+                  return a.name < b.name;
+                });
+      response.body += ToPrometheusText(fleet);
+    }
     return response;
   });
   Status started = server_->Start();
@@ -218,7 +260,9 @@ bool Coordinator::running() const {
 
 Coordinator::ForwardOutcome Coordinator::AttemptBackend(
     int id, const HttpRequest& request, double deadline_ms,
-    double elapsed_ms, const std::vector<int>& tried) {
+    double elapsed_ms, const std::vector<int>& tried,
+    const std::string& request_id, const char* route, int* next_hop,
+    std::vector<HopRecord>* journal) {
   ForwardOutcome out;
   out.backend = id;
 
@@ -229,14 +273,16 @@ Coordinator::ForwardOutcome Coordinator::AttemptBackend(
   HttpCancelToken tokens[2];
   double attempt_ms[2] = {0.0, 0.0};
   int backend_ids[2] = {id, -1};
+  int hops[2] = {-1, -1};
   std::thread threads[2];
   const Timer attempt_timer;
 
   const auto launch = [&](int slot, int backend_id, double slot_elapsed_ms) {
+    hops[slot] = (*next_hop)++;
     const BackendConfig config = pool_->Config(backend_id);
-    const HttpCallOptions call =
-        MakeBackendCall(request, deadline_ms, elapsed_ms + slot_elapsed_ms,
-                        options_.attempt_timeout_seconds);
+    const HttpCallOptions call = MakeBackendCall(
+        request, deadline_ms, elapsed_ms + slot_elapsed_ms,
+        options_.attempt_timeout_seconds, HopRequestId(request_id, hops[slot]));
     threads[slot] = std::thread([&, slot, config, call] {
       const Timer timer;
       HttpAttemptResult r;
@@ -324,6 +370,21 @@ Coordinator::ForwardOutcome Coordinator::AttemptBackend(
                            ok && r.reply.status == 200 ? attempt_ms[slot]
                                                        : -1.0);
     }
+    HopRecord hop;
+    hop.hop = hops[slot];
+    hop.backend = pool_->Config(backend_ids[slot]).name;
+    hop.route = slot == 1 ? "hedge" : route;
+    hop.latency_ms = attempt_ms[slot];
+    if (ok) {
+      hop.outcome = "ok:" + std::to_string(r.reply.status);
+    } else if (cancelled) {
+      hop.outcome = "cancelled";
+    } else if (r.kind == HttpAttemptResult::Kind::kConnectFailed) {
+      hop.outcome = "connect_failed";
+    } else {
+      hop.outcome = "broken";
+    }
+    journal->push_back(std::move(hop));
   }
   if (hedge_launched) {
     pool_->Release(backend_ids[1]);
@@ -362,7 +423,9 @@ HttpResponse Coordinator::PassThrough(const HttpAttemptResult& result) const {
     response.retry_after_seconds = std::atof(ra->second.c_str());
   }
   for (const auto& [name, value] : result.reply.headers) {
-    if (name.rfind("x-schemr-", 0) == 0) {
+    // The replica echoes the hop-suffixed id it was handed; ForwardSearch
+    // re-stamps the base id, so drop the per-hop echo here.
+    if (name.rfind("x-schemr-", 0) == 0 && name != kRequestIdHeaderLower) {
       response.headers.emplace_back(name, value);
     }
   }
@@ -389,6 +452,35 @@ HttpResponse Coordinator::ForwardSearch(const HttpRequest& request) {
   requests_.fetch_add(1, std::memory_order_relaxed);
   CoordMetrics::Get().requests->Increment();
 
+  // Adopt a well-formed client-supplied id or mint one. Client ids are
+  // capped below the replica-side limit so the per-hop "-h<N>" suffix
+  // still validates downstream.
+  std::string request_id;
+  if (const std::string* header = request.FindHeader(kRequestIdHeaderLower);
+      header != nullptr &&
+      IsValidRequestId(*header, kMaxClientRequestIdBytes)) {
+    request_id = *header;
+  } else {
+    request_id = MintRequestId();
+  }
+
+  int next_hop = 0;
+  std::vector<HopRecord> journal;
+  HttpResponse response =
+      ForwardSearchInternal(request, timer, request_id, &next_hop, &journal);
+
+  // The client always sees the BASE id, whichever path answered (the
+  // replica's echo carried a hop suffix and was stripped in PassThrough).
+  response.headers.emplace_back(kRequestIdHeader, request_id);
+  RetainHopJournal(request_id, journal, response.status,
+                   timer.ElapsedSeconds());
+  return response;
+}
+
+HttpResponse Coordinator::ForwardSearchInternal(
+    const HttpRequest& request, const Timer& timer,
+    const std::string& request_id, int* next_hop,
+    std::vector<HopRecord>* journal) {
   double deadline_ms = 0.0;
   if (const std::string* header = request.FindHeader("x-schemr-deadline-ms")) {
     const double parsed = std::atof(header->c_str());
@@ -419,8 +511,9 @@ HttpResponse Coordinator::ForwardSearch(const HttpRequest& request) {
       failovers_.fetch_add(1, std::memory_order_relaxed);
       CoordMetrics::Get().failovers->Increment();
     }
-    ForwardOutcome outcome = AttemptBackend(id, request, deadline_ms,
-                                            timer.ElapsedMillis(), tried);
+    ForwardOutcome outcome = AttemptBackend(
+        id, request, deadline_ms, timer.ElapsedMillis(), tried, request_id,
+        attempt > 0 ? "failover" : "primary", next_hop, journal);
     pool_->Release(id);
     if (outcome.result.kind == HttpAttemptResult::Kind::kOk) {
       if (outcome.result.reply.status == 503) {
@@ -454,6 +547,61 @@ HttpResponse Coordinator::ForwardSearch(const HttpRequest& request) {
   return ShedNoBackend();
 }
 
+void Coordinator::RetainHopJournal(const std::string& request_id,
+                                   const std::vector<HopRecord>& journal,
+                                   int status, double total_seconds) {
+  RetainedTrace retained;
+  retained.timestamp_micros = NowMicros();
+  retained.request_id = request_id;
+  retained.total_seconds = total_seconds;
+  if (status == 200) {
+    retained.outcome = "ok";
+  } else if (status == 503) {
+    // "shed" prefix keeps the retention classifier's vocabulary: the
+    // request was refused upstream (or inline for lack of a backend).
+    retained.outcome = "shed_upstream";
+  } else {
+    retained.outcome = "error";
+  }
+  // A single-hop 200 is the boring case and tail-samples 1-in-N; any
+  // request that failed over, hedged, or ended non-200 is always kept.
+  retained.sampled =
+      journal.size() > 1 || status != 200 || traces_->ShouldSample();
+  char line[160];
+  std::snprintf(line, sizeof(line), "forward status=%d hops=%zu %.3fms",
+                status, journal.size(), total_seconds * 1e3);
+  retained.spans = line;
+  for (const HopRecord& hop : journal) {
+    std::snprintf(line, sizeof(line), "\n  h%d %s %s %.3fms %s", hop.hop,
+                  hop.backend.c_str(), hop.route, hop.latency_ms,
+                  hop.outcome.c_str());
+    retained.spans += line;
+  }
+  traces_->Retain(std::move(retained));
+}
+
+std::string Coordinator::TracezJson() const { return traces_->ToJson(); }
+
+std::vector<MetricsRegistry::MetricSnapshot> Coordinator::FleetMergedSnapshots(
+    size_t* scraped) const {
+  std::vector<std::vector<MetricsRegistry::MetricSnapshot>> scrapes;
+  for (const BackendSnapshot& backend : pool_->Snapshot()) {
+    if (!backend.ready || backend.introspection_port <= 0) continue;
+    // A replica that dies between the readiness probe and this scrape is
+    // skipped — federation degrades to the replicas that answered.
+    Result<std::string> body =
+        HttpGet(backend.host, backend.introspection_port, "/metrics",
+                options_.scrape_timeout_seconds);
+    if (!body.ok()) continue;
+    Result<std::vector<MetricsRegistry::MetricSnapshot>> parsed =
+        ParsePrometheusSnapshots(*body);
+    if (!parsed.ok()) continue;
+    scrapes.push_back(std::move(*parsed));
+  }
+  if (scraped != nullptr) *scraped = scrapes.size();
+  return MergeMetricSnapshots(scrapes);
+}
+
 std::string Coordinator::StatuszJson() const {
   std::string out = "{";
   JsonStr(&out, "service", "schemr-coordinator");
@@ -478,6 +626,39 @@ std::string Coordinator::StatuszJson() const {
           static_cast<double>(no_backend_.load(std::memory_order_relaxed)));
   JsonNum(&out, "coord.bad_gateway",
           static_cast<double>(bad_gateway_.load(std::memory_order_relaxed)));
+  // Hop-journal retention, under the same keys a replica's /statusz
+  // uses so `schemr top`'s traces row works against either.
+  if (traces_ != nullptr) {
+    const TraceRetention::Stats trace_stats = traces_->GetStats();
+    JsonNum(&out, "traces.offered", static_cast<double>(trace_stats.offered));
+    JsonNum(&out, "traces.sampled", static_cast<double>(trace_stats.sampled));
+    JsonNum(&out, "traces.retained",
+            static_cast<double>(trace_stats.retained));
+    JsonNum(&out, "traces.sample_every_n",
+            static_cast<double>(options_.trace_retention.sample_every_n));
+  }
+  // fleet.* aggregates: merged live from ready replicas' /metrics, so the
+  // percentiles are bucket-exact over the whole fleet, not averages of
+  // per-replica quantiles.
+  size_t scraped = 0;
+  const std::vector<MetricsRegistry::MetricSnapshot> fleet =
+      FleetMergedSnapshots(&scraped);
+  JsonNum(&out, "fleet.replicas_scraped", static_cast<double>(scraped));
+  for (const MetricsRegistry::MetricSnapshot& m : fleet) {
+    if (m.name == "schemr_service_search_xml_requests_total") {
+      JsonNum(&out, "fleet.requests", static_cast<double>(m.counter_value));
+    } else if (m.name == "schemr_service_search_xml_seconds") {
+      const double uptime = uptime_.ElapsedSeconds();
+      JsonNum(&out, "fleet.search_count",
+              static_cast<double>(m.histogram.count));
+      JsonNum(&out, "fleet.qps",
+              uptime > 0.0 ? static_cast<double>(m.histogram.count) / uptime
+                           : 0.0);
+      JsonNum(&out, "fleet.p50_ms", m.histogram.Quantile(0.5) * 1e3);
+      JsonNum(&out, "fleet.p95_ms", m.histogram.Quantile(0.95) * 1e3);
+      JsonNum(&out, "fleet.p99_ms", m.histogram.Quantile(0.99) * 1e3);
+    }
+  }
   if (server_ != nullptr) {
     const HttpServerStats stats = server_->Stats();
     JsonNum(&out, "http.connections", static_cast<double>(stats.connections));

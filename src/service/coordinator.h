@@ -45,6 +45,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "service/backend_pool.h"
 #include "service/http_server.h"
 #include "util/status.h"
@@ -71,6 +73,14 @@ struct CoordinatorOptions {
   double attempt_timeout_seconds = 5.0;
   /// Retry-After on inline "no healthy backend" sheds, seconds.
   double shed_retry_after_seconds = 1.0;
+  /// Tail-sampled retention for per-request hop journals (coordinator
+  /// /tracez; DESIGN.md §15). Multi-hop and non-200 requests are always
+  /// retained; healthy single-hop requests sample 1-in-N.
+  TraceRetentionOptions trace_retention;
+  /// Per-replica budget for federation scrapes (/metrics merge mode and
+  /// the fleet.* /statusz aggregates). A replica that cannot answer its
+  /// /metrics within this window is skipped, not waited for.
+  double scrape_timeout_seconds = 1.0;
 };
 
 class Coordinator {
@@ -95,13 +105,30 @@ class Coordinator {
   const BackendPool& pool() const { return *pool_; }
   HttpServer* server() { return server_.get(); }
 
-  /// Flat JSON (ParseBenchJson/checkjson-compatible): coord.* counters
-  /// plus the pool's per-backend keys.
+  /// Flat JSON (ParseBenchJson/checkjson-compatible): coord.* counters,
+  /// fleet.* aggregates merged from ready replicas' /metrics, plus the
+  /// pool's per-backend keys.
   std::string StatuszJson() const;
+
+  /// The coordinator /tracez body: retained per-request hop journals
+  /// (one line per backend attempt), joinable to replica traces by
+  /// request id.
+  std::string TracezJson() const;
+
+  /// Scrapes every ready replica's /metrics and returns the bucket-wise
+  /// merged snapshot list (original names — the /metrics merge mode
+  /// renames to schemr_fleet_* on top). `scraped` (may be null) receives
+  /// how many replicas contributed; dead or unparseable replicas are
+  /// skipped without poisoning the merge.
+  std::vector<MetricsRegistry::MetricSnapshot> FleetMergedSnapshots(
+      size_t* scraped) const;
 
   /// Forwarding core, exposed for in-process tests: answers one /search
   /// request exactly as the HTTP handler would.
   HttpResponse ForwardSearch(const HttpRequest& request);
+
+  /// The hop-journal retention rings (never null).
+  TraceRetention* trace_retention() { return traces_.get(); }
 
  private:
   struct ForwardOutcome {
@@ -110,15 +137,42 @@ class Coordinator {
     bool hedge_won = false;  ///< the backup attempt produced the answer
   };
 
+  /// One backend attempt in a request's journal: which backend, why it
+  /// was chosen, how long the hop took, how it ended.
+  struct HopRecord {
+    int hop = 0;              ///< hop index; suffixes the forwarded id
+    std::string backend;      ///< replica name ("replica1")
+    const char* route = "primary";  ///< "primary" | "failover" | "hedge"
+    double latency_ms = 0.0;
+    std::string outcome;      ///< "ok:200", "connect_failed", "broken", ...
+  };
+
   /// One routed attempt (with optional hedge) against backend `id`.
+  /// Forwards `request_id` hop-suffixed per launched attempt (`next_hop`
+  /// advances across the whole request) and appends the attempts to
+  /// `journal`.
   ForwardOutcome AttemptBackend(int id, const HttpRequest& request,
                                 double deadline_ms, double elapsed_ms,
-                                const std::vector<int>& tried);
+                                const std::vector<int>& tried,
+                                const std::string& request_id,
+                                const char* route, int* next_hop,
+                                std::vector<HopRecord>* journal);
+  /// The failover/hedge loop; ForwardSearch wraps it with request-id
+  /// minting, the echoed header, and journal retention.
+  HttpResponse ForwardSearchInternal(const HttpRequest& request,
+                                     const Timer& timer,
+                                     const std::string& request_id,
+                                     int* next_hop,
+                                     std::vector<HopRecord>* journal);
+  void RetainHopJournal(const std::string& request_id,
+                        const std::vector<HopRecord>& journal, int status,
+                        double total_seconds);
   HttpResponse PassThrough(const HttpAttemptResult& result) const;
   HttpResponse ShedNoBackend() const;
 
   const CoordinatorOptions options_;
   std::unique_ptr<BackendPool> pool_;
+  std::unique_ptr<TraceRetention> traces_;
   std::unique_ptr<HttpServer> server_;
   std::atomic<bool> started_{false};
   Timer uptime_;

@@ -64,19 +64,25 @@ Result<Fleet::Replica> Fleet::Spawn(int id, const std::string& repo_dir) {
     ::close(pipe_fds[1]);
     const std::string workers = std::to_string(options_.serve_workers);
     const std::string cache = std::to_string(options_.serve_cache);
-    const char* argv[] = {options_.binary_path.c_str(),
-                          "serve",
-                          repo_dir.c_str(),
-                          "--port",
-                          "0",
-                          "--search-port",
-                          "0",
-                          "--workers",
-                          workers.c_str(),
-                          "--cache",
-                          cache.c_str(),
-                          nullptr};
-    ::execv(options_.binary_path.c_str(), const_cast<char**>(argv));
+    const std::string sample_every =
+        std::to_string(options_.serve_sample_every);
+    std::vector<const char*> argv = {options_.binary_path.c_str(),
+                                     "serve",
+                                     repo_dir.c_str(),
+                                     "--port",
+                                     "0",
+                                     "--search-port",
+                                     "0",
+                                     "--workers",
+                                     workers.c_str(),
+                                     "--cache",
+                                     cache.c_str()};
+    if (options_.serve_sample_every > 0) {
+      argv.push_back("--sample-every");
+      argv.push_back(sample_every.c_str());
+    }
+    argv.push_back(nullptr);
+    ::execv(options_.binary_path.c_str(), const_cast<char**>(argv.data()));
     std::fprintf(stderr, "fleet: execv(%s) failed: %s\n",
                  options_.binary_path.c_str(), std::strerror(errno));
     ::_exit(127);

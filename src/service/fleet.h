@@ -52,6 +52,10 @@ struct FleetOptions {
   int replicas = 3;
   size_t serve_workers = 2;
   size_t serve_cache = 256;
+  /// Replica trace sampling rate (`schemr serve --sample-every`); 0
+  /// keeps the serve default. Chaos/join tests pin 1 so every request
+  /// carries a joinable replica-side trace.
+  uint32_t serve_sample_every = 0;
   /// Budget for one replica to print its ports and answer /readyz.
   double ready_timeout_seconds = 30.0;
   /// Copy the repo per replica (default) or share it read-only.

@@ -1,0 +1,57 @@
+#include "service/request_id.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+
+namespace schemr {
+
+bool IsValidRequestId(std::string_view id, size_t max_bytes) {
+  if (id.empty() || id.size() > max_bytes) return false;
+  for (const char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::string MintRequestId() {
+  static std::atomic<uint64_t> counter{0};
+  const uint64_t micros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  const uint64_t seq = counter.fetch_add(1, std::memory_order_relaxed);
+  char buf[kMaxRequestIdBytes];
+  std::snprintf(buf, sizeof(buf), "r%llx-%x-%llx",
+                static_cast<unsigned long long>(micros),
+                static_cast<unsigned>(::getpid()),
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+std::string HopRequestId(std::string_view base, int hop) {
+  std::string id(base);
+  id += "-h";
+  id += std::to_string(hop);
+  return id;
+}
+
+bool RequestIdMatches(std::string_view base, std::string_view recorded) {
+  if (base.empty()) return false;
+  if (recorded == base) return true;
+  // "<base>-h<digits>"
+  if (recorded.size() < base.size() + 3) return false;
+  if (recorded.compare(0, base.size(), base) != 0) return false;
+  std::string_view tail = recorded.substr(base.size());
+  if (tail.size() < 3 || tail[0] != '-' || tail[1] != 'h') return false;
+  for (size_t i = 2; i < tail.size(); ++i) {
+    if (tail[i] < '0' || tail[i] > '9') return false;
+  }
+  return true;
+}
+
+}  // namespace schemr

@@ -13,6 +13,7 @@
 #include "obs/exposition.h"
 #include "obs/metrics.h"
 #include "parse/xml_parser.h"
+#include "service/request_id.h"
 #include "util/fault_injection.h"
 #include "util/timer.h"
 #include "util/xml_writer.h"
@@ -657,6 +658,7 @@ void SchemrService::RecordRefusal(const SearchRequest& request,
     retained.fingerprint =
         FingerprintRawRequest(request.keywords, request.fragment);
     retained.outcome = AuditOutcomeName(outcome);
+    retained.request_id = request.request_id;
     retention->Retain(std::move(retained));
   }
   std::shared_ptr<AuditLog> log = audit();
@@ -675,6 +677,7 @@ void SchemrService::RecordRefusal(const SearchRequest& request,
   record.candidate_pool = static_cast<uint32_t>(request.candidate_pool);
   record.keywords = request.keywords;
   record.fragment = request.fragment;
+  record.request_id = request.request_id;
   log->Record(std::move(record));
 }
 
@@ -723,7 +726,15 @@ std::string SchemrService::RunSearchToXml(
     retained.total_seconds = total_seconds;
     retained.cache_hit = info.stats.cache_hit;
     retained.sampled = sampled;
-    if (sampled) retained.spans = sample_trace.ToString();
+    retained.request_id = request.request_id;
+    if (sampled) {
+      // Stamp the root span too, so the id survives into explain-style
+      // renderings of the sampled trace, not just the retention metadata.
+      if (!request.request_id.empty() && !sample_trace.empty()) {
+        sample_trace.Annotate(0, "request_id", request.request_id);
+      }
+      retained.spans = sample_trace.ToString();
+    }
     retention->Retain(std::move(retained));
   }
   if (log != nullptr) {
@@ -759,6 +770,7 @@ std::string SchemrService::RunSearchToXml(
     record.cache_hit = info.stats.cache_hit;
     record.keywords = request.keywords;
     record.fragment = request.fragment;
+    record.request_id = request.request_id;
     log->Record(std::move(record));
   }
   if (xml.ok()) return *std::move(xml);
@@ -948,6 +960,19 @@ Result<SearchRequest> ParseSearchRequestXml(const std::string& xml) {
 HttpResponse SchemrService::HandleSearchHttp(const HttpRequest& http) const {
   HttpResponse response;
   response.content_type = "application/xml";
+  // Request identity (DESIGN.md §15): honor a well-formed client id,
+  // regenerate anything oversized or outside the id alphabet (hostile
+  // header bytes are never echoed or recorded), and echo the verdict on
+  // every response — including parse failures — so the client can always
+  // quote the id this request was recorded under.
+  std::string request_id;
+  if (const std::string* header = http.FindHeader(kRequestIdHeaderLower);
+      header != nullptr && IsValidRequestId(*header)) {
+    request_id = *header;
+  } else {
+    request_id = MintRequestId();
+  }
+  response.headers.emplace_back(kRequestIdHeader, request_id);
   Result<SearchRequest> parsed = ParseSearchRequestXml(http.body);
   if (!parsed.ok()) {
     response.status = 400;
@@ -955,6 +980,7 @@ HttpResponse SchemrService::HandleSearchHttp(const HttpRequest& http) const {
                              parsed.status().message());
     return response;
   }
+  parsed->request_id = request_id;
   double deadline_seconds = 0.0;
   if (const std::string* header = http.FindHeader("x-schemr-deadline-ms")) {
     // Client deadline propagation: the header value flows into the

@@ -43,6 +43,12 @@ struct SearchRequest {
   /// when the engine's result cache holds this query, and do not store the
   /// outcome. For debugging and cache-vs-pipeline comparisons.
   bool cache_bypass = false;
+  /// Fleet-wide request id (DESIGN.md §15). Transport metadata, never
+  /// part of the XML wire format: HandleSearchHttp fills it from the
+  /// X-Schemr-Request-Id header (validated, or freshly minted) and it
+  /// flows into the audit record and retained trace of this request.
+  /// Empty for callers below the HTTP layer.
+  std::string request_id;
 };
 
 /// Request-validation caps. Requests breaching them are rejected with

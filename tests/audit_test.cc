@@ -128,6 +128,64 @@ TEST(AuditRecordCodec, RoundTripsWithoutText) {
   EXPECT_TRUE(decoded.keywords.empty());
 }
 
+TEST(AuditRecordCodec, RoundTripsRequestId) {
+  AuditRecord record = SampleRecord(3);
+  record.has_query_text = true;
+  record.keywords = "customer";
+  record.request_id = "r1a2b3-cafe-7";
+  std::string payload;
+  EncodeAuditRecord(record, &payload);
+  AuditRecord decoded;
+  ASSERT_TRUE(DecodeAuditRecord(payload, &decoded).ok());
+  EXPECT_EQ(decoded.request_id, record.request_id);
+  EXPECT_EQ(decoded.keywords, record.keywords);
+}
+
+// Cross-version compatibility: the request-id field is flag-gated and
+// trailing, so a record WITHOUT one encodes byte-identically to the
+// pre-request-id layout — old segments keep parsing (backward), and old
+// readers only ever see old-shaped bytes for id-less records (forward:
+// nothing but the new flag bit plus trailing bytes was added).
+TEST(AuditRecordCodec, RequestIdFieldIsBackwardAndForwardCompatible) {
+  AuditRecord record = SampleRecord(4);
+  record.has_query_text = true;
+  record.keywords = "order lines";
+
+  std::string old_layout;
+  EncodeAuditRecord(record, &old_layout);
+
+  AuditRecord tagged = record;
+  tagged.request_id = "join-me-42";
+  std::string new_layout;
+  EncodeAuditRecord(tagged, &new_layout);
+
+  // The new field costs exactly its length prefix + bytes (plus the flag
+  // bit inside the existing flags varint — free below 128), appended
+  // after every pre-existing field.
+  ASSERT_EQ(new_layout.size(),
+            old_layout.size() + 1 + tagged.request_id.size());
+
+  // An id-less record decodes with an empty id under the same version
+  // byte — old segments keep parsing.
+  AuditRecord decoded_old;
+  ASSERT_TRUE(DecodeAuditRecord(old_layout, &decoded_old).ok());
+  EXPECT_TRUE(decoded_old.request_id.empty());
+
+  // A tagged record decodes losslessly — and with no trailing bytes left
+  // over (the decoder still rejects any).
+  AuditRecord decoded_new;
+  ASSERT_TRUE(DecodeAuditRecord(new_layout, &decoded_new).ok());
+  EXPECT_EQ(decoded_new.request_id, "join-me-42");
+  EXPECT_FALSE(DecodeAuditRecord(new_layout + "x", &decoded_new).ok());
+
+  // Clearing the id reproduces the old layout byte-for-byte: the field
+  // is strictly additive, never a re-arrangement.
+  decoded_new.request_id.clear();
+  std::string reencoded;
+  EncodeAuditRecord(decoded_new, &reencoded);
+  EXPECT_EQ(reencoded, old_layout);
+}
+
 TEST(AuditRecordCodec, RejectsDamage) {
   std::string payload;
   EncodeAuditRecord(SampleRecord(2), &payload);

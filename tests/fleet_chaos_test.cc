@@ -25,11 +25,20 @@
 #include <thread>
 #include <vector>
 
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <sstream>
+
 #include "corpus/schema_generator.h"
 #include "index/indexer.h"
+#include "obs/audit_log.h"
+#include "obs/exposition.h"
+#include "obs/federation.h"
 #include "repo/schema_repository.h"
 #include "service/coordinator.h"
 #include "service/http_server.h"
+#include "service/request_id.h"
 #include "service/schemr_service.h"
 #include "util/fault_injection.h"
 #include "util/rng.h"
@@ -132,6 +141,15 @@ TEST(FleetTest, SearchThroughCoordinatorIsByteIdenticalToDirectBackend) {
   EXPECT_EQ(via->status, 200);
   EXPECT_EQ(via->body, direct->body);
   EXPECT_EQ(via->headers.at("content-type"), direct->headers.at("content-type"));
+
+  // Request identity rides only on a new response header — the body
+  // bytes above already proved the payload contract is untouched. Both
+  // entry points echo a well-formed id; the coordinator's is the base
+  // id, never the hop-suffixed variant it forwarded.
+  ASSERT_EQ(via->headers.count("x-schemr-request-id"), 1u);
+  EXPECT_TRUE(IsValidRequestId(via->headers.at("x-schemr-request-id")));
+  ASSERT_EQ(direct->headers.count("x-schemr-request-id"), 1u);
+  EXPECT_TRUE(IsValidRequestId(direct->headers.at("x-schemr-request-id")));
 
   // The coordinator's own readiness follows the pool.
   EXPECT_TRUE(Readyz(fleet.coordinator().port()));
@@ -284,6 +302,237 @@ TEST(FleetTest, RollingRestartKeepsReadyCountAtNMinusOne) {
   auto reply = PostSearch(fleet.coordinator().port(), QueryXml());
   ASSERT_TRUE(reply.ok());
   EXPECT_EQ(reply->status, 200);
+  fleet.Shutdown();
+  fs::remove_all(repo_dir);
+}
+
+// --- cross-process request identity -----------------------------------------
+
+/// Pulls the value of `"request_id": "..."` out of one /tracez line, or
+/// "" when the line carries none. Ids are `[A-Za-z0-9-]`, so no JSON
+/// unescaping is needed here.
+std::string TraceLineRequestId(const std::string& line) {
+  static const std::string kKey = "\"request_id\": \"";
+  const size_t at = line.find(kKey);
+  if (at == std::string::npos) return "";
+  const size_t begin = at + kKey.size();
+  const size_t end = line.find('"', begin);
+  if (end == std::string::npos) return "";
+  return line.substr(begin, end - begin);
+}
+
+TEST(FleetTest, FailedOverRequestLeavesOneJoinableIdAcrossProcesses) {
+  const std::string repo_dir = SeedRepo("schemr_fleet_join", 30);
+  CoordinatorOptions coordinator;
+  coordinator.hedge = false;  // one live attempt at a time: a clean failover
+  FleetOptions fleet_options = MakeFleetOptions(repo_dir, 2);
+  fleet_options.serve_sample_every = 1;  // every replica request traced
+  Fleet fleet(fleet_options, coordinator);
+  ASSERT_TRUE(fleet.Start().ok());
+  const int port = fleet.coordinator().port();
+
+  // Blackhole exactly the first coordinator→backend attempt: hop 0 dies
+  // without ever reaching a replica, hop 1 fails over and serves.
+  FaultSpec spec;
+  spec.kind = FaultKind::kError;
+  spec.count = 1;
+  FaultInjector::Global().Arm("coord/backend/blackhole", spec);
+  const std::string id = "test-join-0001";
+  HttpCallOptions call;
+  call.method = "POST";
+  call.body = QueryXml();
+  call.headers.emplace_back(kRequestIdHeader, id);
+  call.attempt_timeout_seconds = 10.0;
+  auto reply = HttpCall("127.0.0.1", port, "/search", call);
+  FaultInjector::Global().Disarm("coord/backend/blackhole");
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  ASSERT_EQ(reply->status, 200);
+  // The client gets its own id back in base form.
+  ASSERT_EQ(reply->headers.count("x-schemr-request-id"), 1u);
+  EXPECT_EQ(reply->headers.at("x-schemr-request-id"), id);
+
+  // Fragment one: the coordinator's hop journal, keyed by the base id,
+  // recording both the broken primary attempt and the failover.
+  auto coord_trace = HttpGet("127.0.0.1", port, "/tracez", 2.0);
+  ASSERT_TRUE(coord_trace.ok()) << coord_trace.status();
+  bool journaled = false;
+  {
+    std::stringstream lines(*coord_trace);
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (TraceLineRequestId(line) != id) continue;
+      journaled = true;
+      EXPECT_NE(line.find("h0"), std::string::npos) << line;
+      EXPECT_NE(line.find("broken"), std::string::npos) << line;
+      EXPECT_NE(line.find("h1"), std::string::npos) << line;
+      EXPECT_NE(line.find("failover"), std::string::npos) << line;
+    }
+  }
+  EXPECT_TRUE(journaled) << *coord_trace;
+
+  // Fragment two: exactly one replica traced the request, under the
+  // hop-suffixed variant of the same id.
+  int traced_replicas = 0;
+  int serving = -1;
+  std::string hop_id;
+  for (int r = 0; r < fleet.replicas(); ++r) {
+    auto body = HttpGet("127.0.0.1",
+                        fleet.ReplicaConfig(r).introspection_port, "/tracez",
+                        2.0);
+    ASSERT_TRUE(body.ok()) << body.status();
+    std::stringstream lines(*body);
+    std::string line;
+    bool hit = false;
+    while (std::getline(lines, line)) {
+      const std::string recorded = TraceLineRequestId(line);
+      if (recorded.empty() || !RequestIdMatches(id, recorded)) continue;
+      hit = true;
+      hop_id = recorded;
+    }
+    if (hit) {
+      ++traced_replicas;
+      serving = r;
+    }
+  }
+  EXPECT_EQ(traced_replicas, 1);
+  EXPECT_EQ(hop_id, id + "-h1") << "the failover attempt is hop 1";
+
+  // Fragment three: the serving replica's on-disk audit record carries
+  // the same hop id — durable evidence that outlives the process.
+  int audited = 0;
+  for (int r = 0; r < fleet.replicas(); ++r) {
+    auto report =
+        ReadAuditLog(repo_dir + ".replica" + std::to_string(r) + "/audit");
+    if (!report.ok()) continue;
+    for (const AuditRecord& record : report->records) {
+      if (!RequestIdMatches(id, record.request_id)) continue;
+      ++audited;
+      EXPECT_EQ(record.request_id, hop_id);
+      EXPECT_EQ(record.outcome, AuditOutcome::kOk);
+    }
+  }
+  EXPECT_EQ(audited, 1);
+
+  // `schemr trace` — the real CLI against the live fleet — assembles the
+  // whole story from the base id alone.
+  const std::string cmd = std::string(SCHEMR_BINARY_PATH) +
+                          " trace 127.0.0.1:" + std::to_string(port) + " " +
+                          id + " 2>&1";
+  const auto run_trace = [&cmd](std::string* output) {
+    output->clear();
+    FILE* pipe = ::popen(cmd.c_str(), "r");
+    if (pipe == nullptr) return -1;
+    char buf[512];
+    while (std::fgets(buf, sizeof(buf), pipe) != nullptr) *output += buf;
+    const int status = ::pclose(pipe);
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  };
+  std::string output;
+  ASSERT_EQ(run_trace(&output), 0) << output;
+  EXPECT_NE(output.find("coordinator"), std::string::npos) << output;
+  EXPECT_NE(output.find("id=" + id), std::string::npos) << output;
+  EXPECT_NE(output.find("id=" + hop_id), std::string::npos) << output;
+  EXPECT_NE(output.find("failover"), std::string::npos) << output;
+
+  // Kill the serving replica: its /tracez is gone, but the timeline
+  // degrades to the coordinator journal instead of failing.
+  ASSERT_GE(serving, 0);
+  ASSERT_TRUE(fleet.KillReplica(serving).ok());
+  ASSERT_EQ(run_trace(&output), 0) << output;
+  EXPECT_NE(output.find("id=" + id), std::string::npos) << output;
+  EXPECT_NE(output.find("unreachable"), std::string::npos) << output;
+
+  fleet.Shutdown();
+  fs::remove_all(repo_dir);
+}
+
+// --- metrics federation -----------------------------------------------------
+
+TEST(FleetTest, FederatedMetricsMergeBucketwiseAndSkipDeadReplicas) {
+  const std::string repo_dir = SeedRepo("schemr_fleet_fed", 30);
+  CoordinatorOptions coordinator;
+  coordinator.hedge = false;
+  Fleet fleet(MakeFleetOptions(repo_dir, 3), coordinator);
+  ASSERT_TRUE(fleet.Start().ok());
+  const int port = fleet.coordinator().port();
+  const std::string body = QueryXml();
+  const std::string kFamily = "schemr_fleet_service_search_xml_seconds";
+
+  // Scrape the merged exposition repeatedly WHILE clients hammer the
+  // fleet: every scrape must stay conformant, and the fleet-wide search
+  // count must be non-decreasing (each replica's counter is monotonic
+  // and each merge scrapes strictly later).
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 2; ++c) {
+    clients.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        (void)PostSearch(port, body, 5.0);
+      }
+    });
+  }
+  uint64_t last_count = 0;
+  for (int scrape = 0; scrape < 4; ++scrape) {
+    auto merged = HttpGet("127.0.0.1", port, "/metrics?merge=fleet", 5.0);
+    ASSERT_TRUE(merged.ok()) << merged.status();
+    const Status conformant = CheckPrometheusText(*merged);
+    ASSERT_TRUE(conformant.ok()) << conformant.ToString();
+    auto parsed = ParsePrometheusSnapshots(*merged);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    for (const auto& m : *parsed) {
+      if (m.name != kFamily) continue;
+      EXPECT_GE(m.histogram.count, last_count) << "scrape " << scrape;
+      last_count = m.histogram.count;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : clients) t.join();
+  EXPECT_GT(last_count, 0u) << "load never reached the replicas";
+
+  // Kill one replica and leave it dead: federation must degrade to the
+  // survivors, not fail or fabricate.
+  ASSERT_TRUE(fleet.KillReplica(2).ok());
+
+  // Quiesced, the merge is exact: the coordinator's fleet search family
+  // equals the bucket-wise merge of the survivors' own /metrics. (Only
+  // the search family is compared — readiness probes keep the replicas'
+  // HTTP counters moving even with client load stopped.)
+  auto merged = HttpGet("127.0.0.1", port, "/metrics?merge=fleet", 5.0);
+  ASSERT_TRUE(merged.ok()) << merged.status();
+  auto fleet_parsed = ParsePrometheusSnapshots(*merged);
+  ASSERT_TRUE(fleet_parsed.ok()) << fleet_parsed.status().ToString();
+
+  std::vector<std::vector<MetricsRegistry::MetricSnapshot>> scrapes;
+  for (int r = 0; r < 2; ++r) {
+    auto direct = HttpGet("127.0.0.1",
+                          fleet.ReplicaConfig(r).introspection_port,
+                          "/metrics", 2.0);
+    ASSERT_TRUE(direct.ok()) << direct.status();
+    auto parsed = ParsePrometheusSnapshots(*direct);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    scrapes.push_back(std::move(*parsed));
+  }
+  const std::vector<MetricsRegistry::MetricSnapshot> want =
+      RenameForFleet(MergeMetricSnapshots(scrapes));
+
+  const MetricsRegistry::MetricSnapshot* got = nullptr;
+  const MetricsRegistry::MetricSnapshot* reference = nullptr;
+  for (const auto& m : *fleet_parsed) {
+    if (m.name == kFamily) got = &m;
+    if (m.name == "schemr_fleet_replicas_scraped") {
+      EXPECT_DOUBLE_EQ(m.gauge_value, 2.0) << "dead replica must be skipped";
+    }
+  }
+  for (const auto& m : want) {
+    if (m.name == kFamily) reference = &m;
+  }
+  ASSERT_NE(got, nullptr);
+  ASSERT_NE(reference, nullptr);
+  EXPECT_EQ(got->histogram.bounds, reference->histogram.bounds);
+  EXPECT_EQ(got->histogram.buckets, reference->histogram.buckets);
+  EXPECT_EQ(got->histogram.count, reference->histogram.count);
+
   fleet.Shutdown();
   fs::remove_all(repo_dir);
 }

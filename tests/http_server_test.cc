@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "service/request_id.h"
 #include "util/fault_injection.h"
 #include "util/rng.h"
 
@@ -745,6 +746,137 @@ TEST(HttpCallTest, BackoffScheduleIsDeterministicPerSeed) {
   EXPECT_GE(first, 18.0);
   EXPECT_LE(first, 150.0);
   EXPECT_LT(std::abs(first - second), 30.0);
+}
+
+// --- request identity -------------------------------------------------------
+
+bool InIdAlphabet(char c) {
+  return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+         (c >= '0' && c <= '9') || c == '-';
+}
+
+TEST(RequestIdTest, ValidatesTheAlphabetAndBothLengthCaps) {
+  EXPECT_TRUE(IsValidRequestId("r1a2b3-cafe-7"));
+  EXPECT_TRUE(IsValidRequestId("A"));
+  EXPECT_TRUE(IsValidRequestId(std::string(kMaxRequestIdBytes, 'x')));
+  EXPECT_FALSE(IsValidRequestId(std::string(kMaxRequestIdBytes + 1, 'x')));
+  EXPECT_TRUE(IsValidRequestId(std::string(kMaxClientRequestIdBytes, 'x'),
+                               kMaxClientRequestIdBytes));
+  EXPECT_FALSE(IsValidRequestId(std::string(kMaxClientRequestIdBytes + 1, 'x'),
+                                kMaxClientRequestIdBytes));
+  EXPECT_FALSE(IsValidRequestId(""));
+  // Header-injection and log-forgery attempts must all fail closed.
+  for (const char* hostile :
+       {"id with space", "id\r\nX-Evil: 1", "id\nid", "id\tid", "id;id",
+        "id_id", "id.id", "id\"id", "\xffid", "id\x01"}) {
+    EXPECT_FALSE(IsValidRequestId(hostile)) << hostile;
+  }
+  std::string embedded_nul = "abc";
+  embedded_nul.push_back('\0');
+  EXPECT_FALSE(IsValidRequestId(embedded_nul));
+}
+
+TEST(RequestIdTest, MintedAndHopIdsAlwaysValidateAndJoin) {
+  std::string previous;
+  for (int i = 0; i < 64; ++i) {
+    const std::string id = MintRequestId();
+    EXPECT_TRUE(IsValidRequestId(id)) << id;
+    EXPECT_NE(id, previous);
+    previous = id;
+    // A client-cap base plus any realistic hop suffix stays under the
+    // replica's hard cap — the invariant the two caps exist to keep.
+    EXPECT_LE(id.size(), kMaxClientRequestIdBytes);
+    for (int hop : {0, 7, 123}) {
+      const std::string hopped = HopRequestId(id, hop);
+      EXPECT_TRUE(IsValidRequestId(hopped)) << hopped;
+      EXPECT_TRUE(RequestIdMatches(id, hopped));
+    }
+    EXPECT_TRUE(RequestIdMatches(id, id));
+    EXPECT_FALSE(RequestIdMatches(id, id + "-h"));
+    EXPECT_FALSE(RequestIdMatches(id, id + "-h1x"));
+    EXPECT_FALSE(RequestIdMatches(id, id + "x"));
+    EXPECT_FALSE(RequestIdMatches(id, "other-h1"));
+  }
+}
+
+class RequestIdFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RequestIdFuzzTest, ValidationExactlyMatchesTheSpecOnArbitraryBytes) {
+  Rng rng(GetParam());
+  for (int iteration = 0; iteration < 5000; ++iteration) {
+    std::string candidate;
+    const size_t size = rng.NextBelow(kMaxRequestIdBytes + 8);
+    candidate.reserve(size);
+    for (size_t i = 0; i < size; ++i) {
+      // Half the time draw from the id alphabet so valid ids actually
+      // occur; otherwise draw arbitrary bytes.
+      if (rng.NextBelow(2) == 0) {
+        static const char kAlphabet[] =
+            "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-";
+        candidate.push_back(kAlphabet[rng.NextBelow(sizeof(kAlphabet) - 1)]);
+      } else {
+        candidate.push_back(static_cast<char>(rng.NextBelow(256)));
+      }
+    }
+    bool want = !candidate.empty() && candidate.size() <= kMaxRequestIdBytes;
+    for (char c : candidate) want = want && InIdAlphabet(c);
+    EXPECT_EQ(IsValidRequestId(candidate), want) << iteration;
+    // The coordinator's acceptance gate for client-offered ids.
+    bool want_client = want && candidate.size() <= kMaxClientRequestIdBytes;
+    EXPECT_EQ(IsValidRequestId(candidate, kMaxClientRequestIdBytes),
+              want_client)
+        << iteration;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RequestIdFuzzTest,
+                         ::testing::Values(3u, 17u, 2026u));
+
+// End-to-end strictness at the HTTP layer: whatever survives the header
+// parser still gets discarded unless it is a well-formed id, and the
+// handler's echo is always well-formed.
+TEST(RequestIdTest, HostileHeaderValuesAreDiscardedNotEchoed) {
+  HttpServerOptions options;
+  auto server = std::make_unique<HttpServer>(std::move(options));
+  server->Route("POST", "/echo-id", [](const HttpRequest& request) {
+    std::string id;
+    if (const std::string* offered = request.FindHeader(kRequestIdHeaderLower);
+        offered != nullptr &&
+        IsValidRequestId(*offered, kMaxClientRequestIdBytes)) {
+      id = *offered;
+    } else {
+      id = MintRequestId();
+    }
+    HttpResponse response;
+    response.headers.emplace_back(kRequestIdHeader, id);
+    response.body = id;
+    return response;
+  });
+  ASSERT_TRUE(server->Start().ok());
+  const int port = server->port();
+
+  const auto round_trip = [&](const std::string& header_value) {
+    const std::string raw = "POST /echo-id HTTP/1.1\r\nHost: a\r\n" +
+                            std::string(kRequestIdHeader) + ": " +
+                            header_value +
+                            "\r\nContent-Length: 0\r\n\r\n";
+    const std::string response = RawRequest(port, raw);
+    const size_t split = response.find("\r\n\r\n");
+    return split == std::string::npos ? std::string()
+                                      : response.substr(split + 4);
+  };
+
+  EXPECT_EQ(round_trip("client-id-1"), "client-id-1");
+  // Hostile offers: each must come back as a fresh, valid, *different* id.
+  for (const std::string& hostile :
+       {std::string("bad id"), std::string("bad\tid"), std::string("{json}"),
+        std::string(kMaxClientRequestIdBytes + 1, 'x'),
+        std::string("sneaky\x7f")}) {
+    const std::string echoed = round_trip(hostile);
+    EXPECT_TRUE(IsValidRequestId(echoed)) << echoed;
+    EXPECT_NE(echoed, hostile);
+  }
+  server->Stop();
 }
 
 }  // namespace

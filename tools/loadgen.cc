@@ -73,7 +73,15 @@ struct Tally {
   uint64_t net_error = 0;    ///< no complete response at all
   uint64_t attempts = 0;     ///< total attempts incl. retries
   uint64_t late = 0;         ///< open loop: arrivals the client ran behind on
+  /// Echoed X-Schemr-Request-Id of the slowest 200 — the first id worth
+  /// feeding to `schemr trace` after a run.
+  double slowest_ms = 0.0;
+  std::string slowest_request_id;
+  /// Echoed ids of failed replies (bounded sample), joinable the same way.
+  std::vector<std::string> error_request_ids;
 };
+
+constexpr size_t kMaxErrorIdSamples = 8;
 
 double Percentile(std::vector<double>* values, double p) {
   if (values->empty()) return 0.0;
@@ -91,13 +99,26 @@ void RecordReply(Tally* tally, const Result<HttpReply>& reply,
     return;
   }
   tally->attempts += static_cast<uint64_t>(reply->attempts - 1);
+  std::string request_id;
+  if (const auto echoed = reply->headers.find("x-schemr-request-id");
+      echoed != reply->headers.end()) {
+    request_id = echoed->second;
+  }
   if (reply->status == 200) {
     ++tally->ok;
     tally->latencies_ms.push_back(latency_ms);
+    if (!request_id.empty() && latency_ms > tally->slowest_ms) {
+      tally->slowest_ms = latency_ms;
+      tally->slowest_request_id = request_id;
+    }
   } else if (reply->status == 503) {
     ++tally->shed;
   } else {
     ++tally->http_error;
+    if (!request_id.empty() &&
+        tally->error_request_ids.size() < kMaxErrorIdSamples) {
+      tally->error_request_ids.push_back(request_id);
+    }
   }
 }
 
@@ -322,6 +343,15 @@ int main(int argc, char** argv) {
     total.net_error += tally.net_error;
     total.attempts += tally.attempts;
     total.late += tally.late;
+    if (tally.slowest_ms > total.slowest_ms) {
+      total.slowest_ms = tally.slowest_ms;
+      total.slowest_request_id = tally.slowest_request_id;
+    }
+    for (const std::string& id : tally.error_request_ids) {
+      if (total.error_request_ids.size() < kMaxErrorIdSamples) {
+        total.error_request_ids.push_back(id);
+      }
+    }
     all_latencies.insert(all_latencies.end(), tally.latencies_ms.begin(),
                          tally.latencies_ms.end());
   }
@@ -351,6 +381,17 @@ int main(int argc, char** argv) {
                  : 0.0,
       Percentile(&all_latencies, 0.50), Percentile(&all_latencies, 0.95),
       Percentile(&all_latencies, 0.99));
+  // Request-id tags (ids are [A-Za-z0-9-], safe to print unescaped):
+  // the slowest success and a bounded sample of failures, ready to hand
+  // to `schemr trace`.
+  std::printf(", \"slowest_request_id\": \"%s\"",
+              total.slowest_request_id.c_str());
+  std::printf(", \"error_request_ids\": \"");
+  for (size_t i = 0; i < total.error_request_ids.size(); ++i) {
+    std::printf("%s%s", i == 0 ? "" : " ",
+                total.error_request_ids[i].c_str());
+  }
+  std::printf("\"");
   // Per-target breakdown (flat keys, same convention as /statusz), only
   // when there is more than one target — the single-target JSON shape
   // stays exactly what existing consumers parse.

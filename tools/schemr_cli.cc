@@ -52,6 +52,7 @@
 #include "obs/replay.h"
 #include "service/fleet.h"
 #include "service/http_introspection.h"
+#include "service/request_id.h"
 #include "parse/ddl_parser.h"
 #include "parse/ddl_writer.h"
 #include "parse/xsd_importer.h"
@@ -94,11 +95,13 @@ int Usage() {
       "         serve with the HTTP introspection plane (and, with\n"
       "         --search-port, the POST /search front end) enabled\n"
       "  fleet <repo> [--replicas N] [--port N] [--workers N]"
-      " [--duration S] [--no-hedge]\n"
+      " [--duration S] [--no-hedge] [--sample-every N]\n"
       "         serve via N supervised replica processes behind the\n"
       "         failover coordinator (SIGHUP = rolling restart)\n"
       "  top <host:port> [--interval S] [--iterations N]   live /statusz"
       " dashboard\n"
+      "  trace <host:port> <request-id>             stitch one request's\n"
+      "         coordinator hop journal and replica traces into a timeline\n"
       "  checkmetrics <file|->                      validate Prometheus"
       " exposition text\n"
       "  checkjson <file|-> [--require key]...      validate flat JSON"
@@ -480,6 +483,7 @@ void PrintAuditRecord(const AuditRecord& r) {
               r.total_micros / 1e3, r.phase1_micros / 1e3,
               r.phase2_micros / 1e3, r.phase3_micros / 1e3, r.result_count,
               static_cast<unsigned long long>(r.result_digest));
+  if (!r.request_id.empty()) std::printf(" id=%s", r.request_id.c_str());
   if (r.has_query_text) {
     std::printf("  \"%s\"%s", r.keywords.c_str(),
                 r.fragment.empty() ? "" : " +fragment");
@@ -890,6 +894,13 @@ int CmdFleet(const std::string& repo_dir, int argc, char** argv) {
       fleet_options.serve_workers = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--duration" && i + 1 < argc) {
       duration = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--sample-every" && i + 1 < argc) {
+      // One flag pins sampling across the whole tier: the replicas'
+      // trace retention AND the coordinator's hop-journal retention.
+      fleet_options.serve_sample_every =
+          static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+      coord_options.trace_retention.sample_every_n =
+          fleet_options.serve_sample_every;
     } else if (arg == "--no-hedge") {
       coord_options.hedge = false;
     } else {
@@ -1017,6 +1028,12 @@ int CmdTop(const std::string& target, int argc, char** argv) {
           get("pool.backends"), get("pool.routable"),
           get("pool.hedge_delay_ms"), get("coord.failovers"),
           get("coord.hedges"), get("coord.hedges_won"));
+      std::printf(
+          "fleet    %.0f scraped  %.0f reqs  %.1f qps  p50 %.2f  p95 %.2f"
+          "  p99 %.2f ms\n",
+          get("fleet.replicas_scraped"), get("fleet.requests"),
+          get("fleet.qps"), get("fleet.p50_ms"), get("fleet.p95_ms"),
+          get("fleet.p99_ms"));
       for (int r = 0; r < static_cast<int>(get("pool.backends")); ++r) {
         const std::string prefix = "replica" + std::to_string(r);
         auto field = [&](const char* name) {
@@ -1045,6 +1062,146 @@ int CmdTop(const std::string& target, int argc, char** argv) {
     if (iterations != 0 && i + 1 == iterations) break;
     std::this_thread::sleep_for(
         std::chrono::milliseconds(static_cast<int>(interval * 1e3)));
+  }
+  return 0;
+}
+
+/// Extracts and unescapes the JSON string value for `"key": "..."` from
+/// one /tracez trace line. This targets the emitter's own fixed dialect
+/// (one trace object per line, AppendJsonEscaped strings), not general
+/// JSON.
+bool ExtractTraceField(const std::string& line, const std::string& key,
+                       std::string* value) {
+  const std::string needle = "\"" + key + "\": \"";
+  const size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  value->clear();
+  for (size_t i = at + needle.size(); i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '"') return true;
+    if (c == '\\' && i + 1 < line.size()) {
+      const char escaped = line[++i];
+      switch (escaped) {
+        case 'n':
+          value->push_back('\n');
+          break;
+        case 'r':
+          value->push_back('\r');
+          break;
+        case 't':
+          value->push_back('\t');
+          break;
+        case 'u':
+          if (i + 4 < line.size()) {
+            value->push_back(static_cast<char>(std::strtoul(
+                line.substr(i + 1, 4).c_str(), nullptr, 16)));
+            i += 4;
+          }
+          break;
+        default:
+          value->push_back(escaped);
+          break;
+      }
+      continue;
+    }
+    value->push_back(c);
+  }
+  return false;  // unterminated string: treat as no match
+}
+
+/// Prints every /tracez record at host:port joinable to request `id`
+/// (exact at the coordinator, hop-suffixed at replicas). Returns the
+/// match count, or -1 when the endpoint is unreachable — a dead replica
+/// degrades the timeline, it does not abort it.
+int PrintTracezMatches(const std::string& who, const std::string& host,
+                       int port, const std::string& id) {
+  auto body = HttpGet(host, port, "/tracez", 2.0);
+  if (!body.ok()) {
+    std::printf("%-12s unreachable: %s\n", who.c_str(),
+                body.status().ToString().c_str());
+    return -1;
+  }
+  int matches = 0;
+  std::stringstream lines(*body);
+  std::string line;
+  while (std::getline(lines, line)) {
+    std::string recorded;
+    if (!ExtractTraceField(line, "request_id", &recorded)) continue;
+    if (!RequestIdMatches(id, recorded)) continue;
+    std::string outcome;
+    std::string spans;
+    (void)ExtractTraceField(line, "outcome", &outcome);
+    (void)ExtractTraceField(line, "spans", &spans);
+    std::printf("%-12s id=%s outcome=%s\n", who.c_str(), recorded.c_str(),
+                outcome.c_str());
+    std::stringstream span_lines(spans);
+    std::string span;
+    while (std::getline(span_lines, span)) {
+      std::printf("    %s\n", span.c_str());
+    }
+    ++matches;
+  }
+  return matches;
+}
+
+/// `schemr trace <host:port> <request-id>`: stitches one request's
+/// cross-process story — the coordinator's hop journal plus every
+/// replica trace carrying a hop-suffixed form of the id — into a single
+/// timeline. Replicas are discovered through the coordinator's /statusz
+/// (replicaN.introspection_port); pointing this at a plain `schemr
+/// serve` process simply searches that process's own /tracez.
+int CmdTrace(const std::string& target, int argc, char** argv) {
+  if (argc < 1) return Usage();
+  const std::string id = argv[0];
+  const size_t colon = target.rfind(':');
+  const std::string host =
+      colon == std::string::npos || colon == 0 ? std::string("127.0.0.1")
+                                               : target.substr(0, colon);
+  const int port = static_cast<int>(std::strtol(
+      colon == std::string::npos ? target.c_str()
+                                 : target.c_str() + colon + 1,
+      nullptr, 10));
+  if (port <= 0) {
+    std::fprintf(stderr, "schemr trace: expected <host:port>, got '%s'\n",
+                 target.c_str());
+    return 2;
+  }
+  if (!IsValidRequestId(id)) {
+    std::fprintf(stderr, "schemr trace: '%s' is not a request id\n",
+                 id.c_str());
+    return 2;
+  }
+  int found = 0;
+  const int coordinator_matches =
+      PrintTracezMatches("coordinator", host, port, id);
+  if (coordinator_matches > 0) found += coordinator_matches;
+  auto statusz = HttpGet(host, port, "/statusz", 2.0);
+  if (statusz.ok()) {
+    if (auto parsed = ParseBenchJson(*statusz); parsed.ok()) {
+      const auto backends = parsed->find("pool.backends");
+      const int n =
+          backends == parsed->end() ? 0 : static_cast<int>(backends->second);
+      for (int r = 0; r < n; ++r) {
+        const std::string name = "replica" + std::to_string(r);
+        const auto it = parsed->find(name + ".introspection_port");
+        const int replica_port =
+            it == parsed->end() ? 0 : static_cast<int>(it->second);
+        if (replica_port <= 0) {
+          std::printf("%-12s no introspection port published\n",
+                      name.c_str());
+          continue;
+        }
+        const int matches = PrintTracezMatches(name, host, replica_port, id);
+        if (matches > 0) found += matches;
+      }
+    }
+  }
+  if (found == 0) {
+    std::fprintf(stderr,
+                 "schemr trace: no records for id %s (retention rings are "
+                 "bounded; old requests age out)\n",
+                 id.c_str());
+    return 1;
   }
   return 0;
 }
@@ -1116,6 +1273,7 @@ int Run(int argc, char** argv) {
   if (command == "serve") return CmdServe(repo_dir, argc - 3, argv + 3);
   if (command == "fleet") return CmdFleet(repo_dir, argc - 3, argv + 3);
   if (command == "top") return CmdTop(argv[2], argc - 3, argv + 3);
+  if (command == "trace") return CmdTrace(argv[2], argc - 3, argv + 3);
   if (command == "checkmetrics") return CmdCheckMetrics(argv[2]);
   if (command == "checkjson") return CmdCheckJson(argv[2], argc - 3, argv + 3);
   auto repo = SchemaRepository::Open(repo_dir);
