@@ -63,6 +63,10 @@ uint64_t HashSearchOptions(const SearchEngineOptions& options) {
   hash = Mix(hash, (options.enable_matching ? 1u : 0u) |
                        (options.enable_tightness ? 2u : 0u));
   hash = MixDouble(hash, options.annotation_boost);
+  // The pre-filter changes which candidates can appear at all, so an
+  // approximate answer must never be served for an exact request (or for
+  // a different threshold).
+  hash = MixDouble(hash, options.prefilter);
   hash = Mix(hash, options.extraction.pool_size);
   const SearchOptions& index_options = options.extraction.index_options;
   hash = Mix(hash, index_options.top_n);

@@ -11,6 +11,8 @@
 #include "core/fingerprint.h"
 #include "core/query_parser.h"
 #include "core/result_cache.h"
+#include "match/features.h"
+#include "match/signature.h"
 #include "obs/fault_bridge.h"
 #include "obs/metrics.h"
 #include "util/executor.h"
@@ -30,6 +32,7 @@ struct EngineMetrics {
   Counter* candidates_extracted;
   Counter* candidates_pruned;
   Counter* candidates_skipped;
+  Counter* prefilter_rejected;
   Histogram* total_seconds;
   Histogram* phase1_seconds;
   Histogram* phase2_seconds;
@@ -61,6 +64,10 @@ struct EngineMetrics {
                        "Candidates whose phases 2/3 were skipped by "
                        "score-bound pruning (exact; the returned window "
                        "never changes)."),
+          r.GetCounter("schemr_search_prefilter_rejected_total",
+                       "Candidates rejected by the signature pre-filter "
+                       "before any matcher ran (approximate mode; "
+                       "explicit opt-in per request)."),
           r.GetHistogram("schemr_search_seconds",
                          "End-to-end search latency."),
           r.GetHistogram("schemr_search_phase1_seconds",
@@ -123,6 +130,7 @@ struct WorkerTally {
   size_t candidates_scored = 0;
   size_t coarse_only = 0;
   size_t skipped = 0;
+  size_t prefilter_rejected = 0;
   size_t matched_elements = 0;
   double tightness_penalty = 0.0;
 };
@@ -212,6 +220,39 @@ Result<std::vector<SearchResult>> SearchEngine::Search(
 
   const Schema& query_schema = query.AsSchema();
 
+  // --- Columnar feature prep (DESIGN.md §16) -----------------------------
+  //
+  // When the snapshot carries a match-feature catalog, the query's own
+  // features are built ONCE here (the legacy path re-derived them per
+  // candidate) and each candidate's precomputed features ride into the
+  // ensemble. Signatures additionally (a) order the candidate visit so
+  // high-similarity candidates raise the pruning floor early -- exact,
+  // since the floor only rises -- and (b) when options.prefilter > 0,
+  // reject low-similarity candidates outright (explicitly approximate).
+  Timer prep_timer;
+  const MatchFeatureCatalog* catalog =
+      options.enable_matching && snapshot != nullptr
+          ? snapshot->match_features.get()
+          : nullptr;
+  std::shared_ptr<SchemaFeatures> query_features;
+  std::vector<double> signature_similarity;
+  if (catalog != nullptr) {
+    query_features = BuildSchemaFeatures(query_schema, catalog->options());
+    ComputeSignature(query_features.get(), &catalog->df());
+    signature_similarity.resize(candidates.size());
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      const SchemaFeatures* f = catalog->Find(candidates[i].schema_id);
+      // A schema missing from the catalog is never screened or demoted.
+      signature_similarity[i] =
+          f != nullptr
+              ? EstimatedSimilarity(query_features->signature, f->signature)
+              : 1.0;
+    }
+  }
+  const bool prefilter_active =
+      catalog != nullptr && options.prefilter > 0.0;
+  const double prep_seconds = prep_timer.ElapsedSeconds();
+
   // --- Phases 2+3: parallel candidate scoring ----------------------------
   //
   // Candidate i is scored into slots[i] by whichever worker claims i off
@@ -261,8 +302,15 @@ Result<std::vector<SearchResult>> SearchEngine::Search(
 
   auto score_candidate = [&](size_t i, WorkerTally* tally,
                              std::vector<char>* benched_scratch,
-                             std::vector<double>* seconds_scratch) -> bool {
+                             std::vector<double>* seconds_scratch,
+                             MatchScratch* match_scratch) -> bool {
     const Candidate& candidate = candidates[i];
+    if (prefilter_active && signature_similarity[i] < options.prefilter) {
+      // Approximate mode: screened out before any matcher runs. The slot
+      // stays excluded -- the candidate is out of the ranking entirely.
+      ++tally->prefilter_rejected;
+      return true;
+    }
     // The schema comes from the same snapshot the candidates did, so the
     // id always resolves even if the schema was removed after Snapshot().
     auto resolved = snapshot != nullptr
@@ -331,9 +379,18 @@ Result<std::vector<SearchResult>> SearchEngine::Search(
     // bench never races the ensemble's skip reads).
     Timer candidate_timer;
     if (track_matcher_time) seconds_scratch->assign(num_matchers, 0.0);
+    MatchContext match_context;
+    if (catalog != nullptr) {
+      // Null candidate features make the ensemble fall back to the legacy
+      // per-matcher path for this candidate only.
+      match_context.query_features = query_features.get();
+      match_context.candidate_features = catalog->Find(candidate.schema_id);
+      match_context.scratch = match_scratch;
+    }
     EnsembleResult ensemble_result = ensemble_.Match(
         query_schema, schema,
-        track_matcher_time ? seconds_scratch : nullptr, benched_scratch);
+        track_matcher_time ? seconds_scratch : nullptr, benched_scratch,
+        catalog != nullptr ? &match_context : nullptr);
     SimilarityMatrix combined = std::move(ensemble_result.combined);
     tally->phase2_seconds += candidate_timer.ElapsedSeconds();
     ++tally->candidates_matched;
@@ -400,15 +457,33 @@ Result<std::vector<SearchResult>> SearchEngine::Search(
     return true;
   };
 
+  // Visit order: signature-similar candidates first, so the pruning floor
+  // reflects strong candidates early and weak ones hit the skip bound.
+  // Slots stay indexed by the ORIGINAL candidate index and compaction
+  // below walks slots in candidate order, so the ranked output (and the
+  // replay digest) is independent of this permutation; with pruning the
+  // skip set can only grow (the floor only rises), never admit or evict a
+  // window member. stable_sort keeps ties in candidate order.
+  std::vector<size_t> order(candidates.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  if (!signature_similarity.empty() && floor.has_value()) {
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return signature_similarity[a] > signature_similarity[b];
+    });
+  }
+
+  size_t prefilter_rejected_total = 0;
   auto run_worker = [&] {
     WorkerTally tally;
     std::vector<char> benched_scratch;
     std::vector<double> seconds_scratch(num_matchers, 0.0);
+    MatchScratch match_scratch;
     for (;;) {
       if (failed.load(std::memory_order_acquire)) break;
-      const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (i >= candidates.size()) break;
-      if (!score_candidate(i, &tally, &benched_scratch, &seconds_scratch)) {
+      const size_t next = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (next >= order.size()) break;
+      if (!score_candidate(order[next], &tally, &benched_scratch,
+                           &seconds_scratch, &match_scratch)) {
         break;
       }
     }
@@ -419,6 +494,7 @@ Result<std::vector<SearchResult>> SearchEngine::Search(
     candidates_scored += tally.candidates_scored;
     coarse_only_candidates += tally.coarse_only;
     candidates_skipped += tally.skipped;
+    prefilter_rejected_total += tally.prefilter_rejected;
     matched_elements_total += tally.matched_elements;
     tightness_penalty_total += tally.tightness_penalty;
   };
@@ -475,7 +551,11 @@ Result<std::vector<SearchResult>> SearchEngine::Search(
   const std::vector<std::string> dropped_matchers =
       degradation.dropped_matchers();
   metrics.candidates_skipped->Increment(candidates_skipped);
+  metrics.prefilter_rejected->Increment(prefilter_rejected_total);
 
+  // Query feature + signature prep ran once up front on the request
+  // thread; account it to phase 2, whose work it replaces.
+  phase2_elapsed += prep_seconds;
   if (options.enable_matching) {
     metrics.phase2_seconds->Observe(phase2_elapsed);
     if (trace != nullptr) {
@@ -483,6 +563,10 @@ Result<std::vector<SearchResult>> SearchEngine::Search(
                                         root_span.id());
       trace->Annotate(phase2_id, "candidates",
                       static_cast<uint64_t>(candidates_matched));
+      if (prefilter_active) {
+        trace->Annotate(phase2_id, "prefilter_rejected",
+                        static_cast<uint64_t>(prefilter_rejected_total));
+      }
       trace->Annotate(phase2_id, "matchers",
                       static_cast<uint64_t>(ensemble_.NumMatchers()));
       std::vector<std::string> names = ensemble_.MatcherNames();
@@ -557,6 +641,7 @@ Result<std::vector<SearchResult>> SearchEngine::Search(
   classified.dropped_matchers = dropped_matchers;
   classified.coarse_only_candidates = coarse_only_candidates;
   classified.candidates_skipped = candidates_skipped;
+  classified.prefilter_rejected = prefilter_rejected_total;
   const bool degraded = classified.ComputeDegraded();
   if (degraded) {
     metrics.searches_degraded->Increment();

@@ -73,6 +73,10 @@ struct SearchStats {
   /// Exact, never degradation: a skipped candidate provably could not
   /// have entered the returned window (DESIGN.md §11).
   size_t candidates_skipped = 0;
+  /// Candidates rejected by the signature pre-filter before any matcher
+  /// ran (approximate mode only; see SearchEngineOptions::prefilter).
+  /// Not degradation: the caller explicitly opted into the screen.
+  size_t prefilter_rejected = 0;
   /// Served from the snapshot-keyed result cache; no pipeline phase ran
   /// and the phase times below are zero.
   bool cache_hit = false;
@@ -142,6 +146,20 @@ struct SearchEngineOptions {
   /// score already observed. Exact -- the returned window never changes
   /// (bound proof in DESIGN.md §11) -- so it defaults on.
   bool enable_pruning = true;
+  /// Signature pre-filter threshold in [0, 1]; 0 (the default) disables
+  /// the screen and the search is EXACT. When > 0, candidates whose
+  /// estimated signature similarity to the query (SimHash + MinHash;
+  /// DESIGN.md §16) falls below the threshold are rejected before any
+  /// matcher runs -- explicitly approximate: a rejected candidate is out
+  /// of the ranking even if the full ensemble would have admitted it.
+  /// E20 in EXPERIMENTS.md measures the recall floor per threshold.
+  /// Candidates without a signature (no catalog entry) are never
+  /// rejected. Joins the result-cache options hash, so exact and
+  /// approximate answers never alias. Independently of this threshold,
+  /// signatures order the candidate visit so the pruning floor rises
+  /// early -- that reordering is exact (the floor only rises; DESIGN.md
+  /// §11) and needs no opt-in.
+  double prefilter = 0.0;
   /// Escape hatch: skip the result cache for this request, both the
   /// lookup and the store (debugging, cache-vs-pipeline comparisons).
   bool cache_bypass = false;

@@ -3,10 +3,28 @@
 #include "index/indexer.h"
 #include "obs/metrics.h"
 #include "util/fault_injection.h"
+#include "util/timer.h"
 
 namespace schemr {
 
 namespace {
+
+struct SignatureMetrics {
+  Histogram* build_seconds;
+
+  static const SignatureMetrics& Get() {
+    static const SignatureMetrics* metrics = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return new SignatureMetrics{
+          r.GetHistogram("schemr_signature_build_seconds",
+                         "Wall time spent building match-feature catalogs "
+                         "and schema signatures (full rebuilds and "
+                         "incremental per-schema builds)."),
+      };
+    }();
+    return *metrics;
+  }
+};
 
 struct GraphCacheMetrics {
   Counter* hits;
@@ -57,17 +75,19 @@ size_t EntityGraphCache::size() const {
 }
 
 ServingCorpus::ServingCorpus(std::unique_ptr<SchemaRepository> repository,
-                             AnalyzerOptions analyzer_options)
+                             AnalyzerOptions analyzer_options,
+                             FeatureBuildOptions feature_options)
     : repository_(std::move(repository)),
       analyzer_options_(analyzer_options),
       index_(analyzer_options),
+      feature_options_(feature_options),
       snapshot_(std::make_shared<const CorpusSnapshot>()) {}
 
 Result<std::unique_ptr<ServingCorpus>> ServingCorpus::Create(
     std::unique_ptr<SchemaRepository> repository,
-    AnalyzerOptions analyzer_options) {
-  std::unique_ptr<ServingCorpus> corpus(
-      new ServingCorpus(std::move(repository), analyzer_options));
+    AnalyzerOptions analyzer_options, FeatureBuildOptions feature_options) {
+  std::unique_ptr<ServingCorpus> corpus(new ServingCorpus(
+      std::move(repository), analyzer_options, feature_options));
   SCHEMR_RETURN_IF_ERROR(corpus->Reindex());
   return corpus;
 }
@@ -81,6 +101,11 @@ void ServingCorpus::PublishLocked() {
   next->version = Snapshot()->version + 1;
   next->index = index_.Snapshot();
   next->schemas = repository_->View();
+  // Freeze the working feature set into the snapshot: the map copy is
+  // shared_ptr-shallow, so publication stays cheap and the catalog stays
+  // immutable no matter what later writers do to features_.
+  next->match_features = std::make_shared<const MatchFeatureCatalog>(
+      feature_options_, features_, std::make_shared<const DfTable>(df_));
   FaultInjector::Global().Perturb("corpus/commit/publish");
   snapshot_.store(std::move(next));
 }
@@ -92,6 +117,17 @@ Result<SchemaId> ServingCorpus::Ingest(Schema schema) {
   SCHEMR_ASSIGN_OR_RETURN(SchemaId id, repository_->Insert(schema));
   schema.set_id(id);
   SCHEMR_RETURN_IF_ERROR(index_.AddDocument(FlattenSchema(schema)));
+  {
+    // Incremental feature build: signed under the df table as of now.
+    // (A full Reindex recomputes every signature under the final df, so
+    // signatures converge on rebuild; they are advisory either way.)
+    Timer timer;
+    auto features = BuildSchemaFeatures(schema, feature_options_);
+    df_.AddDocument(*features);
+    ComputeSignature(features.get(), &df_);
+    features_[id] = std::move(features);
+    SignatureMetrics::Get().build_seconds->Observe(timer.ElapsedSeconds());
+  }
   PublishLocked();
   return id;
 }
@@ -105,6 +141,19 @@ Status ServingCorpus::Update(Schema schema) {
     SCHEMR_RETURN_IF_ERROR(index->RemoveDocument(schema.id()));
     return index->AddDocument(FlattenSchema(schema));
   }));
+  {
+    Timer timer;
+    auto old = features_.find(schema.id());
+    if (old != features_.end()) {
+      df_.RemoveDocument(*old->second);
+      features_.erase(old);
+    }
+    auto features = BuildSchemaFeatures(schema, feature_options_);
+    df_.AddDocument(*features);
+    ComputeSignature(features.get(), &df_);
+    features_[schema.id()] = std::move(features);
+    SignatureMetrics::Get().build_seconds->Observe(timer.ElapsedSeconds());
+  }
   PublishLocked();
   return Status::OK();
 }
@@ -113,6 +162,11 @@ Status ServingCorpus::Remove(SchemaId id) {
   std::lock_guard<std::mutex> lock(writer_mutex_);
   SCHEMR_RETURN_IF_ERROR(repository_->Remove(id));
   SCHEMR_RETURN_IF_ERROR(index_.RemoveDocument(id));
+  auto it = features_.find(id);
+  if (it != features_.end()) {
+    df_.RemoveDocument(*it->second);
+    features_.erase(it);
+  }
   PublishLocked();
   return Status::OK();
 }
@@ -129,8 +183,61 @@ Status ServingCorpus::Reindex() {
           return index->AddDocument(FlattenSchema(schema));
         });
       }));
+  SCHEMR_RETURN_IF_ERROR(RebuildCatalogLocked(*schemas, nullptr));
   PublishLocked();
   return Status::OK();
+}
+
+Status ServingCorpus::ReindexWithStoredSignatures(
+    const std::string& signature_path, CatalogBuildStats* stats) {
+  StoredSignatures stored;
+  const StoredSignatures* stored_ptr = nullptr;
+  {
+    // Missing or unreadable file is a clean cold start, not an error; a
+    // bad header means the file is garbage and a full rebuild (plus the
+    // save below) replaces it.
+    Result<StoredSignatures> loaded = LoadSignatures(signature_path);
+    if (loaded.ok()) {
+      stored = std::move(loaded).value();
+      stored_ptr = &stored;
+    }
+  }
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  std::shared_ptr<const RepositoryView> schemas = repository_->View();
+  SCHEMR_RETURN_IF_ERROR(
+      index_.Apply([this, &schemas](InvertedIndex* index) {
+        *index = InvertedIndex(analyzer_options_);
+        return schemas->ForEach([index](const Schema& schema) {
+          return index->AddDocument(FlattenSchema(schema));
+        });
+      }));
+  SCHEMR_RETURN_IF_ERROR(RebuildCatalogLocked(*schemas, stored_ptr));
+  PublishLocked();
+  if (stats != nullptr) *stats = last_build_stats_;
+  // Persist the (possibly rebuilt) signatures for the next open. Failure
+  // to write is non-fatal: the cache is advisory.
+  Status saved = SaveSignatures(signature_path, *Snapshot()->match_features);
+  (void)saved;
+  return Status::OK();
+}
+
+Status ServingCorpus::RebuildCatalogLocked(const RepositoryView& schemas,
+                                           const StoredSignatures* stored) {
+  CatalogBuilder builder(feature_options_);
+  SCHEMR_RETURN_IF_ERROR(schemas.ForEach([&builder](const Schema& schema) {
+    builder.Add(schema);
+    return Status::OK();
+  }));
+  auto catalog = builder.Build(stored, &last_build_stats_);
+  features_ = catalog->features();
+  df_ = catalog->df();
+  SignatureMetrics::Get().build_seconds->Observe(last_build_stats_.seconds);
+  return Status::OK();
+}
+
+CatalogBuildStats ServingCorpus::last_build_stats() const {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  return last_build_stats_;
 }
 
 }  // namespace schemr

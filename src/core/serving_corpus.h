@@ -30,6 +30,7 @@
 #include <utility>
 
 #include "index/versioned_index.h"
+#include "match/features.h"
 #include "repo/schema_repository.h"
 #include "schema/entity_graph.h"
 #include "text/analyzer.h"
@@ -74,6 +75,11 @@ struct CorpusSnapshot {
   /// const-shared so the cache stays usable through a const snapshot).
   std::shared_ptr<EntityGraphCache> entity_graphs =
       std::make_shared<EntityGraphCache>();
+  /// Columnar matcher features + screening signatures for every schema in
+  /// `schemas`, built at index time (DESIGN.md §16). Never null after the
+  /// first publication; versioned by riding inside the snapshot, so the
+  /// result cache's corpus_version key covers it too.
+  std::shared_ptr<const MatchFeatureCatalog> match_features;
 };
 
 /// Owns a SchemaRepository plus the index built over it and keeps the two
@@ -84,7 +90,8 @@ class ServingCorpus {
   /// current contents. Fails if an existing schema cannot be re-indexed.
   static Result<std::unique_ptr<ServingCorpus>> Create(
       std::unique_ptr<SchemaRepository> repository,
-      AnalyzerOptions analyzer_options = {});
+      AnalyzerOptions analyzer_options = {},
+      FeatureBuildOptions feature_options = {});
 
   /// Inserts the schema into the repository (durably, assigning an id),
   /// indexes it, and publishes the combined snapshot. Returns the id.
@@ -99,6 +106,18 @@ class ServingCorpus {
   /// Rebuilds the index from the repository's current contents (e.g.
   /// after changing analyzer options upstream) and republishes.
   Status Reindex();
+
+  /// Reindex() with signature persistence: tries to adopt CRC-valid
+  /// signatures for the current corpus from `signature_path` (missing or
+  /// unreadable file → clean full build; corrupt or stale records are
+  /// dropped, counted and recomputed — never served), then writes the
+  /// rebuilt signature set back to the same path. `stats`, when non-null,
+  /// receives the build counters.
+  Status ReindexWithStoredSignatures(const std::string& signature_path,
+                                     CatalogBuildStats* stats = nullptr);
+
+  /// Counters of the most recent full catalog build (Create/Reindex).
+  CatalogBuildStats last_build_stats() const;
 
   /// The current corpus snapshot (never null; one acquire-load). Hold the
   /// returned pointer for the duration of a search so every phase sees
@@ -118,18 +137,32 @@ class ServingCorpus {
 
  private:
   ServingCorpus(std::unique_ptr<SchemaRepository> repository,
-                AnalyzerOptions analyzer_options);
+                AnalyzerOptions analyzer_options,
+                FeatureBuildOptions feature_options);
 
   /// Composes the current repository view + index snapshot into a new
   /// CorpusSnapshot and swaps it in. Caller holds writer_mutex_.
   void PublishLocked();
 
+  /// Full catalog rebuild from the given repository view (caller holds
+  /// writer_mutex_); replaces features_/df_ and records stats. `stored`
+  /// may be null (no persisted signatures to adopt).
+  Status RebuildCatalogLocked(const RepositoryView& schemas,
+                              const StoredSignatures* stored);
+
   std::unique_ptr<SchemaRepository> repository_;
   AnalyzerOptions analyzer_options_;
   VersionedIndex index_;
+  FeatureBuildOptions feature_options_;
   /// Serializes Ingest/Update/Remove/Reindex so the repository view and
   /// index snapshot composed by PublishLocked always belong together.
   mutable std::mutex writer_mutex_;
+  /// Incremental working set behind writer_mutex_; PublishLocked freezes
+  /// a copy into each snapshot's MatchFeatureCatalog.
+  std::unordered_map<SchemaId, std::shared_ptr<const SchemaFeatures>>
+      features_;
+  DfTable df_;
+  CatalogBuildStats last_build_stats_;
   AtomicSharedPtr<const CorpusSnapshot> snapshot_;
 };
 

@@ -1,9 +1,11 @@
 #include "match/context_matcher.h"
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 #include <unordered_map>
 
+#include "match/features.h"
 #include "schema/entity_graph.h"
 #include "text/porter_stemmer.h"
 #include "text/tokenizer.h"
@@ -137,6 +139,114 @@ double ContextMatcher::SoftTermSetSimilarity(
   double inter = (directional(a, b) + directional(b, a)) / 2.0;
   double uni = static_cast<double>(a.size() + b.size()) - inter;
   return uni <= 0.0 ? 0.0 : inter / uni;
+}
+
+namespace {
+
+/// Same memo contract as the name matcher's fast path: the shared
+/// scratch holds one value per (query term, candidate term) pair and
+/// both matchers memoize the same pure function, so whoever runs first
+/// fills the cells the other reuses.
+double MemoizedTermSimilarity(const NameMatcher& matcher,
+                              const SchemaFeatures& qf,
+                              const SchemaFeatures& cf, MatchScratch* scratch,
+                              uint32_t q_term, uint32_t c_term) {
+  double* slot = scratch->Slot(q_term, c_term);
+  if (std::isnan(*slot)) {
+    const TermFeature& a = qf.terms[q_term];
+    const TermFeature& b = cf.terms[c_term];
+    *slot = a.text == b.text ? 1.0 : matcher.PreparedWordSimilarity(a, b);
+  }
+  return *slot;
+}
+
+}  // namespace
+
+SimilarityMatrix ContextMatcher::MatchPrepared(
+    const Schema& query, const Schema& candidate,
+    const MatchContext& context) const {
+  const SchemaFeatures* qf = context.query_features;
+  const SchemaFeatures* cf = context.candidate_features;
+  // The term profiles in the catalog were built under the catalog's name
+  // options; this matcher's internal NameMatcher is default-constructed,
+  // so the fast path additionally requires default name banding.
+  if (qf == nullptr || cf == nullptr || context.scratch == nullptr ||
+      qf->neighborhoods.size() != query.size() ||
+      cf->neighborhoods.size() != candidate.size() ||
+      !SameOptions(qf->context_options, options_) ||
+      !SameOptions(cf->context_options, options_) ||
+      !SameOptions(qf->name_options, name_matcher_.options()) ||
+      !SameOptions(cf->name_options, name_matcher_.options())) {
+    return Match(query, candidate);
+  }
+
+  SimilarityMatrix matrix(query.size(), candidate.size());
+
+  if (!options_.soft_alignment) {
+    // Exact Jaccard over the sorted term lists, merged by term text.
+    for (size_t r = 0; r < query.size(); ++r) {
+      const std::vector<uint32_t>& a = qf->neighborhoods[r];
+      for (size_t c = 0; c < candidate.size(); ++c) {
+        const std::vector<uint32_t>& b = cf->neighborhoods[c];
+        if (a.empty() || b.empty()) {
+          matrix.set(r, c, 0.0);
+          continue;
+        }
+        size_t i = 0, j = 0, inter = 0;
+        while (i < a.size() && j < b.size()) {
+          const int cmp = qf->terms[a[i]].text.compare(cf->terms[b[j]].text);
+          if (cmp == 0) {
+            ++inter;
+            ++i;
+            ++j;
+          } else if (cmp < 0) {
+            ++i;
+          } else {
+            ++j;
+          }
+        }
+        matrix.set(r, c, static_cast<double>(inter) /
+                             static_cast<double>(a.size() + b.size() - inter));
+      }
+    }
+    return matrix;
+  }
+
+  // Soft Jaccard, exactly as SoftTermSetSimilarity: directional best-
+  // alignment sums (thresholded), iterated in the sorted term order the
+  // legacy std::set produced.
+  for (size_t r = 0; r < query.size(); ++r) {
+    const std::vector<uint32_t>& a = qf->neighborhoods[r];
+    for (size_t c = 0; c < candidate.size(); ++c) {
+      const std::vector<uint32_t>& b = cf->neighborhoods[c];
+      double sum_a = 0.0;
+      for (uint32_t t : a) {
+        double best = 0.0;
+        for (uint32_t u : b) {
+          best = std::max(best, MemoizedTermSimilarity(
+                                    name_matcher_, *qf, *cf, context.scratch,
+                                    t, u));
+          if (best >= 1.0) break;
+        }
+        if (best >= options_.soft_threshold) sum_a += best;
+      }
+      double sum_b = 0.0;
+      for (uint32_t u : b) {
+        double best = 0.0;
+        for (uint32_t t : a) {
+          best = std::max(best, MemoizedTermSimilarity(
+                                    name_matcher_, *qf, *cf, context.scratch,
+                                    t, u));
+          if (best >= 1.0) break;
+        }
+        if (best >= options_.soft_threshold) sum_b += best;
+      }
+      const double inter = (sum_a + sum_b) / 2.0;
+      const double uni = static_cast<double>(a.size() + b.size()) - inter;
+      matrix.set(r, c, uni <= 0.0 ? 0.0 : inter / uni);
+    }
+  }
+  return matrix;
 }
 
 SimilarityMatrix ContextMatcher::Match(const Schema& query,

@@ -43,6 +43,16 @@ class ContextMatcher : public Matcher {
   SimilarityMatrix Match(const Schema& query,
                          const Schema& candidate) const override;
 
+  /// Columnar fast path: neighborhoods and term profiles come from the
+  /// precomputed SchemaFeatures, pair similarities from the shared memo.
+  /// Bit-identical to Match(): neighborhood term-id lists preserve the
+  /// legacy std::set order, so the soft-Jaccard sums run over the same
+  /// values in the same order. Falls back to Match() when the context is
+  /// incomplete or built under different options (including a non-default
+  /// name-matcher banding, which would change the term profiles).
+  SimilarityMatrix MatchPrepared(const Schema& query, const Schema& candidate,
+                                 const MatchContext& context) const override;
+
   /// The normalized term set of `id`'s neighborhood (exposed for tests).
   std::vector<std::string> NeighborhoodTerms(const Schema& schema,
                                              ElementId id) const;

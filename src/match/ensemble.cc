@@ -5,6 +5,7 @@
 
 #include "match/codebook.h"
 #include "match/context_matcher.h"
+#include "match/features.h"
 #include "match/name_matcher.h"
 #include "match/structure_matcher.h"
 #include "match/type_matcher.h"
@@ -118,8 +119,17 @@ std::vector<std::string> MatcherEnsemble::MatcherNames() const {
 
 EnsembleResult MatcherEnsemble::Match(
     const Schema& query, const Schema& candidate,
-    std::vector<double>* matcher_seconds,
-    const std::vector<char>* skip) const {
+    std::vector<double>* matcher_seconds, const std::vector<char>* skip,
+    const MatchContext* context) const {
+  const bool prepared = context != nullptr &&
+                        context->query_features != nullptr &&
+                        context->candidate_features != nullptr &&
+                        context->scratch != nullptr;
+  if (prepared) {
+    // One memo per candidate, shared by every matcher in this invocation.
+    context->scratch->Reset(context->query_features->terms.size(),
+                            context->candidate_features->terms.size());
+  }
   EnsembleResult result;
   result.matcher_names.reserve(matchers_.size());
   result.per_matcher.reserve(matchers_.size());
@@ -140,7 +150,9 @@ EnsembleResult MatcherEnsemble::Match(
         throw std::runtime_error("injected matcher fault: " +
                                  std::string(std::strerror(err)));
       }
-      result.per_matcher.push_back(matchers_[m]->Match(query, candidate));
+      result.per_matcher.push_back(
+          prepared ? matchers_[m]->MatchPrepared(query, candidate, *context)
+                   : matchers_[m]->Match(query, candidate));
     } catch (const InjectedCrash&) {
       throw;  // a simulated kill must never be absorbed as a matcher fault
     } catch (...) {

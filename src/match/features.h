@@ -1,0 +1,258 @@
+// Columnar match features: everything the name and context matchers need
+// about one schema, precomputed at index time (DESIGN.md §16).
+//
+// The legacy matchers re-derived their inputs per candidate per query:
+// NameMatcher::Match re-tokenized, re-stemmed and re-profiled every
+// element name of BOTH schemas for every (query, candidate) pair, and
+// ContextMatcher::Match additionally rebuilt two EntityGraphs and every
+// neighborhood term set. With BENCH_base.json putting phase 2 at ~97% of
+// search p50, that rework IS the latency. This module moves all of it to
+// index time:
+//
+//   - a schema-local interned term vocabulary (name words, concatenated
+//     names, context terms) with packed n-gram profiles: grams of <= 7
+//     bytes pack bijectively into a uint64 (length byte + characters), so
+//     profile intersection is a sorted-array merge over integers instead
+//     of hash-map probes — and, because the packing is exact (no
+//     collisions), the merged counts equal the legacy NgramProfile counts
+//     and the Dice similarity is bit-identical;
+//   - per-element NameFeatures (word ids in name order, concat id,
+//     initials) mirroring NameMatcher::PreparedName;
+//   - per-element neighborhood term-id lists in sorted-term order,
+//     mirroring the std::set iteration order of the legacy context
+//     matcher so floating-point summation order is preserved;
+//   - the schema's SchemaSignature (256-bit SimHash + MinHash sketch),
+//     IDF-weighted from the catalog-wide document-frequency table.
+//
+// A MatchFeatureCatalog is immutable and rides inside a CorpusSnapshot,
+// so PR 3's copy-on-write publication and PR 5's result-cache keying
+// cover it with no new machinery. Matchers verify that the catalog was
+// built with their exact options and fall back to the legacy path
+// otherwise — the fast path is an optimization, never a behavior change.
+
+#ifndef SCHEMR_MATCH_FEATURES_H_
+#define SCHEMR_MATCH_FEATURES_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "match/context_matcher.h"
+#include "match/name_matcher.h"
+#include "match/signature.h"
+#include "schema/schema.h"
+#include "util/status.h"
+
+namespace schemr {
+
+/// An NgramProfile flattened into sorted arrays. Grams of at most 7 bytes
+/// (every banded gram of lowercase ASCII words, and most whole words)
+/// pack exactly — length byte in the top 8 bits, characters below — so
+/// equality of packed keys IS equality of grams. Longer grams (whole-word
+/// or concat grams past 7 chars) keep their strings in `overflow`;
+/// both arrays are sorted, and intersection is a two-pointer merge.
+struct PackedProfile {
+  std::vector<std::pair<uint64_t, uint32_t>> packed;        // sorted by key
+  std::vector<std::pair<std::string, uint32_t>> overflow;   // sorted by gram
+  /// Total gram count (the multiset size |A| in Dice).
+  uint64_t total = 0;
+};
+
+/// Flattens `profile`; counts carry over unchanged.
+PackedProfile PackProfile(const NgramProfile& profile);
+
+/// Dice coefficient over two packed profiles. Equals
+/// DiceSimilarity(a', b') on the NgramProfiles they were packed from,
+/// bit-for-bit: the packing is bijective, so intersection and sizes are
+/// the same integers and the final division is the same expression.
+double PackedDice(const PackedProfile& a, const PackedProfile& b);
+
+/// One interned term of a schema's vocabulary.
+struct TermFeature {
+  std::string text;        ///< normalized (lowercased, stemmed) term
+  PackedProfile profile;   ///< n-gram profile under the build options
+};
+
+/// Columnar mirror of NameMatcher::PreparedName, with words interned into
+/// the schema vocabulary.
+struct NameFeature {
+  std::vector<uint32_t> words;  ///< term ids, in name order
+  uint32_t concat = 0;          ///< term id of the concatenated words
+  std::string initials;
+};
+
+/// The options a catalog was built under. Matchers compare these against
+/// their own options before taking the fast path.
+struct FeatureBuildOptions {
+  NameMatcherOptions name;
+  ContextMatcherOptions context;
+};
+
+bool SameOptions(const NameMatcherOptions& a, const NameMatcherOptions& b);
+bool SameOptions(const ContextMatcherOptions& a, const ContextMatcherOptions& b);
+
+/// Everything precomputed about one schema. Immutable once built.
+struct SchemaFeatures {
+  /// Schema-local interned vocabulary: every name word, every
+  /// concatenated name, every context term, each with its packed profile.
+  std::vector<TermFeature> terms;
+  /// Per element id: the prepared name.
+  std::vector<NameFeature> names;
+  /// Per element id: neighborhood term ids, sorted by term text (the
+  /// legacy std::set order, which fixes FP summation order).
+  std::vector<std::vector<uint32_t>> neighborhoods;
+  /// Screening signature (sealed: VerifySignature holds).
+  SchemaSignature signature;
+  /// Deterministic hash of the schema's matcher-visible content; keys the
+  /// persisted-signature cache.
+  uint64_t content_hash = 0;
+  /// The options this was built under (copied per schema so a matcher can
+  /// check compatibility without reaching back to the catalog).
+  NameMatcherOptions name_options;
+  ContextMatcherOptions context_options;
+};
+
+/// Catalog-wide document-frequency table: df(term) = schemas whose
+/// vocabulary contains the term. Feeds IDF weights into SimHash bit
+/// votes (rare, discriminative terms dominate the signature). Advisory
+/// only — no matcher score reads it.
+class DfTable {
+ public:
+  void AddDocument(const SchemaFeatures& features);
+  void RemoveDocument(const SchemaFeatures& features);
+
+  uint64_t documents() const { return documents_; }
+  uint32_t Df(const std::string& term) const;
+
+  /// log(1 + N / (1 + df)): always positive, larger for rarer terms.
+  double Idf(const std::string& term) const;
+
+ private:
+  std::unordered_map<std::string, uint32_t> df_;
+  uint64_t documents_ = 0;
+};
+
+/// Per-(query, candidate) scoring scratch owned by each scoring worker: a
+/// dense lazily-filled memo of term-pair similarities, shared by the name
+/// and context matchers of one ensemble invocation (they memoize the same
+/// pure function of the two term strings).
+struct MatchScratch {
+  std::vector<double> pair_scores;  ///< row-major [query_term][cand_term]
+  size_t cand_terms = 0;
+
+  /// Marks every pair unset. Reuses capacity across candidates.
+  void Reset(size_t query_terms, size_t candidate_terms);
+
+  double* Slot(uint32_t query_term, uint32_t cand_term) {
+    return &pair_scores[query_term * cand_terms + cand_term];
+  }
+};
+
+/// Builds the full feature set for one schema, except the signature
+/// (which wants the corpus-wide df table; see ComputeSignature). Never
+/// fails: an empty schema yields empty features.
+std::shared_ptr<SchemaFeatures> BuildSchemaFeatures(
+    const Schema& schema, const FeatureBuildOptions& options);
+
+/// Fills features->signature from its terms, IDF-weighted when `df` is
+/// non-null, and seals the CRC.
+void ComputeSignature(SchemaFeatures* features, const DfTable* df);
+
+/// Counters from one catalog build, for `schemr stats` and metrics.
+struct CatalogBuildStats {
+  size_t schemas = 0;
+  size_t signatures_loaded = 0;   ///< adopted from a persisted file
+  size_t signatures_built = 0;    ///< computed (fresh, or rebuilt on CRC fail)
+  size_t corrupt_records = 0;     ///< persisted records that failed their CRC
+  double seconds = 0.0;           ///< wall time of the whole build
+};
+
+class MatchFeatureCatalog;
+
+/// Signatures read back from a signature file. Only CRC-valid records
+/// survive loading; `corpus_hash` gates adoption (a catalog built over a
+/// different corpus ignores the whole file and rebuilds).
+struct StoredSignatures {
+  uint64_t corpus_hash = 0;
+  std::unordered_map<SchemaId, SchemaSignature> signatures;
+  size_t corrupt_records = 0;
+};
+
+/// Two-pass catalog builder: Add() every schema (features + df), then
+/// Build() computes signatures under the final df table — so a full
+/// build's signatures are independent of insertion order.
+class CatalogBuilder {
+ public:
+  explicit CatalogBuilder(FeatureBuildOptions options = {});
+
+  /// Pass 1: features without signature, df accumulation.
+  void Add(const Schema& schema);
+
+  /// Pass 2: signatures (adopting entries from `stored` when its
+  /// corpus_hash matches this corpus), then freezes the catalog.
+  std::shared_ptr<const MatchFeatureCatalog> Build(
+      const StoredSignatures* stored = nullptr,
+      CatalogBuildStats* stats = nullptr);
+
+ private:
+  FeatureBuildOptions options_;
+  std::unordered_map<SchemaId, std::shared_ptr<SchemaFeatures>> features_;
+  DfTable df_;
+};
+
+/// Immutable per-snapshot feature store: schema id → features, plus the
+/// df table and build options. Shared by every search pinned to the
+/// snapshot; versioned implicitly by riding inside CorpusSnapshot.
+class MatchFeatureCatalog {
+ public:
+  MatchFeatureCatalog(
+      FeatureBuildOptions options,
+      std::unordered_map<SchemaId, std::shared_ptr<const SchemaFeatures>>
+          features,
+      std::shared_ptr<const DfTable> df);
+
+  /// The features of `id`, or null when the schema is unknown (callers
+  /// fall back to the legacy matcher path).
+  const SchemaFeatures* Find(SchemaId id) const;
+
+  const FeatureBuildOptions& options() const { return options_; }
+  const DfTable& df() const { return *df_; }
+  size_t size() const { return features_.size(); }
+
+  /// Order-independent hash of every schema's content hash; keys the
+  /// persisted-signature file to this exact corpus.
+  uint64_t CorpusHash() const;
+
+  /// The underlying map (ServingCorpus seeds its incremental working set
+  /// from a full build; tests iterate it).
+  const std::unordered_map<SchemaId, std::shared_ptr<const SchemaFeatures>>&
+  features() const {
+    return features_;
+  }
+
+ private:
+  FeatureBuildOptions options_;
+  std::unordered_map<SchemaId, std::shared_ptr<const SchemaFeatures>>
+      features_;
+  std::shared_ptr<const DfTable> df_;
+};
+
+/// Persists every signature in `catalog` to `path`:
+///   "SSIG" magic, version, corpus hash, record count, then per record
+///   (schema id, signature payload, record CRC). Atomic-enough for our
+///   use (write then rename is overkill for an advisory cache — a torn
+///   file just fails its CRCs and gets rebuilt).
+Status SaveSignatures(const std::string& path,
+                      const MatchFeatureCatalog& catalog);
+
+/// Reads a signature file. Records whose CRC fails are counted in
+/// `corrupt_records` and dropped — a byte flip is detected, never served.
+/// IOError when the file cannot be read; ParseError on a bad header.
+Result<StoredSignatures> LoadSignatures(const std::string& path);
+
+}  // namespace schemr
+
+#endif  // SCHEMR_MATCH_FEATURES_H_

@@ -17,6 +17,19 @@
 
 namespace schemr {
 
+struct SchemaFeatures;  // match/features.h
+struct MatchScratch;    // match/features.h
+
+/// Precomputed inputs for one ensemble invocation: the columnar features
+/// of both schemas (built at index time / once per query) and the shared
+/// per-candidate term-pair memo. Any pointer may be null — a matcher that
+/// cannot use what it is given falls back to its Match() path.
+struct MatchContext {
+  const SchemaFeatures* query_features = nullptr;
+  const SchemaFeatures* candidate_features = nullptr;
+  MatchScratch* scratch = nullptr;
+};
+
 /// Abstract element-level schema matcher.
 class Matcher {
  public:
@@ -29,6 +42,16 @@ class Matcher {
   /// land in [0, 1] (SimilarityMatrix::set clamps as a backstop).
   virtual SimilarityMatrix Match(const Schema& query,
                                  const Schema& candidate) const = 0;
+
+  /// Match() with precomputed features. The default ignores the context;
+  /// matchers with a columnar fast path (name, context) override this and
+  /// MUST produce a bit-identical matrix to Match() — the fast path is a
+  /// latency optimization, never a scoring change (DESIGN.md §16).
+  virtual SimilarityMatrix MatchPrepared(const Schema& query,
+                                         const Schema& candidate,
+                                         const MatchContext&) const {
+    return Match(query, candidate);
+  }
 };
 
 }  // namespace schemr

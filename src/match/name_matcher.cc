@@ -1,7 +1,9 @@
 #include "match/name_matcher.h"
 
 #include <algorithm>
+#include <cmath>
 
+#include "match/features.h"
 #include "text/lexicon.h"
 #include "text/porter_stemmer.h"
 #include "text/tokenizer.h"
@@ -70,7 +72,11 @@ double NameMatcher::WordSimilarity(const std::string& a,
                                    const NgramProfile& pa,
                                    const std::string& b,
                                    const NgramProfile& pb) const {
-  double dice = DiceSimilarity(pa, pb);
+  return LiftDice(DiceSimilarity(pa, pb), a, b);
+}
+
+double NameMatcher::LiftDice(double dice, const std::string& a,
+                             const std::string& b) const {
   const std::string& shorter = a.size() <= b.size() ? a : b;
   const std::string& longer = a.size() <= b.size() ? b : a;
   if (shorter.size() >= 2 && shorter.size() < longer.size()) {
@@ -163,6 +169,101 @@ double NameMatcher::NormalizedWordSimilarity(const std::string& a,
                                              const std::string& b,
                                              const NgramProfile& pb) const {
   return WordSimilarity(a, pa, b, pb);
+}
+
+double NameMatcher::PreparedWordSimilarity(const TermFeature& a,
+                                           const TermFeature& b) const {
+  return LiftDice(PackedDice(a.profile, b.profile), a.text, b.text);
+}
+
+namespace {
+
+/// The shared term-pair memo lookup: identical texts score exactly 1.0
+/// (which WordSimilarity also produces for identical words — identical
+/// non-empty profiles give Dice 1.0 and no bonus applies), everything
+/// else computes once per (query term, candidate term) pair and is reused
+/// across every element pair of this candidate — and by the context
+/// matcher, which memoizes the same function.
+double MemoizedSimilarity(const NameMatcher& matcher,
+                          const SchemaFeatures& qf, const SchemaFeatures& cf,
+                          MatchScratch* scratch, uint32_t q_term,
+                          uint32_t c_term) {
+  double* slot = scratch->Slot(q_term, c_term);
+  if (std::isnan(*slot)) {
+    const TermFeature& a = qf.terms[q_term];
+    const TermFeature& b = cf.terms[c_term];
+    *slot = a.text == b.text ? 1.0 : matcher.PreparedWordSimilarity(a, b);
+  }
+  return *slot;
+}
+
+/// PairSimilarity on NameFeatures: the same word alignment, concat rescue
+/// and acronym check, with word profiles and pair scores coming from the
+/// precomputed catalog instead of per-candidate Prepare() calls. Sums
+/// iterate words in name order — the legacy FP summation order.
+double PreparedPairSimilarity(const NameMatcher& matcher,
+                              const SchemaFeatures& qf,
+                              const SchemaFeatures& cf, MatchScratch* scratch,
+                              const NameFeature& a, const NameFeature& b) {
+  if (a.words.empty() || b.words.empty()) return 0.0;
+
+  double sum_a = 0.0;
+  for (uint32_t qw : a.words) {
+    double best = 0.0;
+    for (uint32_t cw : b.words) {
+      best = std::max(best,
+                      MemoizedSimilarity(matcher, qf, cf, scratch, qw, cw));
+    }
+    sum_a += best;
+  }
+  double sum_b = 0.0;
+  for (uint32_t cw : b.words) {
+    double best = 0.0;
+    for (uint32_t qw : a.words) {
+      best = std::max(best,
+                      MemoizedSimilarity(matcher, qf, cf, scratch, qw, cw));
+    }
+    sum_b += best;
+  }
+  double score = (sum_a + sum_b) /
+                 static_cast<double>(a.words.size() + b.words.size());
+
+  score = std::max(score, MemoizedSimilarity(matcher, qf, cf, scratch,
+                                             a.concat, b.concat));
+
+  auto acronym = [&](const NameFeature& single, const SchemaFeatures& sf,
+                     const NameFeature& multi) {
+    return single.words.size() == 1 && multi.words.size() >= 2 &&
+           sf.terms[single.words[0]].text == multi.initials;
+  };
+  if (acronym(a, qf, b) || acronym(b, cf, a)) score = std::max(score, 0.8);
+
+  return score;
+}
+
+}  // namespace
+
+SimilarityMatrix NameMatcher::MatchPrepared(const Schema& query,
+                                            const Schema& candidate,
+                                            const MatchContext& context) const {
+  const SchemaFeatures* qf = context.query_features;
+  const SchemaFeatures* cf = context.candidate_features;
+  if (qf == nullptr || cf == nullptr || context.scratch == nullptr ||
+      qf->names.size() != query.size() ||
+      cf->names.size() != candidate.size() ||
+      !SameOptions(qf->name_options, options_) ||
+      !SameOptions(cf->name_options, options_)) {
+    return Match(query, candidate);
+  }
+  SimilarityMatrix matrix(query.size(), candidate.size());
+  for (size_t r = 0; r < query.size(); ++r) {
+    for (size_t c = 0; c < candidate.size(); ++c) {
+      matrix.set(r, c,
+                 PreparedPairSimilarity(*this, *qf, *cf, context.scratch,
+                                        qf->names[r], cf->names[c]));
+    }
+  }
+  return matrix;
 }
 
 SimilarityMatrix NameMatcher::Match(const Schema& query,

@@ -50,9 +50,26 @@ class NameMatcher : public Matcher {
   SimilarityMatrix Match(const Schema& query,
                          const Schema& candidate) const override;
 
+  /// Columnar fast path: scores from precomputed SchemaFeatures through
+  /// the shared term-pair memo. Bit-identical to Match() — the packed
+  /// Dice reproduces the NgramProfile counts exactly and the word
+  /// alignment sums run in the same order. Falls back to Match() when the
+  /// context is incomplete or was built under different options.
+  SimilarityMatrix MatchPrepared(const Schema& query, const Schema& candidate,
+                                 const MatchContext& context) const override;
+
   /// Similarity of two raw element names in [0, 1] (exposed for the
   /// context matcher's soft term alignment and for tests).
   double NameSimilarity(const std::string& a, const std::string& b) const;
+
+  /// WordSimilarity on packed term features: packed Dice lifted by the
+  /// same prefix/subsequence/synonym bonuses. Equals
+  /// NormalizedWordSimilarity on the profiles the features were packed
+  /// from. Exposed for the context matcher's shared memo.
+  double PreparedWordSimilarity(const struct TermFeature& a,
+                                const struct TermFeature& b) const;
+
+  const NameMatcherOptions& options() const { return options_; }
 
   /// N-gram profile of one already-normalized word, honoring this
   /// matcher's banding options. Exposed so callers comparing many word
@@ -89,6 +106,11 @@ class NameMatcher : public Matcher {
   /// "quantity") bonuses scaled by the length ratio.
   double WordSimilarity(const std::string& a, const NgramProfile& pa,
                         const std::string& b, const NgramProfile& pb) const;
+
+  /// The post-Dice half of WordSimilarity (prefix / subsequence / synonym
+  /// lifts), shared with the packed fast path so the two can never drift.
+  double LiftDice(double dice, const std::string& a,
+                  const std::string& b) const;
 
   /// Full name-vs-name similarity on prepared forms: word alignment,
   /// concatenation rescue, acronym detection ("dob" vs "date_of_birth").

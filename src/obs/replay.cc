@@ -71,6 +71,9 @@ Result<std::vector<WorkloadEntry>> WorkloadFromXml(const std::string& xml) {
     if (const std::string* v = query->FindAttribute("pool")) {
       entry.candidate_pool = static_cast<uint32_t>(ParseU64(*v));
     }
+    if (const std::string* v = query->FindAttribute("prefilter")) {
+      entry.prefilter = std::strtod(v->c_str(), nullptr);
+    }
     if (const std::string* v = query->FindAttribute("digest")) {
       entry.expected_digest = ParseU64(*v);
     }
@@ -102,6 +105,11 @@ std::string WorkloadToXml(const std::vector<WorkloadEntry>& entries) {
     xml.Open("query").Attribute("keywords", entry.keywords);
     xml.Attribute("top_k", static_cast<long long>(entry.top_k));
     xml.Attribute("pool", static_cast<long long>(entry.candidate_pool));
+    if (entry.prefilter > 0.0) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g", entry.prefilter);
+      xml.Attribute("prefilter", buf);
+    }
     if (entry.fingerprint != 0) {
       xml.Attribute("fingerprint", std::to_string(entry.fingerprint));
     }
@@ -210,6 +218,9 @@ Result<ReplayReport> ReplayWorkload(
       engine_options.top_k = entry.top_k;
       engine_options.extraction.pool_size = entry.candidate_pool;
       engine_options.scoring_threads = engine_threads;
+      engine_options.prefilter = options.force_prefilter > 0.0
+                                     ? options.force_prefilter
+                                     : entry.prefilter;
       // No deadline, no matcher budget: determinism over realism. Timing
       // noise must move the percentiles, never the digests.
       SearchStats stats;

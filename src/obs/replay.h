@@ -37,6 +37,12 @@ struct WorkloadEntry {
   std::string fragment;
   uint32_t top_k = 10;
   uint32_t candidate_pool = 50;
+  /// Signature pre-filter threshold this entry was recorded under
+  /// (SearchEngineOptions::prefilter). 0 = exact mode: replay must
+  /// reproduce the full-pipeline digests. A workload that opts into the
+  /// approximate screen carries the threshold here, so its recorded
+  /// digests were produced under the SAME screen and still gate exactly.
+  double prefilter = 0.0;
   uint64_t fingerprint = 0;       ///< recorded fingerprint (0 = unknown)
   uint64_t expected_digest = 0;   ///< recorded result digest (0 = none)
 };
@@ -77,6 +83,14 @@ struct ReplayOptions {
   /// at different values must produce identical digests -- that equality
   /// is exactly what the CI perf gate enforces every push.
   size_t engine_threads = 1;
+  /// When > 0, forces SearchEngineOptions::prefilter to this threshold
+  /// for EVERY entry, overriding what the workload recorded. Forcing the
+  /// approximate screen onto an exact-recorded workload changes which
+  /// candidates can rank, so its digests mismatch and the gate fails --
+  /// by design: approximate mode cannot silently pass an exact gate. Use
+  /// a workload recorded under the same threshold to gate approximate
+  /// serving.
+  double force_prefilter = 0.0;
 };
 
 /// Latency percentiles over one timing series, in seconds.

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
 
 #include "core/fingerprint.h"
 #include "core/query_parser.h"
@@ -77,6 +78,7 @@ SearchEngineOptions WithRequest(const SearchRequest& request,
   options.top_k = request.top_k;
   options.extraction.pool_size = request.candidate_pool;
   if (request.cache_bypass) options.cache_bypass = true;
+  if (request.prefilter > 0.0) options.prefilter = request.prefilter;
   return options;
 }
 
@@ -237,6 +239,10 @@ Status SchemrService::ValidateRequest(const SearchRequest& request) const {
     return Status::InvalidArgument(
         "candidate_pool (" + std::to_string(request.candidate_pool) +
         ") must be >= top_k (" + std::to_string(request.top_k) + ")");
+  }
+  if (request.prefilter < 0.0 || request.prefilter >= 1.0) {
+    return Status::InvalidArgument(
+        "prefilter must be in [0, 1): " + std::to_string(request.prefilter));
   }
   if (request.keywords.size() > limits_.max_keywords_bytes) {
     return Status::InvalidArgument(
@@ -898,6 +904,11 @@ std::string SearchRequestToXml(const SearchRequest& request) {
   xml.Attribute("pool", static_cast<long long>(request.candidate_pool));
   if (request.explain) xml.Attribute("explain", "true");
   if (request.cache_bypass) xml.Attribute("cache", "bypass");
+  if (request.prefilter > 0.0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", request.prefilter);
+    xml.Attribute("prefilter", buf);
+  }
   if (!request.fragment.empty()) {
     xml.SimpleElement("fragment", request.fragment);
   }
@@ -946,6 +957,16 @@ Result<SearchRequest> ParseSearchRequestXml(const std::string& xml) {
   }
   if (const std::string* v = root->FindAttribute("cache")) {
     request.cache_bypass = *v == "bypass";
+  }
+  if (const std::string* v = root->FindAttribute("prefilter")) {
+    char* end = nullptr;
+    const double threshold = std::strtod(v->c_str(), &end);
+    if (end == v->c_str() || *end != '\0' || !(threshold >= 0.0) ||
+        threshold >= 1.0) {
+      return Status::InvalidArgument("bad prefilter '" + *v +
+                                     "' (want a number in [0, 1))");
+    }
+    request.prefilter = threshold;
   }
   if (const XmlNode* fragment = root->FirstChild("fragment")) {
     request.fragment = fragment->text;
@@ -1053,6 +1074,30 @@ std::string SchemrService::StatuszJson() const {
     JsonNum(&out, "snapshot_version", 0.0);
     JsonNum(&out, "index_docs", 0.0);
     JsonNum(&out, "index_terms", 0.0);
+  }
+  out.push_back('}');
+
+  JsonKey(&out, "signatures");
+  out.push_back('{');
+  {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    double catalog_schemas = 0.0;
+    if (corpus_ != nullptr) {
+      std::shared_ptr<const CorpusSnapshot> snapshot = corpus_->Snapshot();
+      if (snapshot->match_features != nullptr) {
+        catalog_schemas =
+            static_cast<double>(snapshot->match_features->size());
+      }
+    }
+    JsonNum(&out, "catalog_schemas", catalog_schemas);
+    JsonNum(&out, "prefilter_rejected_total",
+            static_cast<double>(
+                registry.GetCounter("schemr_search_prefilter_rejected_total")
+                    ->Value()));
+    Histogram* build =
+        registry.GetHistogram("schemr_signature_build_seconds");
+    JsonNum(&out, "build_count", static_cast<double>(build->Count()));
+    JsonNum(&out, "build_seconds_total", build->Sum());
   }
   out.push_back('}');
 

@@ -43,6 +43,11 @@ struct SearchRequest {
   /// when the engine's result cache holds this query, and do not store the
   /// outcome. For debugging and cache-vs-pipeline comparisons.
   bool cache_bypass = false;
+  /// Signature pre-filter threshold (`prefilter=` on the wire), in
+  /// [0, 1). 0 = exact search (the default). When > 0 the request opts
+  /// into the approximate signature screen
+  /// (SearchEngineOptions::prefilter).
+  double prefilter = 0.0;
   /// Fleet-wide request id (DESIGN.md §15). Transport metadata, never
   /// part of the XML wire format: HandleSearchHttp fills it from the
   /// X-Schemr-Request-Id header (validated, or freshly minted) and it
@@ -167,6 +172,19 @@ class SchemrService {
       : corpus_(corpus),
         repository_(corpus->repository()),
         engine_(corpus, std::move(ensemble)),
+        limits_(limits) {}
+
+  /// Pinned-snapshot mode: every request runs against exactly this
+  /// snapshot. For CLI tools that assemble a snapshot by hand (index
+  /// segment + repository view + persisted signature catalog) without a
+  /// live corpus. `repository` serves annotation and visualization
+  /// traffic and must outlive the service.
+  SchemrService(const SchemaRepository* repository,
+                std::shared_ptr<const CorpusSnapshot> snapshot,
+                MatcherEnsemble ensemble = MatcherEnsemble::Default(),
+                ServiceLimits limits = {})
+      : repository_(repository),
+        engine_(std::move(snapshot), std::move(ensemble)),
         limits_(limits) {}
 
   ~SchemrService();

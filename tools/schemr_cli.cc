@@ -80,6 +80,7 @@ int Usage() {
       "  index <repo>                               (re)build the segment\n"
       "  search <repo> <keywords...> [--fragment f] [--top N] [--offset N]"
       " [--boost] [--explain]\n"
+      "         [--prefilter T]   T in (0,1): approximate signature screen\n"
       "  stats <repo> [keywords...] [--json]           run a sample search,"
       " dump metrics\n"
       "  viz <repo> <id> [--layout tree|radial] [--format graphml|svg|dot]\n"
@@ -107,7 +108,7 @@ int Usage() {
       "  checkjson <file|-> [--require key]...      validate flat JSON"
       " (e.g. /statusz)\n"
       "  replay <workload> --repo <dir> [--threads N] [--repeat N]"
-      " [--engine-threads N]\n"
+      " [--engine-threads N] [--prefilter T]\n"
       "         [--out f.json] [--baseline f.json] [--tolerance X]"
       " [--qps-tolerance X]\n"
       "         [--record f.xml]                        replay a workload\n"
@@ -131,6 +132,58 @@ std::string SegmentPath(const std::string& repo_dir) {
 
 std::string AuditDir(const std::string& repo_dir) {
   return repo_dir + "/audit";
+}
+
+std::string SignaturePath(const std::string& repo_dir) {
+  return repo_dir + "/signatures.sig";
+}
+
+/// Builds the match-feature catalog over the repository's current view,
+/// adopting signatures persisted at SignaturePath() when they still match
+/// this corpus, and writing back whatever had to be (re)built so the next
+/// invocation loads instead of computing. The catalog is advisory — any
+/// failure here just means searches take the legacy per-candidate path —
+/// so errors surface through `stats`, not a Status.
+std::shared_ptr<const MatchFeatureCatalog> LoadOrBuildCatalog(
+    const SchemaRepository& repo, const std::string& repo_dir,
+    CatalogBuildStats* stats) {
+  CatalogBuilder builder;
+  std::shared_ptr<const RepositoryView> view = repo.View();
+  Status added = view->ForEach([&](const Schema& schema) {
+    builder.Add(schema);
+    return Status::OK();
+  });
+  if (!added.ok()) return nullptr;  // undecodable view: legacy path only
+  StoredSignatures stored;
+  bool have_stored = false;
+  if (auto loaded = LoadSignatures(SignaturePath(repo_dir)); loaded.ok()) {
+    stored = std::move(*loaded);
+    have_stored = true;
+  }
+  std::shared_ptr<const MatchFeatureCatalog> catalog =
+      builder.Build(have_stored ? &stored : nullptr, stats);
+  if (stats == nullptr || stats->signatures_built > 0 ||
+      stats->corrupt_records > 0) {
+    Status saved = SaveSignatures(SignaturePath(repo_dir), *catalog);
+    (void)saved;
+  }
+  return catalog;
+}
+
+/// Pins one snapshot pairing this index with this schema view (and the
+/// match-feature catalog, when one was built): the unit every CLI search
+/// and replay runs against.
+std::shared_ptr<const CorpusSnapshot> PinSnapshot(
+    const SchemaRepository& repo, Indexer&& indexer,
+    std::shared_ptr<const MatchFeatureCatalog> catalog) {
+  auto holder = std::make_shared<Indexer>(std::move(indexer));
+  auto snapshot = std::make_shared<CorpusSnapshot>();
+  snapshot->version = repo.version();
+  snapshot->index =
+      std::shared_ptr<const InvertedIndex>(holder, &holder->index());
+  snapshot->schemas = repo.View();
+  snapshot->match_features = std::move(catalog);
+  return snapshot;
 }
 
 /// How LoadOrBuildIndex got its index: opening the persisted segment
@@ -227,6 +280,7 @@ int CmdSearch(SchemaRepository* repo, const std::string& repo_dir, int argc,
   std::string keywords;
   std::string fragment;
   bool explain = false;
+  double prefilter = 0.0;
   SearchEngineOptions options;
   for (int i = 0; i < argc; ++i) {
     std::string arg = argv[i];
@@ -240,6 +294,8 @@ int CmdSearch(SchemaRepository* repo, const std::string& repo_dir, int argc,
       options.offset = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--boost") {
       options.annotation_boost = 0.3;
+    } else if (arg == "--prefilter" && i + 1 < argc) {
+      prefilter = std::strtod(argv[++i], nullptr);
     } else if (arg == "--explain") {
       explain = true;
     } else {
@@ -249,7 +305,9 @@ int CmdSearch(SchemaRepository* repo, const std::string& repo_dir, int argc,
   }
   auto indexer = LoadOrBuildIndex(*repo, repo_dir);
   if (!indexer.ok()) return Fail(indexer.status(), "loading index");
-  SchemrService service(repo, &indexer->index());
+  auto catalog = LoadOrBuildCatalog(*repo, repo_dir, nullptr);
+  SchemrService service(repo,
+                        PinSnapshot(*repo, std::move(*indexer), catalog));
   // Every CLI search lands in the repo's audit log (inspect with
   // `schemr audit`); failure to open it is not search-fatal.
   (void)service.EnableAudit(AuditDir(repo_dir));
@@ -258,6 +316,7 @@ int CmdSearch(SchemaRepository* repo, const std::string& repo_dir, int argc,
   SearchRequest request;
   request.keywords = keywords;
   request.fragment = fragment;
+  request.prefilter = prefilter;
   request.top_k = options.top_k;
   request.candidate_pool = std::max<size_t>(options.top_k + options.offset,
                                             SearchRequest{}.candidate_pool);
@@ -321,13 +380,31 @@ int CmdStats(SchemaRepository* repo, const std::string& repo_dir, int argc,
     std::fprintf(stderr, "# index: opened persisted segment in %.1f ms\n",
                  timing.open_seconds * 1e3);
   }
-  SchemrService service(repo, &indexer->index());
+  // Signature catalog build/load cost, reported right next to the
+  // index-open line: the two together are the full cost of standing up a
+  // searchable snapshot. Loaded signatures should dominate after the
+  // first run; paying builds every time means signatures.sig is missing
+  // or the corpus churned.
+  CatalogBuildStats catalog_stats;
+  auto catalog = LoadOrBuildCatalog(*repo, repo_dir, &catalog_stats);
+  registry
+      .GetGauge("schemr_signature_catalog_seconds",
+                "Time spent building the match-feature catalog (features "
+                "+ signatures) for the last CLI invocation.")
+      ->Set(catalog_stats.seconds);
+  std::fprintf(stderr,
+               "# signatures: %zu schemas (%zu loaded, %zu built, %zu "
+               "corrupt) in %.1f ms\n",
+               catalog_stats.schemas, catalog_stats.signatures_loaded,
+               catalog_stats.signatures_built, catalog_stats.corrupt_records,
+               catalog_stats.seconds * 1e3);
+  SchemrService service(repo,
+                        PinSnapshot(*repo, std::move(*indexer), catalog));
   (void)service.EnableAudit(AuditDir(repo_dir));
   // A small result cache so the derived cache gauges (hit ratio,
-  // entries, capacity) appear in the dump. Static mode has no corpus
-  // snapshot, so lookups stay zero here — the gauges go live under
-  // `schemr serve` / StartServing, which is where the cache actually
-  // runs.
+  // entries, capacity) appear in the dump. The pinned snapshot gives the
+  // cache a stable corpus version to key on, so the sample search below
+  // actually exercises it.
   service.EnableResultCache(64);
 
   if (keywords.empty()) {
@@ -699,6 +776,8 @@ int CmdReplay(int argc, char** argv) {
       replay_options.repeat = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--engine-threads" && i + 1 < argc) {
       replay_options.engine_threads = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--prefilter" && i + 1 < argc) {
+      replay_options.force_prefilter = std::strtod(argv[++i], nullptr);
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else if (arg == "--baseline" && i + 1 < argc) {
@@ -723,14 +802,18 @@ int CmdReplay(int argc, char** argv) {
   auto indexer = LoadOrBuildIndex(**repo, repo_dir);
   if (!indexer.ok()) return Fail(indexer.status(), "loading index");
 
-  // Pin one snapshot for the whole run: the pairing of this index with
-  // this schema view is what makes the digests reproducible.
-  auto holder = std::make_shared<Indexer>(std::move(*indexer));
-  auto snapshot = std::make_shared<CorpusSnapshot>();
-  snapshot->version = (*repo)->version();
-  snapshot->index =
-      std::shared_ptr<const InvertedIndex>(holder, &holder->index());
-  snapshot->schemas = (*repo)->View();
+  // Pin one snapshot for the whole run: the pairing of this index, this
+  // schema view, and this feature catalog is what makes the digests
+  // reproducible.
+  CatalogBuildStats catalog_stats;
+  auto catalog = LoadOrBuildCatalog(**repo, repo_dir, &catalog_stats);
+  std::fprintf(stderr,
+               "# signatures: %zu schemas (%zu loaded, %zu built, %zu "
+               "corrupt) in %.1f ms\n",
+               catalog_stats.schemas, catalog_stats.signatures_loaded,
+               catalog_stats.signatures_built, catalog_stats.corrupt_records,
+               catalog_stats.seconds * 1e3);
+  auto snapshot = PinSnapshot(**repo, std::move(*indexer), catalog);
 
   size_t skipped = 0;
   auto workload = LoadWorkload(workload_path, &skipped);
@@ -765,10 +848,15 @@ int CmdReplay(int argc, char** argv) {
 
   if (!record_path.empty()) {
     // Stamp this run's digests into the workload so the next replay (or
-    // machine) verifies against them.
+    // machine) verifies against them. A forced pre-filter threshold is
+    // stamped too: these digests were produced under that screen, and a
+    // workload that opts into approximate mode must say so.
     std::vector<WorkloadEntry> recorded = *workload;
     for (size_t i = 0; i < recorded.size(); ++i) {
       recorded[i].expected_digest = report->digests[i];
+      if (replay_options.force_prefilter > 0.0) {
+        recorded[i].prefilter = replay_options.force_prefilter;
+      }
     }
     Status saved = SaveWorkload(record_path, recorded);
     if (!saved.ok()) return Fail(saved, "recording workload");
@@ -1008,6 +1096,13 @@ int CmdTop(const std::string& target, int argc, char** argv) {
         "cache    %.0f/%.0f entries, hit ratio %.2f\n",
         get("result_cache.entries"), get("result_cache.capacity"),
         get("result_cache.hit_ratio"));
+    std::printf(
+        "sigs     %.0f schemas, %.0f prefilter-rejected, %.0f builds"
+        " (%.1f ms total)\n",
+        get("signatures.catalog_schemas"),
+        get("signatures.prefilter_rejected_total"),
+        get("signatures.build_count"),
+        get("signatures.build_seconds_total") * 1e3);
     std::printf(
         "traces   %.0f offered, %.0f sampled, %.0f retained (1/%0.f)\n",
         get("traces.offered"), get("traces.sampled"), get("traces.retained"),
